@@ -1,0 +1,131 @@
+package repro
+
+// Ablations for the extension substrates: zfp-style checkpoint compression
+// (the storage trade the paper's §VI declines to model, citing [34]) and
+// mixed-precision iterative refinement (the prior-work technique of [4,6]).
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"repro/internal/clamr"
+	"repro/internal/cost"
+	"repro/internal/mesh"
+	"repro/internal/precision"
+	"repro/internal/solvers"
+	"repro/internal/zfp"
+)
+
+// BenchmarkAblationCompression compresses a dam-break height field at
+// several rates, reporting compression factor vs full-precision storage
+// and the introduced error — the data behind a compressed-checkpoint
+// column for Table VII.
+func BenchmarkAblationCompression(b *testing.B) {
+	cfg := clamr.Config{NX: 64, NY: 64, MaxLevel: 1, Kernel: clamr.KernelFace, AMRInterval: 15}
+	r, err := clamr.New(precision.Full, cfg, clamr.DamBreak(mesh.UnitBounds, 10, 2, 0.15, 0.05))
+	if err != nil {
+		b.Fatal(err)
+	}
+	if err := r.Run(80); err != nil {
+		b.Fatal(err)
+	}
+	const raster = 128
+	field, err := r.Mesh().Rasterize(r.HeightF64(), raster, raster)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scale := 0.0
+	for _, v := range field {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	for _, rate := range []int{8, 16} {
+		name := map[int]string{8: "rate8", 16: "rate16"}[rate]
+		b.Run(name, func(b *testing.B) {
+			var buf []byte
+			for i := 0; i < b.N; i++ {
+				var err error
+				buf, err = zfp.Compress2D(field, raster, raster, rate)
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			got, _, _, err := zfp.Decompress2D(buf)
+			if err != nil {
+				b.Fatal(err)
+			}
+			maxErr := 0.0
+			for i := range field {
+				if d := math.Abs(field[i] - got[i]); d > maxErr {
+					maxErr = d
+				}
+			}
+			ratio := float64(raster*raster*8) / float64(len(buf))
+			b.ReportMetric(ratio, "compression-x")
+			b.ReportMetric(math.Log10(scale/maxErr), "orders-below")
+			// Storage-cost impact under the paper's CLAMR scenario.
+			plain, _ := cost.AWS2017.Cost(cost.PaperCLAMRScenario(31.3, 0.128))
+			compressed, _ := cost.AWS2017.Cost(cost.PaperCLAMRScenario(31.3, 0.128/ratio))
+			b.ReportMetric(100*(1-compressed.Storage/plain.Storage), "storage-saving-%")
+		})
+	}
+}
+
+// BenchmarkAblationMixedIR contrasts double CG against mixed-precision
+// iterative refinement at matched accuracy, reporting the single-precision
+// flop share and the bandwidth-weighted cost saving.
+func BenchmarkAblationMixedIR(b *testing.B) {
+	m, err := solvers.Poisson2D(40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(9))
+	rhs := make([]float64, m.N)
+	for i := range rhs {
+		rhs[i] = rng.Float64()*2 - 1
+	}
+	b.Run("cg-double", func(b *testing.B) {
+		var st solvers.Stats
+		for i := 0; i < b.N; i++ {
+			x := make([]float64, m.N)
+			st = solvers.CG(m, rhs, x, 1e-12, 20000)
+		}
+		b.ReportMetric(-math.Log10(st.RelResidual), "digits")
+	})
+	b.Run("ir-mixed", func(b *testing.B) {
+		var st solvers.Stats
+		for i := 0; i < b.N; i++ {
+			_, st = solvers.SolveIR(m, rhs, solvers.IROptions{Tol: 1e-12})
+		}
+		b.ReportMetric(-math.Log10(st.RelResidual), "digits")
+		b.ReportMetric(100*st.SingleFlopFraction(), "single-flop-%")
+	})
+}
+
+// BenchmarkAblationWorkers measures the parallel scaling of the two
+// mini-apps' kernels (fork-join over fixed chunks; bit-identical results).
+// The gomaxprocs metric records the host parallelism: on a single-core
+// machine extra workers can only add synchronisation overhead — the
+// feature's guarantee is determinism, the speedup needs cores.
+func BenchmarkAblationWorkers(b *testing.B) {
+	b.ReportMetric(float64(runtime.GOMAXPROCS(0)), "gomaxprocs")
+	for _, workers := range []int{1, 4} {
+		name := map[int]string{1: "clamr-w1", 4: "clamr-w4"}[workers]
+		b.Run(name, func(b *testing.B) {
+			cfg := clamr.Config{NX: 128, NY: 128, Kernel: clamr.KernelFace, Workers: workers}
+			r, err := clamr.New(precision.Full, cfg, clamr.DamBreak(mesh.UnitBounds, 10, 2, 0.15, 0.05))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,97 @@
+// Command paperbench regenerates every table and figure of the paper's
+// evaluation section, printing formatted results to stdout and writing
+// figure series as CSV files.
+//
+// Usage:
+//
+//	paperbench                              # all experiments, quick scale
+//	paperbench -scale standard              # larger problems
+//	paperbench -exp table1,fig4             # a subset
+//	paperbench -outdir results              # also write CSVs there
+//
+// Scales: quick (seconds), standard (tens of seconds), paper (the paper's
+// problem sizes — 1920² CLAMR, 20³ elements × order 7 SELF; hours).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"repro"
+	"repro/internal/analysis"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("paperbench: ")
+
+	var (
+		scaleStr = flag.String("scale", "quick", "problem scale: quick|standard|paper")
+		expStr   = flag.String("exp", "all", "comma-separated experiment ids (table1..table7, fig1..fig5) or 'all'")
+		outdir   = flag.String("outdir", "", "directory for figure CSV files (created if needed)")
+		list     = flag.Bool("list", false, "list experiments and exit")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, e := range repro.Experiments {
+			fmt.Printf("%-8s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	scale, err := repro.ParseScale(*scaleStr)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	wanted := map[string]bool{}
+	if *expStr != "all" {
+		for _, id := range strings.Split(*expStr, ",") {
+			wanted[strings.TrimSpace(id)] = true
+		}
+	}
+
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	session := repro.NewSession(scale)
+	ran := 0
+	for _, e := range repro.Experiments {
+		if len(wanted) > 0 && !wanted[e.ID] {
+			continue
+		}
+		ran++
+		start := time.Now()
+		out, err := session.RunExperiment(e.ID)
+		if err != nil {
+			log.Fatalf("%s: %v", e.ID, err)
+		}
+		fmt.Printf("════ %s — %s (%v) ════\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), out.Text)
+		if *outdir != "" && len(out.Series) > 0 {
+			path := filepath.Join(*outdir, e.ID+".csv")
+			f, err := os.Create(path)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if err := analysis.WriteCSV(f, out.Series...); err != nil {
+				log.Fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("    (series written to %s)\n\n", path)
+		}
+	}
+	if ran == 0 {
+		log.Fatalf("no experiments matched %q; try -list", *expStr)
+	}
+}

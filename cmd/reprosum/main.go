@@ -1,0 +1,78 @@
+// Command reprosum demonstrates the reproducible global sums of §III.C:
+// it builds an ill-conditioned summation instance, runs every algorithm
+// serially and in parallel, and reports recovered decimal digits, bit-level
+// reproducibility under permutation and worker-count changes, and
+// throughput.
+//
+// Usage:
+//
+//	reprosum -n 1000000 -cond 1e12 -workers 8
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/reduce"
+)
+
+func digits(got, exact float64) float64 {
+	if got == exact {
+		return 17
+	}
+	rel := math.Abs(got-exact) / math.Abs(exact)
+	return math.Min(17, -math.Log10(rel))
+}
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("reprosum: ")
+
+	var (
+		n       = flag.Int("n", 1_000_000, "number of addends")
+		cond    = flag.Float64("cond", 1e12, "conditioning of the instance (larger = harder)")
+		workers = flag.Int("workers", 8, "parallel workers")
+		seed    = flag.Int64("seed", 42, "instance seed")
+	)
+	flag.Parse()
+
+	xs, exact := reduce.IllConditioned(*n, *cond, *seed)
+	fmt.Printf("instance: n=%d cond=%.3g exact sum=%.17g\n\n", len(xs), *cond, exact)
+	fmt.Printf("%-18s %-8s %-10s %-12s %-14s %s\n",
+		"method", "digits", "serial", "parallel", "perm-stable", "worker-stable")
+
+	rng := rand.New(rand.NewSource(*seed + 1))
+	perm := make([]float64, len(xs))
+	copy(perm, xs)
+	rng.Shuffle(len(perm), func(i, j int) { perm[i], perm[j] = perm[j], perm[i] })
+
+	for _, m := range reduce.Methods {
+		t0 := time.Now()
+		serial := reduce.Sum(xs, m)
+		dSerial := time.Since(t0)
+
+		t0 = time.Now()
+		parallel := reduce.ParallelSum(xs, *workers, m)
+		dParallel := time.Since(t0)
+
+		permuted := reduce.Sum(perm, m)
+		otherWorkers := reduce.ParallelSum(xs, *workers/2+1, m)
+
+		permStable := serial == permuted
+		workerStable := parallel == otherWorkers
+		fmt.Printf("%-18s %-8.1f %-10v %-12v %-14v %v\n",
+			m, digits(serial, exact), dSerial.Round(time.Microsecond),
+			dParallel.Round(time.Microsecond), permStable, workerStable)
+		if m.IsReproducible() && (!permStable || !workerStable) {
+			log.Fatalf("%v violated its reproducibility guarantee", m)
+		}
+	}
+
+	fmt.Println("\nreproducible methods must show perm-stable and worker-stable = true;")
+	fmt.Println("naive summation typically carries ~7 digits on ill-conditioned data")
+	fmt.Println("while the reproducible/exact methods recover 15+ (paper §III.C).")
+}

@@ -1,0 +1,44 @@
+// Costplanner applies the paper's §VI cost analysis to a user-described
+// campaign: given measured runtimes and checkpoint sizes per precision, it
+// prices compute and storage on the AWS-style model and reports the saving
+// each reduced-precision mode buys — the decision the paper's Table VII
+// supports.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/cost"
+)
+
+func main() {
+	var (
+		fullSec  = flag.Float64("full-sec", 31.3, "measured full-precision runtime (s)")
+		minSec   = flag.Float64("min-sec", 26.3, "measured minimum-precision runtime (s)")
+		mixedSec = flag.Float64("mixed-sec", 31.0, "measured mixed-precision runtime (s)")
+		fullGB   = flag.Float64("full-gb", 0.128, "full-precision checkpoint size (GB)")
+		minGB    = flag.Float64("min-gb", 0.086, "reduced-precision checkpoint size (GB)")
+	)
+	flag.Parse()
+
+	price := func(name string, sec, gb float64) cost.Breakdown {
+		bd, err := cost.AWS2017.Cost(cost.PaperCLAMRScenario(sec, gb))
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8s compute $%8.2f   storage $%8.2f   total $%8.2f\n",
+			name, bd.Compute, bd.Storage, bd.Total)
+		return bd
+	}
+
+	fmt.Println("Monthly campaign cost (EC2 c4.8xlarge + S3, the paper's scaling rules):")
+	min := price("min", *minSec, *minGB)
+	mixed := price("mixed", *mixedSec, *minGB)
+	full := price("full", *fullSec, *fullGB)
+
+	fmt.Printf("\nminimum precision saves %.0f%%, mixed saves %.0f%% — the paper reports\n",
+		100*cost.Savings(min, full), 100*cost.Savings(mixed, full))
+	fmt.Println("23% and 15% for its CLAMR campaign; plug in your own -full-sec/-min-sec.")
+}

@@ -1,0 +1,52 @@
+// Mixedsolver demonstrates the classic mixed-precision technique of the
+// paper's prior work ([4] extended-precision BLAS, [6] Buttari et al.):
+// iterative refinement solves a Poisson system to double-precision
+// accuracy while running ~99% of its flops in single precision — and pure
+// single-precision CG is shown stalling at its round-off floor.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"math/rand"
+
+	"repro/internal/solvers"
+)
+
+func main() {
+	n := flag.Int("grid", 48, "Poisson grid size per dimension (N = grid²)")
+	tol := flag.Float64("tol", 1e-12, "target relative residual")
+	flag.Parse()
+
+	m, err := solvers.Poisson2D(*n)
+	if err != nil {
+		log.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(1))
+	b := make([]float64, m.N)
+	for i := range b {
+		b[i] = rng.Float64()*2 - 1
+	}
+	fmt.Printf("system: 2-D Poisson, %d unknowns, %d nonzeros, target %.0e\n\n", m.N, m.NNZ(), *tol)
+
+	x := make([]float64, m.N)
+	stCG := solvers.CG(m, b, x, *tol, 20000)
+	fmt.Printf("double CG        : %4d iters, residual %.2e, flops f64=%d f32=%d\n",
+		stCG.InnerIterations, stCG.RelResidual, stCG.Counters.Flops64, stCG.Counters.Flops32)
+
+	_, st32 := solvers.CG32(m, b, *tol, 20000)
+	fmt.Printf("single CG        : %4d iters, residual %.2e  ← stalls at single round-off\n",
+		st32.InnerIterations, st32.RelResidual)
+
+	_, stIR := solvers.SolveIR(m, b, solvers.IROptions{Tol: *tol})
+	fmt.Printf("mixed IR         : %d outer × %d inner, residual %.2e, %.0f%% of flops single\n",
+		stIR.OuterIterations, stIR.InnerIterations, stIR.RelResidual, 100*stIR.SingleFlopFraction())
+
+	costCG := float64(stCG.Counters.Flops64)
+	costIR := float64(stIR.Counters.Flops64) + 0.5*float64(stIR.Counters.Flops32)
+	fmt.Printf("\nbandwidth-weighted cost (f32 = ½ f64): CG %.3g, IR %.3g → IR saves %.0f%%\n",
+		costCG, costIR, 100*(1-costIR/costCG))
+	fmt.Println("— the paper's thesis on another algorithm class: spend precision only")
+	fmt.Println("  where the numerics demand it (the residual), run the bulk reduced.")
+}

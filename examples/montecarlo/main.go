@@ -1,0 +1,51 @@
+// Montecarlo prices a European call option by simulation at different
+// precision treatments — the paper's prior-work thread ([10], mixed-
+// precision Monte Carlo for financial engineering) and a third algorithm
+// class for the precision methodology: per-path math tolerates single
+// precision (sampling noise dominates), but a long naive single-precision
+// accumulation visibly biases the price until a reproducible sum (§III.C)
+// protects it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro"
+	"repro/internal/montecarlo"
+	"repro/internal/reduce"
+)
+
+func main() {
+	paths := flag.Int("paths", 1<<20, "Monte Carlo paths")
+	flag.Parse()
+
+	p := montecarlo.Params{S0: 100, Strike: 105, Rate: 0.02, Vol: 0.25, T: 1}
+	fmt.Printf("European call: S0=%.0f K=%.0f r=%.2f σ=%.2f T=%.0fy — Black–Scholes %.6f\n\n",
+		p.S0, p.Strike, p.Rate, p.Vol, p.T, p.BlackScholesCall())
+
+	configs := []struct {
+		label string
+		cfg   montecarlo.Config
+	}{
+		{"double paths + Neumaier sum", montecarlo.Config{Paths: *paths, Seed: 1, PathMode: repro.Full, SumMethod: reduce.Neumaier}},
+		{"single paths + reproducible sum", montecarlo.Config{Paths: *paths, Seed: 1, PathMode: repro.Min, SumMethod: reduce.Reproducible}},
+		{"single paths + naive f32 sum", montecarlo.Config{Paths: *paths, Seed: 1, PathMode: repro.Min, SumMethod: reduce.Naive}},
+	}
+	for _, c := range configs {
+		res, err := montecarlo.Price(p, c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		bias, err := montecarlo.AccumulationBias(p, c.cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-34s price %.6f  (vs BS %.2e, accumulation bias %.2e)\n",
+			c.label, res.Price, res.RelError, bias)
+	}
+	fmt.Println("\nthe paper's pattern, third algorithm class: demote the local math,")
+	fmt.Println("protect the global reduction (§III.C) — the naive single-precision")
+	fmt.Println("sum is the only configuration whose error is numerical, not statistical.")
+}

@@ -1,0 +1,67 @@
+// Precisiontuner shows the §III.B tool story end-to-end: an automated
+// search assigns per-variable precisions to a CLAMR-like flux kernel, then
+// the paper's heuristic (§VIII) is compared against the search result.
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro"
+	"repro/internal/tuner"
+)
+
+// miniFlux is a one-dimensional shallow-water flux sweep with a mass
+// audit: the structure of CLAMR's finite_diff in eight tunable variables.
+func miniFlux(r *tuner.Rounder) []float64 {
+	const n = 512
+	g := r.R("gravity", 9.8)
+	h := make([]float64, n)
+	hu := make([]float64, n)
+	for i := range h {
+		x := float64(i) / n
+		h[i] = r.R("state_h", 2+8*math.Exp(-(x-0.5)*(x-0.5)*50))
+		hu[i] = r.R("state_hu", 0.1*math.Sin(6.28*x)*h[i])
+	}
+	var mass float64
+	newH := make([]float64, n)
+	for i := 1; i < n-1; i++ {
+		uL := r.R("vel", hu[i-1]/h[i-1])
+		uR := r.R("vel", hu[i+1]/h[i+1])
+		cL := r.R("wavespeed", math.Sqrt(g*h[i-1]))
+		cR := r.R("wavespeed", math.Sqrt(g*h[i+1]))
+		s := math.Max(math.Abs(uL)+cL, math.Abs(uR)+cR)
+		fL := r.R("flux", hu[i-1]+0.5*s*(h[i]-h[i-1]))
+		fR := r.R("flux", hu[i+1]-0.5*s*(h[i+1]-h[i]))
+		newH[i] = r.R("update", h[i]-0.001*(fR-fL))
+		// The audit accumulates the per-cell mass *change* — a global sum
+		// of small cancelling terms, the paper's §III.C sensitive spot.
+		mass = r.R("mass_sum", mass+(newH[i]-h[i]))
+	}
+	return []float64{mass, newH[n/4], newH[n/2]}
+}
+
+func main() {
+	tn, err := tuner.New(miniFlux)
+	if err != nil {
+		log.Fatal(err)
+	}
+	res := tn.SearchGreedy(1e-6)
+	fmt.Println("Automated mixed-precision search over a shallow-water flux kernel")
+	fmt.Println("(bound: 1e-6 relative on mass audit and sampled heights)")
+	fmt.Println()
+	fmt.Print(res)
+	fmt.Printf("\nweighted cost saving vs all-double: %.0f%%\n\n", 100*res.Saving())
+
+	// Compare with the paper's coarse heuristic for this workload class.
+	sumKeptWide := res.Assignment["mass_sum"] == tuner.Double
+	rec := repro.RecommendMode(6, true, 2, sumKeptWide)
+	fmt.Printf("paper §VIII heuristic for the same workload: %v\n", rec)
+	if sumKeptWide {
+		fmt.Println("(the search independently keeps the global mass audit wide — the")
+		fmt.Println(" paper's §III.C conclusion — while demoting the local flux math)")
+	} else {
+		fmt.Println("(at this bound even the mass audit tolerates reduced precision)")
+	}
+}

@@ -1,0 +1,232 @@
+package analysis
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func lin(n int, f func(x float64) float64) Series {
+	x := make([]float64, n)
+	y := make([]float64, n)
+	for i := range x {
+		x[i] = float64(i) / float64(n-1)
+		y[i] = f(x[i])
+	}
+	s, _ := NewSeries("s", x, y)
+	return s
+}
+
+func TestNewSeriesValidation(t *testing.T) {
+	if _, err := NewSeries("a", []float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := NewSeries("a", nil, nil); err == nil {
+		t.Error("empty series accepted")
+	}
+	if _, err := NewSeries("a", []float64{1, 1}, []float64{0, 0}); err == nil {
+		t.Error("non-increasing x accepted")
+	}
+	s, err := NewSeries("ok", []float64{0, 1}, []float64{2, 3})
+	if err != nil || s.Len() != 2 {
+		t.Errorf("valid series rejected: %v", err)
+	}
+}
+
+func TestNormsAndAt(t *testing.T) {
+	s := lin(101, func(x float64) float64 { return 2 * x })
+	if got := s.MaxAbs(); got != 2 {
+		t.Errorf("MaxAbs = %g", got)
+	}
+	// RMS of 2x over [0,1] ≈ 2/√3.
+	if got := s.L2(); math.Abs(got-2/math.Sqrt(3)) > 0.02 {
+		t.Errorf("L2 = %g", got)
+	}
+	if got := s.At(0.25); math.Abs(got-0.5) > 1e-12 {
+		t.Errorf("At(0.25) = %g", got)
+	}
+	// Clamping outside the domain.
+	if s.At(-1) != 0 || s.At(2) != 2 {
+		t.Error("At did not clamp")
+	}
+	// Exact grid point.
+	if got := s.At(s.X[50]); math.Abs(got-s.Y[50]) > 1e-12 {
+		t.Errorf("At(grid) = %g want %g", got, s.Y[50])
+	}
+}
+
+func TestDiff(t *testing.T) {
+	a := lin(64, func(x float64) float64 { return math.Sin(6 * x) })
+	b := lin(64, func(x float64) float64 { return math.Sin(6*x) + 1e-6 })
+	d := Diff(a, b)
+	if d.Len() != a.Len() {
+		t.Fatalf("diff length %d", d.Len())
+	}
+	for i := range d.Y {
+		if math.Abs(d.Y[i]+1e-6) > 1e-12 {
+			t.Fatalf("diff[%d] = %g, want -1e-6", i, d.Y[i])
+		}
+	}
+	if !strings.Contains(d.Label, "-") {
+		t.Error("diff label not descriptive")
+	}
+	// Different grids resample.
+	c := lin(37, func(x float64) float64 { return math.Sin(6 * x) })
+	d2 := Diff(a, c)
+	if d2.MaxAbs() > 1e-2 {
+		t.Errorf("cross-grid diff too large: %g", d2.MaxAbs())
+	}
+}
+
+func TestAsymmetry(t *testing.T) {
+	// A symmetric function has zero asymmetry.
+	sym := lin(101, func(x float64) float64 { return math.Cos(8 * (x - 0.5)) })
+	a := Asymmetry(sym)
+	if a.Len() == 0 {
+		t.Fatal("no asymmetry samples")
+	}
+	if a.MaxAbs() > 1e-12 {
+		t.Errorf("symmetric series has asymmetry %g", a.MaxAbs())
+	}
+	// An antisymmetric perturbation shows up at twice its amplitude.
+	pert := lin(101, func(x float64) float64 {
+		return math.Cos(8*(x-0.5)) + 1e-5*(x-0.5)
+	})
+	ap := Asymmetry(pert)
+	if ap.MaxAbs() < 5e-6 || ap.MaxAbs() > 2e-5 {
+		t.Errorf("asymmetry amplitude %g", ap.MaxAbs())
+	}
+	// Distances are positive and increasing.
+	for i := range ap.X {
+		if ap.X[i] <= 0 {
+			t.Fatal("non-positive distance")
+		}
+		if i > 0 && ap.X[i] <= ap.X[i-1] {
+			t.Fatal("distances not increasing")
+		}
+	}
+}
+
+func TestOrdersBelow(t *testing.T) {
+	ref := lin(11, func(x float64) float64 { return 10 })
+	diff := lin(11, func(x float64) float64 { return 1e-5 })
+	if got := OrdersBelow(diff, ref); math.Abs(got-6) > 0.01 {
+		t.Errorf("OrdersBelow = %g, want 6", got)
+	}
+	zero := lin(11, func(x float64) float64 { return 0 })
+	if !math.IsInf(OrdersBelow(zero, ref), 1) {
+		t.Error("zero diff not +Inf orders below")
+	}
+	if OrdersBelow(diff, zero) != 0 {
+		t.Error("zero reference not 0 orders")
+	}
+}
+
+func TestBiasAndPositiveFraction(t *testing.T) {
+	pos := lin(50, func(x float64) float64 { return 1 + x })
+	if pos.PositiveFraction() != 1 {
+		t.Error("all-positive series fraction != 1")
+	}
+	if pos.Bias() <= 0 {
+		t.Error("positive series has non-positive bias")
+	}
+	mixed := lin(51, func(x float64) float64 { return x - 0.5 })
+	f := mixed.PositiveFraction()
+	if f < 0.45 || f > 0.55 {
+		t.Errorf("balanced series fraction %g", f)
+	}
+	if math.Abs(mixed.Bias()) > 1e-12 {
+		t.Errorf("balanced series bias %g", mixed.Bias())
+	}
+	var empty Series
+	if empty.Bias() != 0 || empty.PositiveFraction() != 0 {
+		t.Error("empty series bias/fraction nonzero")
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	a := lin(5, func(x float64) float64 { return x })
+	b := lin(5, func(x float64) float64 { return 2 * x })
+	a.Label, b.Label = "one", "two"
+	var sb strings.Builder
+	if err := WriteCSV(&sb, a, b); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("CSV has %d lines", len(lines))
+	}
+	if lines[0] != "x,one,two" {
+		t.Errorf("header %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "0,0,0") {
+		t.Errorf("first row %q", lines[1])
+	}
+	if err := WriteCSV(&sb); err == nil {
+		t.Error("empty CSV accepted")
+	}
+}
+
+func TestASCIIPlot(t *testing.T) {
+	s := lin(64, func(x float64) float64 { return math.Sin(2 * math.Pi * x) })
+	s.Label = "sine"
+	out := ASCIIPlot(12, 60, s)
+	if !strings.Contains(out, "sine") {
+		t.Error("legend missing")
+	}
+	if !strings.Contains(out, "*") {
+		t.Error("no data glyphs")
+	}
+	if len(strings.Split(out, "\n")) < 14 {
+		t.Error("plot too short")
+	}
+	// Degenerate sizes are clamped, flat series don't divide by zero.
+	flat := lin(4, func(x float64) float64 { return 1 })
+	_ = ASCIIPlot(1, 4, flat)
+}
+
+func TestHeatmap(t *testing.T) {
+	const nx, ny = 16, 12
+	field := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			field[j*nx+i] = float64(j) // vertical gradient
+		}
+	}
+	out, err := Heatmap(field, nx, ny, 6, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out), "\n")
+	if len(lines) != 8 { // max + 6 rows + min
+		t.Fatalf("heatmap has %d lines:\n%s", len(lines), out)
+	}
+	if !strings.Contains(lines[0], "max") || !strings.Contains(lines[7], "min") {
+		t.Error("range annotations missing")
+	}
+	// Top row (high j) must be darker than the bottom row.
+	dark := strings.Count(lines[1], "@") + strings.Count(lines[1], "%")
+	light := strings.Count(lines[6], " ")
+	if dark == 0 || light == 0 {
+		t.Errorf("gradient not rendered: top %q bottom %q", lines[1], lines[6])
+	}
+	// NaN cells render as '?'.
+	field[5*nx+3] = math.NaN()
+	out, err = Heatmap(field, nx, ny, 12, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out, "?") {
+		t.Error("NaN cell not marked")
+	}
+	// Errors.
+	if _, err := Heatmap(field[:5], nx, ny, 4, 8); err == nil {
+		t.Error("mismatched field accepted")
+	}
+	// Constant field must not divide by zero.
+	flat := make([]float64, 4)
+	if _, err := Heatmap(flat, 2, 2, 2, 4); err != nil {
+		t.Errorf("flat field: %v", err)
+	}
+}

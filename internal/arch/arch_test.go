@@ -1,0 +1,182 @@
+package arch
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/metrics"
+)
+
+// clamrLike builds a workload shaped like a CLAMR run at the given storage
+// width (bytes/scalar) and compute width.
+func clamrLike(storageBytes, computeBytes int, vectorized bool) Workload {
+	const cells = 4_000_000
+	const faces = 2 * cells
+	c := metrics.Counters{
+		LoadBytes:      uint64(faces * 6 * storageBytes),
+		StoreBytes:     uint64(cells * 3 * storageBytes),
+		KernelLaunches: 200,
+	}
+	flops := uint64(faces*30 + cells*9)
+	transc := uint64(faces * 2)
+	if computeBytes == 8 {
+		c.Flops64, c.Transcendental64 = flops, transc
+	} else {
+		c.Flops32, c.Transcendental32 = flops, transc
+	}
+	if storageBytes != computeBytes {
+		c.Conversions = uint64(faces * 6)
+	}
+	return Workload{
+		Counters:   c,
+		Vectorized: vectorized,
+		SerialOps:  cells,
+		StateBytes: uint64(cells * 3 * storageBytes),
+	}
+}
+
+func TestGPUPrecisionSpeedupShape(t *testing.T) {
+	min := clamrLike(4, 4, true)
+	full := clamrLike(8, 8, true)
+	// TITAN X (32:1 SP:DP) must show a much larger min-vs-full speedup
+	// than the K40m (3:1), which in turn beats the CPUs (paper Table I:
+	// 453% vs 261% vs ~20%).
+	su := func(s Spec) float64 {
+		return float64(s.Predict(full)) / float64(s.Predict(min))
+	}
+	titan, k40, hsw := su(TitanX), su(TeslaK40m), su(Haswell)
+	if !(titan > k40 && k40 > hsw) {
+		t.Errorf("speedup ordering wrong: titan %.2f k40 %.2f haswell %.2f", titan, k40, hsw)
+	}
+	if titan < 2.0 {
+		t.Errorf("TITAN X speedup %.2f, want ≳2 (32:1 DP penalty)", titan)
+	}
+	if hsw < 1.05 || hsw > 1.6 {
+		t.Errorf("Haswell speedup %.2f, want modest", hsw)
+	}
+}
+
+func TestVectorizationInteraction(t *testing.T) {
+	// Paper Table III: scalar code gains little from single precision
+	// (~12%), vectorized code gains a lot (~1.9×).
+	minScalar := clamrLike(4, 4, false)
+	fullScalar := clamrLike(8, 8, false)
+	minVec := clamrLike(4, 4, true)
+	fullVec := clamrLike(8, 8, true)
+	scalarGain := float64(Haswell.Predict(fullScalar)) / float64(Haswell.Predict(minScalar))
+	vecGain := float64(Haswell.Predict(fullVec)) / float64(Haswell.Predict(minVec))
+	if scalarGain >= vecGain {
+		t.Errorf("scalar gain %.2f not below vectorized gain %.2f", scalarGain, vecGain)
+	}
+	// Vectorizing itself speeds the code up.
+	if Haswell.Predict(fullVec) >= Haswell.Predict(fullScalar) {
+		t.Error("vectorization did not help")
+	}
+}
+
+func TestMixedBehavesLikeFullComputeMinMemory(t *testing.T) {
+	// Paper Table I GPU rows: mixed runtime ≈ full runtime (compute in
+	// double dominates) while memory footprint matches min.
+	mixed := clamrLike(4, 8, true)
+	full := clamrLike(8, 8, true)
+	min := clamrLike(4, 4, true)
+	tm, tf, tmin := TeslaK40m.Predict(mixed), TeslaK40m.Predict(full), TeslaK40m.Predict(min)
+	if float64(tm) < 0.7*float64(tf) {
+		t.Errorf("mixed (%v) much faster than full (%v) on K40m — should be compute-bound", tm, tf)
+	}
+	if float64(tm) < float64(tmin) {
+		t.Errorf("mixed (%v) faster than min (%v)", tm, tmin)
+	}
+	if mixed.StateBytes != min.StateBytes {
+		t.Error("mixed state bytes differ from min")
+	}
+}
+
+func TestEnergyIsPowerTimesTime(t *testing.T) {
+	d := 10 * time.Second
+	if got := Haswell.Energy(d); got != 105*10 {
+		t.Errorf("Haswell energy = %g", got)
+	}
+	if got := TitanX.Energy(time.Second); got != 250 {
+		t.Errorf("TitanX energy = %g", got)
+	}
+}
+
+func TestEnergyOrderingFollowsPaper(t *testing.T) {
+	// Table II shape: GPUs at min precision use far less energy than CPUs
+	// at any precision for the same workload.
+	min := clamrLike(4, 4, true)
+	full := clamrLike(8, 8, true)
+	gpuMin := TitanX.Energy(TitanX.Predict(min))
+	cpuFull := Haswell.Energy(Haswell.Predict(full))
+	if gpuMin >= cpuFull {
+		t.Errorf("TITAN X min energy %.0f J not below Haswell full %.0f J", gpuMin, cpuFull)
+	}
+	// Min always at or below full on the same platform.
+	for _, s := range SELFSpecs {
+		if s.Energy(s.Predict(min)) > s.Energy(s.Predict(full)) {
+			t.Errorf("%s: min energy above full", s.Name)
+		}
+	}
+}
+
+func TestTable(t *testing.T) {
+	min := clamrLike(4, 4, true)
+	full := clamrLike(8, 8, true)
+	rows := Table(CLAMRSpecs, []Workload{min, full})
+	if len(rows) != len(CLAMRSpecs) {
+		t.Fatalf("%d rows", len(rows))
+	}
+	for _, r := range rows {
+		if len(r.Times) != 2 || len(r.Energy) != 2 || len(r.MemGB) != 2 {
+			t.Fatalf("row %s malformed: %+v", r.Arch, r)
+		}
+		if r.Speedup < 1 {
+			t.Errorf("%s speedup %.2f < 1", r.Arch, r.Speedup)
+		}
+		if r.MemGB[0] >= r.MemGB[1] {
+			t.Errorf("%s memory not smaller at min", r.Arch)
+		}
+	}
+}
+
+func TestFitsInMemory(t *testing.T) {
+	small := Workload{StateBytes: 1 << 30}
+	huge := Workload{StateBytes: 1 << 45}
+	if !TeslaK40m.FitsInMemory(small) {
+		t.Error("1 GiB reported not fitting in 12 GB")
+	}
+	if TeslaK40m.FitsInMemory(huge) {
+		t.Error("32 TiB reported fitting in 12 GB")
+	}
+}
+
+func TestFindSpec(t *testing.T) {
+	s, err := FindSpec("Tesla P100")
+	if err != nil || s.DPPeakGF != 5300 {
+		t.Errorf("FindSpec P100: %+v, %v", s, err)
+	}
+	if _, err := FindSpec("Cray-1"); err == nil {
+		t.Error("FindSpec accepted unknown platform")
+	}
+}
+
+func TestClassString(t *testing.T) {
+	if CPU.String() != "CPU" || GPU.String() != "GPU" {
+		t.Error("class names wrong")
+	}
+}
+
+func TestLaunchOverheadMatters(t *testing.T) {
+	// A tiny workload with many launches is launch-bound on GPUs.
+	w := Workload{Counters: metrics.Counters{Flops32: 1000, KernelLaunches: 1_000_000}}
+	tGPU := TeslaK40m.Predict(w)
+	if tGPU < 5*time.Second {
+		t.Errorf("launch overhead missing: %v", tGPU)
+	}
+	wCPU := TeslaK40m
+	wCPU.LaunchOverhead = 0
+	if wCPU.Predict(w) > time.Second {
+		t.Error("zero-overhead spec still launch-bound")
+	}
+}

@@ -1,0 +1,208 @@
+package checkpoint
+
+import (
+	"bytes"
+	"math"
+	"testing"
+
+	"repro/internal/fp16"
+)
+
+func TestRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "clamr", 42, 1.5)
+	h64 := []float64{1, 2.5, -3, math.Pi}
+	h32 := []float32{0.5, -0.25}
+	h16 := fp16.FromSlice64([]float64{1, 2, 65504})
+	ids := []int32{-1, 0, 7}
+	w.AddF64("h64", h64)
+	w.AddF32("h32", h32)
+	w.AddF16("h16", h16)
+	w.AddI32("ids", ids)
+	n, err := w.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(buf.Len()) {
+		t.Errorf("Flush reported %d bytes, wrote %d", n, buf.Len())
+	}
+
+	ck, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ck.Header.App != "clamr" || ck.Header.Step != 42 || ck.Header.Time != 1.5 {
+		t.Errorf("header %+v", ck.Header)
+	}
+	got64, err := ck.Float64Array("h64")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range h64 {
+		if got64[i] != h64[i] {
+			t.Errorf("h64[%d] = %g", i, got64[i])
+		}
+	}
+	got32, err := ck.Float64Array("h32")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got32[0] != 0.5 || got32[1] != -0.25 {
+		t.Errorf("h32 = %v", got32)
+	}
+	got16, err := ck.Float64Array("h16")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got16[2] != 65504 {
+		t.Errorf("h16 = %v", got16)
+	}
+	gotIDs, err := ck.Int32Array("ids")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotIDs[0] != -1 || gotIDs[2] != 7 {
+		t.Errorf("ids = %v", gotIDs)
+	}
+}
+
+func TestSizeScalesWithPrecision(t *testing.T) {
+	// The same logical state written at f32 must be roughly half the f64
+	// payload (the paper's 2/3 total comes from fixed-width metadata).
+	n := 10000
+	xs64 := make([]float64, n)
+	xs32 := make([]float32, n)
+	meta := make([]int32, n)
+
+	var full, min bytes.Buffer
+	wf := NewWriter(&full, "t", 0, 0)
+	wf.AddF64("a", xs64)
+	wf.AddF64("b", xs64)
+	wf.AddF64("c", xs64)
+	wf.AddI32("meta", meta)
+	nFull, err := wf.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	wm := NewWriter(&min, "t", 0, 0)
+	wm.AddF32("a", xs32)
+	wm.AddF32("b", xs32)
+	wm.AddF32("c", xs32)
+	wm.AddI32("meta", meta)
+	nMin, err := wm.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(nMin) / float64(nFull)
+	// 3×4+4 over 3×8+4 = 16/28 ≈ 0.571 plus a few header bytes.
+	if ratio < 0.5 || ratio > 0.65 {
+		t.Errorf("min/full checkpoint ratio = %.3f", ratio)
+	}
+}
+
+func TestErrors(t *testing.T) {
+	if _, err := Read(bytes.NewReader([]byte("short"))); err == nil {
+		t.Error("Read accepted truncated magic")
+	}
+	bad := append([]byte("XXXXXXXX"), 0, 0, 0, 0)
+	if _, err := Read(bytes.NewReader(bad)); err == nil {
+		t.Error("Read accepted bad magic")
+	}
+	// Truncated payload.
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "t", 0, 0)
+	w.AddF64("a", make([]float64, 100))
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()-10]
+	if _, err := Read(bytes.NewReader(trunc)); err == nil {
+		t.Error("Read accepted truncated payload")
+	}
+	// Missing / mistyped arrays.
+	buf.Reset()
+	w = NewWriter(&buf, "t", 0, 0)
+	w.AddI32("ints", []int32{1})
+	if _, err := w.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	ck, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ck.Float64Array("missing"); err == nil {
+		t.Error("Float64Array found a missing array")
+	}
+	if _, err := ck.Float64Array("ints"); err == nil {
+		t.Error("Float64Array widened an int array")
+	}
+	if _, err := ck.Int32Array("missing"); err == nil {
+		t.Error("Int32Array found a missing array")
+	}
+}
+
+func TestElemKindSizes(t *testing.T) {
+	if F16.Size() != 2 || F32.Size() != 4 || F64.Size() != 8 || I32.Size() != 4 {
+		t.Error("element sizes wrong")
+	}
+	if ElemKind("bogus").Size() != 0 {
+		t.Error("unknown kind has nonzero size")
+	}
+}
+
+func TestCompressedFieldRoundTrip(t *testing.T) {
+	const nx, ny = 24, 20
+	field := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			field[j*nx+i] = 5 + math.Sin(float64(i)/3)*math.Cos(float64(j)/4)
+		}
+	}
+	var buf bytes.Buffer
+	w := NewWriter(&buf, "dump", 3, 0.25)
+	if err := w.AddF64Compressed("height", field, nx, ny, 16); err != nil {
+		t.Fatal(err)
+	}
+	w.AddF64("exact", field) // mixing compressed and exact arrays
+	n, err := w.Flush()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The file holds one exact array (8 B/value) plus one compressed
+	// array: the total must sit well below two raw arrays.
+	if n > int64(nx*ny*8)+int64(nx*ny)*3 {
+		t.Errorf("compressed checkpoint %d bytes — compression ineffective", n)
+	}
+	ck, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := ck.Float64Array("height")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != nx*ny {
+		t.Fatalf("decompressed length %d", len(got))
+	}
+	worst := 0.0
+	for i := range field {
+		if d := math.Abs(got[i] - field[i]); d > worst {
+			worst = d
+		}
+	}
+	if worst > 1e-4 {
+		t.Errorf("compressed field error %g", worst)
+	}
+	exact, err := ck.Float64Array("exact")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if exact[7] != field[7] {
+		t.Error("exact array corrupted by compressed sibling")
+	}
+	// Bad rate propagates as an error.
+	w2 := NewWriter(&bytes.Buffer{}, "dump", 0, 0)
+	if err := w2.AddF64Compressed("x", field, nx, ny, 1); err == nil {
+		t.Error("invalid rate accepted")
+	}
+}

@@ -1,0 +1,516 @@
+// Package clamr implements a cell-based AMR shallow-water mini-app modeled
+// on LANL's CLAMR: the hydrodynamics the paper runs its CLAMR precision
+// study on. The solver integrates the 2-D shallow water equations with a
+// finite-volume Rusanov scheme on the quadtree mesh of internal/mesh,
+// refining on height gradients, with reflective walls — the cylindrical
+// dam-break configuration of the paper's §V.A.
+//
+// Precision follows the paper's compile options exactly, expressed as the
+// two generic parameters of Solver[S, C]: S is the storage type of the
+// large physical state arrays and C the type local calculations promote to.
+//
+//	Min   — Solver[float32, float32]
+//	Mixed — Solver[float32, float64]
+//	Full  — Solver[float64, float64]
+//
+// Two interchangeable implementations of the dominant finite-difference
+// kernel are provided (the paper's Table III vectorization study): a
+// cell-centric scalar kernel that gathers neighbors per cell and computes
+// each face flux twice (the "unvectorized" profile), and a face-centric
+// kernel over precomputed SoA face lists with unrolled inner loops and
+// single flux evaluation (the "vectorized" profile).
+package clamr
+
+import (
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/checkpoint"
+	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/par"
+	"repro/internal/precision"
+	"repro/internal/reduce"
+)
+
+// Kernel selects the finite-difference implementation.
+type Kernel int
+
+const (
+	// KernelCell is the cell-centric scalar kernel ("unvectorized").
+	KernelCell Kernel = iota
+	// KernelFace is the face-centric SoA kernel ("vectorized").
+	KernelFace
+)
+
+// String names the kernel as the vectorization study labels it.
+func (k Kernel) String() string {
+	if k == KernelFace {
+		return "vectorized"
+	}
+	return "unvectorized"
+}
+
+// Config describes a CLAMR run.
+type Config struct {
+	// NX, NY are the coarse-grid dimensions.
+	NX, NY int
+	// MaxLevel is the number of AMR levels above the coarse grid.
+	MaxLevel int
+	// Bounds is the physical domain; zero value means [0,1]².
+	Bounds mesh.Bounds
+	// Gravity is the gravitational acceleration (default 9.80).
+	Gravity float64
+	// Courant is the CFL number (default 0.25).
+	Courant float64
+	// Kernel selects the finite-difference implementation.
+	Kernel Kernel
+	// AMRInterval is the number of steps between mesh adaptations;
+	// 0 disables AMR after initial refinement.
+	AMRInterval int
+	// RefineTol and CoarsenTol are relative height-jump thresholds for
+	// refinement and coarsening (defaults 0.02 and 0.004).
+	RefineTol, CoarsenTol float64
+	// InitialAdaptPasses refines the initial condition this many times so
+	// the starting mesh resolves the dam wall (default MaxLevel).
+	InitialAdaptPasses int
+	// Workers runs the finite-difference, update and timestep passes
+	// fork-join parallel over this many goroutines (≤1 = serial). The
+	// parallel sweeps are bit-identical to the serial ones at any worker
+	// count (disjoint writes; exact min-reduction; fixed scatter order).
+	Workers int
+}
+
+func (c *Config) setDefaults() {
+	if c.Bounds == (mesh.Bounds{}) {
+		c.Bounds = mesh.UnitBounds
+	}
+	if c.Gravity == 0 {
+		c.Gravity = 9.80
+	}
+	if c.Courant == 0 {
+		c.Courant = 0.25
+	}
+	if c.RefineTol == 0 {
+		c.RefineTol = 0.02
+	}
+	if c.CoarsenTol == 0 {
+		c.CoarsenTol = 0.004
+	}
+	if c.InitialAdaptPasses == 0 {
+		c.InitialAdaptPasses = c.MaxLevel
+	}
+}
+
+// InitialCondition maps a physical point to primitive state
+// (height, x-velocity, y-velocity).
+type InitialCondition func(x, y float64) (h, u, v float64)
+
+// DamBreak returns the paper's cylindrical dam-break initial condition: a
+// column of height hIn and radius r centered in the domain over a
+// background of height hOut, with a smooth transition of width w to keep
+// the initial data resolvable (w ≤ 0 selects a sharp step).
+func DamBreak(b mesh.Bounds, hIn, hOut, r, w float64) InitialCondition {
+	cx := (b.XMin + b.XMax) / 2
+	cy := (b.YMin + b.YMax) / 2
+	return func(x, y float64) (float64, float64, float64) {
+		d := math.Hypot(x-cx, y-cy)
+		if w <= 0 {
+			if d < r {
+				return hIn, 0, 0
+			}
+			return hOut, 0, 0
+		}
+		h := hOut + (hIn-hOut)*0.5*(1-math.Tanh((d-r)/w))
+		return h, 0, 0
+	}
+}
+
+// Solver integrates the shallow water equations with storage precision S
+// and compute precision C.
+type Solver[S, C precision.Real] struct {
+	cfg  Config
+	mesh *mesh.Mesh
+
+	// Conserved state: height, x-momentum, y-momentum (the "large physical
+	// state arrays" the paper's mixed mode keeps in single precision).
+	h, hu, hv []S
+	// RHS accumulators. Stored at storage precision like every other large
+	// array (the paper's mixed mode promotes only local calculations);
+	// flux arithmetic happens in C and rounds on accumulation.
+	dh, dhu, dhv []S
+
+	faces     faceList[C]
+	time      float64
+	step      int
+	counters  metrics.Counters
+	timer     *metrics.Timer
+	alloc     *metrics.AllocTracker
+	massDrift float64 // |mass(t)-mass(0)| / mass(0), updated by MassError
+	mass0     float64
+}
+
+// NewSolver creates a solver and applies the initial condition, including
+// the initial adaptation passes.
+func NewSolver[S, C precision.Real](cfg Config, ic InitialCondition) (*Solver[S, C], error) {
+	cfg.setDefaults()
+	m, err := mesh.New(cfg.NX, cfg.NY, cfg.MaxLevel, cfg.Bounds)
+	if err != nil {
+		return nil, fmt.Errorf("clamr: %w", err)
+	}
+	s := &Solver[S, C]{
+		cfg:   cfg,
+		mesh:  m,
+		timer: metrics.NewTimer(),
+		alloc: metrics.NewAllocTracker(),
+	}
+	s.applyIC(ic)
+	// Refine the initial condition so the dam wall is resolved at the
+	// finest level before time stepping begins.
+	for pass := 0; pass < cfg.InitialAdaptPasses; pass++ {
+		if err := s.adapt(); err != nil {
+			return nil, err
+		}
+		s.applyIC(ic) // re-evaluate analytically on the finer mesh
+	}
+	s.rebuildWorkspace()
+	s.mass0 = s.Mass()
+	return s, nil
+}
+
+// applyIC evaluates the initial condition at every cell center.
+func (s *Solver[S, C]) applyIC(ic InitialCondition) {
+	n := s.mesh.NumCells()
+	s.h = make([]S, n)
+	s.hu = make([]S, n)
+	s.hv = make([]S, n)
+	for i := 0; i < n; i++ {
+		x, y := s.mesh.Center(i)
+		h, u, v := ic(x, y)
+		s.h[i] = S(h)
+		s.hu[i] = S(h * u)
+		s.hv[i] = S(h * v)
+	}
+}
+
+// rebuildWorkspace resizes scratch arrays and the face list after the mesh
+// changes, and refreshes the memory accounting.
+func (s *Solver[S, C]) rebuildWorkspace() {
+	n := s.mesh.NumCells()
+	s.dh = make([]S, n)
+	s.dhu = make([]S, n)
+	s.dhv = make([]S, n)
+	s.faces = buildFaceList[C](s.mesh)
+
+	var sv S
+	var cv C
+	sBytes := uint64(unsafeSizeof(sv))
+	cBytes := uint64(unsafeSizeof(cv))
+	for _, label := range []string{"state", "rhs", "mesh", "faces"} {
+		s.alloc.Release(label, ^uint64(0))
+	}
+	s.alloc.Register("state", 3*uint64(n)*sBytes)
+	s.alloc.Register("rhs", 3*uint64(n)*sBytes)
+	s.alloc.Register("mesh", uint64(n)*uint64(9+8)) // cells + hash entry estimate
+	nFaces := uint64(len(s.faces.xl) + len(s.faces.yb) + len(s.faces.bCell))
+	s.alloc.Register("faces", nFaces*(2*4+uint64(cBytes))+uint64(n)*uint64(cBytes))
+}
+
+// unsafeSizeof avoids importing unsafe for the two cases we need.
+func unsafeSizeof(v any) int {
+	switch v.(type) {
+	case float32:
+		return 4
+	case float64:
+		return 8
+	default:
+		return 8
+	}
+}
+
+// Mesh exposes the underlying AMR mesh.
+func (s *Solver[S, C]) Mesh() *mesh.Mesh { return s.mesh }
+
+// Time returns the current simulation time.
+func (s *Solver[S, C]) Time() float64 { return s.time }
+
+// StepCount returns the number of completed steps.
+func (s *Solver[S, C]) StepCount() int { return s.step }
+
+// Counters returns the accumulated operation counts.
+func (s *Solver[S, C]) Counters() metrics.Counters { return s.counters }
+
+// Timer returns the phase timer (buckets: finite_diff, timestep, amr).
+func (s *Solver[S, C]) Timer() *metrics.Timer { return s.timer }
+
+// StateBytes returns the tracked resident memory of the solver.
+func (s *Solver[S, C]) StateBytes() uint64 { return s.alloc.Current() }
+
+// HeightF64 returns the cell heights widened to float64.
+func (s *Solver[S, C]) HeightF64() []float64 {
+	out := make([]float64, len(s.h))
+	for i, v := range s.h {
+		out[i] = float64(v)
+	}
+	return out
+}
+
+// VelocityF64 returns cell velocities (u, v) widened to float64.
+func (s *Solver[S, C]) VelocityF64() (u, v []float64) {
+	u = make([]float64, len(s.h))
+	v = make([]float64, len(s.h))
+	for i := range s.h {
+		h := float64(s.h[i])
+		if h > 0 {
+			u[i] = float64(s.hu[i]) / h
+			v[i] = float64(s.hv[i]) / h
+		}
+	}
+	return u, v
+}
+
+// Mass returns the total water volume ∑ h·A computed with the reproducible
+// summation of internal/reduce — the paper's §III.C practice of raising the
+// precision of global sums while the rest of the computation runs reduced.
+func (s *Solver[S, C]) Mass() float64 {
+	terms := make([]float64, len(s.h))
+	for i := range s.h {
+		terms[i] = float64(s.h[i]) * s.mesh.Area(i)
+	}
+	return reduce.SumReproducible(terms)
+}
+
+// MassError returns |mass(t) − mass(0)| / mass(0).
+func (s *Solver[S, C]) MassError() float64 {
+	if s.mass0 == 0 {
+		return 0
+	}
+	s.massDrift = math.Abs(s.Mass()-s.mass0) / s.mass0
+	return s.massDrift
+}
+
+// Step advances one timestep: dt from the CFL condition, the finite
+// difference sweep, and (on schedule) mesh adaptation.
+func (s *Solver[S, C]) Step() error {
+	dt := s.computeDT()
+	if !(dt > 0) || math.IsInf(dt, 0) {
+		return fmt.Errorf("clamr: step %d: non-positive or non-finite dt %g (state blew up?)", s.step, dt)
+	}
+	done := s.timer.Phase("finite_diff")
+	switch s.cfg.Kernel {
+	case KernelFace:
+		s.finiteDiffFace(C(dt))
+	default:
+		s.finiteDiffCell(C(dt))
+	}
+	done()
+	s.time += dt
+	s.step++
+	if s.cfg.AMRInterval > 0 && s.step%s.cfg.AMRInterval == 0 {
+		doneAMR := s.timer.Phase("amr")
+		err := s.adapt()
+		s.rebuildWorkspace()
+		doneAMR()
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run advances n steps.
+func (s *Solver[S, C]) Run(n int) error {
+	for i := 0; i < n; i++ {
+		if err := s.Step(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// computeDT evaluates the CFL timestep at compute precision C.
+func (s *Solver[S, C]) computeDT() float64 {
+	done := s.timer.Phase("timestep")
+	defer done()
+	g := C(s.cfg.Gravity)
+	n := s.mesh.NumCells()
+	minRatio := par.MapReduce(s.cfg.Workers, n, func(lo, hi int) float64 {
+		m := math.Inf(1)
+		for i := lo; i < hi; i++ {
+			h := C(s.h[i])
+			if h <= 0 {
+				continue
+			}
+			u := C(s.hu[i]) / h
+			v := C(s.hv[i]) / h
+			c := C(math.Sqrt(float64(g * h)))
+			dx, dy := s.mesh.CellSize(s.mesh.Cell(i).Level)
+			rx := dx / float64(absC(u)+c)
+			ry := dy / float64(absC(v)+c)
+			if rx < m {
+				m = rx
+			}
+			if ry < m {
+				m = ry
+			}
+		}
+		return m
+	}, math.Min, math.Inf(1))
+	s.counters.Add(metrics.Counters{LoadBytes: uint64(n) * 3 * uint64(unsafeSizeofS[S]())})
+	s.addFlops(uint64(n)*8, 0)
+	s.addTranscendental(uint64(n))
+	return s.cfg.Courant * minRatio
+}
+
+func absC[C precision.Real](x C) C {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func unsafeSizeofS[S precision.Real]() int {
+	var v S
+	return unsafeSizeof(v)
+}
+
+// addFlops accounts flops at the compute width plus extra at storage width.
+func (s *Solver[S, C]) addFlops(compute, storage uint64) {
+	var cv C
+	if unsafeSizeof(cv) == 8 {
+		s.counters.Flops64 += compute
+	} else {
+		s.counters.Flops32 += compute
+	}
+	var sv S
+	if unsafeSizeof(sv) == 8 {
+		s.counters.Flops64 += storage
+	} else {
+		s.counters.Flops32 += storage
+	}
+}
+
+func (s *Solver[S, C]) addTranscendental(n uint64) {
+	var cv C
+	if unsafeSizeof(cv) == 8 {
+		s.counters.Transcendental64 += n
+	} else {
+		s.counters.Transcendental32 += n
+	}
+}
+
+// addConversions accounts S↔C conversions when the widths differ (the
+// mixed-precision promotion traffic).
+func (s *Solver[S, C]) addConversions(n uint64) {
+	var sv S
+	var cv C
+	if unsafeSizeof(sv) != unsafeSizeof(cv) {
+		s.counters.Conversions += n
+	}
+}
+
+// adapt flags cells on relative height jumps and rebuilds state across the
+// resulting remap.
+func (s *Solver[S, C]) adapt() error {
+	n := s.mesh.NumCells()
+	flags := make([]mesh.RefineFlag, n)
+	for i := 0; i < n; i++ {
+		hi := float64(s.h[i])
+		maxJump := 0.0
+		nb := s.mesh.Neighbors(i)
+		for side := mesh.Left; side <= mesh.Top; side++ {
+			for _, nIdx := range nb.On(side) {
+				if d := math.Abs(float64(s.h[nIdx]) - hi); d > maxJump {
+					maxJump = d
+				}
+			}
+		}
+		rel := maxJump / math.Max(hi, 1e-12)
+		switch {
+		case rel > s.cfg.RefineTol:
+			flags[i] = mesh.Refine
+		case rel < s.cfg.CoarsenTol:
+			flags[i] = mesh.Coarsen
+		}
+	}
+	plan, err := s.mesh.Adapt(flags)
+	if err != nil {
+		return fmt.Errorf("clamr: adapt: %w", err)
+	}
+	prolong := mesh.InjectProlong[S]()
+	restrict := mesh.MeanRestrict[S]()
+	s.h = mesh.ApplyRemap(plan, s.h, prolong, restrict)
+	s.hu = mesh.ApplyRemap(plan, s.hu, prolong, restrict)
+	s.hv = mesh.ApplyRemap(plan, s.hv, prolong, restrict)
+	return nil
+}
+
+// newCheckpointWriter starts a checkpoint with the mesh metadata arrays
+// (always fixed-width int32) already staged.
+func newCheckpointWriter[S, C precision.Real](w io.Writer, s *Solver[S, C]) *checkpoint.Writer {
+	cw := checkpoint.NewWriter(w, "clamr", s.step, s.time)
+	n := s.mesh.NumCells()
+	is := make([]int32, n)
+	js := make([]int32, n)
+	ls := make([]int32, n)
+	for i := 0; i < n; i++ {
+		c := s.mesh.Cell(i)
+		is[i], js[i], ls[i] = c.I, c.J, int32(c.Level)
+	}
+	cw.AddI32("cell_i", is)
+	cw.AddI32("cell_j", js)
+	cw.AddI32("cell_level", ls)
+	return cw
+}
+
+// WriteFieldDump writes a compressed analysis dump: the height field
+// rasterized to nx×ny and encoded with the fixed-rate zfp-style codec at
+// `rate` bits per value — the storage-saving option the paper's cost
+// section mentions via Lindstrom [34] but leaves unmodeled.
+func (s *Solver[S, C]) WriteFieldDump(w io.Writer, nx, ny, rate int) (int64, error) {
+	cw := checkpoint.NewWriter(w, "clamr-dump", s.step, s.time)
+	field, err := s.mesh.Rasterize(s.HeightF64(), nx, ny)
+	if err != nil {
+		return 0, fmt.Errorf("clamr: dump: %w", err)
+	}
+	if err := cw.AddF64Compressed("height", field, nx, ny, rate); err != nil {
+		return 0, fmt.Errorf("clamr: dump: %w", err)
+	}
+	n, err := cw.Flush()
+	if err != nil {
+		return n, err
+	}
+	s.counters.StoreBytes += uint64(n)
+	return n, nil
+}
+
+// WriteCheckpoint serialises mesh and state; state arrays are written at
+// the storage precision S, mesh metadata at fixed width — the size model
+// behind the paper's Table III checkpoint comparison.
+func (s *Solver[S, C]) WriteCheckpoint(w io.Writer) (int64, error) {
+	cw := newCheckpointWriter(w, s)
+	addState(cw, "h", s.h)
+	addState(cw, "hu", s.hu)
+	addState(cw, "hv", s.hv)
+	nBytes, err := cw.Flush()
+	if err != nil {
+		return nBytes, err
+	}
+	s.counters.StoreBytes += uint64(nBytes)
+	return nBytes, nil
+}
+
+// addState writes a state array at its native storage width.
+func addState[S precision.Real](cw *checkpoint.Writer, name string, xs []S) {
+	switch any(xs).(type) {
+	case []float32:
+		cw.AddF32(name, any(xs).([]float32))
+	default:
+		out := make([]float64, len(xs))
+		for i, x := range xs {
+			out[i] = float64(x)
+		}
+		cw.AddF64(name, out)
+	}
+}

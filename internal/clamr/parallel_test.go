@@ -1,0 +1,62 @@
+package clamr
+
+import (
+	"testing"
+
+	"repro/internal/precision"
+)
+
+// TestParallelBitwiseIdentical verifies the claim the Workers option makes:
+// parallel sweeps produce bit-identical state to the serial ones at every
+// worker count, for both kernels and all precision modes.
+func TestParallelBitwiseIdentical(t *testing.T) {
+	for _, kernel := range []Kernel{KernelCell, KernelFace} {
+		for _, mode := range []precision.Mode{precision.Min, precision.Full} {
+			run := func(workers int) []float64 {
+				cfg := Config{
+					NX: 32, NY: 32, MaxLevel: 1, Kernel: kernel,
+					AMRInterval: 10, Workers: workers,
+				}
+				r, err := New(mode, cfg, testIC(cfg))
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := r.Run(30); err != nil {
+					t.Fatal(err)
+				}
+				return r.HeightF64()
+			}
+			ref := run(1)
+			for _, workers := range []int{2, 3, 8} {
+				got := run(workers)
+				if len(got) != len(ref) {
+					t.Fatalf("%v/%v workers=%d: cell counts diverged", kernel, mode, workers)
+				}
+				for i := range ref {
+					if got[i] != ref[i] {
+						t.Fatalf("%v/%v workers=%d: cell %d differs: %x vs %x",
+							kernel, mode, workers, i, got[i], ref[i])
+					}
+				}
+			}
+		}
+	}
+}
+
+func BenchmarkParallelScaling(b *testing.B) {
+	for _, workers := range []int{1, 2, 4, 8} {
+		b.Run(map[int]string{1: "w1", 2: "w2", 4: "w4", 8: "w8"}[workers], func(b *testing.B) {
+			cfg := Config{NX: 128, NY: 128, MaxLevel: 0, Kernel: KernelFace, AMRInterval: 0, Workers: workers}
+			r, err := New(precision.Full, cfg, testIC(cfg))
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := r.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,118 @@
+package compiler
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/metrics"
+)
+
+// selfLike builds a nonvectorized SELF-shaped workload: transcendental-
+// heavy (one EOS pow per node per stage) plus dense derivative arithmetic.
+func selfLike(single bool) arch.Workload {
+	const nodes = 4_000_000 // nodes × stages aggregate
+	c := metrics.Counters{
+		LoadBytes:  nodes * 5 * 4 * 4,
+		StoreBytes: nodes * 5 * 4,
+	}
+	flops := uint64(nodes * 300)
+	transc := uint64(nodes)
+	if single {
+		c.Flops32, c.Transcendental32 = flops, transc
+	} else {
+		c.Flops64, c.Transcendental64 = flops, transc
+		c.LoadBytes *= 2
+		c.StoreBytes *= 2
+	}
+	return arch.Workload{Counters: c, Vectorized: false, SerialOps: nodes / 10}
+}
+
+func TestGNUInversion(t *testing.T) {
+	// Paper Table IV: with the GNU profile, nonvectorized single precision
+	// is SLOWER than double.
+	single := GNU.Predict(arch.Haswell, selfLike(true))
+	double := GNU.Predict(arch.Haswell, selfLike(false))
+	if single <= double {
+		t.Errorf("GNU single %.3fs not slower than double %.3fs", single, double)
+	}
+	// But not absurdly slower (paper: 304 vs 262, ≈16%).
+	if single > 1.6*double {
+		t.Errorf("GNU inversion too large: %.3f vs %.3f", single, double)
+	}
+}
+
+func TestIntelExpectedOrdering(t *testing.T) {
+	single := Intel.Predict(arch.Haswell, selfLike(true))
+	double := Intel.Predict(arch.Haswell, selfLike(false))
+	if single >= double {
+		t.Errorf("Intel single %.3fs not faster than double %.3fs", single, double)
+	}
+	// Paper: 186 vs 253, ≈26% faster.
+	gain := double / single
+	if gain < 1.1 || gain > 2.0 {
+		t.Errorf("Intel single gain %.2f outside plausible band", gain)
+	}
+}
+
+func TestDoublePrecisionNearlyCompilerIndependent(t *testing.T) {
+	// Paper: GNU double 262s vs Intel double 253s — within a few percent.
+	gnu := GNU.Predict(arch.Haswell, selfLike(false))
+	intel := Intel.Predict(arch.Haswell, selfLike(false))
+	ratio := gnu / intel
+	if ratio < 1.0 || ratio > 1.15 {
+		t.Errorf("double-precision compiler ratio %.3f, want slight Intel advantage", ratio)
+	}
+}
+
+func TestTransformCounterEffects(t *testing.T) {
+	w := arch.Workload{Counters: metrics.Counters{
+		Flops32: 1000, Transcendental32: 100,
+	}}
+	g := GNU.Transform(w).Counters
+	if g.Transcendental32 != 0 || g.Transcendental64 != 100 {
+		t.Errorf("GNU did not promote transcendentals: %+v", g)
+	}
+	if g.Conversions == 0 {
+		t.Error("GNU promotion recorded no conversions")
+	}
+	if g.Flops64 != 250 || g.Flops32 != 750 {
+		t.Errorf("GNU promoted-op split wrong: f32=%d f64=%d", g.Flops32, g.Flops64)
+	}
+	i := Intel.Transform(w).Counters
+	if i.Transcendental32 >= 100 {
+		t.Errorf("Intel single math not discounted: %d", i.Transcendental32)
+	}
+	if i.Transcendental64 != 0 || i.Conversions != 0 {
+		t.Errorf("Intel promoted something: %+v", i)
+	}
+	// Pure double workloads change only via FMA.
+	wd := arch.Workload{Counters: metrics.Counters{Flops64: 1000, Transcendental64: 10}}
+	gd := GNU.Transform(wd).Counters
+	if gd != wd.Counters {
+		t.Errorf("GNU altered a double workload: %+v", gd)
+	}
+	id := Intel.Transform(wd).Counters
+	if id.Flops64 != 950 {
+		t.Errorf("Intel FMA factor missing: %d", id.Flops64)
+	}
+	if id.Transcendental64 != 10 {
+		t.Errorf("Intel altered double transcendentals: %d", id.Transcendental64)
+	}
+}
+
+func TestTransformDoesNotMutateInput(t *testing.T) {
+	w := arch.Workload{Counters: metrics.Counters{Flops32: 1000, Transcendental32: 50}}
+	_ = GNU.Transform(w)
+	if w.Counters.Flops32 != 1000 || w.Counters.Transcendental32 != 50 {
+		t.Error("Transform mutated its input")
+	}
+}
+
+func TestProfileNames(t *testing.T) {
+	if GNU.Name != "GNU" || Intel.Name != "Intel" {
+		t.Error("profile names wrong")
+	}
+	if len(Profiles) != 2 {
+		t.Error("Profiles list incomplete")
+	}
+}

@@ -1,0 +1,326 @@
+// Package core implements the paper's methodology as a reusable library:
+// run a mini-app at each precision mode, collect runtime, memory,
+// operation counts, checkpoint size and solution line-cuts, project the
+// measured workload onto the paper's architectures, and assemble the
+// tables and figures of the evaluation section.
+//
+// This is the "thoughtful precision" layer: the mini-apps know how to run
+// at a precision; this package knows how to *compare* precisions and how
+// to pick one (the §VIII heuristics).
+package core
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/analysis"
+	"repro/internal/arch"
+	"repro/internal/clamr"
+	"repro/internal/mesh"
+	"repro/internal/metrics"
+	"repro/internal/precision"
+	"repro/internal/self"
+)
+
+// CLAMRResult captures one CLAMR run.
+type CLAMRResult struct {
+	Mode            precision.Mode
+	Kernel          clamr.Kernel
+	Steps           int
+	Cells           int
+	WallTime        time.Duration
+	FiniteDiffTime  time.Duration
+	Counters        metrics.Counters
+	StateBytes      uint64
+	CheckpointBytes int64
+	MassError       float64
+	LineCut         analysis.Series
+}
+
+// RunCLAMR executes the dam-break problem at one precision mode and
+// collects the paper's measurables. lineCutN > 0 samples the height along
+// the horizontal center line at that resolution.
+func RunCLAMR(mode precision.Mode, cfg clamr.Config, steps, lineCutN int) (CLAMRResult, error) {
+	if cfg.Bounds == (mesh.Bounds{}) {
+		cfg.Bounds = mesh.UnitBounds
+	}
+	ic := clamr.DamBreak(cfg.Bounds, 10, 2, 0.15*cfg.Bounds.Width(), 0.05*cfg.Bounds.Width())
+	r, err := clamr.New(mode, cfg, ic)
+	if err != nil {
+		return CLAMRResult{}, err
+	}
+	start := time.Now()
+	if err := r.Run(steps); err != nil {
+		return CLAMRResult{}, err
+	}
+	wall := time.Since(start)
+
+	res := CLAMRResult{
+		Mode:       mode,
+		Kernel:     cfg.Kernel,
+		Steps:      steps,
+		Cells:      r.Mesh().NumCells(),
+		WallTime:   wall,
+		Counters:   r.Counters(),
+		StateBytes: r.StateBytes(),
+		MassError:  r.MassError(),
+	}
+	res.FiniteDiffTime = r.Timer().Total("finite_diff")
+
+	var sink countingWriter
+	n, err := r.WriteCheckpoint(&sink)
+	if err != nil {
+		return CLAMRResult{}, err
+	}
+	res.CheckpointBytes = n
+
+	if lineCutN > 0 {
+		cut, err := CLAMRLineCut(r, lineCutN)
+		if err != nil {
+			return CLAMRResult{}, err
+		}
+		cut.Label = mode.String()
+		res.LineCut = cut
+	}
+	return res, nil
+}
+
+// CLAMRLineCut samples the height along the horizontal line through the
+// domain center at n points.
+func CLAMRLineCut(r clamr.Runner, n int) (analysis.Series, error) {
+	m := r.Mesh()
+	img, err := m.Rasterize(r.HeightF64(), n, n)
+	if err != nil {
+		return analysis.Series{}, err
+	}
+	b := m.Bounds()
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	row := n / 2
+	for i := 0; i < n; i++ {
+		xs[i] = b.XMin + (float64(i)+0.5)/float64(n)*b.Width()
+		ys[i] = img[row*n+i]
+	}
+	return analysis.Series{Label: "height", X: xs, Y: ys}, nil
+}
+
+// Workload converts the run into an arch.Workload: measured counters plus
+// the precision-independent mesh bookkeeping (cells × steps).
+func (r CLAMRResult) Workload() arch.Workload {
+	return arch.Workload{
+		Counters:   r.Counters,
+		Vectorized: r.Kernel == clamr.KernelFace,
+		SerialOps:  uint64(r.Cells) * uint64(r.Steps),
+		StateBytes: r.StateBytes,
+	}
+}
+
+// countingWriter discards checkpoint bytes while letting WriteCheckpoint
+// report sizes.
+type countingWriter struct{ n int64 }
+
+func (w *countingWriter) Write(p []byte) (int, error) {
+	w.n += int64(len(p))
+	return len(p), nil
+}
+
+// SELFResult captures one SELF run.
+type SELFResult struct {
+	Mode       precision.Mode
+	MathMode   self.MathMode
+	Steps      int
+	DOF        int
+	WallTime   time.Duration
+	Counters   metrics.Counters
+	StateBytes uint64
+	LineCut    analysis.Series
+}
+
+// RunSELF executes the thermal-bubble problem at one precision mode.
+func RunSELF(mode precision.Mode, cfg self.Config, steps, lineCutN int) (SELFResult, error) {
+	r, err := self.New(mode, cfg)
+	if err != nil {
+		return SELFResult{}, err
+	}
+	start := time.Now()
+	if err := r.Run(steps); err != nil {
+		return SELFResult{}, err
+	}
+	wall := time.Since(start)
+	res := SELFResult{
+		Mode:       mode,
+		MathMode:   cfg.MathMode,
+		Steps:      steps,
+		DOF:        r.DegreesOfFreedom(),
+		WallTime:   wall,
+		Counters:   r.Counters(),
+		StateBytes: r.StateBytes(),
+	}
+	if lineCutN > 0 {
+		xs, ys, err := r.LineX(self.FieldDensityAnomaly, lineCutN)
+		if err != nil {
+			return SELFResult{}, err
+		}
+		s, err := analysis.NewSeries(mode.String(), xs, ys)
+		if err != nil {
+			return SELFResult{}, err
+		}
+		res.LineCut = s
+	}
+	return res, nil
+}
+
+// Workload converts the run into an arch.Workload. SELF's spectral kernels
+// vectorize naturally (dense small matrix sweeps), so the workload is
+// marked vectorized; the Table IV study overrides this.
+func (r SELFResult) Workload() arch.Workload {
+	return arch.Workload{
+		Counters:   r.Counters,
+		Vectorized: true,
+		SerialOps:  uint64(r.DOF) / 16, // light bookkeeping per node
+		StateBytes: r.StateBytes,
+	}
+}
+
+// Fidelity summarises the paper's correctness assessment between a
+// reduced-precision line cut and the full-precision reference.
+type Fidelity struct {
+	// OrdersBelow: log10(solution scale / max difference) — Figs 1 and 4.
+	OrdersBelow float64
+	// AsymmetryOrders: log10(solution scale / max asymmetry) — Figs 2/5.
+	AsymmetryOrders float64
+	// AsymmetryBias is the mean of the asymmetry series (Fig 5's "mostly
+	// positive" single-precision signature shows as nonzero bias).
+	AsymmetryBias float64
+}
+
+// AssessFidelity computes the figure-level diagnostics for a cut against
+// the reference.
+func AssessFidelity(cut, reference analysis.Series) Fidelity {
+	diff := analysis.Diff(reference, cut)
+	asym := analysis.Asymmetry(cut)
+	return Fidelity{
+		OrdersBelow:     analysis.OrdersBelow(diff, reference),
+		AsymmetryOrders: analysis.OrdersBelow(asym, cut),
+		AsymmetryBias:   asym.Bias(),
+	}
+}
+
+// Acceptable applies the paper's acceptance bar: differences at least
+// `orders` orders of magnitude below the solution.
+func (f Fidelity) Acceptable(orders float64) bool {
+	return f.OrdersBelow >= orders
+}
+
+// RecommendMode is the paper's §VIII "derivation of heuristics for
+// precision choice", distilled to the decision rules its results support:
+//
+//   - If the required agreement with double precision exceeds ~7 digits,
+//     only Full delivers (single carries ~7 significant digits).
+//   - Otherwise, if the calculation is memory-bandwidth-bound (the paper's
+//     conclusion for both mini-apps), reduced storage pays: Mixed when
+//     sensitive local arithmetic needs double guarding, else Min.
+//   - On hardware with a punitive DP:SP ratio (≥ 8:1, e.g. TITAN X-class),
+//     compute-bound work should also drop to Min.
+//   - Half is recommended only for error-tolerant, bandwidth-dominated
+//     kernels needing fewer than 3 digits.
+func RecommendMode(requiredDigits float64, memoryBound bool, dpToSPRatio float64, sensitiveLocals bool) precision.Mode {
+	switch {
+	case requiredDigits > 7:
+		return precision.Full
+	case requiredDigits < 3 && memoryBound && !sensitiveLocals:
+		return precision.Half
+	case sensitiveLocals:
+		return precision.Mixed
+	case memoryBound || dpToSPRatio >= 8:
+		return precision.Min
+	default:
+		return precision.Mixed
+	}
+}
+
+// Table is a formatted results table.
+type Table struct {
+	Title   string
+	Headers []string
+	Rows    [][]string
+}
+
+// AddRow appends a row (padded or truncated to the header width).
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.Headers))
+	copy(row, cells)
+	t.Rows = append(t.Rows, row)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, row := range t.Rows {
+		for i, c := range row {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "%s\n", t.Title)
+	}
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	writeRow(t.Headers)
+	rule := make([]string, len(t.Headers))
+	for i := range rule {
+		rule[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(rule)
+	for _, row := range t.Rows {
+		writeRow(row)
+	}
+	return b.String()
+}
+
+// WriteTo writes the rendered table.
+func (t *Table) WriteTo(w io.Writer) (int64, error) {
+	n, err := io.WriteString(w, t.String())
+	return int64(n), err
+}
+
+// FormatDuration renders a duration in seconds with three significant
+// decimals, matching the paper's table style.
+func FormatDuration(d time.Duration) string {
+	return fmt.Sprintf("%.3g", d.Seconds())
+}
+
+// FormatJoules renders an energy value.
+func FormatJoules(j float64) string {
+	return fmt.Sprintf("%.0f", j)
+}
+
+// FormatGB renders a byte count in GB.
+func FormatGB(b uint64) string {
+	return fmt.Sprintf("%.2f", float64(b)/1e9)
+}
+
+// FormatSpeedup renders a ratio as the paper's percentage speedup
+// ("19%", "261%").
+func FormatSpeedup(ratio float64) string {
+	if ratio <= 0 || math.IsInf(ratio, 0) || math.IsNaN(ratio) {
+		return "-"
+	}
+	return fmt.Sprintf("%.0f%%", (ratio-1)*100)
+}

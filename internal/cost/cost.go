@@ -1,0 +1,127 @@
+// Package cost reproduces the paper's §VI cost analysis (Table VII): the
+// price of running the mini-apps on commercial cloud services, with the
+// paper's own scaling rules — runtimes on Haswell scaled from seconds to
+// hours per week on an EC2 c4.8xlarge, checkpoint storage on S3 standard +
+// infrequent-access tiers, compute halved and storage decimated for SELF,
+// storage divided by five for CLAMR.
+package cost
+
+import (
+	"fmt"
+)
+
+// Rates holds the cloud service prices.
+type Rates struct {
+	// EC2PerHour is the on-demand instance rate (c4.8xlarge).
+	EC2PerHour float64
+	// S3StandardPerGBMonth and S3IAPerGBMonth are the storage tiers.
+	S3StandardPerGBMonth float64
+	S3IAPerGBMonth       float64
+	// CalculatorOverhead multiplies compute cost to account for the extra
+	// line items of the AWS monthly calculator the paper used (EBS volume,
+	// egress allowance). Calibrated so the paper's Table VII reproduces.
+	CalculatorOverhead float64
+}
+
+// AWS2017 is the mid-2017 us-east pricing used by the paper's estimates.
+var AWS2017 = Rates{
+	EC2PerHour:           1.591,
+	S3StandardPerGBMonth: 0.023,
+	S3IAPerGBMonth:       0.0125,
+	CalculatorOverhead:   1.2337,
+}
+
+// weeksPerMonth follows the AWS monthly calculator convention.
+const weeksPerMonth = 4.348
+
+// Scenario describes one application's usage pattern under the paper's
+// scaling rules.
+type Scenario struct {
+	App string
+	// RuntimeSeconds is the measured Haswell runtime; the paper reuses the
+	// number as hours per week of instance utilisation.
+	RuntimeSeconds float64
+	// ComputeScale further scales utilisation (paper: 1.0 CLAMR, 0.5 SELF
+	// — "we scaled the compute time down by 50%").
+	ComputeScale float64
+	// CheckpointGB is the size of one checkpoint at this precision.
+	CheckpointGB float64
+	// CheckpointCount is the number of retained checkpoints in the
+	// campaign (split across the standard and infrequent-access tiers).
+	CheckpointCount float64
+	// StorageDivisor reduces stored volume for longer runs with fewer
+	// outputs (paper: 5 CLAMR, 10 SELF).
+	StorageDivisor float64
+}
+
+// Breakdown is one Table VII column.
+type Breakdown struct {
+	App            string
+	Compute        float64
+	Storage        float64
+	Total          float64
+	RuntimeSeconds float64
+	CheckpointGB   float64
+}
+
+// Cost prices a scenario.
+func (r Rates) Cost(s Scenario) (Breakdown, error) {
+	if s.RuntimeSeconds < 0 || s.CheckpointGB < 0 || s.CheckpointCount < 0 {
+		return Breakdown{}, fmt.Errorf("cost: negative scenario values: %+v", s)
+	}
+	if s.ComputeScale == 0 {
+		s.ComputeScale = 1
+	}
+	if s.StorageDivisor == 0 {
+		s.StorageDivisor = 1
+	}
+	hoursPerWeek := s.RuntimeSeconds * s.ComputeScale
+	compute := hoursPerWeek * weeksPerMonth * r.EC2PerHour * r.CalculatorOverhead
+	storedGBMonths := s.CheckpointGB * s.CheckpointCount / s.StorageDivisor
+	storage := storedGBMonths * (r.S3StandardPerGBMonth + r.S3IAPerGBMonth)
+	return Breakdown{
+		App:            s.App,
+		Compute:        compute,
+		Storage:        storage,
+		Total:          compute + storage,
+		RuntimeSeconds: s.RuntimeSeconds,
+		CheckpointGB:   s.CheckpointGB,
+	}, nil
+}
+
+// Savings returns the fractional saving of b relative to baseline
+// (e.g. 0.23 = 23% cheaper).
+func Savings(b, baseline Breakdown) float64 {
+	if baseline.Total == 0 {
+		return 0
+	}
+	return 1 - b.Total/baseline.Total
+}
+
+// PaperCLAMRScenario builds the paper's CLAMR usage pattern for a measured
+// runtime (seconds) and checkpoint size (GB).
+func PaperCLAMRScenario(runtimeSec, checkpointGB float64) Scenario {
+	return Scenario{
+		App:             "CLAMR",
+		RuntimeSeconds:  runtimeSec,
+		ComputeScale:    1,
+		CheckpointGB:    checkpointGB,
+		CheckpointCount: 200_000,
+		StorageDivisor:  5,
+	}
+}
+
+// PaperSELFScenario builds the paper's SELF usage pattern. The paper holds
+// SELF storage constant across precisions (its Table VII lists the same
+// storage cost for both), so checkpointGB should be the double-precision
+// size for both columns.
+func PaperSELFScenario(runtimeSec, checkpointGB float64) Scenario {
+	return Scenario{
+		App:             "SELF",
+		RuntimeSeconds:  runtimeSec,
+		ComputeScale:    0.5,
+		CheckpointGB:    checkpointGB,
+		CheckpointCount: 223_264,
+		StorageDivisor:  10,
+	}
+}

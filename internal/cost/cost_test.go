@@ -1,0 +1,154 @@
+package cost
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// Paper Table VII targets.
+const (
+	paperCLAMRFullCompute = 267.07
+	paperCLAMRFullStorage = 181.56
+	paperCLAMRMinCompute  = 223.22
+	paperCLAMRMinStorage  = 121.66
+	paperSELFFullCompute  = 1157.94
+	paperSELFSingleComp   = 763.32
+	paperSELFStorage      = 792.59
+)
+
+// within reports |got-want|/want ≤ tol.
+func within(got, want, tol float64) bool {
+	return math.Abs(got-want) <= tol*math.Abs(want)
+}
+
+func TestCLAMRTableVII(t *testing.T) {
+	// Paper inputs: Haswell runtimes 31.3 s (full) / 26.3 s (min),
+	// checkpoint sizes 128 MB / 86 MB (Table III).
+	full, err := AWS2017.Cost(PaperCLAMRScenario(31.3, 0.128))
+	if err != nil {
+		t.Fatal(err)
+	}
+	min, err := AWS2017.Cost(PaperCLAMRScenario(26.3, 0.086))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !within(full.Compute, paperCLAMRFullCompute, 0.02) {
+		t.Errorf("CLAMR full compute $%.2f, paper $%.2f", full.Compute, paperCLAMRFullCompute)
+	}
+	if !within(full.Storage, paperCLAMRFullStorage, 0.02) {
+		t.Errorf("CLAMR full storage $%.2f, paper $%.2f", full.Storage, paperCLAMRFullStorage)
+	}
+	if !within(min.Compute, paperCLAMRMinCompute, 0.02) {
+		t.Errorf("CLAMR min compute $%.2f, paper $%.2f", min.Compute, paperCLAMRMinCompute)
+	}
+	if !within(min.Storage, paperCLAMRMinStorage, 0.02) {
+		t.Errorf("CLAMR min storage $%.2f, paper $%.2f", min.Storage, paperCLAMRMinStorage)
+	}
+	// Headline claim: up to 23% saved with minimum precision.
+	s := Savings(min, full)
+	if s < 0.20 || s > 0.26 {
+		t.Errorf("CLAMR min savings %.1f%%, paper ≈23%%", 100*s)
+	}
+	if full.Total != full.Compute+full.Storage {
+		t.Error("total != compute + storage")
+	}
+}
+
+func TestSELFTableVII(t *testing.T) {
+	// Paper inputs: Haswell runtimes 270.4 s (double) / 179.5 s (single);
+	// storage held constant across precisions (1 GB reference dump).
+	double, err := AWS2017.Cost(PaperSELFScenario(270.4, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := AWS2017.Cost(PaperSELFScenario(179.5, 1.0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !within(double.Compute, paperSELFFullCompute, 0.02) {
+		t.Errorf("SELF double compute $%.2f, paper $%.2f", double.Compute, paperSELFFullCompute)
+	}
+	if !within(single.Compute, paperSELFSingleComp, 0.02) {
+		t.Errorf("SELF single compute $%.2f, paper $%.2f", single.Compute, paperSELFSingleComp)
+	}
+	if !within(double.Storage, paperSELFStorage, 0.02) {
+		t.Errorf("SELF storage $%.2f, paper $%.2f", double.Storage, paperSELFStorage)
+	}
+	if single.Storage != double.Storage {
+		t.Error("SELF storage should be precision-independent in the paper's model")
+	}
+	// Headline claim: up to 20% saved with single precision.
+	s := Savings(single, double)
+	if s < 0.17 || s > 0.24 {
+		t.Errorf("SELF single savings %.1f%%, paper ≈20%%", 100*s)
+	}
+}
+
+func TestScenarioDefaults(t *testing.T) {
+	b, err := AWS2017.Cost(Scenario{App: "x", RuntimeSeconds: 10, CheckpointGB: 1, CheckpointCount: 100})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Defaults: ComputeScale 1, StorageDivisor 1.
+	wantStorage := 1.0 * 100 * (0.023 + 0.0125)
+	if !within(b.Storage, wantStorage, 1e-12) {
+		t.Errorf("default storage $%.4f, want $%.4f", b.Storage, wantStorage)
+	}
+	if b.Compute <= 0 {
+		t.Error("compute cost not positive")
+	}
+}
+
+func TestCostRejectsNegative(t *testing.T) {
+	if _, err := AWS2017.Cost(Scenario{RuntimeSeconds: -1}); err == nil {
+		t.Error("negative runtime accepted")
+	}
+	if _, err := AWS2017.Cost(Scenario{CheckpointGB: -1}); err == nil {
+		t.Error("negative checkpoint size accepted")
+	}
+}
+
+func TestSavingsEdgeCases(t *testing.T) {
+	if Savings(Breakdown{Total: 50}, Breakdown{Total: 0}) != 0 {
+		t.Error("zero baseline did not return 0")
+	}
+	if got := Savings(Breakdown{Total: 80}, Breakdown{Total: 100}); math.Abs(got-0.2) > 1e-12 {
+		t.Errorf("Savings = %g, want 0.2", got)
+	}
+	// Negative savings when the candidate is pricier.
+	if got := Savings(Breakdown{Total: 120}, Breakdown{Total: 100}); got >= 0 {
+		t.Errorf("pricier candidate shows savings %g", got)
+	}
+}
+
+func TestCostMonotoneProperties(t *testing.T) {
+	// Compute cost is monotone in runtime, storage in checkpoint size.
+	if err := quick.Check(func(r1, r2, g float64) bool {
+		r1 = math.Abs(math.Mod(r1, 1e4))
+		r2 = math.Abs(math.Mod(r2, 1e4))
+		g = math.Abs(math.Mod(g, 100)) + 0.01
+		lo, hi := math.Min(r1, r2), math.Max(r1, r2)
+		a, err1 := AWS2017.Cost(PaperCLAMRScenario(lo, g))
+		b, err2 := AWS2017.Cost(PaperCLAMRScenario(hi, g))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Compute <= b.Compute && a.Storage == b.Storage
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+	if err := quick.Check(func(g1, g2 float64) bool {
+		g1 = math.Abs(math.Mod(g1, 100))
+		g2 = math.Abs(math.Mod(g2, 100))
+		lo, hi := math.Min(g1, g2), math.Max(g1, g2)
+		a, err1 := AWS2017.Cost(PaperSELFScenario(100, lo))
+		b, err2 := AWS2017.Cost(PaperSELFScenario(100, hi))
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return a.Storage <= b.Storage && a.Compute == b.Compute
+	}, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,148 @@
+// Package f32math provides native single-precision transcendental
+// functions (exp2, log2, pow, exp, log) built from float32 polynomial
+// kernels.
+//
+// Go's math package computes everything through float64, which is exactly
+// the "GNU profile" behaviour the paper observed making single-precision
+// SELF *slower* than double (operands promoted through the double-precision
+// libm with conversion traffic). These routines are the "Intel profile"
+// counterpart: a single-precision math library whose cost scales with the
+// narrower format. Accuracy is ~2 ulp of float32, plenty for a solver whose
+// storage rounds to float32 anyway.
+package f32math
+
+import "math"
+
+// Exp2 returns 2**x computed in single precision.
+func Exp2(x float32) float32 {
+	switch {
+	case x != x: // NaN
+		return x
+	case x >= 128:
+		return float32(math.Inf(1))
+	case x <= -150:
+		return 0
+	}
+	// Split x = k + f with k integer, f in [-0.5, 0.5].
+	k := int32(x)
+	f := x - float32(k)
+	if f > 0.5 {
+		k++
+		f -= 1
+	} else if f < -0.5 {
+		k--
+		f += 1
+	}
+	// Degree-7 polynomial for 2^f on [-0.5, 0.5] (ln2 Taylor terms); the
+	// truncation error ≈ (ln2/2)^8/8! is far below float32 resolution, so
+	// accuracy is limited by the ~2 ulp of polynomial rounding.
+	const (
+		c1 = 0.6931471805599453
+		c2 = 0.2402265069591007
+		c3 = 0.05550410866482158
+		c4 = 0.009618129107628477
+		c5 = 0.0013333558146428443
+		c6 = 0.00015403530393381606
+		c7 = 1.5252733804059838e-05
+	)
+	p := 1 + f*(float32(c1)+f*(float32(c2)+f*(float32(c3)+f*(float32(c4)+f*(float32(c5)+f*(float32(c6)+f*float32(c7)))))))
+	// Scale by 2^k via exponent arithmetic; math.Float32frombits keeps it
+	// in single precision throughout. Clamp k to the normal range; the
+	// boundary checks above make |k| ≤ 150 so ldexp-style stepping is safe.
+	return scaleByPowerOfTwo(p, int(k))
+}
+
+// scaleByPowerOfTwo returns p·2^k, stepping through the extremes so that
+// overflow saturates to infinity and underflow degrades gracefully through
+// the subnormal range.
+func scaleByPowerOfTwo(p float32, k int) float32 {
+	for k > 127 {
+		p *= math.Float32frombits(254 << 23) // 2^127
+		k -= 127
+		if math.IsInf(float64(p), 0) {
+			return p
+		}
+	}
+	for k < -126 {
+		p *= math.Float32frombits(1 << 23) // 2^-126
+		k += 126
+	}
+	return p * math.Float32frombits(uint32(k+127)<<23)
+}
+
+// Log2 returns the base-2 logarithm of x computed in single precision.
+func Log2(x float32) float32 {
+	switch {
+	case x != x:
+		return x
+	case x < 0:
+		return float32(math.NaN())
+	case x == 0:
+		return float32(math.Inf(-1))
+	case math.IsInf(float64(x), 1):
+		return x
+	}
+	bits := math.Float32bits(x)
+	exp := int32(bits>>23) - 127
+	man := bits & 0x7fffff
+	if exp == -127 { // subnormal: normalize
+		n := 0
+		for man&0x800000 == 0 {
+			man <<= 1
+			n++
+		}
+		man &= 0x7fffff
+		exp = -126 - int32(n) + 0 // leading bit reached implicit position
+	}
+	// m in [1, 2).
+	m := math.Float32frombits(man | 127<<23)
+	// Reduce to [2^-0.5, 2^0.5) for a symmetric series.
+	if m > 1.4142135 {
+		m *= 0.5
+		exp++
+	}
+	// log2(m) via atanh series: t = (m-1)/(m+1),
+	// ln m = 2t(1 + t²/3 + t⁴/5 + t⁶/7).
+	t := (m - 1) / (m + 1)
+	t2 := t * t
+	lnm := 2 * t * (1 + t2*(0.33333334+t2*(0.2+t2*0.14285715)))
+	const invLn2 = 1.4426950408889634
+	return float32(exp) + lnm*float32(invLn2)
+}
+
+// Pow returns x**y computed in single precision via exp2(y·log2(x)).
+// It follows IEEE pow conventions for the special cases the solvers hit
+// (positive finite bases); negative bases return NaN except for zero y.
+func Pow(x, y float32) float32 {
+	switch {
+	case y == 0 || x == 1:
+		return 1
+	case x != x || y != y:
+		return float32(math.NaN())
+	case x < 0:
+		return float32(math.NaN())
+	case x == 0:
+		if y < 0 {
+			return float32(math.Inf(1))
+		}
+		return 0
+	}
+	return Exp2(y * Log2(x))
+}
+
+// Exp returns e**x in single precision.
+func Exp(x float32) float32 {
+	const log2e = 1.4426950408889634
+	return Exp2(x * float32(log2e))
+}
+
+// Log returns the natural logarithm in single precision.
+func Log(x float32) float32 {
+	const ln2 = 0.6931471805599453
+	return Log2(x) * float32(ln2)
+}
+
+// Sqrt returns √x; the hardware already provides single-precision square
+// roots, so this simply narrows math.Sqrt (exact per IEEE: sqrt of a
+// float32 computed in float64 and rounded once is correctly rounded).
+func Sqrt(x float32) float32 { return float32(math.Sqrt(float64(x))) }

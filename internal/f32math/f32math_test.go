@@ -1,0 +1,216 @@
+package f32math
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// ulpRel returns |got-want| in units of float32 ulps of want.
+func ulpRel(got float32, want float64) float64 {
+	w32 := float32(want)
+	if w32 == got {
+		return 0
+	}
+	ulp := math.Abs(float64(math.Nextafter32(w32, float32(math.Inf(1)))) - float64(w32))
+	if ulp == 0 {
+		return math.Inf(1)
+	}
+	return math.Abs(float64(got)-want) / ulp
+}
+
+func TestExp2Accuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	worst := 0.0
+	for i := 0; i < 100000; i++ {
+		x := float32(rng.Float64()*250 - 125)
+		got := Exp2(x)
+		want := math.Exp2(float64(x))
+		if u := ulpRel(got, want); u > worst {
+			worst = u
+		}
+	}
+	if worst > 4 {
+		t.Errorf("Exp2 worst error %.1f ulp", worst)
+	}
+}
+
+func TestExp2Specials(t *testing.T) {
+	if got := Exp2(0); got != 1 {
+		t.Errorf("Exp2(0) = %g", got)
+	}
+	if got := Exp2(1); got != 2 {
+		t.Errorf("Exp2(1) = %g", got)
+	}
+	if got := Exp2(10); got != 1024 {
+		t.Errorf("Exp2(10) = %g", got)
+	}
+	if !math.IsInf(float64(Exp2(200)), 1) {
+		t.Error("Exp2(200) did not overflow")
+	}
+	if Exp2(-200) != 0 {
+		t.Error("Exp2(-200) did not underflow")
+	}
+	if n := Exp2(float32(math.NaN())); n == n {
+		t.Error("Exp2(NaN) is not NaN")
+	}
+	// Subnormal results remain finite and ordered.
+	if a, b := Exp2(-130), Exp2(-131); !(a > b && b >= 0) {
+		t.Errorf("subnormal tail not monotone: %g %g", a, b)
+	}
+}
+
+func TestLog2Accuracy(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	worst := 0.0
+	for i := 0; i < 100000; i++ {
+		x := float32(math.Exp(rng.Float64()*40 - 20)) // log-uniform
+		got := Log2(x)
+		want := math.Log2(float64(x))
+		var u float64
+		if math.Abs(want) < 0.5 {
+			// Near log2(1)=0 relative ulp is meaningless; use absolute.
+			u = math.Abs(float64(got)-want) / 6e-8
+		} else {
+			u = ulpRel(got, want)
+		}
+		if u > worst {
+			worst = u
+		}
+	}
+	if worst > 6 {
+		t.Errorf("Log2 worst error %.1f ulp", worst)
+	}
+}
+
+func TestLog2Specials(t *testing.T) {
+	if got := Log2(1); got != 0 {
+		t.Errorf("Log2(1) = %g", got)
+	}
+	if got := Log2(8); got != 3 {
+		t.Errorf("Log2(8) = %g", got)
+	}
+	if got := Log2(0.25); got != -2 {
+		t.Errorf("Log2(0.25) = %g", got)
+	}
+	if !math.IsInf(float64(Log2(0)), -1) {
+		t.Error("Log2(0) is not -Inf")
+	}
+	if n := Log2(-1); n == n {
+		t.Error("Log2(-1) is not NaN")
+	}
+	if !math.IsInf(float64(Log2(float32(math.Inf(1)))), 1) {
+		t.Error("Log2(+Inf) is not +Inf")
+	}
+	// Subnormal argument.
+	sub := math.Float32frombits(1) // 2^-149
+	if got := Log2(sub); math.Abs(float64(got)+149) > 0.01 {
+		t.Errorf("Log2(2^-149) = %g", got)
+	}
+}
+
+func TestPowMatchesFloat64(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 50000; i++ {
+		x := float32(rng.Float64()*100 + 0.01)
+		y := float32(rng.Float64()*8 - 4)
+		got := Pow(x, y)
+		want := math.Pow(float64(x), float64(y))
+		rel := math.Abs(float64(got)-want) / math.Abs(want)
+		if rel > 2e-6 {
+			t.Fatalf("Pow(%g,%g) = %g, want %g (rel %g)", x, y, got, want, rel)
+		}
+	}
+}
+
+func TestPowSpecials(t *testing.T) {
+	if Pow(5, 0) != 1 || Pow(1, 1e30) != 1 {
+		t.Error("pow identities broken")
+	}
+	if Pow(0, 2) != 0 {
+		t.Error("0^2 != 0")
+	}
+	if !math.IsInf(float64(Pow(0, -1)), 1) {
+		t.Error("0^-1 is not +Inf")
+	}
+	if n := Pow(-2, 0.5); n == n {
+		t.Error("(-2)^0.5 is not NaN")
+	}
+	if n := Pow(float32(math.NaN()), 2); n == n {
+		t.Error("NaN^2 is not NaN")
+	}
+}
+
+func TestExpLogInverse(t *testing.T) {
+	if err := quick.Check(func(v float64) bool {
+		x := float32(math.Mod(v, 60))
+		if x != x {
+			return true
+		}
+		back := Log(Exp(x))
+		return math.Abs(float64(back-x)) < 1e-5*(1+math.Abs(float64(x)))
+	}, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+	if got, want := Exp(1), float32(math.E); math.Abs(float64(got-want)) > 3e-7 {
+		t.Errorf("Exp(1) = %g", got)
+	}
+	if got := Log(float32(math.E)); math.Abs(float64(got)-1) > 3e-7 {
+		t.Errorf("Log(e) = %g", got)
+	}
+}
+
+func TestSqrt(t *testing.T) {
+	for _, x := range []float32{0, 1, 2, 100, 1e-30, 1e30} {
+		if got, want := Sqrt(x), float32(math.Sqrt(float64(x))); got != want {
+			t.Errorf("Sqrt(%g) = %g, want %g", x, got, want)
+		}
+	}
+}
+
+func BenchmarkPow32(b *testing.B) {
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink = Pow(1.5+float32(i&7), 1.4)
+	}
+	_ = sink
+}
+
+func BenchmarkPow64Promoted(b *testing.B) {
+	// The "GNU profile": promote to float64, call libm, convert back.
+	var sink float32
+	for i := 0; i < b.N; i++ {
+		sink = float32(math.Pow(float64(1.5+float32(i&7)), 1.4))
+	}
+	_ = sink
+}
+
+func TestPowAlgebraicProperties(t *testing.T) {
+	// Pow(x, 1) ≈ x: the exp2(log2 x) round trip amplifies the log's ulp
+	// error by |log2 x| ≤ 20 over this range, so allow ~1e-5 relative.
+	if err := quick.Check(func(v float64) bool {
+		x := float32(math.Abs(math.Mod(v, 1e6))) + 0.001
+		got := Pow(x, 1)
+		return math.Abs(float64(got-x)) <= 1e-5*float64(x)
+	}, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+	// Pow(x, a+b) ≈ Pow(x,a)·Pow(x,b) within a few float32 ulps.
+	if err := quick.Check(func(v, va, vb float64) bool {
+		x := float32(math.Abs(math.Mod(v, 100))) + 0.5
+		a := float32(math.Mod(va, 3))
+		b := float32(math.Mod(vb, 3))
+		if a != a || b != b {
+			return true
+		}
+		lhs := float64(Pow(x, a+b))
+		rhs := float64(Pow(x, a)) * float64(Pow(x, b))
+		if rhs == 0 {
+			return lhs == 0
+		}
+		return math.Abs(lhs-rhs)/math.Abs(rhs) < 1e-5
+	}, &quick.Config{MaxCount: 3000}); err != nil {
+		t.Error(err)
+	}
+}

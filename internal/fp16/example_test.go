@@ -1,0 +1,35 @@
+package fp16_test
+
+import (
+	"fmt"
+
+	"repro/internal/fp16"
+)
+
+// Half precision carries ~3 decimal digits: π survives only approximately,
+// and values beyond 65504 overflow.
+func ExampleFromFloat64() {
+	pi := fp16.FromFloat64(3.14159265358979)
+	fmt.Println(pi)
+	fmt.Println(fp16.FromFloat64(70000).IsInf(1))
+	// Output:
+	// 3.140625
+	// true
+}
+
+func ExampleAdd() {
+	// Absorption happens three orders of magnitude sooner than in float32:
+	// 2048 + 1 is already 2048 in binary16 (ulp at 2048 is 2).
+	a := fp16.FromFloat64(2048)
+	b := fp16.FromFloat64(1)
+	fmt.Println(fp16.Add(a, b))
+	// Output: 2048
+}
+
+func ExampleFloat16_ULP() {
+	fmt.Println(fp16.One.ULP())
+	fmt.Println(fp16.FromFloat64(1024).ULP())
+	// Output:
+	// 0.0009765625
+	// 1
+}

@@ -1,0 +1,364 @@
+// Package fp16 implements IEEE 754-2008 binary16 ("half precision") floating
+// point in software.
+//
+// Go has no native 16-bit float type, but the paper's methodology — choosing
+// the precision a calculation actually needs, including formats below single
+// precision — requires one. This package provides a bit-exact binary16 with
+// round-to-nearest-even conversions from float32/float64 and correctly
+// rounded arithmetic.
+//
+// Arithmetic is performed by converting operands to float64, computing, and
+// rounding the float64 result to binary16. Because float64 carries more than
+// 2p+2 = 24 significant bits for binary16 (p = 11), this double rounding is
+// exact for +, -, *, /, sqrt and fused multiply-add: the float64 intermediate
+// is either the exact result or rounds identically to direct binary16
+// rounding.
+package fp16
+
+import (
+	"math"
+	"math/bits"
+	"strconv"
+)
+
+// Float16 is an IEEE 754 binary16 value stored in its 16-bit interchange
+// encoding: 1 sign bit, 5 exponent bits (bias 15), 10 mantissa bits.
+type Float16 uint16
+
+// Special values and limits of the binary16 format.
+const (
+	// MaxValue is the largest finite Float16, 65504.
+	MaxValue Float16 = 0x7bff
+	// SmallestNormal is the smallest positive normal Float16, 2^-14.
+	SmallestNormal Float16 = 0x0400
+	// SmallestNonzero is the smallest positive subnormal Float16, 2^-24.
+	SmallestNonzero Float16 = 0x0001
+	// PositiveInfinity and NegativeInfinity are the two infinities.
+	PositiveInfinity Float16 = 0x7c00
+	NegativeInfinity Float16 = 0xfc00
+	// QuietNaN is the canonical quiet NaN.
+	QuietNaN Float16 = 0x7e00
+	// Epsilon is the gap between 1.0 and the next larger Float16, 2^-10.
+	Epsilon Float16 = 0x1400
+	// One and Zero are provided for convenience.
+	One  Float16 = 0x3c00
+	Zero Float16 = 0x0000
+)
+
+// MantissaBits is the number of explicitly stored significand bits.
+const MantissaBits = 10
+
+// ExponentBias is the binary16 exponent bias.
+const ExponentBias = 15
+
+// FromBits returns the Float16 with the given interchange encoding.
+func FromBits(b uint16) Float16 { return Float16(b) }
+
+// Bits returns the 16-bit interchange encoding of f.
+func (f Float16) Bits() uint16 { return uint16(f) }
+
+// rne shifts v right by n bits rounding to nearest, ties to even.
+// n must be in [1, 63].
+func rne(v uint64, n uint) uint64 {
+	q := v >> n
+	rem := v & (1<<n - 1)
+	half := uint64(1) << (n - 1)
+	if rem > half || (rem == half && q&1 == 1) {
+		q++
+	}
+	return q
+}
+
+// FromFloat32 converts x to Float16 rounding to nearest, ties to even.
+// Values too large in magnitude become infinities; values too small become
+// (signed) zero. NaN payloads are truncated but NaNs stay NaN and quiet.
+func FromFloat32(x float32) Float16 {
+	b := math.Float32bits(x)
+	sign := uint16(b>>16) & 0x8000
+	exp := int32(b>>23) & 0xff
+	man := uint64(b & 0x7fffff)
+
+	if exp == 0xff { // infinity or NaN
+		if man == 0 {
+			return Float16(sign | 0x7c00)
+		}
+		payload := uint16(man >> 13)
+		return Float16(sign | 0x7c00 | 0x0200 | payload) // force quiet, nonzero
+	}
+	if exp == 0 && man == 0 {
+		return Float16(sign)
+	}
+
+	// Normalize: value = m * 2^(exp-127-23) with implicit bit for normals.
+	if exp == 0 {
+		// float32 subnormals are below 2^-126, far under the binary16
+		// subnormal threshold 2^-24: they all round to zero.
+		return Float16(sign)
+	}
+	man |= 1 << 23 // 24-bit significand
+
+	// Target biased exponent in binary16.
+	e16 := exp - 127 + ExponentBias
+	switch {
+	case e16 >= 31:
+		return Float16(sign | 0x7c00) // overflow to infinity
+	case e16 >= 1:
+		// Normal: drop 13 bits. Compose so a rounding carry propagates
+		// into the exponent (and to infinity) naturally.
+		r := rne(man, 13) // 11-bit significand with implicit bit at bit 10
+		out := uint32(e16-1)<<10 + uint32(r)
+		if out >= 0x7c00 {
+			return Float16(sign | 0x7c00)
+		}
+		return Float16(sign | uint16(out))
+	default:
+		// Subnormal or underflow: shift out 13 + (1 - e16) bits.
+		shift := uint(14 - e16)
+		if shift > 24 {
+			return Float16(sign) // underflow to zero
+		}
+		r := rne(man, shift)
+		// A carry into bit 10 yields the smallest normal, which is the
+		// correct encoding (exponent field becomes 1).
+		return Float16(sign | uint16(r))
+	}
+}
+
+// FromFloat64 converts x to Float16 rounding to nearest, ties to even.
+// The conversion is direct (not via float32) so it is correctly rounded.
+func FromFloat64(x float64) Float16 {
+	b := math.Float64bits(x)
+	sign := uint16(b>>48) & 0x8000
+	exp := int64(b>>52) & 0x7ff
+	man := b & 0xfffffffffffff
+
+	if exp == 0x7ff {
+		if man == 0 {
+			return Float16(sign | 0x7c00)
+		}
+		payload := uint16(man >> 42)
+		return Float16(sign | 0x7c00 | 0x0200 | payload)
+	}
+	if exp == 0 {
+		// float64 subnormals are below 2^-1022: zero in binary16.
+		return Float16(sign)
+	}
+	man |= 1 << 52 // 53-bit significand
+
+	e16 := exp - 1023 + ExponentBias
+	switch {
+	case e16 >= 31:
+		return Float16(sign | 0x7c00)
+	case e16 >= 1:
+		r := rne(man, 42)
+		out := uint32(e16-1)<<10 + uint32(r)
+		if out >= 0x7c00 {
+			return Float16(sign | 0x7c00)
+		}
+		return Float16(sign | uint16(out))
+	default:
+		shift := uint(43 - e16)
+		if shift > 53 {
+			return Float16(sign)
+		}
+		r := rne(man, shift)
+		return Float16(sign | uint16(r))
+	}
+}
+
+// Float32 returns f widened to float32. The conversion is exact.
+func (f Float16) Float32() float32 {
+	sign := uint32(f&0x8000) << 16
+	exp := uint32(f>>10) & 0x1f
+	man := uint32(f & 0x3ff)
+
+	switch exp {
+	case 0x1f: // infinity or NaN
+		return math.Float32frombits(sign | 0x7f800000 | man<<13)
+	case 0:
+		if man == 0 {
+			return math.Float32frombits(sign) // signed zero
+		}
+		// Subnormal: value = man × 2^-24. Normalize by shifting the
+		// leading one of the 10-bit field into the implicit position.
+		z := uint32(bits.LeadingZeros32(man)) - 22 // leading zeros within the 10-bit field
+		man = (man << (z + 1)) & 0x3ff
+		e := uint32(127-15) - z
+		return math.Float32frombits(sign | e<<23 | man<<13)
+	default:
+		return math.Float32frombits(sign | (exp+127-15)<<23 | man<<13)
+	}
+}
+
+// Float64 returns f widened to float64. The conversion is exact.
+func (f Float16) Float64() float64 { return float64(f.Float32()) }
+
+// IsNaN reports whether f is a NaN.
+func (f Float16) IsNaN() bool { return f&0x7c00 == 0x7c00 && f&0x3ff != 0 }
+
+// IsInf reports whether f is an infinity with the given sign: +1 for
+// positive infinity, -1 for negative, 0 for either.
+func (f Float16) IsInf(sign int) bool {
+	switch {
+	case sign > 0:
+		return f == PositiveInfinity
+	case sign < 0:
+		return f == NegativeInfinity
+	default:
+		return f&0x7fff == 0x7c00
+	}
+}
+
+// IsZero reports whether f is +0 or -0.
+func (f Float16) IsZero() bool { return f&0x7fff == 0 }
+
+// IsSubnormal reports whether f is a nonzero subnormal value.
+func (f Float16) IsSubnormal() bool { return f&0x7c00 == 0 && f&0x3ff != 0 }
+
+// IsFinite reports whether f is neither an infinity nor a NaN.
+func (f Float16) IsFinite() bool { return f&0x7c00 != 0x7c00 }
+
+// Signbit reports whether f's sign bit is set (true for negative values
+// and for -0).
+func (f Float16) Signbit() bool { return f&0x8000 != 0 }
+
+// Neg returns f with its sign flipped. Neg of a NaN is a NaN.
+func (f Float16) Neg() Float16 { return f ^ 0x8000 }
+
+// Abs returns f with its sign cleared.
+func (f Float16) Abs() Float16 { return f &^ 0x8000 }
+
+// Equal reports IEEE equality: NaN compares unequal to everything
+// (including itself) and -0 equals +0.
+func (f Float16) Equal(g Float16) bool {
+	if f.IsNaN() || g.IsNaN() {
+		return false
+	}
+	if f.IsZero() && g.IsZero() {
+		return true
+	}
+	return f == g
+}
+
+// Less reports IEEE ordered less-than; false if either operand is NaN.
+func (f Float16) Less(g Float16) bool {
+	if f.IsNaN() || g.IsNaN() {
+		return false
+	}
+	return f.Float32() < g.Float32()
+}
+
+// Add returns the correctly rounded sum f + g.
+func Add(f, g Float16) Float16 { return FromFloat64(f.Float64() + g.Float64()) }
+
+// Sub returns the correctly rounded difference f - g.
+func Sub(f, g Float16) Float16 { return FromFloat64(f.Float64() - g.Float64()) }
+
+// Mul returns the correctly rounded product f * g.
+func Mul(f, g Float16) Float16 { return FromFloat64(f.Float64() * g.Float64()) }
+
+// Div returns the correctly rounded quotient f / g.
+func Div(f, g Float16) Float16 { return FromFloat64(f.Float64() / g.Float64()) }
+
+// Sqrt returns the correctly rounded square root of f.
+func Sqrt(f Float16) Float16 { return FromFloat64(math.Sqrt(f.Float64())) }
+
+// FMA returns the correctly rounded fused f*g + h with a single rounding.
+// The float64 product of two binary16 values is exact and the subsequent
+// sum fits in float64 exactly, so one rounding at the end suffices.
+func FMA(f, g, h Float16) Float16 {
+	return FromFloat64(f.Float64()*g.Float64() + h.Float64())
+}
+
+// NextUp returns the least Float16 greater than f.
+// NextUp(+Inf) = +Inf, NextUp(NaN) = NaN.
+func (f Float16) NextUp() Float16 {
+	switch {
+	case f.IsNaN() || f == PositiveInfinity:
+		return f
+	case f == 0x8000 || f == 0: // ±0 → smallest positive subnormal
+		return SmallestNonzero
+	case f.Signbit():
+		return f - 1
+	default:
+		return f + 1
+	}
+}
+
+// NextDown returns the greatest Float16 less than f.
+// NextDown(-Inf) = -Inf, NextDown(NaN) = NaN.
+func (f Float16) NextDown() Float16 { return f.Neg().NextUp().Neg() }
+
+// ULP returns the distance between f and the next representable Float16 of
+// larger magnitude, as a float64. ULP of infinities and NaN is NaN.
+func (f Float16) ULP() float64 {
+	if !f.IsFinite() {
+		return math.NaN()
+	}
+	a := f.Abs()
+	next := a + 1 // magnitude successor in encoding order
+	if Float16(next).IsFinite() {
+		return Float16(next).Float64() - a.Float64()
+	}
+	// f is MaxValue: ULP is the gap below it.
+	return a.Float64() - (a - 1).Float64()
+}
+
+// String formats f using the shortest decimal representation that converts
+// back to the same float32 widening.
+func (f Float16) String() string {
+	return strconv.FormatFloat(f.Float64(), 'g', -1, 32)
+}
+
+// Parse converts a decimal string to Float16, rounding to nearest-even.
+func Parse(s string) (Float16, error) {
+	x, err := strconv.ParseFloat(s, 64)
+	if err != nil {
+		return QuietNaN, err
+	}
+	return FromFloat64(x), nil
+}
+
+// FromSlice64 converts xs to a freshly allocated []Float16.
+func FromSlice64(xs []float64) []Float16 {
+	out := make([]Float16, len(xs))
+	for i, x := range xs {
+		out[i] = FromFloat64(x)
+	}
+	return out
+}
+
+// FromSlice32 converts xs to a freshly allocated []Float16.
+func FromSlice32(xs []float32) []Float16 {
+	out := make([]Float16, len(xs))
+	for i, x := range xs {
+		out[i] = FromFloat32(x)
+	}
+	return out
+}
+
+// ToSlice32 widens hs into dst, which must be at least len(hs) long,
+// and returns dst[:len(hs)]. If dst is nil a new slice is allocated.
+func ToSlice32(dst []float32, hs []Float16) []float32 {
+	if dst == nil {
+		dst = make([]float32, len(hs))
+	}
+	dst = dst[:len(hs)]
+	for i, h := range hs {
+		dst[i] = h.Float32()
+	}
+	return dst
+}
+
+// ToSlice64 widens hs into dst, which must be at least len(hs) long,
+// and returns dst[:len(hs)]. If dst is nil a new slice is allocated.
+func ToSlice64(dst []float64, hs []Float16) []float64 {
+	if dst == nil {
+		dst = make([]float64, len(hs))
+	}
+	dst = dst[:len(hs)]
+	for i, h := range hs {
+		dst[i] = h.Float64()
+	}
+	return dst
+}

@@ -1,0 +1,430 @@
+package fp16
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// refFromFloat64 is an independent reference conversion float64 → binary16
+// using big-step arithmetic instead of bit manipulation: it scales the value
+// to its binary16 ulp and uses math.RoundToEven.
+func refFromFloat64(x float64) Float16 {
+	if math.IsNaN(x) {
+		return QuietNaN
+	}
+	sign := Float16(0)
+	if math.Signbit(x) {
+		sign = 0x8000
+		x = -x
+	}
+	if math.IsInf(x, 0) {
+		return sign | 0x7c00
+	}
+	if x == 0 {
+		return sign
+	}
+	// Max finite binary16 is 65504; the rounding boundary to infinity is
+	// 65520 (exclusive for RNE: 65520 ties to even = infinity side, since
+	// 65504 has odd last bit? 65504 = 0x7bff has mantissa 0x3ff (odd), so
+	// the tie at 65520 rounds *up* to infinity).
+	if x >= 65520 {
+		return sign | 0x7c00
+	}
+	exp := math.Floor(math.Log2(x))
+	if exp < -14 {
+		exp = -14 // subnormal range: fixed ulp of 2^-24
+	}
+	ulp := math.Ldexp(1, int(exp)-10)
+	q := math.RoundToEven(x / ulp)
+	v := q * ulp
+	// Rounding may have pushed the value to the next binade where the ulp
+	// doubles; recompute once (q*ulp is exactly representable either way).
+	if e2 := math.Floor(math.Log2(v)); v != 0 && e2 > exp && e2 <= 15 {
+		ulp = math.Ldexp(1, int(e2)-10)
+		v = math.RoundToEven(x/ulp) * ulp
+	}
+	if v >= 65520 {
+		return sign | 0x7c00
+	}
+	return sign | FromFloat64(v) // v is exactly representable
+}
+
+func TestExhaustiveRoundTrip32(t *testing.T) {
+	// Every binary16 encoding must survive widening to float32 and back.
+	for b := 0; b <= 0xffff; b++ {
+		f := FromBits(uint16(b))
+		got := FromFloat32(f.Float32())
+		if f.IsNaN() {
+			if !got.IsNaN() {
+				t.Fatalf("bits %#04x: NaN lost through float32 round trip (got %#04x)", b, got.Bits())
+			}
+			continue
+		}
+		if got != f {
+			t.Fatalf("bits %#04x: float32 round trip gave %#04x", b, got.Bits())
+		}
+	}
+}
+
+func TestExhaustiveRoundTrip64(t *testing.T) {
+	for b := 0; b <= 0xffff; b++ {
+		f := FromBits(uint16(b))
+		got := FromFloat64(f.Float64())
+		if f.IsNaN() {
+			if !got.IsNaN() {
+				t.Fatalf("bits %#04x: NaN lost through float64 round trip", b)
+			}
+			continue
+		}
+		if got != f {
+			t.Fatalf("bits %#04x: float64 round trip gave %#04x", b, got.Bits())
+		}
+	}
+}
+
+func TestExhaustiveWideningAgree(t *testing.T) {
+	// Widening to float32 then to float64 must equal direct widening.
+	for b := 0; b <= 0xffff; b++ {
+		f := FromBits(uint16(b))
+		if f.IsNaN() {
+			continue
+		}
+		if float64(f.Float32()) != f.Float64() {
+			t.Fatalf("bits %#04x: float32/float64 widening disagree", b)
+		}
+	}
+}
+
+func TestConversionSpecials(t *testing.T) {
+	cases := []struct {
+		in   float64
+		want Float16
+	}{
+		{0, 0x0000},
+		{math.Copysign(0, -1), 0x8000},
+		{1, 0x3c00},
+		{-1, 0xbc00},
+		{2, 0x4000},
+		{0.5, 0x3800},
+		{65504, 0x7bff},                // max finite
+		{65519.999, 0x7bff},            // just below the rounding boundary
+		{65520, 0x7c00},                // tie rounds to infinity (65504 mantissa is odd)
+		{65536, 0x7c00},                // overflow
+		{-65536, 0xfc00},               //
+		{math.Inf(1), 0x7c00},          //
+		{math.Inf(-1), 0xfc00},         //
+		{math.Ldexp(1, -14), 0x0400},   // smallest normal
+		{math.Ldexp(1, -24), 0x0001},   // smallest subnormal
+		{math.Ldexp(1, -25), 0x0000},   // tie at half the smallest subnormal → even (0)
+		{math.Ldexp(1.5, -25), 0x0001}, // above the tie → rounds up
+		{math.Ldexp(1, -26), 0x0000},   // underflow
+		{1 + 1.0/1024, 0x3c01},         // 1 + epsilon
+		{1 + 1.0/2048, 0x3c00},         // tie at 1 + eps/2 → even
+		{1 + 3.0/2048, 0x3c02},         // tie at 1 + 3eps/2 → even (up)
+	}
+	for _, c := range cases {
+		if got := FromFloat64(c.in); got != c.want {
+			t.Errorf("FromFloat64(%v) = %#04x, want %#04x", c.in, got.Bits(), c.want.Bits())
+		}
+		if got := FromFloat32(float32(c.in)); got != c.want {
+			// Only check when the float32 representation is exact enough
+			// not to move across a binary16 rounding boundary.
+			if float64(float32(c.in)) == c.in {
+				t.Errorf("FromFloat32(%v) = %#04x, want %#04x", c.in, got.Bits(), c.want.Bits())
+			}
+		}
+	}
+}
+
+func TestFromFloat64MatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 200000; i++ {
+		var x float64
+		switch i % 4 {
+		case 0: // uniform over the normal range
+			x = (rng.Float64()*2 - 1) * 70000
+		case 1: // near the subnormal boundary
+			x = (rng.Float64()*2 - 1) * math.Ldexp(1, -13)
+		case 2: // deep subnormal / underflow region
+			x = (rng.Float64()*2 - 1) * math.Ldexp(1, -23)
+		case 3: // random bit patterns of modest exponent
+			x = math.Ldexp(rng.Float64()*2-1, rng.Intn(40)-25)
+		}
+		got, want := FromFloat64(x), refFromFloat64(x)
+		if got != want {
+			t.Fatalf("FromFloat64(%g) = %#04x, want %#04x", x, got.Bits(), want.Bits())
+		}
+	}
+}
+
+func TestNaNHandling(t *testing.T) {
+	n := FromFloat64(math.NaN())
+	if !n.IsNaN() {
+		t.Fatal("FromFloat64(NaN) is not NaN")
+	}
+	if !math.IsNaN(n.Float64()) {
+		t.Fatal("NaN did not widen to NaN")
+	}
+	if n.Equal(n) {
+		t.Fatal("NaN compared equal to itself")
+	}
+	if n.Less(One) || One.Less(n) {
+		t.Fatal("NaN participated in ordering")
+	}
+	if Add(n, One) != Add(n, One) && !Add(n, One).IsNaN() {
+		t.Fatal("NaN + 1 is not NaN")
+	}
+	if !QuietNaN.IsNaN() || QuietNaN.IsFinite() {
+		t.Fatal("QuietNaN misclassified")
+	}
+}
+
+func TestClassification(t *testing.T) {
+	if !PositiveInfinity.IsInf(1) || !PositiveInfinity.IsInf(0) || PositiveInfinity.IsInf(-1) {
+		t.Error("PositiveInfinity misclassified")
+	}
+	if !NegativeInfinity.IsInf(-1) || !NegativeInfinity.IsInf(0) || NegativeInfinity.IsInf(1) {
+		t.Error("NegativeInfinity misclassified")
+	}
+	if !Zero.IsZero() || !FromBits(0x8000).IsZero() || One.IsZero() {
+		t.Error("zero misclassified")
+	}
+	if !SmallestNonzero.IsSubnormal() || SmallestNormal.IsSubnormal() || Zero.IsSubnormal() {
+		t.Error("subnormal misclassified")
+	}
+	if !One.IsFinite() || PositiveInfinity.IsFinite() || QuietNaN.IsFinite() {
+		t.Error("finiteness misclassified")
+	}
+	if !FromFloat64(-2).Signbit() || FromFloat64(2).Signbit() || !FromBits(0x8000).Signbit() {
+		t.Error("sign bit misclassified")
+	}
+}
+
+func TestNegAbs(t *testing.T) {
+	for b := 0; b <= 0xffff; b++ {
+		f := FromBits(uint16(b))
+		if f.Neg().Neg() != f {
+			t.Fatalf("bits %#04x: double negation changed value", b)
+		}
+		if f.Abs().Signbit() {
+			t.Fatalf("bits %#04x: Abs has sign bit set", b)
+		}
+		if !f.IsNaN() && f.Abs().Float64() != math.Abs(f.Float64()) {
+			t.Fatalf("bits %#04x: Abs disagrees with math.Abs", b)
+		}
+	}
+}
+
+func TestArithmeticCorrectlyRounded(t *testing.T) {
+	// Against the double-rounding-safe reference: op in float64, convert.
+	rng := rand.New(rand.NewSource(2))
+	randHalf := func() Float16 {
+		for {
+			f := FromBits(uint16(rng.Intn(0x10000)))
+			if f.IsFinite() && !f.IsNaN() {
+				return f
+			}
+		}
+	}
+	for i := 0; i < 100000; i++ {
+		a, b, c := randHalf(), randHalf(), randHalf()
+		if got, want := Add(a, b), FromFloat64(a.Float64()+b.Float64()); got != want && !(got.IsNaN() && want.IsNaN()) {
+			t.Fatalf("Add(%v,%v) = %#04x want %#04x", a, b, got.Bits(), want.Bits())
+		}
+		if got, want := Mul(a, b), FromFloat64(a.Float64()*b.Float64()); got != want && !(got.IsNaN() && want.IsNaN()) {
+			t.Fatalf("Mul(%v,%v) = %#04x want %#04x", a, b, got.Bits(), want.Bits())
+		}
+		if got, want := FMA(a, b, c), FromFloat64(a.Float64()*b.Float64()+c.Float64()); got != want && !(got.IsNaN() && want.IsNaN()) {
+			t.Fatalf("FMA(%v,%v,%v) = %#04x want %#04x", a, b, c, got.Bits(), want.Bits())
+		}
+	}
+}
+
+func TestArithmeticIdentities(t *testing.T) {
+	cfg := &quick.Config{MaxCount: 5000}
+	finite := func(u uint16) Float16 {
+		f := FromBits(u)
+		if !f.IsFinite() {
+			return One
+		}
+		return f
+	}
+	// Commutativity of addition and multiplication.
+	if err := quick.Check(func(ua, ub uint16) bool {
+		a, b := finite(ua), finite(ub)
+		s1, s2 := Add(a, b), Add(b, a)
+		p1, p2 := Mul(a, b), Mul(b, a)
+		return (s1 == s2 || (s1.IsNaN() && s2.IsNaN())) &&
+			(p1 == p2 || (p1.IsNaN() && p2.IsNaN()))
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// x - x == 0 for finite x.
+	if err := quick.Check(func(ua uint16) bool {
+		a := finite(ua)
+		return Sub(a, a).IsZero()
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// x * 1 == x.
+	if err := quick.Check(func(ua uint16) bool {
+		a := finite(ua)
+		got := Mul(a, One)
+		return got == a || (got.IsZero() && a.IsZero())
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+	// sqrt(x)^2 within one ulp of x for positive finite x.
+	if err := quick.Check(func(ua uint16) bool {
+		a := finite(ua).Abs()
+		if a.IsZero() {
+			return true
+		}
+		s := Sqrt(a)
+		back := Mul(s, s).Float64()
+		return math.Abs(back-a.Float64()) <= 2*a.ULP()
+	}, cfg); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestDivision(t *testing.T) {
+	if !Div(One, Zero).IsInf(1) {
+		t.Error("1/0 is not +Inf")
+	}
+	if !Div(One.Neg(), Zero).IsInf(-1) {
+		t.Error("-1/0 is not -Inf")
+	}
+	if !Div(Zero, Zero).IsNaN() {
+		t.Error("0/0 is not NaN")
+	}
+	if got := Div(FromFloat64(10), FromFloat64(4)); got != FromFloat64(2.5) {
+		t.Errorf("10/4 = %v", got)
+	}
+}
+
+func TestNextUpNextDown(t *testing.T) {
+	if Zero.NextUp() != SmallestNonzero {
+		t.Error("NextUp(0) is not the smallest subnormal")
+	}
+	if FromBits(0x8000).NextUp() != SmallestNonzero {
+		t.Error("NextUp(-0) is not the smallest subnormal")
+	}
+	if MaxValue.NextUp() != PositiveInfinity {
+		t.Error("NextUp(MaxValue) is not +Inf")
+	}
+	if PositiveInfinity.NextUp() != PositiveInfinity {
+		t.Error("NextUp(+Inf) moved")
+	}
+	if NegativeInfinity.NextDown() != NegativeInfinity {
+		t.Error("NextDown(-Inf) moved")
+	}
+	// NextUp then NextDown is the identity for finite values.
+	for b := 0; b <= 0xffff; b++ {
+		f := FromBits(uint16(b))
+		if f.IsNaN() || !f.IsFinite() || f.IsZero() {
+			continue
+		}
+		up := f.NextUp()
+		if up.IsFinite() && up.NextDown() != f {
+			t.Fatalf("bits %#04x: NextUp/NextDown not inverse (up=%#04x down=%#04x)",
+				b, up.Bits(), up.NextDown().Bits())
+		}
+		if !f.Less(up) && up.IsFinite() {
+			t.Fatalf("bits %#04x: NextUp not greater", b)
+		}
+	}
+}
+
+func TestULP(t *testing.T) {
+	if got := One.ULP(); got != math.Ldexp(1, -10) {
+		t.Errorf("ULP(1) = %g, want 2^-10", got)
+	}
+	if got := SmallestNonzero.ULP(); got != math.Ldexp(1, -24) {
+		t.Errorf("ULP(min subnormal) = %g, want 2^-24", got)
+	}
+	if got := FromFloat64(1024).ULP(); got != 1 {
+		t.Errorf("ULP(1024) = %g, want 1", got)
+	}
+	if got := FromFloat64(2048).ULP(); got != 2 {
+		t.Errorf("ULP(2048) = %g, want 2", got)
+	}
+	if !math.IsNaN(PositiveInfinity.ULP()) || !math.IsNaN(QuietNaN.ULP()) {
+		t.Error("ULP of non-finite values is not NaN")
+	}
+}
+
+func TestOrderingConsistentWithFloat32(t *testing.T) {
+	if err := quick.Check(func(ua, ub uint16) bool {
+		a, b := FromBits(ua), FromBits(ub)
+		if a.IsNaN() || b.IsNaN() {
+			return !a.Less(b) && !b.Less(a)
+		}
+		return a.Less(b) == (a.Float32() < b.Float32())
+	}, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestStringParseRoundTrip(t *testing.T) {
+	for b := 0; b <= 0xffff; b++ {
+		f := FromBits(uint16(b))
+		if f.IsNaN() || !f.IsFinite() {
+			continue
+		}
+		got, err := Parse(f.String())
+		if err != nil {
+			t.Fatalf("Parse(%q): %v", f.String(), err)
+		}
+		if !got.Equal(f) && !(got.IsZero() && f.IsZero()) {
+			t.Fatalf("bits %#04x: string %q parsed back to %#04x", b, f.String(), got.Bits())
+		}
+	}
+	if _, err := Parse("not a number"); err == nil {
+		t.Error("Parse accepted garbage")
+	}
+}
+
+func TestSliceConversions(t *testing.T) {
+	xs := []float64{0, 1, -2.5, 65504, 1e-7}
+	hs := FromSlice64(xs)
+	back := ToSlice64(nil, hs)
+	for i := range xs {
+		want := FromFloat64(xs[i]).Float64()
+		if back[i] != want {
+			t.Errorf("slice round trip [%d]: got %g want %g", i, back[i], want)
+		}
+	}
+	fs := []float32{1, 2, 3}
+	hs32 := FromSlice32(fs)
+	out := make([]float32, 8)
+	got := ToSlice32(out, hs32)
+	if len(got) != 3 || got[0] != 1 || got[2] != 3 {
+		t.Errorf("ToSlice32 with preallocated dst: %v", got)
+	}
+}
+
+func BenchmarkFromFloat64(b *testing.B) {
+	xs := make([]float64, 1024)
+	rng := rand.New(rand.NewSource(3))
+	for i := range xs {
+		xs[i] = rng.NormFloat64() * 100
+	}
+	b.ResetTimer()
+	var sink Float16
+	for i := 0; i < b.N; i++ {
+		sink = FromFloat64(xs[i&1023])
+	}
+	_ = sink
+}
+
+func BenchmarkAdd(b *testing.B) {
+	x, y := FromFloat64(1.5), FromFloat64(2.25)
+	var sink Float16
+	for i := 0; i < b.N; i++ {
+		sink = Add(x, y)
+	}
+	_ = sink
+}

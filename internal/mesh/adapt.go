@@ -1,0 +1,241 @@
+package mesh
+
+import "fmt"
+
+// RefineFlag is a per-cell adaptation request.
+type RefineFlag int8
+
+const (
+	// Coarsen requests that the cell merge with its siblings (granted only
+	// when all four siblings agree and balance allows).
+	Coarsen RefineFlag = -1
+	// Keep leaves the cell unchanged.
+	Keep RefineFlag = 0
+	// Refine splits the cell into four children.
+	Refine RefineFlag = 1
+)
+
+// Remap describes how solver state moves from the pre-Adapt mesh to the
+// post-Adapt mesh. Operations are disjoint and cover every new cell.
+type Remap struct {
+	// Copies maps old cell index → new cell index for unchanged cells.
+	Copies []CopyOp
+	// Refines maps one old cell to its four new children (SW, SE, NW, NE).
+	Refines []RefineOp
+	// Coarsens maps four old sibling cells (SW, SE, NW, NE) to one new cell.
+	Coarsens []CoarsenOp
+	// OldLen and NewLen are the mesh sizes before and after.
+	OldLen, NewLen int
+}
+
+// CopyOp moves one cell's state unchanged.
+type CopyOp struct{ Old, New int32 }
+
+// RefineOp splits one cell into four children.
+type RefineOp struct {
+	Old int32
+	New [4]int32
+}
+
+// CoarsenOp merges four siblings into one parent.
+type CoarsenOp struct {
+	Old [4]int32
+	New int32
+}
+
+// Adapt applies per-cell refinement flags, enforcing 2:1 balance (balance
+// propagation may refine cells that were not flagged, and may veto
+// coarsening). It rebuilds the mesh and returns the state remap plan.
+//
+// flags must have one entry per current cell.
+func (m *Mesh) Adapt(flags []RefineFlag) (*Remap, error) {
+	if len(flags) != len(m.cells) {
+		return nil, fmt.Errorf("mesh: %d flags for %d cells", len(flags), len(m.cells))
+	}
+	n := len(m.cells)
+
+	// Working copy with clamping.
+	want := make([]RefineFlag, n)
+	for i, f := range flags {
+		switch {
+		case f > Keep && int(m.cells[i].Level) < m.maxLevel:
+			want[i] = Refine
+		case f < Keep && m.cells[i].Level > 0:
+			want[i] = Coarsen
+		default:
+			want[i] = Keep
+		}
+	}
+
+	// Balance propagation for refinement: if cell c will reach level
+	// L(c)+1, every neighbor with final level < L(c) must refine. Iterate
+	// to a fixed point (each pass only raises flags, so it terminates).
+	for changed := true; changed; {
+		changed = false
+		for idx := 0; idx < n; idx++ {
+			if want[idx] != Refine {
+				continue
+			}
+			target := int(m.cells[idx].Level) + 1
+			nb := &m.nbrs[idx]
+			for s := Left; s <= Top; s++ {
+				for _, nIdx := range nb.On(s) {
+					nLevel := int(m.cells[nIdx].Level)
+					if want[nIdx] == Refine {
+						nLevel++
+					}
+					if nLevel < target-1 {
+						// Neighbor must refine; also cancel any coarsen wish.
+						if want[nIdx] != Refine {
+							want[nIdx] = Refine
+							changed = true
+						}
+					} else if want[nIdx] == Coarsen && nLevel-1 < target-1 {
+						want[nIdx] = Keep
+						changed = true
+					}
+				}
+			}
+		}
+	}
+
+	// Coarsening: all four siblings must exist as leaves at the same level
+	// and all want to coarsen; the merged parent must not violate balance
+	// against any neighbor's post-refinement level.
+	type group struct {
+		members [4]int32
+		ok      bool
+	}
+	groups := make(map[uint64]*group)
+	for idx := 0; idx < n; idx++ {
+		if want[idx] != Coarsen {
+			continue
+		}
+		c := m.cells[idx]
+		p := c.Parent()
+		k := key(p.I, p.J, p.Level)
+		g, ok := groups[k]
+		if !ok {
+			g = &group{ok: true}
+			for q, ch := range p.Children() {
+				chIdx := m.Lookup(ch.I, ch.J, ch.Level)
+				if chIdx < 0 || want[chIdx] != Coarsen {
+					g.ok = false
+					break
+				}
+				g.members[q] = chIdx
+			}
+			groups[k] = g
+		}
+	}
+	// Balance veto: the parent (level L-1) may not touch any cell whose
+	// post-refinement level exceeds L. Member cells' neighbors bound this.
+	for _, g := range groups {
+		if !g.ok {
+			continue
+		}
+		for _, member := range g.members {
+			nb := &m.nbrs[member]
+			memberLevel := int(m.cells[member].Level)
+			for s := Left; s <= Top; s++ {
+				for _, nIdx := range nb.On(s) {
+					final := int(m.cells[nIdx].Level)
+					if want[nIdx] == Refine {
+						final++
+					}
+					if final > memberLevel {
+						g.ok = false
+					}
+				}
+			}
+		}
+	}
+	// Demote members of failed groups to Keep.
+	coarsenGranted := make([]bool, n)
+	for _, g := range groups {
+		if g.ok {
+			for _, member := range g.members {
+				coarsenGranted[member] = true
+			}
+		}
+	}
+	for idx := 0; idx < n; idx++ {
+		if want[idx] == Coarsen && !coarsenGranted[idx] {
+			want[idx] = Keep
+		}
+	}
+
+	// Build the new cell list in old-cell order: refined children expand in
+	// place, coarsened parents emit at the first sibling's position.
+	plan := &Remap{OldLen: n}
+	newCells := make([]Cell, 0, n)
+	emitted := make(map[uint64]bool)
+	for idx := 0; idx < n; idx++ {
+		c := m.cells[idx]
+		switch want[idx] {
+		case Keep:
+			plan.Copies = append(plan.Copies, CopyOp{Old: int32(idx), New: int32(len(newCells))})
+			newCells = append(newCells, c)
+		case Refine:
+			op := RefineOp{Old: int32(idx)}
+			for q, ch := range c.Children() {
+				op.New[q] = int32(len(newCells))
+				newCells = append(newCells, ch)
+			}
+			plan.Refines = append(plan.Refines, op)
+		case Coarsen:
+			p := c.Parent()
+			k := key(p.I, p.J, p.Level)
+			if emitted[k] {
+				continue
+			}
+			emitted[k] = true
+			g := groups[k]
+			op := CoarsenOp{Old: g.members, New: int32(len(newCells))}
+			newCells = append(newCells, p)
+			plan.Coarsens = append(plan.Coarsens, op)
+		}
+	}
+	plan.NewLen = len(newCells)
+
+	m.cells = newCells
+	m.rebuild()
+	return plan, nil
+}
+
+// ApplyRemap transfers per-cell state across an Adapt. prolong maps a parent
+// value to its four children (SW, SE, NW, NE); restrict merges four child
+// values into the parent. For conserved cell-averaged quantities, prolong is
+// usually injection (copy) and restrict the arithmetic mean.
+func ApplyRemap[S any](plan *Remap, old []S, prolong func(S) [4]S, restrict func([4]S) S) []S {
+	out := make([]S, plan.NewLen)
+	for _, op := range plan.Copies {
+		out[op.New] = old[op.Old]
+	}
+	for _, op := range plan.Refines {
+		vals := prolong(old[op.Old])
+		for q, idx := range op.New {
+			out[idx] = vals[q]
+		}
+	}
+	for _, op := range plan.Coarsens {
+		var vals [4]S
+		for q, idx := range op.Old {
+			vals[q] = old[idx]
+		}
+		out[op.New] = restrict(vals)
+	}
+	return out
+}
+
+// InjectProlong returns a prolongation that copies the parent value to all
+// four children (exact for cell averages of piecewise-constant data).
+func InjectProlong[S any]() func(S) [4]S {
+	return func(v S) [4]S { return [4]S{v, v, v, v} }
+}
+
+// MeanRestrict returns a restriction that averages the four children
+// (conservative for equal-area children).
+func MeanRestrict[S ~float32 | ~float64]() func([4]S) S {
+	return func(v [4]S) S { return (v[0] + v[1] + v[2] + v[3]) / 4 }
+}

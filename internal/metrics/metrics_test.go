@@ -1,0 +1,136 @@
+package metrics
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCountersAddAndTotals(t *testing.T) {
+	a := Counters{Flops32: 10, Flops64: 5, LoadBytes: 100, StoreBytes: 50, KernelLaunches: 1}
+	b := Counters{Flops16: 2, Flops32: 1, Transcendental64: 3, Conversions: 7, KernelLaunches: 2}
+	a.Add(b)
+	if a.Flops32 != 11 || a.Flops16 != 2 || a.Transcendental64 != 3 || a.KernelLaunches != 3 {
+		t.Errorf("Add merged wrong: %+v", a)
+	}
+	if got := a.TotalFlops(); got != 2+11+5 {
+		t.Errorf("TotalFlops = %d", got)
+	}
+	if got := a.TotalBytes(); got != 150 {
+		t.Errorf("TotalBytes = %d", got)
+	}
+	if got := a.ArithmeticIntensity(); got != float64(18)/150 {
+		t.Errorf("ArithmeticIntensity = %g", got)
+	}
+	if (Counters{}).ArithmeticIntensity() != 0 {
+		t.Error("empty intensity not zero")
+	}
+	if !strings.Contains(a.String(), "flops") {
+		t.Error("String missing content")
+	}
+}
+
+func TestSIAndBytes(t *testing.T) {
+	cases := map[uint64]string{
+		5:             "5",
+		1500:          "1.50k",
+		2_500_000:     "2.50M",
+		3_000_000_000: "3.00G",
+	}
+	for v, want := range cases {
+		if got := SI(v); got != want {
+			t.Errorf("SI(%d) = %q, want %q", v, got, want)
+		}
+	}
+	if got := SI(2e12); got != "2.00T" {
+		t.Errorf("SI tera = %q", got)
+	}
+	bcases := map[uint64]string{
+		512:       "512B",
+		2048:      "2.00KiB",
+		3 << 20:   "3.00MiB",
+		5 << 30:   "5.00GiB",
+		1<<40 + 1: "1.00TiB",
+	}
+	for v, want := range bcases {
+		if got := Bytes(v); got != want {
+			t.Errorf("Bytes(%d) = %q, want %q", v, got, want)
+		}
+	}
+}
+
+func TestAllocTracker(t *testing.T) {
+	tr := NewAllocTracker()
+	tr.Register("state", 1000)
+	tr.Register("mesh", 500)
+	tr.Register("state", 200)
+	if tr.Current() != 1700 || tr.Peak() != 1700 {
+		t.Errorf("current %d peak %d", tr.Current(), tr.Peak())
+	}
+	tr.Release("mesh", 500)
+	if tr.Current() != 1200 {
+		t.Errorf("after release: %d", tr.Current())
+	}
+	if tr.Peak() != 1700 {
+		t.Errorf("peak moved: %d", tr.Peak())
+	}
+	// Over-release clamps.
+	tr.Release("state", 99999)
+	if tr.Current() != 0 {
+		t.Errorf("over-release left %d", tr.Current())
+	}
+	tr.Register("a", 10)
+	tr.Register("b", 20)
+	bd := tr.Breakdown()
+	if !strings.Contains(bd, "a") || !strings.Contains(bd, "b") {
+		t.Errorf("breakdown missing labels: %q", bd)
+	}
+	if strings.Index(bd, "b") > strings.Index(bd, "a") {
+		t.Errorf("breakdown not sorted by size: %q", bd)
+	}
+}
+
+func TestTimerPhases(t *testing.T) {
+	tm := NewTimer()
+	done := tm.Phase("work")
+	time.Sleep(5 * time.Millisecond)
+	done()
+	if tm.Total("work") < 4*time.Millisecond {
+		t.Errorf("phase recorded %v", tm.Total("work"))
+	}
+	tm.Observe("io", 2*time.Second)
+	tm.Observe("io", time.Second)
+	if tm.Total("io") != 3*time.Second {
+		t.Errorf("Observe total = %v", tm.Total("io"))
+	}
+	if tm.Total("missing") != 0 {
+		t.Error("missing bucket nonzero")
+	}
+	names := tm.Names()
+	if len(names) != 2 || names[0] != "work" || names[1] != "io" {
+		t.Errorf("Names = %v", names)
+	}
+	if !strings.Contains(tm.String(), "io") {
+		t.Error("String missing bucket")
+	}
+}
+
+func TestTimerConcurrentObserve(t *testing.T) {
+	tm := NewTimer()
+	tm.Observe("x", 0) // create the bucket before concurrent use
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				tm.Observe("x", time.Microsecond)
+			}
+		}()
+	}
+	wg.Wait()
+	if got := tm.Total("x"); got != 16*1000*time.Microsecond {
+		t.Errorf("concurrent observe total = %v", got)
+	}
+}

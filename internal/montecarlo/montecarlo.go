@@ -1,0 +1,155 @@
+// Package montecarlo reproduces the paper's prior-work Monte Carlo thread
+// ([10] Brugger et al., mixed-precision multilevel Monte Carlo for
+// financial engineering) as a third algorithm class for the precision
+// study (§VIII: "a broad range of mini-apps with different classes of
+// algorithms"): geometric-Brownian-motion option pricing where the per-path
+// arithmetic runs at a selectable precision while the accumulation
+// strategy is chosen independently — the same local-math-vs-global-sum
+// split the paper's mini-apps exhibit.
+package montecarlo
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/metrics"
+	"repro/internal/precision"
+	"repro/internal/reduce"
+)
+
+// Params describes a European call option under geometric Brownian motion.
+type Params struct {
+	// S0 is the spot price, Strike the exercise price.
+	S0, Strike float64
+	// Rate is the risk-free rate, Vol the volatility, T the maturity.
+	Rate, Vol, T float64
+}
+
+// Validate checks parameter sanity.
+func (p Params) Validate() error {
+	if p.S0 <= 0 || p.Strike <= 0 || p.Vol <= 0 || p.T <= 0 {
+		return fmt.Errorf("montecarlo: parameters must be positive: %+v", p)
+	}
+	return nil
+}
+
+// BlackScholesCall returns the closed-form price the simulation must
+// converge to.
+func (p Params) BlackScholesCall() float64 {
+	d1 := (math.Log(p.S0/p.Strike) + (p.Rate+p.Vol*p.Vol/2)*p.T) / (p.Vol * math.Sqrt(p.T))
+	d2 := d1 - p.Vol*math.Sqrt(p.T)
+	phi := func(x float64) float64 { return 0.5 * math.Erfc(-x/math.Sqrt2) }
+	return p.S0*phi(d1) - p.Strike*math.Exp(-p.Rate*p.T)*phi(d2)
+}
+
+// Config selects the numerical treatment.
+type Config struct {
+	// Paths is the sample count.
+	Paths int
+	// Seed fixes the random stream (paths are identical across precisions
+	// so differences are purely numerical).
+	Seed int64
+	// PathMode is the precision of the per-path arithmetic
+	// (exp/payoff): Min = float32, Full = float64. Mixed behaves as Full
+	// for path math (locals promoted).
+	PathMode precision.Mode
+	// SumMethod accumulates payoffs (the global reduction).
+	SumMethod reduce.Method
+}
+
+// Result reports one pricing run.
+type Result struct {
+	Price     float64
+	Reference float64 // Black–Scholes closed form
+	RelError  float64
+	Counters  metrics.Counters
+}
+
+// Price runs the simulation.
+func Price(p Params, cfg Config) (Result, error) {
+	if err := p.Validate(); err != nil {
+		return Result{}, err
+	}
+	if cfg.Paths <= 0 {
+		return Result{}, fmt.Errorf("montecarlo: path count %d must be positive", cfg.Paths)
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	drift := (p.Rate - p.Vol*p.Vol/2) * p.T
+	diff := p.Vol * math.Sqrt(p.T)
+	discount := math.Exp(-p.Rate * p.T)
+
+	payoffs := make([]float64, cfg.Paths)
+	var c metrics.Counters
+	single := cfg.PathMode == precision.Min || cfg.PathMode == precision.Half
+	for i := range payoffs {
+		z := rng.NormFloat64()
+		if single {
+			// Per-path arithmetic entirely in float32.
+			st := float32(p.S0) * float32(math.Exp(float64(float32(drift)+float32(diff)*float32(z))))
+			pay := st - float32(p.Strike)
+			if pay < 0 {
+				pay = 0
+			}
+			payoffs[i] = float64(float32(discount) * pay)
+		} else {
+			st := p.S0 * math.Exp(drift+diff*z)
+			pay := st - p.Strike
+			if pay < 0 {
+				pay = 0
+			}
+			payoffs[i] = discount * pay
+		}
+	}
+	if single {
+		c.Flops32 = uint64(cfg.Paths) * 6
+		c.Transcendental32 = uint64(cfg.Paths)
+	} else {
+		c.Flops64 = uint64(cfg.Paths) * 6
+		c.Transcendental64 = uint64(cfg.Paths)
+	}
+	c.LoadBytes = uint64(cfg.Paths) * 8
+	c.StoreBytes = uint64(cfg.Paths) * 8
+
+	var total float64
+	if single && cfg.SumMethod == reduce.Naive {
+		// The hazardous configuration the prior work warns about: a long
+		// naive accumulation at storage precision.
+		var acc float32
+		for _, v := range payoffs {
+			acc += float32(v)
+		}
+		total = float64(acc)
+	} else {
+		total = reduce.Sum(payoffs, cfg.SumMethod)
+	}
+	price := total / float64(cfg.Paths)
+	ref := p.BlackScholesCall()
+	return Result{
+		Price:     price,
+		Reference: ref,
+		RelError:  math.Abs(price-ref) / ref,
+		Counters:  c,
+	}, nil
+}
+
+// AccumulationBias isolates the reduction error: it prices the option with
+// the given configuration and with the same path precision but an exact
+// (long accumulator) sum, returning |price − priceExact| / priceExact —
+// pure accumulation error, with the Monte Carlo sampling noise cancelled.
+func AccumulationBias(p Params, cfg Config) (float64, error) {
+	withSum, err := Price(p, cfg)
+	if err != nil {
+		return 0, err
+	}
+	exactCfg := cfg
+	exactCfg.SumMethod = reduce.LongAcc
+	exact, err := Price(p, exactCfg)
+	if err != nil {
+		return 0, err
+	}
+	if exact.Price == 0 {
+		return 0, fmt.Errorf("montecarlo: degenerate exact price")
+	}
+	return math.Abs(withSum.Price-exact.Price) / math.Abs(exact.Price), nil
+}

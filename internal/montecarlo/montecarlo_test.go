@@ -1,0 +1,139 @@
+package montecarlo
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/precision"
+	"repro/internal/reduce"
+)
+
+var testParams = Params{S0: 100, Strike: 105, Rate: 0.02, Vol: 0.25, T: 1}
+
+func TestBlackScholesKnownValue(t *testing.T) {
+	// Independent check: at-the-money, zero rate, the Black–Scholes call
+	// is ≈ 0.3989·S0·σ√T for small σ√T.
+	p := Params{S0: 100, Strike: 100, Rate: 0, Vol: 0.1, T: 1}
+	got := p.BlackScholesCall()
+	approx := 0.3989 * 100 * 0.1
+	if math.Abs(got-approx)/approx > 0.02 {
+		t.Errorf("BS price %g, approximation %g", got, approx)
+	}
+	// Monotone in volatility and spot.
+	pHigh := p
+	pHigh.Vol = 0.3
+	if pHigh.BlackScholesCall() <= got {
+		t.Error("price not increasing in volatility")
+	}
+	pIn := p
+	pIn.S0 = 120
+	if pIn.BlackScholesCall() <= got {
+		t.Error("price not increasing in spot")
+	}
+}
+
+func TestMonteCarloConverges(t *testing.T) {
+	cfg := Config{Paths: 400000, Seed: 1, PathMode: precision.Full, SumMethod: reduce.Neumaier}
+	res, err := Price(testParams, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// MC error ~ σ/√n ≈ 0.03 on a ~9.3 price → rel ~3e-3.
+	if res.RelError > 0.01 {
+		t.Errorf("MC price %g vs BS %g (rel %g)", res.Price, res.Reference, res.RelError)
+	}
+	if res.Counters.Flops64 == 0 || res.Counters.Transcendental64 == 0 {
+		t.Error("counters empty")
+	}
+}
+
+func TestSinglePathMathIsCloseEnough(t *testing.T) {
+	// The paper's thesis on this workload: per-path single precision does
+	// not harm the estimate (sampling noise dominates), as long as the
+	// accumulation is protected.
+	full, err := Price(testParams, Config{Paths: 200000, Seed: 2, PathMode: precision.Full, SumMethod: reduce.Reproducible})
+	if err != nil {
+		t.Fatal(err)
+	}
+	single, err := Price(testParams, Config{Paths: 200000, Seed: 2, PathMode: precision.Min, SumMethod: reduce.Reproducible})
+	if err != nil {
+		t.Fatal(err)
+	}
+	diff := math.Abs(full.Price-single.Price) / full.Price
+	if diff > 1e-5 {
+		t.Errorf("single-path price differs by %g", diff)
+	}
+	if diff == 0 {
+		t.Error("single-path identical to double — precision plumbing broken")
+	}
+	if single.Counters.Flops32 == 0 || single.Counters.Flops64 != 0 {
+		t.Errorf("single counters wrong: %+v", single.Counters)
+	}
+}
+
+func TestNaiveSingleAccumulationBias(t *testing.T) {
+	// The hazardous configuration: naive float32 accumulation of 10⁶
+	// payoffs drifts visibly; a reproducible sum of the same float32
+	// payoffs does not.
+	cfgBad := Config{Paths: 1 << 20, Seed: 3, PathMode: precision.Min, SumMethod: reduce.Naive}
+	biasBad, err := AccumulationBias(testParams, cfgBad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfgGood := cfgBad
+	cfgGood.SumMethod = reduce.Reproducible
+	biasGood, err := AccumulationBias(testParams, cfgGood)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if biasBad < 100*biasGood {
+		t.Errorf("naive f32 accumulation bias %g not ≫ protected bias %g", biasBad, biasGood)
+	}
+	if biasBad < 1e-6 {
+		t.Errorf("naive f32 accumulation bias %g suspiciously small", biasBad)
+	}
+	if biasGood > 1e-12 {
+		t.Errorf("reproducible accumulation bias %g too large", biasGood)
+	}
+}
+
+func TestSameSeedSamePaths(t *testing.T) {
+	// Differences between precisions must be numerical, not statistical:
+	// the random stream is identical.
+	a, err := Price(testParams, Config{Paths: 1000, Seed: 7, PathMode: precision.Full, SumMethod: reduce.LongAcc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Price(testParams, Config{Paths: 1000, Seed: 7, PathMode: precision.Full, SumMethod: reduce.LongAcc})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Price != b.Price {
+		t.Error("same seed produced different prices")
+	}
+}
+
+func TestValidation(t *testing.T) {
+	if _, err := Price(Params{}, Config{Paths: 10}); err == nil {
+		t.Error("zero parameters accepted")
+	}
+	if _, err := Price(testParams, Config{Paths: 0}); err == nil {
+		t.Error("zero paths accepted")
+	}
+	if _, err := AccumulationBias(Params{S0: -1}, Config{Paths: 10}); err == nil {
+		t.Error("AccumulationBias accepted bad params")
+	}
+}
+
+func BenchmarkPricePaths(b *testing.B) {
+	for _, mode := range []precision.Mode{precision.Min, precision.Full} {
+		b.Run(mode.String(), func(b *testing.B) {
+			cfg := Config{Paths: 100000, Seed: 1, PathMode: mode, SumMethod: reduce.Neumaier}
+			for i := 0; i < b.N; i++ {
+				if _, err := Price(testParams, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,83 @@
+// Package par provides the deterministic fork-join helper the mini-apps
+// parallelise their kernels with: fixed contiguous chunking (no work
+// stealing), so a computation that writes disjoint index ranges produces
+// bit-identical results at every worker count.
+package par
+
+import (
+	"runtime"
+	"sync"
+)
+
+// Bounds returns the half-open range of chunk w when n items are split
+// into `workers` nearly equal contiguous chunks. It depends only on
+// (n, workers, w).
+func Bounds(n, workers, w int) (lo, hi int) {
+	return n * w / workers, n * (w + 1) / workers
+}
+
+// ForN runs fn over [0, n) split into contiguous chunks across `workers`
+// goroutines and waits for completion. workers ≤ 1 runs inline. fn must
+// write only within its own range (or to per-chunk storage) for the result
+// to be deterministic.
+func ForN(workers, n int, fn func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		fn(0, n)
+		return
+	}
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := Bounds(n, workers, w)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// MapReduce runs produce over each chunk, storing one partial per chunk,
+// then folds the partials in chunk order with combine. With an
+// order-insensitive combine (min, max, exact accumulators) the result is
+// bit-identical for every worker count; with float addition it is
+// deterministic for a fixed worker count.
+func MapReduce[T any](workers, n int, produce func(lo, hi int) T, combine func(a, b T) T, zero T) T {
+	if n <= 0 {
+		return zero
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return combine(zero, produce(0, n))
+	}
+	partials := make([]T, workers)
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := Bounds(n, workers, w)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partials[w] = produce(lo, hi)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	acc := zero
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc
+}

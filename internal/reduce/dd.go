@@ -1,0 +1,113 @@
+package reduce
+
+import "math"
+
+// DD is an unevaluated double-double value Hi + Lo with |Lo| ≤ ulp(Hi)/2,
+// carrying roughly 106 bits of significand. It implements the error-free
+// transformations (TwoSum, TwoProd) the paper's cited reproducible-sum work
+// builds on.
+type DD struct {
+	Hi, Lo float64
+}
+
+// DDFromFloat returns x as an exact double-double.
+func DDFromFloat(x float64) DD { return DD{Hi: x} }
+
+// TwoSum returns s = fl(a+b) and the exact rounding error e with
+// a + b = s + e (Knuth's branch-free error-free transformation).
+func TwoSum(a, b float64) (s, e float64) {
+	s = a + b
+	bv := s - a
+	e = (a - (s - bv)) + (b - bv)
+	return s, e
+}
+
+// FastTwoSum returns s = fl(a+b) and the exact error, valid when |a| ≥ |b|
+// (Dekker).
+func FastTwoSum(a, b float64) (s, e float64) {
+	s = a + b
+	e = b - (s - a)
+	return s, e
+}
+
+// TwoProd returns p = fl(a·b) and the exact error e with a·b = p + e,
+// using the hardware fused multiply-add.
+func TwoProd(a, b float64) (p, e float64) {
+	p = a * b
+	e = math.FMA(a, b, -p)
+	return p, e
+}
+
+// Add returns the double-double sum d + o.
+func (d DD) Add(o DD) DD {
+	s, e := TwoSum(d.Hi, o.Hi)
+	if math.IsInf(s, 0) {
+		return DD{Hi: s} // error terms are Inf-Inf = NaN; propagate the Inf
+	}
+	e += d.Lo + o.Lo
+	hi, lo := FastTwoSum(s, e)
+	return DD{hi, lo}
+}
+
+// AddFloat returns the double-double sum d + x.
+func (d DD) AddFloat(x float64) DD {
+	s, e := TwoSum(d.Hi, x)
+	if math.IsInf(s, 0) {
+		return DD{Hi: s}
+	}
+	e += d.Lo
+	hi, lo := FastTwoSum(s, e)
+	return DD{hi, lo}
+}
+
+// Sub returns d - o.
+func (d DD) Sub(o DD) DD { return d.Add(DD{-o.Hi, -o.Lo}) }
+
+// Mul returns the double-double product d · o.
+func (d DD) Mul(o DD) DD {
+	p, e := TwoProd(d.Hi, o.Hi)
+	e += d.Hi*o.Lo + d.Lo*o.Hi
+	hi, lo := FastTwoSum(p, e)
+	return DD{hi, lo}
+}
+
+// MulFloat returns d · x.
+func (d DD) MulFloat(x float64) DD { return d.Mul(DD{Hi: x}) }
+
+// Neg returns -d.
+func (d DD) Neg() DD { return DD{-d.Hi, -d.Lo} }
+
+// Float64 rounds d to the nearest float64.
+func (d DD) Float64() float64 { return d.Hi + d.Lo }
+
+// Abs returns |d|.
+func (d DD) Abs() DD {
+	if d.Hi < 0 || (d.Hi == 0 && d.Lo < 0) {
+		return d.Neg()
+	}
+	return d
+}
+
+// Less reports whether d < o.
+func (d DD) Less(o DD) bool {
+	if d.Hi != o.Hi {
+		return d.Hi < o.Hi
+	}
+	return d.Lo < o.Lo
+}
+
+// DotDD computes the dot product of a and b in double-double arithmetic
+// with error-free product transformations (compensated dot product à la
+// Ogita, Rump & Oishi). Panics if the lengths differ.
+func DotDD(a, b []float64) DD {
+	if len(a) != len(b) {
+		panic("reduce: DotDD length mismatch")
+	}
+	var acc DD
+	for i := range a {
+		p, e := TwoProd(a[i], b[i])
+		acc = acc.AddFloat(p)
+		acc = acc.AddFloat(e)
+	}
+	return acc
+}

@@ -1,0 +1,249 @@
+package reduce
+
+import (
+	"math"
+	"math/bits"
+)
+
+// accWords is the size of the long accumulator in 64-bit words. A float64
+// needs bit positions 0 (2^-1074) through 2097 (MSB of MaxFloat64), i.e.
+// 2098 bits; 34 words give 2176 bits, leaving 78 headroom bits so ~2^77
+// maximal addends can be accumulated before overflow — effectively
+// unbounded for any realistic reduction.
+const accWords = 34
+
+// LongAccumulator is a Kulisch-style exact fixed-point accumulator: every
+// float64 added lands in a 2176-bit two's-complement register scaled by
+// 2^-1074, with no rounding whatsoever. Sums are therefore exact, and
+// Round() performs the single rounding of the true result — bit-identical
+// for any ordering or parallel partitioning of the input.
+type LongAccumulator struct {
+	w [accWords]uint64 // two's-complement, little-endian, ulp = 2^-1074
+
+	nan    bool
+	posInf bool
+	negInf bool
+}
+
+// NewLongAccumulator returns a zeroed accumulator.
+func NewLongAccumulator() *LongAccumulator { return &LongAccumulator{} }
+
+// Reset zeroes the accumulator.
+func (a *LongAccumulator) Reset() { *a = LongAccumulator{} }
+
+// Add accumulates x exactly. Infinities and NaNs are tracked out-of-band
+// and reproduced by Round with IEEE semantics (+Inf + -Inf = NaN).
+func (a *LongAccumulator) Add(x float64) {
+	b := math.Float64bits(x)
+	exp := int(b>>52) & 0x7ff
+	man := b & 0xfffffffffffff
+	neg := b>>63 != 0
+
+	if exp == 0x7ff {
+		switch {
+		case man != 0:
+			a.nan = true
+		case neg:
+			a.negInf = true
+		default:
+			a.posInf = true
+		}
+		return
+	}
+	var pos int
+	if exp == 0 {
+		if man == 0 {
+			return // ±0
+		}
+		pos = 0 // subnormal: value = man × 2^-1074
+	} else {
+		man |= 1 << 52
+		pos = exp - 1 // normal: value = man × 2^(exp-1075+1) in 2^-1074 ulps
+	}
+	if neg {
+		a.subMagnitude(man, pos)
+	} else {
+		a.addMagnitude(man, pos)
+	}
+}
+
+// AddProduct accumulates the exact product x·y using an error-free product
+// transformation: both the rounded product and its FMA-recovered error term
+// are added, so the accumulated value is exactly x·y whenever the product
+// does not overflow.
+func (a *LongAccumulator) AddProduct(x, y float64) {
+	p, e := TwoProd(x, y)
+	a.Add(p)
+	a.Add(e)
+}
+
+// addMagnitude adds man << pos into the register with carry propagation.
+func (a *LongAccumulator) addMagnitude(man uint64, pos int) {
+	word, shift := pos/64, uint(pos%64)
+	lo := man << shift
+	var hi uint64
+	if shift > 0 {
+		hi = man >> (64 - shift)
+	}
+	var c uint64
+	a.w[word], c = bits.Add64(a.w[word], lo, 0)
+	a.w[word+1], c = bits.Add64(a.w[word+1], hi, c)
+	for i := word + 2; c != 0 && i < accWords; i++ {
+		a.w[i], c = bits.Add64(a.w[i], 0, c)
+	}
+}
+
+// subMagnitude subtracts man << pos with borrow propagation.
+func (a *LongAccumulator) subMagnitude(man uint64, pos int) {
+	word, shift := pos/64, uint(pos%64)
+	lo := man << shift
+	var hi uint64
+	if shift > 0 {
+		hi = man >> (64 - shift)
+	}
+	var brw uint64
+	a.w[word], brw = bits.Sub64(a.w[word], lo, 0)
+	a.w[word+1], brw = bits.Sub64(a.w[word+1], hi, brw)
+	for i := word + 2; brw != 0 && i < accWords; i++ {
+		a.w[i], brw = bits.Sub64(a.w[i], 0, brw)
+	}
+}
+
+// Merge adds the contents of other into a (exact). The special-value flags
+// are OR-combined.
+func (a *LongAccumulator) Merge(other *LongAccumulator) {
+	var c uint64
+	for i := 0; i < accWords; i++ {
+		a.w[i], c = bits.Add64(a.w[i], other.w[i], c)
+	}
+	a.nan = a.nan || other.nan
+	a.posInf = a.posInf || other.posInf
+	a.negInf = a.negInf || other.negInf
+}
+
+// IsZero reports whether the accumulated (finite) value is exactly zero and
+// no special values were seen.
+func (a *LongAccumulator) IsZero() bool {
+	if a.nan || a.posInf || a.negInf {
+		return false
+	}
+	for _, w := range a.w {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Signum returns -1, 0, or +1 according to the sign of the finite
+// accumulated value.
+func (a *LongAccumulator) Signum() int {
+	if a.w[accWords-1]>>63 != 0 {
+		return -1
+	}
+	for _, w := range a.w {
+		if w != 0 {
+			return 1
+		}
+	}
+	return 0
+}
+
+// Round returns the accumulated value correctly rounded (to nearest, ties
+// to even) to float64. Special values follow IEEE: any NaN, or both
+// infinities, yields NaN; one infinity dominates any finite sum.
+func (a *LongAccumulator) Round() float64 {
+	switch {
+	case a.nan || (a.posInf && a.negInf):
+		return math.NaN()
+	case a.posInf:
+		return math.Inf(1)
+	case a.negInf:
+		return math.Inf(-1)
+	}
+
+	mag := a.w
+	negative := mag[accWords-1]>>63 != 0
+	if negative {
+		// Two's-complement negate: invert and add one.
+		var c uint64 = 1
+		for i := 0; i < accWords; i++ {
+			mag[i], c = bits.Add64(^mag[i], 0, c)
+		}
+	}
+
+	// Locate the most significant set bit.
+	top := -1
+	for i := accWords - 1; i >= 0; i-- {
+		if mag[i] != 0 {
+			top = i*64 + 63 - bits.LeadingZeros64(mag[i])
+			break
+		}
+	}
+	if top < 0 {
+		return 0
+	}
+
+	var result float64
+	if top <= 52 {
+		// The value fits in 53 bits (all inside word 0): exact.
+		result = math.Ldexp(float64(mag[0]), -1074)
+	} else {
+		// Extract the 53 significand bits [top-52, top], the round bit,
+		// and the sticky OR of everything below.
+		m := extractBits(&mag, top-52, 53)
+		roundBit := extractBits(&mag, top-53, 1)
+		sticky := anyBitsBelow(&mag, top-53)
+		if roundBit == 1 && (sticky || m&1 == 1) {
+			m++
+			if m == 1<<53 {
+				m >>= 1
+				top++
+			}
+		}
+		result = math.Ldexp(float64(m), top-52-1074)
+	}
+	if negative {
+		result = -result
+	}
+	return result
+}
+
+// extractBits returns n (≤ 64) bits of the register starting at absolute
+// bit position from (LSB-first). Positions below zero read as zero.
+func extractBits(w *[accWords]uint64, from, n int) uint64 {
+	if n == 0 {
+		return 0
+	}
+	if from < 0 {
+		shift := -from
+		if shift >= n {
+			return 0
+		}
+		return extractBits(w, 0, n-shift) << shift
+	}
+	word, off := from/64, uint(from%64)
+	v := w[word] >> off
+	if off != 0 && word+1 < accWords {
+		v |= w[word+1] << (64 - off)
+	}
+	if n < 64 {
+		v &= 1<<uint(n) - 1
+	}
+	return v
+}
+
+// anyBitsBelow reports whether any bit strictly below absolute position pos
+// is set.
+func anyBitsBelow(w *[accWords]uint64, pos int) bool {
+	if pos <= 0 {
+		return false
+	}
+	word, off := pos/64, uint(pos%64)
+	for i := 0; i < word; i++ {
+		if w[i] != 0 {
+			return true
+		}
+	}
+	return off > 0 && w[word]&(1<<off-1) != 0
+}

@@ -1,0 +1,223 @@
+package reduce
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+)
+
+// ParallelSum computes the sum of xs using `workers` goroutines, each
+// reducing a contiguous chunk with the given serial method, then merging the
+// partials in fixed chunk order.
+//
+// For the reproducible methods (Reproducible, LongAcc) the result is
+// bit-identical for every worker count and every permutation within chunks:
+// Reproducible partials are merged through a shared pre-rounding boundary
+// derived from the global maximum, and LongAcc partial accumulators merge
+// exactly. For the other methods the result matches the quality of the
+// serial algorithm but may differ in the last bits as workers vary — which
+// is precisely the irreproducibility the paper's §III.C warns about.
+func ParallelSum(xs []float64, workers int, m Method) float64 {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	if workers <= 1 {
+		return Sum(xs, m)
+	}
+
+	switch m {
+	case LongAcc:
+		return parallelLongAcc(xs, workers).Round()
+	case Reproducible:
+		return parallelReproducible(xs, workers)
+	}
+
+	partials := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := chunkBounds(len(xs), workers, w)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			partials[w] = Sum(xs[lo:hi], m)
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Merge partials with a quality-matched serial pass.
+	switch m {
+	case Kahan:
+		return SumKahan(partials)
+	case Neumaier:
+		return SumNeumaier(partials)
+	case Pairwise:
+		return SumPairwise(partials)
+	case DoubleDouble:
+		return SumDoubleDouble(partials).Float64()
+	default:
+		return SumNaive(partials)
+	}
+}
+
+// ParallelLongAccumulator exactly accumulates xs in parallel and returns the
+// merged accumulator, for callers that want to continue accumulating.
+func ParallelLongAccumulator(xs []float64, workers int) *LongAccumulator {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(xs) {
+		workers = len(xs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	return parallelLongAcc(xs, workers)
+}
+
+func parallelLongAcc(xs []float64, workers int) *LongAccumulator {
+	accs := make([]*LongAccumulator, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := chunkBounds(len(xs), workers, w)
+		accs[w] = NewLongAccumulator()
+		wg.Add(1)
+		go func(acc *LongAccumulator, lo, hi int) {
+			defer wg.Done()
+			for _, x := range xs[lo:hi] {
+				acc.Add(x)
+			}
+		}(accs[w], lo, hi)
+	}
+	wg.Wait()
+	for w := 1; w < workers; w++ {
+		accs[0].Merge(accs[w])
+	}
+	return accs[0]
+}
+
+// parallelReproducible runs the pre-rounding scheme with a globally agreed
+// boundary so every partition yields the same bits. Each worker computes an
+// exact partial on the shared grid; partial sums merge exactly.
+func parallelReproducible(xs []float64, workers int) float64 {
+	// Pass 1: global max magnitude (order-independent).
+	maxes := make([]float64, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		lo, hi := chunkBounds(len(xs), workers, w)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			m := 0.0
+			for _, x := range xs[lo:hi] {
+				if a := math.Abs(x); a > m || math.IsNaN(a) {
+					m = a
+				}
+			}
+			maxes[w] = m
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	maxAbs := 0.0
+	for _, m := range maxes {
+		if m > maxAbs || math.IsNaN(m) {
+			maxAbs = m
+		}
+	}
+	if maxAbs == 0 || math.IsInf(maxAbs, 0) || math.IsNaN(maxAbs) {
+		return SumNaive(xs)
+	}
+	// The folds must see the same grid regardless of partitioning, so the
+	// bit budget uses the *global* n.
+	logN := 0
+	for 1<<logN < len(xs) {
+		logN++
+	}
+	foldBits := 52 - logN - 1
+	if foldBits < 2 {
+		return parallelLongAcc(xs, workers).Round()
+	}
+
+	const folds = 3
+	type partial struct{ s [folds]float64 }
+	parts := make([]partial, workers)
+	for w := 0; w < workers; w++ {
+		lo, hi := chunkBounds(len(xs), workers, w)
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			boundary := math.Ldexp(1, ilogb(maxAbs)-foldBits+1)
+			rem := make([]float64, hi-lo)
+			copy(rem, xs[lo:hi])
+			for f := 0; f < folds; f++ {
+				var s float64
+				for i, x := range rem {
+					q := prround(x, boundary)
+					s += q
+					rem[i] = x - q
+				}
+				parts[w].s[f] = s
+				boundary = math.Ldexp(boundary, -foldBits)
+				if boundary == 0 {
+					boundary = math.Ldexp(1, -1074)
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	// Each fold's partials are exact multiples of that fold's grid; their
+	// float64 sums are exact, so merging is order-insensitive. Accumulate
+	// the folds in double-double for the final rounding.
+	var total DD
+	for f := 0; f < folds; f++ {
+		var s float64
+		for w := range parts {
+			s += parts[w].s[f]
+		}
+		total = total.AddFloat(s)
+	}
+	return total.Float64()
+}
+
+// chunkBounds splits n items into `workers` nearly equal contiguous chunks
+// and returns the half-open bounds of chunk w. The split depends only on
+// (n, workers, w).
+func chunkBounds(n, workers, w int) (lo, hi int) {
+	lo = n * w / workers
+	hi = n * (w + 1) / workers
+	return lo, hi
+}
+
+// IllConditioned generates a length-n slice whose naive sum loses roughly
+// log10(cond) decimal digits, together with the exact sum (computed with a
+// long accumulator). It follows the spirit of Ogita–Rump–Oishi ill-
+// conditioned dot-product generation: large cancelling pairs plus a small
+// residual signal. Used by the accuracy experiments that reproduce the
+// paper's "7 digits → 15 digits" global-sum claim.
+func IllConditioned(n int, cond float64, seed int64) (xs []float64, exact float64) {
+	if n < 4 {
+		n = 4
+	}
+	rng := rand.New(rand.NewSource(seed))
+	xs = make([]float64, 0, n)
+	big := cond
+	// Cancelling pairs at descending magnitudes.
+	for len(xs)+2 <= n/2 {
+		v := (rng.Float64() + 0.5) * big
+		xs = append(xs, v, -v)
+		big = math.Max(big*0.9, 1)
+	}
+	// Small residual values carrying the true sum.
+	for len(xs) < n {
+		xs = append(xs, rng.Float64()*2-1)
+	}
+	// Shuffle so the cancellation is interleaved.
+	rng.Shuffle(len(xs), func(i, j int) { xs[i], xs[j] = xs[j], xs[i] })
+	acc := NewLongAccumulator()
+	for _, x := range xs {
+		acc.Add(x)
+	}
+	return xs, acc.Round()
+}

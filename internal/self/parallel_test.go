@@ -1,0 +1,69 @@
+package self
+
+import (
+	"testing"
+)
+
+// TestParallelBitwiseIdentical verifies that every pass of the solver
+// (pressure, RHS, RK update, filter) produces bit-identical state under
+// any worker count — the guarantee cfg.Workers documents.
+func TestParallelBitwiseIdentical(t *testing.T) {
+	run := func(workers int) []float64 {
+		cfg := smallConfig()
+		cfg.Workers = workers
+		s, err := NewSolver[float64, float64](cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(15); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, s.nNodes)
+		for n := 0; n < s.nNodes; n++ {
+			out[n] = float64(s.q[iRhoW][n])
+		}
+		return out
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 3, 7} {
+		got := run(workers)
+		for i := range ref {
+			if got[i] != ref[i] {
+				t.Fatalf("workers=%d: node %d differs: %x vs %x", workers, i, got[i], ref[i])
+			}
+		}
+	}
+}
+
+func TestParallelSinglePrecision(t *testing.T) {
+	cfg := smallConfig()
+	cfg.Workers = 4
+	s, err := NewSolver[float32, float32](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(10); err != nil {
+		t.Fatal(err)
+	}
+	if s.MaxAbsW() <= 0 {
+		t.Error("parallel single-precision run produced no motion")
+	}
+}
+
+func BenchmarkParallelRHS(b *testing.B) {
+	for _, workers := range []int{1, 4, 8} {
+		b.Run(map[int]string{1: "w1", 4: "w4", 8: "w8"}[workers], func(b *testing.B) {
+			cfg := Config{Elements: 5, Order: 6, Workers: workers}
+			s, err := NewSolver[float64, float64](cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,101 @@
+package self
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/checkpoint"
+	"repro/internal/precision"
+)
+
+// stateNames are the checkpoint array names, indexed by variable.
+var stateNames = [nVars]string{"rho", "rhou", "rhov", "rhow", "rhotheta"}
+
+// WriteCheckpoint serialises the conserved state at storage precision plus
+// the grid geometry needed to validate a restart.
+func (s *Solver[S, C]) WriteCheckpoint(w io.Writer) (int64, error) {
+	cw := checkpoint.NewWriter(w, "self", s.step, s.time)
+	cw.AddI32("geometry", []int32{int32(s.ne), int32(s.cfg.Order)})
+	for v := 0; v < nVars; v++ {
+		switch q := any(s.q[v]).(type) {
+		case []float32:
+			cw.AddF32(stateNames[v], q)
+		case []float64:
+			cw.AddF64(stateNames[v], q)
+		}
+	}
+	n, err := cw.Flush()
+	if err != nil {
+		return n, err
+	}
+	s.counters.StoreBytes += uint64(n)
+	return n, nil
+}
+
+// Load restores a Runner from a checkpoint written by WriteCheckpoint. The
+// configuration must describe the same grid (element count and order);
+// state converts to the requested mode's storage width. Restarting in the
+// writing mode resumes bit-exactly.
+func Load(mode precision.Mode, cfg Config, r io.Reader) (Runner, error) {
+	ck, err := checkpoint.Read(r)
+	if err != nil {
+		return nil, fmt.Errorf("self: restart: %w", err)
+	}
+	if ck.Header.App != "self" {
+		return nil, fmt.Errorf("self: restart: checkpoint is for app %q", ck.Header.App)
+	}
+	switch mode {
+	case precision.Min:
+		return loadSolver[float32, float32](cfg, ck)
+	case precision.Mixed:
+		return loadSolver[float32, float64](cfg, ck)
+	case precision.Full:
+		return loadSolver[float64, float64](cfg, ck)
+	default:
+		return nil, fmt.Errorf("self: restart: unsupported mode %v", mode)
+	}
+}
+
+func loadSolver[S, C precision.Real](cfg Config, ck *checkpoint.Checkpoint) (*Solver[S, C], error) {
+	geo, err := ck.Int32Array("geometry")
+	if err != nil {
+		return nil, fmt.Errorf("self: restart: %w", err)
+	}
+	if len(geo) != 2 {
+		return nil, fmt.Errorf("self: restart: malformed geometry record")
+	}
+	if cfg.Elements == 0 {
+		cfg.Elements = int(geo[0])
+	}
+	if cfg.Order == 0 {
+		cfg.Order = int(geo[1])
+	}
+	if cfg.Elements != int(geo[0]) || cfg.Order != int(geo[1]) {
+		return nil, fmt.Errorf("self: restart: config %d³@%d does not match checkpoint %d³@%d",
+			cfg.Elements, cfg.Order, geo[0], geo[1])
+	}
+	s, err := NewSolver[S, C](cfg)
+	if err != nil {
+		return nil, err
+	}
+	for v := 0; v < nVars; v++ {
+		xs, err := ck.Float64Array(stateNames[v])
+		if err != nil {
+			return nil, fmt.Errorf("self: restart: %w", err)
+		}
+		if len(xs) != s.nNodes {
+			return nil, fmt.Errorf("self: restart: array %q has %d values for %d nodes",
+				stateNames[v], len(xs), s.nNodes)
+		}
+		for i, x := range xs {
+			s.q[v][i] = S(x)
+		}
+	}
+	// Clear the RK register and counters accumulated by NewSolver's IC.
+	for v := 0; v < nVars; v++ {
+		clear(s.g[v])
+	}
+	s.time = ck.Header.Time
+	s.step = ck.Header.Step
+	return s, nil
+}

@@ -1,0 +1,93 @@
+package self
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/precision"
+)
+
+func TestSELFRestartBitExact(t *testing.T) {
+	for _, mode := range []precision.Mode{precision.Min, precision.Full} {
+		cfg := smallConfig()
+		cfg.FilterInterval = 3 // cadence straddles the split
+
+		straight, err := New(mode, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := straight.Run(20); err != nil {
+			t.Fatal(err)
+		}
+
+		first, err := New(mode, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := first.Run(12); err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if _, err := first.WriteCheckpoint(&buf); err != nil {
+			t.Fatal(err)
+		}
+		resumed, err := Load(mode, cfg, &buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resumed.StepCount() != 12 || resumed.Time() != first.Time() {
+			t.Fatalf("%v: restored step=%d time=%g", mode, resumed.StepCount(), resumed.Time())
+		}
+		if err := resumed.Run(8); err != nil {
+			t.Fatal(err)
+		}
+
+		_, a, err := straight.LineX(FieldDensityAnomaly, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_, b, err := resumed.LineX(FieldDensityAnomaly, 64)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				t.Fatalf("%v: sample %d differs after restart: %x vs %x", mode, i, a[i], b[i])
+			}
+		}
+	}
+}
+
+func TestSELFRestartErrors(t *testing.T) {
+	cfg := smallConfig()
+	s, err := New(precision.Full, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if _, err := s.WriteCheckpoint(&buf); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+
+	if _, err := Load(precision.Full, cfg, bytes.NewReader([]byte("junk"))); err == nil {
+		t.Error("junk accepted")
+	}
+	wrong := cfg
+	wrong.Elements = 5
+	if _, err := Load(precision.Full, wrong, bytes.NewReader(good)); err == nil {
+		t.Error("mismatched geometry accepted")
+	}
+	if _, err := Load(precision.Half, cfg, bytes.NewReader(good)); err == nil {
+		t.Error("half mode accepted")
+	}
+	// Zero config adopts the checkpoint geometry.
+	auto := Config{}
+	r, err := Load(precision.Full, auto, bytes.NewReader(good))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.NodeCount() != s.NodeCount() {
+		t.Error("auto geometry restore wrong")
+	}
+}

@@ -1,0 +1,51 @@
+package self
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/metrics"
+	"repro/internal/precision"
+)
+
+// Runner is the precision-erased interface over Solver instantiations.
+// The paper's SELF study compares Single (Min) and Double (Full); Mixed and
+// Half are this repository's ablation extensions ("SELF does not have a
+// mixed-precision option currently" — §VI).
+type Runner interface {
+	Step() error
+	Run(n int) error
+	Time() float64
+	StepCount() int
+	NodeCount() int
+	DegreesOfFreedom() int
+	StableDT() float64
+	Sample(f Field, x, y, z float64) (float64, error)
+	LineX(f Field, n int) (xs, vals []float64, err error)
+	TotalMass() float64
+	MaxAbsW() float64
+	Counters() metrics.Counters
+	Timer() *metrics.Timer
+	StateBytes() uint64
+	// WriteCheckpoint serialises the conserved state at storage precision.
+	WriteCheckpoint(w io.Writer) (int64, error)
+}
+
+// New constructs a Runner at the given precision mode.
+func New(mode precision.Mode, cfg Config) (Runner, error) {
+	switch mode {
+	case precision.Min:
+		return NewSolver[float32, float32](cfg)
+	case precision.Mixed:
+		return NewSolver[float32, float64](cfg)
+	case precision.Full:
+		return NewSolver[float64, float64](cfg)
+	case precision.Half:
+		// Half storage is too narrow for absolute ρθ ≈ 300·ρ and p ≈ 1e5
+		// without rescaling; the CLAMR twin carries the half-precision
+		// ablation instead.
+		return nil, fmt.Errorf("self: half precision storage is not supported (dynamic range)")
+	default:
+		return nil, fmt.Errorf("self: unknown precision mode %v", mode)
+	}
+}

@@ -1,0 +1,276 @@
+package solvers
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func rhs(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	b := make([]float64, n)
+	for i := range b {
+		b[i] = rng.Float64()*2 - 1
+	}
+	return b
+}
+
+func TestPoisson2DStructure(t *testing.T) {
+	m, err := Poisson2D(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.N != 16 {
+		t.Fatalf("N = %d", m.N)
+	}
+	// Interior row: 4 on diagonal, four −1 neighbors; row sums ≥ 0 with
+	// equality only for interior rows.
+	for i := 0; i < m.N; i++ {
+		var sum, diag float64
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			sum += m.Val[p]
+			if m.Col[p] == int32(i) {
+				diag = m.Val[p]
+			}
+		}
+		if diag != 4 {
+			t.Errorf("row %d diagonal %g", i, diag)
+		}
+		if sum < 0 {
+			t.Errorf("row %d sum %g < 0", i, sum)
+		}
+	}
+	// Symmetry: build a dense mirror and compare.
+	dense := make([][]float64, m.N)
+	for i := range dense {
+		dense[i] = make([]float64, m.N)
+		for p := m.RowPtr[i]; p < m.RowPtr[i+1]; p++ {
+			dense[i][m.Col[p]] = m.Val[p]
+		}
+	}
+	for i := 0; i < m.N; i++ {
+		for j := 0; j < m.N; j++ {
+			if dense[i][j] != dense[j][i] {
+				t.Fatalf("asymmetry at (%d,%d)", i, j)
+			}
+		}
+	}
+	if _, err := Poisson2D(0); err == nil {
+		t.Error("Poisson2D(0) accepted")
+	}
+}
+
+func TestMulVecAgainstDense(t *testing.T) {
+	m, err := Poisson2D(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x := rhs(m.N, 1)
+	got := make([]float64, m.N)
+	m.MulVec(got, x)
+	// Reference via the 5-point stencil directly.
+	n := 3
+	for j := 0; j < n; j++ {
+		for i := 0; i < n; i++ {
+			row := j*n + i
+			want := 4 * x[row]
+			if i > 0 {
+				want -= x[row-1]
+			}
+			if i < n-1 {
+				want -= x[row+1]
+			}
+			if j > 0 {
+				want -= x[row-n]
+			}
+			if j < n-1 {
+				want -= x[row+n]
+			}
+			if math.Abs(got[row]-want) > 1e-14 {
+				t.Fatalf("row %d: %g want %g", row, got[row], want)
+			}
+		}
+	}
+}
+
+func TestCGReachesDoubleAccuracy(t *testing.T) {
+	m, err := Poisson2D(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhs(m.N, 2)
+	x := make([]float64, m.N)
+	st := CG(m, b, x, 1e-12, 5000)
+	if !st.Converged {
+		t.Fatalf("CG did not converge: %+v", st)
+	}
+	if st.RelResidual > 1e-11 {
+		t.Errorf("residual %g", st.RelResidual)
+	}
+	if st.Counters.Flops64 == 0 || st.Counters.Flops32 != 0 {
+		t.Errorf("counters wrong: %+v", st.Counters)
+	}
+}
+
+func TestCG32StallsAtSinglePrecision(t *testing.T) {
+	m, err := Poisson2D(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhs(m.N, 3)
+	_, st := CG32(m, b, 1e-12, 5000)
+	// Single precision cannot reach 1e-12; it stalls around 1e-5..1e-7.
+	if st.Converged {
+		t.Error("pure single-precision CG claimed double-level convergence")
+	}
+	if st.RelResidual > 1e-3 || st.RelResidual < 1e-9 {
+		t.Errorf("single-precision stall at %g, expected ~1e-5..1e-7", st.RelResidual)
+	}
+	if st.Counters.Flops32 == 0 {
+		t.Error("no single-precision flops recorded")
+	}
+}
+
+func TestIRReachesDoubleAccuracyWithSingleFlops(t *testing.T) {
+	m, err := Poisson2D(24)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhs(m.N, 4)
+	x, st := SolveIR(m, b, IROptions{Tol: 1e-12})
+	if !st.Converged {
+		t.Fatalf("IR did not converge: %+v", st)
+	}
+	if st.RelResidual > 1e-12 {
+		t.Errorf("IR residual %g", st.RelResidual)
+	}
+	// The headline: most arithmetic ran in single precision.
+	if frac := st.SingleFlopFraction(); frac < 0.85 {
+		t.Errorf("only %.0f%% of flops at single precision", 100*frac)
+	}
+	if st.OuterIterations < 2 {
+		t.Error("IR converged in one outer step — inner tolerance suspiciously tight")
+	}
+	// Solution must actually solve the system.
+	r := make([]float64, m.N)
+	m.MulVec(r, x)
+	for i := range r {
+		r[i] = b[i] - r[i]
+	}
+	if norm2(r)/norm2(b) > 1e-11 {
+		t.Error("returned solution does not match reported residual")
+	}
+}
+
+func TestIRMatchesCGSolution(t *testing.T) {
+	m, err := Poisson2D(16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhs(m.N, 5)
+	xCG := make([]float64, m.N)
+	CG(m, b, xCG, 1e-13, 10000)
+	xIR, _ := SolveIR(m, b, IROptions{Tol: 1e-13})
+	maxDiff := 0.0
+	for i := range xCG {
+		if d := math.Abs(xCG[i] - xIR[i]); d > maxDiff {
+			maxDiff = d
+		}
+	}
+	scale := 0.0
+	for _, v := range xCG {
+		if a := math.Abs(v); a > scale {
+			scale = a
+		}
+	}
+	if maxDiff > 1e-10*scale {
+		t.Errorf("IR and CG solutions differ by %g (scale %g)", maxDiff, scale)
+	}
+}
+
+func TestIRCheaperThanDoubleCG(t *testing.T) {
+	// Weighted cost model: a single-precision flop costs half a double
+	// one (bandwidth-bound sparse kernels — the paper's argument).
+	m, err := Poisson2D(32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := rhs(m.N, 6)
+	x := make([]float64, m.N)
+	stCG := CG(m, b, x, 1e-12, 10000)
+	_, stIR := SolveIR(m, b, IROptions{Tol: 1e-12})
+	costCG := float64(stCG.Counters.Flops64) + 0.5*float64(stCG.Counters.Flops32)
+	costIR := float64(stIR.Counters.Flops64) + 0.5*float64(stIR.Counters.Flops32)
+	if costIR >= costCG {
+		t.Errorf("IR weighted cost %.3g not below CG %.3g", costIR, costCG)
+	}
+	t.Logf("CG: %d iters, cost %.3g; IR: %d outer/%d inner, cost %.3g (%.0f%% single)",
+		stCG.InnerIterations, costCG, stIR.OuterIterations, stIR.InnerIterations,
+		costIR, 100*stIR.SingleFlopFraction())
+}
+
+func TestZeroRHS(t *testing.T) {
+	m, err := Poisson2D(8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := make([]float64, m.N)
+	x, st := SolveIR(m, b, IROptions{})
+	if !st.Converged {
+		t.Error("zero RHS did not converge")
+	}
+	for i, v := range x {
+		if v != 0 {
+			t.Fatalf("x[%d] = %g for zero RHS", i, v)
+		}
+	}
+	xcg := make([]float64, m.N)
+	if st := CG(m, b, xcg, 1e-12, 100); !st.Converged {
+		t.Error("CG on zero RHS did not converge")
+	}
+}
+
+func TestTo32(t *testing.T) {
+	m, err := Poisson2D(4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m32 := m.To32()
+	if m32.N != m.N || len(m32.Val) != len(m.Val) {
+		t.Fatal("structure mismatch")
+	}
+	x := make([]float32, m.N)
+	for i := range x {
+		x[i] = float32(i%3) - 1
+	}
+	dst := make([]float32, m.N)
+	m32.MulVec(dst, x)
+	x64 := make([]float64, m.N)
+	for i, v := range x {
+		x64[i] = float64(v)
+	}
+	dst64 := make([]float64, m.N)
+	m.MulVec(dst64, x64)
+	for i := range dst {
+		if math.Abs(float64(dst[i])-dst64[i]) > 1e-5 {
+			t.Fatalf("f32 product differs at %d: %g vs %g", i, dst[i], dst64[i])
+		}
+	}
+}
+
+func BenchmarkCGDouble(b *testing.B) {
+	m, _ := Poisson2D(48)
+	rhsV := rhs(m.N, 7)
+	for i := 0; i < b.N; i++ {
+		x := make([]float64, m.N)
+		CG(m, rhsV, x, 1e-10, 5000)
+	}
+}
+
+func BenchmarkIRMixed(b *testing.B) {
+	m, _ := Poisson2D(48)
+	rhsV := rhs(m.N, 7)
+	for i := 0; i < b.N; i++ {
+		SolveIR(m, rhsV, IROptions{Tol: 1e-10})
+	}
+}

@@ -1,0 +1,327 @@
+// Package spectral provides the nodal spectral-element machinery the SELF
+// mini-app is built on: Legendre polynomials, Gauss and Gauss–Lobatto
+// quadrature, barycentric Lagrange interpolation, collocation derivative
+// matrices, and modal cutoff filters, following Kopriva's formulation (the
+// reference the paper cites for SELF).
+//
+// Node and matrix construction always runs in float64 — it happens once per
+// run and its accuracy anchors everything downstream; the solver casts the
+// resulting operators to its compute precision.
+package spectral
+
+import (
+	"fmt"
+	"math"
+)
+
+// LegendreP evaluates the Legendre polynomial P_n and its derivative at x
+// using the stable three-term recurrence.
+func LegendreP(n int, x float64) (p, dp float64) {
+	switch n {
+	case 0:
+		return 1, 0
+	case 1:
+		return x, 1
+	}
+	pm2, pm1 := 1.0, x
+	dm2, dm1 := 0.0, 1.0
+	for k := 2; k <= n; k++ {
+		fk := float64(k)
+		p = ((2*fk-1)*x*pm1 - (fk-1)*pm2) / fk
+		dp = dm2 + (2*fk-1)*pm1
+		pm2, pm1 = pm1, p
+		dm2, dm1 = dm1, dp
+	}
+	return pm1, dm1
+}
+
+// GaussLobatto returns the n+1 Gauss–Lobatto–Legendre nodes and quadrature
+// weights on [-1, 1] for polynomial order n ≥ 1. GLL quadrature integrates
+// polynomials up to degree 2n-1 exactly; the endpoints ±1 are included,
+// which is what lets spectral elements share interface nodes.
+func GaussLobatto(n int) (nodes, weights []float64, err error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("spectral: Gauss-Lobatto order %d < 1", n)
+	}
+	np := n + 1
+	nodes = make([]float64, np)
+	weights = make([]float64, np)
+	nodes[0], nodes[n] = -1, 1
+	nn := float64(n * (n + 1))
+	// Interior nodes: roots of P'_n via Newton with the elegant identity
+	// d/dx[(1-x²)P'_n] = -n(n+1)P_n.
+	for k := 1; k < n; k++ {
+		x := -math.Cos(math.Pi * float64(k) / float64(n))
+		for iter := 0; iter < 100; iter++ {
+			p, dp := LegendreP(n, x)
+			f := (1 - x*x) * dp
+			step := f / (nn * p)
+			x += step
+			if math.Abs(step) < 1e-15 {
+				break
+			}
+		}
+		nodes[k] = x
+	}
+	// Symmetrize: average mirror pairs to kill Newton drift.
+	for k := 0; k <= n/2; k++ {
+		m := (nodes[k] - nodes[n-k]) / 2
+		nodes[k], nodes[n-k] = m, -m
+	}
+	for k := 0; k <= n; k++ {
+		p, _ := LegendreP(n, nodes[k])
+		weights[k] = 2 / (nn * p * p)
+	}
+	return nodes, weights, nil
+}
+
+// GaussLegendre returns the n-point Gauss–Legendre nodes and weights on
+// [-1, 1] (exact through degree 2n-1, endpoints excluded).
+func GaussLegendre(n int) (nodes, weights []float64, err error) {
+	if n < 1 {
+		return nil, nil, fmt.Errorf("spectral: Gauss-Legendre count %d < 1", n)
+	}
+	nodes = make([]float64, n)
+	weights = make([]float64, n)
+	for k := 0; k < n; k++ {
+		// Chebyshev-flavoured initial guess.
+		x := -math.Cos(math.Pi * (float64(k) + 0.75) / (float64(n) + 0.5))
+		var p, dp float64
+		for iter := 0; iter < 100; iter++ {
+			p, dp = LegendreP(n, x)
+			step := p / dp
+			x -= step
+			if math.Abs(step) < 1e-15 {
+				break
+			}
+		}
+		_, dp = LegendreP(n, x)
+		nodes[k] = x
+		weights[k] = 2 / ((1 - x*x) * dp * dp)
+	}
+	for k := 0; k <= (n-1)/2; k++ {
+		m := (nodes[k] - nodes[n-1-k]) / 2
+		nodes[k], nodes[n-1-k] = m, -m
+		w := (weights[k] + weights[n-1-k]) / 2
+		weights[k], weights[n-1-k] = w, w
+	}
+	return nodes, weights, nil
+}
+
+// BarycentricWeights returns the barycentric interpolation weights of the
+// node set.
+func BarycentricWeights(nodes []float64) []float64 {
+	n := len(nodes)
+	w := make([]float64, n)
+	for i := range w {
+		w[i] = 1
+	}
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			if i != j {
+				w[i] *= nodes[i] - nodes[j]
+			}
+		}
+		w[i] = 1 / w[i]
+	}
+	return w
+}
+
+// Matrix is a dense row-major matrix.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64
+}
+
+// NewMatrix allocates a zero matrix.
+func NewMatrix(rows, cols int) Matrix {
+	return Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// At returns element (i, j).
+func (m Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns element (i, j).
+func (m Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// MulVec computes y = M·x.
+func (m Matrix) MulVec(x []float64) []float64 {
+	if len(x) != m.Cols {
+		panic("spectral: MulVec dimension mismatch")
+	}
+	y := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Data[i*m.Cols : (i+1)*m.Cols]
+		var s float64
+		for j, v := range row {
+			s += v * x[j]
+		}
+		y[i] = s
+	}
+	return y
+}
+
+// Mul computes the matrix product M·B.
+func (m Matrix) Mul(b Matrix) Matrix {
+	if m.Cols != b.Rows {
+		panic("spectral: Mul dimension mismatch")
+	}
+	out := NewMatrix(m.Rows, b.Cols)
+	for i := 0; i < m.Rows; i++ {
+		for k := 0; k < m.Cols; k++ {
+			a := m.At(i, k)
+			if a == 0 {
+				continue
+			}
+			for j := 0; j < b.Cols; j++ {
+				out.Data[i*b.Cols+j] += a * b.At(k, j)
+			}
+		}
+	}
+	return out
+}
+
+// DerivativeMatrix returns the collocation derivative matrix D with
+// D[i][j] = l'_j(x_i) for the Lagrange basis on the given nodes, built from
+// barycentric weights with the negative-sum trick for the diagonal.
+func DerivativeMatrix(nodes []float64) Matrix {
+	n := len(nodes)
+	w := BarycentricWeights(nodes)
+	d := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		var diag float64
+		for j := 0; j < n; j++ {
+			if i == j {
+				continue
+			}
+			v := (w[j] / w[i]) / (nodes[i] - nodes[j])
+			d.Set(i, j, v)
+			diag -= v
+		}
+		d.Set(i, i, diag)
+	}
+	return d
+}
+
+// InterpolationMatrix returns the matrix mapping values on `nodes` to
+// values at `targets` by Lagrange interpolation (barycentric form).
+func InterpolationMatrix(nodes, targets []float64) Matrix {
+	n, m := len(nodes), len(targets)
+	w := BarycentricWeights(nodes)
+	out := NewMatrix(m, n)
+	for t := 0; t < m; t++ {
+		x := targets[t]
+		// Exact node hit → identity row.
+		hit := -1
+		for j, xj := range nodes {
+			if x == xj {
+				hit = j
+				break
+			}
+		}
+		if hit >= 0 {
+			out.Set(t, hit, 1)
+			continue
+		}
+		var denom float64
+		for j := range nodes {
+			denom += w[j] / (x - nodes[j])
+		}
+		for j := range nodes {
+			out.Set(t, j, (w[j]/(x-nodes[j]))/denom)
+		}
+	}
+	return out
+}
+
+// Vandermonde returns the Legendre Vandermonde matrix V[i][k] = P_k(x_i),
+// the nodal↔modal change of basis.
+func Vandermonde(nodes []float64) Matrix {
+	n := len(nodes)
+	v := NewMatrix(n, n)
+	for i, x := range nodes {
+		for k := 0; k < n; k++ {
+			p, _ := LegendreP(k, x)
+			v.Set(i, k, p)
+		}
+	}
+	return v
+}
+
+// Invert returns the inverse of a (small) square matrix by Gauss–Jordan
+// elimination with partial pivoting.
+func Invert(m Matrix) (Matrix, error) {
+	if m.Rows != m.Cols {
+		return Matrix{}, fmt.Errorf("spectral: cannot invert %dx%d", m.Rows, m.Cols)
+	}
+	n := m.Rows
+	a := NewMatrix(n, 2*n)
+	for i := 0; i < n; i++ {
+		copy(a.Data[i*2*n:i*2*n+n], m.Data[i*n:(i+1)*n])
+		a.Set(i, n+i, 1)
+	}
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot, best := col, math.Abs(a.At(col, col))
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(a.At(r, col)); v > best {
+				pivot, best = r, v
+			}
+		}
+		if best == 0 {
+			return Matrix{}, fmt.Errorf("spectral: singular matrix")
+		}
+		if pivot != col {
+			for j := 0; j < 2*n; j++ {
+				a.Data[col*2*n+j], a.Data[pivot*2*n+j] = a.Data[pivot*2*n+j], a.Data[col*2*n+j]
+			}
+		}
+		inv := 1 / a.At(col, col)
+		for j := 0; j < 2*n; j++ {
+			a.Data[col*2*n+j] *= inv
+		}
+		for r := 0; r < n; r++ {
+			if r == col {
+				continue
+			}
+			f := a.At(r, col)
+			if f == 0 {
+				continue
+			}
+			for j := 0; j < 2*n; j++ {
+				a.Data[r*2*n+j] -= f * a.Data[col*2*n+j]
+			}
+		}
+	}
+	out := NewMatrix(n, n)
+	for i := 0; i < n; i++ {
+		copy(out.Data[i*n:(i+1)*n], a.Data[i*2*n+n:(i+1)*2*n])
+	}
+	return out, nil
+}
+
+// CutoffFilter builds the modal exponential cutoff filter F = V Λ V⁻¹ on
+// the given nodes: modes up to cutoff pass untouched, higher modes are
+// damped as exp(-alpha ((k-kc)/(N-kc))^order). This is the spectral
+// stabilisation SELF applies in lieu of explicit dissipation.
+func CutoffFilter(nodes []float64, cutoff int, alpha float64, order int) (Matrix, error) {
+	n := len(nodes) - 1 // polynomial order
+	if cutoff < 0 || cutoff > n {
+		return Matrix{}, fmt.Errorf("spectral: filter cutoff %d outside [0,%d]", cutoff, n)
+	}
+	v := Vandermonde(nodes)
+	vinv, err := Invert(v)
+	if err != nil {
+		return Matrix{}, err
+	}
+	lam := NewMatrix(n+1, n+1)
+	for k := 0; k <= n; k++ {
+		sigma := 1.0
+		if k > cutoff && n > cutoff {
+			eta := float64(k-cutoff) / float64(n-cutoff)
+			sigma = math.Exp(-alpha * math.Pow(eta, float64(order)))
+		}
+		lam.Set(k, k, sigma)
+	}
+	return v.Mul(lam).Mul(vinv), nil
+}

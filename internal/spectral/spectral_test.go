@@ -1,0 +1,316 @@
+package spectral
+
+import (
+	"math"
+	"testing"
+)
+
+func TestLegendreKnownValues(t *testing.T) {
+	cases := []struct {
+		n       int
+		x, p, d float64
+	}{
+		{0, 0.3, 1, 0},
+		{1, 0.3, 0.3, 1},
+		{2, 0.5, 0.5*3*0.25 - 0.5, 3 * 0.5}, // P2 = (3x²-1)/2, P2' = 3x
+		{3, 1, 1, 6},                        // P_n(1)=1, P_n'(1)=n(n+1)/2
+		{4, 1, 1, 10},
+		{5, -1, -1, 15}, // P_n(-1)=(-1)^n, |P_n'(-1)|=n(n+1)/2
+	}
+	for _, c := range cases {
+		p, d := LegendreP(c.n, c.x)
+		if math.Abs(p-c.p) > 1e-14 || math.Abs(d-c.d) > 1e-13 {
+			t.Errorf("P_%d(%g) = %g, %g; want %g, %g", c.n, c.x, p, d, c.p, c.d)
+		}
+	}
+	// Orthogonality spot check with high-resolution trapezoid:
+	// ∫ P_3 P_5 = 0, ∫ P_4² = 2/9.
+	integ := func(f func(float64) float64) float64 {
+		const n = 200000
+		s := 0.0
+		for i := 0; i <= n; i++ {
+			x := -1 + 2*float64(i)/n
+			w := 1.0
+			if i == 0 || i == n {
+				w = 0.5
+			}
+			s += w * f(x)
+		}
+		return s * 2 / n
+	}
+	if v := integ(func(x float64) float64 { p3, _ := LegendreP(3, x); p5, _ := LegendreP(5, x); return p3 * p5 }); math.Abs(v) > 1e-9 {
+		t.Errorf("∫P3P5 = %g", v)
+	}
+	if v := integ(func(x float64) float64 { p4, _ := LegendreP(4, x); return p4 * p4 }); math.Abs(v-2.0/9) > 1e-9 {
+		t.Errorf("∫P4² = %g, want %g", v, 2.0/9)
+	}
+}
+
+func TestGaussLobattoKnown(t *testing.T) {
+	// N=1: nodes ±1, weights 1.
+	nodes, weights, err := GaussLobatto(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if nodes[0] != -1 || nodes[1] != 1 || weights[0] != 1 || weights[1] != 1 {
+		t.Errorf("GLL(1): %v %v", nodes, weights)
+	}
+	// N=2: {-1,0,1}, {1/3,4/3,1/3}.
+	nodes, weights, err = GaussLobatto(2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{-1, 0, 1}
+	wantW := []float64{1.0 / 3, 4.0 / 3, 1.0 / 3}
+	for i := range want {
+		if math.Abs(nodes[i]-want[i]) > 1e-15 || math.Abs(weights[i]-wantW[i]) > 1e-14 {
+			t.Errorf("GLL(2)[%d] = %g/%g", i, nodes[i], weights[i])
+		}
+	}
+	// N=3 interior nodes ±1/√5.
+	nodes, _, err = GaussLobatto(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(nodes[1]+1/math.Sqrt(5)) > 1e-14 {
+		t.Errorf("GLL(3) interior node %g", nodes[1])
+	}
+	if _, _, err := GaussLobatto(0); err == nil {
+		t.Error("GaussLobatto(0) accepted")
+	}
+}
+
+func TestQuadratureExactness(t *testing.T) {
+	for _, n := range []int{2, 4, 7, 12} {
+		nodes, weights, err := GaussLobatto(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Sum of weights = 2; symmetry.
+		var sum float64
+		for i, w := range weights {
+			sum += w
+			if math.Abs(nodes[i]+nodes[n-i]) > 1e-14 {
+				t.Errorf("GLL(%d) nodes asymmetric", n)
+			}
+		}
+		if math.Abs(sum-2) > 1e-13 {
+			t.Errorf("GLL(%d) weights sum %g", n, sum)
+		}
+		// Exact for monomials up to degree 2n-1.
+		for deg := 0; deg <= 2*n-1; deg++ {
+			var q float64
+			for i, x := range nodes {
+				q += weights[i] * math.Pow(x, float64(deg))
+			}
+			exact := 0.0
+			if deg%2 == 0 {
+				exact = 2 / float64(deg+1)
+			}
+			if math.Abs(q-exact) > 1e-12 {
+				t.Errorf("GLL(%d) x^%d: %g want %g", n, deg, q, exact)
+			}
+		}
+	}
+	for _, n := range []int{1, 3, 6, 10} {
+		nodes, weights, err := GaussLegendre(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for deg := 0; deg <= 2*n-1; deg++ {
+			var q float64
+			for i, x := range nodes {
+				q += weights[i] * math.Pow(x, float64(deg))
+			}
+			exact := 0.0
+			if deg%2 == 0 {
+				exact = 2 / float64(deg+1)
+			}
+			if math.Abs(q-exact) > 1e-12 {
+				t.Errorf("GL(%d) x^%d: %g want %g", n, deg, q, exact)
+			}
+		}
+	}
+	if _, _, err := GaussLegendre(0); err == nil {
+		t.Error("GaussLegendre(0) accepted")
+	}
+}
+
+func TestDerivativeMatrixExactOnPolynomials(t *testing.T) {
+	for _, n := range []int{3, 5, 8} {
+		nodes, _, err := GaussLobatto(n)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := DerivativeMatrix(nodes)
+		// Row sums vanish (derivative of constants).
+		for i := 0; i < d.Rows; i++ {
+			var s float64
+			for j := 0; j < d.Cols; j++ {
+				s += d.At(i, j)
+			}
+			if math.Abs(s) > 1e-12 {
+				t.Errorf("D(%d) row %d sum %g", n, i, s)
+			}
+		}
+		// Differentiate x^k exactly for k ≤ n.
+		for k := 1; k <= n; k++ {
+			f := make([]float64, n+1)
+			for i, x := range nodes {
+				f[i] = math.Pow(x, float64(k))
+			}
+			df := d.MulVec(f)
+			for i, x := range nodes {
+				want := float64(k) * math.Pow(x, float64(k-1))
+				if math.Abs(df[i]-want) > 1e-10 {
+					t.Errorf("D(%d) d/dx x^%d at node %d: %g want %g", n, k, i, df[i], want)
+				}
+			}
+		}
+	}
+}
+
+func TestInterpolationMatrix(t *testing.T) {
+	nodes, _, err := GaussLobatto(6)
+	if err != nil {
+		t.Fatal(err)
+	}
+	targets := []float64{-0.9, -0.3, 0.123, 0.77, nodes[2]}
+	im := InterpolationMatrix(nodes, targets)
+	// Interpolation reproduces degree-≤6 polynomials exactly.
+	poly := func(x float64) float64 { return 1 + x*(2+x*(-1+x*(0.5+x*x))) }
+	f := make([]float64, len(nodes))
+	for i, x := range nodes {
+		f[i] = poly(x)
+	}
+	got := im.MulVec(f)
+	for i, x := range targets {
+		if math.Abs(got[i]-poly(x)) > 1e-12 {
+			t.Errorf("interp at %g: %g want %g", x, got[i], poly(x))
+		}
+	}
+	// Exact node hit row is a unit row.
+	if im.At(4, 2) != 1 {
+		t.Error("exact node hit did not produce identity row")
+	}
+}
+
+func TestMatrixOps(t *testing.T) {
+	a := NewMatrix(2, 3)
+	a.Set(0, 0, 1)
+	a.Set(0, 1, 2)
+	a.Set(0, 2, 3)
+	a.Set(1, 0, 4)
+	a.Set(1, 1, 5)
+	a.Set(1, 2, 6)
+	y := a.MulVec([]float64{1, 1, 1})
+	if y[0] != 6 || y[1] != 15 {
+		t.Errorf("MulVec = %v", y)
+	}
+	b := NewMatrix(3, 2)
+	for i := 0; i < 3; i++ {
+		b.Set(i, 0, 1)
+		b.Set(i, 1, float64(i))
+	}
+	c := a.Mul(b)
+	if c.At(0, 0) != 6 || c.At(0, 1) != 8 || c.At(1, 0) != 15 || c.At(1, 1) != 17 {
+		t.Errorf("Mul = %+v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("MulVec dimension mismatch did not panic")
+		}
+	}()
+	a.MulVec([]float64{1})
+}
+
+func TestInvert(t *testing.T) {
+	nodes, _, err := GaussLobatto(5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := Vandermonde(nodes)
+	vinv, err := Invert(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	id := v.Mul(vinv)
+	for i := 0; i < id.Rows; i++ {
+		for j := 0; j < id.Cols; j++ {
+			want := 0.0
+			if i == j {
+				want = 1
+			}
+			if math.Abs(id.At(i, j)-want) > 1e-11 {
+				t.Errorf("V·V⁻¹[%d][%d] = %g", i, j, id.At(i, j))
+			}
+		}
+	}
+	// Singular matrix rejected.
+	sing := NewMatrix(2, 2)
+	sing.Set(0, 0, 1)
+	sing.Set(0, 1, 2)
+	sing.Set(1, 0, 2)
+	sing.Set(1, 1, 4)
+	if _, err := Invert(sing); err == nil {
+		t.Error("Invert accepted a singular matrix")
+	}
+	if _, err := Invert(NewMatrix(2, 3)); err == nil {
+		t.Error("Invert accepted a non-square matrix")
+	}
+}
+
+func TestCutoffFilter(t *testing.T) {
+	nodes, _, err := GaussLobatto(7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, err := CutoffFilter(nodes, 4, 16, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Low-order polynomials pass through unchanged.
+	for deg := 0; deg <= 4; deg++ {
+		u := make([]float64, len(nodes))
+		for i, x := range nodes {
+			u[i] = math.Pow(x, float64(deg))
+		}
+		fu := f.MulVec(u)
+		for i := range u {
+			if math.Abs(fu[i]-u[i]) > 1e-10 {
+				t.Errorf("filter altered degree-%d mode at node %d: %g vs %g", deg, i, fu[i], u[i])
+			}
+		}
+	}
+	// The highest Legendre mode is strongly damped.
+	u := make([]float64, len(nodes))
+	for i, x := range nodes {
+		p, _ := LegendreP(7, x)
+		u[i] = p
+	}
+	fu := f.MulVec(u)
+	var norm0, norm1 float64
+	for i := range u {
+		norm0 += u[i] * u[i]
+		norm1 += fu[i] * fu[i]
+	}
+	if norm1 > 1e-10*norm0 {
+		t.Errorf("top mode survived the filter: %g vs %g", norm1, norm0)
+	}
+	if _, err := CutoffFilter(nodes, 99, 16, 4); err == nil {
+		t.Error("filter accepted out-of-range cutoff")
+	}
+}
+
+func BenchmarkDerivativeMulVec(b *testing.B) {
+	nodes, _, _ := GaussLobatto(7)
+	d := DerivativeMatrix(nodes)
+	f := make([]float64, len(nodes))
+	for i, x := range nodes {
+		f[i] = math.Sin(x)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = d.MulVec(f)
+	}
+}

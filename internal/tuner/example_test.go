@@ -1,0 +1,30 @@
+package tuner_test
+
+import (
+	"fmt"
+
+	"repro/internal/tuner"
+)
+
+// The tuner finds, per named variable, the lowest precision that keeps the
+// output within a bound. Here the polynomial evaluation tolerates single
+// precision while the cancellation-prone difference demands double.
+func ExampleTuner_SearchGreedy() {
+	prog := func(r *tuner.Rounder) []float64 {
+		// Two nearly equal quantities whose difference is the answer.
+		a := r.R("poly", 1.0000001*2.5)
+		b := r.R("poly2", 2.5)
+		return []float64{r.R("diff", a-b)}
+	}
+	tn, err := tuner.New(prog)
+	if err != nil {
+		fmt.Println(err)
+		return
+	}
+	res := tn.SearchGreedy(1e-4)
+	fmt.Println("poly:", res.Assignment["poly"])
+	fmt.Println("bound met:", res.Error <= 1e-4)
+	// Output:
+	// poly: double
+	// bound met: true
+}

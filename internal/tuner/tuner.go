@@ -1,0 +1,350 @@
+// Package tuner implements automated mixed-precision search in the spirit
+// of the tools the paper's §III.B surveys — CRAFT's bisection over program
+// regions (Lam & Hollingsworth, the analysis that produced CLAMR's
+// precision compile options) and Precimonious's per-variable tuning: given
+// a computation with named precision knobs and an accuracy bound, find an
+// assignment of half/single/double to each knob that meets the bound at
+// minimal cost.
+//
+// The computation is expressed as a function over a Rounder; every value
+// passed through Rounder.R("name", v) is rounded to the precision currently
+// assigned to that knob, emulating a variable stored at that width. The
+// tuner first runs at all-double to capture the reference output and the
+// knob set, then searches assignments with either greedy per-variable
+// demotion (Precimonious-style) or recursive set bisection (CRAFT-style).
+package tuner
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"repro/internal/precision"
+)
+
+// Prec is a candidate storage precision for one knob.
+type Prec int
+
+const (
+	// Half is IEEE binary16 (11 significand bits).
+	Half Prec = iota
+	// Single is IEEE binary32 (24 significand bits).
+	Single
+	// Double is IEEE binary64 (53 significand bits).
+	Double
+)
+
+// String names the precision.
+func (p Prec) String() string {
+	switch p {
+	case Half:
+		return "half"
+	case Single:
+		return "single"
+	default:
+		return "double"
+	}
+}
+
+// Bits returns significand bits (including the implicit bit).
+func (p Prec) Bits() int {
+	switch p {
+	case Half:
+		return 11
+	case Single:
+		return 24
+	default:
+		return 53
+	}
+}
+
+// Cost is the relative cost weight of storing/computing one value at this
+// precision (bytes-proportional: the paper's bandwidth argument).
+func (p Prec) Cost() float64 {
+	switch p {
+	case Half:
+		return 0.25
+	case Single:
+		return 0.5
+	default:
+		return 1
+	}
+}
+
+// round applies the precision's rounding to v, including the narrow
+// formats' range limits.
+func (p Prec) round(v float64) float64 {
+	switch p {
+	case Half:
+		return precision.Half.Demote(v)
+	case Single:
+		return float64(float32(v))
+	default:
+		return v
+	}
+}
+
+// Program computes outputs through a Rounder; every R() call site with a
+// distinct name is one tunable knob. Programs must be deterministic.
+type Program func(r *Rounder) []float64
+
+// Rounder applies the current assignment during a program run and tallies
+// knob usage.
+type Rounder struct {
+	assign map[string]Prec
+	counts map[string]int
+	order  *[]string
+}
+
+// R rounds v through the precision assigned to the named knob (Double if
+// unassigned) and records the use.
+func (r *Rounder) R(name string, v float64) float64 {
+	r.counts[name]++
+	if r.order != nil {
+		if _, seen := r.assign[name]; !seen {
+			r.assign[name] = Double
+			*r.order = append(*r.order, name)
+		}
+		return v
+	}
+	p, ok := r.assign[name]
+	if !ok {
+		p = Double
+	}
+	return p.round(v)
+}
+
+// Assignment maps knob names to precisions.
+type Assignment map[string]Prec
+
+// Clone copies the assignment.
+func (a Assignment) Clone() Assignment {
+	out := make(Assignment, len(a))
+	for k, v := range a {
+		out[k] = v
+	}
+	return out
+}
+
+// Result reports a completed search.
+type Result struct {
+	// Assignment is the found precision per knob.
+	Assignment Assignment
+	// Error is the achieved maximum relative error vs the double
+	// reference.
+	Error float64
+	// Cost and DoubleCost weigh each knob's precision by its execution
+	// count; Saving = 1 − Cost/DoubleCost.
+	Cost, DoubleCost float64
+	// Evaluations counts program runs spent searching.
+	Evaluations int
+	// Knobs lists knob names in first-use order.
+	Knobs []string
+}
+
+// Saving returns the fractional cost reduction vs all-double.
+func (r Result) Saving() float64 {
+	if r.DoubleCost == 0 {
+		return 0
+	}
+	return 1 - r.Cost/r.DoubleCost
+}
+
+// String renders the result compactly.
+func (r Result) String() string {
+	s := fmt.Sprintf("error %.3g, saving %.0f%%, %d evaluations\n", r.Error, 100*r.Saving(), r.Evaluations)
+	for _, k := range r.Knobs {
+		s += fmt.Sprintf("  %-24s %s\n", k, r.Assignment[k])
+	}
+	return s
+}
+
+// Tuner drives the search.
+type Tuner struct {
+	prog      Program
+	reference []float64
+	knobs     []string
+	counts    map[string]int
+	evals     int
+}
+
+// New profiles the program at all-double precision and returns a tuner.
+// The program must produce at least one finite output.
+func New(prog Program) (*Tuner, error) {
+	t := &Tuner{prog: prog, counts: make(map[string]int)}
+	order := []string{}
+	r := &Rounder{assign: map[string]Prec{}, counts: t.counts, order: &order}
+	t.reference = prog(r)
+	t.knobs = order
+	if len(t.reference) == 0 {
+		return nil, fmt.Errorf("tuner: program produced no outputs")
+	}
+	finite := false
+	for _, v := range t.reference {
+		if !math.IsNaN(v) && !math.IsInf(v, 0) {
+			finite = true
+		}
+	}
+	if !finite {
+		return nil, fmt.Errorf("tuner: reference outputs are all non-finite")
+	}
+	if len(t.knobs) == 0 {
+		return nil, fmt.Errorf("tuner: program has no knobs (no Rounder.R calls)")
+	}
+	return t, nil
+}
+
+// Knobs returns knob names in first-use order.
+func (t *Tuner) Knobs() []string { return append([]string(nil), t.knobs...) }
+
+// evaluate runs the program under an assignment and returns the maximum
+// relative output error vs the reference.
+func (t *Tuner) evaluate(a Assignment) float64 {
+	t.evals++
+	r := &Rounder{assign: a, counts: map[string]int{}}
+	out := t.prog(r)
+	if len(out) != len(t.reference) {
+		return math.Inf(1)
+	}
+	worst := 0.0
+	for i, v := range out {
+		ref := t.reference[i]
+		var rel float64
+		switch {
+		case math.IsNaN(v) || math.IsInf(v, 0):
+			return math.Inf(1)
+		case ref == 0:
+			rel = math.Abs(v)
+		default:
+			rel = math.Abs(v-ref) / math.Abs(ref)
+		}
+		if rel > worst {
+			worst = rel
+		}
+	}
+	return worst
+}
+
+// cost weighs an assignment by per-knob execution counts.
+func (t *Tuner) cost(a Assignment) float64 {
+	var c float64
+	for _, k := range t.knobs {
+		p, ok := a[k]
+		if !ok {
+			p = Double
+		}
+		c += float64(t.counts[k]) * p.Cost()
+	}
+	return c
+}
+
+// allDouble returns the baseline assignment.
+func (t *Tuner) allDouble() Assignment {
+	a := make(Assignment, len(t.knobs))
+	for _, k := range t.knobs {
+		a[k] = Double
+	}
+	return a
+}
+
+// result packages an assignment.
+func (t *Tuner) result(a Assignment) Result {
+	return Result{
+		Assignment:  a,
+		Error:       t.evaluate(a),
+		Cost:        t.cost(a),
+		DoubleCost:  t.cost(t.allDouble()),
+		Evaluations: t.evals,
+		Knobs:       t.Knobs(),
+	}
+}
+
+// ladder is the demotion order tried for each knob.
+var ladder = []Prec{Single, Half}
+
+// SearchGreedy performs Precimonious-style per-variable tuning: repeated
+// passes over the knobs (most-used first), tentatively demoting each one
+// step down the precision ladder and keeping demotions that hold the
+// error within bound. Terminates when a full pass makes no change.
+func (t *Tuner) SearchGreedy(bound float64) Result {
+	if bound <= 0 {
+		bound = 1e-6
+	}
+	a := t.allDouble()
+	order := append([]string(nil), t.knobs...)
+	sort.SliceStable(order, func(i, j int) bool {
+		return t.counts[order[i]] > t.counts[order[j]]
+	})
+	for changed := true; changed; {
+		changed = false
+		for _, k := range order {
+			cur := a[k]
+			var next Prec
+			switch cur {
+			case Double:
+				next = Single
+			case Single:
+				next = Half
+			default:
+				continue
+			}
+			a[k] = next
+			if t.evaluate(a) <= bound {
+				changed = true
+			} else {
+				a[k] = cur
+			}
+		}
+	}
+	return t.result(a)
+}
+
+// SearchBisect performs CRAFT-style recursive bisection: first try to
+// demote the entire knob set one rung; where that fails, split the set and
+// recurse, isolating the variables that genuinely need width. Each rung of
+// the ladder is applied in turn (double→single, then single→half on the
+// knobs that reached single).
+func (t *Tuner) SearchBisect(bound float64) Result {
+	if bound <= 0 {
+		bound = 1e-6
+	}
+	a := t.allDouble()
+	for _, target := range ladder {
+		// Candidates: knobs exactly one rung above target.
+		var candidates []string
+		for _, k := range t.knobs {
+			if a[k] == target+1 {
+				candidates = append(candidates, k)
+			}
+		}
+		t.bisect(a, candidates, target, bound)
+	}
+	return t.result(a)
+}
+
+// bisect tries to demote every knob in `set` to target; on failure it
+// splits the set (CRAFT's divide and conquer). Successful demotions are
+// committed into a.
+func (t *Tuner) bisect(a Assignment, set []string, target Prec, bound float64) {
+	if len(set) == 0 {
+		return
+	}
+	saved := make([]Prec, len(set))
+	for i, k := range set {
+		saved[i] = a[k]
+		a[k] = target
+	}
+	if t.evaluate(a) <= bound {
+		return // whole set demotes
+	}
+	// Revert and split.
+	for i, k := range set {
+		a[k] = saved[i]
+	}
+	if len(set) == 1 {
+		return // this knob must keep its width
+	}
+	mid := len(set) / 2
+	t.bisect(a, set[:mid], target, bound)
+	t.bisect(a, set[mid:], target, bound)
+}

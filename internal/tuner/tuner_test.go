@@ -1,0 +1,252 @@
+package tuner
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+// quadratic solves x² − (big+tiny)x + big·tiny = 0 whose roots are big and
+// tiny; the tiny root suffers catastrophic cancellation unless the
+// discriminant chain stays wide.
+func quadratic(r *Rounder) []float64 {
+	a := r.R("a", 1)
+	b := r.R("b", -(1e8 + 1e-3))
+	c := r.R("c", 1e8*1e-3)
+	disc := r.R("disc", b*b-4*a*c)
+	sq := r.R("sqrt", math.Sqrt(disc))
+	x1 := r.R("x1", (-b+sq)/(2*a))
+	// Stable form for the small root.
+	x2 := r.R("x2", c/(a*x1))
+	return []float64{x1, x2}
+}
+
+// paperKernel mirrors the paper's finding: local flux arithmetic tolerates
+// single precision while the global sum demands width. The outputs are the
+// global sum of n flux evaluations plus one sampled flux.
+func paperKernel(r *Rounder) []float64 {
+	const n = 4000
+	var sum float64
+	var sample float64
+	for i := 0; i < n; i++ {
+		x := 1 + float64(i%17)/16
+		// "local" flux math — error here stays local.
+		flux := r.R("flux", x*x*0.5+x)
+		if i == 7 {
+			sample = flux
+		}
+		// the "global sum" — rounding here accumulates n times and
+		// alternates sign to force cancellation.
+		sign := 1.0
+		if i%2 == 1 {
+			sign = -1.0000001
+		}
+		sum = r.R("sum", sum+sign*flux)
+	}
+	return []float64{sum, sample}
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(func(r *Rounder) []float64 { return nil }); err == nil {
+		t.Error("program without outputs accepted")
+	}
+	if _, err := New(func(r *Rounder) []float64 { return []float64{1} }); err == nil {
+		t.Error("program without knobs accepted")
+	}
+	if _, err := New(func(r *Rounder) []float64 {
+		return []float64{r.R("x", math.NaN())}
+	}); err == nil {
+		t.Error("non-finite reference accepted")
+	}
+	tn, err := New(quadratic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	knobs := tn.Knobs()
+	if len(knobs) != 7 || knobs[0] != "a" || knobs[6] != "x2" {
+		t.Errorf("knobs = %v", knobs)
+	}
+}
+
+func TestPrecBasics(t *testing.T) {
+	if Half.Bits() != 11 || Single.Bits() != 24 || Double.Bits() != 53 {
+		t.Error("bits wrong")
+	}
+	if !(Half.Cost() < Single.Cost() && Single.Cost() < Double.Cost()) {
+		t.Error("cost ordering wrong")
+	}
+	if Half.String() == Single.String() || Single.String() == Double.String() {
+		t.Error("names collide")
+	}
+	if Double.round(math.Pi) != math.Pi {
+		t.Error("double rounding changed value")
+	}
+	if Single.round(math.Pi) != float64(float32(math.Pi)) {
+		t.Error("single rounding wrong")
+	}
+	if Half.round(1e-9) != 0 {
+		t.Error("half rounding missing range limits")
+	}
+}
+
+func TestGreedyRespectsBound(t *testing.T) {
+	for _, bound := range []float64{1e-3, 1e-6, 1e-10} {
+		tn, err := New(quadratic)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res := tn.SearchGreedy(bound)
+		if res.Error > bound {
+			t.Errorf("bound %g: achieved error %g", bound, res.Error)
+		}
+		if res.Evaluations == 0 {
+			t.Error("no evaluations recorded")
+		}
+	}
+}
+
+func TestGreedyFindsSavingsOnQuadratic(t *testing.T) {
+	tn, err := New(quadratic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tn.SearchGreedy(1e-5)
+	if res.Saving() <= 0 {
+		t.Errorf("no savings found: %v", res)
+	}
+	// The cancellation chain (b, disc — and the values feeding it) cannot
+	// all drop to half: with everything at half the tiny root is garbage.
+	allHalf := Assignment{}
+	for _, k := range tn.Knobs() {
+		allHalf[k] = Half
+	}
+	if e := tn.evaluate(allHalf); e <= 1e-5 {
+		t.Fatalf("all-half unexpectedly accurate (%g) — test problem too easy", e)
+	}
+	if !strings.Contains(res.String(), "saving") {
+		t.Error("result string malformed")
+	}
+}
+
+func TestPaperKernelStory(t *testing.T) {
+	// The tuner must rediscover the paper's pattern: the local flux knob
+	// demotes, the global accumulation knob stays double.
+	tn, err := New(paperKernel)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tn.SearchGreedy(1e-7)
+	if res.Error > 1e-7 {
+		t.Fatalf("bound violated: %g", res.Error)
+	}
+	if res.Assignment["flux"] == Double {
+		t.Errorf("flux knob kept at double: %v", res.Assignment)
+	}
+	if res.Assignment["sum"] != Double {
+		t.Errorf("global sum was demoted to %v — cancellation ignored", res.Assignment["sum"])
+	}
+	if res.Saving() <= 0.1 {
+		t.Errorf("saving only %.0f%%", 100*res.Saving())
+	}
+}
+
+func TestBisectMatchesGreedyQuality(t *testing.T) {
+	for _, prog := range []Program{quadratic, paperKernel} {
+		tg, err := New(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		greedy := tg.SearchGreedy(1e-6)
+		tb, err := New(prog)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bisect := tb.SearchBisect(1e-6)
+		if bisect.Error > 1e-6 {
+			t.Errorf("bisect violated bound: %g", bisect.Error)
+		}
+		if greedy.Error > 1e-6 {
+			t.Errorf("greedy violated bound: %g", greedy.Error)
+		}
+		// Bisection explores coarser moves; allow it to find somewhat
+		// fewer savings but not none when greedy finds plenty.
+		if greedy.Saving() > 0.3 && bisect.Saving() <= 0 {
+			t.Errorf("bisect found no savings where greedy found %.0f%%", 100*greedy.Saving())
+		}
+	}
+}
+
+func TestBisectFasterThanGreedyOnWideProblems(t *testing.T) {
+	// A program with many independent tolerant knobs: bisection demotes
+	// them in O(log n) probes where greedy needs O(n).
+	wide := func(r *Rounder) []float64 {
+		var sum float64
+		for i := 0; i < 32; i++ {
+			name := string(rune('A' + i))
+			sum += r.R(name, float64(i)+0.5)
+		}
+		return []float64{sum}
+	}
+	tg, err := New(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	greedy := tg.SearchGreedy(1e-2)
+	tb, err := New(wide)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bisect := tb.SearchBisect(1e-2)
+	if bisect.Evaluations >= greedy.Evaluations {
+		t.Errorf("bisect took %d evaluations, greedy %d", bisect.Evaluations, greedy.Evaluations)
+	}
+	if bisect.Saving() < 0.5 {
+		t.Errorf("bisect savings %.0f%% on a fully tolerant program", 100*bisect.Saving())
+	}
+}
+
+func TestDeterministicSearch(t *testing.T) {
+	run := func() Result {
+		tn, err := New(paperKernel)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tn.SearchGreedy(1e-7)
+	}
+	a, b := run(), run()
+	if a.Error != b.Error || a.Cost != b.Cost {
+		t.Error("search not deterministic")
+	}
+	for k, v := range a.Assignment {
+		if b.Assignment[k] != v {
+			t.Errorf("knob %s differs between runs", k)
+		}
+	}
+}
+
+func TestAssignmentClone(t *testing.T) {
+	a := Assignment{"x": Half}
+	b := a.Clone()
+	b["x"] = Double
+	if a["x"] != Half {
+		t.Error("Clone aliased the map")
+	}
+}
+
+func TestDefaultBound(t *testing.T) {
+	tn, err := New(quadratic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := tn.SearchGreedy(0) // default 1e-6
+	if res.Error > 1e-6 {
+		t.Errorf("default bound not applied: %g", res.Error)
+	}
+	tn2, err := New(quadratic)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res := tn2.SearchBisect(-1); res.Error > 1e-6 {
+		t.Errorf("bisect default bound not applied: %g", res.Error)
+	}
+}

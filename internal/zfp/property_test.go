@@ -1,0 +1,77 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// TestPropertyRoundTripBounded: for any finite field, the round-trip error
+// at rate 16 stays within a small multiple of the per-block dynamic range
+// times the rate's quantisation step.
+func TestPropertyRoundTripBounded(t *testing.T) {
+	prop := func(seed int64, amp float64) bool {
+		if amp != amp || math.IsInf(amp, 0) {
+			return true
+		}
+		amp = math.Mod(math.Abs(amp), 1e6) + 1e-3
+		rng := rand.New(rand.NewSource(seed))
+		const nx, ny = 17, 9 // deliberately non-multiple of 4
+		field := make([]float64, nx*ny)
+		for i := range field {
+			field[i] = (rng.Float64()*2 - 1) * amp
+		}
+		buf, err := Compress2D(field, nx, ny, 16)
+		if err != nil {
+			t.Logf("compress: %v", err)
+			return false
+		}
+		got, gnx, gny, err := Decompress2D(buf)
+		if err != nil {
+			t.Logf("decompress: %v", err)
+			return false
+		}
+		if gnx != nx || gny != ny {
+			return false
+		}
+		// White noise at rate 16: error ≤ ~2^-12 of the max magnitude.
+		limit := amp * math.Ldexp(1, -10)
+		for i := range field {
+			if math.Abs(field[i]-got[i]) > limit {
+				t.Logf("seed %d amp %g: err %g > %g", seed, amp, math.Abs(field[i]-got[i]), limit)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyDeterministic: compression is a pure function.
+func TestPropertyDeterministic(t *testing.T) {
+	prop := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		const nx, ny = 8, 8
+		field := make([]float64, nx*ny)
+		for i := range field {
+			field[i] = rng.NormFloat64()
+		}
+		a, err1 := Compress2D(field, nx, ny, 12)
+		b, err2 := Compress2D(field, nx, ny, 12)
+		if err1 != nil || err2 != nil || len(a) != len(b) {
+			return false
+		}
+		for i := range a {
+			if a[i] != b[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,483 @@
+// Package zfp implements a fixed-rate compressed floating-point array
+// codec in the style of Lindstrom's zfp (the paper's reference [34]): the
+// field is split into 4×4 blocks, each block is aligned to a common
+// exponent (block-floating-point), decorrelated with zfp's integer lifting
+// transform, and its coefficients are quantised with a frequency-aware bit
+// allocation that meets an exact per-value bit budget.
+//
+// The paper's cost analysis notes that "floating point compression can
+// produce impressive storage savings" but excludes it to keep the model
+// simple; this package supplies the missing substrate so the trade can be
+// measured (see the compression ablation bench at the repository root).
+package zfp
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// Rate limits: bits per value. MinRate keeps at least the DC coefficient;
+// MaxRate caps below lossless (the codec is a lossy fixed-rate design).
+const (
+	MinRate = 2
+	MaxRate = 28
+)
+
+// blockDim is the block edge; blocks hold blockDim² values.
+const blockDim = 4
+
+// qBits is the block-floating-point significand position: values are
+// scaled to ~±2^qBits before the transform (whose worst-case gain of ~4×
+// still fits int64 comfortably).
+const qBits = 30
+
+// header layout: magic, nx, ny, rate.
+var magic = [4]byte{'Z', 'F', 'P', '1'}
+
+const headerSize = 4 + 4 + 4 + 2
+
+// sequency order of 4×4 coefficients: by total frequency i+j, the standard
+// zfp-style reordering that groups coefficients by expected magnitude.
+var seqOrder = buildSeqOrder()
+
+func buildSeqOrder() [16]int {
+	var order [16]int
+	idx := 0
+	for level := 0; level <= 6; level++ {
+		for j := 0; j < blockDim; j++ {
+			for i := 0; i < blockDim; i++ {
+				if i+j == level {
+					order[idx] = j*blockDim + i
+					idx++
+				}
+			}
+		}
+	}
+	return order
+}
+
+// intprec is the number of negabinary bit planes encoded per coefficient:
+// block integers are ≤ ~2^32 after the transform gain and negabinary
+// expands magnitudes by ≤ 4/3, so 36 planes cover the range.
+const intprec = 36
+
+// nbmask is the negabinary conversion mask (…101010).
+const nbmask = 0xaaaaaaaaaaaaaaaa
+
+// int2uint converts two's complement to negabinary, in which sign is
+// implicit and leading zeros track magnitude — the property the embedded
+// bit-plane coder exploits.
+func int2uint(x int64) uint64 { return (uint64(x) + nbmask) ^ nbmask }
+
+// uint2int inverts int2uint.
+func uint2int(u uint64) int64 { return int64((u ^ nbmask) - nbmask) }
+
+// forwardLift applies zfp's non-orthogonal decorrelating transform to four
+// values in place.
+func forwardLift(p []int64, stride int) {
+	x, y, z, w := p[0], p[stride], p[2*stride], p[3*stride]
+	x += w
+	x >>= 1
+	w -= x
+	z += y
+	z >>= 1
+	y -= z
+	x += z
+	x >>= 1
+	z -= x
+	w += y
+	w >>= 1
+	y -= w
+	w += y >> 1
+	y -= w >> 1
+	p[0], p[stride], p[2*stride], p[3*stride] = x, y, z, w
+}
+
+// inverseLift inverts forwardLift.
+func inverseLift(p []int64, stride int) {
+	x, y, z, w := p[0], p[stride], p[2*stride], p[3*stride]
+	y += w >> 1
+	w -= y >> 1
+	y += w
+	w <<= 1
+	w -= y
+	z += x
+	x <<= 1
+	x -= z
+	y += z
+	z <<= 1
+	z -= y
+	w += x
+	x <<= 1
+	x -= w
+	p[0], p[stride], p[2*stride], p[3*stride] = x, y, z, w
+}
+
+// Compress2D encodes a row-major nx×ny field at the given rate (bits per
+// value, in [MinRate, MaxRate]). Edge blocks are padded by edge
+// replication. NaNs and infinities are rejected (fixed-rate zfp shares
+// this restriction).
+func Compress2D(data []float64, nx, ny, rate int) ([]byte, error) {
+	if nx <= 0 || ny <= 0 || len(data) != nx*ny {
+		return nil, fmt.Errorf("zfp: field %dx%d does not match %d values", nx, ny, len(data))
+	}
+	if rate < MinRate || rate > MaxRate {
+		return nil, fmt.Errorf("zfp: rate %d outside [%d,%d]", rate, MinRate, MaxRate)
+	}
+	for i, x := range data {
+		if math.IsNaN(x) || math.IsInf(x, 0) {
+			return nil, fmt.Errorf("zfp: non-finite value at index %d", i)
+		}
+	}
+
+	bx := (nx + blockDim - 1) / blockDim
+	by := (ny + blockDim - 1) / blockDim
+	budget := 16 * rate
+
+	out := make([]byte, headerSize, headerSize+bx*by*(2+2*rate)+16)
+	copy(out, magic[:])
+	binary.LittleEndian.PutUint32(out[4:], uint32(nx))
+	binary.LittleEndian.PutUint32(out[8:], uint32(ny))
+	binary.LittleEndian.PutUint16(out[12:], uint16(rate))
+
+	w := newBitWriter()
+	var block [16]float64
+	var coeff [16]int64
+	for bj := 0; bj < by; bj++ {
+		for bi := 0; bi < bx; bi++ {
+			gatherBlock(data, nx, ny, bi, bj, &block)
+			encodeBlock(&block, &coeff, budget, w)
+		}
+	}
+	return append(out, w.bytes()...), nil
+}
+
+// gatherBlock copies block (bi, bj) with edge replication for partial
+// blocks.
+func gatherBlock(data []float64, nx, ny, bi, bj int, block *[16]float64) {
+	for j := 0; j < blockDim; j++ {
+		y := bj*blockDim + j
+		if y >= ny {
+			y = ny - 1
+		}
+		for i := 0; i < blockDim; i++ {
+			x := bi*blockDim + i
+			if x >= nx {
+				x = nx - 1
+			}
+			block[j*blockDim+i] = data[y*nx+x]
+		}
+	}
+}
+
+// encodeBlock writes one block: 12-bit biased exponent then the quantised
+// transform coefficients in sequency order.
+func encodeBlock(block *[16]float64, coeff *[16]int64, budget int, w *bitWriter) {
+	// Common exponent.
+	maxAbs := 0.0
+	for _, v := range block {
+		if a := math.Abs(v); a > maxAbs {
+			maxAbs = a
+		}
+	}
+	if maxAbs == 0 {
+		w.write(0, 12) // exponent sentinel: all-zero block
+		return
+	}
+	_, e := math.Frexp(maxAbs)  // maxAbs = f × 2^e, f in [0.5, 1)
+	w.write(uint64(e+1075), 12) // e+1075 ∈ [1, 2100) fits 12 bits
+
+	// Block floating point: scale to integers with qBits significand.
+	// Ldexp per value avoids overflow of an explicit 2^(qBits-e) factor
+	// at the extremes of the exponent range.
+	for i, v := range block {
+		coeff[i] = int64(math.RoundToEven(math.Ldexp(v, qBits-e)))
+	}
+	// Decorrelate rows then columns.
+	for j := 0; j < blockDim; j++ {
+		forwardLift(coeff[j*blockDim:], 1)
+	}
+	for i := 0; i < blockDim; i++ {
+		forwardLift(coeff[i:], blockDim)
+	}
+	// Reorder by sequency, convert to negabinary, and encode the top bit
+	// planes with zfp's embedded group-tested coding under the exact
+	// per-block bit budget.
+	var u [16]uint64
+	for k, pos := range seqOrder {
+		u[k] = int2uint(coeff[pos])
+	}
+	encodeInts(w, budget, &u)
+}
+
+// encodeInts is zfp's fixed-rate embedded bit-plane coder for one block of
+// 16 negabinary coefficients: planes are emitted most-significant first;
+// within a plane, bits of already-active coefficients come first, then a
+// unary run-length code activates coefficients whose leading one appears
+// in this plane. Encoding stops exactly at the bit budget.
+func encodeInts(w *bitWriter, budget int, u *[16]uint64) {
+	bits := budget
+	n := 0 // active coefficients
+	for k := intprec - 1; k >= 0 && bits > 0; k-- {
+		// Extract bit plane k.
+		var x uint64
+		for i := 0; i < 16; i++ {
+			x |= ((u[i] >> uint(k)) & 1) << uint(i)
+		}
+		// Bits of active coefficients.
+		m := n
+		if m > bits {
+			m = bits
+		}
+		w.write(x&(1<<uint(m)-1), m)
+		bits -= m
+		x >>= uint(n)
+		// Group-tested unary activation of new coefficients (zfp's
+		// encode_ints step 3). Each outer iteration consumes exactly one
+		// coefficient position: the one whose leading bit was found, or
+		// the last coefficient, whose activation the group test implies.
+		for n < 16 && bits > 0 {
+			bits--
+			any := x != 0
+			w.writeBit(any)
+			if !any {
+				break
+			}
+			for n < 16-1 && bits > 0 {
+				bits--
+				one := x&1 != 0
+				w.writeBit(one)
+				if one {
+					break
+				}
+				x >>= 1
+				n++
+			}
+			x >>= 1
+			n++
+		}
+	}
+	// Pad to the exact budget so every block occupies 16×rate bits.
+	for ; bits > 0; bits-- {
+		w.writeBit(false)
+	}
+}
+
+// decodeInts mirrors encodeInts.
+func decodeInts(r *bitReader, budget int, u *[16]uint64) error {
+	for i := range u {
+		u[i] = 0
+	}
+	bits := budget
+	n := 0
+	for k := intprec - 1; k >= 0 && bits > 0; k-- {
+		m := n
+		if m > bits {
+			m = bits
+		}
+		x, err := r.read(m)
+		if err != nil {
+			return err
+		}
+		bits -= m
+		for n < 16 && bits > 0 {
+			bits--
+			any, err := r.readBit()
+			if err != nil {
+				return err
+			}
+			if !any {
+				break
+			}
+			for n < 16-1 && bits > 0 {
+				bits--
+				one, err := r.readBit()
+				if err != nil {
+					return err
+				}
+				if one {
+					break
+				}
+				n++
+			}
+			x |= 1 << uint(n)
+			n++
+		}
+		// Deposit plane k.
+		for i := 0; x != 0; i, x = i+1, x>>1 {
+			u[i] |= (x & 1) << uint(k)
+		}
+	}
+	// Skip the block padding (may exceed one read; chunks stay within the
+	// bit reader's safe width).
+	for bits > 0 {
+		n := bits
+		if n > 32 {
+			n = 32
+		}
+		if _, err := r.read(n); err != nil {
+			return err
+		}
+		bits -= n
+	}
+	return nil
+}
+
+// Decompress2D decodes a buffer produced by Compress2D, returning the
+// field and its dimensions.
+func Decompress2D(buf []byte) ([]float64, int, int, error) {
+	if len(buf) < headerSize || [4]byte(buf[0:4]) != magic {
+		return nil, 0, 0, fmt.Errorf("zfp: bad header")
+	}
+	nx := int(binary.LittleEndian.Uint32(buf[4:]))
+	ny := int(binary.LittleEndian.Uint32(buf[8:]))
+	rate := int(binary.LittleEndian.Uint16(buf[12:]))
+	if nx <= 0 || ny <= 0 || rate < MinRate || rate > MaxRate {
+		return nil, 0, 0, fmt.Errorf("zfp: implausible header nx=%d ny=%d rate=%d", nx, ny, rate)
+	}
+	if nx > 1<<24 || ny > 1<<24 {
+		return nil, 0, 0, fmt.Errorf("zfp: dimensions too large")
+	}
+	budget := 16 * rate
+	r := newBitReader(buf[headerSize:])
+	bx := (nx + blockDim - 1) / blockDim
+	by := (ny + blockDim - 1) / blockDim
+	out := make([]float64, nx*ny)
+	var coeff [16]int64
+	for bj := 0; bj < by; bj++ {
+		for bi := 0; bi < bx; bi++ {
+			e, zero, err := decodeBlock(&coeff, budget, r)
+			if err != nil {
+				return nil, 0, 0, err
+			}
+			scatterBlock(out, nx, ny, bi, bj, &coeff, e, zero)
+		}
+	}
+	return out, nx, ny, nil
+}
+
+// decodeBlock reconstructs one block's integer coefficients and returns
+// the block exponent (zero reports an all-zero block).
+func decodeBlock(coeff *[16]int64, budget int, r *bitReader) (e int, zero bool, err error) {
+	eBits, err := r.read(12)
+	if err != nil {
+		return 0, false, err
+	}
+	if eBits == 0 {
+		for i := range coeff {
+			coeff[i] = 0
+		}
+		return 0, true, nil
+	}
+	e = int(eBits) - 1075
+	var u [16]uint64
+	if err := decodeInts(r, budget, &u); err != nil {
+		return 0, false, err
+	}
+	for k, pos := range seqOrder {
+		coeff[pos] = uint2int(u[k])
+	}
+	// Inverse transform: columns then rows.
+	for i := 0; i < blockDim; i++ {
+		inverseLift(coeff[i:], blockDim)
+	}
+	for j := 0; j < blockDim; j++ {
+		inverseLift(coeff[j*blockDim:], 1)
+	}
+	return e, false, nil
+}
+
+// scatterBlock writes the decoded block into the field, skipping padding.
+// Ldexp per value preserves precision at extreme block exponents.
+func scatterBlock(out []float64, nx, ny, bi, bj int, coeff *[16]int64, e int, zero bool) {
+	for j := 0; j < blockDim; j++ {
+		y := bj*blockDim + j
+		if y >= ny {
+			continue
+		}
+		for i := 0; i < blockDim; i++ {
+			x := bi*blockDim + i
+			if x >= nx {
+				continue
+			}
+			if zero {
+				out[y*nx+x] = 0
+				continue
+			}
+			out[y*nx+x] = math.Ldexp(float64(coeff[j*blockDim+i]), e-qBits)
+		}
+	}
+}
+
+// bitWriter packs little-endian bit strings.
+type bitWriter struct {
+	buf  []byte
+	acc  uint64
+	nacc uint
+}
+
+func newBitWriter() *bitWriter { return &bitWriter{} }
+
+func (w *bitWriter) write(v uint64, n int) {
+	w.acc |= v << w.nacc
+	w.nacc += uint(n)
+	for w.nacc >= 8 {
+		w.buf = append(w.buf, byte(w.acc))
+		w.acc >>= 8
+		w.nacc -= 8
+	}
+}
+
+// writeBit emits a single bit.
+func (w *bitWriter) writeBit(b bool) {
+	if b {
+		w.write(1, 1)
+	} else {
+		w.write(0, 1)
+	}
+}
+
+func (w *bitWriter) bytes() []byte {
+	out := w.buf
+	if w.nacc > 0 {
+		out = append(out, byte(w.acc))
+	}
+	return out
+}
+
+// bitReader unpacks little-endian bit strings.
+type bitReader struct {
+	buf  []byte
+	pos  int
+	acc  uint64
+	nacc uint
+}
+
+func newBitReader(buf []byte) *bitReader { return &bitReader{buf: buf} }
+
+// readBit reads a single bit.
+func (r *bitReader) readBit() (bool, error) {
+	v, err := r.read(1)
+	return v != 0, err
+}
+
+func (r *bitReader) read(n int) (uint64, error) {
+	if n > 56 {
+		// The byte-fill below shifts whole bytes into the accumulator, so
+		// reads must leave room for one more byte at the current fill.
+		panic("zfp: bitReader.read width > 56")
+	}
+	for r.nacc < uint(n) {
+		if r.pos >= len(r.buf) {
+			return 0, fmt.Errorf("zfp: truncated stream")
+		}
+		r.acc |= uint64(r.buf[r.pos]) << r.nacc
+		r.pos++
+		r.nacc += 8
+	}
+	v := r.acc & (1<<uint(n) - 1)
+	r.acc >>= uint(n)
+	r.nacc -= uint(n)
+	return v, nil
+}

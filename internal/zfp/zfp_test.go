@@ -1,0 +1,378 @@
+package zfp
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// smoothField builds a smooth nx×ny test field with the given amplitude.
+func smoothField(nx, ny int, amp float64) []float64 {
+	out := make([]float64, nx*ny)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			x := float64(i) / float64(nx)
+			y := float64(j) / float64(ny)
+			out[j*nx+i] = amp * (math.Sin(4*math.Pi*x)*math.Cos(2*math.Pi*y) +
+				0.3*math.Exp(-((x-0.5)*(x-0.5)+(y-0.5)*(y-0.5))*20))
+		}
+	}
+	return out
+}
+
+func maxAbsDiff(a, b []float64) float64 {
+	m := 0.0
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}
+
+func maxAbs(a []float64) float64 {
+	m := 0.0
+	for _, v := range a {
+		if x := math.Abs(v); x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+func TestRoundTripSmoothField(t *testing.T) {
+	const nx, ny = 64, 48
+	field := smoothField(nx, ny, 10)
+	scale := maxAbs(field)
+	// Accuracy must improve monotonically with rate and be decent.
+	prevErr := math.Inf(1)
+	for _, rate := range []int{4, 8, 12, 16, 24} {
+		buf, err := Compress2D(field, nx, ny, rate)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, gnx, gny, err := Decompress2D(buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if gnx != nx || gny != ny {
+			t.Fatalf("rate %d: dimensions %dx%d", rate, gnx, gny)
+		}
+		relErr := maxAbsDiff(field, got) / scale
+		t.Logf("rate %2d: rel err %.3g, %.2f bits/value", rate, relErr,
+			float64(len(buf)*8)/float64(nx*ny))
+		if relErr > prevErr*1.5 {
+			t.Errorf("rate %d: error %g worse than lower rate %g", rate, relErr, prevErr)
+		}
+		prevErr = relErr
+		switch {
+		case rate >= 16 && relErr > 1e-6:
+			t.Errorf("rate %d: rel err %g too large", rate, relErr)
+		case rate >= 8 && relErr > 1e-3:
+			t.Errorf("rate %d: rel err %g too large", rate, relErr)
+		case relErr > 0.1:
+			t.Errorf("rate %d: rel err %g too large", rate, relErr)
+		}
+	}
+}
+
+func TestCompressionRatio(t *testing.T) {
+	const nx, ny = 128, 128
+	field := smoothField(nx, ny, 1)
+	buf, err := Compress2D(field, nx, ny, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	bitsPerValue := float64(len(buf)*8) / float64(nx*ny)
+	// 8-bit rate + 12/16 bits of block exponent + header ⇒ < 9.5 b/v,
+	// an ~6.7× saving over float64.
+	if bitsPerValue > 9.5 {
+		t.Errorf("8-bit rate produced %.2f bits/value", bitsPerValue)
+	}
+	if ratio := 64 / bitsPerValue; ratio < 6 {
+		t.Errorf("compression ratio %.1fx below expectation", ratio)
+	}
+}
+
+func TestZeroAndConstantBlocks(t *testing.T) {
+	const nx, ny = 16, 16
+	zero := make([]float64, nx*ny)
+	buf, err := Compress2D(zero, nx, ny, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := Decompress2D(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != 0 {
+			t.Fatalf("zero field decoded nonzero %g at %d", v, i)
+		}
+	}
+	constant := make([]float64, nx*ny)
+	for i := range constant {
+		constant[i] = 3.75
+	}
+	buf, err = Compress2D(constant, nx, ny, 12)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err = Decompress2D(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := maxAbsDiff(constant, got) / 3.75; rel > 1e-3 {
+		t.Errorf("constant field rel err %g", rel)
+	}
+}
+
+func TestPartialBlocks(t *testing.T) {
+	// Dimensions not divisible by 4 exercise the edge-replication path.
+	for _, dims := range [][2]int{{5, 7}, {1, 1}, {4, 9}, {13, 4}, {3, 16}} {
+		nx, ny := dims[0], dims[1]
+		field := smoothField(nx, ny, 2)
+		buf, err := Compress2D(field, nx, ny, 16)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", nx, ny, err)
+		}
+		got, gnx, gny, err := Decompress2D(buf)
+		if err != nil {
+			t.Fatalf("%dx%d: %v", nx, ny, err)
+		}
+		if gnx != nx || gny != ny || len(got) != nx*ny {
+			t.Fatalf("%dx%d: decoded %dx%d", nx, ny, gnx, gny)
+		}
+		if scale := maxAbs(field); scale > 0 {
+			if rel := maxAbsDiff(field, got) / scale; rel > 1e-4 {
+				t.Errorf("%dx%d: rel err %g", nx, ny, rel)
+			}
+		}
+	}
+}
+
+func TestExtremeDynamicRange(t *testing.T) {
+	// Blocks with very large and very small common exponents must both
+	// survive (the 12-bit exponent field covers the whole float64 range).
+	const nx, ny = 8, 8
+	for _, amp := range []float64{1e300, 1e-300, 1e-30, 1e30} {
+		field := smoothField(nx, ny, amp)
+		buf, err := Compress2D(field, nx, ny, 16)
+		if err != nil {
+			t.Fatalf("amp %g: %v", amp, err)
+		}
+		got, _, _, err := Decompress2D(buf)
+		if err != nil {
+			t.Fatalf("amp %g: %v", amp, err)
+		}
+		if rel := maxAbsDiff(field, got) / maxAbs(field); rel > 1e-3 {
+			t.Errorf("amp %g: rel err %g", amp, rel)
+		}
+	}
+}
+
+func TestErrors(t *testing.T) {
+	field := smoothField(8, 8, 1)
+	if _, err := Compress2D(field, 8, 8, 1); err == nil {
+		t.Error("rate below MinRate accepted")
+	}
+	if _, err := Compress2D(field, 8, 8, 99); err == nil {
+		t.Error("rate above MaxRate accepted")
+	}
+	if _, err := Compress2D(field, 7, 8, 8); err == nil {
+		t.Error("mismatched dimensions accepted")
+	}
+	if _, err := Compress2D(field, 0, 0, 8); err == nil {
+		t.Error("empty field accepted")
+	}
+	bad := append([]float64(nil), field...)
+	bad[3] = math.NaN()
+	if _, err := Compress2D(bad, 8, 8, 8); err == nil {
+		t.Error("NaN accepted")
+	}
+	bad[3] = math.Inf(1)
+	if _, err := Compress2D(bad, 8, 8, 8); err == nil {
+		t.Error("Inf accepted")
+	}
+	if _, _, _, err := Decompress2D([]byte("junk")); err == nil {
+		t.Error("junk buffer accepted")
+	}
+	buf, err := Compress2D(field, 8, 8, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, _, err := Decompress2D(buf[:len(buf)-3]); err == nil {
+		t.Error("truncated stream accepted")
+	}
+	corrupted := append([]byte(nil), buf...)
+	corrupted[0] = 'X'
+	if _, _, _, err := Decompress2D(corrupted); err == nil {
+		t.Error("corrupted magic accepted")
+	}
+}
+
+func TestLiftTransformNearInverse(t *testing.T) {
+	// zfp's lifting transform loses the low bit of some intermediate
+	// sums (the >>1 steps), so fwd∘inv reproduces the input to within a
+	// couple of integer ulps — negligible at the 2^30 block scale.
+	rng := rand.New(rand.NewSource(1))
+	for trial := 0; trial < 1000; trial++ {
+		var p, q [4]int64
+		for i := range p {
+			p[i] = int64(rng.Int31()) - 1<<30
+			q[i] = p[i]
+		}
+		forwardLift(q[:], 1)
+		inverseLift(q[:], 1)
+		for i := range p {
+			if d := q[i] - p[i]; d > 4 || d < -4 {
+				t.Fatalf("trial %d: lift drifted by %d: %v vs %v", trial, d, q, p)
+			}
+		}
+	}
+}
+
+func TestNegabinaryRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10000; trial++ {
+		x := int64(rng.Uint64()>>30) - 1<<33
+		if got := uint2int(int2uint(x)); got != x {
+			t.Fatalf("negabinary round trip: %d → %d", x, got)
+		}
+		// Coefficient-range values stay within intprec planes.
+		if u := int2uint(x); u>>intprec != 0 {
+			t.Fatalf("negabinary of %d spills past %d planes: %#x", x, intprec, u)
+		}
+	}
+	if int2uint(0) != 0 {
+		t.Error("negabinary of 0 not 0")
+	}
+}
+
+func TestEmbeddedCoderExactBudget(t *testing.T) {
+	// Every block must consume exactly 16×rate bits regardless of
+	// content, so fixed-rate streams are seekable.
+	for _, rate := range []int{2, 8, 20, 28} {
+		for _, fill := range []uint64{0, 1, 0xffff, 1 << 33} {
+			w := newBitWriter()
+			var u [16]uint64
+			for i := range u {
+				u[i] = fill * uint64(i+1) % (1 << intprec)
+			}
+			encodeInts(w, 16*rate, &u)
+			gotBits := len(w.bytes()) * 8
+			want := 16 * rate
+			if gotBits < want || gotBits > want+7 {
+				t.Fatalf("rate %d fill %d: wrote %d bits, want %d", rate, fill, gotBits, want)
+			}
+			// And decode consumes the same.
+			r := newBitReader(w.bytes())
+			var v [16]uint64
+			if err := decodeInts(r, 16*rate, &v); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+}
+
+func TestEmbeddedCoderLosslessAtHighBudget(t *testing.T) {
+	// With budget ≥ the full plane count the coder is lossless.
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 200; trial++ {
+		var u [16]uint64
+		for i := range u {
+			u[i] = rng.Uint64() & (1<<intprec - 1)
+		}
+		w := newBitWriter()
+		encodeInts(w, 16*intprec+16*intprec, &u) // generous budget
+		r := newBitReader(w.bytes())
+		var v [16]uint64
+		if err := decodeInts(r, 16*intprec+16*intprec, &v); err != nil {
+			t.Fatal(err)
+		}
+		if v != u {
+			t.Fatalf("trial %d: lossless round trip failed\n in %v\nout %v", trial, u, v)
+		}
+	}
+}
+
+func TestBitIO(t *testing.T) {
+	w := newBitWriter()
+	vals := []struct {
+		v uint64
+		n int
+	}{{1, 1}, {0b1011, 4}, {0x7fff, 15}, {0, 3}, {0xdeadbeef, 32}, {1<<34 - 1, 34}}
+	for _, c := range vals {
+		w.write(c.v, c.n)
+	}
+	r := newBitReader(w.bytes())
+	for i, c := range vals {
+		got, err := r.read(c.n)
+		if err != nil {
+			t.Fatalf("read %d: %v", i, err)
+		}
+		if got != c.v {
+			t.Fatalf("read %d: %x want %x", i, got, c.v)
+		}
+	}
+	if _, err := r.read(40); err == nil {
+		t.Error("read past end accepted")
+	}
+	// Reads wider than the accumulator's safe width are a programming
+	// error and must panic loudly rather than drop bits silently (the
+	// bug class that once desynced multi-block streams).
+	defer func() {
+		if recover() == nil {
+			t.Error("read(64) did not panic")
+		}
+	}()
+	_, _ = newBitReader(make([]byte, 16)).read(64)
+}
+
+func TestNoisyFieldDegradesGracefully(t *testing.T) {
+	// White noise is the worst case for a decorrelating codec: error
+	// stays bounded by the quantisation step even without smoothness.
+	const nx, ny = 32, 32
+	rng := rand.New(rand.NewSource(2))
+	field := make([]float64, nx*ny)
+	for i := range field {
+		field[i] = rng.NormFloat64()
+	}
+	buf, err := Compress2D(field, nx, ny, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, _, err := Decompress2D(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rel := maxAbsDiff(field, got) / maxAbs(field); rel > 1e-2 {
+		t.Errorf("noise at rate 20: rel err %g", rel)
+	}
+}
+
+func BenchmarkCompress(b *testing.B) {
+	const nx, ny = 256, 256
+	field := smoothField(nx, ny, 5)
+	b.SetBytes(int64(nx * ny * 8))
+	for i := 0; i < b.N; i++ {
+		if _, err := Compress2D(field, nx, ny, 8); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkDecompress(b *testing.B) {
+	const nx, ny = 256, 256
+	field := smoothField(nx, ny, 5)
+	buf, err := Compress2D(field, nx, ny, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.SetBytes(int64(nx * ny * 8))
+	for i := 0; i < b.N; i++ {
+		if _, _, _, err := Decompress2D(buf); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

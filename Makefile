@@ -1,0 +1,30 @@
+# Build/verify entry points. `make verify` is the tier-1 gate: vet plus the
+# full test suite. `make race` runs the race detector over the parallel
+# runtime and both mini-app step loops (the packages that dispatch on the
+# worker pool). `make bench-par` regenerates the committed pool-vs-spawn
+# dispatch numbers in results/.
+
+GO ?= go
+
+.PHONY: build test vet verify race bench-par bench-step
+
+build:
+	$(GO) build ./...
+
+test:
+	$(GO) test ./...
+
+vet:
+	$(GO) vet ./...
+
+verify: build vet test
+
+race:
+	$(GO) test -race ./internal/par/... ./internal/clamr/... ./internal/self/...
+
+bench-par:
+	$(GO) test ./internal/par/ -run '^$$' -bench BenchmarkParDispatch -benchmem | tee results/par_pool_bench.txt
+
+bench-step:
+	$(GO) test ./internal/clamr/ -run '^$$' -bench BenchmarkCLAMRStep -benchmem
+	$(GO) test ./internal/self/ -run '^$$' -bench BenchmarkSELFStep -benchmem

@@ -24,6 +24,7 @@ import (
 
 	"repro"
 	"repro/internal/analysis"
+	"repro/internal/metrics"
 )
 
 func main() {
@@ -71,11 +72,15 @@ func main() {
 		}
 		ran++
 		start := time.Now()
+		ms := metrics.StartMemSample()
 		out, err := session.RunExperiment(e.ID)
 		if err != nil {
 			log.Fatalf("%s: %v", e.ID, err)
 		}
-		fmt.Printf("════ %s — %s (%v) ════\n%s\n", e.ID, e.Title, time.Since(start).Round(time.Millisecond), out.Text)
+		allocB, allocN := ms.Delta()
+		fmt.Printf("════ %s — %s (%v, heap %s in %s objects) ════\n%s\n",
+			e.ID, e.Title, time.Since(start).Round(time.Millisecond),
+			metrics.Bytes(allocB), metrics.SI(allocN), out.Text)
 		if *outdir != "" && len(out.Series) > 0 {
 			path := filepath.Join(*outdir, e.ID+".csv")
 			f, err := os.Create(path)

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/mesh"
@@ -76,10 +77,19 @@ type Config struct {
 	// the starting mesh resolves the dam wall (default MaxLevel).
 	InitialAdaptPasses int
 	// Workers runs the finite-difference, update and timestep passes
-	// fork-join parallel over this many goroutines (≤1 = serial). The
-	// parallel sweeps are bit-identical to the serial ones at any worker
-	// count (disjoint writes; exact min-reduction; fixed scatter order).
+	// fork-join parallel over this many chunks (≤1 = serial), dispatched
+	// on the shared persistent par pool. The parallel sweeps are
+	// bit-identical to the serial ones at any worker count (disjoint
+	// writes; exact min-reduction; fixed scatter order).
 	Workers int
+	// DryTol is the dry-cell height floor: cells with h ≤ DryTol are
+	// treated as dry in the CFL scan, and flux velocity divisions clamp
+	// their denominator to at least DryTol, so a subnormal-but-positive
+	// height at reduced compute precision cannot overflow hu/h. Zero
+	// selects a precision-appropriate default (1e-6 for float32 compute,
+	// 1e-12 for float64); negative disables the floor entirely (the bare
+	// h ≤ 0 guard of the original kernels).
+	DryTol float64
 }
 
 func (c *Config) setDefaults() {
@@ -149,6 +159,32 @@ type Solver[S, C precision.Real] struct {
 	alloc     *metrics.AllocTracker
 	massDrift float64 // |mass(t)-mass(0)| / mass(0), updated by MassError
 	mass0     float64
+
+	// Parallel runtime: the shared persistent pool, a reusable reduction
+	// for the CFL scan, and kernels prebound once at construction so the
+	// steady-state step loop dispatches without allocating. Per-dispatch
+	// parameters travel through curDT.
+	pool      *par.Pool
+	dtRed     *par.Reducer[float64]
+	curDT     C
+	dry       C // dry-cell height floor at compute precision
+	parZero   func(lo, hi int)
+	parFluxX  func(lo, hi int)
+	parFluxY  func(lo, hi int)
+	parUpdate func(lo, hi int)
+	parCell   func(lo, hi int)
+	parFlag   func(lo, hi int)
+	dtProduce func(lo, hi int) float64
+
+	// AMR scratch reused across adaptations: the flag buffer and the
+	// ping-pong state buffers ApplyRemapInto writes into.
+	flags              []mesh.RefineFlag
+	hAlt, huAlt, hvAlt []S
+	prolong            func(S) [4]S
+	restrict           func([4]S) S
+
+	// Preresolved timer buckets (allocation-free phase timing).
+	phDT, phFD, phAMR metrics.PhaseCell
 }
 
 // NewSolver creates a solver and applies the initial condition, including
@@ -165,6 +201,7 @@ func NewSolver[S, C precision.Real](cfg Config, ic InitialCondition) (*Solver[S,
 		timer: metrics.NewTimer(),
 		alloc: metrics.NewAllocTracker(),
 	}
+	s.initRuntime()
 	s.applyIC(ic)
 	// Refine the initial condition so the dam wall is resolved at the
 	// finest level before time stepping begins.
@@ -177,6 +214,34 @@ func NewSolver[S, C precision.Real](cfg Config, ic InitialCondition) (*Solver[S,
 	s.rebuildWorkspace()
 	s.mass0 = s.Mass()
 	return s, nil
+}
+
+// initRuntime wires the solver to the shared persistent pool and sets up
+// everything the allocation-free step loop needs: the reusable CFL
+// reduction, preresolved timer cells, the dry floor, the remap operators,
+// and the prebound parallel kernels. Both construction paths (NewSolver and
+// checkpoint restore) call it.
+func (s *Solver[S, C]) initRuntime() {
+	s.pool = par.Default()
+	s.dtRed = par.NewReducer[float64](s.pool)
+	s.phDT = s.timer.Cell("timestep")
+	s.phFD = s.timer.Cell("finite_diff")
+	s.phAMR = s.timer.Cell("amr")
+	switch {
+	case s.cfg.DryTol > 0:
+		s.dry = C(s.cfg.DryTol)
+	case s.cfg.DryTol < 0:
+		s.dry = 0
+	default:
+		if unsafeSizeofS[C]() == 4 {
+			s.dry = C(1e-6)
+		} else {
+			s.dry = C(1e-12)
+		}
+	}
+	s.prolong = mesh.InjectProlong[S]()
+	s.restrict = mesh.MeanRestrict[S]()
+	s.bindKernels()
 }
 
 // applyIC evaluates the initial condition at every cell center.
@@ -195,13 +260,16 @@ func (s *Solver[S, C]) applyIC(ic InitialCondition) {
 }
 
 // rebuildWorkspace resizes scratch arrays and the face list after the mesh
-// changes, and refreshes the memory accounting.
+// changes, and refreshes the memory accounting. All buffers are grow-only
+// and the face list rebuilds into its existing backing arrays, so at steady
+// state (and across adaptations that do not grow the mesh) the workspace
+// allocates nothing.
 func (s *Solver[S, C]) rebuildWorkspace() {
 	n := s.mesh.NumCells()
-	s.dh = make([]S, n)
-	s.dhu = make([]S, n)
-	s.dhv = make([]S, n)
-	s.faces = buildFaceList[C](s.mesh)
+	s.dh = growSlice(s.dh, n)
+	s.dhu = growSlice(s.dhu, n)
+	s.dhv = growSlice(s.dhv, n)
+	s.faces.rebuild(s.mesh)
 
 	var sv S
 	var cv C
@@ -215,6 +283,15 @@ func (s *Solver[S, C]) rebuildWorkspace() {
 	s.alloc.Register("mesh", uint64(n)*uint64(9+8)) // cells + hash entry estimate
 	nFaces := uint64(len(s.faces.xl) + len(s.faces.yb) + len(s.faces.bCell))
 	s.alloc.Register("faces", nFaces*(2*4+uint64(cBytes))+uint64(n)*uint64(cBytes))
+}
+
+// growSlice returns a slice of length n, reusing xs's backing array when
+// its capacity suffices. Contents are unspecified; callers overwrite fully.
+func growSlice[T any](xs []T, n int) []T {
+	if cap(xs) < n {
+		return make([]T, n)
+	}
+	return xs[:n]
 }
 
 // unsafeSizeof avoids importing unsafe for the two cases we need.
@@ -297,21 +374,21 @@ func (s *Solver[S, C]) Step() error {
 	if !(dt > 0) || math.IsInf(dt, 0) {
 		return fmt.Errorf("clamr: step %d: non-positive or non-finite dt %g (state blew up?)", s.step, dt)
 	}
-	done := s.timer.Phase("finite_diff")
+	startFD := time.Now()
 	switch s.cfg.Kernel {
 	case KernelFace:
 		s.finiteDiffFace(C(dt))
 	default:
 		s.finiteDiffCell(C(dt))
 	}
-	done()
+	s.phFD.Observe(startFD)
 	s.time += dt
 	s.step++
 	if s.cfg.AMRInterval > 0 && s.step%s.cfg.AMRInterval == 0 {
-		doneAMR := s.timer.Phase("amr")
+		startAMR := time.Now()
 		err := s.adapt()
 		s.rebuildWorkspace()
-		doneAMR()
+		s.phAMR.Observe(startAMR)
 		if err != nil {
 			return err
 		}
@@ -329,17 +406,71 @@ func (s *Solver[S, C]) Run(n int) error {
 	return nil
 }
 
-// computeDT evaluates the CFL timestep at compute precision C.
+// computeDT evaluates the CFL timestep at compute precision C via the
+// reusable pooled min-reduction (exact minimum — bit-identical at every
+// worker count). Cells at or below the dry floor are skipped.
 func (s *Solver[S, C]) computeDT() float64 {
-	done := s.timer.Phase("timestep")
-	defer done()
-	g := C(s.cfg.Gravity)
+	start := time.Now()
 	n := s.mesh.NumCells()
-	minRatio := par.MapReduce(s.cfg.Workers, n, func(lo, hi int) float64 {
+	minRatio := s.dtRed.Reduce(s.cfg.Workers, n, s.dtProduce, math.Min, math.Inf(1))
+	s.counters.Add(metrics.Counters{LoadBytes: uint64(n) * 3 * uint64(unsafeSizeofS[S]())})
+	s.addFlops(uint64(n)*8, 0)
+	s.addTranscendental(uint64(n))
+	s.phDT.Observe(start)
+	return s.cfg.Courant * minRatio
+}
+
+// bindKernels creates the parallel kernel closures once; they capture only
+// the solver, reading per-dispatch parameters (curDT, the current face
+// list, the flag buffer) through it, so repeated dispatch allocates
+// nothing.
+func (s *Solver[S, C]) bindKernels() {
+	s.parZero = func(lo, hi int) {
+		clear(s.dh[lo:hi])
+		clear(s.dhu[lo:hi])
+		clear(s.dhv[lo:hi])
+	}
+	s.parFluxX = func(lo, hi int) {
+		g := C(s.cfg.Gravity)
+		fl := &s.faces
+		for k := lo; k < hi; k++ {
+			l, r := fl.xl[k], fl.xr[k]
+			fl.fxh[k], fl.fxhu[k], fl.fxhv[k] = rusanovX(g, s.dry,
+				C(s.h[l]), C(s.hu[l]), C(s.hv[l]), C(s.h[r]), C(s.hu[r]), C(s.hv[r]))
+		}
+	}
+	s.parFluxY = func(lo, hi int) {
+		g := C(s.cfg.Gravity)
+		fl := &s.faces
+		for k := lo; k < hi; k++ {
+			b, tp := fl.yb[k], fl.yt[k]
+			fl.fyh[k], fl.fyhu[k], fl.fyhv[k] = rusanovY(g, s.dry,
+				C(s.h[b]), C(s.hu[b]), C(s.hv[b]), C(s.h[tp]), C(s.hu[tp]), C(s.hv[tp]))
+		}
+	}
+	s.parUpdate = func(lo, hi int) {
+		dt := s.curDT
+		fl := &s.faces
+		for i := lo; i < hi; i++ {
+			coef := dt * fl.invArea[i]
+			s.h[i] = S(C(s.h[i]) + coef*C(s.dh[i]))
+			s.hu[i] = S(C(s.hu[i]) + coef*C(s.dhu[i]))
+			s.hv[i] = S(C(s.hv[i]) + coef*C(s.dhv[i]))
+		}
+	}
+	s.parCell = func(lo, hi int) {
+		g := C(s.cfg.Gravity)
+		m := s.mesh
+		for i := lo; i < hi; i++ {
+			s.cellRHS(m, g, i)
+		}
+	}
+	s.dtProduce = func(lo, hi int) float64 {
+		g := C(s.cfg.Gravity)
 		m := math.Inf(1)
 		for i := lo; i < hi; i++ {
 			h := C(s.h[i])
-			if h <= 0 {
+			if h <= s.dry {
 				continue
 			}
 			u := C(s.hu[i]) / h
@@ -356,11 +487,30 @@ func (s *Solver[S, C]) computeDT() float64 {
 			}
 		}
 		return m
-	}, math.Min, math.Inf(1))
-	s.counters.Add(metrics.Counters{LoadBytes: uint64(n) * 3 * uint64(unsafeSizeofS[S]())})
-	s.addFlops(uint64(n)*8, 0)
-	s.addTranscendental(uint64(n))
-	return s.cfg.Courant * minRatio
+	}
+	s.parFlag = func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			hi0 := float64(s.h[i])
+			maxJump := 0.0
+			nb := s.mesh.Neighbors(i)
+			for side := mesh.Left; side <= mesh.Top; side++ {
+				for _, nIdx := range nb.On(side) {
+					if d := math.Abs(float64(s.h[nIdx]) - hi0); d > maxJump {
+						maxJump = d
+					}
+				}
+			}
+			rel := maxJump / math.Max(hi0, 1e-12)
+			var f mesh.RefineFlag
+			switch {
+			case rel > s.cfg.RefineTol:
+				f = mesh.Refine
+			case rel < s.cfg.CoarsenTol:
+				f = mesh.Coarsen
+			}
+			s.flags[i] = f
+		}
+	}
 }
 
 func absC[C precision.Real](x C) C {
@@ -410,39 +560,21 @@ func (s *Solver[S, C]) addConversions(n uint64) {
 	}
 }
 
-// adapt flags cells on relative height jumps and rebuilds state across the
-// resulting remap.
+// adapt flags cells on relative height jumps (in parallel on the pool) and
+// rebuilds state across the resulting remap. The flag buffer and the remap
+// destinations are reused: each state array ping-pongs with its *Alt twin,
+// so adaptations that do not grow the mesh move no memory through the heap.
 func (s *Solver[S, C]) adapt() error {
 	n := s.mesh.NumCells()
-	flags := make([]mesh.RefineFlag, n)
-	for i := 0; i < n; i++ {
-		hi := float64(s.h[i])
-		maxJump := 0.0
-		nb := s.mesh.Neighbors(i)
-		for side := mesh.Left; side <= mesh.Top; side++ {
-			for _, nIdx := range nb.On(side) {
-				if d := math.Abs(float64(s.h[nIdx]) - hi); d > maxJump {
-					maxJump = d
-				}
-			}
-		}
-		rel := maxJump / math.Max(hi, 1e-12)
-		switch {
-		case rel > s.cfg.RefineTol:
-			flags[i] = mesh.Refine
-		case rel < s.cfg.CoarsenTol:
-			flags[i] = mesh.Coarsen
-		}
-	}
-	plan, err := s.mesh.Adapt(flags)
+	s.flags = growSlice(s.flags, n)
+	s.pool.ForN(s.cfg.Workers, n, s.parFlag)
+	plan, err := s.mesh.Adapt(s.flags)
 	if err != nil {
 		return fmt.Errorf("clamr: adapt: %w", err)
 	}
-	prolong := mesh.InjectProlong[S]()
-	restrict := mesh.MeanRestrict[S]()
-	s.h = mesh.ApplyRemap(plan, s.h, prolong, restrict)
-	s.hu = mesh.ApplyRemap(plan, s.hu, prolong, restrict)
-	s.hv = mesh.ApplyRemap(plan, s.hv, prolong, restrict)
+	s.h, s.hAlt = mesh.ApplyRemapInto(s.hAlt, plan, s.h, s.prolong, s.restrict), s.h
+	s.hu, s.huAlt = mesh.ApplyRemapInto(s.huAlt, plan, s.hu, s.prolong, s.restrict), s.hu
+	s.hv, s.hvAlt = mesh.ApplyRemapInto(s.hvAlt, plan, s.hv, s.prolong, s.restrict), s.hv
 	return nil
 }
 

@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/mesh"
 	"repro/internal/metrics"
-	"repro/internal/par"
 	"repro/internal/precision"
 )
 
@@ -34,30 +33,32 @@ type faceList[C precision.Real] struct {
 	fyh, fyhu, fyhv []C
 }
 
-// ensureFluxStaging allocates the per-face flux arrays.
+// ensureFluxStaging sizes the per-face flux arrays, reusing their backing
+// arrays whenever capacity suffices (grow-only, like the rest of the
+// workspace).
 func (fl *faceList[C]) ensureFluxStaging() {
-	if len(fl.fxh) != len(fl.xl) {
-		fl.fxh = make([]C, len(fl.xl))
-		fl.fxhu = make([]C, len(fl.xl))
-		fl.fxhv = make([]C, len(fl.xl))
-	}
-	if len(fl.fyh) != len(fl.yb) {
-		fl.fyh = make([]C, len(fl.yb))
-		fl.fyhu = make([]C, len(fl.yb))
-		fl.fyhv = make([]C, len(fl.yb))
-	}
+	fl.fxh = growSlice(fl.fxh, len(fl.xl))
+	fl.fxhu = growSlice(fl.fxhu, len(fl.xl))
+	fl.fxhv = growSlice(fl.fxhv, len(fl.xl))
+	fl.fyh = growSlice(fl.fyh, len(fl.yb))
+	fl.fyhu = growSlice(fl.fyhu, len(fl.yb))
+	fl.fyhv = growSlice(fl.fyhv, len(fl.yb))
 }
 
-// buildFaceList enumerates every face of the mesh exactly once.
+// rebuild re-enumerates every face of the mesh exactly once, appending into
+// the list's existing backing arrays (resliced to zero length first), so a
+// rebuild after an adaptation that did not grow the mesh allocates nothing.
 //
 // Emission rule per cell i and neighbor n: Right/Top sides emit when
 // level(i) ≥ level(n); Left/Bottom sides emit when level(i) > level(n).
 // Same-level faces are emitted by the left/bottom cell; coarse–fine faces
 // by the fine cell. Sides with no neighbor are domain boundary.
-func buildFaceList[C precision.Real](m *mesh.Mesh) faceList[C] {
-	var fl faceList[C]
+func (fl *faceList[C]) rebuild(m *mesh.Mesh) {
 	n := m.NumCells()
-	fl.invArea = make([]C, n)
+	fl.invArea = growSlice(fl.invArea, n)
+	fl.xl, fl.xr, fl.xlen = fl.xl[:0], fl.xr[:0], fl.xlen[:0]
+	fl.yb, fl.yt, fl.ylen = fl.yb[:0], fl.yt[:0], fl.ylen[:0]
+	fl.bCell, fl.bSide, fl.bLen = fl.bCell[:0], fl.bSide[:0], fl.bLen[:0]
 	for i := 0; i < n; i++ {
 		fl.invArea[i] = C(1 / m.Area(i))
 		c := m.Cell(i)
@@ -106,16 +107,27 @@ func buildFaceList[C precision.Real](m *mesh.Mesh) faceList[C] {
 			}
 		}
 	}
-	return fl
+	fl.ensureFluxStaging()
 }
 
 // rusanovX computes the x-direction Rusanov numerical flux between left and
-// right conserved states at compute precision.
-func rusanovX[C precision.Real](g, hL, huL, hvL, hR, huR, hvR C) (fh, fhu, fhv C) {
-	uL := huL / hL
-	vL := hvL / hL
-	uR := huR / hR
-	vR := hvR / hR
+// right conserved states at compute precision. dry floors the velocity
+// divisions: a subnormal-but-positive height cannot blow up hu/h, while any
+// wet cell (h ≥ dry) divides by its exact height, so results on wet states
+// are bit-identical to an unguarded kernel. Pressure terms always use the
+// true height. dry = 0 disables the guard.
+func rusanovX[C precision.Real](g, dry, hL, huL, hvL, hR, huR, hvR C) (fh, fhu, fhv C) {
+	dL, dR := hL, hR
+	if dL < dry {
+		dL = dry
+	}
+	if dR < dry {
+		dR = dry
+	}
+	uL := huL / dL
+	vL := hvL / dL
+	uR := huR / dR
+	vR := hvR / dR
 	cL := C(math.Sqrt(float64(g * hL)))
 	cR := C(math.Sqrt(float64(g * hR)))
 	s := absC(uL) + cL
@@ -131,12 +143,19 @@ func rusanovX[C precision.Real](g, hL, huL, hvL, hR, huR, hvR C) (fh, fhu, fhv C
 	return fh, fhu, fhv
 }
 
-// rusanovY is the y-direction counterpart.
-func rusanovY[C precision.Real](g, hB, huB, hvB, hT, huT, hvT C) (fh, fhu, fhv C) {
-	uB := huB / hB
-	vB := hvB / hB
-	uT := huT / hT
-	vT := hvT / hT
+// rusanovY is the y-direction counterpart of rusanovX (same dry floor).
+func rusanovY[C precision.Real](g, dry, hB, huB, hvB, hT, huT, hvT C) (fh, fhu, fhv C) {
+	dB, dT := hB, hT
+	if dB < dry {
+		dB = dry
+	}
+	if dT < dry {
+		dT = dry
+	}
+	uB := huB / dB
+	vB := hvB / dB
+	uT := huT / dT
+	vT := hvT / dT
 	cB := C(math.Sqrt(float64(g * hB)))
 	cT := C(math.Sqrt(float64(g * hT)))
 	s := absC(vB) + cB
@@ -157,8 +176,12 @@ func rusanovY[C precision.Real](g, hB, huB, hvB, hT, huT, hvT C) (fh, fhu, fhv C
 // mass exactly. n is the outward normal (+1 right wall, -1 left wall); the
 // Rusanov dissipation term flips sign with it because the mirrored ghost
 // sits on opposite sides.
-func wallFluxX[C precision.Real](g, h, hu, n C) (fhu C) {
-	u := hu / h
+func wallFluxX[C precision.Real](g, dry, h, hu, n C) (fhu C) {
+	d := h
+	if d < dry {
+		d = dry
+	}
+	u := hu / d
 	c := C(math.Sqrt(float64(g * h)))
 	s := absC(u) + c
 	return hu*u + C(0.5)*g*h*h + n*s*hu
@@ -166,8 +189,12 @@ func wallFluxX[C precision.Real](g, h, hu, n C) (fhu C) {
 
 // wallFluxY is the reflective-wall y-flux; n is the outward normal
 // (+1 top wall, -1 bottom wall).
-func wallFluxY[C precision.Real](g, h, hv, n C) (fhv C) {
-	v := hv / h
+func wallFluxY[C precision.Real](g, dry, h, hv, n C) (fhv C) {
+	d := h
+	if d < dry {
+		d = dry
+	}
+	v := hv / d
 	c := C(math.Sqrt(float64(g * h)))
 	s := absC(v) + c
 	return hv*v + C(0.5)*g*h*h + n*s*hv
@@ -193,6 +220,7 @@ func (s *Solver[S, C]) finiteDiffFace(dt C) {
 		return
 	}
 	g := C(s.cfg.Gravity)
+	dry := s.dry
 	fl := &s.faces
 	n := s.mesh.NumCells()
 	for i := 0; i < n; i++ {
@@ -204,7 +232,7 @@ func (s *Solver[S, C]) finiteDiffFace(dt C) {
 	for ; xi+4 <= len(fl.xl); xi += 4 {
 		for k := xi; k < xi+4; k++ {
 			l, r := fl.xl[k], fl.xr[k]
-			fh, fhu, fhv := rusanovX(g, C(s.h[l]), C(s.hu[l]), C(s.hv[l]), C(s.h[r]), C(s.hu[r]), C(s.hv[r]))
+			fh, fhu, fhv := rusanovX(g, dry, C(s.h[l]), C(s.hu[l]), C(s.hv[l]), C(s.h[r]), C(s.hu[r]), C(s.hv[r]))
 			w := fl.xlen[k]
 			s.dh[l] -= S(fh * w)
 			s.dhu[l] -= S(fhu * w)
@@ -216,7 +244,7 @@ func (s *Solver[S, C]) finiteDiffFace(dt C) {
 	}
 	for ; xi < len(fl.xl); xi++ {
 		l, r := fl.xl[xi], fl.xr[xi]
-		fh, fhu, fhv := rusanovX(g, C(s.h[l]), C(s.hu[l]), C(s.hv[l]), C(s.h[r]), C(s.hu[r]), C(s.hv[r]))
+		fh, fhu, fhv := rusanovX(g, dry, C(s.h[l]), C(s.hu[l]), C(s.hv[l]), C(s.h[r]), C(s.hu[r]), C(s.hv[r]))
 		w := fl.xlen[xi]
 		s.dh[l] -= S(fh * w)
 		s.dhu[l] -= S(fhu * w)
@@ -231,7 +259,7 @@ func (s *Solver[S, C]) finiteDiffFace(dt C) {
 	for ; yi+4 <= len(fl.yb); yi += 4 {
 		for k := yi; k < yi+4; k++ {
 			b, tp := fl.yb[k], fl.yt[k]
-			fh, fhu, fhv := rusanovY(g, C(s.h[b]), C(s.hu[b]), C(s.hv[b]), C(s.h[tp]), C(s.hu[tp]), C(s.hv[tp]))
+			fh, fhu, fhv := rusanovY(g, dry, C(s.h[b]), C(s.hu[b]), C(s.hv[b]), C(s.h[tp]), C(s.hu[tp]), C(s.hv[tp]))
 			w := fl.ylen[k]
 			s.dh[b] -= S(fh * w)
 			s.dhu[b] -= S(fhu * w)
@@ -243,7 +271,7 @@ func (s *Solver[S, C]) finiteDiffFace(dt C) {
 	}
 	for ; yi < len(fl.yb); yi++ {
 		b, tp := fl.yb[yi], fl.yt[yi]
-		fh, fhu, fhv := rusanovY(g, C(s.h[b]), C(s.hu[b]), C(s.hv[b]), C(s.h[tp]), C(s.hu[tp]), C(s.hv[tp]))
+		fh, fhu, fhv := rusanovY(g, dry, C(s.h[b]), C(s.hu[b]), C(s.hv[b]), C(s.h[tp]), C(s.hu[tp]), C(s.hv[tp]))
 		w := fl.ylen[yi]
 		s.dh[b] -= S(fh * w)
 		s.dhu[b] -= S(fhu * w)
@@ -259,13 +287,13 @@ func (s *Solver[S, C]) finiteDiffFace(dt C) {
 		w := fl.bLen[k]
 		switch fl.bSide[k] {
 		case mesh.Left:
-			s.dhu[i] += S(wallFluxX(g, C(s.h[i]), C(s.hu[i]), -1) * w)
+			s.dhu[i] += S(wallFluxX(g, dry, C(s.h[i]), C(s.hu[i]), -1) * w)
 		case mesh.Right:
-			s.dhu[i] -= S(wallFluxX(g, C(s.h[i]), C(s.hu[i]), 1) * w)
+			s.dhu[i] -= S(wallFluxX(g, dry, C(s.h[i]), C(s.hu[i]), 1) * w)
 		case mesh.Bottom:
-			s.dhv[i] += S(wallFluxY(g, C(s.h[i]), C(s.hv[i]), -1) * w)
+			s.dhv[i] += S(wallFluxY(g, dry, C(s.h[i]), C(s.hv[i]), -1) * w)
 		case mesh.Top:
-			s.dhv[i] -= S(wallFluxY(g, C(s.h[i]), C(s.hv[i]), 1) * w)
+			s.dhv[i] -= S(wallFluxY(g, dry, C(s.h[i]), C(s.hv[i]), 1) * w)
 		}
 	}
 
@@ -284,34 +312,20 @@ func (s *Solver[S, C]) finiteDiffFace(dt C) {
 // face-centric sweep: phase one evaluates every face flux in parallel into
 // the staging arrays (disjoint writes), phase two scatters them serially in
 // the fixed face order. Because the flux values and the accumulation order
-// match the serial kernel exactly, the result is bit-identical.
+// match the serial kernel exactly, the result is bit-identical. All parallel
+// phases dispatch prebound kernels on the persistent pool, so the sweep
+// allocates nothing at steady state.
 func (s *Solver[S, C]) finiteDiffFaceParallel(dt C) {
 	g := C(s.cfg.Gravity)
+	dry := s.dry
 	fl := &s.faces
-	fl.ensureFluxStaging()
 	workers := s.cfg.Workers
 	n := s.mesh.NumCells()
+	s.curDT = dt
 
-	par.ForN(workers, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s.dh[i], s.dhu[i], s.dhv[i] = 0, 0, 0
-		}
-	})
-
-	par.ForN(workers, len(fl.xl), func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			l, r := fl.xl[k], fl.xr[k]
-			fl.fxh[k], fl.fxhu[k], fl.fxhv[k] = rusanovX(g,
-				C(s.h[l]), C(s.hu[l]), C(s.hv[l]), C(s.h[r]), C(s.hu[r]), C(s.hv[r]))
-		}
-	})
-	par.ForN(workers, len(fl.yb), func(lo, hi int) {
-		for k := lo; k < hi; k++ {
-			b, tp := fl.yb[k], fl.yt[k]
-			fl.fyh[k], fl.fyhu[k], fl.fyhv[k] = rusanovY(g,
-				C(s.h[b]), C(s.hu[b]), C(s.hv[b]), C(s.h[tp]), C(s.hu[tp]), C(s.hv[tp]))
-		}
-	})
+	s.pool.ForN(workers, n, s.parZero)
+	s.pool.ForN(workers, len(fl.xl), s.parFluxX)
+	s.pool.ForN(workers, len(fl.yb), s.parFluxY)
 
 	// Serial scatter in face order (matches the serial kernel's order).
 	for k := range fl.xl {
@@ -341,24 +355,17 @@ func (s *Solver[S, C]) finiteDiffFaceParallel(dt C) {
 		w := fl.bLen[k]
 		switch fl.bSide[k] {
 		case mesh.Left:
-			s.dhu[i] += S(wallFluxX(g, C(s.h[i]), C(s.hu[i]), -1) * w)
+			s.dhu[i] += S(wallFluxX(g, dry, C(s.h[i]), C(s.hu[i]), -1) * w)
 		case mesh.Right:
-			s.dhu[i] -= S(wallFluxX(g, C(s.h[i]), C(s.hu[i]), 1) * w)
+			s.dhu[i] -= S(wallFluxX(g, dry, C(s.h[i]), C(s.hu[i]), 1) * w)
 		case mesh.Bottom:
-			s.dhv[i] += S(wallFluxY(g, C(s.h[i]), C(s.hv[i]), -1) * w)
+			s.dhv[i] += S(wallFluxY(g, dry, C(s.h[i]), C(s.hv[i]), -1) * w)
 		case mesh.Top:
-			s.dhv[i] -= S(wallFluxY(g, C(s.h[i]), C(s.hv[i]), 1) * w)
+			s.dhv[i] -= S(wallFluxY(g, dry, C(s.h[i]), C(s.hv[i]), 1) * w)
 		}
 	}
 
-	par.ForN(workers, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			coef := dt * fl.invArea[i]
-			s.h[i] = S(C(s.h[i]) + coef*C(s.dh[i]))
-			s.hu[i] = S(C(s.hu[i]) + coef*C(s.dhu[i]))
-			s.hv[i] = S(C(s.hv[i]) + coef*C(s.dhv[i]))
-		}
-	})
+	s.pool.ForN(workers, n, s.parUpdate)
 
 	s.accountSweep(uint64(len(fl.xl)+len(fl.yb)), uint64(len(fl.bCell)), uint64(n), 1)
 }
@@ -368,23 +375,10 @@ func (s *Solver[S, C]) finiteDiffFaceParallel(dt C) {
 // face fluxes, so each interior flux is computed twice — the scalar profile
 // of CLAMR's original finite_diff loop.
 func (s *Solver[S, C]) finiteDiffCell(dt C) {
-	g := C(s.cfg.Gravity)
 	n := s.mesh.NumCells()
-	m := s.mesh
-	par.ForN(s.cfg.Workers, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			s.cellRHS(m, g, i)
-		}
-	})
-
-	par.ForN(s.cfg.Workers, n, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			coef := dt * s.faces.invArea[i]
-			s.h[i] = S(C(s.h[i]) + coef*C(s.dh[i]))
-			s.hu[i] = S(C(s.hu[i]) + coef*C(s.dhu[i]))
-			s.hv[i] = S(C(s.hv[i]) + coef*C(s.dhv[i]))
-		}
-	})
+	s.curDT = dt
+	s.pool.ForN(s.cfg.Workers, n, s.parCell)
+	s.pool.ForN(s.cfg.Workers, n, s.parUpdate)
 
 	// Cell-centric recomputes each interior flux from both sides.
 	s.accountSweep(2*uint64(len(s.faces.xl)+len(s.faces.yb)), uint64(len(s.faces.bCell)), uint64(n), 1)
@@ -397,6 +391,7 @@ func (s *Solver[S, C]) cellRHS(m *mesh.Mesh, g C, i int) {
 		c := m.Cell(i)
 		dx, dy := m.CellSize(c.Level)
 		nb := m.Neighbors(i)
+		dry := s.dry
 		hi := C(s.h[i])
 		hui := C(s.hu[i])
 		hvi := C(s.hv[i])
@@ -411,44 +406,44 @@ func (s *Solver[S, C]) cellRHS(m *mesh.Mesh, g C, i int) {
 		}
 
 		if ns := nb.On(mesh.Left); len(ns) == 0 {
-			dhu += wallFluxX(g, hi, hui, -1) * C(dy)
+			dhu += wallFluxX(g, dry, hi, hui, -1) * C(dy)
 		} else {
 			for _, nIdx := range ns {
 				w := faceLen(nIdx, dy)
-				fh, fhu, fhv := rusanovX(g, C(s.h[nIdx]), C(s.hu[nIdx]), C(s.hv[nIdx]), hi, hui, hvi)
+				fh, fhu, fhv := rusanovX(g, dry, C(s.h[nIdx]), C(s.hu[nIdx]), C(s.hv[nIdx]), hi, hui, hvi)
 				dh += fh * w
 				dhu += fhu * w
 				dhv += fhv * w
 			}
 		}
 		if ns := nb.On(mesh.Right); len(ns) == 0 {
-			dhu -= wallFluxX(g, hi, hui, 1) * C(dy)
+			dhu -= wallFluxX(g, dry, hi, hui, 1) * C(dy)
 		} else {
 			for _, nIdx := range ns {
 				w := faceLen(nIdx, dy)
-				fh, fhu, fhv := rusanovX(g, hi, hui, hvi, C(s.h[nIdx]), C(s.hu[nIdx]), C(s.hv[nIdx]))
+				fh, fhu, fhv := rusanovX(g, dry, hi, hui, hvi, C(s.h[nIdx]), C(s.hu[nIdx]), C(s.hv[nIdx]))
 				dh -= fh * w
 				dhu -= fhu * w
 				dhv -= fhv * w
 			}
 		}
 		if ns := nb.On(mesh.Bottom); len(ns) == 0 {
-			dhv += wallFluxY(g, hi, hvi, -1) * C(dx)
+			dhv += wallFluxY(g, dry, hi, hvi, -1) * C(dx)
 		} else {
 			for _, nIdx := range ns {
 				w := faceLen(nIdx, dx)
-				fh, fhu, fhv := rusanovY(g, C(s.h[nIdx]), C(s.hu[nIdx]), C(s.hv[nIdx]), hi, hui, hvi)
+				fh, fhu, fhv := rusanovY(g, dry, C(s.h[nIdx]), C(s.hu[nIdx]), C(s.hv[nIdx]), hi, hui, hvi)
 				dh += fh * w
 				dhu += fhu * w
 				dhv += fhv * w
 			}
 		}
 		if ns := nb.On(mesh.Top); len(ns) == 0 {
-			dhv -= wallFluxY(g, hi, hvi, 1) * C(dx)
+			dhv -= wallFluxY(g, dry, hi, hvi, 1) * C(dx)
 		} else {
 			for _, nIdx := range ns {
 				w := faceLen(nIdx, dx)
-				fh, fhu, fhv := rusanovY(g, hi, hui, hvi, C(s.h[nIdx]), C(s.hu[nIdx]), C(s.hv[nIdx]))
+				fh, fhu, fhv := rusanovY(g, dry, hi, hui, hvi, C(s.h[nIdx]), C(s.hu[nIdx]), C(s.hv[nIdx]))
 				dh -= fh * w
 				dhu -= fhu * w
 				dhv -= fhv * w

@@ -71,6 +71,7 @@ func loadSolver[S, C precision.Real](cfg Config, ck *checkpoint.Checkpoint) (*So
 		timer: metrics.NewTimer(),
 		alloc: metrics.NewAllocTracker(),
 	}
+	s.initRuntime()
 	load := func(name string) ([]S, error) {
 		xs, err := ck.Float64Array(name)
 		if err != nil {

@@ -208,7 +208,20 @@ func (m *Mesh) Adapt(flags []RefineFlag) (*Remap, error) {
 // values into the parent. For conserved cell-averaged quantities, prolong is
 // usually injection (copy) and restrict the arithmetic mean.
 func ApplyRemap[S any](plan *Remap, old []S, prolong func(S) [4]S, restrict func([4]S) S) []S {
-	out := make([]S, plan.NewLen)
+	return ApplyRemapInto(nil, plan, old, prolong, restrict)
+}
+
+// ApplyRemapInto is ApplyRemap writing into dst, reusing dst's backing array
+// when its capacity suffices (dst must not alias old). It returns the
+// resized destination, letting a solver ping-pong two state buffers across
+// adaptations instead of reallocating per remap.
+func ApplyRemapInto[S any](dst []S, plan *Remap, old []S, prolong func(S) [4]S, restrict func([4]S) S) []S {
+	var out []S
+	if cap(dst) >= plan.NewLen {
+		out = dst[:plan.NewLen]
+	} else {
+		out = make([]S, plan.NewLen)
+	}
 	for _, op := range plan.Copies {
 		out[op.New] = old[op.Old]
 	}

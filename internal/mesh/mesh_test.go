@@ -336,6 +336,57 @@ func TestApplyRemapConservesMass(t *testing.T) {
 	}
 }
 
+// TestApplyRemapIntoReusesAndMatches verifies the in-place variant: output
+// identical to ApplyRemap, the destination backing array reused when its
+// capacity suffices, and allocation only when it does not.
+func TestApplyRemapIntoReusesAndMatches(t *testing.T) {
+	m := mustMesh(t, 4, 4, 2)
+	state := make([]float64, m.NumCells())
+	for i := range state {
+		state[i] = float64(i%11) + 0.5
+	}
+	dst := make([]float64, 0, 4*len(state)) // ample capacity
+	rng := rand.New(rand.NewSource(9))
+	for round := 0; round < 5; round++ {
+		flags := make([]RefineFlag, m.NumCells())
+		for i := range flags {
+			flags[i] = RefineFlag(rng.Intn(3) - 1)
+		}
+		plan, err := m.Adapt(flags)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want := ApplyRemap(plan, state, InjectProlong[float64](), MeanRestrict[float64]())
+		got := ApplyRemapInto(dst, plan, state, InjectProlong[float64](), MeanRestrict[float64]())
+		if len(got) != len(want) {
+			t.Fatalf("round %d: length %d != %d", round, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("round %d: cell %d differs: %x vs %x", round, i, got[i], want[i])
+			}
+		}
+		if plan.NewLen <= cap(dst) && &got[0] != &dst[:1][0] {
+			t.Errorf("round %d: destination backing array not reused", round)
+		}
+		// Ping-pong: the old state array becomes the next destination.
+		state, dst = got, state
+	}
+	// Insufficient capacity must allocate, not panic or truncate.
+	flags := make([]RefineFlag, m.NumCells())
+	for i := range flags {
+		flags[i] = Refine
+	}
+	plan, err := m.Adapt(flags)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := ApplyRemapInto(nil, plan, state, InjectProlong[float64](), MeanRestrict[float64]())
+	if len(got) != plan.NewLen {
+		t.Fatalf("nil-destination length %d != %d", len(got), plan.NewLen)
+	}
+}
+
 func TestContainingCellAndRasterize(t *testing.T) {
 	m := mustMesh(t, 2, 2, 1)
 	flags := make([]RefineFlag, m.NumCells())

@@ -7,6 +7,7 @@ package metrics
 
 import (
 	"fmt"
+	"runtime"
 	"sort"
 	"strings"
 	"sync/atomic"
@@ -30,6 +31,11 @@ type Counters struct {
 	Conversions uint64
 	// KernelLaunches counts distinct kernel sweeps (GPU launch overhead).
 	KernelLaunches uint64
+	// AllocBytes and AllocCount record Go heap allocation observed around
+	// instrumented phases (runtime.ReadMemStats deltas, see MemSample). A
+	// steady-state solver loop should hold both at zero; nonzero values
+	// localise dispatch or scratch churn the roofline model cannot see.
+	AllocBytes, AllocCount uint64
 }
 
 // Add accumulates other into c.
@@ -43,6 +49,8 @@ func (c *Counters) Add(other Counters) {
 	c.StoreBytes += other.StoreBytes
 	c.Conversions += other.Conversions
 	c.KernelLaunches += other.KernelLaunches
+	c.AllocBytes += other.AllocBytes
+	c.AllocCount += other.AllocCount
 }
 
 // Scale returns the counters multiplied by f. Because the kernels' tallies
@@ -61,6 +69,8 @@ func (c Counters) Scale(f float64) Counters {
 		StoreBytes:       s(c.StoreBytes),
 		Conversions:      s(c.Conversions),
 		KernelLaunches:   s(c.KernelLaunches),
+		AllocBytes:       s(c.AllocBytes),
+		AllocCount:       s(c.AllocCount),
 	}
 }
 
@@ -82,11 +92,51 @@ func (c Counters) ArithmeticIntensity() float64 {
 
 // String renders a compact human-readable summary.
 func (c Counters) String() string {
-	return fmt.Sprintf(
+	s := fmt.Sprintf(
 		"flops{16:%s 32:%s 64:%s} transc{32:%s 64:%s} mem{ld:%s st:%s} conv:%s launches:%d",
 		SI(c.Flops16), SI(c.Flops32), SI(c.Flops64),
 		SI(c.Transcendental32), SI(c.Transcendental64),
 		Bytes(c.LoadBytes), Bytes(c.StoreBytes), SI(c.Conversions), c.KernelLaunches)
+	if c.AllocCount > 0 || c.AllocBytes > 0 {
+		s += fmt.Sprintf(" heap{%s in %s objects}", Bytes(c.AllocBytes), SI(c.AllocCount))
+	}
+	return s
+}
+
+// MemSample captures the process heap-allocation counters at a point in
+// time so a phase can be bracketed:
+//
+//	ms := metrics.StartMemSample()
+//	...phase...
+//	counters.AddAllocSince(ms)
+//
+// Sampling calls runtime.ReadMemStats, which briefly stops the world — use
+// it around coarse phases (an experiment, a whole run), not inner loops.
+type MemSample struct {
+	bytes, count uint64
+}
+
+// StartMemSample records the current cumulative heap-allocation counters.
+func StartMemSample() MemSample {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return MemSample{bytes: ms.TotalAlloc, count: ms.Mallocs}
+}
+
+// Delta returns the heap bytes and objects allocated since the sample was
+// taken (process-wide, all goroutines).
+func (s MemSample) Delta() (allocBytes, allocCount uint64) {
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	return ms.TotalAlloc - s.bytes, ms.Mallocs - s.count
+}
+
+// AddAllocSince accumulates the allocation observed since the sample into
+// the counters' AllocBytes/AllocCount.
+func (c *Counters) AddAllocSince(s MemSample) {
+	b, n := s.Delta()
+	c.AllocBytes += b
+	c.AllocCount += n
 }
 
 // SI formats a count with a decimal SI suffix (k, M, G, T).
@@ -212,6 +262,25 @@ func (t *Timer) Phase(name string) func() {
 // Observe adds d to the named bucket directly.
 func (t *Timer) Observe(name string, d time.Duration) {
 	atomic.AddInt64(t.bucket(name), int64(d))
+}
+
+// PhaseCell is a preresolved timer bucket for allocation-free timing in hot
+// loops. Phase closes over its bucket and so heap-allocates per call; a
+// PhaseCell is resolved once and used as
+//
+//	start := time.Now()
+//	...phase...
+//	cell.Observe(start)
+//
+// which allocates nothing.
+type PhaseCell struct{ ns *int64 }
+
+// Cell resolves (creating if needed) the named bucket.
+func (t *Timer) Cell(name string) PhaseCell { return PhaseCell{ns: t.bucket(name)} }
+
+// Observe adds the time elapsed since start to the cell's bucket.
+func (c PhaseCell) Observe(start time.Time) {
+	atomic.AddInt64(c.ns, int64(time.Since(start)))
 }
 
 func (t *Timer) bucket(name string) *int64 {

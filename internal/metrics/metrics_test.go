@@ -116,6 +116,59 @@ func TestTimerPhases(t *testing.T) {
 	}
 }
 
+func TestTimerCellZeroAlloc(t *testing.T) {
+	tm := NewTimer()
+	cell := tm.Cell("hot")
+	if allocs := testing.AllocsPerRun(100, func() {
+		start := time.Now()
+		cell.Observe(start)
+	}); allocs != 0 {
+		t.Errorf("PhaseCell.Observe allocated %v objects per call", allocs)
+	}
+	start := time.Now()
+	time.Sleep(2 * time.Millisecond)
+	cell.Observe(start)
+	if tm.Total("hot") < time.Millisecond {
+		t.Errorf("cell recorded %v", tm.Total("hot"))
+	}
+	// Cell and Phase share the bucket.
+	done := tm.Phase("hot")
+	done()
+	if len(tm.Names()) != 1 {
+		t.Errorf("Cell/Phase split buckets: %v", tm.Names())
+	}
+}
+
+func TestMemSampleAndAllocCounters(t *testing.T) {
+	ms := StartMemSample()
+	sink := make([][]byte, 0, 64)
+	for i := 0; i < 64; i++ {
+		sink = append(sink, make([]byte, 1024))
+	}
+	var c Counters
+	c.AddAllocSince(ms)
+	if c.AllocBytes < 64*1024 || c.AllocCount < 64 {
+		t.Errorf("sample missed allocations: %+v", c)
+	}
+	_ = sink
+	var d Counters
+	d.Add(Counters{AllocBytes: 10, AllocCount: 2})
+	d.Add(Counters{AllocBytes: 5, AllocCount: 1})
+	if d.AllocBytes != 15 || d.AllocCount != 3 {
+		t.Errorf("Add ignored alloc counters: %+v", d)
+	}
+	sc := d.Scale(2)
+	if sc.AllocBytes != 30 || sc.AllocCount != 6 {
+		t.Errorf("Scale ignored alloc counters: %+v", sc)
+	}
+	if !strings.Contains(d.String(), "heap") {
+		t.Errorf("String missing heap section: %q", d.String())
+	}
+	if strings.Contains((Counters{}).String(), "heap") {
+		t.Error("String shows heap section when empty")
+	}
+}
+
 func TestTimerConcurrentObserve(t *testing.T) {
 	tm := NewTimer()
 	tm.Observe("x", 0) // create the bucket before concurrent use

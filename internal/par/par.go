@@ -1,7 +1,14 @@
-// Package par provides the deterministic fork-join helper the mini-apps
+// Package par provides the deterministic fork-join helpers the mini-apps
 // parallelise their kernels with: fixed contiguous chunking (no work
 // stealing), so a computation that writes disjoint index ranges produces
 // bit-identical results at every worker count.
+//
+// Two execution engines share that chunking contract: the persistent Pool
+// (long-lived workers parked on an epoch/notify protocol, allocation-free
+// dispatch — the steady-state engine) and the spawn-per-call SpawnForN /
+// SpawnMapReduce path (one goroutine per chunk, kept as the comparison
+// baseline and as the fallback when a pool is busy). The free ForN and
+// MapReduce route through the shared Default pool.
 package par
 
 import (
@@ -17,10 +24,51 @@ func Bounds(n, workers, w int) (lo, hi int) {
 }
 
 // ForN runs fn over [0, n) split into contiguous chunks across `workers`
-// goroutines and waits for completion. workers ≤ 1 runs inline. fn must
-// write only within its own range (or to per-chunk storage) for the result
-// to be deterministic.
+// (≤ 0 selects GOMAXPROCS) and waits for completion. workers == 1 runs
+// inline. fn must write only within its own range (or to per-chunk storage)
+// for the result to be deterministic. Dispatches on the shared Default pool;
+// see Pool.ForN for the allocation notes.
 func ForN(workers, n int, fn func(lo, hi int)) {
+	Default().ForN(workers, n, fn)
+}
+
+// MapReduce runs produce over each chunk, storing one partial per chunk,
+// then folds the partials in chunk order with combine. With an
+// order-insensitive combine (min, max, exact accumulators) the result is
+// bit-identical for every worker count; with float addition it is
+// deterministic for a fixed worker count.
+//
+// This compatibility wrapper allocates its partial buffer per call; hot
+// loops should hold a Reducer instead.
+func MapReduce[T any](workers, n int, produce func(lo, hi int) T, combine func(a, b T) T, zero T) T {
+	if n <= 0 {
+		return zero
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	if workers == 1 {
+		return combine(zero, produce(0, n))
+	}
+	partials := make([]T, workers)
+	Default().ForChunks(workers, n, func(chunk, lo, hi int) {
+		partials[chunk] = produce(lo, hi)
+	})
+	acc := zero
+	for _, p := range partials {
+		acc = combine(acc, p)
+	}
+	return acc
+}
+
+// SpawnForN is the original spawn-per-call fork-join: one goroutine per
+// chunk, created and joined on every invocation. It is the dispatch-overhead
+// baseline the pool is benchmarked against, and the fallback used when a
+// pool is busy or closed. Chunking and results match ForN exactly.
+func SpawnForN(workers, n int, fn func(lo, hi int)) {
 	if n <= 0 {
 		return
 	}
@@ -46,12 +94,9 @@ func ForN(workers, n int, fn func(lo, hi int)) {
 	wg.Wait()
 }
 
-// MapReduce runs produce over each chunk, storing one partial per chunk,
-// then folds the partials in chunk order with combine. With an
-// order-insensitive combine (min, max, exact accumulators) the result is
-// bit-identical for every worker count; with float addition it is
-// deterministic for a fixed worker count.
-func MapReduce[T any](workers, n int, produce func(lo, hi int) T, combine func(a, b T) T, zero T) T {
+// SpawnMapReduce is the spawn-per-call counterpart of MapReduce, kept as
+// the benchmark baseline. Chunking and fold order match MapReduce exactly.
+func SpawnMapReduce[T any](workers, n int, produce func(lo, hi int) T, combine func(a, b T) T, zero T) T {
 	if n <= 0 {
 		return zero
 	}
@@ -80,4 +125,19 @@ func MapReduce[T any](workers, n int, produce func(lo, hi int) T, combine func(a
 		acc = combine(acc, p)
 	}
 	return acc
+}
+
+// spawnChunks is the spawn-per-call fallback for Pool.ForChunks: chunk
+// indices and bounds are identical, only the execution vehicle differs.
+func spawnChunks(chunks, n int, fn func(chunk, lo, hi int)) {
+	var wg sync.WaitGroup
+	wg.Add(chunks)
+	for c := 0; c < chunks; c++ {
+		lo, hi := Bounds(n, chunks, c)
+		go func(c, lo, hi int) {
+			defer wg.Done()
+			fn(c, lo, hi)
+		}(c, lo, hi)
+	}
+	wg.Wait()
 }

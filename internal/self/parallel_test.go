@@ -1,6 +1,10 @@
 package self
 
 import (
+	"crypto/sha256"
+	"encoding/binary"
+	"math"
+	"runtime"
 	"testing"
 )
 
@@ -32,6 +36,96 @@ func TestParallelBitwiseIdentical(t *testing.T) {
 				t.Fatalf("workers=%d: node %d differs: %x vs %x", workers, i, got[i], ref[i])
 			}
 		}
+	}
+}
+
+// selfStateHash runs a short simulation and digests every bit of every
+// conserved variable.
+func selfStateHash(t *testing.T, workers int) [sha256.Size]byte {
+	t.Helper()
+	cfg := smallConfig()
+	cfg.Workers = workers
+	s, err := NewSolver[float64, float64](cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Run(15); err != nil {
+		t.Fatal(err)
+	}
+	h := sha256.New()
+	var buf [8]byte
+	for v := 0; v < nVars; v++ {
+		for n := 0; n < s.nNodes; n++ {
+			binary.LittleEndian.PutUint64(buf[:], math.Float64bits(float64(s.q[v][n])))
+			h.Write(buf[:])
+		}
+	}
+	var out [sha256.Size]byte
+	h.Sum(out[:0])
+	return out
+}
+
+// TestParallelStateHashIdentical is the regression form of the determinism
+// contract: a sha256 over all five conserved variables must be
+// byte-identical at every worker count, including counts above the pool
+// size and above GOMAXPROCS.
+func TestParallelStateHashIdentical(t *testing.T) {
+	ref := selfStateHash(t, 1)
+	for _, workers := range []int{2, 3, 7, runtime.GOMAXPROCS(0)} {
+		if got := selfStateHash(t, workers); got != ref {
+			t.Errorf("workers=%d state hash %x, workers=1 %x", workers, got, ref)
+		}
+	}
+}
+
+// TestSELFStepZeroAlloc asserts the tentpole property: after warm-up the
+// RK3 step (3 RHS evaluations + update + filter) allocates nothing, serial
+// and pooled.
+func TestSELFStepZeroAlloc(t *testing.T) {
+	for _, workers := range []int{1, 4} {
+		name := map[int]string{1: "serial", 4: "pooled"}[workers]
+		t.Run(name, func(t *testing.T) {
+			cfg := smallConfig()
+			cfg.Workers = workers
+			s, err := NewSolver[float64, float64](cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := s.Run(2); err != nil { // warm pool and timer cells
+				t.Fatal(err)
+			}
+			if allocs := testing.AllocsPerRun(10, func() {
+				if err := s.Step(); err != nil {
+					t.Fatal(err)
+				}
+			}); allocs != 0 {
+				t.Errorf("steady-state Step allocated %v objects per call", allocs)
+			}
+		})
+	}
+}
+
+// BenchmarkSELFStep measures the steady-state RK3 step; allocs/op is the
+// zero-allocation acceptance number.
+func BenchmarkSELFStep(b *testing.B) {
+	for _, workers := range []int{1, 4} {
+		b.Run(map[int]string{1: "w1", 4: "w4"}[workers], func(b *testing.B) {
+			cfg := Config{Elements: 5, Order: 6, Workers: workers}
+			s, err := NewSolver[float64, float64](cfg)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if err := s.Run(2); err != nil {
+				b.Fatal(err)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := s.Step(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

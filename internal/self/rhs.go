@@ -5,7 +5,6 @@ import (
 
 	"repro/internal/f32math"
 	"repro/internal/metrics"
-	"repro/internal/par"
 	"repro/internal/precision"
 )
 
@@ -43,55 +42,66 @@ func (s *Solver[S, C]) zLevelOf(n int) int {
 //
 // Every pass is element- or node-disjoint, so with cfg.Workers > 1 the
 // passes run fork-join parallel over fixed contiguous chunks and the
-// result is bit-identical to the serial sweep at any worker count.
+// result is bit-identical to the serial sweep at any worker count. All
+// passes dispatch prebound kernels on the persistent pool with persistent
+// per-chunk scratch, so an RHS evaluation allocates nothing.
 func (s *Solver[S, C]) computeRHS() {
-	np3 := s.np * s.np * s.np
 	workers := s.cfg.Workers
+	s.pool.ForN(workers, s.nNodes, s.parPressure)
+	s.pool.ForN(workers, s.nNodes, s.parClearRHS)
+	s.pool.ForChunks(s.chunks(), s.ne*s.ne*s.ne, s.parElems)
+	s.accountRHS()
+}
 
-	// Pass 1: perturbation pressure p' = p00·(R·ρθ/p00)^γ − p̄ at every
-	// node. The full pressure enters only through the sound speed; the
-	// momentum fluxes use p' so the hydrostatic background is discretely
-	// balanced.
-	if cap(s.scrP) < s.nNodes {
-		s.scrP = make([]C, s.nNodes)
-	}
-	pprime := s.scrP[:s.nNodes]
-	rOverP00 := C(RGas / P00)
-	gamma := C(Gamma)
-	p00 := C(P00)
-	par.ForN(workers, s.nNodes, func(lo, hi int) {
+// bindKernels creates the parallel kernel closures once; they capture only
+// the solver, reading per-dispatch parameters (the RK coefficients, the
+// chunk scratch) through it, so repeated dispatch allocates nothing.
+func (s *Solver[S, C]) bindKernels() {
+	// Perturbation pressure p' = p00·(R·ρθ/p00)^γ − p̄ at every node. The
+	// full pressure enters only through the sound speed; the momentum
+	// fluxes use p' so the hydrostatic background is discretely balanced.
+	s.parPressure = func(lo, hi int) {
+		pprime := s.scrP
+		rOverP00 := C(RGas / P00)
+		gamma := C(Gamma)
+		p00 := C(P00)
 		for n := lo; n < hi; n++ {
 			zl := s.zLevelOf(n)
 			pprime[n] = p00*s.powFn(rOverP00*C(s.q[iRhoT][n]), gamma) - s.pBar[zl]
 		}
-	})
-
-	for v := 0; v < nVars; v++ {
-		r := s.rhs[v]
-		par.ForN(workers, len(r), func(lo, hi int) {
-			clear(r[lo:hi])
-		})
 	}
-
-	nElems := s.ne * s.ne * s.ne
-	if workers <= 1 {
-		if cap(s.scrF) < nVars*np3 {
-			s.scrF = make([]C, nVars*np3)
+	s.parClearRHS = func(lo, hi int) {
+		for v := 0; v < nVars; v++ {
+			clear(s.rhs[v][lo:hi])
 		}
-		for e := 0; e < nElems; e++ {
-			s.elementRHS(e, pprime, s.scrF[:nVars*np3])
+	}
+	// Elements write disjoint rhs ranges; the flux scratch is per chunk.
+	s.parElems = func(chunk, lo, hi int) {
+		flux := s.elemScratch[chunk]
+		pprime := s.scrP
+		for e := lo; e < hi; e++ {
+			s.elementRHS(e, pprime, flux)
 		}
-	} else {
-		// Per-worker flux scratch; elements write disjoint rhs ranges.
-		par.ForN(workers, nElems, func(lo, hi int) {
-			flux := make([]C, nVars*np3)
-			for e := lo; e < hi; e++ {
-				s.elementRHS(e, pprime, flux)
+	}
+	s.parFilter = func(chunk, lo, hi int) {
+		buf, out := s.filterBuf[chunk], s.filterOut[chunk]
+		for e := lo; e < hi; e++ {
+			s.filterElement(e, buf, out)
+		}
+	}
+	// Low-storage RK update, fused over all variables (per-node ranges, so
+	// chunk boundaries and per-element arithmetic match the per-variable
+	// form bit for bit).
+	s.parRK = func(lo, hi int) {
+		a, b, dt := s.rkA, s.rkB, s.rkDT
+		for v := 0; v < nVars; v++ {
+			g, r, q := s.g[v], s.rhs[v], s.q[v]
+			for n := lo; n < hi; n++ {
+				g[n] = a*g[n] + dt*r[n]
+				q[n] = S(C(q[n]) + b*g[n])
 			}
-		})
+		}
 	}
-
-	s.accountRHS()
 }
 
 // elementRHS accumulates the volume, face and source terms of one element
@@ -431,19 +441,12 @@ func (s *Solver[S, C]) faceCorrections(e, ex, ey, ez int, pprime []C) {
 
 // applyFilter runs the modal cutoff filter over every variable, tensor
 // direction by direction, reading and writing the storage arrays.
-// Elements are independent, so the sweep parallelises with per-worker
-// scratch and stays bit-deterministic.
+// Elements are independent, so the sweep parallelises with persistent
+// per-chunk scratch and stays bit-deterministic.
 func (s *Solver[S, C]) applyFilter() {
 	np := s.np
-	np3 := np * np * np
 	nElems := s.ne * s.ne * s.ne
-	par.ForN(s.cfg.Workers, nElems, func(eLo, eHi int) {
-		buf := make([]C, np3)
-		out := make([]C, np3)
-		for e := eLo; e < eHi; e++ {
-			s.filterElement(e, buf, out)
-		}
-	})
+	s.pool.ForChunks(s.chunks(), nElems, s.parFilter)
 	nodes := uint64(s.nNodes)
 	s.addFlops(nodes*nVars*3*2*uint64(np), 0)
 	s.counters.Add(metrics.Counters{

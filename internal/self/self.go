@@ -20,6 +20,7 @@ package self
 import (
 	"fmt"
 	"math"
+	"time"
 
 	"repro/internal/metrics"
 	"repro/internal/par"
@@ -167,19 +168,38 @@ type Solver[S, C precision.Real] struct {
 	// Background hydrostatic profiles per global z-level (ne·np entries).
 	rhoBar, pBar, exner []C
 	zLevels             []float64
-	// Scratch: global perturbation pressure and element-local flux
-	// buffers (nVars × np³) reused across elements.
-	scrP []C
-	scrF []C
+	// Scratch: global perturbation pressure, plus per-chunk element-local
+	// buffers — flux staging (nVars × np³) for the RHS and a pair of np³
+	// tensors for the filter — indexed by the dispatch chunk, so parallel
+	// sweeps reuse persistent scratch instead of allocating per dispatch.
+	scrP        []C
+	elemScratch [][]C
+	filterBuf   [][]C
+	filterOut   [][]C
 	// Transcendental dispatch (MathMode × C width).
 	powFn    func(x, y C) C
 	powConvs uint64 // conversions per pow call (promoted f32 profile)
+
+	// Parallel runtime: the shared persistent pool and kernels prebound
+	// once at construction, so the steady-state step loop dispatches
+	// without allocating. The RK stage coefficients travel through
+	// rkA/rkB/rkDT.
+	pool           *par.Pool
+	rkA, rkB, rkDT C
+	parPressure    func(lo, hi int)
+	parClearRHS    func(lo, hi int)
+	parRK          func(lo, hi int)
+	parElems       func(chunk, lo, hi int)
+	parFilter      func(chunk, lo, hi int)
 
 	time     float64
 	step     int
 	counters metrics.Counters
 	timer    *metrics.Timer
 	alloc    *metrics.AllocTracker
+
+	// Preresolved timer buckets (allocation-free phase timing).
+	phRHS, phRK, phFilter metrics.PhaseCell
 }
 
 // NewSolver builds the solver, background state and thermal-bubble initial
@@ -216,11 +236,25 @@ func NewSolver[S, C precision.Real](cfg Config) (*Solver[S, C], error) {
 		}
 		s.filter = toC[C](f.Data)
 	}
+	s.pool = par.Default()
+	s.phRHS = s.timer.Cell("rhs")
+	s.phRK = s.timer.Cell("rk")
+	s.phFilter = s.timer.Cell("filter")
 	s.setupMath()
 	s.setupBackground()
 	s.allocate()
+	s.bindKernels()
 	s.applyIC()
 	return s, nil
+}
+
+// chunks returns the dispatch chunk count the Workers option selects (the
+// determinism-relevant number; pool size is independent of it).
+func (s *Solver[S, C]) chunks() int {
+	if s.cfg.Workers > 1 {
+		return s.cfg.Workers
+	}
+	return 1
 }
 
 func toC[C precision.Real](xs []float64) []C {
@@ -242,7 +276,15 @@ func (s *Solver[S, C]) allocate() {
 		s.rhs[v] = make([]C, n)
 	}
 	s.scrP = make([]C, n)
-	s.scrF = make([]C, nVars*np3)
+	nChunks := s.chunks()
+	s.elemScratch = make([][]C, nChunks)
+	s.filterBuf = make([][]C, nChunks)
+	s.filterOut = make([][]C, nChunks)
+	for c := 0; c < nChunks; c++ {
+		s.elemScratch[c] = make([]C, nVars*np3)
+		s.filterBuf[c] = make([]C, np3)
+		s.filterOut[c] = make([]C, np3)
+	}
 
 	var sv S
 	var cv C
@@ -252,7 +294,7 @@ func (s *Solver[S, C]) allocate() {
 	s.alloc.Register("pressure", uint64(n)*cw)
 	s.alloc.Register("background", 3*uint64(len(s.rhoBar))*cw)
 	s.alloc.Register("operators", uint64(len(s.dmat)+len(s.filter))*cw)
-	s.alloc.Register("scratch", uint64(nVars*np3)*cw)
+	s.alloc.Register("scratch", uint64(nChunks)*uint64((nVars+2)*np3)*cw)
 }
 
 func sizeofReal(v any) int {
@@ -379,27 +421,19 @@ func (s *Solver[S, C]) Step() error {
 	}
 	cdt := C(dt)
 	for stage := 0; stage < 3; stage++ {
-		doneRHS := s.timer.Phase("rhs")
+		startRHS := time.Now()
 		s.computeRHS()
-		doneRHS()
-		doneRK := s.timer.Phase("rk")
-		a, b := C(lsrkA[stage]), C(lsrkB[stage])
-		for v := 0; v < nVars; v++ {
-			g, r, q := s.g[v], s.rhs[v], s.q[v]
-			par.ForN(s.cfg.Workers, len(g), func(lo, hi int) {
-				for n := lo; n < hi; n++ {
-					g[n] = a*g[n] + cdt*r[n]
-					q[n] = S(C(q[n]) + b*g[n])
-				}
-			})
-		}
-		doneRK()
+		s.phRHS.Observe(startRHS)
+		startRK := time.Now()
+		s.rkA, s.rkB, s.rkDT = C(lsrkA[stage]), C(lsrkB[stage]), cdt
+		s.pool.ForN(s.cfg.Workers, s.nNodes, s.parRK)
+		s.phRK.Observe(startRK)
 		s.addFlops(uint64(s.nNodes)*nVars*4, 0)
 	}
 	if s.cfg.FilterInterval > 0 && (s.step+1)%s.cfg.FilterInterval == 0 {
-		doneF := s.timer.Phase("filter")
+		startF := time.Now()
 		s.applyFilter()
-		doneF()
+		s.phFilter.Observe(startF)
 	}
 	s.time += dt
 	s.step++

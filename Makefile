@@ -1,12 +1,14 @@
 # Build/verify entry points. `make verify` is the tier-1 gate: vet plus the
 # full test suite. `make race` runs the race detector over the parallel
-# runtime and both mini-app step loops (the packages that dispatch on the
-# worker pool). `make bench-par` regenerates the committed pool-vs-spawn
+# runtime, both mini-app step loops (the packages that dispatch on the
+# worker pool) and the experiment service. `make serve-smoke` exercises the
+# precisiond daemon end to end: submit a job twice, assert the second is a
+# cache hit. `make bench-par` regenerates the committed pool-vs-spawn
 # dispatch numbers in results/.
 
 GO ?= go
 
-.PHONY: build test vet verify race bench-par bench-step
+.PHONY: build test vet verify race serve-smoke bench-par bench-step
 
 build:
 	$(GO) build ./...
@@ -20,7 +22,10 @@ vet:
 verify: build vet test
 
 race:
-	$(GO) test -race ./internal/par/... ./internal/clamr/... ./internal/self/...
+	$(GO) test -race ./internal/par/... ./internal/clamr/... ./internal/self/... ./internal/serve/... ./internal/runner/...
+
+serve-smoke:
+	GO="$(GO)" ./scripts/serve_smoke.sh
 
 bench-par:
 	$(GO) test ./internal/par/ -run '^$$' -bench BenchmarkParDispatch -benchmem | tee results/par_pool_bench.txt

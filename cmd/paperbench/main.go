@@ -11,20 +11,23 @@
 //
 // Scales: quick (seconds), standard (tens of seconds), paper (the paper's
 // problem sizes — 1920² CLAMR, 20³ elements × order 7 SELF; hours).
+//
+// An interrupt (Ctrl-C) stops the sweep between solver steps; results and
+// CSVs of already-completed experiments are flushed before exit.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
 	"os"
-	"path/filepath"
+	"os/signal"
 	"strings"
-	"time"
+	"syscall"
 
 	"repro"
-	"repro/internal/analysis"
-	"repro/internal/metrics"
+	"repro/internal/runner"
 )
 
 func main() {
@@ -51,52 +54,25 @@ func main() {
 		log.Fatal(err)
 	}
 
-	wanted := map[string]bool{}
+	var ids []string
 	if *expStr != "all" {
 		for _, id := range strings.Split(*expStr, ",") {
-			wanted[strings.TrimSpace(id)] = true
+			ids = append(ids, strings.TrimSpace(id))
 		}
 	}
 
-	if *outdir != "" {
-		if err := os.MkdirAll(*outdir, 0o755); err != nil {
-			log.Fatal(err)
-		}
-	}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
 
-	session := repro.NewSession(scale)
-	ran := 0
-	for _, e := range repro.Experiments {
-		if len(wanted) > 0 && !wanted[e.ID] {
-			continue
-		}
-		ran++
-		start := time.Now()
-		ms := metrics.StartMemSample()
-		out, err := session.RunExperiment(e.ID)
-		if err != nil {
-			log.Fatalf("%s: %v", e.ID, err)
-		}
-		allocB, allocN := ms.Delta()
-		fmt.Printf("════ %s — %s (%v, heap %s in %s objects) ════\n%s\n",
-			e.ID, e.Title, time.Since(start).Round(time.Millisecond),
-			metrics.Bytes(allocB), metrics.SI(allocN), out.Text)
-		if *outdir != "" && len(out.Series) > 0 {
-			path := filepath.Join(*outdir, e.ID+".csv")
-			f, err := os.Create(path)
-			if err != nil {
-				log.Fatal(err)
-			}
-			if err := analysis.WriteCSV(f, out.Series...); err != nil {
-				log.Fatal(err)
-			}
-			if err := f.Close(); err != nil {
-				log.Fatal(err)
-			}
-			fmt.Printf("    (series written to %s)\n\n", path)
-		}
+	res, err := runner.PaperSweep(ctx, runner.SweepConfig{
+		Scale:  scale,
+		IDs:    ids,
+		OutDir: *outdir,
+	}, os.Stdout)
+	if err != nil {
+		log.Fatal(err)
 	}
-	if ran == 0 {
-		log.Fatalf("no experiments matched %q; try -list", *expStr)
+	if res.Interrupted {
+		os.Exit(130) // conventional SIGINT exit status
 	}
 }

@@ -1,0 +1,154 @@
+// Command precision-client submits experiments to a precisiond daemon and
+// waits for their results.
+//
+// Usage:
+//
+//	precision-client -spec spec.json            # one spec from a file
+//	echo '{"app":"clamr",...}' | precision-client -spec -
+//	precision-client -sweep quick               # replay the full paper sweep
+//	precision-client -sweep quick -json         # raw result payloads
+//
+// Each completed job prints one summary line; cached=true marks results the
+// daemon served from its content-addressed cache without recomputing.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"net/http"
+	"os"
+
+	"repro"
+	"repro/internal/runner"
+	"repro/internal/serve/queue"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("precision-client: ")
+
+	var (
+		addr     = flag.String("addr", "http://127.0.0.1:7717", "precisiond base URL")
+		specPath = flag.String("spec", "", "experiment spec JSON file ('-' for stdin)")
+		sweep    = flag.String("sweep", "", "submit the full paper sweep at this scale (quick|standard|paper)")
+		raw      = flag.Bool("json", false, "print raw result payloads instead of summary lines")
+	)
+	flag.Parse()
+
+	var specs []runner.ExperimentSpec
+	switch {
+	case *specPath != "" && *sweep != "":
+		log.Fatal("-spec and -sweep are mutually exclusive")
+	case *specPath != "":
+		spec, err := readSpec(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = []runner.ExperimentSpec{spec}
+	case *sweep != "":
+		scale, err := repro.ParseScale(*sweep)
+		if err != nil {
+			log.Fatal(err)
+		}
+		specs = runner.SweepSpecs(scale)
+	default:
+		log.Fatal("nothing to submit: pass -spec or -sweep")
+	}
+
+	// Submit everything up front — identical specs collapse onto one job
+	// server-side — then collect results in submission order.
+	views := make([]queue.View, len(specs))
+	for i, spec := range specs {
+		v, err := submit(*addr, spec)
+		if err != nil {
+			log.Fatalf("submit %s/%s: %v", spec.App, spec.Mode, err)
+		}
+		views[i] = v
+	}
+	failed := 0
+	for _, v := range views {
+		payload, err := fetchResult(*addr, v.ID)
+		if err != nil {
+			failed++
+			fmt.Printf("%s  %s/%s  FAILED: %v\n", v.ID, v.Spec.App, v.Spec.Mode, err)
+			continue
+		}
+		if *raw {
+			os.Stdout.Write(payload)
+			fmt.Println()
+			continue
+		}
+		var res runner.Result
+		if err := json.Unmarshal(payload, &res); err != nil {
+			log.Fatalf("%s: decode result: %v", v.ID, err)
+		}
+		fmt.Printf("%s  %-5s/%-5s  steps=%-4d cached=%-5v state=%s  %.3fs\n",
+			v.ID, res.Spec.App, res.Spec.Mode, res.Steps, v.Cached, res.StateHash[:12], res.WallSeconds)
+	}
+	if failed > 0 {
+		log.Fatalf("%d of %d jobs failed", failed, len(views))
+	}
+}
+
+func readSpec(path string) (runner.ExperimentSpec, error) {
+	var r io.Reader = os.Stdin
+	if path != "-" {
+		f, err := os.Open(path)
+		if err != nil {
+			return runner.ExperimentSpec{}, err
+		}
+		defer f.Close()
+		r = f
+	}
+	var spec runner.ExperimentSpec
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		return runner.ExperimentSpec{}, fmt.Errorf("decode %s: %w", path, err)
+	}
+	return spec, nil
+}
+
+func submit(addr string, spec runner.ExperimentSpec) (queue.View, error) {
+	body, err := json.Marshal(spec)
+	if err != nil {
+		return queue.View{}, err
+	}
+	resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		return queue.View{}, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return queue.View{}, err
+	}
+	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+		return queue.View{}, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	var v queue.View
+	if err := json.Unmarshal(data, &v); err != nil {
+		return queue.View{}, err
+	}
+	return v, nil
+}
+
+func fetchResult(addr, id string) ([]byte, error) {
+	resp, err := http.Get(addr + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+	}
+	return data, nil
+}

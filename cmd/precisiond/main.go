@@ -1,0 +1,93 @@
+// Command precisiond serves the repository's experiments over HTTP: a job
+// queue with singleflight deduplication, a worker-limited scheduler, and a
+// content-addressed on-disk result cache. Submitting the same experiment
+// twice — across clients, sweeps or daemon restarts — costs one computation.
+//
+// Usage:
+//
+//	precisiond                          # listen on 127.0.0.1:7717
+//	precisiond -addr :0                 # any free port (printed on stdout)
+//	precisiond -cache /var/tmp/pcache   # persistent cache location
+//	precisiond -workers 4 -queue-depth 128
+//
+// The daemon prints "listening on <host:port>" once the socket is open and
+// shuts down gracefully on SIGINT/SIGTERM: in-flight jobs are cancelled
+// between solver steps, queued jobs are failed so waiting clients unblock,
+// and the cache (atomic writes only) is left consistent.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro/internal/serve/api"
+	"repro/internal/serve/cache"
+	"repro/internal/serve/queue"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("precisiond: ")
+
+	var (
+		addr       = flag.String("addr", "127.0.0.1:7717", "listen address (use :0 for any free port)")
+		cacheDir   = flag.String("cache", "precision-cache", "result cache directory (created if needed)")
+		workers    = flag.Int("workers", 2, "jobs executing concurrently")
+		queueDepth = flag.Int("queue-depth", 64, "pending-job queue bound")
+		lanes      = flag.Int("lanes", runtime.GOMAXPROCS(0), "total solver lanes divided among workers")
+	)
+	flag.Parse()
+
+	c, err := cache.Open(*cacheDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	sched := queue.New(queue.Config{
+		Workers:    *workers,
+		QueueDepth: *queueDepth,
+		Lanes:      *lanes,
+		Cache:      c,
+	})
+	sched.Start(ctx)
+
+	ln, err := net.Listen("tcp", *addr)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Printed unconditionally so scripts can discover a :0-assigned port.
+	fmt.Printf("listening on %s\n", ln.Addr())
+	log.Printf("cache %s, %d workers, queue depth %d", c.Dir(), *workers, *queueDepth)
+
+	srv := &http.Server{Handler: api.New(sched, c)}
+	done := make(chan error, 1)
+	go func() { done <- srv.Serve(ln) }()
+
+	select {
+	case err := <-done:
+		log.Fatal(err)
+	case <-ctx.Done():
+	}
+	log.Print("shutting down")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		log.Printf("shutdown: %v", err)
+	}
+	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("serve: %v", err)
+	}
+	sched.Wait()
+}

@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -48,22 +49,35 @@ func ParseScale(s string) (Scale, error) {
 type Session struct {
 	Scale Scale
 
+	ctx       context.Context
 	clamrRuns map[string]core.CLAMRResult
 	selfRuns  map[string]core.SELFResult
 }
 
 // NewSession creates an experiment session at the given scale.
 func NewSession(scale Scale) *Session {
+	return NewSessionContext(context.Background(), scale)
+}
+
+// NewSessionContext creates a session whose mini-app runs stop between
+// steps once ctx is cancelled; RunExperiment then returns an error wrapping
+// ctx.Err(). This is the plumbing cmd/paperbench and the experiment daemon
+// share for SIGINT handling.
+func NewSessionContext(ctx context.Context, scale Scale) *Session {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &Session{
 		Scale:     scale,
+		ctx:       ctx,
 		clamrRuns: make(map[string]core.CLAMRResult),
 		selfRuns:  make(map[string]core.SELFResult),
 	}
 }
 
-// clamrPerfConfig is the Table I–III configuration (paper: 1920² coarse
-// grid, 2 AMR levels, 200 iterations).
-func (s *Session) clamrPerfConfig(kernel clamr.Kernel) (clamr.Config, int) {
+// CLAMRPerfConfig is the Table I–III configuration at this session's scale
+// (paper: 1920² coarse grid, 2 AMR levels, 200 iterations).
+func (s *Session) CLAMRPerfConfig(kernel clamr.Kernel) (clamr.Config, int) {
 	switch s.Scale {
 	case PaperScale:
 		return clamr.Config{NX: 1920, NY: 1920, MaxLevel: 2, Kernel: kernel, AMRInterval: 20}, 200
@@ -74,9 +88,9 @@ func (s *Session) clamrPerfConfig(kernel clamr.Kernel) (clamr.Config, int) {
 	}
 }
 
-// clamrFigConfig is the Figure 1–3 configuration (paper: 64² grid, 2 AMR
-// levels, 1000 iterations).
-func (s *Session) clamrFigConfig() (clamr.Config, int) {
+// CLAMRFigConfig is the Figure 1–3 configuration at this session's scale
+// (paper: 64² grid, 2 AMR levels, 1000 iterations).
+func (s *Session) CLAMRFigConfig() (clamr.Config, int) {
 	switch s.Scale {
 	case PaperScale:
 		return clamr.Config{NX: 64, NY: 64, MaxLevel: 2, Kernel: clamr.KernelFace, AMRInterval: 20}, 1000
@@ -87,9 +101,9 @@ func (s *Session) clamrFigConfig() (clamr.Config, int) {
 	}
 }
 
-// selfConfig is the Table IV–VI / Figure 4–5 configuration (paper: 20³
-// elements at order 7, 100 RK3 steps ≈ 24M DOF).
-func (s *Session) selfConfig(mm self.MathMode) (self.Config, int) {
+// SELFStudyConfig is the Table IV–VI / Figure 4–5 configuration at this
+// session's scale (paper: 20³ elements at order 7, 100 RK3 steps ≈ 24M DOF).
+func (s *Session) SELFStudyConfig(mm self.MathMode) (self.Config, int) {
 	switch s.Scale {
 	case PaperScale:
 		return self.Config{Elements: 20, Order: 7, MathMode: mm}, 100
@@ -100,7 +114,8 @@ func (s *Session) selfConfig(mm self.MathMode) (self.Config, int) {
 	}
 }
 
-func (s *Session) lineCutN() int {
+// LineCutN is the line-cut sampling resolution at this session's scale.
+func (s *Session) LineCutN() int {
 	if s.Scale == QuickScale {
 		return 96
 	}
@@ -116,11 +131,11 @@ func (s *Session) runCLAMR(mode Mode, kernel clamr.Kernel, fig bool) (core.CLAMR
 	var cfg clamr.Config
 	var steps int
 	if fig {
-		cfg, steps = s.clamrFigConfig()
+		cfg, steps = s.CLAMRFigConfig()
 	} else {
-		cfg, steps = s.clamrPerfConfig(kernel)
+		cfg, steps = s.CLAMRPerfConfig(kernel)
 	}
-	r, err := core.RunCLAMR(mode, cfg, steps, s.lineCutN())
+	r, err := core.RunCLAMROpts(mode, cfg, steps, s.LineCutN(), core.RunOptions{Ctx: s.ctx})
 	if err != nil {
 		return core.CLAMRResult{}, fmt.Errorf("clamr %s: %w", key, err)
 	}
@@ -134,8 +149,8 @@ func (s *Session) runSELF(mode Mode, mm self.MathMode) (core.SELFResult, error) 
 	if r, ok := s.selfRuns[key]; ok {
 		return r, nil
 	}
-	cfg, steps := s.selfConfig(mm)
-	r, err := core.RunSELF(mode, cfg, steps, s.lineCutN())
+	cfg, steps := s.SELFStudyConfig(mm)
+	r, err := core.RunSELFOpts(mode, cfg, steps, s.LineCutN(), core.RunOptions{Ctx: s.ctx})
 	if err != nil {
 		return core.SELFResult{}, fmt.Errorf("self %s: %w", key, err)
 	}
@@ -488,7 +503,7 @@ func (s *Session) Fig1() (Output, error) {
 
 	// 2-D context for the cut: the full-precision wave field (re-run; the
 	// memoized study result does not retain the mesh).
-	cfgFig, stepsFig := s.clamrFigConfig()
+	cfgFig, stepsFig := s.CLAMRFigConfig()
 	if runner, err := NewDamBreak(Full, cfgFig); err == nil {
 		if err := runner.Run(stepsFig); err == nil {
 			const raster = 96
@@ -540,8 +555,8 @@ func (s *Session) Fig2() (Output, error) {
 // Fig3 compares a minimum-precision high-resolution run against a
 // full-precision low-resolution run at (nearly) the same simulation time.
 func (s *Session) Fig3() (Output, error) {
-	cfgLo, steps := s.clamrFigConfig()
-	loRes, err := core.RunCLAMR(Full, cfgLo, steps, s.lineCutN())
+	cfgLo, steps := s.CLAMRFigConfig()
+	loRes, err := core.RunCLAMROpts(Full, cfgLo, steps, s.LineCutN(), core.RunOptions{Ctx: s.ctx})
 	if err != nil {
 		return Output{}, err
 	}
@@ -551,7 +566,7 @@ func (s *Session) Fig3() (Output, error) {
 	cfgHi.NX *= 2
 	cfgHi.NY *= 2
 	ic := clamr.DamBreak(cfgHi.Bounds, 10, 2, 0.15, 0.05)
-	loTime, err := simTimeOf(cfgLo, steps)
+	loTime, err := s.simTimeOf(cfgLo, steps)
 	if err != nil {
 		return Output{}, err
 	}
@@ -561,11 +576,14 @@ func (s *Session) Fig3() (Output, error) {
 		return Output{}, err
 	}
 	for hi.Time() < loTime {
+		if err := s.ctx.Err(); err != nil {
+			return Output{}, fmt.Errorf("fig3 cancelled: %w", err)
+		}
 		if err := hi.Step(); err != nil {
 			return Output{}, err
 		}
 	}
-	hiCut, err := core.CLAMRLineCut(hi, s.lineCutN())
+	hiCut, err := core.CLAMRLineCut(hi, s.LineCutN())
 	if err != nil {
 		return Output{}, err
 	}
@@ -593,13 +611,18 @@ func (s *Session) Fig3() (Output, error) {
 
 // simTimeOf runs a throwaway full-precision simulation to learn the
 // simulation time reached after the given number of steps.
-func simTimeOf(cfg clamr.Config, steps int) (float64, error) {
+func (s *Session) simTimeOf(cfg clamr.Config, steps int) (float64, error) {
 	r, err := NewDamBreak(Full, cfg)
 	if err != nil {
 		return 0, err
 	}
-	if err := r.Run(steps); err != nil {
-		return 0, err
+	for r.StepCount() < steps {
+		if err := s.ctx.Err(); err != nil {
+			return 0, fmt.Errorf("fig3 reference cancelled: %w", err)
+		}
+		if err := r.Step(); err != nil {
+			return 0, err
+		}
 	}
 	return r.Time(), nil
 }

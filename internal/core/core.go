@@ -10,6 +10,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"math"
@@ -44,16 +45,73 @@ type CLAMRResult struct {
 // collects the paper's measurables. lineCutN > 0 samples the height along
 // the horizontal center line at that resolution.
 func RunCLAMR(mode precision.Mode, cfg clamr.Config, steps, lineCutN int) (CLAMRResult, error) {
+	return RunCLAMROpts(mode, cfg, steps, lineCutN, RunOptions{})
+}
+
+// RunOptions extends the study runners with the execution controls the
+// experiment service needs: cancellation, per-step progress, checkpoint
+// restart and checkpoint capture. The zero value reproduces the plain
+// Run{CLAMR,SELF} behaviour exactly (same step loop, same measurables).
+type RunOptions struct {
+	// Ctx cancels the run between steps; nil means context.Background().
+	// A cancelled run returns an error wrapping ctx.Err().
+	Ctx context.Context
+	// Progress, when non-nil, is called after every completed step with the
+	// absolute step count and the target step count.
+	Progress func(step, total int)
+	// Resume, when non-nil, restores the solver from a checkpoint instead
+	// of the initial condition; stepping continues until the absolute step
+	// count reaches `steps`. Counters restart at zero on resume.
+	Resume io.Reader
+	// Checkpoint, when non-nil, receives the bytes of the final-state
+	// checkpoint (the same bytes CheckpointBytes counts).
+	Checkpoint io.Writer
+}
+
+func (o RunOptions) ctx() context.Context {
+	if o.Ctx != nil {
+		return o.Ctx
+	}
+	return context.Background()
+}
+
+// stepUntil advances the runner to `steps` absolute steps under the
+// options' cancellation and progress contract. Both mini-app Run(n)
+// methods are plain Step loops, so this is result-identical to them.
+func stepUntil(opts RunOptions, stepCount func() int, step func() error, steps int) error {
+	ctx := opts.ctx()
+	for stepCount() < steps {
+		if err := ctx.Err(); err != nil {
+			return fmt.Errorf("run cancelled at step %d/%d: %w", stepCount(), steps, err)
+		}
+		if err := step(); err != nil {
+			return err
+		}
+		if opts.Progress != nil {
+			opts.Progress(stepCount(), steps)
+		}
+	}
+	return nil
+}
+
+// RunCLAMROpts is RunCLAMR with execution options.
+func RunCLAMROpts(mode precision.Mode, cfg clamr.Config, steps, lineCutN int, opts RunOptions) (CLAMRResult, error) {
 	if cfg.Bounds == (mesh.Bounds{}) {
 		cfg.Bounds = mesh.UnitBounds
 	}
-	ic := clamr.DamBreak(cfg.Bounds, 10, 2, 0.15*cfg.Bounds.Width(), 0.05*cfg.Bounds.Width())
-	r, err := clamr.New(mode, cfg, ic)
+	var r clamr.Runner
+	var err error
+	if opts.Resume != nil {
+		r, err = clamr.Load(mode, cfg, opts.Resume)
+	} else {
+		ic := clamr.DamBreak(cfg.Bounds, 10, 2, 0.15*cfg.Bounds.Width(), 0.05*cfg.Bounds.Width())
+		r, err = clamr.New(mode, cfg, ic)
+	}
 	if err != nil {
 		return CLAMRResult{}, err
 	}
 	start := time.Now()
-	if err := r.Run(steps); err != nil {
+	if err := stepUntil(opts, r.StepCount, r.Step, steps); err != nil {
 		return CLAMRResult{}, err
 	}
 	wall := time.Since(start)
@@ -71,7 +129,11 @@ func RunCLAMR(mode precision.Mode, cfg clamr.Config, steps, lineCutN int) (CLAMR
 	res.FiniteDiffTime = r.Timer().Total("finite_diff")
 
 	var sink countingWriter
-	n, err := r.WriteCheckpoint(&sink)
+	var ckptW io.Writer = &sink
+	if opts.Checkpoint != nil {
+		ckptW = io.MultiWriter(&sink, opts.Checkpoint)
+	}
+	n, err := r.WriteCheckpoint(ckptW)
 	if err != nil {
 		return CLAMRResult{}, err
 	}
@@ -136,17 +198,32 @@ type SELFResult struct {
 	WallTime   time.Duration
 	Counters   metrics.Counters
 	StateBytes uint64
-	LineCut    analysis.Series
+	// CheckpointBytes is the serialized checkpoint size; it is only
+	// measured when RunOptions.Checkpoint captures the final state
+	// (the plain SELF study does not checkpoint).
+	CheckpointBytes int64
+	LineCut         analysis.Series
 }
 
 // RunSELF executes the thermal-bubble problem at one precision mode.
 func RunSELF(mode precision.Mode, cfg self.Config, steps, lineCutN int) (SELFResult, error) {
-	r, err := self.New(mode, cfg)
+	return RunSELFOpts(mode, cfg, steps, lineCutN, RunOptions{})
+}
+
+// RunSELFOpts is RunSELF with execution options.
+func RunSELFOpts(mode precision.Mode, cfg self.Config, steps, lineCutN int, opts RunOptions) (SELFResult, error) {
+	var r self.Runner
+	var err error
+	if opts.Resume != nil {
+		r, err = self.Load(mode, cfg, opts.Resume)
+	} else {
+		r, err = self.New(mode, cfg)
+	}
 	if err != nil {
 		return SELFResult{}, err
 	}
 	start := time.Now()
-	if err := r.Run(steps); err != nil {
+	if err := stepUntil(opts, r.StepCount, r.Step, steps); err != nil {
 		return SELFResult{}, err
 	}
 	wall := time.Since(start)
@@ -158,6 +235,13 @@ func RunSELF(mode precision.Mode, cfg self.Config, steps, lineCutN int) (SELFRes
 		WallTime:   wall,
 		Counters:   r.Counters(),
 		StateBytes: r.StateBytes(),
+	}
+	if opts.Checkpoint != nil {
+		n, err := r.WriteCheckpoint(opts.Checkpoint)
+		if err != nil {
+			return SELFResult{}, err
+		}
+		res.CheckpointBytes = n
 	}
 	if lineCutN > 0 {
 		xs, ys, err := r.LineX(self.FieldDensityAnomaly, lineCutN)

@@ -6,6 +6,7 @@
 package metrics
 
 import (
+	"encoding/json"
 	"fmt"
 	"runtime"
 	"sort"
@@ -72,6 +73,71 @@ func (c Counters) Scale(f float64) Counters {
 		AllocBytes:       s(c.AllocBytes),
 		AllocCount:       s(c.AllocCount),
 	}
+}
+
+// counterFields is the canonical JSON field order of Counters. The
+// content-addressed result cache (internal/serve/cache) hashes serialized
+// counters, so the encoding must be byte-stable across runs, Go versions
+// and struct-field reorderings; this table — not struct declaration order —
+// defines it. New fields must be appended, never inserted.
+var counterFields = [...]struct {
+	key string
+	get func(*Counters) *uint64
+}{
+	{"flops16", func(c *Counters) *uint64 { return &c.Flops16 }},
+	{"flops32", func(c *Counters) *uint64 { return &c.Flops32 }},
+	{"flops64", func(c *Counters) *uint64 { return &c.Flops64 }},
+	{"transcendental32", func(c *Counters) *uint64 { return &c.Transcendental32 }},
+	{"transcendental64", func(c *Counters) *uint64 { return &c.Transcendental64 }},
+	{"load_bytes", func(c *Counters) *uint64 { return &c.LoadBytes }},
+	{"store_bytes", func(c *Counters) *uint64 { return &c.StoreBytes }},
+	{"conversions", func(c *Counters) *uint64 { return &c.Conversions }},
+	{"kernel_launches", func(c *Counters) *uint64 { return &c.KernelLaunches }},
+	{"alloc_bytes", func(c *Counters) *uint64 { return &c.AllocBytes }},
+	{"alloc_count", func(c *Counters) *uint64 { return &c.AllocCount }},
+}
+
+// MarshalJSON emits the counters as a JSON object with a fixed, documented
+// key order (see counterFields) so the bytes are identical for identical
+// counts on every platform and Go release.
+func (c Counters) MarshalJSON() ([]byte, error) {
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, f := range counterFields {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		fmt.Fprintf(&b, "%q:%d", f.key, *f.get(&c))
+	}
+	b.WriteByte('}')
+	return []byte(b.String()), nil
+}
+
+// UnmarshalJSON accepts the canonical encoding (unknown keys are rejected so
+// corrupted or future-versioned cache entries surface as errors rather than
+// silently dropping counts).
+func (c *Counters) UnmarshalJSON(data []byte) error {
+	var raw map[string]uint64
+	if err := json.Unmarshal(data, &raw); err != nil {
+		return fmt.Errorf("metrics: counters: %w", err)
+	}
+	var out Counters
+	for _, f := range counterFields {
+		if v, ok := raw[f.key]; ok {
+			*f.get(&out) = v
+			delete(raw, f.key)
+		}
+	}
+	if len(raw) > 0 {
+		keys := make([]string, 0, len(raw))
+		for k := range raw {
+			keys = append(keys, k)
+		}
+		sort.Strings(keys)
+		return fmt.Errorf("metrics: counters: unknown fields %v", keys)
+	}
+	*c = out
+	return nil
 }
 
 // TotalFlops returns all floating-point operations regardless of width.

@@ -1,6 +1,8 @@
 package metrics
 
 import (
+	"encoding/json"
+	"math"
 	"strings"
 	"sync"
 	"testing"
@@ -185,5 +187,66 @@ func TestTimerConcurrentObserve(t *testing.T) {
 	wg.Wait()
 	if got := tm.Total("x"); got != 16*1000*time.Microsecond {
 		t.Errorf("concurrent observe total = %v", got)
+	}
+}
+
+func TestCountersJSONDeterministic(t *testing.T) {
+	c := Counters{
+		Flops16: 1, Flops32: 2, Flops64: 3,
+		Transcendental32: 4, Transcendental64: 5,
+		LoadBytes: 6, StoreBytes: 7, Conversions: 8,
+		KernelLaunches: 9, AllocBytes: 10, AllocCount: 11,
+	}
+	want := `{"flops16":1,"flops32":2,"flops64":3,` +
+		`"transcendental32":4,"transcendental64":5,` +
+		`"load_bytes":6,"store_bytes":7,"conversions":8,` +
+		`"kernel_launches":9,"alloc_bytes":10,"alloc_count":11}`
+	for i := 0; i < 3; i++ {
+		got, err := json.Marshal(c)
+		if err != nil {
+			t.Fatalf("marshal: %v", err)
+		}
+		if string(got) != want {
+			t.Fatalf("marshal %d:\n got %s\nwant %s", i, got, want)
+		}
+	}
+}
+
+func TestCountersJSONRoundTrip(t *testing.T) {
+	c := Counters{
+		Flops16: 1 << 40, Flops32: 12345, Flops64: math.MaxUint64,
+		Transcendental32: 1, Transcendental64: 2,
+		LoadBytes: 3, StoreBytes: 4, Conversions: 5,
+		KernelLaunches: 6, AllocBytes: 7, AllocCount: 8,
+	}
+	data, err := json.Marshal(c)
+	if err != nil {
+		t.Fatalf("marshal: %v", err)
+	}
+	var back Counters
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatalf("unmarshal: %v", err)
+	}
+	if back != c {
+		t.Fatalf("round trip changed counters:\n got %+v\nwant %+v", back, c)
+	}
+	// Zero values round-trip too (every key is always emitted).
+	data, _ = json.Marshal(Counters{})
+	var zero Counters
+	if err := json.Unmarshal(data, &zero); err != nil {
+		t.Fatalf("unmarshal zero: %v", err)
+	}
+	if zero != (Counters{}) {
+		t.Fatalf("zero round trip = %+v", zero)
+	}
+}
+
+func TestCountersJSONRejectsUnknownFields(t *testing.T) {
+	var c Counters
+	if err := json.Unmarshal([]byte(`{"flops32":1,"bogus":2}`), &c); err == nil {
+		t.Fatal("unknown field accepted")
+	}
+	if err := json.Unmarshal([]byte(`{"flops32":`), &c); err == nil {
+		t.Fatal("truncated JSON accepted")
 	}
 }

@@ -1,0 +1,139 @@
+package runner
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"time"
+
+	"repro"
+	"repro/internal/analysis"
+	"repro/internal/clamr"
+	"repro/internal/metrics"
+	"repro/internal/precision"
+	"repro/internal/self"
+)
+
+// SweepConfig selects what PaperSweep regenerates.
+type SweepConfig struct {
+	// Scale is the problem scale (repro.QuickScale, …).
+	Scale repro.Scale
+	// IDs restricts the sweep to these experiment IDs; empty means all.
+	IDs []string
+	// OutDir, when non-empty, receives one CSV per figure experiment.
+	OutDir string
+}
+
+// SweepResult summarises a sweep.
+type SweepResult struct {
+	// Ran counts completed experiments; Matched counts selected ones.
+	Ran, Matched int
+	// Interrupted reports that the context was cancelled mid-sweep; the
+	// completed experiments' output and CSVs were flushed before return.
+	Interrupted bool
+}
+
+// PaperSweep regenerates the paper's tables and figures — the experiment
+// loop formerly inlined in cmd/paperbench — streaming formatted results to
+// w as each experiment completes (so an interrupt loses nothing already
+// printed). Cancelling ctx stops the sweep between solver steps: the
+// in-flight experiment is abandoned, completed ones stay flushed, and the
+// result reports Interrupted instead of an error.
+func PaperSweep(ctx context.Context, cfg SweepConfig, w io.Writer) (SweepResult, error) {
+	wanted := map[string]bool{}
+	for _, id := range cfg.IDs {
+		wanted[id] = true
+	}
+	if cfg.OutDir != "" {
+		if err := os.MkdirAll(cfg.OutDir, 0o755); err != nil {
+			return SweepResult{}, err
+		}
+	}
+
+	session := repro.NewSessionContext(ctx, cfg.Scale)
+	var sr SweepResult
+	for _, e := range repro.Experiments {
+		if len(wanted) == 0 || wanted[e.ID] {
+			sr.Matched++
+		}
+	}
+	for _, e := range repro.Experiments {
+		if len(wanted) > 0 && !wanted[e.ID] {
+			continue
+		}
+		if ctx.Err() != nil {
+			sr.Interrupted = true
+			break
+		}
+		start := time.Now()
+		ms := metrics.StartMemSample()
+		out, err := session.RunExperiment(e.ID)
+		if err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				sr.Interrupted = true
+				break
+			}
+			return sr, fmt.Errorf("%s: %w", e.ID, err)
+		}
+		sr.Ran++
+		allocB, allocN := ms.Delta()
+		fmt.Fprintf(w, "════ %s — %s (%v, heap %s in %s objects) ════\n%s\n",
+			e.ID, e.Title, time.Since(start).Round(time.Millisecond),
+			metrics.Bytes(allocB), metrics.SI(allocN), out.Text)
+		if cfg.OutDir != "" && len(out.Series) > 0 {
+			path := filepath.Join(cfg.OutDir, e.ID+".csv")
+			if err := writeSeriesCSV(path, out.Series); err != nil {
+				return sr, fmt.Errorf("%s: %w", e.ID, err)
+			}
+			fmt.Fprintf(w, "    (series written to %s)\n\n", path)
+		}
+	}
+	if sr.Matched == 0 {
+		return sr, fmt.Errorf("no experiments matched %v; known ids are listed by -list", cfg.IDs)
+	}
+	if sr.Interrupted {
+		fmt.Fprintf(w, "―― sweep interrupted: %d of %d experiments completed; partial results flushed ――\n",
+			sr.Ran, sr.Matched)
+	}
+	return sr, nil
+}
+
+func writeSeriesCSV(path string, series []analysis.Series) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := analysis.WriteCSV(f, series...); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// SweepSpecs lists the mini-app runs underlying a full paper sweep at the
+// given scale — the CLAMR performance runs (3 modes × 2 kernels), the CLAMR
+// figure runs (3 modes) and the SELF runs (single and double) — as
+// submittable specs. Submitting them to the experiment service reproduces
+// (and caches) every measurement the tables and figures share.
+func SweepSpecs(scale repro.Scale) []ExperimentSpec {
+	s := repro.NewSession(scale)
+	specs := make([]ExperimentSpec, 0, 11)
+	for _, kernel := range []clamr.Kernel{clamr.KernelCell, clamr.KernelFace} {
+		cfg, steps := s.CLAMRPerfConfig(kernel)
+		for _, mode := range precision.Modes {
+			specs = append(specs, CLAMRSpec(mode, cfg, steps, s.LineCutN()))
+		}
+	}
+	figCfg, figSteps := s.CLAMRFigConfig()
+	for _, mode := range precision.Modes {
+		specs = append(specs, CLAMRSpec(mode, figCfg, figSteps, s.LineCutN()))
+	}
+	selfCfg, selfSteps := s.SELFStudyConfig(self.MathNative)
+	for _, mode := range []precision.Mode{precision.Min, precision.Full} {
+		specs = append(specs, SELFSpec(mode, selfCfg, selfSteps, s.LineCutN()))
+	}
+	return specs
+}

@@ -1,0 +1,168 @@
+package runner
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/metrics"
+)
+
+// Series is the JSON shape of a solution line cut.
+type Series struct {
+	Label string    `json:"label"`
+	X     []float64 `json:"x"`
+	Y     []float64 `json:"y"`
+}
+
+// Result is the content-addressable outcome of one experiment. Everything
+// except the timing fields is a deterministic function of the spec: the
+// solvers are bit-identical across runs and worker counts, so counters,
+// mass error, line cuts and the final-state hash can be cached and compared
+// byte-for-byte. Timing fields are measured, vary run to run, and are
+// excluded from Deterministic / ResultHash; a cached result reports the
+// timings of the run that populated the cache.
+type Result struct {
+	Spec     ExperimentSpec `json:"spec"`
+	SpecHash string         `json:"spec_hash"`
+
+	Steps int `json:"steps"`
+	// Cells (CLAMR) or DOF (SELF) sizes the final problem.
+	Cells int `json:"cells,omitempty"`
+	DOF   int `json:"dof,omitempty"`
+
+	Counters metrics.Counters `json:"counters"`
+	// StateBytes is the resident-state footprint. It includes per-chunk
+	// solver scratch and therefore varies with the worker budget (an
+	// execution detail outside the spec), so — like the timings — it is
+	// excluded from Deterministic / ResultHash.
+	StateBytes      uint64 `json:"state_bytes"`
+	CheckpointBytes int64  `json:"checkpoint_bytes"`
+	// MassError is CLAMR's conservation audit (always present for CLAMR,
+	// including exact zeros; pointer so SELF omits it rather than claiming
+	// a spurious 0).
+	MassError *float64 `json:"mass_error,omitempty"`
+	// StateHash is the SHA-256 of the final-state checkpoint bytes — the
+	// strongest equality certificate two runs of one spec can exchange.
+	StateHash string  `json:"state_hash"`
+	LineCut   *Series `json:"line_cut,omitempty"`
+
+	// Measured timings (non-deterministic; excluded from ResultHash).
+	WallSeconds       float64 `json:"wall_seconds"`
+	FiniteDiffSeconds float64 `json:"finite_diff_seconds,omitempty"`
+}
+
+// Deterministic returns a copy with the execution-dependent fields zeroed
+// (timings and the worker-budget-sensitive StateBytes) — the portion of the
+// result that must be identical across reruns of the same spec.
+func (r Result) Deterministic() Result {
+	r.WallSeconds = 0
+	r.FiniteDiffSeconds = 0
+	r.StateBytes = 0
+	return r
+}
+
+// ResultHash is the SHA-256 of the deterministic portion's JSON.
+func (r Result) ResultHash() (string, error) {
+	data, err := json.Marshal(r.Deterministic())
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// RunOpts carries the execution details that do not participate in the
+// spec hash.
+type RunOpts struct {
+	// Progress is called after every completed step (absolute step, total).
+	Progress func(step, total int)
+	// Resume restores the solver from a checkpoint instead of the initial
+	// condition; stepping continues to the spec's absolute step count.
+	Resume io.Reader
+	// Checkpoint receives a copy of the final-state checkpoint bytes.
+	Checkpoint io.Writer
+	// Workers bounds the solver's parallel chunk budget (0 = GOMAXPROCS).
+	// Results are bit-identical at every setting.
+	Workers int
+}
+
+// Run executes the spec and returns its result. The ctx cancels the run
+// between steps (the returned error then wraps ctx.Err()).
+func Run(ctx context.Context, spec ExperimentSpec, opts RunOpts) (*Result, error) {
+	n, err := spec.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := n.Hash()
+	if err != nil {
+		return nil, err
+	}
+	mode, err := n.PrecisionMode()
+	if err != nil {
+		return nil, err
+	}
+
+	// The final checkpoint always streams through a hasher so every result
+	// carries a state hash; the caller's sink, if any, is teed in.
+	hasher := sha256.New()
+	var ckpt io.Writer = hasher
+	if opts.Checkpoint != nil {
+		ckpt = io.MultiWriter(hasher, opts.Checkpoint)
+	}
+	copts := core.RunOptions{
+		Ctx:        ctx,
+		Progress:   opts.Progress,
+		Resume:     opts.Resume,
+		Checkpoint: ckpt,
+	}
+
+	res := &Result{Spec: n, SpecHash: hash, Steps: n.Steps}
+	switch n.App {
+	case AppCLAMR:
+		cfg, err := n.CLAMRConfig(opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.RunCLAMROpts(mode, cfg, n.Steps, n.LineCutN, copts)
+		if err != nil {
+			return nil, err
+		}
+		res.Cells = r.Cells
+		res.Counters = r.Counters
+		res.StateBytes = r.StateBytes
+		res.CheckpointBytes = r.CheckpointBytes
+		me := r.MassError
+		res.MassError = &me
+		res.WallSeconds = r.WallTime.Seconds()
+		res.FiniteDiffSeconds = r.FiniteDiffTime.Seconds()
+		if n.LineCutN > 0 {
+			res.LineCut = &Series{Label: r.LineCut.Label, X: r.LineCut.X, Y: r.LineCut.Y}
+		}
+	case AppSELF:
+		cfg, err := n.SELFConfig(opts.Workers)
+		if err != nil {
+			return nil, err
+		}
+		r, err := core.RunSELFOpts(mode, cfg, n.Steps, n.LineCutN, copts)
+		if err != nil {
+			return nil, err
+		}
+		res.DOF = r.DOF
+		res.Counters = r.Counters
+		res.StateBytes = r.StateBytes
+		res.CheckpointBytes = r.CheckpointBytes
+		res.WallSeconds = r.WallTime.Seconds()
+		if n.LineCutN > 0 {
+			res.LineCut = &Series{Label: r.LineCut.Label, X: r.LineCut.X, Y: r.LineCut.Y}
+		}
+	default:
+		return nil, fmt.Errorf("runner: unknown app %q", n.App)
+	}
+	res.StateHash = hex.EncodeToString(hasher.Sum(nil))
+	return res, nil
+}

@@ -1,0 +1,158 @@
+package runner
+
+import (
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/precision"
+)
+
+func clamrTestSpec() ExperimentSpec {
+	return ExperimentSpec{
+		App: AppCLAMR, Mode: "full", Steps: 10, LineCutN: 32,
+		NX: 24, NY: 24, MaxLevel: 1, Kernel: "vectorized", AMRInterval: 5,
+	}
+}
+
+func selfTestSpec() ExperimentSpec {
+	return ExperimentSpec{
+		App: AppSELF, Mode: "min", Steps: 4, LineCutN: 16,
+		Elements: 2, Order: 3, MathMode: "intel-native",
+	}
+}
+
+func TestSpecHashStableAcrossAliases(t *testing.T) {
+	base := clamrTestSpec()
+	want, err := base.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	aliases := []ExperimentSpec{base, base, base}
+	aliases[0].Mode = "double" // alias of full
+	aliases[1].Kernel = "face" // alias of vectorized
+	aliases[2].App = " CLAMR "
+	// Junk SELF fields on a CLAMR spec must not perturb the hash.
+	aliases[2].Elements, aliases[2].Order, aliases[2].MathMode = 9, 9, "gnu"
+	for i, a := range aliases {
+		got, err := a.Hash()
+		if err != nil {
+			t.Fatalf("alias %d: %v", i, err)
+		}
+		if got != want {
+			t.Errorf("alias %d hashes %s, want %s", i, got, want)
+		}
+	}
+}
+
+func TestSpecHashSeparatesResultAffectingFields(t *testing.T) {
+	base := clamrTestSpec()
+	seen := map[string]string{}
+	record := func(name string, s ExperimentSpec) {
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for prev, ph := range seen {
+			if ph == h {
+				t.Errorf("%s and %s collide on %s", name, prev, h)
+			}
+		}
+		seen[name] = h
+	}
+	record("base", base)
+	v := base
+	v.Mode = "min"
+	record("mode", v)
+	v = base
+	v.Steps++
+	record("steps", v)
+	v = base
+	v.NX *= 2
+	record("nx", v)
+	v = base
+	v.Kernel = "cell"
+	record("kernel", v)
+	v = base
+	v.AMRInterval = 0
+	record("amr", v)
+	v = base
+	v.DryTol = 1e-7
+	record("drytol", v)
+	record("self", selfTestSpec())
+}
+
+func TestSpecCanonicalJSONIsStable(t *testing.T) {
+	s := selfTestSpec()
+	s.MathMode = "gnu" // alias
+	got, err := s.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := `{"app":"self","mode":"min","steps":4,"line_cut_n":16,` +
+		`"elements":2,"order":3,"math_mode":"gnu-promoted"}`
+	if string(got) != want {
+		t.Errorf("canonical JSON:\n got %s\nwant %s", got, want)
+	}
+}
+
+func TestSpecValidation(t *testing.T) {
+	bad := []ExperimentSpec{
+		{App: "hydra", Mode: "full", Steps: 1},
+		{App: AppCLAMR, Mode: "full", Steps: 0, NX: 8, NY: 8},
+		{App: AppCLAMR, Mode: "sideways", Steps: 1, NX: 8, NY: 8},
+		{App: AppCLAMR, Mode: "full", Steps: 1, NX: 0, NY: 8},
+		{App: AppCLAMR, Mode: "full", Steps: 1, NX: 8, NY: 8, Kernel: "warp"},
+		{App: AppSELF, Mode: "full", Steps: 1, Elements: 0, Order: 3},
+		{App: AppSELF, Mode: "full", Steps: 1, Elements: 2, Order: 3, MathMode: "llvm"},
+		{App: AppCLAMR, Mode: "full", Steps: 1, NX: 8, NY: 8, LineCutN: -1},
+	}
+	for i, s := range bad {
+		if _, err := s.Normalized(); err == nil {
+			t.Errorf("spec %d validated: %+v", i, s)
+		}
+	}
+}
+
+func TestSweepSpecsCoverThePaperSweep(t *testing.T) {
+	specs := SweepSpecs(repro.QuickScale)
+	if len(specs) != 11 {
+		t.Fatalf("sweep has %d specs, want 11 (3 modes × 2 kernels + 3 fig modes + 2 self modes)", len(specs))
+	}
+	hashes := map[string]bool{}
+	apps := map[string]int{}
+	for i, s := range specs {
+		if _, err := s.Normalized(); err != nil {
+			t.Errorf("spec %d invalid: %v", i, err)
+		}
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if hashes[h] {
+			t.Errorf("spec %d duplicates an earlier spec: %+v", i, s)
+		}
+		hashes[h] = true
+		apps[s.App]++
+	}
+	if apps[AppCLAMR] != 9 || apps[AppSELF] != 2 {
+		t.Errorf("sweep app split = %v, want clamr:9 self:2", apps)
+	}
+}
+
+func TestSpecRoundTripThroughConfigs(t *testing.T) {
+	s := repro.NewSession(repro.QuickScale)
+	cfg, steps := s.CLAMRPerfConfig(repro.KernelVectorized)
+	spec := CLAMRSpec(precision.Mixed, cfg, steps, s.LineCutN())
+	back, err := spec.CLAMRConfig(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if back.NX != cfg.NX || back.NY != cfg.NY || back.MaxLevel != cfg.MaxLevel ||
+		back.Kernel != cfg.Kernel || back.AMRInterval != cfg.AMRInterval || back.DryTol != cfg.DryTol {
+		t.Errorf("CLAMR config round trip: got %+v want %+v", back, cfg)
+	}
+	if !strings.EqualFold(spec.Mode, "mixed") {
+		t.Errorf("spec mode = %q", spec.Mode)
+	}
+}

@@ -1,0 +1,215 @@
+// Package api is precisiond's HTTP surface: a small JSON API over the
+// scheduler and result cache.
+//
+//	POST /v1/jobs              submit an ExperimentSpec; returns the job view
+//	GET  /v1/jobs              list admitted jobs
+//	GET  /v1/jobs/{id}         job view (status, progress, cached flag)
+//	GET  /v1/jobs/{id}/result  block until terminal; raw result payload
+//	GET  /v1/jobs/{id}/stream  NDJSON progress: one view per change, then done
+//	GET  /v1/cache/stats       scheduler + cache counters
+//	GET  /healthz              liveness
+//
+// The result endpoint returns the cache payload verbatim, so every
+// submission of one spec observes byte-identical result bytes regardless of
+// whether it was computed, deduplicated onto an in-flight job, or answered
+// from the cache.
+package api
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/serve/cache"
+	"repro/internal/serve/queue"
+)
+
+// Server routes API requests to a scheduler and its cache.
+type Server struct {
+	sched *queue.Scheduler
+	cache *cache.Cache
+	mux   *http.ServeMux
+
+	// pollInterval paces the NDJSON stream's snapshot polling.
+	pollInterval time.Duration
+}
+
+// Option adjusts a Server.
+type Option func(*Server)
+
+// WithPollInterval overrides the progress-stream poll pace (default 200ms).
+func WithPollInterval(d time.Duration) Option {
+	return func(s *Server) { s.pollInterval = d }
+}
+
+// New builds the API over a scheduler and its cache (cache may be nil when
+// the scheduler runs uncached).
+func New(sched *queue.Scheduler, c *cache.Cache, opts ...Option) *Server {
+	s := &Server{sched: sched, cache: c, pollInterval: 200 * time.Millisecond}
+	for _, o := range opts {
+		o(s)
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.submit)
+	mux.HandleFunc("GET /v1/jobs", s.listJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.jobView)
+	mux.HandleFunc("GET /v1/jobs/{id}/result", s.jobResult)
+	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.jobStream)
+	mux.HandleFunc("GET /v1/cache/stats", s.stats)
+	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// apiError is the JSON error envelope.
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// submit admits a spec. 200 for a job that is already terminal (cache hit),
+// 202 for queued/deduplicated work, 400 for an invalid spec, 503 for a full
+// queue.
+func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var spec runner.ExperimentSpec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode spec: %v", err)
+		return
+	}
+	job, err := s.sched.Submit(spec)
+	switch {
+	case err == queue.ErrQueueFull:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	v := job.Snapshot()
+	status := http.StatusAccepted
+	if v.Status == queue.StatusDone || v.Status == queue.StatusFailed {
+		status = http.StatusOK
+	}
+	writeJSON(w, status, v)
+}
+
+func (s *Server) listJobs(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.sched.Jobs())
+}
+
+func (s *Server) job(w http.ResponseWriter, r *http.Request) (*queue.Job, bool) {
+	id := r.PathValue("id")
+	job, ok := s.sched.Job(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	}
+	return job, ok
+}
+
+func (s *Server) jobView(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// jobResult blocks until the job is terminal, then returns the result
+// payload bytes verbatim (or the failure as JSON error). The wait is bounded
+// by the client's request context.
+func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	select {
+	case <-job.Done():
+	case <-r.Context().Done():
+		return // client went away; nothing useful to write
+	}
+	if payload, ok := job.Result(); ok {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(payload)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, "job failed: %s", job.Snapshot().Error)
+}
+
+// jobStream emits the job's view as NDJSON: one line per observed change
+// (status or step), then the terminal view, then EOF.
+func (s *Server) jobStream(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	var last queue.View
+	emit := func(v queue.View) {
+		enc.Encode(v)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		last = v
+	}
+	emit(job.Snapshot())
+
+	ticker := time.NewTicker(s.pollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-job.Done():
+			if v := job.Snapshot(); v != last {
+				emit(v)
+			}
+			return
+		case <-ticker.C:
+			if v := job.Snapshot(); v != last {
+				emit(v)
+			}
+		}
+	}
+}
+
+// StatsReply is the /v1/cache/stats payload.
+type StatsReply struct {
+	Scheduler queue.Stats  `json:"scheduler"`
+	Cache     *cache.Stats `json:"cache,omitempty"`
+}
+
+func (s *Server) stats(w http.ResponseWriter, r *http.Request) {
+	reply := StatsReply{Scheduler: s.sched.Stats()}
+	if s.cache != nil {
+		cs := s.cache.Stats()
+		reply.Cache = &cs
+	}
+	writeJSON(w, http.StatusOK, reply)
+}

@@ -1,0 +1,190 @@
+// Package cache is the experiment service's content-addressed result
+// store: spec hash → serialized result, on disk.
+//
+// Entries live at <dir>/<h[:2]>/<h>.res (two-level fan-out so huge sweeps
+// do not produce one enormous directory). Each file is a one-line header
+// — format tag, key, payload SHA-256 — followed by the payload bytes.
+// Writes go through a temp file in the same directory plus rename, so a
+// concurrent reader sees either the whole entry or none of it, and a crash
+// mid-write leaves only a temp file that is ignored. Reads verify the
+// header and payload digest; anything torn, truncated or foreign is
+// deleted and reported as a miss (the job simply recomputes), never as an
+// error — a corrupt cache must degrade to a cold cache, not an outage.
+package cache
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+)
+
+// headerTag identifies (and versions) the entry encoding.
+const headerTag = "PCACHE1"
+
+// Cache is a content-addressed store rooted at one directory. All methods
+// are safe for concurrent use; the atomic counters feed /v1/cache/stats.
+type Cache struct {
+	dir string
+
+	hits, misses, puts atomic.Uint64
+	corruptDropped     atomic.Uint64
+	errors             atomic.Uint64
+}
+
+// Open roots a cache at dir, creating it if needed.
+func Open(dir string) (*Cache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("cache: open %s: %w", dir, err)
+	}
+	return &Cache{dir: dir}, nil
+}
+
+// Dir returns the cache root.
+func (c *Cache) Dir() string { return c.dir }
+
+// validKey reports whether key looks like a lowercase hex content hash —
+// the only keys the cache stores, and incidentally a guard against path
+// traversal in handler-supplied keys.
+func validKey(key string) bool {
+	if len(key) != sha256.Size*2 {
+		return false
+	}
+	for _, r := range key {
+		if (r < '0' || r > '9') && (r < 'a' || r > 'f') {
+			return false
+		}
+	}
+	return true
+}
+
+func (c *Cache) path(key string) string {
+	return filepath.Join(c.dir, key[:2], key+".res")
+}
+
+// Put stores payload under key, atomically. Re-putting an existing key
+// rewrites it (the payloads are content-equal by construction, so last
+// writer wins is harmless).
+func (c *Cache) Put(key string, payload []byte) error {
+	if !validKey(key) {
+		c.errors.Add(1)
+		return fmt.Errorf("cache: invalid key %q", key)
+	}
+	dir := filepath.Join(c.dir, key[:2])
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		c.errors.Add(1)
+		return fmt.Errorf("cache: put %s: %w", key, err)
+	}
+	sum := sha256.Sum256(payload)
+	header := fmt.Sprintf("%s %s %s\n", headerTag, key, hex.EncodeToString(sum[:]))
+
+	tmp, err := os.CreateTemp(dir, "."+key+".tmp*")
+	if err != nil {
+		c.errors.Add(1)
+		return fmt.Errorf("cache: put %s: %w", key, err)
+	}
+	defer os.Remove(tmp.Name()) // no-op after successful rename
+	if _, err := tmp.WriteString(header); err == nil {
+		_, err = tmp.Write(payload)
+		if err == nil {
+			err = tmp.Sync()
+		}
+	} else {
+		tmp.Close()
+		c.errors.Add(1)
+		return fmt.Errorf("cache: put %s: %w", key, err)
+	}
+	if cerr := tmp.Close(); err == nil {
+		err = cerr
+	}
+	if err != nil {
+		c.errors.Add(1)
+		return fmt.Errorf("cache: put %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
+		c.errors.Add(1)
+		return fmt.Errorf("cache: put %s: %w", key, err)
+	}
+	c.puts.Add(1)
+	return nil
+}
+
+// Get returns the payload stored under key. A missing, torn or corrupt
+// entry reports (nil, false); corrupt entries are removed so they are
+// recomputed rather than rediscovered on every request.
+func (c *Cache) Get(key string) ([]byte, bool) {
+	if !validKey(key) {
+		c.misses.Add(1)
+		return nil, false
+	}
+	data, err := os.ReadFile(c.path(key))
+	if err != nil {
+		c.misses.Add(1)
+		return nil, false
+	}
+	payload, ok := c.verify(key, data)
+	if !ok {
+		c.corruptDropped.Add(1)
+		c.misses.Add(1)
+		os.Remove(c.path(key))
+		return nil, false
+	}
+	c.hits.Add(1)
+	return payload, true
+}
+
+// verify checks the entry header and payload digest.
+func (c *Cache) verify(key string, data []byte) ([]byte, bool) {
+	nl := strings.IndexByte(string(data[:min(len(data), 256)]), '\n')
+	if nl < 0 {
+		return nil, false
+	}
+	fields := strings.Fields(string(data[:nl]))
+	if len(fields) != 3 || fields[0] != headerTag || fields[1] != key {
+		return nil, false
+	}
+	payload := data[nl+1:]
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != fields[2] {
+		return nil, false
+	}
+	return payload, true
+}
+
+// Stats is a point-in-time snapshot of the cache's traffic and contents.
+type Stats struct {
+	Hits           uint64 `json:"hits"`
+	Misses         uint64 `json:"misses"`
+	Puts           uint64 `json:"puts"`
+	CorruptDropped uint64 `json:"corrupt_dropped"`
+	Errors         uint64 `json:"errors"`
+	// Entries and Bytes are counted by walking the store at snapshot time.
+	Entries int   `json:"entries"`
+	Bytes   int64 `json:"bytes"`
+}
+
+// Stats snapshots the counters and walks the store for entry counts.
+func (c *Cache) Stats() Stats {
+	s := Stats{
+		Hits:           c.hits.Load(),
+		Misses:         c.misses.Load(),
+		Puts:           c.puts.Load(),
+		CorruptDropped: c.corruptDropped.Load(),
+		Errors:         c.errors.Load(),
+	}
+	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
+		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".res") {
+			return nil
+		}
+		if info, err := d.Info(); err == nil {
+			s.Entries++
+			s.Bytes += info.Size()
+		}
+		return nil
+	})
+	return s
+}

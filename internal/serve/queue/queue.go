@@ -1,0 +1,391 @@
+// Package queue is the experiment service's admission and execution layer:
+// a bounded job queue, a spec-hash singleflight, and a worker-limited
+// scheduler that executes jobs without oversubscribing the machine.
+//
+// Admission order: a submitted spec is (1) collapsed onto an identical
+// queued-or-running job if one exists (singleflight — concurrent duplicate
+// sweeps cost one computation), else (2) answered from the content-
+// addressed result cache, else (3) enqueued, bounded — a full queue
+// rejects with ErrQueueFull rather than buffering unboundedly.
+//
+// Execution budget: Workers jobs run concurrently, and each is handed an
+// equal share of the machine's parallel lanes (GOMAXPROCS / Workers) as
+// its solver chunk budget. The solvers dispatch those chunks on the shared
+// internal/par pool, whose dispatch serialization already arbitrates
+// concurrent solvers, so total parallelism stays at one pool's worth of
+// cores regardless of how many jobs are in flight. Worker counts never
+// change results (DESIGN.md §5), only latency.
+package queue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/runner"
+	"repro/internal/serve/cache"
+)
+
+// Status is a job's lifecycle state.
+type Status string
+
+// Job lifecycle: queued → running → done | failed. Cache answers are born
+// done.
+const (
+	StatusQueued  Status = "queued"
+	StatusRunning Status = "running"
+	StatusDone    Status = "done"
+	StatusFailed  Status = "failed"
+)
+
+// ErrQueueFull rejects submissions beyond the queue bound.
+var ErrQueueFull = errors.New("queue: job queue is full")
+
+// Job tracks one admitted experiment. Progress fields are atomics so the
+// NDJSON streamer can poll without locking the scheduler.
+type Job struct {
+	// ID is the scheduler-assigned identity ("job-000001"); SpecHash is
+	// the content address shared by every submission of this spec.
+	ID       string
+	SpecHash string
+	Spec     runner.ExperimentSpec // normalized
+
+	step, total atomic.Int64
+
+	mu      sync.Mutex
+	status  Status
+	cached  bool
+	result  []byte
+	errMsg  string
+	done    chan struct{}
+	doneOne sync.Once
+}
+
+// View is an immutable snapshot of a job for handlers and clients.
+type View struct {
+	ID       string                `json:"id"`
+	SpecHash string                `json:"spec_hash"`
+	Spec     runner.ExperimentSpec `json:"spec"`
+	Status   Status                `json:"status"`
+	Cached   bool                  `json:"cached"`
+	Step     int64                 `json:"step"`
+	Total    int64                 `json:"total"`
+	Error    string                `json:"error,omitempty"`
+}
+
+// Snapshot captures the job's current state.
+func (j *Job) Snapshot() View {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return View{
+		ID:       j.ID,
+		SpecHash: j.SpecHash,
+		Spec:     j.Spec,
+		Status:   j.status,
+		Cached:   j.cached,
+		Step:     j.step.Load(),
+		Total:    j.total.Load(),
+		Error:    j.errMsg,
+	}
+}
+
+// Done is closed when the job reaches a terminal state.
+func (j *Job) Done() <-chan struct{} { return j.done }
+
+// Result returns the serialized result payload once the job is done.
+// The bytes are the exact cache payload: byte-identical for every
+// submission of the same spec.
+func (j *Job) Result() ([]byte, bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.result, j.status == StatusDone
+}
+
+func (j *Job) progress(step, totalSteps int) {
+	j.step.Store(int64(step))
+	j.total.Store(int64(totalSteps))
+}
+
+func (j *Job) setStatus(st Status) {
+	j.mu.Lock()
+	j.status = st
+	j.mu.Unlock()
+}
+
+func (j *Job) finish(st Status, result []byte, errMsg string) {
+	j.mu.Lock()
+	j.status = st
+	j.result = result
+	j.errMsg = errMsg
+	j.mu.Unlock()
+	j.doneOne.Do(func() { close(j.done) })
+}
+
+// RunFunc executes a normalized spec with the given solver lane budget and
+// progress sink, returning the serialized result. Swapped out in tests.
+type RunFunc func(ctx context.Context, spec runner.ExperimentSpec, lanes int, progress func(step, total int)) ([]byte, error)
+
+// DefaultRun executes the spec through the runner and serializes its
+// result as canonical JSON — the payload the cache stores and the API
+// serves.
+func DefaultRun(ctx context.Context, spec runner.ExperimentSpec, lanes int, progress func(step, total int)) ([]byte, error) {
+	res, err := runner.Run(ctx, spec, runner.RunOpts{Workers: lanes, Progress: progress})
+	if err != nil {
+		return nil, err
+	}
+	return json.Marshal(res)
+}
+
+// Config sizes a Scheduler.
+type Config struct {
+	// Workers is the number of jobs executing concurrently (default 2).
+	Workers int
+	// QueueDepth bounds the pending-job queue (default 64).
+	QueueDepth int
+	// Lanes is the machine's total parallel-lane budget divided among the
+	// workers (default GOMAXPROCS).
+	Lanes int
+	// Cache, when non-nil, answers repeat submissions and stores results.
+	Cache *cache.Cache
+	// Run executes one job (default DefaultRun).
+	Run RunFunc
+}
+
+// Stats counts scheduler traffic for /v1/cache/stats.
+type Stats struct {
+	Submitted     uint64 `json:"submitted"`
+	DedupHits     uint64 `json:"dedup_hits"`
+	CacheHits     uint64 `json:"cache_hits"`
+	Executed      uint64 `json:"executed"`
+	Failed        uint64 `json:"failed"`
+	QueueRejected uint64 `json:"queue_rejected"`
+	QueueDepth    int    `json:"queue_depth"`
+	Workers       int    `json:"workers"`
+}
+
+// Scheduler admits, deduplicates and executes jobs.
+type Scheduler struct {
+	cfg   Config
+	lanes int
+	queue chan *Job
+
+	mu       sync.Mutex
+	jobs     map[string]*Job // by job ID
+	order    []string        // job IDs in admission order
+	inflight map[string]*Job // spec hash → queued-or-running job
+	nextID   uint64
+
+	submitted, dedupHits, cacheHits uint64
+	executed, failed, rejected      uint64
+
+	wg sync.WaitGroup
+}
+
+// New builds a scheduler; call Start to begin executing.
+func New(cfg Config) *Scheduler {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Run == nil {
+		cfg.Run = DefaultRun
+	}
+	lanes := cfg.Lanes / cfg.Workers
+	if lanes < 1 {
+		lanes = 1
+	}
+	return &Scheduler{
+		cfg:      cfg,
+		lanes:    lanes,
+		queue:    make(chan *Job, cfg.QueueDepth),
+		jobs:     make(map[string]*Job),
+		inflight: make(map[string]*Job),
+	}
+}
+
+// Start launches the worker goroutines; they exit when ctx is cancelled
+// (cancelling any running solver between steps). Wait blocks until they
+// have drained.
+func (s *Scheduler) Start(ctx context.Context) {
+	for w := 0; w < s.cfg.Workers; w++ {
+		s.wg.Add(1)
+		go s.worker(ctx)
+	}
+}
+
+// Wait blocks until every worker has exited (after ctx cancellation),
+// then fails any jobs still queued so their waiters unblock.
+func (s *Scheduler) Wait() {
+	s.wg.Wait()
+	for {
+		select {
+		case job := <-s.queue:
+			s.mu.Lock()
+			delete(s.inflight, job.SpecHash)
+			s.failed++
+			s.mu.Unlock()
+			job.finish(StatusFailed, nil, "scheduler shut down before execution")
+		default:
+			return
+		}
+	}
+}
+
+func (s *Scheduler) worker(ctx context.Context) {
+	defer s.wg.Done()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case job := <-s.queue:
+			s.execute(ctx, job)
+		}
+	}
+}
+
+func (s *Scheduler) execute(ctx context.Context, job *Job) {
+	job.setStatus(StatusRunning)
+	payload, err := s.cfg.Run(ctx, job.Spec, s.lanes, job.progress)
+
+	s.mu.Lock()
+	delete(s.inflight, job.SpecHash)
+	if err != nil {
+		s.failed++
+	} else {
+		s.executed++
+	}
+	s.mu.Unlock()
+
+	if err != nil {
+		job.finish(StatusFailed, nil, err.Error())
+		return
+	}
+	if s.cfg.Cache != nil {
+		// A put failure only costs a future recompute; the job still
+		// completes (the cache's error counter records it).
+		_ = s.cfg.Cache.Put(job.SpecHash, payload)
+	}
+	job.finish(StatusDone, payload, "")
+}
+
+// Submit admits a spec. The returned job may be (a) an existing in-flight
+// job for the same spec hash (singleflight dedup — its ID is the earlier
+// submission's), (b) a new already-done job answered from the cache, or
+// (c) a new queued job. ErrQueueFull reports an over-full queue.
+func (s *Scheduler) Submit(spec runner.ExperimentSpec) (*Job, error) {
+	n, err := spec.Normalized()
+	if err != nil {
+		return nil, err
+	}
+	hash, err := n.Hash()
+	if err != nil {
+		return nil, err
+	}
+
+	s.mu.Lock()
+	s.submitted++
+	if j, ok := s.inflight[hash]; ok {
+		s.dedupHits++
+		s.mu.Unlock()
+		return j, nil
+	}
+	s.mu.Unlock()
+
+	// Cache probe outside the lock (disk I/O). A concurrent duplicate may
+	// race to enqueue first; the re-check under the lock below collapses
+	// the race back onto one execution.
+	if s.cfg.Cache != nil {
+		if payload, ok := s.cfg.Cache.Get(hash); ok {
+			s.mu.Lock()
+			s.cacheHits++
+			job := s.newJobLocked(n, hash)
+			job.cached = true
+			s.mu.Unlock()
+			job.finish(StatusDone, payload, "")
+			return job, nil
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if j, ok := s.inflight[hash]; ok {
+		s.dedupHits++
+		return j, nil
+	}
+	job := s.newJobLocked(n, hash)
+	job.status = StatusQueued
+	select {
+	case s.queue <- job:
+	default:
+		s.rejected++
+		delete(s.jobs, job.ID)
+		s.order = s.order[:len(s.order)-1]
+		return nil, ErrQueueFull
+	}
+	s.inflight[hash] = job
+	return job, nil
+}
+
+// newJobLocked registers a new job; caller holds s.mu.
+func (s *Scheduler) newJobLocked(spec runner.ExperimentSpec, hash string) *Job {
+	s.nextID++
+	job := &Job{
+		ID:       fmt.Sprintf("job-%06d", s.nextID),
+		SpecHash: hash,
+		Spec:     spec,
+		status:   StatusDone, // overwritten by callers that queue
+		done:     make(chan struct{}),
+	}
+	s.jobs[job.ID] = job
+	s.order = append(s.order, job.ID)
+	return job
+}
+
+// Job looks a job up by ID.
+func (s *Scheduler) Job(id string) (*Job, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	return j, ok
+}
+
+// Jobs snapshots every admitted job in admission order.
+func (s *Scheduler) Jobs() []View {
+	s.mu.Lock()
+	ids := append([]string(nil), s.order...)
+	jobs := make([]*Job, 0, len(ids))
+	for _, id := range ids {
+		jobs = append(jobs, s.jobs[id])
+	}
+	s.mu.Unlock()
+	views := make([]View, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.Snapshot()
+	}
+	return views
+}
+
+// Stats snapshots scheduler traffic.
+func (s *Scheduler) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Stats{
+		Submitted:     s.submitted,
+		DedupHits:     s.dedupHits,
+		CacheHits:     s.cacheHits,
+		Executed:      s.executed,
+		Failed:        s.failed,
+		QueueRejected: s.rejected,
+		QueueDepth:    len(s.queue),
+		Workers:       s.cfg.Workers,
+	}
+}

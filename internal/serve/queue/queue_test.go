@@ -1,0 +1,261 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/serve/cache"
+)
+
+func testSpec(steps int) runner.ExperimentSpec {
+	return runner.ExperimentSpec{
+		App: runner.AppCLAMR, Mode: "full", Steps: steps,
+		NX: 16, NY: 16, MaxLevel: 1, AMRInterval: 5,
+	}
+}
+
+// fakeRun builds a RunFunc that blocks until released, counting executions.
+type fakeRun struct {
+	executions atomic.Int64
+	release    chan struct{}
+}
+
+func newFakeRun() *fakeRun {
+	return &fakeRun{release: make(chan struct{})}
+}
+
+func (f *fakeRun) fn(ctx context.Context, spec runner.ExperimentSpec, lanes int, progress func(int, int)) ([]byte, error) {
+	f.executions.Add(1)
+	if progress != nil {
+		progress(1, spec.Steps)
+	}
+	select {
+	case <-f.release:
+	case <-ctx.Done():
+		return nil, ctx.Err()
+	}
+	h, _ := spec.Hash()
+	return []byte(fmt.Sprintf(`{"spec_hash":%q}`, h)), nil
+}
+
+func waitDone(t *testing.T, j *Job) {
+	t.Helper()
+	select {
+	case <-j.Done():
+	case <-time.After(10 * time.Second):
+		t.Fatalf("job %s did not finish: %+v", j.ID, j.Snapshot())
+	}
+}
+
+func TestSingleflightDedup(t *testing.T) {
+	fake := newFakeRun()
+	s := New(Config{Workers: 2, Run: fake.fn})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	spec := testSpec(10)
+	first, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Concurrent duplicate submissions (alias spelling included) collapse
+	// onto the same in-flight job.
+	alias := spec
+	alias.Mode = "double"
+	var dups []*Job
+	for i := 0; i < 5; i++ {
+		j, err := s.Submit(alias)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dups = append(dups, j)
+	}
+	for _, j := range dups {
+		if j != first {
+			t.Fatalf("duplicate submission got job %s, want %s", j.ID, first.ID)
+		}
+	}
+	close(fake.release)
+	waitDone(t, first)
+	if got := fake.executions.Load(); got != 1 {
+		t.Errorf("spec executed %d times, want 1", got)
+	}
+	if st := s.Stats(); st.DedupHits != 5 || st.Executed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestCacheHitSkipsExecution(t *testing.T) {
+	c, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	fake := newFakeRun()
+	close(fake.release) // run immediately
+	s := New(Config{Workers: 1, Cache: c, Run: fake.fn})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	spec := testSpec(10)
+	first, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, first)
+	firstBytes, ok := first.Result()
+	if !ok {
+		t.Fatal("first job has no result")
+	}
+
+	second, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, second)
+	if !second.Snapshot().Cached {
+		t.Error("second submission not served from cache")
+	}
+	secondBytes, _ := second.Result()
+	if string(firstBytes) != string(secondBytes) {
+		t.Errorf("cached result differs: %q vs %q", firstBytes, secondBytes)
+	}
+	if got := fake.executions.Load(); got != 1 {
+		t.Errorf("executed %d times, want 1", got)
+	}
+	if st := s.Stats(); st.CacheHits != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestQueueBound(t *testing.T) {
+	fake := newFakeRun() // never released: worker stays busy
+	s := New(Config{Workers: 1, QueueDepth: 2, Run: fake.fn})
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+
+	// First job occupies the worker (wait until it is picked up so the
+	// queue depth is deterministic), then two more fill the queue.
+	var jobs []*Job
+	j, err := s.Submit(testSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jobs = append(jobs, j)
+	deadline := time.Now().Add(5 * time.Second)
+	for fake.executions.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	for i := 1; i < 3; i++ {
+		j, err := s.Submit(testSpec(10 + i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		jobs = append(jobs, j)
+	}
+	if _, err := s.Submit(testSpec(99)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-full submit returned %v, want ErrQueueFull", err)
+	}
+	if st := s.Stats(); st.QueueRejected != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+
+	// Shutdown fails the queued-but-unstarted jobs and unblocks waiters.
+	cancel()
+	s.Wait()
+	for _, j := range jobs[1:] {
+		waitDone(t, j)
+		if v := j.Snapshot(); v.Status != StatusFailed {
+			t.Errorf("queued job %s after shutdown: %+v", j.ID, v)
+		}
+	}
+}
+
+func TestInvalidSpecRejected(t *testing.T) {
+	s := New(Config{})
+	if _, err := s.Submit(runner.ExperimentSpec{App: "nope", Mode: "full", Steps: 1}); err == nil {
+		t.Fatal("invalid spec admitted")
+	}
+}
+
+func TestConcurrentDistinctSubmissions(t *testing.T) {
+	fake := newFakeRun()
+	close(fake.release)
+	s := New(Config{Workers: 4, QueueDepth: 32, Run: fake.fn})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	const n = 8
+	var wg sync.WaitGroup
+	jobs := make([]*Job, n)
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			j, err := s.Submit(testSpec(10 + i))
+			if err != nil {
+				t.Error(err)
+				return
+			}
+			jobs[i] = j
+		}(i)
+	}
+	wg.Wait()
+	for _, j := range jobs {
+		if j == nil {
+			t.Fatal("missing job")
+		}
+		waitDone(t, j)
+		if v := j.Snapshot(); v.Status != StatusDone {
+			t.Errorf("job %s: %+v", j.ID, v)
+		}
+	}
+	if got := fake.executions.Load(); got != n {
+		t.Errorf("executed %d, want %d", got, n)
+	}
+	// Distinct specs → distinct jobs with distinct hashes.
+	seen := map[string]bool{}
+	for _, j := range jobs {
+		if seen[j.SpecHash] {
+			t.Errorf("hash collision between distinct specs: %s", j.SpecHash)
+		}
+		seen[j.SpecHash] = true
+	}
+}
+
+func TestProgressVisibleWhileRunning(t *testing.T) {
+	fake := newFakeRun()
+	s := New(Config{Workers: 1, Run: fake.fn})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	j, err := s.Submit(testSpec(40))
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		v := j.Snapshot()
+		if v.Status == StatusRunning && v.Step == 1 && v.Total == 40 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("progress never surfaced: %+v", v)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(fake.release)
+	waitDone(t, j)
+}

@@ -1,0 +1,55 @@
+#!/usr/bin/env bash
+# Smoke test for the experiment service: build precisiond and
+# precision-client, start the daemon on a free port with a fresh cache,
+# submit the same small CLAMR job twice, and assert the second submission is
+# served from the cache without recompute.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+
+work=$(mktemp -d)
+daemon_pid=""
+cleanup() {
+    [ -n "$daemon_pid" ] && kill "$daemon_pid" 2>/dev/null || true
+    [ -n "$daemon_pid" ] && wait "$daemon_pid" 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+$GO build -o "$work/precisiond" ./cmd/precisiond
+$GO build -o "$work/precision-client" ./cmd/precision-client
+
+"$work/precisiond" -addr 127.0.0.1:0 -cache "$work/cache" >"$work/daemon.log" 2>&1 &
+daemon_pid=$!
+
+# The daemon prints "listening on <host:port>" once the socket is open.
+addr=""
+for _ in $(seq 1 50); do
+    addr=$(sed -n 's/^listening on //p' "$work/daemon.log")
+    [ -n "$addr" ] && break
+    kill -0 "$daemon_pid" 2>/dev/null || { cat "$work/daemon.log"; echo "FAIL: daemon died" >&2; exit 1; }
+    sleep 0.1
+done
+[ -n "$addr" ] || { cat "$work/daemon.log"; echo "FAIL: daemon never announced its address" >&2; exit 1; }
+
+cat >"$work/spec.json" <<'EOF'
+{"app": "clamr", "mode": "full", "steps": 5, "nx": 16, "ny": 16, "max_level": 1, "amr_interval": 5}
+EOF
+
+"$work/precision-client" -addr "http://$addr" -spec "$work/spec.json" | tee "$work/first.out"
+grep -q 'cached=false' "$work/first.out" || { echo "FAIL: first submission unexpectedly cached" >&2; exit 1; }
+
+"$work/precision-client" -addr "http://$addr" -spec "$work/spec.json" | tee "$work/second.out"
+grep -q 'cached=true' "$work/second.out" || { echo "FAIL: second submission not served from cache" >&2; exit 1; }
+
+# Byte-identical result payloads across both submissions.
+"$work/precision-client" -addr "http://$addr" -spec "$work/spec.json" -json >"$work/third.json"
+"$work/precision-client" -addr "http://$addr" -spec "$work/spec.json" -json >"$work/fourth.json"
+cmp "$work/third.json" "$work/fourth.json" || { echo "FAIL: cached payload not byte-identical" >&2; exit 1; }
+
+# The stats endpoint must agree: one execution, the rest cache hits.
+stats=$(curl -sf "http://$addr/v1/cache/stats" 2>/dev/null) || stats=$(wget -qO- "http://$addr/v1/cache/stats")
+echo "$stats" | grep -q '"executed":1,' || { echo "FAIL: stats report recompute: $stats" >&2; exit 1; }
+
+echo "serve-smoke OK ($addr, stats: $stats)"

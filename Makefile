@@ -3,12 +3,14 @@
 # runtime, both mini-app step loops (the packages that dispatch on the
 # worker pool) and the experiment service. `make serve-smoke` exercises the
 # precisiond daemon end to end: submit a job twice, assert the second is a
-# cache hit. `make bench-par` regenerates the committed pool-vs-spawn
-# dispatch numbers in results/.
+# cache hit. `make chaos-smoke` SIGKILLs a fault-injected daemon mid-sweep
+# and asserts the recovered sweep is bit-identical (DESIGN.md §7).
+# `make bench-par` regenerates the committed pool-vs-spawn dispatch numbers
+# in results/.
 
 GO ?= go
 
-.PHONY: build test vet verify race serve-smoke bench-par bench-step
+.PHONY: build test vet verify race serve-smoke chaos-smoke bench-par bench-step
 
 build:
 	$(GO) build ./...
@@ -26,6 +28,9 @@ race:
 
 serve-smoke:
 	GO="$(GO)" ./scripts/serve_smoke.sh
+
+chaos-smoke:
+	GO="$(GO)" ./scripts/chaos_smoke.sh
 
 bench-par:
 	$(GO) test ./internal/par/ -run '^$$' -bench BenchmarkParDispatch -benchmem | tee results/par_pool_bench.txt

@@ -7,9 +7,13 @@
 //	echo '{"app":"clamr",...}' | precision-client -spec -
 //	precision-client -sweep quick               # replay the full paper sweep
 //	precision-client -sweep quick -json         # raw result payloads
+//	precision-client -sweep quick -retry 10     # ride out daemon restarts
 //
 // Each completed job prints one summary line; cached=true marks results the
 // daemon served from its content-addressed cache without recomputing.
+// With -retry N, connection failures and 5xx responses (a restarting or
+// briefly degraded daemon) are retried up to N times with linear backoff —
+// the knob chaos tests lean on.
 package main
 
 import (
@@ -21,6 +25,7 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"time"
 
 	"repro"
 	"repro/internal/runner"
@@ -36,6 +41,7 @@ func main() {
 		specPath = flag.String("spec", "", "experiment spec JSON file ('-' for stdin)")
 		sweep    = flag.String("sweep", "", "submit the full paper sweep at this scale (quick|standard|paper)")
 		raw      = flag.Bool("json", false, "print raw result payloads instead of summary lines")
+		retries  = flag.Int("retry", 0, "retry connection failures and 5xx responses this many times")
 	)
 	flag.Parse()
 
@@ -63,7 +69,7 @@ func main() {
 	// server-side — then collect results in submission order.
 	views := make([]queue.View, len(specs))
 	for i, spec := range specs {
-		v, err := submit(*addr, spec)
+		v, err := submit(*addr, spec, *retries)
 		if err != nil {
 			log.Fatalf("submit %s/%s: %v", spec.App, spec.Mode, err)
 		}
@@ -71,7 +77,7 @@ func main() {
 	}
 	failed := 0
 	for _, v := range views {
-		payload, err := fetchResult(*addr, v.ID)
+		payload, err := fetchResult(*addr, v.ID, *retries)
 		if err != nil {
 			failed++
 			fmt.Printf("%s  %s/%s  FAILED: %v\n", v.ID, v.Spec.App, v.Spec.Mode, err)
@@ -113,42 +119,62 @@ func readSpec(path string) (runner.ExperimentSpec, error) {
 	return spec, nil
 }
 
-func submit(addr string, spec runner.ExperimentSpec) (queue.View, error) {
+// withRetry runs fn up to 1+retries times, retrying connection errors and
+// 5xx responses (retryable=true) with linear backoff. A 4xx is final —
+// resubmitting a bad spec cannot fix it.
+func withRetry(retries int, fn func() (retryable bool, err error)) error {
+	var err error
+	for attempt := 0; ; attempt++ {
+		var retryable bool
+		retryable, err = fn()
+		if err == nil || !retryable || attempt >= retries {
+			return err
+		}
+		time.Sleep(time.Duration(attempt+1) * 200 * time.Millisecond)
+	}
+}
+
+func submit(addr string, spec runner.ExperimentSpec, retries int) (queue.View, error) {
 	body, err := json.Marshal(spec)
 	if err != nil {
 		return queue.View{}, err
 	}
-	resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
-	if err != nil {
-		return queue.View{}, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return queue.View{}, err
-	}
-	if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
-		return queue.View{}, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
-	}
 	var v queue.View
-	if err := json.Unmarshal(data, &v); err != nil {
-		return queue.View{}, err
-	}
-	return v, nil
+	err = withRetry(retries, func() (bool, error) {
+		resp, err := http.Post(addr+"/v1/jobs", "application/json", bytes.NewReader(body))
+		if err != nil {
+			return true, err // connection error: daemon may be restarting
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return true, err
+		}
+		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return resp.StatusCode >= 500, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		}
+		return false, json.Unmarshal(data, &v)
+	})
+	return v, err
 }
 
-func fetchResult(addr, id string) ([]byte, error) {
-	resp, err := http.Get(addr + "/v1/jobs/" + id + "/result")
-	if err != nil {
-		return nil, err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return nil, err
-	}
-	if resp.StatusCode != http.StatusOK {
-		return nil, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
-	}
-	return data, nil
+func fetchResult(addr, id string, retries int) ([]byte, error) {
+	var payload []byte
+	err := withRetry(retries, func() (bool, error) {
+		resp, err := http.Get(addr + "/v1/jobs/" + id + "/result")
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return true, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode >= 500, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		}
+		payload = data
+		return false, nil
+	})
+	return payload, err
 }

@@ -9,11 +9,25 @@
 //	precisiond -addr :0                 # any free port (printed on stdout)
 //	precisiond -cache /var/tmp/pcache   # persistent cache location
 //	precisiond -workers 4 -queue-depth 128
+//	precisiond -journal /var/tmp/precisiond.journal \
+//	           -ckpt-dir /var/tmp/pckpt -ckpt-every 25
+//
+// With -journal, every accepted job is write-ahead journaled before it is
+// acknowledged; after a crash (even SIGKILL) the daemon replays unfinished
+// jobs on startup, resuming started ones from their latest periodic
+// checkpoint when -ckpt-dir is set. -job-timeout bounds each execution
+// attempt; jobs whose precision rung trips a numerical guard are retried
+// one rung up automatically (DESIGN.md §7).
+//
+// Fault injection for chaos testing is armed via -faults or the
+// PRECISIOND_FAULTS environment variable, e.g.
+// 'cache.put=p:0.1,journal.sync=n:3' (see internal/fault).
 //
 // The daemon prints "listening on <host:port>" once the socket is open and
 // shuts down gracefully on SIGINT/SIGTERM: in-flight jobs are cancelled
-// between solver steps, queued jobs are failed so waiting clients unblock,
-// and the cache (atomic writes only) is left consistent.
+// between solver steps, queued jobs are failed so waiting clients unblock
+// (journaled jobs are replayed on the next start), and the cache (atomic
+// writes only) is left consistent.
 package main
 
 import (
@@ -29,6 +43,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/serve/api"
 	"repro/internal/serve/cache"
 	"repro/internal/serve/queue"
@@ -39,28 +54,75 @@ func main() {
 	log.SetPrefix("precisiond: ")
 
 	var (
-		addr       = flag.String("addr", "127.0.0.1:7717", "listen address (use :0 for any free port)")
-		cacheDir   = flag.String("cache", "precision-cache", "result cache directory (created if needed)")
-		workers    = flag.Int("workers", 2, "jobs executing concurrently")
-		queueDepth = flag.Int("queue-depth", 64, "pending-job queue bound")
-		lanes      = flag.Int("lanes", runtime.GOMAXPROCS(0), "total solver lanes divided among workers")
+		addr        = flag.String("addr", "127.0.0.1:7717", "listen address (use :0 for any free port)")
+		cacheDir    = flag.String("cache", "precision-cache", "result cache directory (created if needed)")
+		workers     = flag.Int("workers", 2, "jobs executing concurrently")
+		queueDepth  = flag.Int("queue-depth", 64, "pending-job queue bound")
+		lanes       = flag.Int("lanes", runtime.GOMAXPROCS(0), "total solver lanes divided among workers")
+		journalPath = flag.String("journal", "", "write-ahead job journal file (empty = no crash durability)")
+		ckptDir     = flag.String("ckpt-dir", "", "periodic mid-run checkpoint directory (empty = resume from scratch)")
+		ckptEvery   = flag.Int("ckpt-every", 25, "solver steps between periodic checkpoints (with -ckpt-dir)")
+		jobTimeout  = flag.Duration("job-timeout", 0, "per-attempt deadline for every job (0 = none; clients may set ?timeout=)")
+		grace       = flag.Duration("grace", 2*time.Second, "how long a cancelled run may linger before its lane is reclaimed")
+		faults      = flag.String("faults", "", "arm fault-injection points, e.g. 'cache.put=p:0.1,journal.sync=n:3'")
 	)
 	flag.Parse()
+
+	if *faults != "" {
+		if err := fault.Arm(*faults); err != nil {
+			log.Fatal(err)
+		}
+	} else if err := fault.ArmFromEnv(); err != nil {
+		log.Fatal(err)
+	}
+	if fault.Enabled() {
+		src := *faults
+		if src == "" {
+			src = "$" + fault.EnvFaults
+		}
+		log.Printf("fault injection ARMED: %s", src)
+	}
 
 	c, err := cache.Open(*cacheDir)
 	if err != nil {
 		log.Fatal(err)
 	}
+	var journal *queue.Journal
+	if *journalPath != "" {
+		journal, err = queue.OpenJournal(*journalPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer journal.Close()
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
-	sched := queue.New(queue.Config{
-		Workers:    *workers,
-		QueueDepth: *queueDepth,
-		Lanes:      *lanes,
-		Cache:      c,
-	})
+	cfg := queue.Config{
+		Workers:      *workers,
+		QueueDepth:   *queueDepth,
+		Lanes:        *lanes,
+		Cache:        c,
+		Journal:      journal,
+		JobTimeout:   *jobTimeout,
+		AbandonGrace: *grace,
+	}
+	if *ckptDir != "" {
+		cfg.CheckpointDir = *ckptDir
+		cfg.CheckpointEvery = *ckptEvery
+	}
+	sched := queue.New(cfg)
+	if journal != nil {
+		requeued, healed, err := sched.Recover()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if requeued > 0 || healed > 0 {
+			log.Printf("recovered %d jobs from %s (%d re-queued, %d healed from cache)",
+				requeued+healed, *journalPath, requeued, healed)
+		}
+	}
 	sched.Start(ctx)
 
 	ln, err := net.Listen("tcp", *addr)
@@ -90,4 +152,9 @@ func main() {
 		log.Printf("serve: %v", err)
 	}
 	sched.Wait()
+	if fault.Enabled() {
+		for _, fc := range fault.Counts() {
+			log.Printf("fault %s: tripped %d of %d evaluations", fc.Name, fc.Trips, fc.Hits)
+		}
+	}
 }

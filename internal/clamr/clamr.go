@@ -367,12 +367,53 @@ func (s *Solver[S, C]) MassError() float64 {
 	return s.massDrift
 }
 
+// massTol is the conservation-drift sentinel threshold at storage width.
+// These are blow-up detectors, not precision audits: orders of magnitude
+// above healthy drift at each width, so a legitimate reduced-precision run
+// never trips them while a diverging one does within a guard interval.
+func (s *Solver[S, C]) massTol() float64 {
+	if unsafeSizeofS[S]() == 4 {
+		return 1e-2
+	}
+	return 1e-6
+}
+
+// CheckHealth is the step loop's numerical sentinel: every state value must
+// be finite and total mass must remain within the storage precision's drift
+// tolerance. Failures wrap precision.ErrNumericalFailure so the serving
+// layer can escalate the precision mode instead of retrying blindly. Cost
+// is one pass over the state arrays plus a reproducible mass sum, so it is
+// meant to run every few steps, not every step.
+func (s *Solver[S, C]) CheckHealth() error {
+	return s.checkHealthTol(s.massTol())
+}
+
+func (s *Solver[S, C]) checkHealthTol(massTol float64) error {
+	for i := range s.h {
+		h, hu, hv := float64(s.h[i]), float64(s.hu[i]), float64(s.hv[i])
+		if !isFinite(h) || !isFinite(hu) || !isFinite(hv) {
+			return fmt.Errorf("clamr: step %d: non-finite state at cell %d (h=%g hu=%g hv=%g): %w",
+				s.step, i, h, hu, hv, precision.ErrNumericalFailure)
+		}
+	}
+	if drift := s.MassError(); drift > massTol {
+		return fmt.Errorf("clamr: step %d: mass drift %.3g exceeds tolerance %.3g: %w",
+			s.step, drift, massTol, precision.ErrNumericalFailure)
+	}
+	return nil
+}
+
+func isFinite(x float64) bool {
+	return !math.IsNaN(x) && !math.IsInf(x, 0)
+}
+
 // Step advances one timestep: dt from the CFL condition, the finite
 // difference sweep, and (on schedule) mesh adaptation.
 func (s *Solver[S, C]) Step() error {
 	dt := s.computeDT()
 	if !(dt > 0) || math.IsInf(dt, 0) {
-		return fmt.Errorf("clamr: step %d: non-positive or non-finite dt %g (state blew up?)", s.step, dt)
+		return fmt.Errorf("clamr: step %d: non-positive or non-finite dt %g (state blew up?): %w",
+			s.step, dt, precision.ErrNumericalFailure)
 	}
 	startFD := time.Now()
 	switch s.cfg.Kernel {

@@ -26,6 +26,9 @@ type Runner interface {
 	HeightF64() []float64
 	Mass() float64
 	MassError() float64
+	// CheckHealth runs the numerical sentinels (finite state, bounded mass
+	// drift); a failure wraps precision.ErrNumericalFailure.
+	CheckHealth() error
 	// Counters, Timer and StateBytes expose instrumentation.
 	Counters() metrics.Counters
 	Timer() *metrics.Timer
@@ -99,6 +102,13 @@ func (h *halfRunner) Run(n int) error {
 		}
 	}
 	return nil
+}
+
+// CheckHealth loosens the mass-drift tolerance to binary16's quantization
+// scale: per-step fp16 demotion walks total mass by ~2⁻¹¹ relative per
+// step, so the float32 threshold would flag healthy half-precision runs.
+func (h *halfRunner) CheckHealth() error {
+	return h.Solver.checkHealthTol(5e-2)
 }
 
 // StateBytes reports the binary16 footprint of the state arrays (half the

@@ -20,6 +20,7 @@ import (
 	"repro/internal/analysis"
 	"repro/internal/arch"
 	"repro/internal/clamr"
+	"repro/internal/fault"
 	"repro/internal/mesh"
 	"repro/internal/metrics"
 	"repro/internal/precision"
@@ -50,8 +51,10 @@ func RunCLAMR(mode precision.Mode, cfg clamr.Config, steps, lineCutN int) (CLAMR
 
 // RunOptions extends the study runners with the execution controls the
 // experiment service needs: cancellation, per-step progress, checkpoint
-// restart and checkpoint capture. The zero value reproduces the plain
-// Run{CLAMR,SELF} behaviour exactly (same step loop, same measurables).
+// restart, checkpoint capture, periodic in-flight checkpoints and the
+// numerical-guard cadence. The zero value reproduces the plain
+// Run{CLAMR,SELF} measurables exactly (guards only ever abort diverging
+// runs; they never perturb counters or state).
 type RunOptions struct {
 	// Ctx cancels the run between steps; nil means context.Background().
 	// A cancelled run returns an error wrapping ctx.Err().
@@ -66,7 +69,28 @@ type RunOptions struct {
 	// Checkpoint, when non-nil, receives the bytes of the final-state
 	// checkpoint (the same bytes CheckpointBytes counts).
 	Checkpoint io.Writer
+	// GuardEvery runs the solver's numerical sentinels (CheckHealth: finite
+	// state, bounded mass drift / positive density) every this many steps
+	// and on the final step. 0 selects DefaultGuardEvery; negative disables
+	// the sentinels (the per-step dt/probe blow-up checks always run).
+	GuardEvery int
+	// CheckpointEvery, with CheckpointSink, writes an in-flight checkpoint
+	// every this many completed steps (never on the final step — the final
+	// checkpoint has its own path). 0 disables. The serving layer uses
+	// these so a crash-restarted job resumes mid-run instead of from
+	// scratch. Sink failures are ignored: a lost periodic checkpoint only
+	// costs restart time, never the run.
+	CheckpointEvery int
+	// CheckpointSink opens the destination for the periodic checkpoint at
+	// the given absolute step; Close commits it (atomically, if the caller
+	// cares about torn checkpoints).
+	CheckpointSink func(step int) (io.WriteCloser, error)
 }
+
+// DefaultGuardEvery is the numerical-sentinel cadence when RunOptions does
+// not choose one: cheap enough to be always-on, frequent enough that a
+// diverging or deadline-exceeded run is caught within a few steps.
+const DefaultGuardEvery = 8
 
 func (o RunOptions) ctx() context.Context {
 	if o.Ctx != nil {
@@ -75,23 +99,64 @@ func (o RunOptions) ctx() context.Context {
 	return context.Background()
 }
 
+// stepper is the step-loop surface shared by both mini-app runners.
+type stepper interface {
+	StepCount() int
+	Step() error
+	CheckHealth() error
+	WriteCheckpoint(w io.Writer) (int64, error)
+}
+
 // stepUntil advances the runner to `steps` absolute steps under the
-// options' cancellation and progress contract. Both mini-app Run(n)
-// methods are plain Step loops, so this is result-identical to them.
-func stepUntil(opts RunOptions, stepCount func() int, step func() error, steps int) error {
+// options' cancellation, guard, checkpoint and progress contract. Both
+// mini-app Run(n) methods are plain Step loops, so this is
+// result-identical to them: guards abort, they never mutate.
+func stepUntil(opts RunOptions, r stepper, steps int) error {
 	ctx := opts.ctx()
-	for stepCount() < steps {
+	guardEvery := opts.GuardEvery
+	if guardEvery == 0 {
+		guardEvery = DefaultGuardEvery
+	}
+	for r.StepCount() < steps {
 		if err := ctx.Err(); err != nil {
-			return fmt.Errorf("run cancelled at step %d/%d: %w", stepCount(), steps, err)
+			return fmt.Errorf("run cancelled at step %d/%d: %w", r.StepCount(), steps, err)
 		}
-		if err := step(); err != nil {
+		if err := r.Step(); err != nil {
 			return err
 		}
+		n := r.StepCount()
+		if guardEvery > 0 && (n%guardEvery == 0 || n == steps) {
+			if fault.Enabled() {
+				if ferr := fault.Error("runner.nan"); ferr != nil {
+					return fmt.Errorf("step %d: %w: %w", n, ferr, precision.ErrNumericalFailure)
+				}
+			}
+			if err := r.CheckHealth(); err != nil {
+				return err
+			}
+		}
+		if opts.CheckpointEvery > 0 && opts.CheckpointSink != nil && n < steps && n%opts.CheckpointEvery == 0 {
+			writePeriodicCheckpoint(opts, r, n)
+		}
 		if opts.Progress != nil {
-			opts.Progress(stepCount(), steps)
+			opts.Progress(n, steps)
 		}
 	}
 	return nil
+}
+
+// writePeriodicCheckpoint writes one in-flight checkpoint, swallowing sink
+// errors (a failed periodic checkpoint must not fail a healthy run).
+func writePeriodicCheckpoint(opts RunOptions, r stepper, step int) {
+	w, err := opts.CheckpointSink(step)
+	if err != nil || w == nil {
+		return
+	}
+	if _, err := r.WriteCheckpoint(w); err != nil {
+		w.Close()
+		return
+	}
+	w.Close()
 }
 
 // RunCLAMROpts is RunCLAMR with execution options.
@@ -111,7 +176,7 @@ func RunCLAMROpts(mode precision.Mode, cfg clamr.Config, steps, lineCutN int, op
 		return CLAMRResult{}, err
 	}
 	start := time.Now()
-	if err := stepUntil(opts, r.StepCount, r.Step, steps); err != nil {
+	if err := stepUntil(opts, r, steps); err != nil {
 		return CLAMRResult{}, err
 	}
 	wall := time.Since(start)
@@ -223,7 +288,7 @@ func RunSELFOpts(mode precision.Mode, cfg self.Config, steps, lineCutN int, opts
 		return SELFResult{}, err
 	}
 	start := time.Now()
-	if err := stepUntil(opts, r.StepCount, r.Step, steps); err != nil {
+	if err := stepUntil(opts, r, steps); err != nil {
 		return SELFResult{}, err
 	}
 	wall := time.Since(start)

@@ -1,0 +1,224 @@
+// Package fault provides named, environment-armed failure points for the
+// serving stack's fault-injection harness. A failure point is a call site —
+// "cache.put", "journal.sync", "runner.nan", "worker.stall" — that asks the
+// registry whether to fail this time. When nothing is armed (the default,
+// and the only state production code ever sees) every query is a single
+// relaxed atomic load returning false, so the points compile down to
+// effectively free guards.
+//
+// Arming happens explicitly via Arm, or from the environment:
+//
+//	PRECISIOND_FAULTS="cache.put=p:0.1,journal.sync=n:3,worker.stall=always"
+//	PRECISIOND_FAULT_SEED=7
+//
+// Triggers:
+//
+//	p:<prob>  trip independently with this probability per hit
+//	n:<k>     trip exactly once, on the k-th hit
+//	always    trip on every hit
+//	off       never trip (registers the point for Counts visibility)
+//
+// Probabilistic points draw from a seeded deterministic PRNG (per-point
+// stream derived from the seed and the point name), so a chaos run can be
+// replayed. Counts exposes per-point hit/trip counters for assertions.
+package fault
+
+import (
+	"errors"
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// ErrInjected is the sentinel every injected failure wraps; transient by
+// construction (the fault, not the operation, failed).
+var ErrInjected = errors.New("fault: injected failure")
+
+// EnvFaults and EnvSeed are the environment variables ArmFromEnv reads.
+const (
+	EnvFaults = "PRECISIOND_FAULTS"
+	EnvSeed   = "PRECISIOND_FAULT_SEED"
+)
+
+type triggerKind int
+
+const (
+	kindOff triggerKind = iota
+	kindProb
+	kindNth
+	kindAlways
+)
+
+type point struct {
+	kind triggerKind
+	p    float64
+	n    uint64 // kindNth: trip on exactly this hit count
+	rng  *rand.Rand
+
+	hits  uint64
+	trips uint64
+}
+
+var (
+	armed atomic.Bool // fast-path gate: false ⇒ Hit is a single load
+	mu    sync.Mutex
+	reg   map[string]*point
+	seed  int64 = 1
+)
+
+// Arm parses a fault spec ("name=trigger,name=trigger,…") and replaces the
+// current registry with it. An empty spec disarms everything.
+func Arm(spec string) error {
+	pts := map[string]*point{}
+	for _, field := range strings.Split(spec, ",") {
+		field = strings.TrimSpace(field)
+		if field == "" {
+			continue
+		}
+		name, trig, ok := strings.Cut(field, "=")
+		name = strings.TrimSpace(name)
+		if !ok || name == "" {
+			return fmt.Errorf("fault: bad spec entry %q (want name=trigger)", field)
+		}
+		pt, err := parseTrigger(strings.TrimSpace(trig))
+		if err != nil {
+			return fmt.Errorf("fault: point %q: %w", name, err)
+		}
+		pts[name] = pt
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	for name, pt := range pts {
+		pt.rng = rand.New(rand.NewSource(seed ^ int64(nameHash(name))))
+	}
+	reg = pts
+	armed.Store(len(pts) > 0)
+	return nil
+}
+
+// SetSeed fixes the PRNG seed for subsequently armed probabilistic points.
+func SetSeed(s int64) {
+	mu.Lock()
+	seed = s
+	mu.Unlock()
+}
+
+// ArmFromEnv arms from PRECISIOND_FAULTS (a no-op when unset), seeding from
+// PRECISIOND_FAULT_SEED when present.
+func ArmFromEnv() error {
+	if s, ok := os.LookupEnv(EnvSeed); ok {
+		v, err := strconv.ParseInt(s, 10, 64)
+		if err != nil {
+			return fmt.Errorf("fault: %s: %w", EnvSeed, err)
+		}
+		SetSeed(v)
+	}
+	spec, ok := os.LookupEnv(EnvFaults)
+	if !ok {
+		return nil
+	}
+	return Arm(spec)
+}
+
+// Disarm removes every failure point.
+func Disarm() {
+	mu.Lock()
+	reg = nil
+	armed.Store(false)
+	mu.Unlock()
+}
+
+// Enabled reports whether any point is armed — the cheap pre-check callers
+// on hot paths can use to skip building error context.
+func Enabled() bool { return armed.Load() }
+
+func parseTrigger(s string) (*point, error) {
+	switch {
+	case s == "always":
+		return &point{kind: kindAlways}, nil
+	case s == "off":
+		return &point{kind: kindOff}, nil
+	case strings.HasPrefix(s, "p:"):
+		p, err := strconv.ParseFloat(s[2:], 64)
+		if err != nil || p < 0 || p > 1 {
+			return nil, fmt.Errorf("bad probability %q", s)
+		}
+		return &point{kind: kindProb, p: p}, nil
+	case strings.HasPrefix(s, "n:"):
+		n, err := strconv.ParseUint(s[2:], 10, 64)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("bad hit count %q", s)
+		}
+		return &point{kind: kindNth, n: n}, nil
+	default:
+		return nil, fmt.Errorf("unknown trigger %q (want p:<prob>, n:<k>, always or off)", s)
+	}
+}
+
+func nameHash(name string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(name))
+	return h.Sum64()
+}
+
+// Hit reports whether the named failure point trips on this call. Unarmed
+// (or unknown) points never trip and cost one atomic load.
+func Hit(name string) bool {
+	if !armed.Load() {
+		return false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	pt, ok := reg[name]
+	if !ok {
+		return false
+	}
+	pt.hits++
+	trip := false
+	switch pt.kind {
+	case kindAlways:
+		trip = true
+	case kindProb:
+		trip = pt.rng.Float64() < pt.p
+	case kindNth:
+		trip = pt.hits == pt.n
+	}
+	if trip {
+		pt.trips++
+	}
+	return trip
+}
+
+// Error returns an ErrInjected-wrapping error when the named point trips,
+// nil otherwise — the one-liner form for error-returning call sites.
+func Error(name string) error {
+	if !Hit(name) {
+		return nil
+	}
+	return fmt.Errorf("%w at %s", ErrInjected, name)
+}
+
+// Count is one point's traffic.
+type Count struct {
+	Name  string `json:"name"`
+	Hits  uint64 `json:"hits"`
+	Trips uint64 `json:"trips"`
+}
+
+// Counts snapshots every armed point's hit/trip counters, sorted by name.
+func Counts() []Count {
+	mu.Lock()
+	defer mu.Unlock()
+	out := make([]Count, 0, len(reg))
+	for name, pt := range reg {
+		out = append(out, Count{Name: name, Hits: pt.hits, Trips: pt.trips})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

@@ -1,0 +1,101 @@
+package fault
+
+import (
+	"errors"
+	"testing"
+)
+
+func TestUnarmedNeverTrips(t *testing.T) {
+	Disarm()
+	for i := 0; i < 100; i++ {
+		if Hit("cache.put") {
+			t.Fatal("unarmed point tripped")
+		}
+	}
+	if Enabled() {
+		t.Error("Enabled() true while disarmed")
+	}
+	if err := Error("anything"); err != nil {
+		t.Errorf("Error() = %v while disarmed", err)
+	}
+}
+
+func TestNthHitTripsExactlyOnce(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("journal.sync=n:3"); err != nil {
+		t.Fatal(err)
+	}
+	trips := 0
+	for i := 1; i <= 10; i++ {
+		if Hit("journal.sync") {
+			trips++
+			if i != 3 {
+				t.Errorf("tripped on hit %d, want 3", i)
+			}
+		}
+	}
+	if trips != 1 {
+		t.Errorf("tripped %d times, want exactly 1", trips)
+	}
+	cs := Counts()
+	if len(cs) != 1 || cs[0].Hits != 10 || cs[0].Trips != 1 {
+		t.Errorf("Counts() = %+v", cs)
+	}
+}
+
+func TestAlwaysAndOff(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("a=always,b=off"); err != nil {
+		t.Fatal(err)
+	}
+	if !Hit("a") || Hit("b") {
+		t.Error("always/off triggers misbehaved")
+	}
+	if err := Error("a"); !errors.Is(err, ErrInjected) {
+		t.Errorf("Error() = %v, want ErrInjected wrap", err)
+	}
+}
+
+func TestProbabilisticIsSeededAndDeterministic(t *testing.T) {
+	t.Cleanup(func() { SetSeed(1); Disarm() })
+	run := func() []bool {
+		SetSeed(42)
+		if err := Arm("runner.nan=p:0.5"); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]bool, 64)
+		for i := range out {
+			out[i] = Hit("runner.nan")
+		}
+		return out
+	}
+	a, b := run(), run()
+	trips := 0
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at hit %d", i)
+		}
+		if a[i] {
+			trips++
+		}
+	}
+	if trips == 0 || trips == len(a) {
+		t.Errorf("p:0.5 tripped %d/%d times", trips, len(a))
+	}
+}
+
+func TestArmRejectsBadSpecs(t *testing.T) {
+	t.Cleanup(Disarm)
+	for _, spec := range []string{"noeq", "x=p:2", "x=p:nope", "x=n:0", "x=wat", "=p:0.5"} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) accepted", spec)
+		}
+	}
+	// A failed Arm must not leave a half-armed registry.
+	if err := Arm("ok=always"); err != nil {
+		t.Fatal(err)
+	}
+	if !Hit("ok") {
+		t.Error("valid re-arm after rejected spec did not take")
+	}
+}

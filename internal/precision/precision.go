@@ -18,12 +18,21 @@
 package precision
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"strings"
 
 	"repro/internal/fp16"
 )
+
+// ErrNumericalFailure marks a run aborted by a numerical guard: a
+// non-finite field value, a non-positive density, a blown-up timestep, or
+// mass-conservation drift beyond the storage precision's tolerance. The
+// solvers wrap it (errors.Is-matchable) so the serving layer can
+// distinguish "this precision was not enough for this problem" — and
+// escalate along Mode.Next — from plain execution failures.
+var ErrNumericalFailure = errors.New("numerical failure")
 
 // Real is the constraint satisfied by the native floating-point types a
 // solver can store or compute in.
@@ -82,6 +91,24 @@ func Parse(s string) (Mode, error) {
 		return Full, nil
 	default:
 		return Full, fmt.Errorf("precision: unknown mode %q", s)
+	}
+}
+
+// Next returns the next rung of the precision-escalation ladder
+// (Half → Min → Mixed → Full); ok is false at the top. This is the order
+// the serving layer climbs when a reduced-precision run trips
+// ErrNumericalFailure — the paper's "thoughtful precision" applied as a
+// recovery policy rather than a static choice.
+func (m Mode) Next() (Mode, bool) {
+	switch m {
+	case Half:
+		return Min, true
+	case Min:
+		return Mixed, true
+	case Mixed:
+		return Full, true
+	default:
+		return Full, false
 	}
 }
 

@@ -51,6 +51,13 @@ type Result struct {
 	StateHash string  `json:"state_hash"`
 	LineCut   *Series `json:"line_cut,omitempty"`
 
+	// Escalations, set by the serving layer, records the precision climbs
+	// that produced this result when the submitted mode tripped a numerical
+	// guard: Spec/SpecHash describe the mode that actually ran, Escalations
+	// the rungs that failed on the way there. Empty for direct runs, so the
+	// field is absent from (and cannot perturb) un-escalated payloads.
+	Escalations []Escalation `json:"escalations,omitempty"`
+
 	// Measured timings (non-deterministic; excluded from ResultHash).
 	WallSeconds       float64 `json:"wall_seconds"`
 	FiniteDiffSeconds float64 `json:"finite_diff_seconds,omitempty"`
@@ -89,22 +96,36 @@ type RunOpts struct {
 	// Workers bounds the solver's parallel chunk budget (0 = GOMAXPROCS).
 	// Results are bit-identical at every setting.
 	Workers int
+	// GuardEvery sets the numerical-sentinel cadence (0 = the core
+	// default; negative disables the periodic sentinels).
+	GuardEvery int
+	// CheckpointEvery, with CheckpointSink, writes an in-flight checkpoint
+	// every this many steps so a crashed service can resume the job mid-run
+	// (0 = none). Periodic checkpoints count toward StoreBytes, so runs of
+	// one spec only stay byte-identical at equal cadence settings.
+	CheckpointEvery int
+	// CheckpointSink opens the periodic checkpoint destination for the
+	// given absolute step; Close commits it.
+	CheckpointSink func(step int) (io.WriteCloser, error)
 }
 
 // Run executes the spec and returns its result. The ctx cancels the run
-// between steps (the returned error then wraps ctx.Err()).
+// between steps (the returned error then wraps ctx.Err()). Failures come
+// back as a typed *Error whose Kind the retry policy consumes: spec and
+// construction problems are permanent, guard aborts numerical, deadline
+// expiry a timeout.
 func Run(ctx context.Context, spec ExperimentSpec, opts RunOpts) (*Result, error) {
 	n, err := spec.Normalized()
 	if err != nil {
-		return nil, err
+		return nil, &Error{Kind: KindPermanent, Op: "spec", Err: err}
 	}
 	hash, err := n.Hash()
 	if err != nil {
-		return nil, err
+		return nil, &Error{Kind: KindPermanent, Op: "spec", Err: err}
 	}
 	mode, err := n.PrecisionMode()
 	if err != nil {
-		return nil, err
+		return nil, &Error{Kind: KindPermanent, Op: "spec", Err: err}
 	}
 
 	// The final checkpoint always streams through a hasher so every result
@@ -115,10 +136,13 @@ func Run(ctx context.Context, spec ExperimentSpec, opts RunOpts) (*Result, error
 		ckpt = io.MultiWriter(hasher, opts.Checkpoint)
 	}
 	copts := core.RunOptions{
-		Ctx:        ctx,
-		Progress:   opts.Progress,
-		Resume:     opts.Resume,
-		Checkpoint: ckpt,
+		Ctx:             ctx,
+		Progress:        opts.Progress,
+		Resume:          opts.Resume,
+		Checkpoint:      ckpt,
+		GuardEvery:      opts.GuardEvery,
+		CheckpointEvery: opts.CheckpointEvery,
+		CheckpointSink:  opts.CheckpointSink,
 	}
 
 	res := &Result{Spec: n, SpecHash: hash, Steps: n.Steps}
@@ -126,11 +150,11 @@ func Run(ctx context.Context, spec ExperimentSpec, opts RunOpts) (*Result, error
 	case AppCLAMR:
 		cfg, err := n.CLAMRConfig(opts.Workers)
 		if err != nil {
-			return nil, err
+			return nil, &Error{Kind: KindPermanent, Op: "clamr config", Err: err}
 		}
 		r, err := core.RunCLAMROpts(mode, cfg, n.Steps, n.LineCutN, copts)
 		if err != nil {
-			return nil, err
+			return nil, wrapRunError("clamr run", err)
 		}
 		res.Cells = r.Cells
 		res.Counters = r.Counters
@@ -146,11 +170,11 @@ func Run(ctx context.Context, spec ExperimentSpec, opts RunOpts) (*Result, error
 	case AppSELF:
 		cfg, err := n.SELFConfig(opts.Workers)
 		if err != nil {
-			return nil, err
+			return nil, &Error{Kind: KindPermanent, Op: "self config", Err: err}
 		}
 		r, err := core.RunSELFOpts(mode, cfg, n.Steps, n.LineCutN, copts)
 		if err != nil {
-			return nil, err
+			return nil, wrapRunError("self run", err)
 		}
 		res.DOF = r.DOF
 		res.Counters = r.Counters
@@ -161,7 +185,7 @@ func Run(ctx context.Context, spec ExperimentSpec, opts RunOpts) (*Result, error
 			res.LineCut = &Series{Label: r.LineCut.Label, X: r.LineCut.X, Y: r.LineCut.Y}
 		}
 	default:
-		return nil, fmt.Errorf("runner: unknown app %q", n.App)
+		return nil, &Error{Kind: KindPermanent, Op: "spec", Err: fmt.Errorf("unknown app %q", n.App)}
 	}
 	res.StateHash = hex.EncodeToString(hasher.Sum(nil))
 	return res, nil

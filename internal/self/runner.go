@@ -24,6 +24,9 @@ type Runner interface {
 	LineX(f Field, n int) (xs, vals []float64, err error)
 	TotalMass() float64
 	MaxAbsW() float64
+	// CheckHealth runs the numerical sentinels (finite state, positive
+	// density); a failure wraps precision.ErrNumericalFailure.
+	CheckHealth() error
 	Counters() metrics.Counters
 	Timer() *metrics.Timer
 	StateBytes() uint64

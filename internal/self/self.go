@@ -440,7 +440,33 @@ func (s *Solver[S, C]) Step() error {
 	// Blow-up guard: probe one representative node per step.
 	probe := float64(s.q[iRho][s.nNodes/2])
 	if math.IsNaN(probe) || probe <= 0 {
-		return fmt.Errorf("self: step %d: density %g (unstable)", s.step, probe)
+		return fmt.Errorf("self: step %d: density %g (unstable): %w",
+			s.step, probe, precision.ErrNumericalFailure)
+	}
+	return nil
+}
+
+// CheckHealth is the step loop's numerical sentinel: every conserved value
+// must be finite and density strictly positive everywhere (the per-step
+// probe only watches one node). Failures wrap precision.ErrNumericalFailure
+// so the serving layer can escalate precision. One pass over the state
+// arrays — run it every few steps, not every step.
+func (s *Solver[S, C]) CheckHealth() error {
+	for i, r := range s.q[iRho] {
+		rho := float64(r)
+		if math.IsNaN(rho) || math.IsInf(rho, 0) || rho <= 0 {
+			return fmt.Errorf("self: step %d: density %g at node %d: %w",
+				s.step, rho, i, precision.ErrNumericalFailure)
+		}
+	}
+	for v := 1; v < nVars; v++ {
+		for i, x := range s.q[v] {
+			f := float64(x)
+			if math.IsNaN(f) || math.IsInf(f, 0) {
+				return fmt.Errorf("self: step %d: non-finite %s %g at node %d: %w",
+					s.step, stateNames[v], f, i, precision.ErrNumericalFailure)
+			}
+		}
 	}
 	return nil
 }

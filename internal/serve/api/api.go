@@ -7,7 +7,7 @@
 //	GET  /v1/jobs/{id}/result  block until terminal; raw result payload
 //	GET  /v1/jobs/{id}/stream  NDJSON progress: one view per change, then done
 //	GET  /v1/cache/stats       scheduler + cache counters
-//	GET  /healthz              liveness
+//	GET  /healthz              liveness; 503 + JSON detail when degraded
 //
 // The result endpoint returns the cache payload verbatim, so every
 // submission of one spec observes byte-identical result bytes regardless of
@@ -17,8 +17,10 @@ package api
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"time"
 
 	"repro/internal/runner"
@@ -58,12 +60,35 @@ func New(sched *queue.Scheduler, c *cache.Cache, opts ...Option) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.jobResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.jobStream)
 	mux.HandleFunc("GET /v1/cache/stats", s.stats)
-	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
-		fmt.Fprintln(w, "ok")
-	})
+	mux.HandleFunc("GET /healthz", s.healthz)
 	s.mux = mux
 	return s
+}
+
+// healthz reports liveness. Healthy stays the plain-text "ok" probes have
+// always read; a daemon whose durability machinery is broken — cache dir
+// unwritable, journal unable to fsync — answers 503 with the reasons, so
+// orchestrators stop routing work to a node that would accept jobs it
+// cannot keep.
+func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
+	var reasons []string
+	if s.cache != nil {
+		if err := s.cache.WriteProbe(); err != nil {
+			reasons = append(reasons, fmt.Sprintf("cache: %v", err))
+		}
+	}
+	if err := s.sched.Health(); err != nil {
+		reasons = append(reasons, err.Error())
+	}
+	if len(reasons) > 0 {
+		writeJSON(w, http.StatusServiceUnavailable, struct {
+			Status  string   `json:"status"`
+			Reasons []string `json:"reasons"`
+		}{Status: "degraded", Reasons: reasons})
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	fmt.Fprintln(w, "ok")
 }
 
 // ServeHTTP implements http.Handler.
@@ -90,8 +115,18 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 
 // submit admits a spec. 200 for a job that is already terminal (cache hit),
 // 202 for queued/deduplicated work, 400 for an invalid spec, 503 for a full
-// queue.
+// queue or a journal that cannot accept the admission. ?timeout=30s sets a
+// per-attempt deadline for this job.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
+	var opts queue.SubmitOptions
+	if t := r.URL.Query().Get("timeout"); t != "" {
+		d, err := time.ParseDuration(t)
+		if err != nil || d < 0 {
+			writeError(w, http.StatusBadRequest, "invalid timeout %q", t)
+			return
+		}
+		opts.Timeout = d
+	}
 	var spec runner.ExperimentSpec
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
@@ -99,9 +134,15 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, "decode spec: %v", err)
 		return
 	}
-	job, err := s.sched.Submit(spec)
+	job, err := s.sched.SubmitOpts(spec, opts)
 	switch {
-	case err == queue.ErrQueueFull:
+	case errors.Is(err, queue.ErrQueueFull):
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil && strings.Contains(err.Error(), "journal"):
+		// An un-journalable admission is a capacity problem, not a client
+		// one: the spec may be fine, the daemon just cannot promise
+		// durability right now.
 		writeError(w, http.StatusServiceUnavailable, "%v", err)
 		return
 	case err != nil:
@@ -187,16 +228,28 @@ func (s *Server) jobStream(w http.ResponseWriter, r *http.Request) {
 		case <-r.Context().Done():
 			return
 		case <-job.Done():
-			if v := job.Snapshot(); v != last {
+			if v := job.Snapshot(); viewChanged(v, last) {
 				emit(v)
 			}
 			return
 		case <-ticker.C:
-			if v := job.Snapshot(); v != last {
+			if v := job.Snapshot(); viewChanged(v, last) {
 				emit(v)
 			}
 		}
 	}
+}
+
+// viewChanged reports whether a view differs from the last emitted one in
+// any field a stream consumer watches (View holds a slice, so it is not
+// directly comparable).
+func viewChanged(v, last queue.View) bool {
+	return v.Status != last.Status ||
+		v.Step != last.Step ||
+		v.Total != last.Total ||
+		v.Attempts != last.Attempts ||
+		len(v.Escalations) != len(last.Escalations) ||
+		v.Error != last.Error
 }
 
 // StatsReply is the /v1/cache/stats payload.

@@ -9,10 +9,13 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"path/filepath"
+	"strings"
 	"sync"
 	"testing"
 	"time"
 
+	"repro/internal/fault"
 	"repro/internal/runner"
 	"repro/internal/serve/cache"
 	"repro/internal/serve/queue"
@@ -271,6 +274,104 @@ func TestErrorPaths(t *testing.T) {
 			t.Errorf("%s status %d, want 404", path, resp.StatusCode)
 		}
 	}
+}
+
+// TestHealthzDegradesOnJournalFault: a daemon whose journal cannot fsync
+// must refuse new admissions (503) and report degraded on /healthz — and
+// recover both once the fault clears.
+func TestHealthzDegradesOnJournalFault(t *testing.T) {
+	c, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	j, err := queue.OpenJournal(filepath.Join(t.TempDir(), "journal.ndjson"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sched := queue.New(queue.Config{Workers: 1, Cache: c, Journal: j})
+	ctx, cancel := context.WithCancel(context.Background())
+	sched.Start(ctx)
+	srv := httptest.NewServer(New(sched, c))
+	t.Cleanup(func() {
+		srv.Close()
+		cancel()
+		sched.Wait()
+		j.Close()
+	})
+
+	get := func() (int, string) {
+		resp, err := http.Get(srv.URL + "/healthz")
+		if err != nil {
+			t.Fatal(err)
+		}
+		body, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		return resp.StatusCode, string(body)
+	}
+	if code, body := get(); code != http.StatusOK || body != "ok\n" {
+		t.Fatalf("healthy healthz = %d %q", code, body)
+	}
+
+	if err := fault.Arm("journal.sync=always"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disarm()
+	// An admission attempt forces a journal append; the failed fsync
+	// rejects the submission — never acked, never owed.
+	if _, status := submit(t, srv, clamrSpec(2, "full")); status != http.StatusServiceUnavailable {
+		t.Fatalf("submit with broken journal = %d, want 503", status)
+	}
+	code, body := get()
+	if code != http.StatusServiceUnavailable {
+		t.Fatalf("degraded healthz = %d %q, want 503", code, body)
+	}
+	var degraded struct {
+		Status  string   `json:"status"`
+		Reasons []string `json:"reasons"`
+	}
+	if err := json.Unmarshal([]byte(body), &degraded); err != nil {
+		t.Fatal(err)
+	}
+	if degraded.Status != "degraded" || len(degraded.Reasons) == 0 || !strings.Contains(degraded.Reasons[0], "journal") {
+		t.Errorf("degraded detail = %+v", degraded)
+	}
+
+	fault.Disarm()
+	// The next successful append clears the signal.
+	v, status := submit(t, srv, clamrSpec(2, "full"))
+	if status != http.StatusAccepted {
+		t.Fatalf("submit after fault cleared = %d, want 202", status)
+	}
+	fetchResult(t, srv, v.ID)
+	if code, body := get(); code != http.StatusOK || body != "ok\n" {
+		t.Errorf("healed healthz = %d %q", code, body)
+	}
+}
+
+func TestSubmitTimeoutParam(t *testing.T) {
+	srv, _, _ := newTestServer(t, queue.Config{Workers: 1})
+	resp, err := http.Post(srv.URL+"/v1/jobs?timeout=bogus", "application/json",
+		bytes.NewReader([]byte(`{"app":"clamr","mode":"full","steps":1,"nx":16,"ny":16}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("bogus timeout status %d, want 400", resp.StatusCode)
+	}
+
+	body, _ := json.Marshal(clamrSpec(2, "full"))
+	resp, err = http.Post(srv.URL+"/v1/jobs?timeout=1m", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var v queue.View
+	err = json.NewDecoder(resp.Body).Decode(&v)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("timed submit = %d, %v", resp.StatusCode, err)
+	}
+	fetchResult(t, srv, v.ID)
 }
 
 func TestHealthzAndJobList(t *testing.T) {

@@ -8,8 +8,13 @@
 // concurrent reader sees either the whole entry or none of it, and a crash
 // mid-write leaves only a temp file that is ignored. Reads verify the
 // header and payload digest; anything torn, truncated or foreign is
-// deleted and reported as a miss (the job simply recomputes), never as an
-// error — a corrupt cache must degrade to a cold cache, not an outage.
+// quarantined (renamed to <entry>.corrupt, preserving the evidence for
+// inspection) and reported as a miss (the job simply recomputes), never as
+// an error — a corrupt cache must degrade to a cold cache, not an outage.
+//
+// The fault point "cache.put" (internal/fault) injects put failures for
+// chaos testing; an injected failure costs a recompute, exactly like a
+// real disk error.
 package cache
 
 import (
@@ -21,6 +26,8 @@ import (
 	"path/filepath"
 	"strings"
 	"sync/atomic"
+
+	"repro/internal/fault"
 )
 
 // headerTag identifies (and versions) the entry encoding.
@@ -74,6 +81,10 @@ func (c *Cache) Put(key string, payload []byte) error {
 		c.errors.Add(1)
 		return fmt.Errorf("cache: invalid key %q", key)
 	}
+	if err := fault.Error("cache.put"); err != nil {
+		c.errors.Add(1)
+		return fmt.Errorf("cache: put %s: %w", key, err)
+	}
 	dir := filepath.Join(c.dir, key[:2])
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		c.errors.Add(1)
@@ -114,8 +125,9 @@ func (c *Cache) Put(key string, payload []byte) error {
 }
 
 // Get returns the payload stored under key. A missing, torn or corrupt
-// entry reports (nil, false); corrupt entries are removed so they are
-// recomputed rather than rediscovered on every request.
+// entry reports (nil, false); corrupt entries are quarantined out of the
+// lookup path so they are recomputed rather than rediscovered on every
+// request, while the bad bytes stay on disk for inspection.
 func (c *Cache) Get(key string) ([]byte, bool) {
 	if !validKey(key) {
 		c.misses.Add(1)
@@ -130,11 +142,43 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	if !ok {
 		c.corruptDropped.Add(1)
 		c.misses.Add(1)
-		os.Remove(c.path(key))
+		c.quarantine(key)
 		return nil, false
 	}
 	c.hits.Add(1)
 	return payload, true
+}
+
+// quarantine moves a corrupt entry aside to <entry>.corrupt — a rename,
+// so the lookup path is cleared atomically. If the rename itself fails
+// (unwritable dir) the entry is deleted outright; a corrupt file must
+// never stay where Get can keep finding it.
+func (c *Cache) quarantine(key string) {
+	p := c.path(key)
+	if err := os.Rename(p, p+".corrupt"); err != nil {
+		os.Remove(p)
+	}
+}
+
+// WriteProbe verifies the cache directory accepts writes — the /healthz
+// degraded signal. It creates and removes a throwaway file; any failure is
+// returned verbatim.
+func (c *Cache) WriteProbe() error {
+	f, err := os.CreateTemp(c.dir, ".probe-*")
+	if err != nil {
+		return fmt.Errorf("write probe: %w", err)
+	}
+	name := f.Name()
+	_, werr := f.WriteString("probe\n")
+	cerr := f.Close()
+	os.Remove(name)
+	if werr != nil {
+		return fmt.Errorf("write probe: %w", werr)
+	}
+	if cerr != nil {
+		return fmt.Errorf("write probe: %w", cerr)
+	}
+	return nil
 }
 
 // verify checks the entry header and payload digest.
@@ -162,9 +206,12 @@ type Stats struct {
 	Puts           uint64 `json:"puts"`
 	CorruptDropped uint64 `json:"corrupt_dropped"`
 	Errors         uint64 `json:"errors"`
-	// Entries and Bytes are counted by walking the store at snapshot time.
-	Entries int   `json:"entries"`
-	Bytes   int64 `json:"bytes"`
+	// Entries, Bytes and QuarantinedFiles are counted by walking the store
+	// at snapshot time; quarantined files are corrupt entries set aside as
+	// <entry>.corrupt by Get.
+	Entries          int   `json:"entries"`
+	Bytes            int64 `json:"bytes"`
+	QuarantinedFiles int   `json:"quarantined_files"`
 }
 
 // Stats snapshots the counters and walks the store for entry counts.
@@ -177,12 +224,17 @@ func (c *Cache) Stats() Stats {
 		Errors:         c.errors.Load(),
 	}
 	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
-		if err != nil || d.IsDir() || !strings.HasSuffix(path, ".res") {
+		if err != nil || d.IsDir() {
 			return nil
 		}
-		if info, err := d.Info(); err == nil {
-			s.Entries++
-			s.Bytes += info.Size()
+		switch {
+		case strings.HasSuffix(path, ".res"):
+			if info, err := d.Info(); err == nil {
+				s.Entries++
+				s.Bytes += info.Size()
+			}
+		case strings.HasSuffix(path, ".corrupt"):
+			s.QuarantinedFiles++
 		}
 		return nil
 	})

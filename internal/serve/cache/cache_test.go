@@ -4,11 +4,14 @@ import (
 	"bytes"
 	"crypto/sha256"
 	"encoding/hex"
+	"errors"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sync"
 	"testing"
+
+	"repro/internal/fault"
 )
 
 func testKey(seed string) string {
@@ -96,9 +99,72 @@ func TestCorruptEntriesAreDroppedAsMisses(t *testing.T) {
 		if _, err := os.Stat(path); !os.IsNotExist(err) {
 			t.Fatalf("corruption %d: entry not dropped", i)
 		}
+		// The bad bytes are quarantined beside the entry, not destroyed.
+		if _, err := os.Stat(path + ".corrupt"); err != nil {
+			t.Fatalf("corruption %d: no quarantine file: %v", i, err)
+		}
 	}
-	if got := c.Stats().CorruptDropped; got != uint64(len(corruptions)) {
-		t.Errorf("CorruptDropped = %d, want %d", got, len(corruptions))
+	s := c.Stats()
+	if s.CorruptDropped != uint64(len(corruptions)) {
+		t.Errorf("CorruptDropped = %d, want %d", s.CorruptDropped, len(corruptions))
+	}
+	// Repeated corruptions of one key quarantine over the same .corrupt
+	// name, so exactly one quarantined file remains.
+	if s.QuarantinedFiles != 1 {
+		t.Errorf("QuarantinedFiles = %d, want 1", s.QuarantinedFiles)
+	}
+	// A fresh put of the key works and serves again: quarantine cleared
+	// the lookup path.
+	if err := c.Put(key, []byte("precious bytes")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("re-put after quarantine not served")
+	}
+}
+
+func TestPutFaultInjection(t *testing.T) {
+	c, _ := Open(t.TempDir())
+	if err := fault.Arm("cache.put=n:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disarm()
+	key := testKey("faulty")
+	err := c.Put(key, []byte("payload"))
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("Put under armed fault = %v, want ErrInjected", err)
+	}
+	if _, ok := c.Get(key); ok {
+		t.Fatal("failed put left a readable entry")
+	}
+	// n:1 trips once; the retry lands.
+	if err := c.Put(key, []byte("payload")); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := c.Get(key); !ok {
+		t.Fatal("post-fault put not served")
+	}
+	if s := c.Stats(); s.Errors != 1 {
+		t.Errorf("Errors = %d, want 1", s.Errors)
+	}
+}
+
+func TestWriteProbe(t *testing.T) {
+	dir := t.TempDir()
+	c, _ := Open(dir)
+	if err := c.WriteProbe(); err != nil {
+		t.Fatalf("probe on healthy dir: %v", err)
+	}
+	// An unwritable cache dir must degrade the probe.
+	if err := os.Chmod(dir, 0o555); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chmod(dir, 0o755)
+	if os.Getuid() == 0 {
+		t.Skip("running as root: chmod does not revoke write access")
+	}
+	if err := c.WriteProbe(); err == nil {
+		t.Fatal("probe succeeded on read-only dir")
 	}
 }
 

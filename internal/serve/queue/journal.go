@@ -1,0 +1,319 @@
+// The write-ahead journal makes the job queue durable: every admission is
+// journaled before it is acknowledged, every start, precision escalation
+// and terminal state is appended as it happens, and a restarted daemon
+// replays the live records — so a SIGKILL loses no accepted job and
+// re-runs no completed one.
+//
+// Format: append-only NDJSON, one record per line, fsynced per append.
+// A torn final line (crash mid-write) is ignored on open. Opening compacts:
+// terminal jobs are dropped, live jobs are folded into single `submitted`
+// records carrying their accumulated escalations, and the result is
+// committed by temp-file + rename before appending resumes — so the
+// journal's size is bounded by the live set, not the traffic history.
+package queue
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+
+	"repro/internal/fault"
+	"repro/internal/runner"
+)
+
+// Journal record types.
+const (
+	recMeta      = "meta"      // next job number (survives compaction)
+	recSubmitted = "submitted" // job admitted (spec + hash; pre-ack)
+	recStarted   = "started"   // execution attempt began at Mode
+	recEscalated = "escalated" // numerical failure climbed the ladder
+	recDone      = "done"      // completed (result in the cache)
+	recFailed    = "failed"    // terminal failure
+)
+
+// journalRecord is one NDJSON line.
+type journalRecord struct {
+	Seq         uint64                 `json:"seq"`
+	Type        string                 `json:"type"`
+	JobID       string                 `json:"job_id,omitempty"`
+	SpecHash    string                 `json:"spec_hash,omitempty"`
+	Spec        *runner.ExperimentSpec `json:"spec,omitempty"`
+	Mode        string                 `json:"mode,omitempty"`
+	Error       string                 `json:"error,omitempty"`
+	Escalations []runner.Escalation    `json:"escalations,omitempty"`
+	NextJob     uint64                 `json:"next_job,omitempty"`
+}
+
+// PendingJob is one journal job owed an execution: admitted (and possibly
+// started, escalated, or interrupted mid-run) but never terminal.
+type PendingJob struct {
+	ID          string
+	SpecHash    string
+	Spec        runner.ExperimentSpec
+	Escalations []runner.Escalation
+	// Started reports the job was picked up before the crash — its
+	// checkpoint, if one exists, is worth resuming from.
+	Started bool
+}
+
+// Journal is the scheduler's write-ahead log. All appends are serialized
+// and fsynced; the last sync failure is retained for health reporting.
+type Journal struct {
+	mu      sync.Mutex
+	f       *os.File
+	path    string
+	seq     uint64
+	nextJob uint64
+	pending []PendingJob
+	syncErr error
+}
+
+// OpenJournal opens (creating if needed) and compacts the journal at path,
+// returning it ready for appends. Pending lists the jobs owed an
+// execution, in admission order.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{path: path, nextJob: 1}
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		return nil, fmt.Errorf("journal: %w", err)
+	}
+	if err := j.replayAndCompact(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("journal: open %s: %w", path, err)
+	}
+	j.f = f
+	return j, nil
+}
+
+// replayAndCompact reads the existing journal (if any), reduces it to the
+// live job set, and atomically rewrites the compacted form.
+func (j *Journal) replayAndCompact() error {
+	data, err := os.ReadFile(j.path)
+	if os.IsNotExist(err) {
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("journal: read %s: %w", j.path, err)
+	}
+
+	type liveJob struct {
+		PendingJob
+		order int
+	}
+	live := map[string]*liveJob{}
+	order := 0
+	sc := bufio.NewScanner(bytes.NewReader(data))
+	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
+	for sc.Scan() {
+		line := bytes.TrimSpace(sc.Bytes())
+		if len(line) == 0 {
+			continue
+		}
+		var rec journalRecord
+		if err := json.Unmarshal(line, &rec); err != nil {
+			// A torn tail (crash mid-append) ends the useful journal; any
+			// record after it was never acknowledged.
+			break
+		}
+		if rec.Seq > j.seq {
+			j.seq = rec.Seq
+		}
+		if rec.NextJob > j.nextJob {
+			j.nextJob = rec.NextJob
+		}
+		switch rec.Type {
+		case recSubmitted:
+			if rec.Spec == nil || rec.JobID == "" {
+				continue
+			}
+			lj := &liveJob{order: order}
+			order++
+			lj.ID = rec.JobID
+			lj.SpecHash = rec.SpecHash
+			lj.Spec = *rec.Spec
+			lj.Escalations = rec.Escalations // compacted records carry these
+			lj.Started = rec.Mode != ""      // compacted records carry this
+			live[rec.JobID] = lj
+		case recStarted:
+			if lj, ok := live[rec.JobID]; ok {
+				lj.Started = true
+			}
+		case recEscalated:
+			if lj, ok := live[rec.JobID]; ok && len(rec.Escalations) == 1 {
+				lj.Escalations = append(lj.Escalations, rec.Escalations[0])
+			}
+		case recDone, recFailed:
+			delete(live, rec.JobID)
+		}
+	}
+
+	ordered := make([]*liveJob, 0, len(live))
+	for _, lj := range live {
+		ordered = append(ordered, lj)
+	}
+	for i := 1; i < len(ordered); i++ { // insertion sort by admission order
+		for k := i; k > 0 && ordered[k-1].order > ordered[k].order; k-- {
+			ordered[k-1], ordered[k] = ordered[k], ordered[k-1]
+		}
+	}
+	j.pending = make([]PendingJob, len(ordered))
+	for i, lj := range ordered {
+		j.pending[i] = lj.PendingJob
+	}
+	return j.writeCompacted()
+}
+
+// writeCompacted rewrites the journal as one meta record plus one folded
+// submitted record per live job, atomically.
+func (j *Journal) writeCompacted() error {
+	tmp, err := os.CreateTemp(filepath.Dir(j.path), ".journal-compact-*")
+	if err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	defer os.Remove(tmp.Name())
+	w := bufio.NewWriter(tmp)
+	enc := json.NewEncoder(w)
+	j.seq++
+	if err := enc.Encode(journalRecord{Seq: j.seq, Type: recMeta, NextJob: j.nextJob}); err != nil {
+		tmp.Close()
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	for _, p := range j.pending {
+		j.seq++
+		rec := journalRecord{
+			Seq: j.seq, Type: recSubmitted,
+			JobID: p.ID, SpecHash: p.SpecHash, Spec: &p.Spec,
+			Escalations: p.Escalations,
+		}
+		if p.Started {
+			rec.Mode = p.Spec.Mode // non-empty Mode marks "was started"
+		}
+		if err := enc.Encode(rec); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
+	}
+	if err := w.Flush(); err == nil {
+		err = tmp.Sync()
+	} else {
+		tmp.Close()
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	if cerr := tmp.Close(); cerr != nil {
+		return fmt.Errorf("journal: compact: %w", cerr)
+	}
+	if err := os.Rename(tmp.Name(), j.path); err != nil {
+		return fmt.Errorf("journal: compact: %w", err)
+	}
+	return nil
+}
+
+// Pending returns the jobs owed an execution, in admission order.
+func (j *Journal) Pending() []PendingJob {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]PendingJob(nil), j.pending...)
+}
+
+// NextJobNum returns the first job number not yet used by any journaled
+// job, so recovered and fresh IDs never collide.
+func (j *Journal) NextJobNum() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextJob
+}
+
+// append writes one record and fsyncs. The fault point "journal.sync"
+// injects fsync failures; real or injected, the last failure is retained
+// for SyncErr until a subsequent append succeeds.
+func (j *Journal) append(rec journalRecord) error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return fmt.Errorf("journal: closed")
+	}
+	j.seq++
+	rec.Seq = j.seq
+	data, err := json.Marshal(rec)
+	if err != nil {
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		j.syncErr = err
+		return fmt.Errorf("journal: append: %w", err)
+	}
+	syncErr := fault.Error("journal.sync")
+	if syncErr == nil {
+		syncErr = j.f.Sync()
+	}
+	if syncErr != nil {
+		j.syncErr = syncErr
+		return fmt.Errorf("journal: fsync: %w", syncErr)
+	}
+	j.syncErr = nil
+	return nil
+}
+
+// Submitted journals an admission, recording the next job number alongside
+// so ID allocation survives compaction. Must succeed before the submission
+// is acknowledged.
+func (j *Journal) Submitted(jobID, specHash string, spec runner.ExperimentSpec, nextJobNum uint64) error {
+	j.mu.Lock()
+	if nextJobNum > j.nextJob {
+		j.nextJob = nextJobNum
+	}
+	j.mu.Unlock()
+	return j.append(journalRecord{
+		Type: recSubmitted, JobID: jobID, SpecHash: specHash, Spec: &spec,
+		NextJob: nextJobNum,
+	})
+}
+
+// Started journals the beginning of an execution attempt at mode.
+func (j *Journal) Started(jobID, mode string) error {
+	return j.append(journalRecord{Type: recStarted, JobID: jobID, Mode: mode})
+}
+
+// Escalated journals one precision climb.
+func (j *Journal) Escalated(jobID string, e runner.Escalation) error {
+	return j.append(journalRecord{Type: recEscalated, JobID: jobID, Escalations: []runner.Escalation{e}})
+}
+
+// Done journals completion (the payload lives in the result cache).
+func (j *Journal) Done(jobID string) error {
+	return j.append(journalRecord{Type: recDone, JobID: jobID})
+}
+
+// Failed journals a terminal failure.
+func (j *Journal) Failed(jobID, errMsg string) error {
+	return j.append(journalRecord{Type: recFailed, JobID: jobID, Error: errMsg})
+}
+
+// SyncErr returns the most recent append/fsync failure, or nil when the
+// journal is healthy — the /healthz degraded signal.
+func (j *Journal) SyncErr() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.syncErr
+}
+
+// Path returns the journal file location.
+func (j *Journal) Path() string { return j.path }
+
+// Close closes the journal file; further appends fail.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

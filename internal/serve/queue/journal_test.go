@@ -1,0 +1,158 @@
+package queue
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/fault"
+	"repro/internal/runner"
+)
+
+func openTestJournal(t *testing.T, path string) *Journal {
+	t.Helper()
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { j.Close() })
+	return j
+}
+
+func submitTestJob(t *testing.T, j *Journal, id string, spec runner.ExperimentSpec, next uint64) string {
+	t.Helper()
+	n, err := spec.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	hash, err := n.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Submitted(id, hash, n, next); err != nil {
+		t.Fatal(err)
+	}
+	return hash
+}
+
+func TestJournalReplayAndCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	j := openTestJournal(t, path)
+
+	h1 := submitTestJob(t, j, "job-000001", testSpec(10), 2)
+	submitTestJob(t, j, "job-000002", testSpec(11), 3)
+	submitTestJob(t, j, "job-000003", testSpec(12), 4)
+	if err := j.Started("job-000001", "full"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done("job-000002"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Failed("job-000003", "boom"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Reopen: only job-000001 is owed; the file is compacted to one meta
+	// record plus one folded submitted record.
+	j2 := openTestJournal(t, path)
+	pending := j2.Pending()
+	if len(pending) != 1 {
+		t.Fatalf("pending = %d jobs, want 1: %+v", len(pending), pending)
+	}
+	p := pending[0]
+	if p.ID != "job-000001" || p.SpecHash != h1 || !p.Started {
+		t.Errorf("pending job = %+v", p)
+	}
+	if got, want := p.Spec.Steps, 10; got != want {
+		t.Errorf("replayed spec steps = %d, want %d", got, want)
+	}
+	if got := j2.NextJobNum(); got != 4 {
+		t.Errorf("NextJobNum = %d, want 4", got)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lines := strings.Count(string(data), "\n"); lines != 2 {
+		t.Errorf("compacted journal has %d lines, want 2 (meta + 1 live):\n%s", lines, data)
+	}
+}
+
+func TestJournalTornTailIgnored(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	j := openTestJournal(t, path)
+	submitTestJob(t, j, "job-000001", testSpec(10), 2)
+	j.Close()
+
+	// Simulate a crash mid-append: a torn, non-JSON tail.
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.WriteString(`{"seq":99,"type":"done","job_id":"job-0000`)
+	f.Close()
+
+	j2 := openTestJournal(t, path)
+	if pending := j2.Pending(); len(pending) != 1 || pending[0].ID != "job-000001" {
+		t.Fatalf("pending after torn tail = %+v, want job-000001 live", pending)
+	}
+}
+
+func TestJournalEscalationsSurviveRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	j := openTestJournal(t, path)
+	spec := testSpec(10)
+	spec.Mode = "min"
+	submitTestJob(t, j, "job-000001", spec, 2)
+	if err := j.Started("job-000001", "min"); err != nil {
+		t.Fatal(err)
+	}
+	esc := runner.Escalation{FromMode: "min", ToMode: "mixed", FromSpecHash: "abc", Reason: "guard"}
+	if err := j.Escalated("job-000001", esc); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Two reopens: the first folds the escalation into the compacted
+	// submitted record, the second proves the folded form round-trips.
+	for reopen := 0; reopen < 2; reopen++ {
+		j2 := openTestJournal(t, path)
+		pending := j2.Pending()
+		if len(pending) != 1 {
+			t.Fatalf("reopen %d: pending = %+v", reopen, pending)
+		}
+		p := pending[0]
+		if !p.Started || len(p.Escalations) != 1 || p.Escalations[0] != esc {
+			t.Errorf("reopen %d: pending job = %+v, want started with escalation %+v", reopen, p, esc)
+		}
+		j2.Close()
+	}
+}
+
+func TestJournalSyncFaultDegradesThenHeals(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	j := openTestJournal(t, path)
+	if err := fault.Arm("journal.sync=n:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disarm()
+
+	err := j.Submitted("job-000001", "hash", testSpec(10), 2)
+	if !errors.Is(err, fault.ErrInjected) {
+		t.Fatalf("append under armed fault = %v, want ErrInjected", err)
+	}
+	if j.SyncErr() == nil {
+		t.Fatal("SyncErr nil after injected fsync failure")
+	}
+	// The next append succeeds (n:1 is one-shot) and clears the health
+	// signal.
+	if err := j.Done("job-000001"); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.SyncErr(); err != nil {
+		t.Fatalf("SyncErr after recovery = %v, want nil", err)
+	}
+}

@@ -5,8 +5,11 @@
 // Admission order: a submitted spec is (1) collapsed onto an identical
 // queued-or-running job if one exists (singleflight — concurrent duplicate
 // sweeps cost one computation), else (2) answered from the content-
-// addressed result cache, else (3) enqueued, bounded — a full queue
-// rejects with ErrQueueFull rather than buffering unboundedly.
+// addressed result cache, else (3) journaled (when a Journal is
+// configured; the write-ahead record lands before the submission is
+// acknowledged, so an acked job survives a crash), else (4) enqueued,
+// bounded — a full queue rejects with ErrQueueFull rather than buffering
+// unboundedly.
 //
 // Execution budget: Workers jobs run concurrently, and each is handed an
 // equal share of the machine's parallel lanes (GOMAXPROCS / Workers) as
@@ -15,17 +18,33 @@
 // concurrent solvers, so total parallelism stays at one pool's worth of
 // cores regardless of how many jobs are in flight. Worker counts never
 // change results (DESIGN.md §5), only latency.
+//
+// Fault tolerance (DESIGN.md §7): each attempt runs under the job's
+// deadline; failures are classified by runner.Classify — transient errors
+// retry with capped exponential backoff, numerical-guard aborts re-run the
+// spec one precision rung up (recording the escalation in the result),
+// timeouts and permanent errors fail immediately so their lanes go to the
+// next queued job. A run that ignores cancellation past the abandon grace
+// is abandoned in place — its worker moves on. Recover replays journaled
+// jobs after a crash, resuming started ones from their latest periodic
+// checkpoint when one exists.
 package queue
 
 import (
+	"bytes"
 	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
+	"repro/internal/fault"
 	"repro/internal/runner"
 	"repro/internal/serve/cache"
 )
@@ -49,32 +68,41 @@ var ErrQueueFull = errors.New("queue: job queue is full")
 // NDJSON streamer can poll without locking the scheduler.
 type Job struct {
 	// ID is the scheduler-assigned identity ("job-000001"); SpecHash is
-	// the content address shared by every submission of this spec.
+	// the content address shared by every submission of this spec — and
+	// the cache key even when the job escalates to a higher precision.
 	ID       string
 	SpecHash string
-	Spec     runner.ExperimentSpec // normalized
+	Spec     runner.ExperimentSpec // normalized, as submitted
 
 	step, total atomic.Int64
+	attempts    atomic.Int64
 
-	mu      sync.Mutex
-	status  Status
-	cached  bool
-	result  []byte
-	errMsg  string
-	done    chan struct{}
-	doneOne sync.Once
+	mu          sync.Mutex
+	status      Status
+	cached      bool
+	recovered   bool
+	tryResume   bool
+	timeout     time.Duration
+	escalations []runner.Escalation
+	result      []byte
+	errMsg      string
+	done        chan struct{}
+	doneOne     sync.Once
 }
 
 // View is an immutable snapshot of a job for handlers and clients.
 type View struct {
-	ID       string                `json:"id"`
-	SpecHash string                `json:"spec_hash"`
-	Spec     runner.ExperimentSpec `json:"spec"`
-	Status   Status                `json:"status"`
-	Cached   bool                  `json:"cached"`
-	Step     int64                 `json:"step"`
-	Total    int64                 `json:"total"`
-	Error    string                `json:"error,omitempty"`
+	ID          string                `json:"id"`
+	SpecHash    string                `json:"spec_hash"`
+	Spec        runner.ExperimentSpec `json:"spec"`
+	Status      Status                `json:"status"`
+	Cached      bool                  `json:"cached"`
+	Recovered   bool                  `json:"recovered,omitempty"`
+	Step        int64                 `json:"step"`
+	Total       int64                 `json:"total"`
+	Attempts    int64                 `json:"attempts,omitempty"`
+	Escalations []runner.Escalation   `json:"escalations,omitempty"`
+	Error       string                `json:"error,omitempty"`
 }
 
 // Snapshot captures the job's current state.
@@ -82,14 +110,17 @@ func (j *Job) Snapshot() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return View{
-		ID:       j.ID,
-		SpecHash: j.SpecHash,
-		Spec:     j.Spec,
-		Status:   j.status,
-		Cached:   j.cached,
-		Step:     j.step.Load(),
-		Total:    j.total.Load(),
-		Error:    j.errMsg,
+		ID:          j.ID,
+		SpecHash:    j.SpecHash,
+		Spec:        j.Spec,
+		Status:      j.status,
+		Cached:      j.cached,
+		Recovered:   j.recovered,
+		Step:        j.step.Load(),
+		Total:       j.total.Load(),
+		Attempts:    j.attempts.Load(),
+		Escalations: append([]runner.Escalation(nil), j.escalations...),
+		Error:       j.errMsg,
 	}
 }
 
@@ -116,6 +147,21 @@ func (j *Job) setStatus(st Status) {
 	j.mu.Unlock()
 }
 
+func (j *Job) addEscalation(e runner.Escalation) {
+	j.mu.Lock()
+	j.escalations = append(j.escalations, e)
+	j.mu.Unlock()
+}
+
+func (j *Job) escalationsCopy() []runner.Escalation {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if len(j.escalations) == 0 {
+		return nil
+	}
+	return append([]runner.Escalation(nil), j.escalations...)
+}
+
 func (j *Job) finish(st Status, result []byte, errMsg string) {
 	j.mu.Lock()
 	j.status = st
@@ -125,19 +171,32 @@ func (j *Job) finish(st Status, result []byte, errMsg string) {
 	j.doneOne.Do(func() { close(j.done) })
 }
 
-// RunFunc executes a normalized spec with the given solver lane budget and
-// progress sink, returning the serialized result. Swapped out in tests.
-type RunFunc func(ctx context.Context, spec runner.ExperimentSpec, lanes int, progress func(step, total int)) ([]byte, error)
+// RunRequest carries one execution attempt's inputs to a RunFunc.
+type RunRequest struct {
+	Spec     runner.ExperimentSpec // normalized; Mode may be escalated
+	Lanes    int
+	Progress func(step, total int)
+	// Resume, when non-nil, restores the solver from a checkpoint instead
+	// of the initial condition (crash recovery of a started job).
+	Resume io.Reader
+	// CheckpointEvery/CheckpointSink request periodic in-flight
+	// checkpoints so a crashed daemon can resume this job mid-run.
+	CheckpointEvery int
+	CheckpointSink  func(step int) (io.WriteCloser, error)
+}
 
-// DefaultRun executes the spec through the runner and serializes its
-// result as canonical JSON — the payload the cache stores and the API
-// serves.
-func DefaultRun(ctx context.Context, spec runner.ExperimentSpec, lanes int, progress func(step, total int)) ([]byte, error) {
-	res, err := runner.Run(ctx, spec, runner.RunOpts{Workers: lanes, Progress: progress})
-	if err != nil {
-		return nil, err
-	}
-	return json.Marshal(res)
+// RunFunc executes one attempt. Swapped out in tests.
+type RunFunc func(ctx context.Context, req RunRequest) (*runner.Result, error)
+
+// DefaultRun executes the attempt through the runner.
+func DefaultRun(ctx context.Context, req RunRequest) (*runner.Result, error) {
+	return runner.Run(ctx, req.Spec, runner.RunOpts{
+		Workers:         req.Lanes,
+		Progress:        req.Progress,
+		Resume:          req.Resume,
+		CheckpointEvery: req.CheckpointEvery,
+		CheckpointSink:  req.CheckpointSink,
+	})
 }
 
 // Config sizes a Scheduler.
@@ -151,8 +210,33 @@ type Config struct {
 	Lanes int
 	// Cache, when non-nil, answers repeat submissions and stores results.
 	Cache *cache.Cache
-	// Run executes one job (default DefaultRun).
+	// Run executes one attempt (default DefaultRun).
 	Run RunFunc
+	// Journal, when non-nil, write-ahead-logs every admission and state
+	// change so Recover can replay accepted jobs after a crash.
+	Journal *Journal
+	// CheckpointDir, with CheckpointEvery > 0, makes running jobs write a
+	// periodic checkpoint (<dir>/<jobID>.ckpt, atomically replaced) that
+	// recovery resumes from. Off by default: periodic checkpoints count
+	// toward the result's store counters, so they are an explicit opt-in
+	// (DESIGN.md §7).
+	CheckpointDir   string
+	CheckpointEvery int
+	// JobTimeout is the per-attempt deadline for jobs submitted without
+	// their own (0 = none). A timed-out job fails immediately — its lanes
+	// go to the next queued job, never a rerun of the same budget.
+	JobTimeout time.Duration
+	// AbandonGrace is how long a cancelled attempt may keep running before
+	// its worker abandons it and moves on (default 2s).
+	AbandonGrace time.Duration
+	// Retry bounds transient-failure retries (see RetryPolicy defaults).
+	Retry RetryPolicy
+}
+
+// SubmitOptions carries per-submission execution knobs.
+type SubmitOptions struct {
+	// Timeout overrides Config.JobTimeout for this job (0 = inherit).
+	Timeout time.Duration
 }
 
 // Stats counts scheduler traffic for /v1/cache/stats.
@@ -163,6 +247,11 @@ type Stats struct {
 	Executed      uint64 `json:"executed"`
 	Failed        uint64 `json:"failed"`
 	QueueRejected uint64 `json:"queue_rejected"`
+	Retried       uint64 `json:"retried"`
+	Escalated     uint64 `json:"escalated"`
+	TimedOut      uint64 `json:"timed_out"`
+	Abandoned     uint64 `json:"abandoned"`
+	Recovered     uint64 `json:"recovered"`
 	QueueDepth    int    `json:"queue_depth"`
 	Workers       int    `json:"workers"`
 }
@@ -181,11 +270,13 @@ type Scheduler struct {
 
 	submitted, dedupHits, cacheHits uint64
 	executed, failed, rejected      uint64
+	retried, escalated, timedOut    uint64
+	abandoned, recovered            uint64
 
 	wg sync.WaitGroup
 }
 
-// New builds a scheduler; call Start to begin executing.
+// New builds a scheduler; call Recover (if journaled) then Start.
 func New(cfg Config) *Scheduler {
 	if cfg.Workers <= 0 {
 		cfg.Workers = 2
@@ -198,6 +289,13 @@ func New(cfg Config) *Scheduler {
 	}
 	if cfg.Run == nil {
 		cfg.Run = DefaultRun
+	}
+	if cfg.AbandonGrace <= 0 {
+		cfg.AbandonGrace = 2 * time.Second
+	}
+	cfg.Retry = cfg.Retry.withDefaults()
+	if cfg.CheckpointDir != "" {
+		_ = os.MkdirAll(cfg.CheckpointDir, 0o755)
 	}
 	lanes := cfg.Lanes / cfg.Workers
 	if lanes < 1 {
@@ -223,7 +321,9 @@ func (s *Scheduler) Start(ctx context.Context) {
 }
 
 // Wait blocks until every worker has exited (after ctx cancellation),
-// then fails any jobs still queued so their waiters unblock.
+// then fails any jobs still queued so their waiters unblock. Queued jobs
+// get no terminal journal record — an acked job that never ran is owed to
+// the journal, and the next boot's Recover replays it.
 func (s *Scheduler) Wait() {
 	s.wg.Wait()
 	for {
@@ -233,11 +333,22 @@ func (s *Scheduler) Wait() {
 			delete(s.inflight, job.SpecHash)
 			s.failed++
 			s.mu.Unlock()
-			job.finish(StatusFailed, nil, "scheduler shut down before execution")
+			job.finish(StatusFailed, nil, "scheduler shut down before execution; the job will be recovered from the journal")
 		default:
 			return
 		}
 	}
+}
+
+// Health reports nil when the scheduler's durability machinery is sound;
+// a journal whose last append could not fsync degrades the daemon.
+func (s *Scheduler) Health() error {
+	if s.cfg.Journal != nil {
+		if err := s.cfg.Journal.SyncErr(); err != nil {
+			return fmt.Errorf("journal: %w", err)
+		}
+	}
+	return nil
 }
 
 func (s *Scheduler) worker(ctx context.Context) {
@@ -252,36 +363,244 @@ func (s *Scheduler) worker(ctx context.Context) {
 	}
 }
 
+// execute drives one job to a terminal state: attempt, classify, then
+// retry / escalate / fail per the policy in the package comment.
 func (s *Scheduler) execute(ctx context.Context, job *Job) {
 	job.setStatus(StatusRunning)
-	payload, err := s.cfg.Run(ctx, job.Spec, s.lanes, job.progress)
 
-	s.mu.Lock()
-	delete(s.inflight, job.SpecHash)
-	if err != nil {
-		s.failed++
+	spec := job.Spec
+	if esc := job.escalationsCopy(); len(esc) > 0 {
+		spec.Mode = esc[len(esc)-1].ToMode // recovered job resumes at its rung
+	}
+	var resume []byte
+	job.mu.Lock()
+	if job.tryResume {
+		resume = s.loadCheckpoint(job.ID)
+	}
+	timeout := job.timeout
+	job.mu.Unlock()
+	if timeout == 0 {
+		timeout = s.cfg.JobTimeout
+	}
+
+	attempt := 0
+	for {
+		if ctx.Err() != nil {
+			s.shutdownFinish(job)
+			return
+		}
+		if s.cfg.Journal != nil {
+			// A failed Started append is tolerated: it only widens the
+			// resume window (SyncErr degrades /healthz regardless).
+			_ = s.cfg.Journal.Started(job.ID, spec.Mode)
+		}
+		req := RunRequest{
+			Spec:            spec,
+			Lanes:           s.lanes,
+			Progress:        job.progress,
+			CheckpointEvery: s.cfg.CheckpointEvery,
+			CheckpointSink:  s.checkpointSink(job.ID),
+		}
+		usedResume := resume != nil
+		if usedResume {
+			req.Resume = bytes.NewReader(resume)
+		}
+		job.attempts.Add(1)
+		res, err := s.runAttempt(ctx, req, timeout)
+		if err == nil {
+			res.Escalations = job.escalationsCopy()
+			payload, merr := json.Marshal(res)
+			if merr != nil {
+				err = &runner.Error{Kind: runner.KindPermanent, Op: "marshal result", Err: merr}
+			} else {
+				s.complete(job, payload)
+				return
+			}
+		}
+		if ctx.Err() != nil {
+			s.shutdownFinish(job)
+			return
+		}
+		if usedResume {
+			// A checkpoint that fails to resume (corrupt, stale rung) is
+			// discarded and the job retried from the initial condition; this
+			// happens at most once and does not consume the retry budget.
+			resume = nil
+			s.removeCheckpoint(job.ID)
+			continue
+		}
+		switch runner.Classify(err) {
+		case runner.KindNumerical:
+			next, ok := runner.NextPrecision(spec.Mode)
+			if !ok {
+				s.fail(job, fmt.Errorf("numerical failure at top precision rung: %w", err))
+				return
+			}
+			failedHash, herr := spec.Hash()
+			if herr != nil {
+				failedHash = job.SpecHash
+			}
+			esc := runner.Escalation{
+				FromMode:     spec.Mode,
+				ToMode:       next,
+				FromSpecHash: failedHash,
+				Reason:       err.Error(),
+			}
+			job.addEscalation(esc)
+			s.mu.Lock()
+			s.escalated++
+			s.mu.Unlock()
+			if s.cfg.Journal != nil {
+				_ = s.cfg.Journal.Escalated(job.ID, esc)
+			}
+			spec.Mode = next
+			attempt = 0 // fresh retry budget at the new rung
+			s.removeCheckpoint(job.ID)
+			continue
+		case runner.KindTransient:
+			attempt++
+			if attempt >= s.cfg.Retry.MaxAttempts {
+				s.fail(job, fmt.Errorf("gave up after %d attempts: %w", attempt, err))
+				return
+			}
+			s.mu.Lock()
+			s.retried++
+			s.mu.Unlock()
+			if !sleepCtx(ctx, s.cfg.Retry.backoff(attempt)) {
+				s.shutdownFinish(job)
+				return
+			}
+			continue
+		case runner.KindTimeout:
+			s.mu.Lock()
+			s.timedOut++
+			s.mu.Unlock()
+			s.fail(job, err)
+			return
+		default: // KindPermanent
+			s.fail(job, err)
+			return
+		}
+	}
+}
+
+// runAttempt executes one attempt under the job deadline. If the run does
+// not return within AbandonGrace of cancellation, it is abandoned: the
+// worker reclaims its lanes and the stuck goroutine is left to die with
+// the context. The fault point "worker.stall" simulates exactly that run.
+func (s *Scheduler) runAttempt(ctx context.Context, req RunRequest, timeout time.Duration) (*runner.Result, error) {
+	runCtx := ctx
+	var cancel context.CancelFunc
+	if timeout > 0 {
+		runCtx, cancel = context.WithTimeout(ctx, timeout)
 	} else {
-		s.executed++
+		runCtx, cancel = context.WithCancel(ctx)
 	}
-	s.mu.Unlock()
+	defer cancel()
 
-	if err != nil {
-		job.finish(StatusFailed, nil, err.Error())
-		return
+	type outcome struct {
+		res *runner.Result
+		err error
 	}
+	ch := make(chan outcome, 1)
+	go func() {
+		if fault.Hit("worker.stall") {
+			<-ctx.Done() // simulate a wedged run: ignores its own deadline
+			ch <- outcome{nil, &runner.Error{Kind: runner.KindTransient, Op: "run", Err: fmt.Errorf("stalled: %w", fault.ErrInjected)}}
+			return
+		}
+		res, err := s.cfg.Run(runCtx, req)
+		ch <- outcome{res, err}
+	}()
+
+	select {
+	case out := <-ch:
+		return out.res, out.err
+	case <-runCtx.Done():
+	}
+	// Cancelled (deadline or shutdown): give the run one grace period to
+	// observe it — the solvers check ctx every step, so a healthy run
+	// returns almost immediately.
+	grace := time.NewTimer(s.cfg.AbandonGrace)
+	defer grace.Stop()
+	select {
+	case out := <-ch:
+		if out.err == nil && runCtx.Err() == context.DeadlineExceeded {
+			// Finished after its deadline but before abandonment: the work
+			// is done and deterministic; keep it.
+			return out.res, nil
+		}
+		return out.res, out.err
+	case <-grace.C:
+		s.mu.Lock()
+		s.abandoned++
+		s.mu.Unlock()
+		return nil, &runner.Error{
+			Kind: runner.KindTransient,
+			Op:   "run abandoned",
+			Err:  fmt.Errorf("no response %v after cancellation (%w)", s.cfg.AbandonGrace, runCtx.Err()),
+		}
+	}
+}
+
+// complete finishes a job successfully: cache the payload under the
+// originally submitted spec hash (Put precedes the journal's done record,
+// so a crash between the two is healed by Recover's cache probe), journal
+// completion, drop the periodic checkpoint.
+func (s *Scheduler) complete(job *Job, payload []byte) {
 	if s.cfg.Cache != nil {
 		// A put failure only costs a future recompute; the job still
 		// completes (the cache's error counter records it).
 		_ = s.cfg.Cache.Put(job.SpecHash, payload)
 	}
+	if s.cfg.Journal != nil {
+		_ = s.cfg.Journal.Done(job.ID)
+	}
+	s.removeCheckpoint(job.ID)
+	s.mu.Lock()
+	delete(s.inflight, job.SpecHash)
+	s.executed++
+	s.mu.Unlock()
 	job.finish(StatusDone, payload, "")
 }
 
-// Submit admits a spec. The returned job may be (a) an existing in-flight
-// job for the same spec hash (singleflight dedup — its ID is the earlier
-// submission's), (b) a new already-done job answered from the cache, or
-// (c) a new queued job. ErrQueueFull reports an over-full queue.
+// fail finishes a job terminally: the failure is journaled so it is not
+// replayed on the next boot.
+func (s *Scheduler) fail(job *Job, err error) {
+	if s.cfg.Journal != nil {
+		_ = s.cfg.Journal.Failed(job.ID, err.Error())
+	}
+	s.removeCheckpoint(job.ID)
+	s.mu.Lock()
+	delete(s.inflight, job.SpecHash)
+	s.failed++
+	s.mu.Unlock()
+	job.finish(StatusFailed, nil, err.Error())
+}
+
+// shutdownFinish fails a job locally on scheduler shutdown WITHOUT a
+// terminal journal record: the job is still owed to the journal and the
+// next boot's Recover replays it. Its checkpoint is kept for the resume.
+func (s *Scheduler) shutdownFinish(job *Job) {
+	s.mu.Lock()
+	delete(s.inflight, job.SpecHash)
+	s.failed++
+	s.mu.Unlock()
+	job.finish(StatusFailed, nil, "scheduler shut down mid-run; the job will be recovered from the journal")
+}
+
+// Submit admits a spec with default options; see SubmitOpts.
 func (s *Scheduler) Submit(spec runner.ExperimentSpec) (*Job, error) {
+	return s.SubmitOpts(spec, SubmitOptions{})
+}
+
+// SubmitOpts admits a spec. The returned job may be (a) an existing
+// in-flight job for the same spec hash (singleflight dedup — its ID is the
+// earlier submission's), (b) a new already-done job answered from the
+// cache, or (c) a new queued job, journaled before this call returns.
+// ErrQueueFull reports an over-full queue; a journal append failure
+// rejects the submission (never acked ⇒ never owed).
+func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (*Job, error) {
 	n, err := spec.Normalized()
 	if err != nil {
 		return nil, err
@@ -323,12 +642,26 @@ func (s *Scheduler) Submit(spec runner.ExperimentSpec) (*Job, error) {
 	}
 	job := s.newJobLocked(n, hash)
 	job.status = StatusQueued
+	job.timeout = opts.Timeout
+	if s.cfg.Journal != nil {
+		// Journal-then-ack: the admission record must be durable before the
+		// job is visible or acknowledged (the fsync under s.mu serializes
+		// submissions; admission is not the hot path).
+		if jerr := s.cfg.Journal.Submitted(job.ID, hash, n, s.nextID+1); jerr != nil {
+			s.unregisterLastLocked(job)
+			return nil, fmt.Errorf("queue: journal admission: %w", jerr)
+		}
+	}
 	select {
 	case s.queue <- job:
 	default:
 		s.rejected++
-		delete(s.jobs, job.ID)
-		s.order = s.order[:len(s.order)-1]
+		if s.cfg.Journal != nil {
+			// Compensating record: the admission was journaled but is being
+			// rejected, so it must not replay on the next boot.
+			_ = s.cfg.Journal.Failed(job.ID, ErrQueueFull.Error())
+		}
+		s.unregisterLastLocked(job)
 		return nil, ErrQueueFull
 	}
 	s.inflight[hash] = job
@@ -338,8 +671,14 @@ func (s *Scheduler) Submit(spec runner.ExperimentSpec) (*Job, error) {
 // newJobLocked registers a new job; caller holds s.mu.
 func (s *Scheduler) newJobLocked(spec runner.ExperimentSpec, hash string) *Job {
 	s.nextID++
+	return s.registerJobLocked(fmt.Sprintf("job-%06d", s.nextID), spec, hash)
+}
+
+// registerJobLocked installs a job under a fixed ID (recovery preserves
+// the crashed daemon's IDs); caller holds s.mu.
+func (s *Scheduler) registerJobLocked(id string, spec runner.ExperimentSpec, hash string) *Job {
 	job := &Job{
-		ID:       fmt.Sprintf("job-%06d", s.nextID),
+		ID:       id,
 		SpecHash: hash,
 		Spec:     spec,
 		status:   StatusDone, // overwritten by callers that queue
@@ -348,6 +687,128 @@ func (s *Scheduler) newJobLocked(spec runner.ExperimentSpec, hash string) *Job {
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
 	return job
+}
+
+// unregisterLastLocked rolls back the most recent newJobLocked; caller
+// holds s.mu.
+func (s *Scheduler) unregisterLastLocked(job *Job) {
+	delete(s.jobs, job.ID)
+	s.order = s.order[:len(s.order)-1]
+	s.nextID--
+}
+
+// Recover replays the journal's pending jobs into the queue. Call after
+// New and before Start. Completed-but-unjournaled jobs (crash between the
+// cache put and the done record) are healed straight from the cache —
+// guaranteeing an accepted job is never run twice to completion. Started
+// jobs whose periodic checkpoint survived resume mid-run; their recorded
+// escalations are restored so they re-run at the rung they had reached.
+func (s *Scheduler) Recover() (requeued, healed int, err error) {
+	if s.cfg.Journal == nil {
+		return 0, 0, nil
+	}
+	pending := s.cfg.Journal.Pending()
+	s.mu.Lock()
+	if n := s.cfg.Journal.NextJobNum(); n > s.nextID+1 {
+		s.nextID = n - 1
+	}
+	s.mu.Unlock()
+
+	for _, p := range pending {
+		if s.cfg.Cache != nil {
+			if payload, ok := s.cfg.Cache.Get(p.SpecHash); ok {
+				s.mu.Lock()
+				job := s.registerJobLocked(p.ID, p.Spec, p.SpecHash)
+				job.cached = true
+				job.recovered = true
+				s.recovered++
+				s.mu.Unlock()
+				_ = s.cfg.Journal.Done(p.ID)
+				job.finish(StatusDone, payload, "")
+				healed++
+				continue
+			}
+		}
+		s.mu.Lock()
+		job := s.registerJobLocked(p.ID, p.Spec, p.SpecHash)
+		job.status = StatusQueued
+		job.recovered = true
+		job.tryResume = p.Started
+		job.escalations = append([]runner.Escalation(nil), p.Escalations...)
+		select {
+		case s.queue <- job:
+			s.inflight[p.SpecHash] = job
+			s.recovered++
+			s.mu.Unlock()
+			requeued++
+		default:
+			s.mu.Unlock()
+			_ = s.cfg.Journal.Failed(p.ID, "recovery: queue full")
+			job.finish(StatusFailed, nil, "recovery: queue full")
+		}
+	}
+	return requeued, healed, nil
+}
+
+// checkpointSink returns the periodic-checkpoint opener for a job, or nil
+// when checkpoints are not configured. Each checkpoint is written to a
+// temp file and renamed over <dir>/<jobID>.ckpt on Close, so the file is
+// always a complete checkpoint — never a torn one.
+func (s *Scheduler) checkpointSink(jobID string) func(step int) (io.WriteCloser, error) {
+	if s.cfg.CheckpointDir == "" || s.cfg.CheckpointEvery <= 0 {
+		return nil
+	}
+	final := s.ckptPath(jobID)
+	dir := s.cfg.CheckpointDir
+	return func(step int) (io.WriteCloser, error) {
+		tmp, err := os.CreateTemp(dir, "."+jobID+"-*")
+		if err != nil {
+			return nil, err
+		}
+		return &atomicCkpt{f: tmp, final: final}, nil
+	}
+}
+
+type atomicCkpt struct {
+	f     *os.File
+	final string
+}
+
+func (a *atomicCkpt) Write(p []byte) (int, error) { return a.f.Write(p) }
+
+func (a *atomicCkpt) Close() error {
+	if err := a.f.Sync(); err != nil {
+		a.f.Close()
+		os.Remove(a.f.Name())
+		return err
+	}
+	if err := a.f.Close(); err != nil {
+		os.Remove(a.f.Name())
+		return err
+	}
+	return os.Rename(a.f.Name(), a.final)
+}
+
+func (s *Scheduler) ckptPath(jobID string) string {
+	return filepath.Join(s.cfg.CheckpointDir, jobID+".ckpt")
+}
+
+func (s *Scheduler) loadCheckpoint(jobID string) []byte {
+	if s.cfg.CheckpointDir == "" {
+		return nil
+	}
+	b, err := os.ReadFile(s.ckptPath(jobID))
+	if err != nil || len(b) == 0 {
+		return nil
+	}
+	return b
+}
+
+func (s *Scheduler) removeCheckpoint(jobID string) {
+	if s.cfg.CheckpointDir == "" {
+		return
+	}
+	_ = os.Remove(s.ckptPath(jobID))
 }
 
 // Job looks a job up by ID.
@@ -385,6 +846,11 @@ func (s *Scheduler) Stats() Stats {
 		Executed:      s.executed,
 		Failed:        s.failed,
 		QueueRejected: s.rejected,
+		Retried:       s.retried,
+		Escalated:     s.escalated,
+		TimedOut:      s.timedOut,
+		Abandoned:     s.abandoned,
+		Recovered:     s.recovered,
 		QueueDepth:    len(s.queue),
 		Workers:       s.cfg.Workers,
 	}

@@ -1,0 +1,574 @@
+package queue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/runner"
+	"repro/internal/serve/cache"
+)
+
+// fastRetry keeps test retries from sleeping for real.
+var fastRetry = RetryPolicy{MaxAttempts: 3, BaseBackoff: time.Millisecond, MaxBackoff: 2 * time.Millisecond}
+
+func okResult(spec runner.ExperimentSpec) *runner.Result {
+	h, _ := spec.Hash()
+	return &runner.Result{Spec: spec, SpecHash: h, Steps: spec.Steps, StateHash: "feed" + h[:8]}
+}
+
+func TestNumericalFailureEscalatesMinToMixed(t *testing.T) {
+	c, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var execs atomic.Int64
+	run := func(ctx context.Context, req RunRequest) (*runner.Result, error) {
+		execs.Add(1)
+		if req.Spec.Mode == "min" {
+			return nil, fmt.Errorf("step 8: mass drift: %w", runner.ErrNumericalFailure)
+		}
+		return okResult(req.Spec), nil
+	}
+	s := New(Config{Workers: 1, Cache: c, Run: run, Retry: fastRetry})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	spec := testSpec(10)
+	spec.Mode = "min"
+	minHash, _ := func() (string, error) { n, _ := spec.Normalized(); return n.Hash() }()
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+
+	v := job.Snapshot()
+	if v.Status != StatusDone {
+		t.Fatalf("escalated job did not complete: %+v", v)
+	}
+	if len(v.Escalations) != 1 || v.Escalations[0].FromMode != "min" || v.Escalations[0].ToMode != "mixed" {
+		t.Fatalf("escalations = %+v, want one min→mixed climb", v.Escalations)
+	}
+	if v.Escalations[0].FromSpecHash != minHash {
+		t.Errorf("escalation FromSpecHash = %s, want submitted hash %s", v.Escalations[0].FromSpecHash, minHash)
+	}
+	if got := execs.Load(); got != 2 {
+		t.Errorf("executions = %d, want 2 (min fails, mixed succeeds)", got)
+	}
+
+	// The result payload records the climb and the mode that actually ran.
+	payload, _ := job.Result()
+	var res runner.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Spec.Mode != "mixed" || len(res.Escalations) != 1 {
+		t.Errorf("result spec mode=%q escalations=%+v, want mixed with 1 escalation", res.Spec.Mode, res.Escalations)
+	}
+	// Cache honesty: the payload is keyed by the ORIGINAL min-mode hash, so
+	// a repeat min submission is answered without re-failing — and the
+	// payload itself says it was computed one rung up.
+	if cached, ok := c.Get(minHash); !ok || string(cached) != string(payload) {
+		t.Error("escalated result not cached under the submitted spec hash")
+	}
+	if st := s.Stats(); st.Escalated != 1 {
+		t.Errorf("stats = %+v, want Escalated=1", st)
+	}
+}
+
+func TestPermanentErrorIsNotRetried(t *testing.T) {
+	var execs atomic.Int64
+	run := func(ctx context.Context, req RunRequest) (*runner.Result, error) {
+		execs.Add(1)
+		return nil, errors.New("incompatible checkpoint header")
+	}
+	s := New(Config{Workers: 1, Run: run, Retry: fastRetry})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	job, err := s.Submit(testSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusFailed {
+		t.Fatalf("permanent failure job: %+v", v)
+	}
+	if got := execs.Load(); got != 1 {
+		t.Errorf("permanent failure executed %d times, want 1", got)
+	}
+	if st := s.Stats(); st.Retried != 0 || st.Failed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTransientFailuresRetryWithBackoff(t *testing.T) {
+	var execs atomic.Int64
+	run := func(ctx context.Context, req RunRequest) (*runner.Result, error) {
+		if execs.Add(1) <= 2 {
+			return nil, fmt.Errorf("flaky io: %w", fault.ErrInjected)
+		}
+		return okResult(req.Spec), nil
+	}
+	s := New(Config{Workers: 1, Run: run, Retry: fastRetry})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	job, err := s.Submit(testSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusDone || v.Attempts != 3 {
+		t.Fatalf("job after transient retries: %+v", v)
+	}
+	if st := s.Stats(); st.Retried != 2 || st.Executed != 1 {
+		t.Errorf("stats = %+v", st)
+	}
+}
+
+func TestTransientRetriesExhaust(t *testing.T) {
+	var execs atomic.Int64
+	run := func(ctx context.Context, req RunRequest) (*runner.Result, error) {
+		execs.Add(1)
+		return nil, fmt.Errorf("always flaky: %w", fault.ErrInjected)
+	}
+	s := New(Config{Workers: 1, Run: run, Retry: RetryPolicy{MaxAttempts: 2, BaseBackoff: time.Millisecond}})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	job, err := s.Submit(testSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusFailed {
+		t.Fatalf("exhausted job: %+v", v)
+	}
+	if got := execs.Load(); got != 2 {
+		t.Errorf("executed %d times, want MaxAttempts=2", got)
+	}
+}
+
+// TestTimeoutFailsFastAndFreesLane is the lane-reclamation guarantee: a
+// job that exceeds its deadline is cancelled and failed without retry, and
+// the worker immediately picks up the next queued job.
+func TestTimeoutFailsFastAndFreesLane(t *testing.T) {
+	run := func(ctx context.Context, req RunRequest) (*runner.Result, error) {
+		if req.Spec.Steps == 666 { // the slow job honors cancellation
+			<-ctx.Done()
+			return nil, ctx.Err()
+		}
+		return okResult(req.Spec), nil
+	}
+	s := New(Config{Workers: 1, Run: run, Retry: fastRetry, AbandonGrace: time.Second})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	slow, err := s.SubmitOpts(testSpec(666), SubmitOptions{Timeout: 30 * time.Millisecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	next, err := s.Submit(testSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, slow)
+	if v := slow.Snapshot(); v.Status != StatusFailed || v.Attempts != 1 {
+		t.Fatalf("timed-out job: %+v", v)
+	}
+	waitDone(t, next) // the lane was reclaimed for the next job
+	if v := next.Snapshot(); v.Status != StatusDone {
+		t.Fatalf("job after timed-out predecessor: %+v", v)
+	}
+	if st := s.Stats(); st.TimedOut != 1 {
+		t.Errorf("stats = %+v, want TimedOut=1", st)
+	}
+}
+
+// TestStalledRunIsAbandonedAndRetried covers the wedged-worker path: a run
+// that ignores its deadline past the abandon grace is left behind, its
+// lane reclaimed, and the attempt retried as transient.
+func TestStalledRunIsAbandonedAndRetried(t *testing.T) {
+	if err := fault.Arm("worker.stall=n:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disarm()
+	run := func(ctx context.Context, req RunRequest) (*runner.Result, error) {
+		return okResult(req.Spec), nil
+	}
+	s := New(Config{
+		Workers: 1, Run: run, Retry: fastRetry,
+		JobTimeout: 20 * time.Millisecond, AbandonGrace: 20 * time.Millisecond,
+	})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	job, err := s.Submit(testSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusDone || v.Attempts != 2 {
+		t.Fatalf("job after stalled first attempt: %+v", v)
+	}
+	if st := s.Stats(); st.Abandoned != 1 || st.Retried != 1 {
+		t.Errorf("stats = %+v, want Abandoned=1 Retried=1", st)
+	}
+}
+
+// TestRecoverReplaysAndHeals simulates a crash: jobs admitted and
+// journaled, one mid-run and one queued, then the scheduler is torn down
+// without terminal records. A second scheduler over the same journal must
+// re-run the interrupted job, heal the one whose result is already cached,
+// and preserve job IDs.
+func TestRecoverReplaysAndHeals(t *testing.T) {
+	dir := t.TempDir()
+	c, err := cache.Open(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, "journal.ndjson")
+	j1, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	release := make(chan struct{})
+	var started atomic.Int64
+	run1 := func(ctx context.Context, req RunRequest) (*runner.Result, error) {
+		if req.Spec.Steps == 666 { // job B blocks until "crash"
+			started.Add(1)
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+		}
+		return okResult(req.Spec), nil
+	}
+	s1 := New(Config{Workers: 1, Cache: c, Journal: j1, Run: run1, Retry: fastRetry})
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	s1.Start(ctx1)
+
+	jobA, err := s1.Submit(testSpec(10)) // completes before the crash
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, jobA)
+	jobB, err := s1.Submit(testSpec(666)) // running at crash time
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for started.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("job B never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	jobC, err := s1.Submit(testSpec(777)) // queued at crash time
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// "Crash": cancel without terminal journal records for B and C.
+	cancel1()
+	s1.Wait()
+	j1.Close()
+	for _, job := range []*Job{jobB, jobC} {
+		waitDone(t, job)
+		if v := job.Snapshot(); v.Status != StatusFailed {
+			t.Fatalf("job %s at crash: %+v", job.ID, v)
+		}
+	}
+
+	// Pre-populate C's result in the cache, simulating a crash that landed
+	// between the cache put and the journal's done record.
+	specC, _ := testSpec(777).Normalized()
+	hashC, _ := specC.Hash()
+	payloadC, _ := json.Marshal(okResult(specC))
+	if err := c.Put(hashC, payloadC); err != nil {
+		t.Fatal(err)
+	}
+
+	j2, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	run2 := func(ctx context.Context, req RunRequest) (*runner.Result, error) {
+		return okResult(req.Spec), nil
+	}
+	s2 := New(Config{Workers: 1, Cache: c, Journal: j2, Run: run2, Retry: fastRetry})
+	requeued, healed, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requeued != 1 || healed != 1 {
+		t.Fatalf("Recover = (%d requeued, %d healed), want (1, 1)", requeued, healed)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	s2.Start(ctx2)
+
+	// IDs survive the restart; B re-runs, C is healed without execution.
+	rb, ok := s2.Job(jobB.ID)
+	if !ok {
+		t.Fatalf("job %s lost across restart", jobB.ID)
+	}
+	waitDone(t, rb)
+	v := rb.Snapshot()
+	if v.Status != StatusDone || !v.Recovered {
+		t.Fatalf("recovered job B: %+v", v)
+	}
+	rc, ok := s2.Job(jobC.ID)
+	if !ok {
+		t.Fatalf("job %s lost across restart", jobC.ID)
+	}
+	waitDone(t, rc)
+	if v := rc.Snapshot(); v.Status != StatusDone || !v.Cached {
+		t.Fatalf("healed job C: %+v", v)
+	}
+	// A fresh submission gets an ID after every journaled one.
+	fresh, err := s2.Submit(testSpec(888))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fresh.ID <= jobC.ID {
+		t.Errorf("fresh job ID %s does not follow recovered %s", fresh.ID, jobC.ID)
+	}
+	// The journal owes nothing after the recovered jobs complete.
+	waitDone(t, fresh)
+	j2.Close()
+	j3, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j3.Close()
+	if pending := j3.Pending(); len(pending) != 0 {
+		t.Errorf("journal still owes %+v after full recovery", pending)
+	}
+}
+
+// TestCheckpointResumeMatchesUninterrupted kills a real CLAMR run mid-way
+// (scheduler shutdown, no terminal record), restarts over the same journal
+// and checkpoint dir with journal/cache faults armed, and requires the
+// resumed run's final-state hash to equal an undisturbed run's.
+func TestCheckpointResumeMatchesUninterrupted(t *testing.T) {
+	spec := testSpec(400)
+	n, err := spec.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	direct, err := runner.Run(context.Background(), n, runner.RunOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	dir := t.TempDir()
+	c, err := cache.Open(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, "journal.ndjson")
+	ckptDir := filepath.Join(dir, "ckpt")
+	j1, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Throttle stepping so the run is reliably mid-flight when "the crash"
+	// lands; the sleep cannot change results, only pacing.
+	slowRun := func(ctx context.Context, req RunRequest) (*runner.Result, error) {
+		orig := req.Progress
+		req.Progress = func(step, total int) {
+			time.Sleep(200 * time.Microsecond)
+			if orig != nil {
+				orig(step, total)
+			}
+		}
+		return DefaultRun(ctx, req)
+	}
+	s1 := New(Config{
+		Workers: 1, Cache: c, Journal: j1, Run: slowRun,
+		CheckpointDir: ckptDir, CheckpointEvery: 5, Retry: fastRetry,
+	})
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	s1.Start(ctx1)
+	job, err := s1.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the first periodic checkpoint, then crash.
+	deadline := time.Now().Add(10 * time.Second)
+	for s1.loadCheckpoint(job.ID) == nil {
+		if time.Now().After(deadline) {
+			t.Fatal("no periodic checkpoint appeared")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	cancel1()
+	s1.Wait()
+	j1.Close()
+	if v := job.Snapshot(); v.Status == StatusDone {
+		t.Skip("run completed before the crash landed; resume path not exercised")
+	}
+
+	// Restart with journal and cache faults armed: the one-shot injected
+	// failures land on tolerated paths (a started append, a cache put) and
+	// must not change the recovered result.
+	if err := fault.Arm("journal.sync=n:1,cache.put=n:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disarm()
+	j2, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	s2 := New(Config{
+		Workers: 1, Cache: c, Journal: j2,
+		CheckpointDir: ckptDir, CheckpointEvery: 5, Retry: fastRetry,
+	})
+	requeued, _, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if requeued != 1 {
+		t.Fatalf("Recover requeued %d jobs, want 1", requeued)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	s2.Start(ctx2)
+
+	resumed, ok := s2.Job(job.ID)
+	if !ok {
+		t.Fatalf("job %s lost across restart", job.ID)
+	}
+	waitDone(t, resumed)
+	v := resumed.Snapshot()
+	if v.Status != StatusDone || !v.Recovered {
+		t.Fatalf("resumed job: %+v", v)
+	}
+	payload, _ := resumed.Result()
+	var res runner.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.StateHash != direct.StateHash {
+		t.Errorf("resumed state hash %s != uninterrupted %s", res.StateHash, direct.StateHash)
+	}
+}
+
+// TestShutdownHammerNoLostOrDoubleRun hammers Submit while the scheduler
+// shuts down, then recovers: every acknowledged job must reach done in
+// exactly one of the two lives — journaled-then-acked means none lost, the
+// durable done record means none run twice.
+func TestShutdownHammerNoLostOrDoubleRun(t *testing.T) {
+	dir := t.TempDir()
+	c, err := cache.Open(filepath.Join(dir, "cache"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	jpath := filepath.Join(dir, "journal.ndjson")
+	j1, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var completions sync.Map // spec hash → *atomic.Int64 successful runs
+	mkRun := func(delay time.Duration) RunFunc {
+		return func(ctx context.Context, req RunRequest) (*runner.Result, error) {
+			if delay > 0 {
+				select {
+				case <-time.After(delay):
+				case <-ctx.Done():
+					return nil, ctx.Err()
+				}
+			}
+			h, _ := req.Spec.Hash()
+			v, _ := completions.LoadOrStore(h, &atomic.Int64{})
+			v.(*atomic.Int64).Add(1)
+			return okResult(req.Spec), nil
+		}
+	}
+
+	s1 := New(Config{Workers: 4, QueueDepth: 128, Cache: c, Journal: j1, Run: mkRun(2 * time.Millisecond), Retry: fastRetry})
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	defer cancel1()
+	s1.Start(ctx1)
+
+	const nJobs = 40
+	acked := make([]*Job, nJobs)
+	var wg sync.WaitGroup
+	for i := 0; i < nJobs; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			job, err := s1.Submit(testSpec(100 + i))
+			if err != nil {
+				return // rejected submissions are not acked and owe nothing
+			}
+			acked[i] = job
+		}(i)
+		if i == nJobs/2 {
+			cancel1() // shutdown lands mid-hammer
+		}
+	}
+	wg.Wait()
+	s1.Wait()
+	j1.Close()
+
+	j2, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	s2 := New(Config{Workers: 4, QueueDepth: 128, Cache: c, Journal: j2, Run: mkRun(0), Retry: fastRetry})
+	requeued, healed, err := s2.Recover()
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("recovery: %d requeued, %d healed", requeued, healed)
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	defer cancel2()
+	s2.Start(ctx2)
+
+	for i, job := range acked {
+		if job == nil {
+			continue
+		}
+		if v := job.Snapshot(); v.Status == StatusDone {
+			continue // finished in the first life
+		}
+		replayed, ok := s2.Job(job.ID)
+		if !ok {
+			t.Errorf("acked job %d (%s) lost: not done in life 1, not recovered in life 2", i, job.ID)
+			continue
+		}
+		waitDone(t, replayed)
+		if v := replayed.Snapshot(); v.Status != StatusDone {
+			t.Errorf("acked job %s never completed: %+v", job.ID, v)
+		}
+	}
+	completions.Range(func(k, v any) bool {
+		if n := v.(*atomic.Int64).Load(); n > 1 {
+			t.Errorf("spec %v ran to completion %d times", k, n)
+		}
+		return true
+	})
+}

@@ -3,7 +3,6 @@ package queue
 import (
 	"context"
 	"errors"
-	"fmt"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -30,18 +29,18 @@ func newFakeRun() *fakeRun {
 	return &fakeRun{release: make(chan struct{})}
 }
 
-func (f *fakeRun) fn(ctx context.Context, spec runner.ExperimentSpec, lanes int, progress func(int, int)) ([]byte, error) {
+func (f *fakeRun) fn(ctx context.Context, req RunRequest) (*runner.Result, error) {
 	f.executions.Add(1)
-	if progress != nil {
-		progress(1, spec.Steps)
+	if req.Progress != nil {
+		req.Progress(1, req.Spec.Steps)
 	}
 	select {
 	case <-f.release:
 	case <-ctx.Done():
 		return nil, ctx.Err()
 	}
-	h, _ := spec.Hash()
-	return []byte(fmt.Sprintf(`{"spec_hash":%q}`, h)), nil
+	h, _ := req.Spec.Hash()
+	return &runner.Result{Spec: req.Spec, SpecHash: h, Steps: req.Spec.Steps}, nil
 }
 
 func waitDone(t *testing.T, j *Job) {

@@ -1,0 +1,69 @@
+package queue
+
+import (
+	"context"
+	"math/rand"
+	"time"
+)
+
+// RetryPolicy bounds the scheduler's response to transient failures:
+// capped exponential backoff with jitter, a fixed attempt budget per
+// precision rung. Timeouts and permanent errors are never retried;
+// numerical failures consume the escalation ladder instead, with a fresh
+// attempt budget at each rung.
+type RetryPolicy struct {
+	// MaxAttempts is the total executions allowed per precision rung
+	// (default 3; 1 disables retries).
+	MaxAttempts int
+	// BaseBackoff is the delay before the first retry (default 100ms);
+	// each further retry doubles it, capped at MaxBackoff (default 2s).
+	// Every delay is jittered ±50% so synchronized failures spread out.
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 3
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 100 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 2 * time.Second
+	}
+	return p
+}
+
+// backoff returns the jittered delay before retry number attempt (1-based).
+func (p RetryPolicy) backoff(attempt int) time.Duration {
+	d := p.BaseBackoff
+	for i := 1; i < attempt && d < p.MaxBackoff; i++ {
+		d *= 2
+	}
+	if d > p.MaxBackoff {
+		d = p.MaxBackoff
+	}
+	// ±50% jitter; the global rand source is fine — jitter needs spread,
+	// not reproducibility.
+	half := int64(d) / 2
+	if half > 0 {
+		d = time.Duration(half + rand.Int63n(int64(d)))
+	}
+	return d
+}
+
+// sleepCtx sleeps d or until ctx is cancelled; false means cancelled.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	if d <= 0 {
+		return ctx.Err() == nil
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}

@@ -5,12 +5,14 @@
 # precisiond daemon end to end: submit a job twice, assert the second is a
 # cache hit. `make chaos-smoke` SIGKILLs a fault-injected daemon mid-sweep
 # and asserts the recovered sweep is bit-identical (DESIGN.md §7).
-# `make bench-par` regenerates the committed pool-vs-spawn dispatch numbers
-# in results/.
+# `make obs-smoke` checks the telemetry surface end to end: /metrics
+# exposition, job traces, the client's -trace timeline and the pprof debug
+# listener (DESIGN.md §8). `make bench-par` regenerates the committed
+# pool-vs-spawn dispatch numbers in results/.
 
 GO ?= go
 
-.PHONY: build test vet verify race serve-smoke chaos-smoke bench-par bench-step
+.PHONY: build test vet verify race serve-smoke chaos-smoke obs-smoke bench-par bench-step
 
 build:
 	$(GO) build ./...
@@ -31,6 +33,9 @@ serve-smoke:
 
 chaos-smoke:
 	GO="$(GO)" ./scripts/chaos_smoke.sh
+
+obs-smoke:
+	GO="$(GO)" ./scripts/obs_smoke.sh
 
 bench-par:
 	$(GO) test ./internal/par/ -run '^$$' -bench BenchmarkParDispatch -benchmem | tee results/par_pool_bench.txt

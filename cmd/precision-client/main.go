@@ -8,9 +8,14 @@
 //	precision-client -sweep quick               # replay the full paper sweep
 //	precision-client -sweep quick -json         # raw result payloads
 //	precision-client -sweep quick -retry 10     # ride out daemon restarts
+//	precision-client -spec spec.json -trace     # print the job's span timeline
 //
 // Each completed job prints one summary line; cached=true marks results the
 // daemon served from its content-addressed cache without recomputing.
+// With -trace, the client fetches GET /v1/jobs/{id}/trace after each result
+// and prints a human-readable timeline: one line per span, indented by
+// nesting, with offset, duration and attributes — queue wait, each attempt,
+// retry backoffs and precision escalations included.
 // With -retry N, connection failures and 5xx responses (a restarting or
 // briefly degraded daemon) are retried up to N times with linear backoff —
 // the knob chaos tests lean on.
@@ -25,9 +30,11 @@ import (
 	"log"
 	"net/http"
 	"os"
+	"strings"
 	"time"
 
 	"repro"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/serve/queue"
 )
@@ -42,6 +49,7 @@ func main() {
 		sweep    = flag.String("sweep", "", "submit the full paper sweep at this scale (quick|standard|paper)")
 		raw      = flag.Bool("json", false, "print raw result payloads instead of summary lines")
 		retries  = flag.Int("retry", 0, "retry connection failures and 5xx responses this many times")
+		trace    = flag.Bool("trace", false, "print each job's span timeline after its result")
 	)
 	flag.Parse()
 
@@ -86,6 +94,13 @@ func main() {
 		if *raw {
 			os.Stdout.Write(payload)
 			fmt.Println()
+			if *trace {
+				td, err := fetchTrace(*addr, v.ID, *retries)
+				if err != nil {
+					log.Fatalf("%s: fetch trace: %v", v.ID, err)
+				}
+				printTrace(os.Stdout, td)
+			}
 			continue
 		}
 		var res runner.Result
@@ -94,6 +109,13 @@ func main() {
 		}
 		fmt.Printf("%s  %-5s/%-5s  steps=%-4d cached=%-5v state=%s  %.3fs\n",
 			v.ID, res.Spec.App, res.Spec.Mode, res.Steps, v.Cached, res.StateHash[:12], res.WallSeconds)
+		if *trace {
+			td, err := fetchTrace(*addr, v.ID, *retries)
+			if err != nil {
+				log.Fatalf("%s: fetch trace: %v", v.ID, err)
+			}
+			printTrace(os.Stdout, td)
+		}
 	}
 	if failed > 0 {
 		log.Fatalf("%d of %d jobs failed", failed, len(views))
@@ -156,6 +178,66 @@ func submit(addr string, spec runner.ExperimentSpec, retries int) (queue.View, e
 		return false, json.Unmarshal(data, &v)
 	})
 	return v, err
+}
+
+func fetchTrace(addr, id string, retries int) (obs.TraceData, error) {
+	var td obs.TraceData
+	err := withRetry(retries, func() (bool, error) {
+		resp, err := http.Get(addr + "/v1/jobs/" + id + "/trace")
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return true, err
+		}
+		if resp.StatusCode != http.StatusOK {
+			return resp.StatusCode >= 500, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		}
+		return false, json.Unmarshal(data, &td)
+	})
+	return td, err
+}
+
+// printTrace renders a span timeline as an indented tree, one line per
+// span: offset from the trace start, duration, name, attributes. Aggregate
+// spans (solver phase totals) and still-open spans are marked.
+func printTrace(w io.Writer, td obs.TraceData) {
+	depth := make([]int, len(td.Spans))
+	for i, sp := range td.Spans {
+		if sp.Parent >= 0 && sp.Parent < i {
+			depth[i] = depth[sp.Parent] + 1
+		}
+	}
+	fmt.Fprintf(w, "  trace %s  started %s  total %s\n",
+		td.JobID, td.StartedAt.Format(time.RFC3339Nano), fmtNs(td.DurationNs))
+	for i, sp := range td.Spans {
+		var marks []string
+		for _, a := range sp.Attrs {
+			marks = append(marks, a.Key+"="+a.Value)
+		}
+		flag := " "
+		if sp.Open {
+			flag = "…"
+		}
+		fmt.Fprintf(w, "  %10s %10s %s %s%s %s\n",
+			"+"+fmtNs(sp.StartNs), fmtNs(sp.DurationNs), flag,
+			strings.Repeat("  ", depth[i]), sp.Name, strings.Join(marks, " "))
+	}
+}
+
+// fmtNs renders a nanosecond count compactly (µs under 1ms, ms under 1s).
+func fmtNs(ns int64) string {
+	d := time.Duration(ns)
+	switch {
+	case d < time.Millisecond:
+		return fmt.Sprintf("%.1fµs", float64(d)/float64(time.Microsecond))
+	case d < time.Second:
+		return fmt.Sprintf("%.2fms", float64(d)/float64(time.Millisecond))
+	default:
+		return fmt.Sprintf("%.3fs", d.Seconds())
+	}
 }
 
 func fetchResult(addr, id string, retries int) ([]byte, error) {

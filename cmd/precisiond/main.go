@@ -11,6 +11,7 @@
 //	precisiond -workers 4 -queue-depth 128
 //	precisiond -journal /var/tmp/precisiond.journal \
 //	           -ckpt-dir /var/tmp/pckpt -ckpt-every 25
+//	precisiond -log-level debug -debug-addr 127.0.0.1:7719
 //
 // With -journal, every accepted job is write-ahead journaled before it is
 // acknowledged; after a crash (even SIGKILL) the daemon replays unfinished
@@ -19,9 +20,17 @@
 // attempt; jobs whose precision rung trips a numerical guard are retried
 // one rung up automatically (DESIGN.md §7).
 //
+// Observability (DESIGN.md §8): the daemon logs structured key=value lines
+// to stderr at -log-level and serves Prometheus metrics at GET /metrics on
+// the API address. Every job records a span timeline readable at
+// GET /v1/jobs/{id}/trace (and embedded in the result payload). -debug-addr
+// opens a second, loopback-only listener serving net/http/pprof — profiling
+// stays off the API surface and off by default.
+//
 // Fault injection for chaos testing is armed via -faults or the
 // PRECISIOND_FAULTS environment variable, e.g.
-// 'cache.put=p:0.1,journal.sync=n:3' (see internal/fault).
+// 'cache.put=p:0.1,journal.sync=n:3' (see internal/fault); armed points
+// report their hit/trip counts on /metrics.
 //
 // The daemon prints "listening on <host:port>" once the socket is open and
 // shuts down gracefully on SIGINT/SIGTERM: in-flight jobs are cancelled
@@ -35,24 +44,23 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"net/http"
+	"net/http/pprof"
+	"os"
 	"os/signal"
 	"runtime"
 	"syscall"
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/serve/api"
 	"repro/internal/serve/cache"
 	"repro/internal/serve/queue"
 )
 
 func main() {
-	log.SetFlags(0)
-	log.SetPrefix("precisiond: ")
-
 	var (
 		addr        = flag.String("addr", "127.0.0.1:7717", "listen address (use :0 for any free port)")
 		cacheDir    = flag.String("cache", "precision-cache", "result cache directory (created if needed)")
@@ -65,33 +73,50 @@ func main() {
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-attempt deadline for every job (0 = none; clients may set ?timeout=)")
 		grace       = flag.Duration("grace", 2*time.Second, "how long a cancelled run may linger before its lane is reclaimed")
 		faults      = flag.String("faults", "", "arm fault-injection points, e.g. 'cache.put=p:0.1,journal.sync=n:3'")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "precisiond:", err)
+		os.Exit(1)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	fatal := func(err error) {
+		logger.Error("fatal", obs.Str("error", err.Error()))
+		os.Exit(1)
+	}
+
 	if *faults != "" {
 		if err := fault.Arm(*faults); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	} else if err := fault.ArmFromEnv(); err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	if fault.Enabled() {
 		src := *faults
 		if src == "" {
 			src = "$" + fault.EnvFaults
 		}
-		log.Printf("fault injection ARMED: %s", src)
+		logger.Warn("fault injection ARMED", obs.Str("spec", src))
 	}
+
+	reg := obs.Default
+	fault.RegisterMetrics(reg)
 
 	c, err := cache.Open(*cacheDir)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
+	c.RegisterMetrics(reg)
 	var journal *queue.Journal
 	if *journalPath != "" {
 		journal, err = queue.OpenJournal(*journalPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		defer journal.Close()
 	}
@@ -107,6 +132,8 @@ func main() {
 		Journal:      journal,
 		JobTimeout:   *jobTimeout,
 		AbandonGrace: *grace,
+		Obs:          reg,
+		Log:          logger,
 	}
 	if *ckptDir != "" {
 		cfg.CheckpointDir = *ckptDir
@@ -116,45 +143,82 @@ func main() {
 	if journal != nil {
 		requeued, healed, err := sched.Recover()
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		if requeued > 0 || healed > 0 {
-			log.Printf("recovered %d jobs from %s (%d re-queued, %d healed from cache)",
-				requeued+healed, *journalPath, requeued, healed)
+			logger.Info("recovered jobs from journal",
+				obs.Str("journal", *journalPath),
+				obs.Str("requeued", fmt.Sprint(requeued)),
+				obs.Str("healed", fmt.Sprint(healed)))
 		}
 	}
 	sched.Start(ctx)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	// Printed unconditionally so scripts can discover a :0-assigned port.
 	fmt.Printf("listening on %s\n", ln.Addr())
-	log.Printf("cache %s, %d workers, queue depth %d", c.Dir(), *workers, *queueDepth)
+	logger.Info("precisiond up",
+		obs.Str("addr", ln.Addr().String()), obs.Str("cache", c.Dir()),
+		obs.Str("workers", fmt.Sprint(*workers)),
+		obs.Str("queue_depth", fmt.Sprint(*queueDepth)),
+		obs.Str("log_level", level.String()))
 
-	srv := &http.Server{Handler: api.New(sched, c)}
+	var debugSrv *http.Server
+	if *debugAddr != "" {
+		debugLn, err := net.Listen("tcp", *debugAddr)
+		if err != nil {
+			fatal(err)
+		}
+		debugSrv = &http.Server{Handler: debugMux(reg)}
+		go debugSrv.Serve(debugLn)
+		logger.Info("debug server up (pprof + metrics)", obs.Str("addr", debugLn.Addr().String()))
+	}
+
+	srv := &http.Server{Handler: api.New(sched, c, api.WithMetrics(reg))}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
 	select {
 	case err := <-done:
-		log.Fatal(err)
+		fatal(err)
 	case <-ctx.Done():
 	}
-	log.Print("shutting down")
+	logger.Info("shutting down")
 	shutdownCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
 	defer cancel()
 	if err := srv.Shutdown(shutdownCtx); err != nil {
-		log.Printf("shutdown: %v", err)
+		logger.Warn("shutdown", obs.Str("error", err.Error()))
+	}
+	if debugSrv != nil {
+		_ = debugSrv.Shutdown(shutdownCtx)
 	}
 	if err := <-done; err != nil && !errors.Is(err, http.ErrServerClosed) {
-		log.Printf("serve: %v", err)
+		logger.Warn("serve", obs.Str("error", err.Error()))
 	}
 	sched.Wait()
 	if fault.Enabled() {
 		for _, fc := range fault.Counts() {
-			log.Printf("fault %s: tripped %d of %d evaluations", fc.Name, fc.Trips, fc.Hits)
+			logger.Info("fault point summary",
+				obs.Str("point", fc.Name),
+				obs.Str("trips", fmt.Sprint(fc.Trips)),
+				obs.Str("hits", fmt.Sprint(fc.Hits)))
 		}
 	}
+}
+
+// debugMux builds the -debug-addr surface: net/http/pprof (the DefaultServeMux
+// registrations, re-homed on a private mux so the API listener never exposes
+// them) plus a convenience copy of /metrics.
+func debugMux(reg *obs.Registry) *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.Handle("/metrics", reg.Handler())
+	return mux
 }

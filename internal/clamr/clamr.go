@@ -30,6 +30,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/mesh"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/precision"
 	"repro/internal/reduce"
@@ -185,6 +186,9 @@ type Solver[S, C precision.Real] struct {
 
 	// Preresolved timer buckets (allocation-free phase timing).
 	phDT, phFD, phAMR metrics.PhaseCell
+	// Preresolved per-step duration histogram in the process-wide obs
+	// registry (allocation-free Observe; served at precisiond's /metrics).
+	stepDur *obs.Histogram
 }
 
 // NewSolver creates a solver and applies the initial condition, including
@@ -227,6 +231,7 @@ func (s *Solver[S, C]) initRuntime() {
 	s.phDT = s.timer.Cell("timestep")
 	s.phFD = s.timer.Cell("finite_diff")
 	s.phAMR = s.timer.Cell("amr")
+	s.stepDur = obs.StepDuration("clamr", modeLabel[S, C]())
 	switch {
 	case s.cfg.DryTol > 0:
 		s.dry = C(s.cfg.DryTol)
@@ -410,6 +415,7 @@ func isFinite(x float64) bool {
 // Step advances one timestep: dt from the CFL condition, the finite
 // difference sweep, and (on schedule) mesh adaptation.
 func (s *Solver[S, C]) Step() error {
+	startStep := time.Now()
 	dt := s.computeDT()
 	if !(dt > 0) || math.IsInf(dt, 0) {
 		return fmt.Errorf("clamr: step %d: non-positive or non-finite dt %g (state blew up?): %w",
@@ -431,9 +437,11 @@ func (s *Solver[S, C]) Step() error {
 		s.rebuildWorkspace()
 		s.phAMR.Observe(startAMR)
 		if err != nil {
+			s.stepDur.ObserveSince(startStep)
 			return err
 		}
 	}
+	s.stepDur.ObserveSince(startStep)
 	return nil
 }
 
@@ -564,6 +572,20 @@ func absC[C precision.Real](x C) C {
 func unsafeSizeofS[S precision.Real]() int {
 	var v S
 	return unsafeSizeof(v)
+}
+
+// modeLabel maps the storage/compute widths back to the precision-mode
+// label the step-duration metric carries. The Half adapter reuses the
+// (f32, f32) solver; clamr.New relabels it.
+func modeLabel[S, C precision.Real]() string {
+	switch {
+	case unsafeSizeofS[S]() == 8:
+		return "full"
+	case unsafeSizeofS[C]() == 8:
+		return "mixed"
+	default:
+		return "min"
+	}
 }
 
 // addFlops accounts flops at the compute width plus extra at storage width.

@@ -7,6 +7,7 @@ import (
 	"repro/internal/fp16"
 	"repro/internal/mesh"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/precision"
 )
 
@@ -52,6 +53,7 @@ func New(mode precision.Mode, cfg Config, ic InitialCondition) (Runner, error) {
 		if err != nil {
 			return nil, err
 		}
+		inner.stepDur = obs.StepDuration("clamr", "half")
 		h := &halfRunner{Solver: inner}
 		h.demote()
 		return h, nil

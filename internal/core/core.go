@@ -40,6 +40,9 @@ type CLAMRResult struct {
 	CheckpointBytes int64
 	MassError       float64
 	LineCut         analysis.Series
+	// Phases snapshots the solver's per-phase timer buckets (timestep,
+	// finite_diff, amr) in first-use order.
+	Phases []metrics.PhaseTotal
 }
 
 // RunCLAMR executes the dam-break problem at one precision mode and
@@ -192,6 +195,7 @@ func RunCLAMROpts(mode precision.Mode, cfg clamr.Config, steps, lineCutN int, op
 		MassError:  r.MassError(),
 	}
 	res.FiniteDiffTime = r.Timer().Total("finite_diff")
+	res.Phases = r.Timer().Totals()
 
 	var sink countingWriter
 	var ckptW io.Writer = &sink
@@ -268,6 +272,9 @@ type SELFResult struct {
 	// (the plain SELF study does not checkpoint).
 	CheckpointBytes int64
 	LineCut         analysis.Series
+	// Phases snapshots the solver's per-phase timer buckets (rhs, rk,
+	// filter) in first-use order.
+	Phases []metrics.PhaseTotal
 }
 
 // RunSELF executes the thermal-bubble problem at one precision mode.
@@ -300,6 +307,7 @@ func RunSELFOpts(mode precision.Mode, cfg self.Config, steps, lineCutN int, opts
 		WallTime:   wall,
 		Counters:   r.Counters(),
 		StateBytes: r.StateBytes(),
+		Phases:     r.Timer().Totals(),
 	}
 	if opts.Checkpoint != nil {
 		n, err := r.WriteCheckpoint(opts.Checkpoint)

@@ -34,6 +34,8 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // ErrInjected is the sentinel every injected failure wraps; transient by
@@ -221,4 +223,24 @@ func Counts() []Count {
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
 	return out
+}
+
+// RegisterMetrics contributes the armed points' hit/trip counters to a
+// metrics registry as scrape-time samples, so chaos runs show up on
+// /metrics. Nothing armed ⇒ nothing emitted.
+func RegisterMetrics(r *obs.Registry) {
+	r.Collect(func(emit func(obs.Sample)) {
+		for _, c := range Counts() {
+			emit(obs.Sample{
+				Name: "fault_injection_hits_total",
+				Help: "Times an armed fault point was consulted.", Type: "counter",
+				Value: float64(c.Hits), LabelPairs: []string{"point", c.Name},
+			})
+			emit(obs.Sample{
+				Name: "fault_injection_trips_total",
+				Help: "Times an armed fault point injected a failure.", Type: "counter",
+				Value: float64(c.Trips), LabelPairs: []string{"point", c.Name},
+			})
+		}
+	})
 }

@@ -370,6 +370,22 @@ func (t *Timer) Total(name string) time.Duration {
 // Names returns bucket names in first-use order.
 func (t *Timer) Names() []string { return append([]string(nil), t.order...) }
 
+// PhaseTotal is one timer bucket's accumulated wall-clock time, in the JSON
+// shape results and traces carry.
+type PhaseTotal struct {
+	Name    string  `json:"name"`
+	Seconds float64 `json:"seconds"`
+}
+
+// Totals snapshots every bucket in first-use order.
+func (t *Timer) Totals() []PhaseTotal {
+	out := make([]PhaseTotal, 0, len(t.order))
+	for _, name := range t.order {
+		out = append(out, PhaseTotal{Name: name, Seconds: t.Total(name).Seconds()})
+	}
+	return out
+}
+
 // String renders all buckets.
 func (t *Timer) String() string {
 	var b strings.Builder

@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+// fixedLogger returns a logger with a deterministic clock and its buffer.
+func fixedLogger(level Level) (*Logger, *strings.Builder) {
+	var b strings.Builder
+	l := &Logger{mu: &sync.Mutex{}, w: &b, level: level,
+		nowFn: func() time.Time { return time.Date(2026, 8, 6, 12, 0, 0, 0, time.UTC) }}
+	return l, &b
+}
+
+func TestLoggerLineFormat(t *testing.T) {
+	l, b := fixedLogger(LevelInfo)
+	l.Info("job done", Str("job", "job-000001"), Str("note", "two words"))
+	want := `ts=2026-08-06T12:00:00.000Z level=info msg="job done" job=job-000001 note="two words"` + "\n"
+	if got := b.String(); got != want {
+		t.Errorf("line = %q, want %q", got, want)
+	}
+}
+
+func TestLoggerLevelFiltering(t *testing.T) {
+	l, b := fixedLogger(LevelWarn)
+	l.Debug("d")
+	l.Info("i")
+	l.Warn("w")
+	l.Error("e")
+	out := b.String()
+	if strings.Contains(out, "level=debug") || strings.Contains(out, "level=info") {
+		t.Errorf("below-threshold lines emitted:\n%s", out)
+	}
+	if !strings.Contains(out, "level=warn") || !strings.Contains(out, "level=error") {
+		t.Errorf("at-or-above-threshold lines missing:\n%s", out)
+	}
+	if !l.Enabled(LevelError) || l.Enabled(LevelDebug) {
+		t.Error("Enabled thresholds wrong")
+	}
+}
+
+func TestLoggerWithBindsAttrs(t *testing.T) {
+	l, b := fixedLogger(LevelInfo)
+	jl := l.With(Str("job", "job-000007"))
+	jl.Info("attempt start", Str("mode", "min"))
+	line := b.String()
+	if !strings.Contains(line, "job=job-000007") || !strings.Contains(line, "mode=min") {
+		t.Errorf("bound attrs missing: %q", line)
+	}
+	// The parent logger is unaffected by the child's bindings.
+	b.Reset()
+	l.Info("plain")
+	if strings.Contains(b.String(), "job=") {
+		t.Errorf("parent logger inherited child binding: %q", b.String())
+	}
+}
+
+func TestLoggerValueQuoting(t *testing.T) {
+	l, b := fixedLogger(LevelInfo)
+	l.Info("m", Str("a", `has"quote`), Str("b", "has=eq"), Str("c", ""), Str("d", "plain"))
+	line := b.String()
+	for _, want := range []string{`a="has\"quote"`, `b="has=eq"`, `c=""`, " d=plain"} {
+		if !strings.Contains(line, want) {
+			t.Errorf("line %q missing %q", line, want)
+		}
+	}
+}
+
+func TestLoggerNilSafe(t *testing.T) {
+	var l *Logger
+	l.Debug("x")
+	l.Info("x")
+	l.Warn("x")
+	l.Error("x")
+	if l.With(Str("a", "b")) != nil {
+		t.Error("nil.With should stay nil")
+	}
+	if l.Enabled(LevelError) {
+		t.Error("nil logger reports enabled")
+	}
+}
+
+func TestParseLevel(t *testing.T) {
+	for in, want := range map[string]Level{
+		"debug": LevelDebug, "info": LevelInfo, "": LevelInfo,
+		"warn": LevelWarn, "warning": LevelWarn, "ERROR": LevelError,
+	} {
+		got, err := ParseLevel(in)
+		if err != nil || got != want {
+			t.Errorf("ParseLevel(%q) = %v, %v; want %v", in, got, err, want)
+		}
+	}
+	if _, err := ParseLevel("loud"); err == nil {
+		t.Error("ParseLevel accepted garbage")
+	}
+}

@@ -1,0 +1,492 @@
+// Package obs is the repository's dependency-free observability layer:
+// a metrics registry (counters, gauges, fixed-bucket histograms) exposed in
+// the Prometheus text format, a lightweight span/event trace model for job
+// timelines, and a leveled key=value structured logger. The serving stack
+// (internal/serve, cmd/precisiond) and both mini-app step loops thread their
+// instrumentation through it.
+//
+// Hot-path discipline: instruments are resolved once (a map lookup under a
+// lock at construction) and then updated with plain atomics — Counter.Add,
+// Gauge.Set and Histogram.Observe allocate nothing and take no locks, so a
+// solver step loop can observe every step without perturbing the
+// AllocBytes/AllocCount accounting the paper's tables depend on.
+// Exposition walks the registry under its lock at scrape time; scrapes are
+// rare and never on the solver path.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Default is the process-wide registry: the one cmd/precisiond serves at
+// GET /metrics and the one the mini-app step loops pre-resolve their
+// instruments from.
+var Default = NewRegistry()
+
+// Metric types, as the Prometheus text format names them.
+const (
+	typeCounter   = "counter"
+	typeGauge     = "gauge"
+	typeHistogram = "histogram"
+)
+
+// Registry holds metric families and scrape-time collectors.
+type Registry struct {
+	mu         sync.Mutex
+	families   map[string]*family
+	collectors []CollectorFunc
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: map[string]*family{}}
+}
+
+// family is one named metric with a fixed label schema; children are the
+// per-label-value instruments.
+type family struct {
+	name, help string
+	typ        string
+	labels     []string
+	bounds     []float64 // histograms only
+
+	mu       sync.Mutex
+	children map[string]*child
+	order    []string
+}
+
+// child is one instrument instance: exactly one of counter/gauge/histogram
+// storage is live, per the family type.
+type child struct {
+	labelValues []string
+	counter     atomic.Uint64
+	gauge       atomic.Int64
+	hist        *Histogram
+}
+
+// Counter is a monotonically increasing count. The zero-cost handle callers
+// keep after resolving it once from the registry.
+type Counter struct{ c *child }
+
+// Add increments the counter by n.
+func (c Counter) Add(n uint64) {
+	if c.c != nil {
+		c.c.counter.Add(n)
+	}
+}
+
+// Inc increments the counter by one.
+func (c Counter) Inc() { c.Add(1) }
+
+// Value returns the current count.
+func (c Counter) Value() uint64 {
+	if c.c == nil {
+		return 0
+	}
+	return c.c.counter.Load()
+}
+
+// Gauge is a settable instantaneous value.
+type Gauge struct{ c *child }
+
+// Set stores v.
+func (g Gauge) Set(v int64) {
+	if g.c != nil {
+		g.c.gauge.Store(v)
+	}
+}
+
+// Add moves the gauge by delta (negative to decrease).
+func (g Gauge) Add(delta int64) {
+	if g.c != nil {
+		g.c.gauge.Add(delta)
+	}
+}
+
+// Value returns the current value.
+func (g Gauge) Value() int64 {
+	if g.c == nil {
+		return 0
+	}
+	return g.c.gauge.Load()
+}
+
+// Histogram is a fixed-bucket distribution. Buckets are cumulative at
+// exposition; Observe is a linear scan over the (small, fixed) bounds plus
+// three atomic updates — no locks, no allocation.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is the +Inf overflow
+	count  atomic.Uint64
+	sum    atomic.Uint64 // float64 bits, CAS-accumulated
+}
+
+func newHistogram(bounds []float64) *Histogram {
+	return &Histogram{bounds: bounds, counts: make([]atomic.Uint64, len(bounds)+1)}
+}
+
+// Observe records one value. Values equal to a bucket's upper bound land in
+// that bucket (Prometheus `le` semantics).
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// ObserveSince records the seconds elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	h.Observe(time.Since(start).Seconds())
+}
+
+// Count returns the total number of observations.
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of all observed values.
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// CounterVec, GaugeVec and HistogramVec are label-schema'd families whose
+// With method resolves (creating on first use) the child for one label-value
+// tuple. Resolution locks and may allocate — do it once, keep the handle.
+type CounterVec struct{ f *family }
+
+// With resolves the child counter for the given label values. On a zero
+// CounterVec (no registry configured) it returns a no-op handle.
+func (v CounterVec) With(labelValues ...string) Counter {
+	if v.f == nil {
+		return Counter{}
+	}
+	return Counter{c: v.f.child(labelValues)}
+}
+
+// GaugeVec is the gauge form of CounterVec.
+type GaugeVec struct{ f *family }
+
+// With resolves the child gauge for the given label values; no-op handle on
+// a zero GaugeVec.
+func (v GaugeVec) With(labelValues ...string) Gauge {
+	if v.f == nil {
+		return Gauge{}
+	}
+	return Gauge{c: v.f.child(labelValues)}
+}
+
+// HistogramVec is the histogram form of CounterVec.
+type HistogramVec struct{ f *family }
+
+// With resolves the child histogram for the given label values; nil (which
+// Observe tolerates) on a zero HistogramVec.
+func (v HistogramVec) With(labelValues ...string) *Histogram {
+	if v.f == nil {
+		return nil
+	}
+	return v.f.child(labelValues).hist
+}
+
+// child resolves one label tuple, creating its instrument on first use.
+func (f *family) child(labelValues []string) *child {
+	if len(labelValues) != len(f.labels) {
+		panic(fmt.Sprintf("obs: metric %s wants %d label values, got %d", f.name, len(f.labels), len(labelValues)))
+	}
+	key := strings.Join(labelValues, "\xff")
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if c, ok := f.children[key]; ok {
+		return c
+	}
+	c := &child{labelValues: append([]string(nil), labelValues...)}
+	if f.typ == typeHistogram {
+		c.hist = newHistogram(f.bounds)
+	}
+	f.children[key] = c
+	f.order = append(f.order, key)
+	return c
+}
+
+// register returns (creating if needed) the family, enforcing that a name
+// is only ever registered with one type and label schema.
+func (r *Registry) register(name, help, typ string, labels []string, bounds []float64) *family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if f, ok := r.families[name]; ok {
+		if f.typ != typ || len(f.labels) != len(labels) {
+			panic(fmt.Sprintf("obs: metric %s re-registered as %s with %d labels (have %s with %d)",
+				name, typ, len(labels), f.typ, len(f.labels)))
+		}
+		for i := range labels {
+			if f.labels[i] != labels[i] {
+				panic(fmt.Sprintf("obs: metric %s re-registered with label %q (have %q)", name, labels[i], f.labels[i]))
+			}
+		}
+		return f
+	}
+	f := &family{
+		name: name, help: help, typ: typ,
+		labels:   append([]string(nil), labels...),
+		bounds:   append([]float64(nil), bounds...),
+		children: map[string]*child{},
+	}
+	r.families[name] = f
+	return f
+}
+
+// Counter registers (or finds) an unlabelled counter.
+func (r *Registry) Counter(name, help string) Counter {
+	return Counter{c: r.register(name, help, typeCounter, nil, nil).child(nil)}
+}
+
+// CounterVec registers (or finds) a labelled counter family.
+func (r *Registry) CounterVec(name, help string, labels ...string) CounterVec {
+	return CounterVec{f: r.register(name, help, typeCounter, labels, nil)}
+}
+
+// Gauge registers (or finds) an unlabelled gauge.
+func (r *Registry) Gauge(name, help string) Gauge {
+	return Gauge{c: r.register(name, help, typeGauge, nil, nil).child(nil)}
+}
+
+// GaugeVec registers (or finds) a labelled gauge family.
+func (r *Registry) GaugeVec(name, help string, labels ...string) GaugeVec {
+	return GaugeVec{f: r.register(name, help, typeGauge, labels, nil)}
+}
+
+// Histogram registers (or finds) an unlabelled histogram with the given
+// bucket upper bounds (strictly increasing; +Inf is implicit).
+func (r *Registry) Histogram(name, help string, bounds []float64) *Histogram {
+	return r.register(name, help, typeHistogram, nil, bounds).child(nil).hist
+}
+
+// HistogramVec registers (or finds) a labelled histogram family.
+func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...string) HistogramVec {
+	return HistogramVec{f: r.register(name, help, typeHistogram, labels, bounds)}
+}
+
+// Sample is one scrape-time data point contributed by a collector.
+type Sample struct {
+	Name  string
+	Help  string
+	Type  string // "counter" or "gauge"
+	Value float64
+	// LabelPairs is k1, v1, k2, v2, …
+	LabelPairs []string
+}
+
+// CollectorFunc contributes samples computed at scrape time (queue depth,
+// fault-injection counters, anything whose source of truth lives elsewhere).
+type CollectorFunc func(emit func(Sample))
+
+// Collect registers a scrape-time collector.
+func (r *Registry) Collect(fn CollectorFunc) {
+	r.mu.Lock()
+	r.collectors = append(r.collectors, fn)
+	r.mu.Unlock()
+}
+
+// Bucket presets. DurationBuckets suit request/run latencies from
+// microseconds to minutes; StepBuckets suit solver steps; FsyncBuckets suit
+// journal fsync latency.
+var (
+	DurationBuckets = []float64{0.001, 0.005, 0.01, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60, 120, 300}
+	StepBuckets     = []float64{1e-5, 3e-5, 1e-4, 3e-4, 1e-3, 3e-3, 0.01, 0.03, 0.1, 0.3, 1, 3}
+	FsyncBuckets    = []float64{1e-5, 5e-5, 1e-4, 5e-4, 1e-3, 5e-3, 0.01, 0.05, 0.1, 0.5, 1}
+)
+
+// WritePrometheus renders the registry in the Prometheus text exposition
+// format (version 0.0.4): families sorted by name, children sorted by label
+// values, histograms as cumulative _bucket/_sum/_count series.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	r.mu.Lock()
+	names := make([]string, 0, len(r.families))
+	for name := range r.families {
+		names = append(names, name)
+	}
+	fams := make([]*family, 0, len(names))
+	sort.Strings(names)
+	for _, name := range names {
+		fams = append(fams, r.families[name])
+	}
+	collectors := append([]CollectorFunc(nil), r.collectors...)
+	r.mu.Unlock()
+
+	var b strings.Builder
+	for _, f := range fams {
+		f.write(&b)
+	}
+	writeCollected(&b, collectors)
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// Handler serves WritePrometheus over HTTP.
+func (r *Registry) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		r.WritePrometheus(w)
+	})
+}
+
+func (f *family) write(b *strings.Builder) {
+	f.mu.Lock()
+	keys := append([]string(nil), f.order...)
+	sort.Strings(keys)
+	children := make([]*child, 0, len(keys))
+	for _, k := range keys {
+		children = append(children, f.children[k])
+	}
+	f.mu.Unlock()
+	if len(children) == 0 {
+		return
+	}
+
+	writeHeader(b, f.name, f.help, f.typ)
+	for _, c := range children {
+		switch f.typ {
+		case typeCounter:
+			writeSample(b, f.name, f.labels, c.labelValues, "", "", formatUint(c.counter.Load()))
+		case typeGauge:
+			writeSample(b, f.name, f.labels, c.labelValues, "", "", strconv.FormatInt(c.gauge.Load(), 10))
+		case typeHistogram:
+			h := c.hist
+			cum := uint64(0)
+			for i, bound := range h.bounds {
+				cum += h.counts[i].Load()
+				writeSample(b, f.name+"_bucket", f.labels, c.labelValues, "le", formatFloat(bound), formatUint(cum))
+			}
+			cum += h.counts[len(h.bounds)].Load()
+			writeSample(b, f.name+"_bucket", f.labels, c.labelValues, "le", "+Inf", formatUint(cum))
+			writeSample(b, f.name+"_sum", f.labels, c.labelValues, "", "", formatFloat(h.Sum()))
+			writeSample(b, f.name+"_count", f.labels, c.labelValues, "", "", formatUint(h.count.Load()))
+		}
+	}
+}
+
+// writeCollected renders collector samples grouped by metric name (one
+// HELP/TYPE header per name, in first-emitted order).
+func writeCollected(b *strings.Builder, collectors []CollectorFunc) {
+	var order []string
+	grouped := map[string][]Sample{}
+	for _, fn := range collectors {
+		fn(func(s Sample) {
+			if _, ok := grouped[s.Name]; !ok {
+				order = append(order, s.Name)
+			}
+			grouped[s.Name] = append(grouped[s.Name], s)
+		})
+	}
+	sort.Strings(order)
+	for _, name := range order {
+		samples := grouped[name]
+		writeHeader(b, name, samples[0].Help, samples[0].Type)
+		for _, s := range samples {
+			var labels, values []string
+			for i := 0; i+1 < len(s.LabelPairs); i += 2 {
+				labels = append(labels, s.LabelPairs[i])
+				values = append(values, s.LabelPairs[i+1])
+			}
+			writeSample(b, name, labels, values, "", "", formatFloat(s.Value))
+		}
+	}
+}
+
+func writeHeader(b *strings.Builder, name, help, typ string) {
+	if help != "" {
+		fmt.Fprintf(b, "# HELP %s %s\n", name, escapeHelp(help))
+	}
+	fmt.Fprintf(b, "# TYPE %s %s\n", name, typ)
+}
+
+// writeSample writes one series line; extraK/extraV append one more label
+// (the histogram `le`).
+func writeSample(b *strings.Builder, name string, labels, values []string, extraK, extraV, value string) {
+	b.WriteString(name)
+	if len(labels) > 0 || extraK != "" {
+		b.WriteByte('{')
+		first := true
+		for i := range labels {
+			if !first {
+				b.WriteByte(',')
+			}
+			first = false
+			b.WriteString(labels[i])
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(values[i]))
+			b.WriteByte('"')
+		}
+		if extraK != "" {
+			if !first {
+				b.WriteByte(',')
+			}
+			b.WriteString(extraK)
+			b.WriteString(`="`)
+			b.WriteString(escapeLabel(extraV))
+			b.WriteByte('"')
+		}
+		b.WriteByte('}')
+	}
+	b.WriteByte(' ')
+	b.WriteString(value)
+	b.WriteByte('\n')
+}
+
+func formatUint(v uint64) string { return strconv.FormatUint(v, 10) }
+
+func formatFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatFloat(v, 'f', -1, 64)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// StepDuration pre-resolves the shared per-step duration histogram for one
+// mini-app at one precision mode. Both solvers call this once at
+// construction so their step loops observe into Default without resolving
+// (or allocating) anything per step.
+func StepDuration(app, mode string) *Histogram {
+	return Default.HistogramVec(
+		"miniapp_step_duration_seconds",
+		"Wall-clock duration of one solver step.",
+		StepBuckets, "app", "mode",
+	).With(app, mode)
+}

@@ -1,0 +1,217 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "help")
+	c.Inc()
+	c.Add(4)
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g := r.Gauge("g", "help")
+	g.Set(7)
+	g.Add(-3)
+	if got := g.Value(); got != 4 {
+		t.Errorf("gauge = %d, want 4", got)
+	}
+	// Re-registering the same name+schema returns the same instrument.
+	if got := r.Counter("c_total", "help").Value(); got != 5 {
+		t.Errorf("re-resolved counter = %d, want 5", got)
+	}
+}
+
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("h_seconds", "help", []float64{1, 2, 5})
+	// Prometheus `le` semantics: a value equal to an upper bound lands in
+	// that bucket, not the next one.
+	for _, v := range []float64{0.5, 1, 1.5, 2, 5, 7} {
+		h.Observe(v)
+	}
+	want := []uint64{2, 2, 1, 1} // (≤1)=0.5,1  (≤2)=1.5,2  (≤5)=5  (+Inf)=7
+	for i, w := range want {
+		if got := h.counts[i].Load(); got != w {
+			t.Errorf("bucket %d = %d, want %d", i, got, w)
+		}
+	}
+	if got := h.Count(); got != 6 {
+		t.Errorf("count = %d, want 6", got)
+	}
+	if got := h.Sum(); got != 17.0 {
+		t.Errorf("sum = %g, want 17", got)
+	}
+}
+
+func TestHistogramNilSafe(t *testing.T) {
+	var h *Histogram
+	h.Observe(1)
+	h.ObserveSince(time.Now())
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Error("nil histogram reported observations")
+	}
+}
+
+func TestVecZeroValueSafe(t *testing.T) {
+	var cv CounterVec
+	cv.With("x").Inc() // must not panic
+	var gv GaugeVec
+	gv.With("x").Set(1)
+	var hv HistogramVec
+	hv.With("x").Observe(1)
+	var c Counter
+	c.Inc()
+	var g Gauge
+	g.Add(1)
+}
+
+func TestRegisterPanicsOnSchemaMismatch(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("m", "help")
+	defer func() {
+		if recover() == nil {
+			t.Error("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r.Gauge("m", "help")
+}
+
+// TestPrometheusGolden pins the full text exposition: family ordering,
+// label rendering, cumulative histogram series, collector output.
+func TestPrometheusGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("t_jobs_total", "Total jobs.").Add(3)
+	cv := r.CounterVec("t_runs_total", "Runs by mode.", "mode")
+	cv.With("min").Add(2)
+	cv.With("full").Inc()
+	r.Gauge("t_depth", "Queue depth.").Set(7)
+	h := r.Histogram("t_lat_seconds", "Latency.", []float64{0.5, 2})
+	for _, v := range []float64{0.25, 0.5, 0.75, 4} {
+		h.Observe(v)
+	}
+	r.Collect(func(emit func(Sample)) {
+		emit(Sample{Name: "t_extra", Help: "Extra.", Type: "gauge",
+			Value: 2.5, LabelPairs: []string{"k", "v"}})
+	})
+
+	want := `# HELP t_depth Queue depth.
+# TYPE t_depth gauge
+t_depth 7
+# HELP t_jobs_total Total jobs.
+# TYPE t_jobs_total counter
+t_jobs_total 3
+# HELP t_lat_seconds Latency.
+# TYPE t_lat_seconds histogram
+t_lat_seconds_bucket{le="0.5"} 2
+t_lat_seconds_bucket{le="2"} 3
+t_lat_seconds_bucket{le="+Inf"} 4
+t_lat_seconds_sum 5.5
+t_lat_seconds_count 4
+# HELP t_runs_total Runs by mode.
+# TYPE t_runs_total counter
+t_runs_total{mode="full"} 1
+t_runs_total{mode="min"} 2
+# HELP t_extra Extra.
+# TYPE t_extra gauge
+t_extra{k="v"} 2.5
+`
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	if got := b.String(); got != want {
+		t.Errorf("exposition mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.CounterVec("esc_total", "h", "msg").With("say \"hi\"\nback\\slash").Inc()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	want := `esc_total{msg="say \"hi\"\nback\\slash"} 1` + "\n"
+	if !strings.Contains(b.String(), want) {
+		t.Errorf("escaped label line missing:\n%s", b.String())
+	}
+}
+
+// TestRegistryConcurrency hammers resolution, updates and scrapes from many
+// goroutines; run under -race this is the data-race check, and the final
+// counts must still be exact.
+func TestRegistryConcurrency(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("conc_total", "h")
+	h := r.Histogram("conc_seconds", "h", DurationBuckets)
+	cv := r.CounterVec("conc_modes_total", "h", "mode")
+
+	const goroutines, iters = 8, 1000
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			mode := []string{"min", "mixed", "full"}[g%3]
+			for i := 0; i < iters; i++ {
+				c.Inc()
+				h.Observe(float64(i) * 1e-4)
+				cv.With(mode).Inc() // concurrent resolution of shared children
+			}
+		}(g)
+	}
+	// Concurrent scrapes must not race the writers.
+	var scrapeWG sync.WaitGroup
+	scrapeWG.Add(1)
+	go func() {
+		defer scrapeWG.Done()
+		for i := 0; i < 50; i++ {
+			var b strings.Builder
+			if err := r.WritePrometheus(&b); err != nil {
+				t.Error(err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	scrapeWG.Wait()
+
+	if got := c.Value(); got != goroutines*iters {
+		t.Errorf("counter = %d, want %d", got, goroutines*iters)
+	}
+	if got := h.Count(); got != goroutines*iters {
+		t.Errorf("histogram count = %d, want %d", got, goroutines*iters)
+	}
+	total := cv.With("min").Value() + cv.With("mixed").Value() + cv.With("full").Value()
+	if total != goroutines*iters {
+		t.Errorf("labelled counters sum = %d, want %d", total, goroutines*iters)
+	}
+}
+
+// TestHotPathAllocFree pins the zero-allocation contract the solver step
+// loops rely on: updating a resolved instrument never allocates.
+func TestHotPathAllocFree(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("alloc_total", "h")
+	g := r.Gauge("alloc_gauge", "h")
+	h := r.Histogram("alloc_seconds", "h", StepBuckets)
+	if n := testing.AllocsPerRun(1000, func() { c.Inc() }); n != 0 {
+		t.Errorf("Counter.Inc allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { g.Set(3) }); n != 0 {
+		t.Errorf("Gauge.Set allocates %v/op", n)
+	}
+	if n := testing.AllocsPerRun(1000, func() { h.Observe(2.5e-4) }); n != 0 {
+		t.Errorf("Histogram.Observe allocates %v/op", n)
+	}
+	step := StepDuration("testapp", "min") // resolved once, like the solvers do
+	if n := testing.AllocsPerRun(1000, func() { step.Observe(1e-4) }); n != 0 {
+		t.Errorf("StepDuration histogram Observe allocates %v/op", n)
+	}
+}

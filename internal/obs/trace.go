@@ -1,0 +1,189 @@
+package obs
+
+import (
+	"sync"
+	"time"
+)
+
+// Trace is one job's span timeline: a root span covering the job's whole
+// lifetime plus nested child spans for queue wait, execution attempts,
+// retry backoffs and escalations. Offsets are measured against a single
+// monotonic anchor taken at NewTrace, so span arithmetic is immune to wall
+// clock steps; StartedAt anchors the timeline in wall time for display.
+//
+// Traces are cheap (a handful of small structs per job, mutated under one
+// mutex on job state transitions — never on the solver step path) and are
+// therefore always on.
+type Trace struct {
+	mu        sync.Mutex
+	jobID     string
+	startedAt time.Time // wall anchor
+	anchor    time.Time // monotonic anchor (same instant)
+	spans     []spanRec
+}
+
+type spanRec struct {
+	name    string
+	parent  int // index into spans; -1 for the root
+	startNs int64
+	endNs   int64 // 0 while open
+	attrs   []Attr
+}
+
+// Attr is one span annotation.
+type Attr struct {
+	Key   string `json:"key"`
+	Value string `json:"value"`
+}
+
+// Str builds a string attribute.
+func Str(key, value string) Attr { return Attr{Key: key, Value: value} }
+
+// Span is a handle onto one span of a trace.
+type Span struct {
+	t *Trace
+	i int
+}
+
+// NewTrace starts a trace whose root span is open from now.
+func NewTrace(jobID, rootName string, attrs ...Attr) *Trace {
+	now := time.Now()
+	t := &Trace{jobID: jobID, startedAt: now, anchor: now}
+	t.spans = append(t.spans, spanRec{name: rootName, parent: -1, attrs: attrs})
+	return t
+}
+
+func (t *Trace) nowNs() int64 { return int64(time.Since(t.anchor)) }
+
+// Root returns the root span.
+func (t *Trace) Root() Span {
+	if t == nil {
+		return Span{}
+	}
+	return Span{t: t, i: 0}
+}
+
+// Child opens a child span starting now.
+func (s Span) Child(name string, attrs ...Attr) Span {
+	if s.t == nil {
+		return Span{}
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.spans = append(t.spans, spanRec{name: name, parent: s.i, startNs: t.nowNs(), attrs: attrs})
+	return Span{t: t, i: len(t.spans) - 1}
+}
+
+// Event records an instantaneous child span (start == end == now).
+func (s Span) Event(name string, attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.nowNs()
+	t.spans = append(t.spans, spanRec{name: name, parent: s.i, startNs: now, endNs: now, attrs: attrs})
+}
+
+// AggregateChild records a child span carrying a duration accumulated
+// elsewhere (a metrics.Timer phase bucket): it is anchored at the parent's
+// start and clamped inside the parent, and marked kind=aggregate so readers
+// do not mistake it for a contiguous interval.
+func (s Span) AggregateChild(name string, d time.Duration, attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.spans[s.i]
+	start := p.startNs
+	end := start + int64(d)
+	if pEnd := p.endNs; pEnd > 0 && end > pEnd {
+		end = pEnd
+	}
+	if end < start {
+		end = start
+	}
+	attrs = append(attrs, Attr{Key: "kind", Value: "aggregate"})
+	t.spans = append(t.spans, spanRec{name: name, parent: s.i, startNs: start, endNs: end, attrs: attrs})
+}
+
+// Annotate appends attributes to the span.
+func (s Span) Annotate(attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	s.t.mu.Lock()
+	s.t.spans[s.i].attrs = append(s.t.spans[s.i].attrs, attrs...)
+	s.t.mu.Unlock()
+}
+
+// End closes the span now. Ending an already-ended span is a no-op, so a
+// terminal path can close the root unconditionally.
+func (s Span) End() {
+	if s.t == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	if t.spans[s.i].endNs == 0 {
+		t.spans[s.i].endNs = t.nowNs()
+	}
+	t.mu.Unlock()
+}
+
+// TraceData is the JSON form of a trace: the wall-time anchor plus every
+// span with monotonic offsets from it.
+type TraceData struct {
+	JobID      string     `json:"job_id"`
+	StartedAt  time.Time  `json:"started_at"`
+	DurationNs int64      `json:"duration_ns"`
+	Spans      []SpanData `json:"spans"`
+}
+
+// SpanData is one span. Parent is an index into TraceData.Spans (-1 for the
+// root). An open span (job still in flight) has Open=true and EndNs frozen
+// at the snapshot instant.
+type SpanData struct {
+	Name       string `json:"name"`
+	Parent     int    `json:"parent"`
+	StartNs    int64  `json:"start_ns"`
+	EndNs      int64  `json:"end_ns"`
+	DurationNs int64  `json:"duration_ns"`
+	Open       bool   `json:"open,omitempty"`
+	Attrs      []Attr `json:"attrs,omitempty"`
+}
+
+// Snapshot freezes the trace for serialization. Safe to call on a live
+// trace; open spans are reported up to the snapshot instant.
+func (t *Trace) Snapshot() TraceData {
+	if t == nil {
+		return TraceData{}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	now := t.nowNs()
+	out := TraceData{JobID: t.jobID, StartedAt: t.startedAt, Spans: make([]SpanData, len(t.spans))}
+	for i, sp := range t.spans {
+		end, open := sp.endNs, false
+		if end == 0 { // still open: freeze at the snapshot instant
+			end, open = now, true
+		}
+		out.Spans[i] = SpanData{
+			Name:       sp.name,
+			Parent:     sp.parent,
+			StartNs:    sp.startNs,
+			EndNs:      end,
+			DurationNs: end - sp.startNs,
+			Open:       open,
+			Attrs:      append([]Attr(nil), sp.attrs...),
+		}
+	}
+	if len(out.Spans) > 0 {
+		out.DurationNs = out.Spans[0].DurationNs
+	}
+	return out
+}

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/metrics"
+	"repro/internal/obs"
 )
 
 // Series is the JSON shape of a solution line cut.
@@ -61,6 +62,14 @@ type Result struct {
 	// Measured timings (non-deterministic; excluded from ResultHash).
 	WallSeconds       float64 `json:"wall_seconds"`
 	FiniteDiffSeconds float64 `json:"finite_diff_seconds,omitempty"`
+	// Phases are the solver's per-phase wall-clock totals (the
+	// metrics.Timer buckets) in first-use order. Measured, so excluded from
+	// Deterministic / ResultHash like the other timings.
+	Phases []metrics.PhaseTotal `json:"phases,omitempty"`
+	// Trace, set by the serving layer, is the job's span timeline (queue
+	// wait, attempts, retries, escalations, phase aggregates). Measured and
+	// service-specific; excluded from Deterministic / ResultHash.
+	Trace *obs.TraceData `json:"trace,omitempty"`
 }
 
 // Deterministic returns a copy with the execution-dependent fields zeroed
@@ -70,6 +79,8 @@ func (r Result) Deterministic() Result {
 	r.WallSeconds = 0
 	r.FiniteDiffSeconds = 0
 	r.StateBytes = 0
+	r.Phases = nil
+	r.Trace = nil
 	return r
 }
 
@@ -164,6 +175,7 @@ func Run(ctx context.Context, spec ExperimentSpec, opts RunOpts) (*Result, error
 		res.MassError = &me
 		res.WallSeconds = r.WallTime.Seconds()
 		res.FiniteDiffSeconds = r.FiniteDiffTime.Seconds()
+		res.Phases = r.Phases
 		if n.LineCutN > 0 {
 			res.LineCut = &Series{Label: r.LineCut.Label, X: r.LineCut.X, Y: r.LineCut.Y}
 		}
@@ -181,6 +193,7 @@ func Run(ctx context.Context, spec ExperimentSpec, opts RunOpts) (*Result, error
 		res.StateBytes = r.StateBytes
 		res.CheckpointBytes = r.CheckpointBytes
 		res.WallSeconds = r.WallTime.Seconds()
+		res.Phases = r.Phases
 		if n.LineCutN > 0 {
 			res.LineCut = &Series{Label: r.LineCut.Label, X: r.LineCut.X, Y: r.LineCut.Y}
 		}

@@ -23,6 +23,7 @@ import (
 	"time"
 
 	"repro/internal/metrics"
+	"repro/internal/obs"
 	"repro/internal/par"
 	"repro/internal/precision"
 	"repro/internal/spectral"
@@ -200,6 +201,9 @@ type Solver[S, C precision.Real] struct {
 
 	// Preresolved timer buckets (allocation-free phase timing).
 	phRHS, phRK, phFilter metrics.PhaseCell
+	// Preresolved per-step duration histogram in the process-wide obs
+	// registry (allocation-free Observe; served at precisiond's /metrics).
+	stepDur *obs.Histogram
 }
 
 // NewSolver builds the solver, background state and thermal-bubble initial
@@ -240,6 +244,16 @@ func NewSolver[S, C precision.Real](cfg Config) (*Solver[S, C], error) {
 	s.phRHS = s.timer.Cell("rhs")
 	s.phRK = s.timer.Cell("rk")
 	s.phFilter = s.timer.Cell("filter")
+	var sv S
+	var cv C
+	modeLabel := "min"
+	switch {
+	case sizeofReal(sv) == 8:
+		modeLabel = "full"
+	case sizeofReal(cv) == 8:
+		modeLabel = "mixed"
+	}
+	s.stepDur = obs.StepDuration("self", modeLabel)
 	s.setupMath()
 	s.setupBackground()
 	s.allocate()
@@ -415,6 +429,7 @@ var lsrkB = [3]float64{1.0 / 3.0, 15.0 / 16.0, 8.0 / 15.0}
 // Step advances one RK3 timestep (3 RHS evaluations) and applies the modal
 // filter on schedule.
 func (s *Solver[S, C]) Step() error {
+	startStep := time.Now()
 	dt := s.cfg.DT
 	if dt == 0 {
 		dt = s.StableDT()
@@ -437,6 +452,7 @@ func (s *Solver[S, C]) Step() error {
 	}
 	s.time += dt
 	s.step++
+	s.stepDur.ObserveSince(startStep)
 	// Blow-up guard: probe one representative node per step.
 	probe := float64(s.q[iRho][s.nNodes/2])
 	if math.IsNaN(probe) || probe <= 0 {

@@ -6,7 +6,9 @@
 //	GET  /v1/jobs/{id}         job view (status, progress, cached flag)
 //	GET  /v1/jobs/{id}/result  block until terminal; raw result payload
 //	GET  /v1/jobs/{id}/stream  NDJSON progress: one view per change, then done
+//	GET  /v1/jobs/{id}/trace   span timeline (queue wait, attempts, retries)
 //	GET  /v1/cache/stats       scheduler + cache counters
+//	GET  /metrics              Prometheus text exposition (WithMetrics)
 //	GET  /healthz              liveness; 503 + JSON detail when degraded
 //
 // The result endpoint returns the cache payload verbatim, so every
@@ -20,9 +22,12 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"runtime"
+	"runtime/debug"
 	"strings"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/serve/cache"
 	"repro/internal/serve/queue"
@@ -36,6 +41,10 @@ type Server struct {
 
 	// pollInterval paces the NDJSON stream's snapshot polling.
 	pollInterval time.Duration
+	// metrics, when non-nil, is served at GET /metrics.
+	metrics *obs.Registry
+	// started anchors the /healthz uptime report.
+	started time.Time
 }
 
 // Option adjusts a Server.
@@ -46,10 +55,16 @@ func WithPollInterval(d time.Duration) Option {
 	return func(s *Server) { s.pollInterval = d }
 }
 
+// WithMetrics serves the registry's Prometheus text exposition at
+// GET /metrics.
+func WithMetrics(r *obs.Registry) Option {
+	return func(s *Server) { s.metrics = r }
+}
+
 // New builds the API over a scheduler and its cache (cache may be nil when
 // the scheduler runs uncached).
 func New(sched *queue.Scheduler, c *cache.Cache, opts ...Option) *Server {
-	s := &Server{sched: sched, cache: c, pollInterval: 200 * time.Millisecond}
+	s := &Server{sched: sched, cache: c, pollInterval: 200 * time.Millisecond, started: time.Now()}
 	for _, o := range opts {
 		o(s)
 	}
@@ -59,17 +74,64 @@ func New(sched *queue.Scheduler, c *cache.Cache, opts ...Option) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}", s.jobView)
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.jobResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.jobStream)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.jobTrace)
 	mux.HandleFunc("GET /v1/cache/stats", s.stats)
 	mux.HandleFunc("GET /healthz", s.healthz)
+	if s.metrics != nil {
+		mux.Handle("GET /metrics", s.metrics.Handler())
+	}
 	s.mux = mux
 	return s
 }
 
+// buildInfo renders the module version and VCS revision baked into the
+// binary ("(devel)" under plain `go build`, "unknown" under `go test`).
+func buildInfo() string {
+	bi, ok := debug.ReadBuildInfo()
+	if !ok {
+		return "unknown"
+	}
+	version, revision := bi.Main.Version, ""
+	for _, kv := range bi.Settings {
+		if kv.Key == "vcs.revision" {
+			revision = kv.Value
+		}
+	}
+	if version == "" {
+		version = "unknown"
+	}
+	if revision != "" {
+		if len(revision) > 12 {
+			revision = revision[:12]
+		}
+		return version + " " + revision
+	}
+	return version
+}
+
+// runtimeVersion is the Go toolchain that built the binary.
+func runtimeVersion() string { return runtime.Version() }
+
+// healthDetail is the /healthz degraded payload: the failing reasons plus
+// enough context to debug the node without shelling into it.
+type healthDetail struct {
+	Status        string   `json:"status"`
+	Reasons       []string `json:"reasons"`
+	UptimeSeconds float64  `json:"uptime_seconds"`
+	Build         string   `json:"build"`
+	GoVersion     string   `json:"go_version"`
+	// LastJournalError / LastCacheError retain the most recent durability
+	// incident even if the subsystem has since recovered.
+	LastJournalError string `json:"last_journal_error,omitempty"`
+	LastCacheError   string `json:"last_cache_error,omitempty"`
+}
+
 // healthz reports liveness. Healthy stays the plain-text "ok" probes have
 // always read; a daemon whose durability machinery is broken — cache dir
-// unwritable, journal unable to fsync — answers 503 with the reasons, so
-// orchestrators stop routing work to a node that would accept jobs it
-// cannot keep.
+// unwritable, journal unable to fsync — answers 503 with the reasons plus
+// uptime, build info and the last journal/cache error, so orchestrators
+// stop routing work to a node that would accept jobs it cannot keep and
+// operators see why without shelling in.
 func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 	var reasons []string
 	if s.cache != nil {
@@ -81,10 +143,18 @@ func (s *Server) healthz(w http.ResponseWriter, r *http.Request) {
 		reasons = append(reasons, err.Error())
 	}
 	if len(reasons) > 0 {
-		writeJSON(w, http.StatusServiceUnavailable, struct {
-			Status  string   `json:"status"`
-			Reasons []string `json:"reasons"`
-		}{Status: "degraded", Reasons: reasons})
+		detail := healthDetail{
+			Status:        "degraded",
+			Reasons:       reasons,
+			UptimeSeconds: time.Since(s.started).Seconds(),
+			Build:         buildInfo(),
+			GoVersion:     runtimeVersion(),
+		}
+		detail.LastJournalError = s.sched.JournalLastError()
+		if s.cache != nil {
+			detail.LastCacheError = s.cache.LastError()
+		}
+		writeJSON(w, http.StatusServiceUnavailable, detail)
 		return
 	}
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
@@ -197,6 +267,17 @@ func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeError(w, http.StatusInternalServerError, "job failed: %s", job.Snapshot().Error)
+}
+
+// jobTrace returns the job's span timeline as JSON. Available at any point
+// in the lifecycle: a running job reports its spans so far, with the open
+// ones frozen at the snapshot instant.
+func (s *Server) jobTrace(w http.ResponseWriter, r *http.Request) {
+	job, ok := s.job(w, r)
+	if !ok {
+		return
+	}
+	writeJSON(w, http.StatusOK, job.Trace())
 }
 
 // jobStream emits the job's view as NDJSON: one line per observed change

@@ -326,14 +326,27 @@ func TestHealthzDegradesOnJournalFault(t *testing.T) {
 		t.Fatalf("degraded healthz = %d %q, want 503", code, body)
 	}
 	var degraded struct {
-		Status  string   `json:"status"`
-		Reasons []string `json:"reasons"`
+		Status           string   `json:"status"`
+		Reasons          []string `json:"reasons"`
+		UptimeSeconds    float64  `json:"uptime_seconds"`
+		Build            string   `json:"build"`
+		GoVersion        string   `json:"go_version"`
+		LastJournalError string   `json:"last_journal_error"`
 	}
 	if err := json.Unmarshal([]byte(body), &degraded); err != nil {
 		t.Fatal(err)
 	}
 	if degraded.Status != "degraded" || len(degraded.Reasons) == 0 || !strings.Contains(degraded.Reasons[0], "journal") {
 		t.Errorf("degraded detail = %+v", degraded)
+	}
+	if degraded.UptimeSeconds <= 0 {
+		t.Errorf("degraded payload uptime = %v, want > 0", degraded.UptimeSeconds)
+	}
+	if degraded.Build == "" || !strings.HasPrefix(degraded.GoVersion, "go") {
+		t.Errorf("degraded payload build info = %q / %q", degraded.Build, degraded.GoVersion)
+	}
+	if !strings.Contains(degraded.LastJournalError, "injected failure") {
+		t.Errorf("degraded payload last journal error = %q, want the injected fsync failure", degraded.LastJournalError)
 	}
 
 	fault.Disarm()

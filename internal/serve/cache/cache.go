@@ -28,6 +28,7 @@ import (
 	"sync/atomic"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 )
 
 // headerTag identifies (and versions) the entry encoding.
@@ -41,6 +42,50 @@ type Cache struct {
 	hits, misses, puts atomic.Uint64
 	corruptDropped     atomic.Uint64
 	errors             atomic.Uint64
+	// lastErr retains the most recent put failure or corruption notice for
+	// /healthz forensics; it is never cleared.
+	lastErr atomic.Value // string
+}
+
+// recordErr counts an error, retains its message, and returns it.
+func (c *Cache) recordErr(err error) error {
+	c.errors.Add(1)
+	c.lastErr.Store(err.Error())
+	return err
+}
+
+// LastError returns the most recent put failure or corruption notice
+// ("" if the cache has never misbehaved).
+func (c *Cache) LastError() string {
+	if v, ok := c.lastErr.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// RegisterMetrics contributes the cache's traffic counters to a metrics
+// registry as scrape-time samples (the atomics are the source of truth;
+// mirroring them continuously would just race the mirror).
+func (c *Cache) RegisterMetrics(r *obs.Registry) {
+	r.Collect(func(emit func(obs.Sample)) {
+		const name = "precisiond_cache_events_total"
+		const help = "Result-cache traffic by event (mirrors /v1/cache/stats)."
+		for _, e := range []struct {
+			event string
+			v     uint64
+		}{
+			{"hit", c.hits.Load()},
+			{"miss", c.misses.Load()},
+			{"put", c.puts.Load()},
+			{"corrupt_dropped", c.corruptDropped.Load()},
+			{"error", c.errors.Load()},
+		} {
+			emit(obs.Sample{
+				Name: name, Help: help, Type: "counter",
+				Value: float64(e.v), LabelPairs: []string{"event", e.event},
+			})
+		}
+	})
 }
 
 // Open roots a cache at dir, creating it if needed.
@@ -78,25 +123,21 @@ func (c *Cache) path(key string) string {
 // writer wins is harmless).
 func (c *Cache) Put(key string, payload []byte) error {
 	if !validKey(key) {
-		c.errors.Add(1)
-		return fmt.Errorf("cache: invalid key %q", key)
+		return c.recordErr(fmt.Errorf("cache: invalid key %q", key))
 	}
 	if err := fault.Error("cache.put"); err != nil {
-		c.errors.Add(1)
-		return fmt.Errorf("cache: put %s: %w", key, err)
+		return c.recordErr(fmt.Errorf("cache: put %s: %w", key, err))
 	}
 	dir := filepath.Join(c.dir, key[:2])
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		c.errors.Add(1)
-		return fmt.Errorf("cache: put %s: %w", key, err)
+		return c.recordErr(fmt.Errorf("cache: put %s: %w", key, err))
 	}
 	sum := sha256.Sum256(payload)
 	header := fmt.Sprintf("%s %s %s\n", headerTag, key, hex.EncodeToString(sum[:]))
 
 	tmp, err := os.CreateTemp(dir, "."+key+".tmp*")
 	if err != nil {
-		c.errors.Add(1)
-		return fmt.Errorf("cache: put %s: %w", key, err)
+		return c.recordErr(fmt.Errorf("cache: put %s: %w", key, err))
 	}
 	defer os.Remove(tmp.Name()) // no-op after successful rename
 	if _, err := tmp.WriteString(header); err == nil {
@@ -106,19 +147,16 @@ func (c *Cache) Put(key string, payload []byte) error {
 		}
 	} else {
 		tmp.Close()
-		c.errors.Add(1)
-		return fmt.Errorf("cache: put %s: %w", key, err)
+		return c.recordErr(fmt.Errorf("cache: put %s: %w", key, err))
 	}
 	if cerr := tmp.Close(); err == nil {
 		err = cerr
 	}
 	if err != nil {
-		c.errors.Add(1)
-		return fmt.Errorf("cache: put %s: %w", key, err)
+		return c.recordErr(fmt.Errorf("cache: put %s: %w", key, err))
 	}
 	if err := os.Rename(tmp.Name(), c.path(key)); err != nil {
-		c.errors.Add(1)
-		return fmt.Errorf("cache: put %s: %w", key, err)
+		return c.recordErr(fmt.Errorf("cache: put %s: %w", key, err))
 	}
 	c.puts.Add(1)
 	return nil
@@ -142,6 +180,7 @@ func (c *Cache) Get(key string) ([]byte, bool) {
 	if !ok {
 		c.corruptDropped.Add(1)
 		c.misses.Add(1)
+		c.lastErr.Store("corrupt entry quarantined: " + key)
 		c.quarantine(key)
 		return nil, false
 	}

@@ -20,8 +20,10 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/runner"
 )
 
@@ -70,6 +72,18 @@ type Journal struct {
 	nextJob uint64
 	pending []PendingJob
 	syncErr error
+	// lastErr is the most recent append failure ever seen — unlike syncErr
+	// it is not cleared by a later success, so /healthz can report the last
+	// durability incident even after recovery.
+	lastErr   error
+	fsyncHist *obs.Histogram
+}
+
+// setFsyncHist wires the append+fsync latency histogram (nil disables).
+func (j *Journal) setFsyncHist(h *obs.Histogram) {
+	j.mu.Lock()
+	j.fsyncHist = h
+	j.mu.Unlock()
 }
 
 // OpenJournal opens (creating if needed) and compacts the journal at path,
@@ -244,16 +258,20 @@ func (j *Journal) append(rec journalRecord) error {
 	if err != nil {
 		return fmt.Errorf("journal: append: %w", err)
 	}
+	start := time.Now()
 	if _, err := j.f.Write(append(data, '\n')); err != nil {
 		j.syncErr = err
+		j.lastErr = err
 		return fmt.Errorf("journal: append: %w", err)
 	}
 	syncErr := fault.Error("journal.sync")
 	if syncErr == nil {
 		syncErr = j.f.Sync()
 	}
+	j.fsyncHist.ObserveSince(start)
 	if syncErr != nil {
 		j.syncErr = syncErr
+		j.lastErr = syncErr
 		return fmt.Errorf("journal: fsync: %w", syncErr)
 	}
 	j.syncErr = nil
@@ -301,6 +319,17 @@ func (j *Journal) SyncErr() error {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return j.syncErr
+}
+
+// LastError returns the last append failure ever observed ("" if none),
+// even if a later append succeeded — /healthz forensics.
+func (j *Journal) LastError() string {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.lastErr == nil {
+		return ""
+	}
+	return j.lastErr.Error()
 }
 
 // Path returns the journal file location.

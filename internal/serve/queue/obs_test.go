@@ -1,0 +1,317 @@
+package queue
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/serve/cache"
+)
+
+// checkTraceWellFormed asserts the invariants every job trace must satisfy:
+// parents precede children, children are strictly nested inside their
+// parents, and no span has a negative duration.
+func checkTraceWellFormed(t *testing.T, td obs.TraceData) {
+	t.Helper()
+	if len(td.Spans) == 0 {
+		t.Fatal("trace has no spans")
+	}
+	for i, sp := range td.Spans {
+		if sp.DurationNs < 0 || sp.EndNs < sp.StartNs {
+			t.Errorf("span %d (%s): negative duration (start %d end %d)", i, sp.Name, sp.StartNs, sp.EndNs)
+		}
+		if i == 0 {
+			if sp.Parent != -1 {
+				t.Errorf("root parent = %d, want -1", sp.Parent)
+			}
+			continue
+		}
+		if sp.Parent < 0 || sp.Parent >= i {
+			t.Fatalf("span %d (%s): parent %d does not precede it", i, sp.Name, sp.Parent)
+		}
+		p := td.Spans[sp.Parent]
+		if sp.StartNs < p.StartNs {
+			t.Errorf("span %d (%s) starts before its parent %s", i, sp.Name, p.Name)
+		}
+		if !p.Open && sp.EndNs > p.EndNs {
+			t.Errorf("span %d (%s) ends after its closed parent %s", i, sp.Name, p.Name)
+		}
+	}
+}
+
+func spanNames(td obs.TraceData) []string {
+	names := make([]string, len(td.Spans))
+	for i, sp := range td.Spans {
+		names[i] = sp.Name
+	}
+	return names
+}
+
+func findSpans(td obs.TraceData, name string) []obs.SpanData {
+	var out []obs.SpanData
+	for _, sp := range td.Spans {
+		if sp.Name == name {
+			out = append(out, sp)
+		}
+	}
+	return out
+}
+
+func attrValue(sp obs.SpanData, key string) string {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+// TestTraceEscalatedJobWithFaultInjection drives a REAL run (DefaultRun, no
+// stub) through the scheduler with the runner.nan fault armed: the first
+// attempt at min trips the numerical guard, the job escalates min→mixed and
+// completes. The trace must carry the complete timeline — queue wait, the
+// failed attempt, the escalation, the successful attempt with the solver's
+// phase aggregates — and the metrics registry must show both attempts.
+func TestTraceEscalatedJobWithFaultInjection(t *testing.T) {
+	if err := fault.Arm("runner.nan=n:1"); err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(fault.Disarm)
+
+	c, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := obs.NewRegistry()
+	s := New(Config{Workers: 1, Cache: c, Retry: fastRetry, Obs: reg})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	spec := testSpec(10)
+	spec.Mode = "min"
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusDone || len(v.Escalations) != 1 {
+		t.Fatalf("job = %+v, want done with one escalation", v)
+	}
+
+	td := job.Trace()
+	checkTraceWellFormed(t, td)
+	if len(findSpans(td, "queue_wait")) != 1 {
+		t.Errorf("spans = %v, want one queue_wait", spanNames(td))
+	}
+	atts := findSpans(td, "attempt")
+	if len(atts) != 2 {
+		t.Fatalf("spans = %v, want two attempts", spanNames(td))
+	}
+	if got := attrValue(atts[0], "outcome"); got != "numerical" {
+		t.Errorf("first attempt outcome = %q, want numerical", got)
+	}
+	if got := attrValue(atts[0], "mode"); got != "min" {
+		t.Errorf("first attempt mode = %q, want min", got)
+	}
+	if attrValue(atts[0], "error") == "" {
+		t.Error("failed attempt carries no error attribute")
+	}
+	if got := attrValue(atts[1], "outcome"); got != "ok" {
+		t.Errorf("second attempt outcome = %q, want ok", got)
+	}
+	if got := attrValue(atts[1], "mode"); got != "mixed" {
+		t.Errorf("second attempt mode = %q, want mixed", got)
+	}
+	escs := findSpans(td, "escalation")
+	if len(escs) != 1 || attrValue(escs[0], "from") != "min" || attrValue(escs[0], "to") != "mixed" {
+		t.Fatalf("escalation events = %+v, want one min→mixed", escs)
+	}
+	// The solver's phase buckets ride along as aggregate children of the
+	// successful attempt.
+	var phases int
+	for _, sp := range td.Spans {
+		if strings.HasPrefix(sp.Name, "phase:") {
+			phases++
+			if attrValue(sp, "kind") != "aggregate" {
+				t.Errorf("phase span %s not marked aggregate", sp.Name)
+			}
+		}
+	}
+	if phases == 0 {
+		t.Error("no phase aggregates in the trace")
+	}
+	if got := attrValue(td.Spans[0], "status"); got != "done" {
+		t.Errorf("root status = %q, want done", got)
+	}
+
+	// The trace is embedded in the result payload (and excluded from the
+	// deterministic hash — runner.Result.Deterministic zeroes it).
+	payload, _ := job.Result()
+	var res runner.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		t.Fatal(err)
+	}
+	if res.Trace == nil || len(res.Trace.Spans) != len(td.Spans) {
+		t.Fatalf("payload trace = %+v, want the job timeline", res.Trace)
+	}
+
+	// Metrics: both attempts observed per mode, one queue wait, counters
+	// mirrored.
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp := b.String()
+	for _, want := range []string{
+		`precisiond_run_duration_seconds_count{app="clamr",mode="min"} 1`,
+		`precisiond_run_duration_seconds_count{app="clamr",mode="mixed"} 1`,
+		`precisiond_queue_wait_seconds_count 1`,
+		`precisiond_jobs_total{event="escalated"} 1`,
+		`precisiond_jobs_total{event="executed"} 1`,
+		`precisiond_jobs_total{event="submitted"} 1`,
+		`precisiond_run_flops_total{width="32"}`,
+		`precisiond_queue_depth 0`,
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTraceRetriedThenEscalatedOrdering pins the span ordering for the full
+// failure ladder: a transient fault (the injected-fault sentinel, as a real
+// chaos run produces) retries with backoff, then a numerical failure
+// escalates, then the job completes. Stubbed run, real scheduler.
+func TestTraceRetriedThenEscalatedOrdering(t *testing.T) {
+	calls := 0
+	run := func(ctx context.Context, req RunRequest) (*runner.Result, error) {
+		calls++
+		switch calls {
+		case 1:
+			return nil, fmt.Errorf("cache woes: %w", fault.ErrInjected) // transient
+		case 2:
+			return nil, fmt.Errorf("step 4: %w", runner.ErrNumericalFailure)
+		}
+		return okResult(req.Spec), nil
+	}
+	reg := obs.NewRegistry()
+	s := New(Config{Workers: 1, Run: run, Retry: fastRetry, Obs: reg})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	spec := testSpec(10)
+	spec.Mode = "min"
+	job, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusDone {
+		t.Fatalf("job = %+v, want done", v)
+	}
+
+	td := job.Trace()
+	checkTraceWellFormed(t, td)
+	// Drop phase aggregates (none from the stub) and compare the ordered
+	// lifecycle skeleton.
+	want := []string{"job", "queue_wait", "attempt", "backoff", "attempt", "escalation", "attempt"}
+	got := spanNames(td)
+	if len(got) != len(want) {
+		t.Fatalf("spans = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("spans = %v, want %v", got, want)
+		}
+	}
+	// The retried attempt numbers ascend and every lifecycle span hangs off
+	// the root.
+	atts := findSpans(td, "attempt")
+	for i, att := range atts {
+		if got := attrValue(att, "n"); got != fmt.Sprint(i+1) {
+			t.Errorf("attempt %d numbered %q", i, got)
+		}
+	}
+	for i, sp := range td.Spans[1:] {
+		if sp.Parent != 0 {
+			t.Errorf("span %d (%s) parent = %d, want root", i+1, sp.Name, sp.Parent)
+		}
+	}
+	// Spans on one level are ordered in time: each lifecycle span starts at
+	// or after the previous one ends.
+	for i := 2; i < len(td.Spans); i++ {
+		if td.Spans[i].StartNs < td.Spans[i-1].EndNs {
+			t.Errorf("span %s (start %d) overlaps previous %s (end %d)",
+				td.Spans[i].Name, td.Spans[i].StartNs, td.Spans[i-1].Name, td.Spans[i-1].EndNs)
+		}
+	}
+
+	var b strings.Builder
+	if err := reg.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	exp := b.String()
+	for _, want := range []string{
+		`precisiond_jobs_total{event="retried"} 1`,
+		`precisiond_jobs_total{event="escalated"} 1`,
+		`precisiond_run_duration_seconds_count{app="clamr",mode="min"} 2`,
+		`precisiond_run_duration_seconds_count{app="clamr",mode="mixed"} 1`,
+	} {
+		if !strings.Contains(exp, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}
+
+// TestTraceCachedSubmission: a repeat submission answered from the cache is
+// born done with a cache_hit event and a closed root.
+func TestTraceCachedSubmission(t *testing.T) {
+	c, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func(ctx context.Context, req RunRequest) (*runner.Result, error) {
+		return okResult(req.Spec), nil
+	}
+	s := New(Config{Workers: 1, Cache: c, Run: run, Retry: fastRetry, Obs: obs.NewRegistry()})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	spec := testSpec(10)
+	first, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitDone(t, first)
+	second, err := s.Submit(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-second.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("cached submission not immediately done")
+	}
+	td := second.Trace()
+	checkTraceWellFormed(t, td)
+	if len(findSpans(td, "cache_hit")) != 1 {
+		t.Fatalf("spans = %v, want a cache_hit event", spanNames(td))
+	}
+	if td.Spans[0].Open {
+		t.Error("cached job root span left open")
+	}
+	// The trace endpoint data also reaches the View-independent accessor
+	// for jobs that never ran.
+	if got := attrValue(td.Spans[0], "status"); got != "done" {
+		t.Errorf("root status = %q, want done", got)
+	}
+}

@@ -45,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/fault"
+	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/serve/cache"
 )
@@ -88,7 +89,19 @@ type Job struct {
 	errMsg      string
 	done        chan struct{}
 	doneOne     sync.Once
+
+	// trace is the job's span timeline, recorded from admission to the
+	// terminal state (obs.Trace is internally synchronized). queueSpan and
+	// enqueuedAt are written before the job is enqueued and read by the
+	// worker after dequeue — ordered by the channel handoff.
+	trace      *obs.Trace
+	queueSpan  obs.Span
+	enqueuedAt time.Time
 }
+
+// Trace snapshots the job's span timeline as recorded so far; spans still
+// open (a running attempt) are frozen at the snapshot instant.
+func (j *Job) Trace() obs.TraceData { return j.trace.Snapshot() }
 
 // View is an immutable snapshot of a job for handlers and clients.
 type View struct {
@@ -231,6 +244,13 @@ type Config struct {
 	AbandonGrace time.Duration
 	// Retry bounds transient-failure retries (see RetryPolicy defaults).
 	Retry RetryPolicy
+	// Obs, when non-nil, registers the scheduler's instruments (job
+	// counters, queue-wait/run-duration histograms, journal fsync latency,
+	// worker/lane gauges, a queue-depth collector) into the registry. Job
+	// traces are recorded regardless — they are per-job, not per-registry.
+	Obs *obs.Registry
+	// Log, when non-nil, receives job-correlated structured log records.
+	Log *obs.Logger
 }
 
 // SubmitOptions carries per-submission execution knobs.
@@ -273,6 +293,12 @@ type Scheduler struct {
 	retried, escalated, timedOut    uint64
 	abandoned, recovered            uint64
 
+	// obs mirrors the counters above into the metrics registry (a zero-value
+	// schedObs when none is configured — every handle no-ops). log is the
+	// structured logger (nil-safe).
+	obs *schedObs
+	log *obs.Logger
+
 	wg sync.WaitGroup
 }
 
@@ -301,13 +327,22 @@ func New(cfg Config) *Scheduler {
 	if lanes < 1 {
 		lanes = 1
 	}
-	return &Scheduler{
+	s := &Scheduler{
 		cfg:      cfg,
 		lanes:    lanes,
 		queue:    make(chan *Job, cfg.QueueDepth),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
+		obs:      &schedObs{},
+		log:      cfg.Log,
 	}
+	if cfg.Obs != nil {
+		s.obs = newSchedObs(cfg.Obs, s)
+		if cfg.Journal != nil {
+			cfg.Journal.setFsyncHist(s.obs.fsync)
+		}
+	}
+	return s
 }
 
 // Start launches the worker goroutines; they exit when ctx is cancelled
@@ -333,11 +368,24 @@ func (s *Scheduler) Wait() {
 			delete(s.inflight, job.SpecHash)
 			s.failed++
 			s.mu.Unlock()
+			s.obs.failed.Inc()
+			job.queueSpan.End()
+			job.trace.Root().Annotate(obs.Str("status", "shutdown"))
+			job.trace.Root().End()
 			job.finish(StatusFailed, nil, "scheduler shut down before execution; the job will be recovered from the journal")
 		default:
 			return
 		}
 	}
+}
+
+// JournalLastError returns the journal's last append failure ever observed
+// ("" when un-journaled or never-failed) — /healthz forensics.
+func (s *Scheduler) JournalLastError() string {
+	if s.cfg.Journal == nil {
+		return ""
+	}
+	return s.cfg.Journal.LastError()
 }
 
 // Health reports nil when the scheduler's durability machinery is sound;
@@ -364,9 +412,23 @@ func (s *Scheduler) worker(ctx context.Context) {
 }
 
 // execute drives one job to a terminal state: attempt, classify, then
-// retry / escalate / fail per the policy in the package comment.
+// retry / escalate / fail per the policy in the package comment. Every
+// phase lands in the job's trace: the queue_wait span closes here, each
+// attempt gets a span (with outcome and, on success, the solver's phase
+// aggregates), backoffs and escalations are recorded as they happen.
 func (s *Scheduler) execute(ctx context.Context, job *Job) {
 	job.setStatus(StatusRunning)
+	job.queueSpan.End()
+	if !job.enqueuedAt.IsZero() {
+		s.obs.queueWait.ObserveSince(job.enqueuedAt)
+	}
+	s.obs.workersBusy.Add(1)
+	s.obs.lanesBusy.Add(int64(s.lanes))
+	defer func() {
+		s.obs.workersBusy.Add(-1)
+		s.obs.lanesBusy.Add(-int64(s.lanes))
+	}()
+	jl := s.log.With(obs.Str("job", job.ID))
 
 	spec := job.Spec
 	if esc := job.escalationsCopy(); len(esc) > 0 {
@@ -405,31 +467,57 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 		if usedResume {
 			req.Resume = bytes.NewReader(resume)
 		}
-		job.attempts.Add(1)
+		n := job.attempts.Add(1)
+		attAttrs := []obs.Attr{obs.Str("mode", spec.Mode), intAttr("n", n)}
+		if usedResume {
+			attAttrs = append(attAttrs, obs.Str("resume", "checkpoint"))
+		}
+		att := job.trace.Root().Child("attempt", attAttrs...)
+		jl.Debug("attempt start", obs.Str("mode", spec.Mode), intAttr("n", n))
+		started := time.Now()
 		res, err := s.runAttempt(ctx, req, timeout)
+		s.obs.runDur.With(string(spec.App), spec.Mode).ObserveSince(started)
 		if err == nil {
+			for _, p := range res.Phases {
+				att.AggregateChild("phase:"+p.Name, time.Duration(p.Seconds*float64(time.Second)))
+			}
+			att.Annotate(obs.Str("outcome", "ok"))
+			att.End()
 			res.Escalations = job.escalationsCopy()
+			res.Trace = finishTrace(job, "done")
+			s.obs.observeResultCounters(res.Counters)
 			payload, merr := json.Marshal(res)
 			if merr != nil {
 				err = &runner.Error{Kind: runner.KindPermanent, Op: "marshal result", Err: merr}
 			} else {
+				jl.Info("job done",
+					obs.Str("mode", spec.Mode), intAttr("attempts", n),
+					obs.Str("wall", time.Since(job.enqueuedAt).Round(time.Millisecond).String()))
 				s.complete(job, payload)
 				return
 			}
 		}
 		if ctx.Err() != nil {
+			att.Annotate(obs.Str("outcome", "shutdown"))
+			att.End()
 			s.shutdownFinish(job)
 			return
 		}
+		kind := runner.Classify(err)
+		att.Annotate(obs.Str("outcome", kind.String()), obs.Str("error", err.Error()))
+		att.End()
 		if usedResume {
 			// A checkpoint that fails to resume (corrupt, stale rung) is
 			// discarded and the job retried from the initial condition; this
 			// happens at most once and does not consume the retry budget.
+			jl.Warn("checkpoint resume failed; restarting from the initial condition",
+				obs.Str("error", err.Error()))
+			job.trace.Root().Event("resume_discarded", obs.Str("error", err.Error()))
 			resume = nil
 			s.removeCheckpoint(job.ID)
 			continue
 		}
-		switch runner.Classify(err) {
+		switch kind {
 		case runner.KindNumerical:
 			next, ok := runner.NextPrecision(spec.Mode)
 			if !ok {
@@ -450,6 +538,13 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 			s.mu.Lock()
 			s.escalated++
 			s.mu.Unlock()
+			s.obs.escalated.Inc()
+			job.trace.Root().Event("escalation",
+				obs.Str("from", esc.FromMode), obs.Str("to", esc.ToMode),
+				obs.Str("reason", esc.Reason))
+			jl.Warn("numerical failure; escalating precision",
+				obs.Str("from", esc.FromMode), obs.Str("to", esc.ToMode),
+				obs.Str("reason", esc.Reason))
 			if s.cfg.Journal != nil {
 				_ = s.cfg.Journal.Escalated(job.ID, esc)
 			}
@@ -466,7 +561,15 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 			s.mu.Lock()
 			s.retried++
 			s.mu.Unlock()
-			if !sleepCtx(ctx, s.cfg.Retry.backoff(attempt)) {
+			s.obs.retried.Inc()
+			backoff := s.cfg.Retry.backoff(attempt)
+			jl.Warn("transient failure; retrying",
+				intAttr("retry", int64(attempt)), obs.Str("backoff", backoff.String()),
+				obs.Str("error", err.Error()))
+			b := job.trace.Root().Child("backoff", intAttr("retry", int64(attempt)))
+			ok := sleepCtx(ctx, backoff)
+			b.End()
+			if !ok {
 				s.shutdownFinish(job)
 				return
 			}
@@ -475,6 +578,7 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 			s.mu.Lock()
 			s.timedOut++
 			s.mu.Unlock()
+			s.obs.timedOut.Inc()
 			s.fail(job, err)
 			return
 		default: // KindPermanent
@@ -482,6 +586,16 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 			return
 		}
 	}
+}
+
+// finishTrace closes the job's root span with a terminal status and returns
+// the frozen timeline for embedding in the result payload.
+func finishTrace(job *Job, status string) *obs.TraceData {
+	root := job.trace.Root()
+	root.Annotate(obs.Str("status", status))
+	root.End()
+	td := job.trace.Snapshot()
+	return &td
 }
 
 // runAttempt executes one attempt under the job deadline. If the run does
@@ -535,6 +649,10 @@ func (s *Scheduler) runAttempt(ctx context.Context, req RunRequest, timeout time
 		s.mu.Lock()
 		s.abandoned++
 		s.mu.Unlock()
+		s.obs.abandoned.Inc()
+		s.log.Warn("attempt abandoned",
+			obs.Str("grace", s.cfg.AbandonGrace.String()),
+			obs.Str("cause", fmt.Sprint(runCtx.Err())))
 		return nil, &runner.Error{
 			Kind: runner.KindTransient,
 			Op:   "run abandoned",
@@ -561,6 +679,7 @@ func (s *Scheduler) complete(job *Job, payload []byte) {
 	delete(s.inflight, job.SpecHash)
 	s.executed++
 	s.mu.Unlock()
+	s.obs.executed.Inc()
 	job.finish(StatusDone, payload, "")
 }
 
@@ -575,6 +694,10 @@ func (s *Scheduler) fail(job *Job, err error) {
 	delete(s.inflight, job.SpecHash)
 	s.failed++
 	s.mu.Unlock()
+	s.obs.failed.Inc()
+	job.trace.Root().Annotate(obs.Str("status", "failed"), obs.Str("error", err.Error()))
+	job.trace.Root().End()
+	s.log.Error("job failed", obs.Str("job", job.ID), obs.Str("error", err.Error()))
 	job.finish(StatusFailed, nil, err.Error())
 }
 
@@ -586,6 +709,9 @@ func (s *Scheduler) shutdownFinish(job *Job) {
 	delete(s.inflight, job.SpecHash)
 	s.failed++
 	s.mu.Unlock()
+	s.obs.failed.Inc()
+	job.trace.Root().Annotate(obs.Str("status", "shutdown"))
+	job.trace.Root().End()
 	job.finish(StatusFailed, nil, "scheduler shut down mid-run; the job will be recovered from the journal")
 }
 
@@ -612,9 +738,12 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 
 	s.mu.Lock()
 	s.submitted++
+	s.obs.submitted.Inc()
 	if j, ok := s.inflight[hash]; ok {
 		s.dedupHits++
+		s.obs.dedupHits.Inc()
 		s.mu.Unlock()
+		j.trace.Root().Event("dedup_hit")
 		return j, nil
 	}
 	s.mu.Unlock()
@@ -626,9 +755,14 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 		if payload, ok := s.cfg.Cache.Get(hash); ok {
 			s.mu.Lock()
 			s.cacheHits++
+			s.obs.cacheHits.Inc()
 			job := s.newJobLocked(n, hash)
 			job.cached = true
 			s.mu.Unlock()
+			job.trace.Root().Event("cache_hit")
+			job.trace.Root().Annotate(obs.Str("status", "done"))
+			job.trace.Root().End()
+			s.log.Debug("cache hit", obs.Str("job", job.ID), obs.Str("spec_hash", hash))
 			job.finish(StatusDone, payload, "")
 			return job, nil
 		}
@@ -638,6 +772,8 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 	defer s.mu.Unlock()
 	if j, ok := s.inflight[hash]; ok {
 		s.dedupHits++
+		s.obs.dedupHits.Inc()
+		j.trace.Root().Event("dedup_hit")
 		return j, nil
 	}
 	job := s.newJobLocked(n, hash)
@@ -652,10 +788,13 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 			return nil, fmt.Errorf("queue: journal admission: %w", jerr)
 		}
 	}
+	job.queueSpan = job.trace.Root().Child("queue_wait")
+	job.enqueuedAt = time.Now()
 	select {
 	case s.queue <- job:
 	default:
 		s.rejected++
+		s.obs.rejected.Inc()
 		if s.cfg.Journal != nil {
 			// Compensating record: the admission was journaled but is being
 			// rejected, so it must not replay on the next boot.
@@ -665,6 +804,9 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 		return nil, ErrQueueFull
 	}
 	s.inflight[hash] = job
+	s.log.Debug("job queued",
+		obs.Str("job", job.ID), obs.Str("spec_hash", hash),
+		obs.Str("app", string(n.App)), obs.Str("mode", n.Mode))
 	return job, nil
 }
 
@@ -683,6 +825,7 @@ func (s *Scheduler) registerJobLocked(id string, spec runner.ExperimentSpec, has
 		Spec:     spec,
 		status:   StatusDone, // overwritten by callers that queue
 		done:     make(chan struct{}),
+		trace:    obs.NewTrace(id, "job", attrsForSpec(spec, hash)...),
 	}
 	s.jobs[job.ID] = job
 	s.order = append(s.order, job.ID)
@@ -723,6 +866,11 @@ func (s *Scheduler) Recover() (requeued, healed int, err error) {
 				job.recovered = true
 				s.recovered++
 				s.mu.Unlock()
+				s.obs.recovered.Inc()
+				job.trace.Root().Event("recovered", obs.Str("healed", "cache"))
+				job.trace.Root().Annotate(obs.Str("status", "done"))
+				job.trace.Root().End()
+				s.log.Info("recovery healed job from cache", obs.Str("job", p.ID))
 				_ = s.cfg.Journal.Done(p.ID)
 				job.finish(StatusDone, payload, "")
 				healed++
@@ -735,11 +883,16 @@ func (s *Scheduler) Recover() (requeued, healed int, err error) {
 		job.recovered = true
 		job.tryResume = p.Started
 		job.escalations = append([]runner.Escalation(nil), p.Escalations...)
+		job.trace.Root().Event("recovered", obs.Str("resume", fmt.Sprint(p.Started)))
+		job.queueSpan = job.trace.Root().Child("queue_wait")
+		job.enqueuedAt = time.Now()
 		select {
 		case s.queue <- job:
 			s.inflight[p.SpecHash] = job
 			s.recovered++
 			s.mu.Unlock()
+			s.obs.recovered.Inc()
+			s.log.Info("recovery requeued job", obs.Str("job", p.ID), obs.Str("resume", fmt.Sprint(p.Started)))
 			requeued++
 		default:
 			s.mu.Unlock()

@@ -7,12 +7,15 @@
 # and asserts the recovered sweep is bit-identical (DESIGN.md §7).
 # `make obs-smoke` checks the telemetry surface end to end: /metrics
 # exposition, job traces, the client's -trace timeline and the pprof debug
-# listener (DESIGN.md §8). `make bench-par` regenerates the committed
-# pool-vs-spawn dispatch numbers in results/.
+# listener (DESIGN.md §8). `make dispatch-smoke` runs the paper sweep on a
+# two-node worker fleet, SIGKILLs one worker mid-lease and asserts the
+# results are bit-identical to a single-node run (DESIGN.md §9).
+# `make bench-par` regenerates the committed pool-vs-spawn dispatch
+# numbers in results/.
 
 GO ?= go
 
-.PHONY: build test vet verify race serve-smoke chaos-smoke obs-smoke bench-par bench-step
+.PHONY: build test vet verify race serve-smoke chaos-smoke obs-smoke dispatch-smoke bench-par bench-step
 
 build:
 	$(GO) build ./...
@@ -36,6 +39,9 @@ chaos-smoke:
 
 obs-smoke:
 	GO="$(GO)" ./scripts/obs_smoke.sh
+
+dispatch-smoke:
+	GO="$(GO)" ./scripts/dispatch_smoke.sh
 
 bench-par:
 	$(GO) test ./internal/par/ -run '^$$' -bench BenchmarkParDispatch -benchmem | tee results/par_pool_bench.txt

@@ -16,20 +16,23 @@
 // and prints a human-readable timeline: one line per span, indented by
 // nesting, with offset, duration and attributes — queue wait, each attempt,
 // retry backoffs and precision escalations included.
-// With -retry N, connection failures and 5xx responses (a restarting or
-// briefly degraded daemon) are retried up to N times with linear backoff —
-// the knob chaos tests lean on.
+// With -retry N, connection failures, 5xx responses (a restarting or
+// briefly degraded daemon) and 429 backpressure (a full queue; the
+// server's Retry-After hint is honored) are retried up to N times with
+// linear backoff — the knob chaos tests lean on.
 package main
 
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"log"
 	"net/http"
 	"os"
+	"strconv"
 	"strings"
 	"time"
 
@@ -141,9 +144,20 @@ func readSpec(path string) (runner.ExperimentSpec, error) {
 	return spec, nil
 }
 
-// withRetry runs fn up to 1+retries times, retrying connection errors and
-// 5xx responses (retryable=true) with linear backoff. A 4xx is final —
-// resubmitting a bad spec cannot fix it.
+// retryAfter tags an error with the server's Retry-After hint (429
+// backpressure): withRetry sleeps at least this long before the next try.
+type retryAfter struct {
+	err  error
+	wait time.Duration
+}
+
+func (r *retryAfter) Error() string { return r.err.Error() }
+func (r *retryAfter) Unwrap() error { return r.err }
+
+// withRetry runs fn up to 1+retries times, retrying connection errors, 5xx
+// responses and 429 backpressure (retryable=true) with linear backoff —
+// stretched to the server's Retry-After hint when one came back. Any other
+// 4xx is final: resubmitting a bad spec cannot fix it.
 func withRetry(retries int, fn func() (retryable bool, err error)) error {
 	var err error
 	for attempt := 0; ; attempt++ {
@@ -152,7 +166,12 @@ func withRetry(retries int, fn func() (retryable bool, err error)) error {
 		if err == nil || !retryable || attempt >= retries {
 			return err
 		}
-		time.Sleep(time.Duration(attempt+1) * 200 * time.Millisecond)
+		wait := time.Duration(attempt+1) * 200 * time.Millisecond
+		var ra *retryAfter
+		if errors.As(err, &ra) && ra.wait > wait {
+			wait = ra.wait
+		}
+		time.Sleep(wait)
 	}
 }
 
@@ -170,6 +189,15 @@ func submit(addr string, spec runner.ExperimentSpec, retries int) (queue.View, e
 		defer resp.Body.Close()
 		data, err := io.ReadAll(resp.Body)
 		if err != nil {
+			return true, err
+		}
+		if resp.StatusCode == http.StatusTooManyRequests {
+			// Backpressure, not failure: the queue is full. Honor the
+			// server's Retry-After pacing under -retry.
+			err := fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+			if secs, aerr := strconv.Atoi(strings.TrimSpace(resp.Header.Get("Retry-After"))); aerr == nil && secs > 0 {
+				return true, &retryAfter{err: err, wait: time.Duration(secs) * time.Second}
+			}
 			return true, err
 		}
 		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {

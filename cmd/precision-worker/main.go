@@ -1,0 +1,476 @@
+// Command precision-worker is a fleet node: it registers with a precisiond
+// coordinator, long-polls for lease grants, executes leased experiments
+// through the deterministic runner, heartbeats while running, and uploads
+// results. Placement never changes results (DESIGN.md §5): a worker
+// computes exactly the bytes the daemon would have computed locally, and
+// the coordinator admits an upload only if it round-trips the versioned
+// spec hash.
+//
+// Usage:
+//
+//	precision-worker -coordinator http://127.0.0.1:7717
+//	precision-worker -slots 2 -lanes 2          # two concurrent leases
+//	precision-worker -apps clamr -modes min,mixed
+//
+// The worker holds no durable state. Kill it — even SIGKILL — and its
+// leases expire at the coordinator after the lease TTL; the scheduler
+// re-queues the jobs under their original IDs and another node picks them
+// up. On SIGINT/SIGTERM it cancels running leases and deregisters so the
+// re-queue is immediate rather than TTL-delayed.
+//
+// Fault injection: "worker.heartbeat.drop" (armed via -faults or the
+// shared PRECISIOND_FAULTS environment variable) suppresses outgoing
+// heartbeats, simulating a network partition that expires leases while the
+// run continues.
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"syscall"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/serve/dispatch"
+)
+
+func main() {
+	var (
+		coordinator = flag.String("coordinator", "http://127.0.0.1:7717", "precisiond base URL")
+		name        = flag.String("name", "", "worker name advertised at registration (default: hostname)")
+		slots       = flag.Int("slots", 1, "leases executed concurrently")
+		lanes       = flag.Int("lanes", 0, "solver lanes per lease (default: GOMAXPROCS/slots)")
+		apps        = flag.String("apps", "", "comma-separated app allowlist advertised to the coordinator (empty = all)")
+		modes       = flag.String("modes", "", "comma-separated precision-mode allowlist (empty = all)")
+		faults      = flag.String("faults", "", "arm fault-injection points, e.g. 'worker.heartbeat.drop=n:3'")
+		logLevel    = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+	)
+	flag.Parse()
+
+	level, err := obs.ParseLevel(*logLevel)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "precision-worker:", err)
+		os.Exit(1)
+	}
+	logger := obs.NewLogger(os.Stderr, level)
+	fatal := func(err error) {
+		logger.Error("fatal", obs.Str("error", err.Error()))
+		os.Exit(1)
+	}
+
+	if *faults != "" {
+		if err := fault.Arm(*faults); err != nil {
+			fatal(err)
+		}
+	} else if err := fault.ArmFromEnv(); err != nil {
+		fatal(err)
+	}
+	if fault.Enabled() {
+		logger.Warn("fault injection ARMED")
+	}
+
+	if *slots < 1 {
+		*slots = 1
+	}
+	if *lanes <= 0 {
+		*lanes = runtime.GOMAXPROCS(0) / *slots
+		if *lanes < 1 {
+			*lanes = 1
+		}
+	}
+	if *name == "" {
+		host, _ := os.Hostname()
+		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+
+	w := &worker{
+		base:  strings.TrimRight(*coordinator, "/"),
+		name:  *name,
+		lanes: *lanes,
+		caps: dispatch.Capabilities{
+			Apps:       splitList(*apps),
+			Modes:      splitList(*modes),
+			Slots:      *slots,
+			Lanes:      *lanes,
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+		},
+		hc:     &http.Client{Timeout: 0}, // long-polls; per-request bounds below
+		log:    logger,
+		leases: make(map[string]*activeLease),
+	}
+	if err := w.register(ctx); err != nil {
+		fatal(err)
+	}
+	// Printed unconditionally so scripts can pair PIDs with worker IDs.
+	fmt.Printf("registered as %s with %s\n", w.workerID(), w.base)
+
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() { defer wg.Done(); w.heartbeatLoop(ctx) }()
+	for i := 0; i < *slots; i++ {
+		wg.Add(1)
+		go func(slot int) { defer wg.Done(); w.leaseLoop(ctx, slot) }(i)
+	}
+	wg.Wait()
+
+	// Graceful goodbye: deregistering expires any leases the coordinator
+	// still attributes to us, so their jobs re-queue immediately.
+	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer cancel()
+	if err := w.deregister(dctx); err != nil {
+		logger.Warn("deregister", obs.Str("error", err.Error()))
+	} else {
+		logger.Info("deregistered", obs.Str("worker", w.workerID()))
+	}
+}
+
+func splitList(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// worker is the node's coordinator client plus its table of running leases.
+type worker struct {
+	base  string
+	name  string
+	lanes int
+	caps  dispatch.Capabilities
+	hc    *http.Client
+	log   *obs.Logger
+
+	mu        sync.Mutex
+	id        string
+	leaseTTL  time.Duration
+	heartbeat time.Duration
+	pollWait  time.Duration
+	leases    map[string]*activeLease
+}
+
+// activeLease is one running grant: its cancel hook (fired when the
+// coordinator reports the lease expired) and the solver's progress, relayed
+// on heartbeats.
+type activeLease struct {
+	cancel      context.CancelFunc
+	step, total atomic.Int64
+}
+
+func (w *worker) workerID() string {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	return w.id
+}
+
+// register announces the worker, retrying with backoff until the
+// coordinator answers (it may still be booting) or ctx dies.
+func (w *worker) register(ctx context.Context) error {
+	backoff := 100 * time.Millisecond
+	for {
+		err := w.registerOnce(ctx)
+		if err == nil {
+			return nil
+		}
+		if ctx.Err() != nil {
+			return fmt.Errorf("register: %w", err)
+		}
+		w.log.Warn("register failed; retrying",
+			obs.Str("coordinator", w.base), obs.Str("backoff", backoff.String()),
+			obs.Str("error", err.Error()))
+		select {
+		case <-ctx.Done():
+			return ctx.Err()
+		case <-time.After(backoff):
+		}
+		if backoff *= 2; backoff > 3*time.Second {
+			backoff = 3 * time.Second
+		}
+	}
+}
+
+func (w *worker) registerOnce(ctx context.Context) error {
+	var resp dispatch.RegisterResponse
+	status, err := w.postJSON(ctx, "/v1/workers/register",
+		dispatch.RegisterRequest{Name: w.name, Capabilities: w.caps}, &resp, 5*time.Second)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK {
+		return fmt.Errorf("register: coordinator answered %d", status)
+	}
+	ttl, _ := time.ParseDuration(resp.LeaseTTL)
+	hb, _ := time.ParseDuration(resp.Heartbeat)
+	poll, _ := time.ParseDuration(resp.PollWait)
+	if ttl <= 0 || hb <= 0 || poll <= 0 {
+		return fmt.Errorf("register: malformed cadences %+v", resp)
+	}
+	w.mu.Lock()
+	w.id = resp.WorkerID
+	w.leaseTTL, w.heartbeat, w.pollWait = ttl, hb, poll
+	w.mu.Unlock()
+	w.log.Info("registered",
+		obs.Str("worker", resp.WorkerID), obs.Str("name", w.name),
+		obs.Str("lease_ttl", ttl.String()), obs.Str("heartbeat", hb.String()))
+	return nil
+}
+
+func (w *worker) deregister(ctx context.Context) error {
+	id := w.workerID()
+	if id == "" {
+		return nil
+	}
+	status, err := w.postJSON(ctx, "/v1/workers/"+id+"/deregister", struct{}{}, nil, 2*time.Second)
+	if err != nil {
+		return err
+	}
+	if status != http.StatusOK && status != http.StatusNotFound {
+		return fmt.Errorf("deregister: coordinator answered %d", status)
+	}
+	return nil
+}
+
+// leaseLoop is one slot: long-poll for a grant, execute it, upload, repeat.
+func (w *worker) leaseLoop(ctx context.Context, slot int) {
+	sl := w.log.With(obs.Str("slot", fmt.Sprint(slot)))
+	for ctx.Err() == nil {
+		grant, err := w.lease(ctx)
+		if err != nil {
+			if ctx.Err() != nil {
+				return
+			}
+			sl.Warn("lease poll failed", obs.Str("error", err.Error()))
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(500 * time.Millisecond):
+			}
+			continue
+		}
+		if grant == nil {
+			continue // poll expired empty; re-poll
+		}
+		w.runLease(ctx, sl, grant)
+	}
+}
+
+// lease long-polls once. nil grant (no error) means an empty poll. A 404
+// re-registers — the coordinator restarted and forgot us.
+func (w *worker) lease(ctx context.Context) (*dispatch.LeaseGrant, error) {
+	w.mu.Lock()
+	id, poll := w.id, w.pollWait
+	w.mu.Unlock()
+	var grant dispatch.LeaseGrant
+	status, err := w.postJSON(ctx, "/v1/workers/lease",
+		dispatch.LeaseRequest{WorkerID: id, Wait: poll.String()}, &grant, poll+5*time.Second)
+	switch {
+	case err != nil:
+		return nil, err
+	case status == http.StatusNoContent:
+		return nil, nil
+	case status == http.StatusNotFound:
+		w.log.Warn("coordinator forgot us; re-registering", obs.Str("worker", id))
+		if rerr := w.register(ctx); rerr != nil {
+			return nil, rerr
+		}
+		return nil, nil
+	case status != http.StatusOK:
+		return nil, fmt.Errorf("lease: coordinator answered %d", status)
+	}
+	return &grant, nil
+}
+
+// runLease executes one grant and uploads its outcome. The run is cancelled
+// if the coordinator reports the lease expired (a late upload would be
+// rejected with 409 anyway — the job has been re-queued).
+func (w *worker) runLease(ctx context.Context, sl *obs.Logger, g *dispatch.LeaseGrant) {
+	ll := sl.With(obs.Str("lease", g.LeaseID), obs.Str("job", g.JobID))
+	runCtx, cancel := context.WithCancel(ctx)
+	defer cancel()
+	al := &activeLease{cancel: cancel}
+	w.mu.Lock()
+	w.leases[g.LeaseID] = al
+	w.mu.Unlock()
+	defer func() {
+		w.mu.Lock()
+		delete(w.leases, g.LeaseID)
+		w.mu.Unlock()
+	}()
+
+	ll.Info("lease granted",
+		obs.Str("app", string(g.Spec.App)), obs.Str("mode", g.Spec.Mode),
+		obs.Str("spec_hash", g.SpecHash), obs.Str("attempt", fmt.Sprint(g.Attempt)))
+	started := time.Now()
+	res, err := runner.Run(runCtx, g.Spec, runner.RunOpts{
+		Workers: w.lanes,
+		Progress: func(step, total int) {
+			al.step.Store(int64(step))
+			al.total.Store(int64(total))
+		},
+	})
+
+	req := dispatch.CompleteRequest{LeaseID: g.LeaseID}
+	if err != nil {
+		req.Error = err.Error()
+		req.ErrorKind = runner.Classify(err).String()
+		ll.Warn("run failed", obs.Str("kind", req.ErrorKind), obs.Str("error", req.Error))
+	} else {
+		payload, merr := json.Marshal(res)
+		if merr != nil {
+			req.Error = fmt.Sprintf("marshal result: %v", merr)
+			req.ErrorKind = runner.KindPermanent.String()
+		} else {
+			req.Result = payload
+			ll.Info("run done",
+				obs.Str("state", res.StateHash),
+				obs.Str("wall", time.Since(started).Round(time.Millisecond).String()))
+		}
+	}
+	if cerr := w.complete(ctx, req); cerr != nil {
+		ll.Warn("completion not accepted", obs.Str("error", cerr.Error()))
+	}
+}
+
+// complete uploads a terminal state with a small transport-level retry.
+// 409 (lease expired; job re-queued elsewhere) and 422 (payload rejected)
+// are final — the coordinator has already decided the attempt's fate.
+func (w *worker) complete(ctx context.Context, req dispatch.CompleteRequest) error {
+	id := w.workerID()
+	var last error
+	for attempt := 0; attempt < 3; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				// Shutting down: one last try on a background context so a
+				// finished result is not thrown away with the process.
+			case <-time.After(time.Duration(attempt) * 200 * time.Millisecond):
+			}
+		}
+		sendCtx := ctx
+		if ctx.Err() != nil {
+			var cancel context.CancelFunc
+			sendCtx, cancel = context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+		}
+		status, err := w.postJSON(sendCtx, "/v1/workers/"+id+"/complete", req, nil, 10*time.Second)
+		switch {
+		case err != nil:
+			last = err
+			continue
+		case status == http.StatusOK:
+			return nil
+		case status == http.StatusConflict:
+			return errors.New("lease expired before upload; the job was re-queued")
+		case status == http.StatusUnprocessableEntity:
+			return errors.New("coordinator rejected the payload")
+		case status == http.StatusNotFound:
+			return errors.New("coordinator no longer knows this worker")
+		default:
+			last = fmt.Errorf("coordinator answered %d", status)
+		}
+	}
+	return fmt.Errorf("upload failed after retries: %w", last)
+}
+
+// heartbeatLoop reports all active leases at the coordinator's cadence and
+// cancels runs whose leases the coordinator has expired. The fault point
+// "worker.heartbeat.drop" suppresses sends — a partition simulator: the run
+// continues while the coordinator's reaper expires the lease.
+func (w *worker) heartbeatLoop(ctx context.Context) {
+	w.mu.Lock()
+	cadence := w.heartbeat
+	w.mu.Unlock()
+	t := time.NewTicker(cadence)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+		}
+		w.mu.Lock()
+		id := w.id
+		hb := dispatch.HeartbeatRequest{}
+		held := make(map[string]*activeLease, len(w.leases))
+		for lid, al := range w.leases {
+			held[lid] = al
+			hb.Leases = append(hb.Leases, dispatch.LeaseProgress{
+				LeaseID: lid, Step: al.step.Load(), Total: al.total.Load(),
+			})
+		}
+		w.mu.Unlock()
+		if fault.Hit("worker.heartbeat.drop") {
+			w.log.Warn("heartbeat dropped (fault injection)", obs.Str("worker", id))
+			continue
+		}
+		var resp dispatch.HeartbeatResponse
+		status, err := w.postJSON(ctx, "/v1/workers/"+id+"/heartbeat", hb, &resp, 5*time.Second)
+		if err != nil {
+			if ctx.Err() == nil {
+				w.log.Warn("heartbeat failed", obs.Str("error", err.Error()))
+			}
+			continue
+		}
+		if status == http.StatusNotFound {
+			w.log.Warn("coordinator forgot us; re-registering", obs.Str("worker", id))
+			_ = w.register(ctx)
+			continue
+		}
+		for _, lid := range resp.Expired {
+			if al, ok := held[lid]; ok {
+				w.log.Warn("lease expired by coordinator; cancelling run", obs.Str("lease", lid))
+				al.cancel()
+			}
+		}
+	}
+}
+
+// postJSON POSTs a JSON body and decodes a JSON reply into out (when
+// non-nil and the reply has one). Returns the HTTP status.
+func (w *worker) postJSON(ctx context.Context, path string, in, out any, timeout time.Duration) (int, error) {
+	body, err := json.Marshal(in)
+	if err != nil {
+		return 0, err
+	}
+	rctx, cancel := context.WithTimeout(ctx, timeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodPost, w.base+path, bytes.NewReader(body))
+	if err != nil {
+		return 0, err
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			return resp.StatusCode, fmt.Errorf("decode %s reply: %w", path, err)
+		}
+	}
+	_, _ = io.Copy(io.Discard, resp.Body)
+	return resp.StatusCode, nil
+}

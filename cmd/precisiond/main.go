@@ -12,6 +12,18 @@
 //	precisiond -journal /var/tmp/precisiond.journal \
 //	           -ckpt-dir /var/tmp/pckpt -ckpt-every 25
 //	precisiond -log-level debug -debug-addr 127.0.0.1:7719
+//	precisiond -lease-ttl 15s -verify-n 8     # tune the worker fleet
+//	precisiond -workers 0                     # fleet-only: all work leased
+//
+// The daemon is also the coordinator of a distributed worker fleet
+// (DESIGN.md §9): cmd/precision-worker nodes register under /v1/workers,
+// long-poll for lease grants off the same job board the local workers
+// drain, heartbeat while running, and upload results. A lease whose worker
+// goes silent for -lease-ttl expires and its job is re-queued under the
+// original ID — a SIGKILL'd worker loses nothing. -verify-n N re-runs every
+// Nth remotely-leased attempt on a second executor and admits the result
+// only if both final-state hashes are bit-identical. -workers 0 turns off
+// local execution entirely: the daemon only coordinates.
 //
 // With -journal, every accepted job is write-ahead journaled before it is
 // acknowledged; after a crash (even SIGKILL) the daemon replays unfinished
@@ -57,6 +69,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve/api"
 	"repro/internal/serve/cache"
+	"repro/internal/serve/dispatch"
 	"repro/internal/serve/queue"
 )
 
@@ -64,7 +77,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:7717", "listen address (use :0 for any free port)")
 		cacheDir    = flag.String("cache", "precision-cache", "result cache directory (created if needed)")
-		workers     = flag.Int("workers", 2, "jobs executing concurrently")
+		workers     = flag.Int("workers", 2, "jobs executing concurrently on this node (0 = fleet-only; all work leased to remote workers)")
 		queueDepth  = flag.Int("queue-depth", 64, "pending-job queue bound")
 		lanes       = flag.Int("lanes", runtime.GOMAXPROCS(0), "total solver lanes divided among workers")
 		journalPath = flag.String("journal", "", "write-ahead job journal file (empty = no crash durability)")
@@ -72,6 +85,9 @@ func main() {
 		ckptEvery   = flag.Int("ckpt-every", 25, "solver steps between periodic checkpoints (with -ckpt-dir)")
 		jobTimeout  = flag.Duration("job-timeout", 0, "per-attempt deadline for every job (0 = none; clients may set ?timeout=)")
 		grace       = flag.Duration("grace", 2*time.Second, "how long a cancelled run may linger before its lane is reclaimed")
+		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "how long a remote worker's lease survives without a heartbeat")
+		heartbeat   = flag.Duration("heartbeat", 0, "heartbeat cadence advertised to workers (0 = lease-ttl/3)")
+		verifyN     = flag.Int("verify-n", 0, "re-run every Nth remotely-leased attempt on a second executor and require bit-identical state hashes (0 = off)")
 		faults      = flag.String("faults", "", "arm fault-injection points, e.g. 'cache.put=p:0.1,journal.sync=n:3'")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
@@ -124,6 +140,17 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 
+	// One dispatch board carries both backends: the local solver lanes and
+	// the remote worker fleet. -workers 0 drops the local backend entirely.
+	disp := dispatch.New(dispatch.Options{Obs: reg, Log: logger})
+	fleet := dispatch.NewCoordinator(disp, dispatch.CoordinatorConfig{
+		LeaseTTL:  *leaseTTL,
+		Heartbeat: *heartbeat,
+		VerifyN:   *verifyN,
+		Obs:       reg,
+		Log:       logger,
+	})
+
 	cfg := queue.Config{
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
@@ -132,6 +159,8 @@ func main() {
 		Journal:      journal,
 		JobTimeout:   *jobTimeout,
 		AbandonGrace: *grace,
+		Dispatch:     disp,
+		DisableLocal: *workers == 0,
 		Obs:          reg,
 		Log:          logger,
 	}
@@ -177,7 +206,7 @@ func main() {
 		logger.Info("debug server up (pprof + metrics)", obs.Str("addr", debugLn.Addr().String()))
 	}
 
-	srv := &http.Server{Handler: api.New(sched, c, api.WithMetrics(reg))}
+	srv := &http.Server{Handler: api.New(sched, c, api.WithMetrics(reg), api.WithDispatch(fleet))}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 

@@ -111,6 +111,29 @@ func (s Span) AggregateChild(name string, d time.Duration, attrs ...Attr) {
 	t.spans = append(t.spans, spanRec{name: name, parent: s.i, startNs: start, endNs: end, attrs: attrs})
 }
 
+// PrefixChild records a child span for an interval that ended just now and
+// lasted d: it is anchored d before the current instant (clamped to the
+// parent's start) and closed at now. Used for waits measured elsewhere and
+// reported after the fact — a remote lease wait recorded once the lease is
+// granted.
+func (s Span) PrefixChild(name string, d time.Duration, attrs ...Attr) {
+	if s.t == nil {
+		return
+	}
+	t := s.t
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	end := t.nowNs()
+	start := end - int64(d)
+	if pStart := t.spans[s.i].startNs; start < pStart {
+		start = pStart
+	}
+	if start > end {
+		start = end
+	}
+	t.spans = append(t.spans, spanRec{name: name, parent: s.i, startNs: start, endNs: end, attrs: attrs})
+}
+
 // Annotate appends attributes to the span.
 func (s Span) Annotate(attrs ...Attr) {
 	if s.t == nil {

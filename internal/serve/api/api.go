@@ -11,6 +11,18 @@
 //	GET  /metrics              Prometheus text exposition (WithMetrics)
 //	GET  /healthz              liveness; 503 + JSON detail when degraded
 //
+// With WithDispatch, the remote-fleet coordinator is mounted too:
+//
+//	POST /v1/workers/register        announce a precision-worker node
+//	POST /v1/workers/lease           long-poll for one lease grant
+//	POST /v1/workers/{id}/heartbeat  extend leases, relay progress
+//	POST /v1/workers/{id}/complete   upload an attempt's terminal state
+//	POST /v1/workers/{id}/deregister graceful goodbye (leases re-queue)
+//	GET  /v1/workers                 fleet view (workers, active leases)
+//
+// A full queue answers POST /v1/jobs with 429 and a Retry-After header —
+// backpressure the client honors under -retry rather than a hard failure.
+//
 // The result endpoint returns the cache payload verbatim, so every
 // submission of one spec observes byte-identical result bytes regardless of
 // whether it was computed, deduplicated onto an in-flight job, or answered
@@ -30,6 +42,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/serve/cache"
+	"repro/internal/serve/dispatch"
 	"repro/internal/serve/queue"
 )
 
@@ -43,6 +56,8 @@ type Server struct {
 	pollInterval time.Duration
 	// metrics, when non-nil, is served at GET /metrics.
 	metrics *obs.Registry
+	// fleet, when non-nil, mounts the worker-facing lease protocol.
+	fleet *dispatch.Coordinator
 	// started anchors the /healthz uptime report.
 	started time.Time
 }
@@ -59,6 +74,12 @@ func WithPollInterval(d time.Duration) Option {
 // GET /metrics.
 func WithMetrics(r *obs.Registry) Option {
 	return func(s *Server) { s.metrics = r }
+}
+
+// WithDispatch mounts the remote-fleet coordinator's worker protocol under
+// /v1/workers.
+func WithDispatch(co *dispatch.Coordinator) Option {
+	return func(s *Server) { s.fleet = co }
 }
 
 // New builds the API over a scheduler and its cache (cache may be nil when
@@ -79,6 +100,14 @@ func New(sched *queue.Scheduler, c *cache.Cache, opts ...Option) *Server {
 	mux.HandleFunc("GET /healthz", s.healthz)
 	if s.metrics != nil {
 		mux.Handle("GET /metrics", s.metrics.Handler())
+	}
+	if s.fleet != nil {
+		mux.HandleFunc("POST /v1/workers/register", s.fleet.HandleRegister)
+		mux.HandleFunc("POST /v1/workers/lease", s.fleet.HandleLease)
+		mux.HandleFunc("POST /v1/workers/{id}/heartbeat", s.fleet.HandleHeartbeat)
+		mux.HandleFunc("POST /v1/workers/{id}/complete", s.fleet.HandleComplete)
+		mux.HandleFunc("POST /v1/workers/{id}/deregister", s.fleet.HandleDeregister)
+		mux.HandleFunc("GET /v1/workers", s.fleet.HandleList)
 	}
 	s.mux = mux
 	return s
@@ -183,10 +212,23 @@ func writeError(w http.ResponseWriter, status int, format string, args ...any) {
 	writeJSON(w, status, apiError{Error: fmt.Sprintf(format, args...)})
 }
 
+// retryAfterSeconds is the backoff hint sent with a 429: long enough for a
+// queued job to finish or a fleet worker to lease one off the board, short
+// enough that a sweeping client keeps the queue near its bound.
+const retryAfterSeconds = 1
+
+// queueFullReply is the 429 body; the header's Retry-After is mirrored into
+// JSON so clients that never look at headers still see the hint.
+type queueFullReply struct {
+	Error             string `json:"error"`
+	RetryAfterSeconds int    `json:"retry_after_seconds"`
+}
+
 // submit admits a spec. 200 for a job that is already terminal (cache hit),
-// 202 for queued/deduplicated work, 400 for an invalid spec, 503 for a full
-// queue or a journal that cannot accept the admission. ?timeout=30s sets a
-// per-attempt deadline for this job.
+// 202 for queued/deduplicated work, 400 for an invalid spec, 429 with
+// Retry-After for a full queue (backpressure — try again, nothing is
+// wrong), 503 for a journal that cannot accept the admission. ?timeout=30s
+// sets a per-attempt deadline for this job.
 func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	var opts queue.SubmitOptions
 	if t := r.URL.Query().Get("timeout"); t != "" {
@@ -207,7 +249,11 @@ func (s *Server) submit(w http.ResponseWriter, r *http.Request) {
 	job, err := s.sched.SubmitOpts(spec, opts)
 	switch {
 	case errors.Is(err, queue.ErrQueueFull):
-		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		writeJSON(w, http.StatusTooManyRequests, queueFullReply{
+			Error:             err.Error(),
+			RetryAfterSeconds: retryAfterSeconds,
+		})
 		return
 	case err != nil && strings.Contains(err.Error(), "journal"):
 		// An un-journalable admission is a capacity problem, not a client

@@ -1,0 +1,111 @@
+package api
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/serve/queue"
+)
+
+// TestSubmitBackpressure429: a full queue answers POST /v1/jobs with 429
+// and a Retry-After hint (header and JSON body) — backpressure, not an
+// opaque failure. Capacity freeing up admits the same spec normally.
+func TestSubmitBackpressure429(t *testing.T) {
+	release := make(chan struct{})
+	var started atomic.Int64
+	cfg := queue.Config{
+		Workers: 1, QueueDepth: 1,
+		Run: func(ctx context.Context, req queue.RunRequest) (*runner.Result, error) {
+			started.Add(1)
+			select {
+			case <-release:
+			case <-ctx.Done():
+				return nil, ctx.Err()
+			}
+			n, err := req.Spec.Normalized()
+			if err != nil {
+				return nil, err
+			}
+			h, err := n.Hash()
+			if err != nil {
+				return nil, err
+			}
+			return &runner.Result{Spec: n, SpecHash: h, StateHash: "feed" + h[:8], Steps: n.Steps}, nil
+		},
+	}
+	srv, _, _ := newTestServer(t, cfg)
+
+	// First job occupies the only worker...
+	if _, status := submit(t, srv, clamrSpec(2, "full")); status != http.StatusAccepted {
+		t.Fatalf("submit A = %d, want 202", status)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for started.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("first job never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	// ...the second fills the depth-1 queue...
+	if _, status := submit(t, srv, clamrSpec(3, "full")); status != http.StatusAccepted {
+		t.Fatalf("submit B = %d, want 202", status)
+	}
+
+	// ...and the third must be pushed back with 429 + Retry-After.
+	overflow := clamrSpec(4, "full")
+	body, _ := json.Marshal(overflow)
+	resp, err := http.Post(srv.URL+"/v1/jobs", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var reply struct {
+		Error             string `json:"error"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if derr := json.NewDecoder(resp.Body).Decode(&reply); derr != nil {
+		t.Fatal(derr)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("overflow submit = %d, want 429", resp.StatusCode)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Fatalf("Retry-After header = %q, want \"1\"", got)
+	}
+	if reply.RetryAfterSeconds != 1 || reply.Error == "" {
+		t.Fatalf("429 body = %+v, want the error and retry_after_seconds=1", reply)
+	}
+
+	// Capacity frees up: the pushed-back spec is admitted on retry — the
+	// client's -retry loop sees 429 as "try again", never a dead end.
+	close(release)
+	deadline = time.Now().Add(5 * time.Second)
+	for {
+		v, status := submit(t, srv, overflow)
+		if status == http.StatusAccepted || status == http.StatusOK {
+			waitTerminal(t, srv, v.ID)
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("overflow spec never admitted after release (last status %d)", status)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// waitTerminal blocks on the result endpoint until the job finishes.
+func waitTerminal(t *testing.T, srv *httptest.Server, id string) {
+	t.Helper()
+	resp, err := http.Get(srv.URL + "/v1/jobs/" + id + "/result")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+}

@@ -1,0 +1,728 @@
+package dispatch
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// Capabilities is what a worker advertises at registration. Empty Apps or
+// Modes means "everything"; the coordinator only offers a worker attempts
+// its capabilities cover.
+type Capabilities struct {
+	Apps       []string `json:"apps,omitempty"`
+	Modes      []string `json:"modes,omitempty"`
+	Slots      int      `json:"slots"`
+	Lanes      int      `json:"lanes,omitempty"`
+	GoMaxProcs int      `json:"gomaxprocs,omitempty"`
+}
+
+func (c Capabilities) matches(spec runner.ExperimentSpec) bool {
+	if len(c.Apps) > 0 && !containsString(c.Apps, string(spec.App)) {
+		return false
+	}
+	if len(c.Modes) > 0 && !containsString(c.Modes, spec.Mode) {
+		return false
+	}
+	return true
+}
+
+func containsString(ss []string, want string) bool {
+	for _, s := range ss {
+		if s == want {
+			return true
+		}
+	}
+	return false
+}
+
+// Wire types shared between the coordinator and cmd/precision-worker.
+// Durations travel as time.ParseDuration strings.
+type (
+	// RegisterRequest announces a worker.
+	RegisterRequest struct {
+		Name         string       `json:"name"`
+		Capabilities Capabilities `json:"capabilities"`
+	}
+	// RegisterResponse assigns the worker its identity and cadences.
+	RegisterResponse struct {
+		WorkerID  string `json:"worker_id"`
+		LeaseTTL  string `json:"lease_ttl"`
+		Heartbeat string `json:"heartbeat"`
+		PollWait  string `json:"poll_wait"`
+	}
+	// LeaseRequest long-polls for work.
+	LeaseRequest struct {
+		WorkerID string `json:"worker_id"`
+		Wait     string `json:"wait,omitempty"`
+	}
+	// LeaseGrant hands one attempt to a worker under a deadline.
+	LeaseGrant struct {
+		LeaseID  string                `json:"lease_id"`
+		JobID    string                `json:"job_id"`
+		Attempt  int64                 `json:"attempt"`
+		Spec     runner.ExperimentSpec `json:"spec"`
+		SpecHash string                `json:"spec_hash"`
+		Deadline time.Time             `json:"deadline"`
+		LeaseTTL string                `json:"lease_ttl"`
+	}
+	// HeartbeatRequest extends the worker's active leases and relays
+	// per-lease solver progress.
+	HeartbeatRequest struct {
+		Leases []LeaseProgress `json:"leases"`
+	}
+	// LeaseProgress is one lease's progress report.
+	LeaseProgress struct {
+		LeaseID string `json:"lease_id"`
+		Step    int64  `json:"step"`
+		Total   int64  `json:"total"`
+	}
+	// HeartbeatResponse lists leases the coordinator no longer honors; the
+	// worker must cancel those runs.
+	HeartbeatResponse struct {
+		Expired []string `json:"expired,omitempty"`
+	}
+	// CompleteRequest uploads an attempt's terminal state: either the raw
+	// runner.Result payload or an error with its classification.
+	CompleteRequest struct {
+		LeaseID   string          `json:"lease_id"`
+		Result    json.RawMessage `json:"result,omitempty"`
+		Error     string          `json:"error,omitempty"`
+		ErrorKind string          `json:"error_kind,omitempty"`
+	}
+	// WorkerView is one worker's row in the fleet listing.
+	WorkerView struct {
+		ID           string       `json:"id"`
+		Name         string       `json:"name"`
+		Capabilities Capabilities `json:"capabilities"`
+		RegisteredAt time.Time    `json:"registered_at"`
+		LastSeenAgo  string       `json:"last_seen_ago"`
+		ActiveLeases int          `json:"active_leases"`
+		Leased       uint64       `json:"leased"`
+		Completed    uint64       `json:"completed"`
+		Expired      uint64       `json:"expired"`
+	}
+	// FleetView is the GET /v1/workers payload.
+	FleetView struct {
+		Workers      []WorkerView `json:"workers"`
+		ActiveLeases int          `json:"active_leases"`
+	}
+)
+
+// CoordinatorConfig sizes the remote-fleet backend.
+type CoordinatorConfig struct {
+	// LeaseTTL is how long a lease lives without a heartbeat (default 15s).
+	LeaseTTL time.Duration
+	// Heartbeat is the cadence workers are told to report at (default
+	// LeaseTTL/3).
+	Heartbeat time.Duration
+	// PollWait caps a lease long-poll (default 10s; a worker re-polls).
+	PollWait time.Duration
+	// VerifyN > 0 dispatches every Nth remotely-leased attempt to a second
+	// executor and admits the result only if the final-state hashes are
+	// bit-identical — the paper's determinism claim checked across nodes.
+	VerifyN int
+	// VerifyWait bounds how long a verification attempt may wait for a
+	// second executor before it is skipped (default 4×LeaseTTL).
+	VerifyWait time.Duration
+	// WorkerTTL prunes workers unseen this long with no active leases
+	// (default 4×LeaseTTL).
+	WorkerTTL time.Duration
+	// Obs, when non-nil, registers the fleet instruments.
+	Obs *obs.Registry
+	// Log, when non-nil, receives fleet log records.
+	Log *obs.Logger
+}
+
+// Coordinator is the remote-fleet Backend: workers register over HTTP,
+// long-poll for leases, heartbeat while running, and upload results. A
+// lease whose deadline lapses is expired by the reaper and the attempt
+// finishes with ErrLeaseExpired — the scheduler re-queues the job under its
+// original ID, so a SIGKILL'd worker loses nothing. Uploads are admitted
+// only if the payload round-trips the versioned spec hash.
+//
+// Fault points: "dispatch.lease.expire" force-expires a heartbeated lease,
+// "dispatch.upload" corrupts an uploaded payload before verification.
+type Coordinator struct {
+	cfg CoordinatorConfig
+	log *obs.Logger
+	d   *Dispatcher
+
+	workersGauge obs.Gauge
+	workerLeases obs.GaugeVec   // label: worker name
+	leaseEvents  obs.CounterVec // label: event
+	heartbeats   obs.Counter
+	verifyCtr    obs.CounterVec // label: outcome
+
+	runCtx context.Context
+
+	mu         sync.Mutex
+	workers    map[string]*workerState
+	leases     map[string]*lease
+	nextWorker uint64
+	nextLease  uint64
+	takeSeq    uint64
+}
+
+type workerState struct {
+	id           string
+	name         string
+	caps         Capabilities
+	registeredAt time.Time
+	lastSeen     time.Time
+	active       map[string]*lease
+
+	leased, completed, expired uint64
+}
+
+type lease struct {
+	id       string
+	worker   *workerState
+	a        *Attempt
+	granted  time.Time
+	deadline time.Time
+	verify   bool
+}
+
+// NewCoordinator builds the fleet backend and registers it with d.
+func NewCoordinator(d *Dispatcher, cfg CoordinatorConfig) *Coordinator {
+	if cfg.LeaseTTL <= 0 {
+		cfg.LeaseTTL = 15 * time.Second
+	}
+	if cfg.Heartbeat <= 0 {
+		cfg.Heartbeat = cfg.LeaseTTL / 3
+	}
+	if cfg.PollWait <= 0 {
+		cfg.PollWait = 10 * time.Second
+	}
+	if cfg.VerifyWait <= 0 {
+		cfg.VerifyWait = 4 * cfg.LeaseTTL
+	}
+	if cfg.WorkerTTL <= 0 {
+		cfg.WorkerTTL = 4 * cfg.LeaseTTL
+	}
+	co := &Coordinator{
+		cfg:     cfg,
+		log:     cfg.Log,
+		d:       d,
+		workers: make(map[string]*workerState),
+		leases:  make(map[string]*lease),
+	}
+	if cfg.Obs != nil {
+		co.workersGauge = cfg.Obs.Gauge("dispatch_workers_registered",
+			"Remote workers currently registered with the coordinator.")
+		co.workerLeases = cfg.Obs.GaugeVec("dispatch_worker_active_leases",
+			"Active leases per remote worker.", "worker")
+		co.leaseEvents = cfg.Obs.CounterVec("dispatch_leases_total",
+			"Lease lifecycle events: granted, completed, expired, rejected_late, rejected_corrupt.", "event")
+		co.heartbeats = cfg.Obs.Counter("dispatch_heartbeats_total",
+			"Heartbeats received from remote workers.")
+		co.verifyCtr = cfg.Obs.CounterVec("dispatch_verify_total",
+			"Cross-node verification attempts by outcome (match, mismatch, skipped).", "outcome")
+	}
+	d.Register(co)
+	return co
+}
+
+// Name implements Backend.
+func (co *Coordinator) Name() string { return "fleet" }
+
+// Start implements Backend: the lease reaper. Worker traffic arrives over
+// the HTTP handlers, mounted by internal/serve/api.
+func (co *Coordinator) Start(ctx context.Context, d *Dispatcher) {
+	co.runCtx = ctx
+	interval := co.cfg.LeaseTTL / 8
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	if interval > time.Second {
+		interval = time.Second
+	}
+	d.Go(func() {
+		t := time.NewTicker(interval)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				co.reap(time.Now())
+			}
+		}
+	})
+}
+
+// reap expires overdue leases and prunes long-unseen idle workers.
+func (co *Coordinator) reap(now time.Time) {
+	co.mu.Lock()
+	var overdue []*lease
+	for _, l := range co.leases {
+		if now.After(l.deadline) {
+			overdue = append(overdue, l)
+		}
+	}
+	var pruned []*workerState
+	for id, w := range co.workers {
+		if len(w.active) == 0 && now.Sub(w.lastSeen) > co.cfg.WorkerTTL {
+			delete(co.workers, id)
+			pruned = append(pruned, w)
+		}
+	}
+	n := len(co.workers)
+	co.mu.Unlock()
+	for _, l := range overdue {
+		co.expireLease(l.id, fmt.Errorf("worker %s missed heartbeats for lease %s (job %s): %w",
+			l.worker.id, l.id, l.a.JobID, ErrLeaseExpired))
+	}
+	for _, w := range pruned {
+		co.workersGauge.Set(int64(n))
+		co.log.Info("pruned unresponsive worker",
+			obs.Str("worker", w.id), obs.Str("name", w.name),
+			obs.Str("unseen", now.Sub(w.lastSeen).Round(time.Millisecond).String()))
+	}
+}
+
+// expireLease revokes a lease and finishes its attempt with cause. The late
+// upload that may still arrive gets 409 — the attempt has already been
+// re-queued, so admitting it would complete the job twice.
+func (co *Coordinator) expireLease(id string, cause error) {
+	co.mu.Lock()
+	l, ok := co.leases[id]
+	if !ok {
+		co.mu.Unlock()
+		return
+	}
+	delete(co.leases, id)
+	delete(l.worker.active, id)
+	l.worker.expired++
+	name, active := l.worker.name, len(l.worker.active)
+	co.mu.Unlock()
+	co.workerLeases.With(name).Set(int64(active))
+	co.leaseEvents.With("expired").Inc()
+	co.log.Warn("lease expired",
+		obs.Str("lease", id), obs.Str("worker", l.worker.id),
+		obs.Str("job", l.a.JobID), obs.Str("cause", cause.Error()))
+	l.a.finish(Outcome{Err: cause, Backend: co.Name(), Worker: l.worker.id})
+}
+
+// HandleRegister implements POST /v1/workers/register.
+func (co *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
+	var req RegisterRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode register request: %v", err)
+		return
+	}
+	if req.Capabilities.Slots <= 0 {
+		req.Capabilities.Slots = 1
+	}
+	now := time.Now()
+	co.mu.Lock()
+	co.nextWorker++
+	ws := &workerState{
+		id:           fmt.Sprintf("worker-%03d", co.nextWorker),
+		name:         req.Name,
+		caps:         req.Capabilities,
+		registeredAt: now,
+		lastSeen:     now,
+		active:       make(map[string]*lease),
+	}
+	if ws.name == "" {
+		ws.name = ws.id
+	}
+	co.workers[ws.id] = ws
+	n := len(co.workers)
+	co.mu.Unlock()
+	co.workersGauge.Set(int64(n))
+	co.log.Info("worker registered",
+		obs.Str("worker", ws.id), obs.Str("name", ws.name),
+		obs.Str("slots", fmt.Sprint(ws.caps.Slots)),
+		obs.Str("apps", fmt.Sprint(ws.caps.Apps)),
+		obs.Str("modes", fmt.Sprint(ws.caps.Modes)))
+	writeJSON(w, http.StatusOK, RegisterResponse{
+		WorkerID:  ws.id,
+		LeaseTTL:  co.cfg.LeaseTTL.String(),
+		Heartbeat: co.cfg.Heartbeat.String(),
+		PollWait:  co.cfg.PollWait.String(),
+	})
+}
+
+// HandleLease implements POST /v1/workers/lease: long-poll for one attempt
+// the worker's capabilities cover. 204 when nothing matched within the
+// wait; 404 for an unknown worker (it must re-register).
+func (co *Coordinator) HandleLease(w http.ResponseWriter, r *http.Request) {
+	var req LeaseRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode lease request: %v", err)
+		return
+	}
+	co.mu.Lock()
+	ws, ok := co.workers[req.WorkerID]
+	if ok {
+		ws.lastSeen = time.Now()
+	}
+	co.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "unknown worker %q", req.WorkerID)
+		return
+	}
+	wait := co.cfg.PollWait
+	if req.Wait != "" {
+		if d, err := time.ParseDuration(req.Wait); err == nil && d > 0 && d < wait {
+			wait = d
+		}
+	}
+	ctx, cancel := context.WithTimeout(r.Context(), wait)
+	defer cancel()
+	a := co.d.Take(ctx, co.Name(), ws.id, func(a *Attempt) bool {
+		return !a.LocalOnly && a.ExcludeWorker != ws.id && ws.caps.matches(a.Spec)
+	})
+	if a == nil {
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
+
+	now := time.Now()
+	co.mu.Lock()
+	if _, still := co.workers[ws.id]; !still {
+		// Deregistered while polling: hand the attempt back to the board
+		// via the expiry path so the scheduler re-queues it.
+		co.mu.Unlock()
+		a.finish(Outcome{Err: fmt.Errorf("worker %s deregistered before the grant: %w", ws.id, ErrLeaseExpired)})
+		httpError(w, http.StatusNotFound, "unknown worker %q", ws.id)
+		return
+	}
+	co.nextLease++
+	l := &lease{
+		id:       fmt.Sprintf("lease-%06d", co.nextLease),
+		worker:   ws,
+		a:        a,
+		granted:  now,
+		deadline: now.Add(co.cfg.LeaseTTL),
+	}
+	co.takeSeq++
+	if co.cfg.VerifyN > 0 && !a.shadow && co.takeSeq%uint64(co.cfg.VerifyN) == 0 {
+		l.verify = true
+	}
+	co.leases[l.id] = l
+	ws.active[l.id] = l
+	ws.leased++
+	active := len(ws.active)
+	co.mu.Unlock()
+	co.workerLeases.With(ws.name).Set(int64(active))
+	co.leaseEvents.With("granted").Inc()
+	a.setCancelLease(func(cause error) { co.expireLease(l.id, cause) })
+	co.log.Debug("lease granted",
+		obs.Str("lease", l.id), obs.Str("worker", ws.id), obs.Str("job", a.JobID),
+		obs.Str("mode", a.Spec.Mode), obs.Str("verify", fmt.Sprint(l.verify)))
+	writeJSON(w, http.StatusOK, LeaseGrant{
+		LeaseID:  l.id,
+		JobID:    a.JobID,
+		Attempt:  a.N,
+		Spec:     a.Spec,
+		SpecHash: a.Hash(),
+		Deadline: l.deadline,
+		LeaseTTL: co.cfg.LeaseTTL.String(),
+	})
+}
+
+// HandleHeartbeat implements POST /v1/workers/{id}/heartbeat: refreshes the
+// worker's lease deadlines, relays solver progress, and reports leases the
+// coordinator has already expired so the worker cancels those runs.
+func (co *Coordinator) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	wid := r.PathValue("id")
+	var req HeartbeatRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode heartbeat: %v", err)
+		return
+	}
+	now := time.Now()
+	type delivery struct {
+		fn          func(step, total int)
+		step, total int64
+	}
+	var resp HeartbeatResponse
+	var progress []delivery
+	var injected []string
+	co.mu.Lock()
+	ws, ok := co.workers[wid]
+	if !ok {
+		co.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown worker %q", wid)
+		return
+	}
+	ws.lastSeen = now
+	for _, hb := range req.Leases {
+		l, ok := co.leases[hb.LeaseID]
+		if !ok || l.worker != ws {
+			resp.Expired = append(resp.Expired, hb.LeaseID)
+			continue
+		}
+		if fault.Hit("dispatch.lease.expire") {
+			injected = append(injected, hb.LeaseID)
+			resp.Expired = append(resp.Expired, hb.LeaseID)
+			continue
+		}
+		l.deadline = now.Add(co.cfg.LeaseTTL)
+		if l.a.Progress != nil {
+			progress = append(progress, delivery{l.a.Progress, hb.Step, hb.Total})
+		}
+	}
+	co.mu.Unlock()
+	co.heartbeats.Inc()
+	for _, id := range injected {
+		co.expireLease(id, fmt.Errorf("fault dispatch.lease.expire tripped: %w", ErrLeaseExpired))
+	}
+	for _, p := range progress {
+		p.fn(int(p.step), int(p.total))
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// HandleComplete implements POST /v1/workers/{id}/complete. A completion
+// for an expired or unknown lease is rejected with 409 (the job was
+// re-queued; admitting the upload would run it to completion twice), and a
+// payload that does not round-trip the versioned spec hash is rejected with
+// 422 and the attempt retried.
+func (co *Coordinator) HandleComplete(w http.ResponseWriter, r *http.Request) {
+	wid := r.PathValue("id")
+	var req CompleteRequest
+	if err := json.NewDecoder(http.MaxBytesReader(w, r.Body, 16<<20)).Decode(&req); err != nil {
+		httpError(w, http.StatusBadRequest, "decode completion: %v", err)
+		return
+	}
+	now := time.Now()
+	co.mu.Lock()
+	ws, ok := co.workers[wid]
+	if !ok {
+		co.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown worker %q", wid)
+		return
+	}
+	ws.lastSeen = now
+	l, ok := co.leases[req.LeaseID]
+	if !ok || l.worker != ws {
+		co.mu.Unlock()
+		co.leaseEvents.With("rejected_late").Inc()
+		co.log.Warn("late completion rejected",
+			obs.Str("lease", req.LeaseID), obs.Str("worker", wid))
+		httpError(w, http.StatusConflict, "lease %q is not active (expired or unknown); result discarded", req.LeaseID)
+		return
+	}
+	delete(co.leases, l.id)
+	delete(ws.active, l.id)
+	ws.completed++
+	active := len(ws.active)
+	co.mu.Unlock()
+	co.workerLeases.With(ws.name).Set(int64(active))
+
+	a := l.a
+	if req.Error != "" {
+		co.leaseEvents.With("completed").Inc()
+		err := &runner.Error{Kind: kindFromString(req.ErrorKind), Op: "remote run on " + ws.id, Err: errors.New(req.Error)}
+		co.log.Debug("remote attempt failed",
+			obs.Str("lease", l.id), obs.Str("job", a.JobID),
+			obs.Str("kind", req.ErrorKind), obs.Str("error", req.Error))
+		a.finish(Outcome{Err: err, Backend: co.Name(), Worker: ws.id})
+		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+		return
+	}
+
+	payload := []byte(req.Result)
+	if fault.Hit("dispatch.upload") && len(payload) > 0 {
+		payload = payload[:len(payload)/2] // torn upload
+	}
+	res, err := validateUpload(payload, a.Hash())
+	if err != nil {
+		co.leaseEvents.With("rejected_corrupt").Inc()
+		co.log.Warn("upload rejected",
+			obs.Str("lease", l.id), obs.Str("worker", ws.id),
+			obs.Str("job", a.JobID), obs.Str("error", err.Error()))
+		a.finish(Outcome{
+			Err:     &runner.Error{Kind: runner.KindTransient, Op: "verify upload from " + ws.id, Err: err},
+			Backend: co.Name(), Worker: ws.id,
+		})
+		httpError(w, http.StatusUnprocessableEntity, "result rejected: %v", err)
+		return
+	}
+	co.leaseEvents.With("completed").Inc()
+	if l.verify {
+		co.crossCheck(l, res)
+	} else {
+		a.finish(Outcome{Res: res, Backend: co.Name(), Worker: ws.id})
+	}
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// validateUpload parses an uploaded result and checks it round-trips the
+// lease's versioned spec hash: the payload's spec re-normalizes and
+// re-hashes to exactly the hash the work was leased under, and the runner's
+// own recorded SpecHash agrees. Anything else is a corrupt or mismatched
+// upload.
+func validateUpload(payload []byte, wantHash string) (*runner.Result, error) {
+	var res runner.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		return nil, fmt.Errorf("payload does not parse: %w", err)
+	}
+	n, err := res.Spec.Normalized()
+	if err != nil {
+		return nil, fmt.Errorf("payload spec invalid: %w", err)
+	}
+	h, err := n.Hash()
+	if err != nil {
+		return nil, fmt.Errorf("payload spec unhashable: %w", err)
+	}
+	if h != wantHash {
+		return nil, fmt.Errorf("payload spec hash %s does not round-trip lease hash %s", h, wantHash)
+	}
+	if res.SpecHash != wantHash {
+		return nil, fmt.Errorf("result records spec hash %s, lease granted %s", res.SpecHash, wantHash)
+	}
+	if res.StateHash == "" {
+		return nil, errors.New("result carries no final-state hash")
+	}
+	return &res, nil
+}
+
+// crossCheck re-dispatches a sampled attempt to a different executor and
+// admits the first result only if both final-state hashes are bit-identical
+// — the paper's determinism claim, checked across nodes. A verification
+// that finds no second executor within VerifyWait is skipped, not failed.
+func (co *Coordinator) crossCheck(l *lease, first *runner.Result) {
+	a, firstWorker := l.a, l.worker.id
+	co.d.Go(func() {
+		base := co.runCtx
+		if base == nil {
+			base = context.Background()
+		}
+		ctx, cancel := context.WithTimeout(base, co.cfg.VerifyWait)
+		defer cancel()
+		shadow := &Attempt{
+			JobID:         a.JobID,
+			Spec:          a.Spec,
+			N:             a.N,
+			ExcludeWorker: firstWorker,
+			shadow:        true,
+		}
+		out := co.d.Do(ctx, shadow)
+		switch {
+		case out.Err != nil || out.Res == nil:
+			co.verifyCtr.With("skipped").Inc()
+			co.log.Warn("cross-node verification skipped",
+				obs.Str("job", a.JobID), obs.Str("cause", fmt.Sprint(out.Err)))
+			a.finish(Outcome{Res: first, Backend: co.Name(), Worker: firstWorker})
+		case out.Res.StateHash == first.StateHash:
+			co.verifyCtr.With("match").Inc()
+			co.log.Debug("cross-node verification matched",
+				obs.Str("job", a.JobID), obs.Str("first", firstWorker),
+				obs.Str("second", out.Backend+"/"+out.Worker),
+				obs.Str("state", first.StateHash))
+			a.finish(Outcome{Res: first, Backend: co.Name(), Worker: firstWorker})
+		default:
+			co.verifyCtr.With("mismatch").Inc()
+			co.log.Error("cross-node state hash divergence",
+				obs.Str("job", a.JobID),
+				obs.Str("first", firstWorker), obs.Str("first_state", first.StateHash),
+				obs.Str("second", out.Backend+"/"+out.Worker), obs.Str("second_state", out.Res.StateHash))
+			a.finish(Outcome{
+				Err: &runner.Error{Kind: runner.KindPermanent, Op: "cross-node verification",
+					Err: fmt.Errorf("state hash divergence: %s on %s vs %s on %s/%s",
+						first.StateHash, firstWorker, out.Res.StateHash, out.Backend, out.Worker)},
+				Backend: co.Name(), Worker: firstWorker,
+			})
+		}
+	})
+}
+
+// HandleDeregister implements POST /v1/workers/{id}/deregister: a graceful
+// goodbye. Any leases the worker still holds are expired so their jobs
+// re-queue immediately.
+func (co *Coordinator) HandleDeregister(w http.ResponseWriter, r *http.Request) {
+	wid := r.PathValue("id")
+	co.mu.Lock()
+	ws, ok := co.workers[wid]
+	if !ok {
+		co.mu.Unlock()
+		httpError(w, http.StatusNotFound, "unknown worker %q", wid)
+		return
+	}
+	delete(co.workers, wid)
+	var held []string
+	for id := range ws.active {
+		held = append(held, id)
+	}
+	n := len(co.workers)
+	co.mu.Unlock()
+	for _, id := range held {
+		co.expireLease(id, fmt.Errorf("worker %s deregistered: %w", wid, ErrLeaseExpired))
+	}
+	co.workersGauge.Set(int64(n))
+	co.log.Info("worker deregistered", obs.Str("worker", wid), obs.Str("name", ws.name))
+	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
+}
+
+// HandleList implements GET /v1/workers: the fleet view.
+func (co *Coordinator) HandleList(w http.ResponseWriter, r *http.Request) {
+	now := time.Now()
+	co.mu.Lock()
+	view := FleetView{Workers: make([]WorkerView, 0, len(co.workers))}
+	for _, ws := range co.workers {
+		view.Workers = append(view.Workers, WorkerView{
+			ID:           ws.id,
+			Name:         ws.name,
+			Capabilities: ws.caps,
+			RegisteredAt: ws.registeredAt,
+			LastSeenAgo:  now.Sub(ws.lastSeen).Round(time.Millisecond).String(),
+			ActiveLeases: len(ws.active),
+			Leased:       ws.leased,
+			Completed:    ws.completed,
+			Expired:      ws.expired,
+		})
+		view.ActiveLeases += len(ws.active)
+	}
+	co.mu.Unlock()
+	sortWorkerViews(view.Workers)
+	writeJSON(w, http.StatusOK, view)
+}
+
+func sortWorkerViews(ws []WorkerView) {
+	for i := 1; i < len(ws); i++ {
+		for j := i; j > 0 && ws[j].ID < ws[j-1].ID; j-- {
+			ws[j], ws[j-1] = ws[j-1], ws[j]
+		}
+	}
+}
+
+// kindFromString parses a worker-reported error classification; anything
+// unrecognized degrades to transient (retried, never silently dropped).
+func kindFromString(s string) runner.Kind {
+	switch s {
+	case "permanent":
+		return runner.KindPermanent
+	case "timeout":
+		return runner.KindTimeout
+	case "numerical":
+		return runner.KindNumerical
+	default:
+		return runner.KindTransient
+	}
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+	_ = enc.Encode(v)
+}
+
+func httpError(w http.ResponseWriter, status int, format string, args ...any) {
+	writeJSON(w, status, map[string]string{"error": fmt.Sprintf(format, args...)})
+}

@@ -1,0 +1,183 @@
+package dispatch
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+)
+
+func testSpec() runner.ExperimentSpec {
+	return runner.ExperimentSpec{
+		App: runner.AppCLAMR, Mode: "full", Steps: 4,
+		NX: 16, NY: 16, MaxLevel: 1, AMRInterval: 5,
+	}
+}
+
+func okResult(t *testing.T, spec runner.ExperimentSpec) *runner.Result {
+	t.Helper()
+	n, err := spec.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := n.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &runner.Result{Spec: n, SpecHash: h, StateHash: "feed" + h[:8], Steps: spec.Steps}
+}
+
+// TestLocalBackendDeliversOutcome is the basic round trip: Do posts, the
+// local backend takes, runs, and the outcome comes back labeled.
+func TestLocalBackendDeliversOutcome(t *testing.T) {
+	t.Parallel()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d := New(Options{})
+	d.Register(NewLocal(LocalConfig{Slots: 2}))
+	d.Start(ctx)
+
+	spec := testSpec()
+	want := okResult(t, spec)
+	var placed atomic.Int64
+	out := d.Do(ctx, &Attempt{
+		JobID: "job-1",
+		Spec:  spec,
+		Run:   func(context.Context) (*runner.Result, error) { return want, nil },
+		OnPlaced: func(backend, worker string, wait time.Duration) {
+			placed.Add(1)
+			if backend != "local" || worker != "" {
+				t.Errorf("placed on %q/%q, want local", backend, worker)
+			}
+		},
+	})
+	if out.Err != nil || out.Res != want {
+		t.Fatalf("outcome = %+v, want the run's result", out)
+	}
+	if out.Backend != "local" {
+		t.Fatalf("outcome backend = %q, want local", out.Backend)
+	}
+	if placed.Load() != 1 {
+		t.Fatalf("OnPlaced fired %d times, want 1", placed.Load())
+	}
+	cancel()
+	d.Wait()
+}
+
+// TestCancelWithdrawsPendingAttempt: an attempt no backend has taken is
+// withdrawn when its context dies, and Do returns the cancellation cause.
+func TestCancelWithdrawsPendingAttempt(t *testing.T) {
+	t.Parallel()
+	d := New(Options{}) // no backends: nothing will ever take it
+	ctx, cancel := context.WithTimeout(context.Background(), 30*time.Millisecond)
+	defer cancel()
+	out := d.Do(ctx, &Attempt{
+		JobID: "job-1",
+		Spec:  testSpec(),
+		Run:   func(context.Context) (*runner.Result, error) { t.Error("ran a withdrawn attempt"); return nil, nil },
+	})
+	if !errors.Is(out.Err, context.DeadlineExceeded) {
+		t.Fatalf("outcome err = %v, want the context cause", out.Err)
+	}
+}
+
+// TestTakeHonorsMatch: a taker whose predicate rejects the posted attempt
+// must not receive it, while a matching taker does.
+func TestTakeHonorsMatch(t *testing.T) {
+	t.Parallel()
+	d := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	a := &Attempt{JobID: "job-1", Spec: testSpec(), LocalOnly: true}
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		out := d.Do(ctx, a)
+		if out.Err != nil {
+			t.Errorf("outcome err = %v", out.Err)
+		}
+	}()
+
+	// A remote-style taker refuses LocalOnly attempts and must time out.
+	shortCtx, shortCancel := context.WithTimeout(ctx, 50*time.Millisecond)
+	defer shortCancel()
+	if got := d.Take(shortCtx, "fleet", "worker-001", func(a *Attempt) bool { return !a.LocalOnly }); got != nil {
+		t.Fatalf("remote taker got a LocalOnly attempt: job %s", got.JobID)
+	}
+
+	// A local-style taker matches everything.
+	got := d.Take(ctx, "local", "", func(*Attempt) bool { return true })
+	if got != a {
+		t.Fatalf("local taker got %+v, want the posted attempt", got)
+	}
+	got.finish(Outcome{Res: okResult(t, got.Spec)})
+	wg.Wait()
+}
+
+// TestFinishIsExactlyOnce: only the first finish delivers; Do observes it
+// and later finishes are dropped.
+func TestFinishIsExactlyOnce(t *testing.T) {
+	t.Parallel()
+	d := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	a := &Attempt{JobID: "job-1", Spec: testSpec()}
+	outCh := make(chan Outcome, 1)
+	go func() { outCh <- d.Do(ctx, a) }()
+
+	got := d.Take(ctx, "fleet", "w1", func(*Attempt) bool { return true })
+	if got == nil {
+		t.Fatal("take returned nil")
+	}
+	first := okResult(t, got.Spec)
+	if !got.finish(Outcome{Res: first, Backend: "fleet", Worker: "w1"}) {
+		t.Fatal("first finish rejected")
+	}
+	if got.finish(Outcome{Err: errors.New("late duplicate")}) {
+		t.Fatal("second finish accepted")
+	}
+	out := <-outCh
+	if out.Err != nil || out.Res != first {
+		t.Fatalf("outcome = %+v, want the first finish", out)
+	}
+	if out.Backend != "fleet" || out.Worker != "w1" {
+		t.Fatalf("outcome placement = %s/%s, want fleet/w1", out.Backend, out.Worker)
+	}
+}
+
+// TestWaiterWakesOnPost: a parked taker is handed a freshly posted attempt
+// without polling.
+func TestWaiterWakesOnPost(t *testing.T) {
+	t.Parallel()
+	d := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+
+	takerGot := make(chan *Attempt, 1)
+	go func() { takerGot <- d.Take(ctx, "fleet", "w1", func(*Attempt) bool { return true }) }()
+	time.Sleep(20 * time.Millisecond) // let the taker park
+
+	a := &Attempt{JobID: "job-1", Spec: testSpec()}
+	go func() {
+		out := d.Do(ctx, a)
+		if out.Res == nil {
+			t.Errorf("outcome = %+v, want a result", out)
+		}
+	}()
+	select {
+	case got := <-takerGot:
+		if got != a {
+			t.Fatalf("taker got %v, want the posted attempt", got)
+		}
+		got.finish(Outcome{Res: okResult(t, got.Spec)})
+	case <-time.After(2 * time.Second):
+		t.Fatal("parked taker never woke")
+	}
+}

@@ -1,0 +1,457 @@
+package queue
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/fault"
+	"repro/internal/runner"
+	"repro/internal/serve/dispatch"
+)
+
+// fleetHarness is a scheduler wired to a fleet coordinator served over
+// loopback HTTP — the full lease protocol as workers see it, minus only the
+// worker binary.
+type fleetHarness struct {
+	sched   *Scheduler
+	journal *Journal
+	srv     *httptest.Server
+	cancel  context.CancelFunc
+}
+
+func newFleetHarness(t *testing.T, cfg Config, ccfg dispatch.CoordinatorConfig) *fleetHarness {
+	t.Helper()
+	disp := dispatch.New(dispatch.Options{})
+	co := dispatch.NewCoordinator(disp, ccfg)
+	cfg.Dispatch = disp
+	if cfg.QueueDepth == 0 {
+		cfg.QueueDepth = 16
+	}
+	s := New(cfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	s.Start(ctx)
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/workers/register", co.HandleRegister)
+	mux.HandleFunc("POST /v1/workers/lease", co.HandleLease)
+	mux.HandleFunc("POST /v1/workers/{id}/heartbeat", co.HandleHeartbeat)
+	mux.HandleFunc("POST /v1/workers/{id}/complete", co.HandleComplete)
+	mux.HandleFunc("POST /v1/workers/{id}/deregister", co.HandleDeregister)
+	mux.HandleFunc("GET /v1/workers", co.HandleList)
+	srv := httptest.NewServer(mux)
+
+	h := &fleetHarness{sched: s, journal: cfg.Journal, srv: srv, cancel: cancel}
+	t.Cleanup(func() {
+		cancel()
+		s.Wait()
+		srv.Close()
+	})
+	return h
+}
+
+// testWorker drives the lease protocol like cmd/precision-worker does.
+type testWorker struct {
+	t    *testing.T
+	base string
+	id   string
+}
+
+func (h *fleetHarness) registerWorker(t *testing.T, name string) *testWorker {
+	t.Helper()
+	w := &testWorker{t: t, base: h.srv.URL}
+	var resp dispatch.RegisterResponse
+	status := w.post("/v1/workers/register",
+		dispatch.RegisterRequest{Name: name, Capabilities: dispatch.Capabilities{Slots: 1}}, &resp)
+	if status != http.StatusOK {
+		t.Fatalf("register = %d", status)
+	}
+	w.id = resp.WorkerID
+	return w
+}
+
+func (w *testWorker) post(path string, in, out any) int {
+	w.t.Helper()
+	body, err := json.Marshal(in)
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	resp, err := http.Post(w.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		w.t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil && resp.StatusCode == http.StatusOK {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			w.t.Fatalf("decode %s reply: %v", path, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+// lease polls once; nil means an empty poll (204).
+func (w *testWorker) lease(wait time.Duration) *dispatch.LeaseGrant {
+	w.t.Helper()
+	var g dispatch.LeaseGrant
+	status := w.post("/v1/workers/lease",
+		dispatch.LeaseRequest{WorkerID: w.id, Wait: wait.String()}, &g)
+	switch status {
+	case http.StatusOK:
+		return &g
+	case http.StatusNoContent:
+		return nil
+	default:
+		w.t.Fatalf("lease = %d", status)
+		return nil
+	}
+}
+
+// leaseUntilGrant polls until a grant arrives or the deadline passes.
+func (w *testWorker) leaseUntilGrant(deadline time.Duration) *dispatch.LeaseGrant {
+	w.t.Helper()
+	end := time.Now().Add(deadline)
+	for time.Now().Before(end) {
+		if g := w.lease(100 * time.Millisecond); g != nil {
+			return g
+		}
+	}
+	w.t.Fatalf("no lease granted within %v", deadline)
+	return nil
+}
+
+func (w *testWorker) heartbeat(leases ...dispatch.LeaseProgress) []string {
+	w.t.Helper()
+	var resp dispatch.HeartbeatResponse
+	if status := w.post("/v1/workers/"+w.id+"/heartbeat",
+		dispatch.HeartbeatRequest{Leases: leases}, &resp); status != http.StatusOK {
+		w.t.Fatalf("heartbeat = %d", status)
+	}
+	return resp.Expired
+}
+
+func (w *testWorker) complete(leaseID string, payload []byte) int {
+	w.t.Helper()
+	return w.post("/v1/workers/"+w.id+"/complete",
+		dispatch.CompleteRequest{LeaseID: leaseID, Result: payload}, nil)
+}
+
+// runPayload computes a grant's result exactly like a worker node would.
+func runPayload(t *testing.T, spec runner.ExperimentSpec) []byte {
+	t.Helper()
+	res, err := DefaultRun(context.Background(), RunRequest{Spec: spec, Lanes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return payload
+}
+
+// TestFleetLeaseExpiryRequeuesUnderOriginalID is the crash contract: a
+// worker that takes a lease and goes silent (SIGKILL) loses the lease after
+// the TTL, the job re-queues under its original ID without consuming retry
+// budget, and the worker's late duplicate completion is rejected with 409.
+func TestFleetLeaseExpiryRequeuesUnderOriginalID(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(filepath.Join(dir, "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	h := newFleetHarness(t,
+		Config{DisableLocal: true, Journal: j, Retry: fastRetry},
+		dispatch.CoordinatorConfig{LeaseTTL: 80 * time.Millisecond, PollWait: 150 * time.Millisecond})
+
+	job, err := h.sched.Submit(testSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	w := h.registerWorker(t, "silent")
+	g1 := w.leaseUntilGrant(2 * time.Second)
+	if g1.JobID != job.ID {
+		t.Fatalf("lease granted job %s, want %s", g1.JobID, job.ID)
+	}
+	if g1.Attempt != 1 {
+		t.Fatalf("first grant attempt = %d, want 1", g1.Attempt)
+	}
+
+	// No heartbeat: the reaper must expire the lease and the scheduler
+	// re-offer the SAME job. The next grant is a fresh lease.
+	g2 := w.leaseUntilGrant(3 * time.Second)
+	if g2.JobID != job.ID {
+		t.Fatalf("requeued grant is job %s, want original %s", g2.JobID, job.ID)
+	}
+	if g2.LeaseID == g1.LeaseID {
+		t.Fatal("requeued attempt reused the expired lease ID")
+	}
+	if g2.Attempt != 2 {
+		t.Fatalf("requeued grant attempt = %d, want 2", g2.Attempt)
+	}
+
+	payload := runPayload(t, g2.Spec)
+	// The zombie's late upload under the expired lease: rejected, not
+	// admitted — the job must complete exactly once.
+	if status := w.complete(g1.LeaseID, payload); status != http.StatusConflict {
+		t.Fatalf("duplicate complete after expiry = %d, want 409", status)
+	}
+	if status := w.complete(g2.LeaseID, payload); status != http.StatusOK {
+		t.Fatalf("complete = %d, want 200", status)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusDone {
+		t.Fatalf("job = %+v, want done", v)
+	} else if v.Backend != "fleet/"+w.id {
+		t.Fatalf("job backend = %q, want fleet/%s", v.Backend, w.id)
+	}
+	st := h.sched.Stats()
+	if st.Requeued == 0 {
+		t.Fatalf("stats = %+v, want requeued > 0", st)
+	}
+	if st.Executed != 1 || st.Retried != 0 {
+		t.Fatalf("stats = %+v, want executed=1 retried=0 (expiry must not consume retry budget)", st)
+	}
+	if p := j.Pending(); len(p) != 0 {
+		t.Fatalf("journal still owes %d jobs after completion", len(p))
+	}
+}
+
+// TestFleetHeartbeatExtendsLease: heartbeats carry the lease across many
+// TTLs and relay solver progress into the job view.
+func TestFleetHeartbeatExtendsLease(t *testing.T) {
+	h := newFleetHarness(t,
+		Config{DisableLocal: true, Retry: fastRetry},
+		dispatch.CoordinatorConfig{LeaseTTL: 100 * time.Millisecond, PollWait: 150 * time.Millisecond})
+
+	job, err := h.sched.Submit(testSpec(10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := h.registerWorker(t, "steady")
+	g := w.leaseUntilGrant(2 * time.Second)
+
+	// Hold the lease for 5 TTLs, heartbeating at TTL/3.
+	deadline := time.Now().Add(500 * time.Millisecond)
+	step := int64(0)
+	for time.Now().Before(deadline) {
+		step++
+		if expired := w.heartbeat(dispatch.LeaseProgress{LeaseID: g.LeaseID, Step: step, Total: 10}); len(expired) != 0 {
+			t.Fatalf("heartbeated lease expired: %v", expired)
+		}
+		time.Sleep(30 * time.Millisecond)
+	}
+	if v := job.Snapshot(); v.Step != step || v.Total != 10 {
+		t.Fatalf("progress not relayed: view step=%d/%d, want %d/10", v.Step, v.Total, step)
+	}
+	if status := w.complete(g.LeaseID, runPayload(t, g.Spec)); status != http.StatusOK {
+		t.Fatalf("complete = %d, want 200", status)
+	}
+	waitDone(t, job)
+	if st := h.sched.Stats(); st.Requeued != 0 {
+		t.Fatalf("stats = %+v, want no requeues while heartbeating", st)
+	}
+}
+
+// TestFleetCorruptUploadRetried: a payload that does not round-trip the
+// versioned spec hash is rejected with 422 and the attempt retried.
+func TestFleetCorruptUploadRetried(t *testing.T) {
+	h := newFleetHarness(t,
+		Config{DisableLocal: true, Retry: fastRetry},
+		dispatch.CoordinatorConfig{LeaseTTL: 500 * time.Millisecond, PollWait: 150 * time.Millisecond})
+
+	job, err := h.sched.Submit(testSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := h.registerWorker(t, "corrupt")
+	g1 := w.leaseUntilGrant(2 * time.Second)
+
+	good := runPayload(t, g1.Spec)
+	var tampered runner.Result
+	if err := json.Unmarshal(good, &tampered); err != nil {
+		t.Fatal(err)
+	}
+	tampered.Spec.Steps += 7 // re-hashes to a different spec: must not round-trip
+	bad, _ := json.Marshal(tampered)
+	if status := w.complete(g1.LeaseID, bad); status != http.StatusUnprocessableEntity {
+		t.Fatalf("corrupt upload = %d, want 422", status)
+	}
+
+	g2 := w.leaseUntilGrant(2 * time.Second)
+	if g2.JobID != job.ID || g2.Attempt != 2 {
+		t.Fatalf("retry grant = %+v, want attempt 2 of %s", g2, job.ID)
+	}
+	if status := w.complete(g2.LeaseID, good); status != http.StatusOK {
+		t.Fatalf("complete = %d, want 200", status)
+	}
+	waitDone(t, job)
+	if st := h.sched.Stats(); st.Retried != 1 || st.Executed != 1 {
+		t.Fatalf("stats = %+v, want retried=1 executed=1", st)
+	}
+}
+
+// TestFleetVerifyMatchAdmitsResult: with -verify-n 1 every remote result is
+// re-run on a second worker; bit-identical state hashes admit the first.
+func TestFleetVerifyMatchAdmitsResult(t *testing.T) {
+	h := newFleetHarness(t,
+		Config{DisableLocal: true, Retry: fastRetry},
+		dispatch.CoordinatorConfig{
+			LeaseTTL: 500 * time.Millisecond, PollWait: 150 * time.Millisecond,
+			VerifyN: 1, VerifyWait: 5 * time.Second,
+		})
+
+	job, err := h.sched.Submit(testSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := h.registerWorker(t, "first")
+	w2 := h.registerWorker(t, "second")
+
+	g1 := w1.leaseUntilGrant(2 * time.Second)
+	payload := runPayload(t, g1.Spec)
+	if status := w1.complete(g1.LeaseID, payload); status != http.StatusOK {
+		t.Fatalf("complete = %d", status)
+	}
+
+	// The verification attempt must go to a DIFFERENT worker.
+	g2 := w2.leaseUntilGrant(3 * time.Second)
+	if g2.JobID != job.ID {
+		t.Fatalf("shadow grant is job %s, want %s", g2.JobID, job.ID)
+	}
+	if status := w2.complete(g2.LeaseID, runPayload(t, g2.Spec)); status != http.StatusOK {
+		t.Fatalf("shadow complete = %d", status)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusDone {
+		t.Fatalf("verified job = %+v, want done", v)
+	}
+	var res runner.Result
+	payloadOut, ok := job.Result()
+	if !ok {
+		t.Fatal("no result payload")
+	}
+	if err := json.Unmarshal(payloadOut, &res); err != nil {
+		t.Fatal(err)
+	}
+	var first runner.Result
+	if err := json.Unmarshal(payload, &first); err != nil {
+		t.Fatal(err)
+	}
+	if res.StateHash != first.StateHash {
+		t.Fatalf("admitted state hash %s, want the verified %s", res.StateHash, first.StateHash)
+	}
+}
+
+// TestFleetVerifyMismatchFailsJob: divergent state hashes across nodes are
+// a permanent failure — non-determinism must never be silently admitted.
+func TestFleetVerifyMismatchFailsJob(t *testing.T) {
+	h := newFleetHarness(t,
+		Config{DisableLocal: true, Retry: fastRetry},
+		dispatch.CoordinatorConfig{
+			LeaseTTL: 500 * time.Millisecond, PollWait: 150 * time.Millisecond,
+			VerifyN: 1, VerifyWait: 5 * time.Second,
+		})
+
+	job, err := h.sched.Submit(testSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := h.registerWorker(t, "honest")
+	w2 := h.registerWorker(t, "divergent")
+
+	g1 := w1.leaseUntilGrant(2 * time.Second)
+	payload := runPayload(t, g1.Spec)
+	if status := w1.complete(g1.LeaseID, payload); status != http.StatusOK {
+		t.Fatalf("complete = %d", status)
+	}
+
+	g2 := w2.leaseUntilGrant(3 * time.Second)
+	var res runner.Result
+	if err := json.Unmarshal(payload, &res); err != nil {
+		t.Fatal(err)
+	}
+	res.StateHash = "deadbeef" + res.StateHash[8:] // same spec, different state
+	diverged, _ := json.Marshal(res)
+	if status := w2.complete(g2.LeaseID, diverged); status != http.StatusOK {
+		t.Fatalf("shadow complete = %d", status)
+	}
+	waitDone(t, job)
+	v := job.Snapshot()
+	if v.Status != StatusFailed {
+		t.Fatalf("diverged job = %+v, want failed", v)
+	}
+	if want := "divergence"; !bytes.Contains([]byte(v.Error), []byte(want)) {
+		t.Fatalf("error %q does not mention %q", v.Error, want)
+	}
+}
+
+// TestFleetInjectedLeaseExpiry: the dispatch.lease.expire fault point
+// force-expires a heartbeated lease, telling the worker to cancel — the
+// partition chaos drill, driven deterministically.
+func TestFleetInjectedLeaseExpiry(t *testing.T) {
+	if err := fault.Arm("dispatch.lease.expire=n:1"); err != nil {
+		t.Fatal(err)
+	}
+	defer fault.Disarm()
+	h := newFleetHarness(t,
+		Config{DisableLocal: true, Retry: fastRetry},
+		dispatch.CoordinatorConfig{LeaseTTL: 300 * time.Millisecond, PollWait: 150 * time.Millisecond})
+
+	job, err := h.sched.Submit(testSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := h.registerWorker(t, "victim")
+	g1 := w.leaseUntilGrant(2 * time.Second)
+	expired := w.heartbeat(dispatch.LeaseProgress{LeaseID: g1.LeaseID, Step: 1, Total: 6})
+	if len(expired) != 1 || expired[0] != g1.LeaseID {
+		t.Fatalf("heartbeat expired = %v, want [%s]", expired, g1.LeaseID)
+	}
+	if status := w.complete(g1.LeaseID, runPayload(t, g1.Spec)); status != http.StatusConflict {
+		t.Fatalf("complete after injected expiry = %d, want 409", status)
+	}
+	g2 := w.leaseUntilGrant(3 * time.Second)
+	if g2.JobID != job.ID {
+		t.Fatalf("requeued grant is job %s, want %s", g2.JobID, job.ID)
+	}
+	if status := w.complete(g2.LeaseID, runPayload(t, g2.Spec)); status != http.StatusOK {
+		t.Fatalf("complete = %d", status)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusDone {
+		t.Fatalf("job = %+v, want done", v)
+	}
+}
+
+// TestFleetOnlyModeQueuesUntilWorkerArrives: -workers 0 (DisableLocal)
+// means nothing runs until a worker registers — then everything drains.
+func TestFleetOnlyModeQueuesUntilWorkerArrives(t *testing.T) {
+	h := newFleetHarness(t,
+		Config{DisableLocal: true, Retry: fastRetry},
+		dispatch.CoordinatorConfig{LeaseTTL: 500 * time.Millisecond, PollWait: 100 * time.Millisecond})
+
+	if w := h.sched.Stats().Workers; w != 0 {
+		t.Fatalf("fleet-only scheduler reports %d local workers, want 0", w)
+	}
+	job, err := h.sched.Submit(testSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(100 * time.Millisecond)
+	if v := job.Snapshot(); v.Status != StatusQueued {
+		t.Fatalf("job with no workers = %s, want still queued", v.Status)
+	}
+	w := h.registerWorker(t, "late")
+	g := w.leaseUntilGrant(2 * time.Second)
+	if status := w.complete(g.LeaseID, runPayload(t, g.Spec)); status != http.StatusOK {
+		t.Fatalf("complete = %d", status)
+	}
+	waitDone(t, job)
+}

@@ -17,6 +17,9 @@ type schedObs struct {
 	executed, failed, rejected      Counter
 	retried, escalated, timedOut    Counter
 	abandoned, recovered            Counter
+	requeuedCtr                     Counter
+
+	queueDepth obs.Gauge
 
 	queueWait *obs.Histogram
 	runDur    obs.HistogramVec // labels: app, mode
@@ -36,23 +39,26 @@ type schedObs struct {
 // Counter aliases obs.Counter so schedObs reads cleanly.
 type Counter = obs.Counter
 
-// newSchedObs resolves the scheduler's instruments and registers the
-// scrape-time queue-depth collector.
+// newSchedObs resolves the scheduler's instruments.
 func newSchedObs(r *obs.Registry, s *Scheduler) *schedObs {
 	jobs := r.CounterVec("precisiond_jobs_total",
 		"Scheduler job traffic by event (mirrors /v1/cache/stats).", "event")
 	o := &schedObs{
-		submitted: jobs.With("submitted"),
-		dedupHits: jobs.With("dedup_hit"),
-		cacheHits: jobs.With("cache_hit"),
-		executed:  jobs.With("executed"),
-		failed:    jobs.With("failed"),
-		rejected:  jobs.With("queue_rejected"),
-		retried:   jobs.With("retried"),
-		escalated: jobs.With("escalated"),
-		timedOut:  jobs.With("timed_out"),
-		abandoned: jobs.With("abandoned"),
-		recovered: jobs.With("recovered"),
+		submitted:   jobs.With("submitted"),
+		dedupHits:   jobs.With("dedup_hit"),
+		cacheHits:   jobs.With("cache_hit"),
+		executed:    jobs.With("executed"),
+		failed:      jobs.With("failed"),
+		rejected:    jobs.With("queue_rejected"),
+		retried:     jobs.With("retried"),
+		escalated:   jobs.With("escalated"),
+		timedOut:    jobs.With("timed_out"),
+		abandoned:   jobs.With("abandoned"),
+		recovered:   jobs.With("recovered"),
+		requeuedCtr: jobs.With("requeued"),
+
+		queueDepth: r.Gauge("precisiond_queue_depth",
+			"Jobs admitted but not yet placed on a backend."),
 
 		queueWait: r.Histogram("precisiond_queue_wait_seconds",
 			"Time from admission to the first execution attempt.", obs.DurationBuckets),
@@ -83,12 +89,6 @@ func newSchedObs(r *obs.Registry, s *Scheduler) *schedObs {
 	}
 	r.Gauge("precisiond_workers", "Configured concurrent job executors.").Set(int64(s.cfg.Workers))
 	r.Gauge("precisiond_lanes_per_worker", "Solver lanes handed to each running job.").Set(int64(s.lanes))
-	r.Collect(func(emit func(obs.Sample)) {
-		emit(obs.Sample{
-			Name: "precisiond_queue_depth", Help: "Jobs waiting in the bounded queue.",
-			Type: "gauge", Value: float64(len(s.queue)),
-		})
-	})
 	return o
 }
 

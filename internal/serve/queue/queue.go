@@ -1,33 +1,37 @@
 // Package queue is the experiment service's admission and execution layer:
-// a bounded job queue, a spec-hash singleflight, and a worker-limited
-// scheduler that executes jobs without oversubscribing the machine.
+// a bounded job queue, a spec-hash singleflight, and a scheduler that
+// drives each job's retry/escalation policy while delegating attempt
+// placement to internal/serve/dispatch.
 //
 // Admission order: a submitted spec is (1) collapsed onto an identical
 // queued-or-running job if one exists (singleflight — concurrent duplicate
 // sweeps cost one computation), else (2) answered from the content-
 // addressed result cache, else (3) journaled (when a Journal is
 // configured; the write-ahead record lands before the submission is
-// acknowledged, so an acked job survives a crash), else (4) enqueued,
+// acknowledged, so an acked job survives a crash), else (4) admitted,
 // bounded — a full queue rejects with ErrQueueFull rather than buffering
 // unboundedly.
 //
-// Execution budget: Workers jobs run concurrently, and each is handed an
-// equal share of the machine's parallel lanes (GOMAXPROCS / Workers) as
-// its solver chunk budget. The solvers dispatch those chunks on the shared
-// internal/par pool, whose dispatch serialization already arbitrates
-// concurrent solvers, so total parallelism stays at one pool's worth of
-// cores regardless of how many jobs are in flight. Worker counts never
-// change results (DESIGN.md §5), only latency.
+// Execution: each admitted job gets a policy goroutine that offers one
+// attempt at a time to the dispatch board. In the single-node default the
+// only backend is dispatch.Local — Workers attempts run concurrently, each
+// with an equal share of the machine's parallel lanes (GOMAXPROCS /
+// Workers), exactly the pre-dispatch behavior. With a shared dispatcher
+// (precisiond), remote precision-worker nodes lease attempts off the same
+// board; capability-aware placement keeps checkpoint resumes local and
+// spreads everything else. Worker counts and placement never change
+// results (DESIGN.md §5), only latency.
 //
 // Fault tolerance (DESIGN.md §7): each attempt runs under the job's
 // deadline; failures are classified by runner.Classify — transient errors
 // retry with capped exponential backoff, numerical-guard aborts re-run the
 // spec one precision rung up (recording the escalation in the result),
 // timeouts and permanent errors fail immediately so their lanes go to the
-// next queued job. A run that ignores cancellation past the abandon grace
-// is abandoned in place — its worker moves on. Recover replays journaled
-// jobs after a crash, resuming started ones from their latest periodic
-// checkpoint when one exists.
+// next queued job. A remote lease that expires (missed heartbeats, a
+// SIGKILL'd worker) re-queues the attempt under the job's original ID
+// without consuming retry budget. Recover replays journaled jobs after a
+// crash, resuming started ones from their latest periodic checkpoint when
+// one exists.
 package queue
 
 import (
@@ -44,10 +48,10 @@ import (
 	"sync/atomic"
 	"time"
 
-	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/serve/cache"
+	"repro/internal/serve/dispatch"
 )
 
 // Status is a job's lifecycle state.
@@ -83,6 +87,8 @@ type Job struct {
 	cached      bool
 	recovered   bool
 	tryResume   bool
+	everPlaced  bool
+	backend     string
 	timeout     time.Duration
 	escalations []runner.Escalation
 	result      []byte
@@ -92,8 +98,7 @@ type Job struct {
 
 	// trace is the job's span timeline, recorded from admission to the
 	// terminal state (obs.Trace is internally synchronized). queueSpan and
-	// enqueuedAt are written before the job is enqueued and read by the
-	// worker after dequeue — ordered by the channel handoff.
+	// enqueuedAt are written under s.mu before the policy goroutine starts.
 	trace      *obs.Trace
 	queueSpan  obs.Span
 	enqueuedAt time.Time
@@ -115,7 +120,10 @@ type View struct {
 	Total       int64                 `json:"total"`
 	Attempts    int64                 `json:"attempts,omitempty"`
 	Escalations []runner.Escalation   `json:"escalations,omitempty"`
-	Error       string                `json:"error,omitempty"`
+	// Backend reports where the latest attempt was placed: "local", or
+	// "fleet/worker-NNN" for a remote lease.
+	Backend string `json:"backend,omitempty"`
+	Error   string `json:"error,omitempty"`
 }
 
 // Snapshot captures the job's current state.
@@ -133,6 +141,7 @@ func (j *Job) Snapshot() View {
 		Total:       j.total.Load(),
 		Attempts:    j.attempts.Load(),
 		Escalations: append([]runner.Escalation(nil), j.escalations...),
+		Backend:     j.backend,
 		Error:       j.errMsg,
 	}
 }
@@ -152,12 +161,6 @@ func (j *Job) Result() ([]byte, bool) {
 func (j *Job) progress(step, totalSteps int) {
 	j.step.Store(int64(step))
 	j.total.Store(int64(totalSteps))
-}
-
-func (j *Job) setStatus(st Status) {
-	j.mu.Lock()
-	j.status = st
-	j.mu.Unlock()
 }
 
 func (j *Job) addEscalation(e runner.Escalation) {
@@ -214,7 +217,8 @@ func DefaultRun(ctx context.Context, req RunRequest) (*runner.Result, error) {
 
 // Config sizes a Scheduler.
 type Config struct {
-	// Workers is the number of jobs executing concurrently (default 2).
+	// Workers is the number of jobs executing concurrently on the local
+	// backend (default 2; ignored when DisableLocal is set).
 	Workers int
 	// QueueDepth bounds the pending-job queue (default 64).
 	QueueDepth int
@@ -240,13 +244,22 @@ type Config struct {
 	// go to the next queued job, never a rerun of the same budget.
 	JobTimeout time.Duration
 	// AbandonGrace is how long a cancelled attempt may keep running before
-	// its worker abandons it and moves on (default 2s).
+	// the local backend abandons it and moves on (default 2s).
 	AbandonGrace time.Duration
 	// Retry bounds transient-failure retries (see RetryPolicy defaults).
 	Retry RetryPolicy
+	// Dispatch, when non-nil, is a shared dispatcher the scheduler places
+	// attempts on — precisiond wires one dispatcher carrying both the
+	// local backend and the remote-fleet coordinator. Nil builds a private
+	// dispatcher with just the local backend (the single-node default).
+	Dispatch *dispatch.Dispatcher
+	// DisableLocal skips registering the local backend; every attempt must
+	// then be leased by a remote worker (precisiond -workers 0). Requires
+	// a Dispatch carrying a fleet coordinator.
+	DisableLocal bool
 	// Obs, when non-nil, registers the scheduler's instruments (job
 	// counters, queue-wait/run-duration histograms, journal fsync latency,
-	// worker/lane gauges, a queue-depth collector) into the registry. Job
+	// worker/lane gauges, the queue-depth gauge) into the registry. Job
 	// traces are recorded regardless — they are per-job, not per-registry.
 	Obs *obs.Registry
 	// Log, when non-nil, receives job-correlated structured log records.
@@ -272,26 +285,36 @@ type Stats struct {
 	TimedOut      uint64 `json:"timed_out"`
 	Abandoned     uint64 `json:"abandoned"`
 	Recovered     uint64 `json:"recovered"`
-	QueueDepth    int    `json:"queue_depth"`
-	Workers       int    `json:"workers"`
+	// Requeued counts attempts whose remote lease expired and were put
+	// back on the board under the job's original ID.
+	Requeued   uint64 `json:"requeued"`
+	QueueDepth int    `json:"queue_depth"`
+	Workers    int    `json:"workers"`
 }
 
 // Scheduler admits, deduplicates and executes jobs.
 type Scheduler struct {
 	cfg   Config
 	lanes int
-	queue chan *Job
+	disp  *dispatch.Dispatcher
+
+	// started gates policy goroutines until Start supplies the lifecycle
+	// context.
+	started   chan struct{}
+	startOnce sync.Once
+	runCtx    context.Context
 
 	mu       sync.Mutex
 	jobs     map[string]*Job // by job ID
 	order    []string        // job IDs in admission order
 	inflight map[string]*Job // spec hash → queued-or-running job
 	nextID   uint64
+	waiting  int // admitted jobs not yet placed on a backend (the queue depth)
 
 	submitted, dedupHits, cacheHits uint64
 	executed, failed, rejected      uint64
 	retried, escalated, timedOut    uint64
-	abandoned, recovered            uint64
+	abandoned, recovered, requeued  uint64
 
 	// obs mirrors the counters above into the metrics registry (a zero-value
 	// schedObs when none is configured — every handle no-ops). log is the
@@ -304,7 +327,9 @@ type Scheduler struct {
 
 // New builds a scheduler; call Recover (if journaled) then Start.
 func New(cfg Config) *Scheduler {
-	if cfg.Workers <= 0 {
+	if cfg.DisableLocal {
+		cfg.Workers = 0
+	} else if cfg.Workers <= 0 {
 		cfg.Workers = 2
 	}
 	if cfg.QueueDepth <= 0 {
@@ -323,14 +348,17 @@ func New(cfg Config) *Scheduler {
 	if cfg.CheckpointDir != "" {
 		_ = os.MkdirAll(cfg.CheckpointDir, 0o755)
 	}
-	lanes := cfg.Lanes / cfg.Workers
+	lanes := cfg.Lanes
+	if cfg.Workers > 0 {
+		lanes = cfg.Lanes / cfg.Workers
+	}
 	if lanes < 1 {
 		lanes = 1
 	}
 	s := &Scheduler{
 		cfg:      cfg,
 		lanes:    lanes,
-		queue:    make(chan *Job, cfg.QueueDepth),
+		started:  make(chan struct{}),
 		jobs:     make(map[string]*Job),
 		inflight: make(map[string]*Job),
 		obs:      &schedObs{},
@@ -342,41 +370,51 @@ func New(cfg Config) *Scheduler {
 			cfg.Journal.setFsyncHist(s.obs.fsync)
 		}
 	}
+	s.disp = cfg.Dispatch
+	if s.disp == nil {
+		s.disp = dispatch.New(dispatch.Options{Obs: cfg.Obs, Log: cfg.Log})
+	}
+	if !cfg.DisableLocal {
+		s.disp.Register(dispatch.NewLocal(dispatch.LocalConfig{
+			Slots: cfg.Workers,
+			Grace: cfg.AbandonGrace,
+			Exec: func(ctx context.Context, a *dispatch.Attempt) (*runner.Result, error) {
+				// Coordinator-spawned verification attempts carry no Run
+				// closure; execute them like any other attempt.
+				return s.cfg.Run(ctx, RunRequest{Spec: a.Spec, Lanes: s.lanes, Progress: a.Progress})
+			},
+			OnBusy: func(delta int) {
+				s.obs.workersBusy.Add(int64(delta))
+				s.obs.lanesBusy.Add(int64(delta) * int64(s.lanes))
+			},
+			Log: cfg.Log,
+		}))
+	}
 	return s
 }
 
-// Start launches the worker goroutines; they exit when ctx is cancelled
-// (cancelling any running solver between steps). Wait blocks until they
-// have drained.
+// Dispatcher exposes the board the scheduler places attempts on (the one
+// from Config.Dispatch, or the private single-node dispatcher).
+func (s *Scheduler) Dispatcher() *dispatch.Dispatcher { return s.disp }
+
+// Start launches the dispatch backends and releases the policy goroutines;
+// everything exits when ctx is cancelled (cancelling any running solver
+// between steps). Wait blocks until they have drained.
 func (s *Scheduler) Start(ctx context.Context) {
-	for w := 0; w < s.cfg.Workers; w++ {
-		s.wg.Add(1)
-		go s.worker(ctx)
-	}
+	s.startOnce.Do(func() {
+		s.runCtx = ctx
+		close(s.started)
+		s.disp.Start(ctx)
+	})
 }
 
-// Wait blocks until every worker has exited (after ctx cancellation),
-// then fails any jobs still queued so their waiters unblock. Queued jobs
-// get no terminal journal record — an acked job that never ran is owed to
-// the journal, and the next boot's Recover replays it.
+// Wait blocks until every job's policy goroutine and every dispatch
+// backend goroutine has exited (after ctx cancellation). Jobs that never
+// ran get no terminal journal record — an acked job that never ran is owed
+// to the journal, and the next boot's Recover replays it.
 func (s *Scheduler) Wait() {
 	s.wg.Wait()
-	for {
-		select {
-		case job := <-s.queue:
-			s.mu.Lock()
-			delete(s.inflight, job.SpecHash)
-			s.failed++
-			s.mu.Unlock()
-			s.obs.failed.Inc()
-			job.queueSpan.End()
-			job.trace.Root().Annotate(obs.Str("status", "shutdown"))
-			job.trace.Root().End()
-			job.finish(StatusFailed, nil, "scheduler shut down before execution; the job will be recovered from the journal")
-		default:
-			return
-		}
-	}
+	s.disp.Wait()
 }
 
 // JournalLastError returns the journal's last append failure ever observed
@@ -399,35 +437,75 @@ func (s *Scheduler) Health() error {
 	return nil
 }
 
-func (s *Scheduler) worker(ctx context.Context) {
+// runJob is one job's policy goroutine: it waits for Start, then drives the
+// job to a terminal state.
+func (s *Scheduler) runJob(job *Job) {
 	defer s.wg.Done()
-	for {
-		select {
-		case <-ctx.Done():
-			return
-		case job := <-s.queue:
-			s.execute(ctx, job)
+	<-s.started
+	s.execute(s.runCtx, job)
+}
+
+// jobPlaced records that a backend took one of the job's attempts: the
+// queue_wait span closes on the first-ever placement, the queue-depth
+// gauge drops, and the view shows where the attempt landed.
+func (s *Scheduler) jobPlaced(job *Job, att obs.Span, backend, worker string, wait time.Duration) {
+	label := backend
+	if worker != "" {
+		label = backend + "/" + worker
+		// Remote placements record the lease wait retroactively (local
+		// placements add no span — the local timeline is pinned by tests
+		// and dashboards).
+		att.PrefixChild("lease_wait", wait, obs.Str("worker", worker))
+		att.Annotate(obs.Str("backend", backend), obs.Str("worker", worker))
+	} else {
+		att.Annotate(obs.Str("backend", backend))
+	}
+	job.mu.Lock()
+	first := !job.everPlaced
+	job.everPlaced = true
+	if job.status == StatusQueued {
+		job.status = StatusRunning
+	}
+	job.backend = label
+	job.mu.Unlock()
+	if first {
+		if !job.enqueuedAt.IsZero() {
+			s.obs.queueWait.ObserveSince(job.enqueuedAt)
 		}
+		s.decWaiting()
 	}
 }
 
-// execute drives one job to a terminal state: attempt, classify, then
-// retry / escalate / fail per the policy in the package comment. Every
-// phase lands in the job's trace: the queue_wait span closes here, each
-// attempt gets a span (with outcome and, on success, the solver's phase
-// aggregates), backoffs and escalations are recorded as they happen.
-func (s *Scheduler) execute(ctx context.Context, job *Job) {
-	job.setStatus(StatusRunning)
-	job.queueSpan.End()
-	if !job.enqueuedAt.IsZero() {
-		s.obs.queueWait.ObserveSince(job.enqueuedAt)
+// releaseNeverPlaced balances the waiting counter for a job that reaches a
+// terminal state without any backend ever taking it (shutdown, recovery
+// overflow). Idempotent with jobPlaced via everPlaced.
+func (s *Scheduler) releaseNeverPlaced(job *Job) {
+	job.mu.Lock()
+	first := !job.everPlaced
+	job.everPlaced = true
+	job.mu.Unlock()
+	if first {
+		job.queueSpan.End()
+		s.decWaiting()
 	}
-	s.obs.workersBusy.Add(1)
-	s.obs.lanesBusy.Add(int64(s.lanes))
-	defer func() {
-		s.obs.workersBusy.Add(-1)
-		s.obs.lanesBusy.Add(-int64(s.lanes))
-	}()
+}
+
+func (s *Scheduler) decWaiting() {
+	s.mu.Lock()
+	s.waiting--
+	w := s.waiting
+	s.mu.Unlock()
+	s.obs.queueDepth.Set(int64(w))
+}
+
+// execute drives one job to a terminal state: offer an attempt to the
+// dispatch board, classify the outcome, then retry / escalate / requeue /
+// fail per the policy in the package comment. Every phase lands in the
+// job's trace: the queue_wait span closes at first placement, each attempt
+// gets a span (with its backend and outcome and, on success, the solver's
+// phase aggregates), backoffs, escalations and lease-expiry requeues are
+// recorded as they happen.
+func (s *Scheduler) execute(ctx context.Context, job *Job) {
 	jl := s.log.With(obs.Str("job", job.ID))
 
 	spec := job.Spec
@@ -472,11 +550,35 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 		if usedResume {
 			attAttrs = append(attAttrs, obs.Str("resume", "checkpoint"))
 		}
+		// The queue_wait span closes when the first attempt is offered to the
+		// board (idempotent on retries); any further wait — a busy local
+		// slot, no eligible remote worker — lands inside the attempt span
+		// (as a lease_wait child for remote placements). The queue-wait
+		// histogram and depth gauge track actual placement instead.
+		job.queueSpan.End()
 		att := job.trace.Root().Child("attempt", attAttrs...)
 		jl.Debug("attempt start", obs.Str("mode", spec.Mode), intAttr("n", n))
 		started := time.Now()
-		res, err := s.runAttempt(ctx, req, timeout)
+		a := &dispatch.Attempt{
+			JobID:     job.ID,
+			Spec:      spec,
+			N:         n,
+			LocalOnly: usedResume, // a checkpoint resume reads local state
+			Run:       func(rc context.Context) (*runner.Result, error) { return s.cfg.Run(rc, req) },
+			Progress:  job.progress,
+			OnPlaced: func(backend, worker string, wait time.Duration) {
+				s.jobPlaced(job, att, backend, worker, wait)
+			},
+		}
+		out := s.runAttempt(ctx, a, timeout)
 		s.obs.runDur.With(string(spec.App), spec.Mode).ObserveSince(started)
+		if out.Abandoned {
+			s.mu.Lock()
+			s.abandoned++
+			s.mu.Unlock()
+			s.obs.abandoned.Inc()
+		}
+		res, err := out.Res, out.Err
 		if err == nil {
 			for _, p := range res.Phases {
 				att.AggregateChild("phase:"+p.Name, time.Duration(p.Seconds*float64(time.Second)))
@@ -492,6 +594,7 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 			} else {
 				jl.Info("job done",
 					obs.Str("mode", spec.Mode), intAttr("attempts", n),
+					obs.Str("backend", out.Backend+backendWorkerSuffix(out.Worker)),
 					obs.Str("wall", time.Since(job.enqueuedAt).Round(time.Millisecond).String()))
 				s.complete(job, payload)
 				return
@@ -502,6 +605,22 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 			att.End()
 			s.shutdownFinish(job)
 			return
+		}
+		if errors.Is(err, dispatch.ErrLeaseExpired) {
+			// A placement failure, not a run failure: the worker died or
+			// went silent mid-lease. Re-offer the attempt under the job's
+			// original ID without consuming retry budget — the journal's
+			// admission record still owns the job, so a crash here replays
+			// it exactly as before.
+			att.Annotate(obs.Str("outcome", "lease_expired"), obs.Str("error", err.Error()))
+			att.End()
+			s.mu.Lock()
+			s.requeued++
+			s.mu.Unlock()
+			s.obs.requeuedCtr.Inc()
+			job.trace.Root().Event("requeued", obs.Str("cause", err.Error()))
+			jl.Warn("lease expired; requeueing attempt", obs.Str("error", err.Error()))
+			continue
 		}
 		kind := runner.Classify(err)
 		att.Annotate(obs.Str("outcome", kind.String()), obs.Str("error", err.Error()))
@@ -588,6 +707,13 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 	}
 }
 
+func backendWorkerSuffix(worker string) string {
+	if worker == "" {
+		return ""
+	}
+	return "/" + worker
+}
+
 // finishTrace closes the job's root span with a terminal status and returns
 // the frozen timeline for embedding in the result payload.
 func finishTrace(job *Job, status string) *obs.TraceData {
@@ -598,11 +724,11 @@ func finishTrace(job *Job, status string) *obs.TraceData {
 	return &td
 }
 
-// runAttempt executes one attempt under the job deadline. If the run does
-// not return within AbandonGrace of cancellation, it is abandoned: the
-// worker reclaims its lanes and the stuck goroutine is left to die with
-// the context. The fault point "worker.stall" simulates exactly that run.
-func (s *Scheduler) runAttempt(ctx context.Context, req RunRequest, timeout time.Duration) (*runner.Result, error) {
+// runAttempt offers one attempt to the dispatch board under the job
+// deadline and blocks for its outcome. Abandonment (a local run ignoring
+// cancellation past the grace) and lease expiry (a remote worker going
+// silent) both surface as error outcomes for the policy loop to classify.
+func (s *Scheduler) runAttempt(ctx context.Context, a *dispatch.Attempt, timeout time.Duration) dispatch.Outcome {
 	runCtx := ctx
 	var cancel context.CancelFunc
 	if timeout > 0 {
@@ -611,54 +737,7 @@ func (s *Scheduler) runAttempt(ctx context.Context, req RunRequest, timeout time
 		runCtx, cancel = context.WithCancel(ctx)
 	}
 	defer cancel()
-
-	type outcome struct {
-		res *runner.Result
-		err error
-	}
-	ch := make(chan outcome, 1)
-	go func() {
-		if fault.Hit("worker.stall") {
-			<-ctx.Done() // simulate a wedged run: ignores its own deadline
-			ch <- outcome{nil, &runner.Error{Kind: runner.KindTransient, Op: "run", Err: fmt.Errorf("stalled: %w", fault.ErrInjected)}}
-			return
-		}
-		res, err := s.cfg.Run(runCtx, req)
-		ch <- outcome{res, err}
-	}()
-
-	select {
-	case out := <-ch:
-		return out.res, out.err
-	case <-runCtx.Done():
-	}
-	// Cancelled (deadline or shutdown): give the run one grace period to
-	// observe it — the solvers check ctx every step, so a healthy run
-	// returns almost immediately.
-	grace := time.NewTimer(s.cfg.AbandonGrace)
-	defer grace.Stop()
-	select {
-	case out := <-ch:
-		if out.err == nil && runCtx.Err() == context.DeadlineExceeded {
-			// Finished after its deadline but before abandonment: the work
-			// is done and deterministic; keep it.
-			return out.res, nil
-		}
-		return out.res, out.err
-	case <-grace.C:
-		s.mu.Lock()
-		s.abandoned++
-		s.mu.Unlock()
-		s.obs.abandoned.Inc()
-		s.log.Warn("attempt abandoned",
-			obs.Str("grace", s.cfg.AbandonGrace.String()),
-			obs.Str("cause", fmt.Sprint(runCtx.Err())))
-		return nil, &runner.Error{
-			Kind: runner.KindTransient,
-			Op:   "run abandoned",
-			Err:  fmt.Errorf("no response %v after cancellation (%w)", s.cfg.AbandonGrace, runCtx.Err()),
-		}
-	}
+	return s.disp.Do(runCtx, a)
 }
 
 // complete finishes a job successfully: cache the payload under the
@@ -690,6 +769,7 @@ func (s *Scheduler) fail(job *Job, err error) {
 		_ = s.cfg.Journal.Failed(job.ID, err.Error())
 	}
 	s.removeCheckpoint(job.ID)
+	s.releaseNeverPlaced(job)
 	s.mu.Lock()
 	delete(s.inflight, job.SpecHash)
 	s.failed++
@@ -705,6 +785,7 @@ func (s *Scheduler) fail(job *Job, err error) {
 // terminal journal record: the job is still owed to the journal and the
 // next boot's Recover replays it. Its checkpoint is kept for the resume.
 func (s *Scheduler) shutdownFinish(job *Job) {
+	s.releaseNeverPlaced(job)
 	s.mu.Lock()
 	delete(s.inflight, job.SpecHash)
 	s.failed++
@@ -712,7 +793,7 @@ func (s *Scheduler) shutdownFinish(job *Job) {
 	s.obs.failed.Inc()
 	job.trace.Root().Annotate(obs.Str("status", "shutdown"))
 	job.trace.Root().End()
-	job.finish(StatusFailed, nil, "scheduler shut down mid-run; the job will be recovered from the journal")
+	job.finish(StatusFailed, nil, "scheduler shut down before completion; the job will be recovered from the journal")
 }
 
 // Submit admits a spec with default options; see SubmitOpts.
@@ -723,7 +804,7 @@ func (s *Scheduler) Submit(spec runner.ExperimentSpec) (*Job, error) {
 // SubmitOpts admits a spec. The returned job may be (a) an existing
 // in-flight job for the same spec hash (singleflight dedup — its ID is the
 // earlier submission's), (b) a new already-done job answered from the
-// cache, or (c) a new queued job, journaled before this call returns.
+// cache, or (c) a new admitted job, journaled before this call returns.
 // ErrQueueFull reports an over-full queue; a journal append failure
 // rejects the submission (never acked ⇒ never owed).
 func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (*Job, error) {
@@ -758,6 +839,7 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 			s.obs.cacheHits.Inc()
 			job := s.newJobLocked(n, hash)
 			job.cached = true
+			job.status = StatusDone
 			s.mu.Unlock()
 			job.trace.Root().Event("cache_hit")
 			job.trace.Root().Annotate(obs.Str("status", "done"))
@@ -776,6 +858,13 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 		j.trace.Root().Event("dedup_hit")
 		return j, nil
 	}
+	if s.waiting >= s.cfg.QueueDepth {
+		// Bounded admission, checked before the journal append so a
+		// rejected submission leaves no record to compensate.
+		s.rejected++
+		s.obs.rejected.Inc()
+		return nil, ErrQueueFull
+	}
 	job := s.newJobLocked(n, hash)
 	job.status = StatusQueued
 	job.timeout = opts.Timeout
@@ -790,20 +879,11 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 	}
 	job.queueSpan = job.trace.Root().Child("queue_wait")
 	job.enqueuedAt = time.Now()
-	select {
-	case s.queue <- job:
-	default:
-		s.rejected++
-		s.obs.rejected.Inc()
-		if s.cfg.Journal != nil {
-			// Compensating record: the admission was journaled but is being
-			// rejected, so it must not replay on the next boot.
-			_ = s.cfg.Journal.Failed(job.ID, ErrQueueFull.Error())
-		}
-		s.unregisterLastLocked(job)
-		return nil, ErrQueueFull
-	}
 	s.inflight[hash] = job
+	s.waiting++
+	s.obs.queueDepth.Set(int64(s.waiting))
+	s.wg.Add(1)
+	go s.runJob(job)
 	s.log.Debug("job queued",
 		obs.Str("job", job.ID), obs.Str("spec_hash", hash),
 		obs.Str("app", string(n.App)), obs.Str("mode", n.Mode))
@@ -840,11 +920,12 @@ func (s *Scheduler) unregisterLastLocked(job *Job) {
 	s.nextID--
 }
 
-// Recover replays the journal's pending jobs into the queue. Call after
+// Recover replays the journal's pending jobs onto the board. Call after
 // New and before Start. Completed-but-unjournaled jobs (crash between the
 // cache put and the done record) are healed straight from the cache —
 // guaranteeing an accepted job is never run twice to completion. Started
-// jobs whose periodic checkpoint survived resume mid-run; their recorded
+// jobs whose periodic checkpoint survived resume mid-run (pinned to the
+// local backend — the checkpoint is local state); their recorded
 // escalations are restored so they re-run at the rung they had reached.
 func (s *Scheduler) Recover() (requeued, healed int, err error) {
 	if s.cfg.Journal == nil {
@@ -879,26 +960,29 @@ func (s *Scheduler) Recover() (requeued, healed int, err error) {
 		}
 		s.mu.Lock()
 		job := s.registerJobLocked(p.ID, p.Spec, p.SpecHash)
-		job.status = StatusQueued
 		job.recovered = true
-		job.tryResume = p.Started
-		job.escalations = append([]runner.Escalation(nil), p.Escalations...)
-		job.trace.Root().Event("recovered", obs.Str("resume", fmt.Sprint(p.Started)))
-		job.queueSpan = job.trace.Root().Child("queue_wait")
-		job.enqueuedAt = time.Now()
-		select {
-		case s.queue <- job:
-			s.inflight[p.SpecHash] = job
-			s.recovered++
-			s.mu.Unlock()
-			s.obs.recovered.Inc()
-			s.log.Info("recovery requeued job", obs.Str("job", p.ID), obs.Str("resume", fmt.Sprint(p.Started)))
-			requeued++
-		default:
+		if s.waiting >= s.cfg.QueueDepth {
 			s.mu.Unlock()
 			_ = s.cfg.Journal.Failed(p.ID, "recovery: queue full")
 			job.finish(StatusFailed, nil, "recovery: queue full")
+			continue
 		}
+		job.status = StatusQueued
+		job.tryResume = p.Started && !s.cfg.DisableLocal
+		job.escalations = append([]runner.Escalation(nil), p.Escalations...)
+		job.trace.Root().Event("recovered", obs.Str("resume", fmt.Sprint(job.tryResume)))
+		job.queueSpan = job.trace.Root().Child("queue_wait")
+		job.enqueuedAt = time.Now()
+		s.inflight[p.SpecHash] = job
+		s.recovered++
+		s.waiting++
+		s.obs.queueDepth.Set(int64(s.waiting))
+		s.wg.Add(1)
+		s.mu.Unlock()
+		s.obs.recovered.Inc()
+		go s.runJob(job)
+		s.log.Info("recovery requeued job", obs.Str("job", p.ID), obs.Str("resume", fmt.Sprint(p.Started)))
+		requeued++
 	}
 	return requeued, healed, nil
 }
@@ -1004,7 +1088,8 @@ func (s *Scheduler) Stats() Stats {
 		TimedOut:      s.timedOut,
 		Abandoned:     s.abandoned,
 		Recovered:     s.recovered,
-		QueueDepth:    len(s.queue),
+		Requeued:      s.requeued,
+		QueueDepth:    s.waiting,
 		Workers:       s.cfg.Workers,
 	}
 }

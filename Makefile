@@ -10,12 +10,17 @@
 # listener (DESIGN.md §8). `make dispatch-smoke` runs the paper sweep on a
 # two-node worker fleet, SIGKILLs one worker mid-lease and asserts the
 # results are bit-identical to a single-node run (DESIGN.md §9).
+# `make read-smoke` runs the paper sweep twice against a 2-worker fleet and
+# asserts the second pass is served entirely above the disk tier — replica
+# reads plus ETag 304s, zero disk_hits growth (DESIGN.md §11).
 # `make bench-par` regenerates the committed pool-vs-spawn dispatch
-# numbers in results/.
+# numbers in results/. `make bench-json` regenerates the committed
+# read-path benchmark trajectory in BENCH_6.json; `make bench-gate` is the
+# CI regression gate against it.
 
 GO ?= go
 
-.PHONY: build test vet verify race serve-smoke chaos-smoke obs-smoke dispatch-smoke bench-par bench-step
+.PHONY: build test vet verify race serve-smoke chaos-smoke obs-smoke dispatch-smoke read-smoke bench-par bench-step bench-json bench-gate
 
 build:
 	$(GO) build ./...
@@ -42,6 +47,15 @@ obs-smoke:
 
 dispatch-smoke:
 	GO="$(GO)" ./scripts/dispatch_smoke.sh
+
+read-smoke:
+	GO="$(GO)" ./scripts/read_smoke.sh
+
+bench-json:
+	GO="$(GO)" ./scripts/bench_json.sh
+
+bench-gate:
+	GO="$(GO)" ./scripts/bench_json.sh --check
 
 bench-par:
 	$(GO) test ./internal/par/ -run '^$$' -bench BenchmarkParDispatch -benchmem | tee results/par_pool_bench.txt

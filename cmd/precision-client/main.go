@@ -47,14 +47,23 @@ func main() {
 	log.SetPrefix("precision-client: ")
 
 	var (
-		addr     = flag.String("addr", "http://127.0.0.1:7717", "precisiond base URL")
-		specPath = flag.String("spec", "", "experiment spec JSON file ('-' for stdin)")
-		sweep    = flag.String("sweep", "", "submit the full paper sweep at this scale (quick|standard|paper)")
-		raw      = flag.Bool("json", false, "print raw result payloads instead of summary lines")
-		retries  = flag.Int("retry", 0, "retry connection failures and 5xx responses this many times")
-		trace    = flag.Bool("trace", false, "print each job's span timeline after its result")
+		addr      = flag.String("addr", "http://127.0.0.1:7717", "precisiond base URL")
+		specPath  = flag.String("spec", "", "experiment spec JSON file ('-' for stdin)")
+		sweep     = flag.String("sweep", "", "submit the full paper sweep at this scale (quick|standard|paper)")
+		raw       = flag.Bool("json", false, "print raw result payloads instead of summary lines")
+		retries   = flag.Int("retry", 0, "retry connection failures and 5xx responses this many times")
+		trace     = flag.Bool("trace", false, "print each job's span timeline after its result")
+		replayDir = flag.String("replay-cache", "", "cache result payloads + ETags in this directory and revalidate with If-None-Match on replay")
 	)
 	flag.Parse()
+
+	var rc *replayCache
+	if *replayDir != "" {
+		var err error
+		if rc, err = openReplayCache(*replayDir); err != nil {
+			log.Fatal(err)
+		}
+	}
 
 	var specs []runner.ExperimentSpec
 	switch {
@@ -86,9 +95,12 @@ func main() {
 		}
 		views[i] = v
 	}
-	failed := 0
+	failed, revalidated := 0, 0
 	for _, v := range views {
-		payload, err := fetchResult(*addr, v.ID, *retries)
+		payload, notModified, err := fetchResult(*addr, v.ID, *retries, rc, v.SpecHash)
+		if notModified {
+			revalidated++
+		}
 		if err != nil {
 			failed++
 			fmt.Printf("%s  %s/%s  FAILED: %v\n", v.ID, v.Spec.App, v.Spec.Mode, err)
@@ -119,6 +131,10 @@ func main() {
 			}
 			printTrace(os.Stdout, td)
 		}
+	}
+	if rc != nil {
+		// stderr so -json stdout stays parseable; smoke tests grep this.
+		fmt.Fprintf(os.Stderr, "replay-cache: %d/%d results revalidated (304)\n", revalidated, len(views))
 	}
 	if failed > 0 {
 		log.Fatalf("%d of %d jobs failed", failed, len(views))
@@ -268,10 +284,24 @@ func fmtNs(ns int64) string {
 	}
 }
 
-func fetchResult(addr, id string, retries int) ([]byte, error) {
-	var payload []byte
-	err := withRetry(retries, func() (bool, error) {
-		resp, err := http.Get(addr + "/v1/jobs/" + id + "/result")
+// fetchResult downloads one job's result payload. With a replay cache and
+// a prior ETag for the spec hash it revalidates instead: If-None-Match →
+// 304 means the cached bytes are current and zero body moves.
+func fetchResult(addr, id string, retries int, rc *replayCache, specHash string) (payload []byte, notModified bool, err error) {
+	var cached []byte
+	var etag string
+	if rc != nil && specHash != "" {
+		cached, etag = rc.load(specHash)
+	}
+	err = withRetry(retries, func() (bool, error) {
+		req, err := http.NewRequest(http.MethodGet, addr+"/v1/jobs/"+id+"/result", nil)
+		if err != nil {
+			return false, err
+		}
+		if etag != "" && cached != nil {
+			req.Header.Set("If-None-Match", etag)
+		}
+		resp, err := http.DefaultClient.Do(req)
 		if err != nil {
 			return true, err
 		}
@@ -280,11 +310,66 @@ func fetchResult(addr, id string, retries int) ([]byte, error) {
 		if err != nil {
 			return true, err
 		}
+		if resp.StatusCode == http.StatusNotModified {
+			payload, notModified = cached, true
+			return false, nil
+		}
 		if resp.StatusCode != http.StatusOK {
 			return resp.StatusCode >= 500, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
 		}
 		payload = data
+		if rc != nil && specHash != "" {
+			if tag := resp.Header.Get("ETag"); tag != "" {
+				if serr := rc.store(specHash, data, tag); serr != nil {
+					log.Printf("replay-cache store %s: %v", specHash, serr)
+				}
+			}
+		}
 		return false, nil
 	})
-	return payload, err
+	return payload, notModified, err
+}
+
+// replayCache persists result payloads and their ETags per spec hash:
+// <dir>/<spechash>.res and <dir>/<spechash>.etag, written atomically so a
+// killed client never leaves a payload/ETag pair out of sync enough to
+// matter (a stale or orphaned ETag just costs one full 200 re-download).
+type replayCache struct{ dir string }
+
+func openReplayCache(dir string) (*replayCache, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("replay-cache: %w", err)
+	}
+	return &replayCache{dir: dir}, nil
+}
+
+func (rc *replayCache) load(specHash string) (payload []byte, etag string) {
+	payload, err := os.ReadFile(rc.path(specHash, ".res"))
+	if err != nil || len(payload) == 0 {
+		return nil, ""
+	}
+	tag, err := os.ReadFile(rc.path(specHash, ".etag"))
+	if err != nil {
+		return nil, ""
+	}
+	return payload, strings.TrimSpace(string(tag))
+}
+
+func (rc *replayCache) store(specHash string, payload []byte, etag string) error {
+	if err := writeFileAtomic(rc.path(specHash, ".res"), payload); err != nil {
+		return err
+	}
+	return writeFileAtomic(rc.path(specHash, ".etag"), []byte(etag+"\n"))
+}
+
+func (rc *replayCache) path(specHash, ext string) string {
+	return rc.dir + string(os.PathSeparator) + specHash + ext
+}
+
+func writeFileAtomic(path string, data []byte) error {
+	tmp := path + ".tmp"
+	if err := os.WriteFile(tmp, data, 0o644); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }

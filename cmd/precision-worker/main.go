@@ -11,6 +11,16 @@
 //	precision-worker -coordinator http://127.0.0.1:7717
 //	precision-worker -slots 2 -lanes 2          # two concurrent leases
 //	precision-worker -apps clamr -modes min,mixed
+//	precision-worker -read-addr 127.0.0.1:0     # serve replica reads
+//
+// With -read-addr, the worker also participates in the coordinator's
+// tiered read path (DESIGN.md §11): it keeps a byte-capped replica store
+// of canonical result payloads it computed (pulled back from the
+// coordinator after each completion, since the scheduler re-marshals
+// results before caching), reports the held spec hashes on heartbeats,
+// and serves them at GET <read-addr>/replica/{hash}. The coordinator
+// digest-verifies every replica payload, so this store can only ever
+// offload reads, never corrupt them.
 //
 // The worker holds no durable state. Kill it — even SIGKILL — and its
 // leases expire at the coordinator after the lease TTL; the scheduler
@@ -27,11 +37,14 @@ package main
 import (
 	"bytes"
 	"context"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"io"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
@@ -45,6 +58,7 @@ import (
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/serve/cache"
 	"repro/internal/serve/dispatch"
 )
 
@@ -56,6 +70,8 @@ func main() {
 		lanes       = flag.Int("lanes", 0, "solver lanes per lease (default: GOMAXPROCS/slots)")
 		apps        = flag.String("apps", "", "comma-separated app allowlist advertised to the coordinator (empty = all)")
 		modes       = flag.String("modes", "", "comma-separated precision-mode allowlist (empty = all)")
+		readAddr    = flag.String("read-addr", "", "serve completed result payloads for fleet-replicated reads on this address (empty = off; use :0 for any free port)")
+		replicaMax  = flag.Int64("replica-bytes", 64<<20, "replica store byte cap (with -read-addr)")
 		faults      = flag.String("faults", "", "arm fault-injection points, e.g. 'worker.heartbeat.drop=n:3'")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	)
@@ -115,6 +131,23 @@ func main() {
 		log:    logger,
 		leases: make(map[string]*activeLease),
 	}
+
+	// Replica read serving (DESIGN.md §11, tier 2): hold canonical result
+	// payloads in a byte-capped store and serve them back to the
+	// coordinator so hot reads scale with fleet size. Off unless asked.
+	var replicaSrv *http.Server
+	if *readAddr != "" {
+		ln, err := net.Listen("tcp", *readAddr)
+		if err != nil {
+			fatal(err)
+		}
+		w.store = cache.NewHotTier(*replicaMax)
+		w.readAddr = "http://" + ln.Addr().String()
+		replicaSrv = &http.Server{Handler: w.replicaMux()}
+		go replicaSrv.Serve(ln)
+		logger.Info("replica read server up", obs.Str("addr", w.readAddr))
+	}
+
 	if err := w.register(ctx); err != nil {
 		fatal(err)
 	}
@@ -134,6 +167,9 @@ func main() {
 	// still attributes to us, so their jobs re-queue immediately.
 	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
+	if replicaSrv != nil {
+		_ = replicaSrv.Shutdown(dctx)
+	}
 	if err := w.deregister(dctx); err != nil {
 		logger.Warn("deregister", obs.Str("error", err.Error()))
 	} else {
@@ -156,12 +192,14 @@ func splitList(s string) []string {
 
 // worker is the node's coordinator client plus its table of running leases.
 type worker struct {
-	base  string
-	name  string
-	lanes int
-	caps  dispatch.Capabilities
-	hc    *http.Client
-	log   *obs.Logger
+	base     string
+	name     string
+	lanes    int
+	caps     dispatch.Capabilities
+	hc       *http.Client
+	log      *obs.Logger
+	store    *cache.HotTier // replica payload store (nil = replica reads off)
+	readAddr string         // advertised base URL of the replica server
 
 	mu        sync.Mutex
 	id        string
@@ -214,7 +252,7 @@ func (w *worker) register(ctx context.Context) error {
 func (w *worker) registerOnce(ctx context.Context) error {
 	var resp dispatch.RegisterResponse
 	status, err := w.postJSON(ctx, "/v1/workers/register",
-		dispatch.RegisterRequest{Name: w.name, Capabilities: w.caps}, &resp, 5*time.Second)
+		dispatch.RegisterRequest{Name: w.name, Capabilities: w.caps, ReadAddr: w.readAddr}, &resp, 5*time.Second)
 	if err != nil {
 		return err
 	}
@@ -350,7 +388,83 @@ func (w *worker) runLease(ctx context.Context, sl *obs.Logger, g *dispatch.Lease
 	}
 	if cerr := w.complete(ctx, req); cerr != nil {
 		ll.Warn("completion not accepted", obs.Str("error", cerr.Error()))
+	} else if req.Result != nil && w.store != nil {
+		// Replicate the *canonical* payload, not our upload: the scheduler
+		// re-marshals the result (escalations, trace) before caching, so
+		// the cached bytes differ from req.Result. Pull them back.
+		w.pullReplica(ctx, ll, g.SpecHash)
 	}
+}
+
+// pullReplica fetches the coordinator's canonical cached payload for hash
+// and admits it to the replica store. The cache write happens after our
+// complete round-trip returns, so poll briefly; a miss is harmless — the
+// coordinator just won't route replica reads here for this hash.
+func (w *worker) pullReplica(ctx context.Context, ll *obs.Logger, hash string) {
+	for attempt := 0; attempt < 10; attempt++ {
+		if attempt > 0 {
+			select {
+			case <-ctx.Done():
+				return
+			case <-time.After(100 * time.Millisecond):
+			}
+		}
+		payload, digest, ok := w.fetchResult(ctx, hash)
+		if !ok {
+			continue
+		}
+		if digest != "" {
+			sum := sha256.Sum256(payload)
+			if hex.EncodeToString(sum[:]) != digest {
+				ll.Warn("replica pull digest mismatch; dropped", obs.Str("spec_hash", hash))
+				return
+			}
+		}
+		w.store.Put(hash, payload)
+		ll.Debug("replica stored", obs.Str("spec_hash", hash),
+			obs.Str("bytes", fmt.Sprint(len(payload))))
+		return
+	}
+	ll.Debug("replica pull gave up", obs.Str("spec_hash", hash))
+}
+
+func (w *worker) fetchResult(ctx context.Context, hash string) (payload []byte, digest string, ok bool) {
+	rctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+	defer cancel()
+	req, err := http.NewRequestWithContext(rctx, http.MethodGet, w.base+"/v1/results/"+hash, nil)
+	if err != nil {
+		return nil, "", false
+	}
+	resp, err := w.hc.Do(req)
+	if err != nil {
+		return nil, "", false
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, "", false
+	}
+	body, err := io.ReadAll(io.LimitReader(resp.Body, 64<<20))
+	if err != nil || len(body) == 0 {
+		return nil, "", false
+	}
+	return body, resp.Header.Get("X-Payload-SHA256"), true
+}
+
+// replicaMux serves GET /replica/{hash}: the stored canonical payload, or
+// 404. The coordinator re-verifies the digest on its side, so this handler
+// stays trivially dumb.
+func (w *worker) replicaMux() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /replica/{hash}", func(rw http.ResponseWriter, r *http.Request) {
+		payload, ok := w.store.Get(r.PathValue("hash"))
+		if !ok {
+			http.NotFound(rw, r)
+			return
+		}
+		rw.Header().Set("Content-Type", "application/json")
+		rw.Write(payload)
+	})
+	return mux
 }
 
 // complete uploads a terminal state with a small transport-level retry.
@@ -412,7 +526,9 @@ func (w *worker) heartbeatLoop(ctx context.Context) {
 		}
 		w.mu.Lock()
 		id := w.id
-		hb := dispatch.HeartbeatRequest{}
+		// Held is the full replacement set each beat: the coordinator's
+		// read index mirrors the store exactly, evictions included.
+		hb := dispatch.HeartbeatRequest{Held: w.store.Keys()}
 		held := make(map[string]*activeLease, len(w.leases))
 		for lid, al := range w.leases {
 			held[lid] = al

@@ -14,6 +14,7 @@
 //	precisiond -log-level debug -debug-addr 127.0.0.1:7719
 //	precisiond -lease-ttl 15s -verify-n 8     # tune the worker fleet
 //	precisiond -workers 0                     # fleet-only: all work leased
+//	precisiond -hot-bytes 134217728           # size the in-memory read tier
 //
 // The daemon is also the coordinator of a distributed worker fleet
 // (DESIGN.md §9): cmd/precision-worker nodes register under /v1/workers,
@@ -24,6 +25,12 @@
 // Nth remotely-leased attempt on a second executor and admits the result
 // only if both final-state hashes are bit-identical. -workers 0 turns off
 // local execution entirely: the daemon only coordinates.
+//
+// Result reads go through the tiered read path (DESIGN.md §11): an
+// in-memory hot tier of pre-serialized payloads (-hot-bytes, 0 disables),
+// ETag/If-None-Match revalidation on the result endpoints, and — when
+// workers serve replicas via -read-addr — digest-verified reads from the
+// fleet before this node's disk is touched.
 //
 // With -journal, every accepted job is write-ahead journaled before it is
 // acknowledged; after a crash (even SIGKILL) the daemon replays unfinished
@@ -56,6 +63,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -77,6 +85,7 @@ func main() {
 	var (
 		addr        = flag.String("addr", "127.0.0.1:7717", "listen address (use :0 for any free port)")
 		cacheDir    = flag.String("cache", "precision-cache", "result cache directory (created if needed)")
+		hotBytes    = flag.Int64("hot-bytes", 64<<20, "in-memory hot tier byte cap for cached result payloads (0 = disabled)")
 		workers     = flag.Int("workers", 2, "jobs executing concurrently on this node (0 = fleet-only; all work leased to remote workers)")
 		queueDepth  = flag.Int("queue-depth", 64, "pending-job queue bound")
 		lanes       = flag.Int("lanes", runtime.GOMAXPROCS(0), "total solver lanes divided among workers")
@@ -123,7 +132,7 @@ func main() {
 	reg := obs.Default
 	fault.RegisterMetrics(reg)
 
-	c, err := cache.Open(*cacheDir)
+	c, err := cache.Open(*cacheDir, cache.WithHotBytes(*hotBytes))
 	if err != nil {
 		fatal(err)
 	}
@@ -150,6 +159,11 @@ func main() {
 		Obs:       reg,
 		Log:       logger,
 	})
+	// Remote read tier: a probe that misses the hot tier may be served from
+	// a worker replica store before touching this node's disk. The cache
+	// re-verifies the payload digest, so a wrong or stale replica degrades
+	// to a disk read, never to wrong bytes.
+	c.SetRemote(replicaFetcher(fleet, logger))
 
 	cfg := queue.Config{
 		Workers:      *workers,
@@ -235,6 +249,35 @@ func main() {
 				obs.Str("trips", fmt.Sprint(fc.Trips)),
 				obs.Str("hits", fmt.Sprint(fc.Hits)))
 		}
+	}
+}
+
+// replicaFetcher adapts the fleet's hash→workers read index into the
+// cache's remote tier hook. One short-deadline GET per probe: replica
+// reads must be strictly cheaper than the disk read they stand in for, so
+// a slow or dead worker fails the probe fast and the cache falls through.
+func replicaFetcher(fleet *dispatch.Coordinator, logger *obs.Logger) cache.RemoteFetch {
+	client := &http.Client{Timeout: 2 * time.Second}
+	const bodyCap = 16 << 20
+	return func(key, wantDigest string) ([]byte, bool) {
+		url, ok := fleet.ReplicaSource(key)
+		if !ok {
+			return nil, false
+		}
+		resp, err := client.Get(url)
+		if err != nil {
+			logger.Debug("replica fetch failed", obs.Str("url", url), obs.Str("error", err.Error()))
+			return nil, false
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			return nil, false
+		}
+		payload, err := io.ReadAll(io.LimitReader(resp.Body, bodyCap+1))
+		if err != nil || len(payload) == 0 || len(payload) > bodyCap {
+			return nil, false
+		}
+		return payload, true
 	}
 }
 

@@ -7,9 +7,18 @@
 //	GET  /v1/jobs/{id}/result  block until terminal; raw result payload
 //	GET  /v1/jobs/{id}/stream  NDJSON progress: one view per change, then done
 //	GET  /v1/jobs/{id}/trace   span timeline (queue wait, attempts, retries)
+//	GET  /v1/results/{hash}    raw result payload by spec hash (tiered read)
 //	GET  /v1/cache/stats       scheduler + cache counters
 //	GET  /metrics              Prometheus text exposition (WithMetrics)
 //	GET  /healthz              liveness; 503 + JSON detail when degraded
+//
+// Result reads are the service's tiered read path (DESIGN.md §11). Both
+// result endpoints emit a strong ETag derived from the versioned spec
+// hash and honor If-None-Match with 304 Not Modified, so a warm client
+// replaying a sweep moves zero bodies. Behind the revalidation layer,
+// /v1/results/{hash} reads through the cache's tiers — hot memory, fleet
+// replica, local disk — and fleet workers use it to pull the canonical
+// payload bytes they replicate.
 //
 // With WithDispatch, the remote-fleet coordinator is mounted too:
 //
@@ -58,6 +67,8 @@ type Server struct {
 	metrics *obs.Registry
 	// fleet, when non-nil, mounts the worker-facing lease protocol.
 	fleet *dispatch.Coordinator
+	// reads counts result reads by serving tier (no-op Vec without metrics).
+	reads obs.CounterVec
 	// started anchors the /healthz uptime report.
 	started time.Time
 }
@@ -89,6 +100,12 @@ func New(sched *queue.Scheduler, c *cache.Cache, opts ...Option) *Server {
 	for _, o := range opts {
 		o(s)
 	}
+	if s.metrics != nil {
+		s.reads = s.metrics.CounterVec("precisiond_result_reads_total",
+			"Result reads by serving tier: etag_304 (revalidated, no body), "+
+				"job (payload pinned in the job record), hot, remote, disk, miss.",
+			"source")
+	}
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.submit)
 	mux.HandleFunc("GET /v1/jobs", s.listJobs)
@@ -96,6 +113,7 @@ func New(sched *queue.Scheduler, c *cache.Cache, opts ...Option) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.jobResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.jobStream)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.jobTrace)
+	mux.HandleFunc("GET /v1/results/{hash}", s.resultByHash)
 	mux.HandleFunc("GET /v1/cache/stats", s.stats)
 	mux.HandleFunc("GET /healthz", s.healthz)
 	if s.metrics != nil {
@@ -294,9 +312,48 @@ func (s *Server) jobView(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, job.Snapshot())
 }
 
+// resultETag is the strong validator for one spec hash's result payload:
+// derived from the versioned spec hash alone — not file mtimes, not
+// process identity — so it is stable across daemon restarts and identical
+// on every node serving the same spec. The determinism contract
+// (DESIGN.md §5) is what makes this a *strong* ETag: every computation of
+// a spec produces the same result bytes, so the spec hash names the
+// representation.
+func resultETag(specHash string) string { return `"` + specHash + `"` }
+
+// etagMatches reports whether an If-None-Match header value matches etag.
+// Both the wildcard and a comma-separated validator list are honored;
+// weak-comparison prefixes (W/) never match — result reads are
+// byte-identity reads.
+func etagMatches(header, etag string) bool {
+	if header == "" {
+		return false
+	}
+	if strings.TrimSpace(header) == "*" {
+		return true
+	}
+	for _, candidate := range strings.Split(header, ",") {
+		if strings.TrimSpace(candidate) == etag {
+			return true
+		}
+	}
+	return false
+}
+
+// writeNotModified answers a successful revalidation: 304, the validator
+// repeated, zero body bytes moved.
+func (s *Server) writeNotModified(w http.ResponseWriter, etag string) {
+	s.reads.With("etag_304").Inc()
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache") // reuse freely, but revalidate
+	w.WriteHeader(http.StatusNotModified)
+}
+
 // jobResult blocks until the job is terminal, then returns the result
 // payload bytes verbatim (or the failure as JSON error). The wait is bounded
-// by the client's request context.
+// by the client's request context. Successful results carry a strong ETag
+// derived from the spec hash; a matching If-None-Match short-circuits to
+// 304 with no body — tier 1 of the read path.
 func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.job(w, r)
 	if !ok {
@@ -308,11 +365,54 @@ func (s *Server) jobResult(w http.ResponseWriter, r *http.Request) {
 		return // client went away; nothing useful to write
 	}
 	if payload, ok := job.Result(); ok {
+		etag := resultETag(job.SpecHash)
+		if etagMatches(r.Header.Get("If-None-Match"), etag) {
+			s.writeNotModified(w, etag)
+			return
+		}
+		s.reads.With("job").Inc()
+		w.Header().Set("ETag", etag)
+		w.Header().Set("Cache-Control", "no-cache")
 		w.Header().Set("Content-Type", "application/json")
 		w.Write(payload)
 		return
 	}
 	writeError(w, http.StatusInternalServerError, "job failed: %s", job.Snapshot().Error)
+}
+
+// resultByHash serves a cached result payload directly by spec hash,
+// through the cache's read tiers (hot memory → fleet replica → disk).
+// Fleet workers pull the canonical payload bytes they replicate from this
+// endpoint; the X-Payload-SHA256 header lets them verify the fill. ETag
+// revalidation applies exactly as on the job-scoped endpoint.
+func (s *Server) resultByHash(w http.ResponseWriter, r *http.Request) {
+	if s.cache == nil {
+		writeError(w, http.StatusNotFound, "no result cache configured")
+		return
+	}
+	hash := r.PathValue("hash")
+	etag := resultETag(hash)
+	if etagMatches(r.Header.Get("If-None-Match"), etag) {
+		// Revalidation needs no tier at all: the validator is the content
+		// address. A client holding bytes for this hash holds the bytes.
+		s.writeNotModified(w, etag)
+		return
+	}
+	payload, src, ok := s.cache.Fetch(hash)
+	if !ok {
+		s.reads.With("miss").Inc()
+		writeError(w, http.StatusNotFound, "no cached result for spec hash %q", hash)
+		return
+	}
+	s.reads.With(string(src)).Inc()
+	if digest, ok := s.cache.Digest(hash); ok {
+		w.Header().Set("X-Payload-SHA256", digest)
+	}
+	w.Header().Set("ETag", etag)
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("X-Read-Tier", string(src))
+	w.Header().Set("Content-Type", "application/json")
+	w.Write(payload)
 }
 
 // jobTrace returns the job's span timeline as JSON. Available at any point

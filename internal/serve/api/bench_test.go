@@ -1,0 +1,43 @@
+package api
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+
+	"repro/internal/serve/cache"
+	"repro/internal/serve/queue"
+)
+
+// BenchmarkReadPath304 measures tier 1: a revalidation that matches moves
+// zero payload bytes — the whole request is header parsing plus a string
+// compare, whatever the payload size.
+func BenchmarkReadPath304(b *testing.B) {
+	c, err := cache.Open(b.TempDir(), cache.WithHotBytes(1<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte(`{"field":0.123456789,"trace":"x"}`), 2048)
+	sum := sha256.Sum256([]byte("bench-spec"))
+	hash := hex.EncodeToString(sum[:])
+	if err := c.Put(hash, payload); err != nil {
+		b.Fatal(err)
+	}
+	srv := New(queue.New(queue.Config{Workers: 1, Cache: c}), c)
+	etag := `"` + hash + `"`
+
+	req := httptest.NewRequest(http.MethodGet, "/v1/results/"+hash, nil)
+	req.Header.Set("If-None-Match", etag)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		rec := httptest.NewRecorder()
+		srv.ServeHTTP(rec, req)
+		if rec.Code != http.StatusNotModified {
+			b.Fatalf("status %d, want 304", rec.Code)
+		}
+	}
+}

@@ -1,0 +1,53 @@
+package cache
+
+import (
+	"bytes"
+	"testing"
+)
+
+// benchPayload approximates a real result payload: a quick-scale sweep
+// entry with its embedded trace runs a few tens of KB.
+func benchPayload() []byte {
+	return bytes.Repeat([]byte(`{"field":0.123456789,"trace":"x"}`), 2048) // ~64 KiB
+}
+
+// BenchmarkReadPathColdDisk measures a tier-3 read: hot tier disabled, so
+// every Fetch pays the file read plus header and digest verification —
+// the per-hit cost of the pre-tiering read path.
+func BenchmarkReadPathColdDisk(b *testing.B) {
+	c, err := Open(b.TempDir())
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := testKey("bench")
+	if err := c.Put(key, benchPayload()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, src, ok := c.Fetch(key); !ok || src != SourceDisk {
+			b.Fatalf("fetch = %q, %v", src, ok)
+		}
+	}
+}
+
+// BenchmarkReadPathHotTier measures a tier-0 read: the same payload served
+// from the in-memory LRU — one map lookup, zero I/O, zero re-verification.
+func BenchmarkReadPathHotTier(b *testing.B) {
+	c, err := Open(b.TempDir(), WithHotBytes(1<<20))
+	if err != nil {
+		b.Fatal(err)
+	}
+	key := testKey("bench")
+	if err := c.Put(key, benchPayload()); err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, src, ok := c.Fetch(key); !ok || src != SourceHot {
+			b.Fatalf("fetch = %q, %v", src, ok)
+		}
+	}
+}

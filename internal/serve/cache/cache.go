@@ -1,16 +1,41 @@
 // Package cache is the experiment service's content-addressed result
-// store: spec hash → serialized result, on disk.
+// store: spec hash → serialized result payload, behind a tiered read path
+// (DESIGN.md §11).
 //
-// Entries live at <dir>/<h[:2]>/<h>.res (two-level fan-out so huge sweeps
-// do not produce one enormous directory). Each file is a one-line header
-// — format tag, key, payload SHA-256 — followed by the payload bytes.
-// Writes go through a temp file in the same directory plus rename, so a
-// concurrent reader sees either the whole entry or none of it, and a crash
-// mid-write leaves only a temp file that is ignored. Reads verify the
-// header and payload digest; anything torn, truncated or foreign is
-// quarantined (renamed to <entry>.corrupt, preserving the evidence for
-// inspection) and reported as a miss (the job simply recomputes), never as
-// an error — a corrupt cache must degrade to a cold cache, not an outage.
+// Tier 0 — hot: an optional byte-capped in-memory LRU (WithHotBytes)
+// holding the pre-serialized response bytes. A hot hit is one map lookup;
+// no file I/O, no JSON round-trip.
+//
+// Tier 2 — remote: an optional fleet hook (SetRemote) consulted on a hot
+// miss, before the local disk. Fleet workers replicate payloads they
+// computed; fetching from a replica offloads this node's disk, so
+// aggregate read throughput scales with fleet size. A remote payload is
+// admitted only if it hashes to the digest this cache recorded when the
+// payload was stored — bit-identity is enforced locally, never trusted to
+// the network.
+//
+// Tier 3 — disk: the durable store. Entries live at <dir>/<h[:2]>/<h>.res
+// (two-level fan-out so huge sweeps do not produce one enormous
+// directory). Each file is a one-line header — format tag, key, payload
+// SHA-256 — followed by the payload bytes. Writes go through a temp file
+// in the same directory plus rename, so a concurrent reader sees either
+// the whole entry or none of it, and a crash mid-write leaves only a temp
+// file that is ignored. Reads verify the header and payload digest;
+// anything torn, truncated or foreign is quarantined (renamed to
+// <entry>.corrupt, preserving the evidence for inspection) and reported
+// as a miss (the job simply recomputes), never as an error — a corrupt
+// cache must degrade to a cold cache, not an outage. A corrupt entry
+// never reaches the hot tier: only bytes that passed digest verification
+// are admitted upward.
+//
+// Fills below the hot tier are collapsed by a per-key singleflight: a
+// stampede of concurrent readers on one uncached key performs exactly one
+// remote-or-disk read; the followers are handed the leader's verified
+// bytes from memory (and counted as hot hits — they were served at
+// memory speed).
+//
+// (Tier 1 of the read path — ETag/If-None-Match revalidation — lives in
+// internal/serve/api; it short-circuits before any cache call.)
 //
 // The fault point "cache.put" (internal/fault) injects put failures for
 // chaos testing; an injected failure costs a recompute, exactly like a
@@ -25,6 +50,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 	"sync/atomic"
 
 	"repro/internal/fault"
@@ -34,17 +60,78 @@ import (
 // headerTag identifies (and versions) the entry encoding.
 const headerTag = "PCACHE1"
 
-// Cache is a content-addressed store rooted at one directory. All methods
-// are safe for concurrent use; the atomic counters feed /v1/cache/stats.
+// digestIndexCap bounds the in-memory key→digest index that gates remote
+// reads. At ~100 bytes per entry the cap is a few MiB; when it fills the
+// index is reset and repopulates from subsequent puts and disk reads (a
+// reset only costs remote-tier eligibility until a key is re-seen).
+const digestIndexCap = 1 << 16
+
+// Source reports which tier served a Fetch.
+type Source string
+
+// Fetch sources. A singleflight follower is reported (and counted) as
+// SourceHot: it was served verified bytes from memory, whatever tier the
+// flight leader read.
+const (
+	SourceHot    Source = "hot"
+	SourceRemote Source = "remote"
+	SourceDisk   Source = "disk"
+	SourceMiss   Source = ""
+)
+
+// RemoteFetch retrieves the payload for key from a fleet replica, or
+// reports false. wantDigest is the hex SHA-256 the payload must hash to;
+// implementations may use it to pick or pre-check a source, but the cache
+// re-verifies the returned bytes regardless, so a buggy or malicious
+// replica can only cause a fallthrough to disk, never a wrong payload.
+type RemoteFetch func(key, wantDigest string) ([]byte, bool)
+
+// Cache is a content-addressed store rooted at one directory, fronted by
+// the optional hot and remote tiers. All methods are safe for concurrent
+// use; the atomic counters feed /v1/cache/stats.
 type Cache struct {
 	dir string
+	hot *HotTier // nil = tier disabled
 
-	hits, misses, puts atomic.Uint64
-	corruptDropped     atomic.Uint64
-	errors             atomic.Uint64
+	// remote is the tier-2 hook (atomic: wired after Open, once the fleet
+	// coordinator exists).
+	remote atomic.Value // RemoteFetch
+
+	// digests records the payload SHA-256 for every key this process has
+	// stored or verified-read — the local ground truth a remote payload
+	// must match. Keys absent here are simply not remote-eligible.
+	digestMu sync.Mutex
+	digests  map[string]string
+
+	// flights collapses concurrent below-hot fills per key.
+	flightMu sync.Mutex
+	flights  map[string]*flight
+
+	hotHits, remoteHits, diskHits atomic.Uint64
+	misses, puts                  atomic.Uint64
+	remoteRejected                atomic.Uint64
+	corruptDropped                atomic.Uint64
+	errors                        atomic.Uint64
 	// lastErr retains the most recent put failure or corruption notice for
 	// /healthz forensics; it is never cleared.
 	lastErr atomic.Value // string
+}
+
+// flight is one in-progress below-hot fill; followers wait on done and
+// share the leader's outcome.
+type flight struct {
+	done    chan struct{}
+	payload []byte
+	ok      bool
+}
+
+// Option adjusts a Cache at Open.
+type Option func(*Cache)
+
+// WithHotBytes fronts the disk store with an in-memory hot tier capped at
+// maxBytes of pre-serialized payload (<= 0 leaves the tier disabled).
+func WithHotBytes(maxBytes int64) Option {
+	return func(c *Cache) { c.hot = NewHotTier(maxBytes) }
 }
 
 // recordErr counts an error, retains its message, and returns it.
@@ -65,18 +152,24 @@ func (c *Cache) LastError() string {
 
 // RegisterMetrics contributes the cache's traffic counters to a metrics
 // registry as scrape-time samples (the atomics are the source of truth;
-// mirroring them continuously would just race the mirror).
+// mirroring them continuously would just race the mirror). "hit" is kept
+// as the sum of the per-tier hit events for dashboard compatibility.
 func (c *Cache) RegisterMetrics(r *obs.Registry) {
 	r.Collect(func(emit func(obs.Sample)) {
 		const name = "precisiond_cache_events_total"
 		const help = "Result-cache traffic by event (mirrors /v1/cache/stats)."
+		hot, remote, disk := c.hotHits.Load(), c.remoteHits.Load(), c.diskHits.Load()
 		for _, e := range []struct {
 			event string
 			v     uint64
 		}{
-			{"hit", c.hits.Load()},
+			{"hit", hot + remote + disk},
+			{"hot_hit", hot},
+			{"remote_hit", remote},
+			{"disk_hit", disk},
 			{"miss", c.misses.Load()},
 			{"put", c.puts.Load()},
+			{"remote_rejected", c.remoteRejected.Load()},
 			{"corrupt_dropped", c.corruptDropped.Load()},
 			{"error", c.errors.Load()},
 		} {
@@ -85,15 +178,67 @@ func (c *Cache) RegisterMetrics(r *obs.Registry) {
 				Value: float64(e.v), LabelPairs: []string{"event", e.event},
 			})
 		}
+		if c.hot != nil {
+			emit(obs.Sample{
+				Name: "precisiond_cache_hot_bytes",
+				Help: "Pre-serialized payload bytes resident in the hot tier.",
+				Type: "gauge", Value: float64(c.hot.Bytes()),
+			})
+			emit(obs.Sample{
+				Name: "precisiond_cache_hot_entries",
+				Help: "Payloads resident in the hot tier.",
+				Type: "gauge", Value: float64(c.hot.Len()),
+			})
+		}
 	})
 }
 
 // Open roots a cache at dir, creating it if needed.
-func Open(dir string) (*Cache, error) {
+func Open(dir string, opts ...Option) (*Cache, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("cache: open %s: %w", dir, err)
 	}
-	return &Cache{dir: dir}, nil
+	c := &Cache{
+		dir:     dir,
+		digests: make(map[string]string),
+		flights: make(map[string]*flight),
+	}
+	for _, o := range opts {
+		o(c)
+	}
+	return c, nil
+}
+
+// SetRemote wires the tier-2 fleet hook (nil-safe to never call). Wired
+// after Open because the fleet coordinator is built later in the daemon's
+// startup; reads before the call simply skip the remote tier.
+func (c *Cache) SetRemote(fetch RemoteFetch) {
+	if fetch != nil {
+		c.remote.Store(fetch)
+	}
+}
+
+// Hot exposes the hot tier (nil when disabled) — stats and tests.
+func (c *Cache) Hot() *HotTier { return c.hot }
+
+// Digest returns the recorded payload SHA-256 for key, if this process
+// has stored or verified-read it.
+func (c *Cache) Digest(key string) (string, bool) {
+	c.digestMu.Lock()
+	defer c.digestMu.Unlock()
+	d, ok := c.digests[key]
+	return d, ok
+}
+
+// recordDigest remembers a verified payload digest, resetting the index
+// at its cap (see digestIndexCap).
+func (c *Cache) recordDigest(key, digest string) {
+	c.digestMu.Lock()
+	if len(c.digests) >= digestIndexCap {
+		c.digests = make(map[string]string)
+	}
+	c.digests[key] = digest
+	c.digestMu.Unlock()
 }
 
 // Dir returns the cache root.
@@ -159,32 +304,116 @@ func (c *Cache) Put(key string, payload []byte) error {
 		return c.recordErr(fmt.Errorf("cache: put %s: %w", key, err))
 	}
 	c.puts.Add(1)
+	// Write-through population: a just-completed job is the likeliest next
+	// read (sweep replays, duplicate submissions), so the response bytes go
+	// hot immediately and the digest becomes the remote-tier ground truth.
+	c.recordDigest(key, hex.EncodeToString(sum[:]))
+	c.hot.Put(key, payload)
 	return nil
 }
 
-// Get returns the payload stored under key. A missing, torn or corrupt
-// entry reports (nil, false); corrupt entries are quarantined out of the
-// lookup path so they are recomputed rather than rediscovered on every
-// request, while the bad bytes stay on disk for inspection.
+// Get returns the payload stored under key (see Fetch).
 func (c *Cache) Get(key string) ([]byte, bool) {
+	payload, _, ok := c.Fetch(key)
+	return payload, ok
+}
+
+// Fetch returns the payload stored under key and the tier that served it:
+// hot memory, a verified fleet replica, or the local disk — in that
+// order, each tier falling back to the next. A missing, torn or corrupt
+// entry reports (nil, SourceMiss, false); corrupt disk entries are
+// quarantined out of the lookup path so they are recomputed rather than
+// rediscovered on every request, while the bad bytes stay on disk for
+// inspection. Returned payloads are shared read-only slices.
+func (c *Cache) Fetch(key string) ([]byte, Source, bool) {
 	if !validKey(key) {
 		c.misses.Add(1)
-		return nil, false
+		return nil, SourceMiss, false
+	}
+	if payload, ok := c.hot.Get(key); ok {
+		c.hotHits.Add(1)
+		return payload, SourceHot, true
+	}
+
+	// Below the hot tier, collapse the stampede: one flight per key does
+	// the remote-or-disk read; followers share its verified bytes.
+	c.flightMu.Lock()
+	if f, inFlight := c.flights[key]; inFlight {
+		c.flightMu.Unlock()
+		<-f.done
+		if !f.ok {
+			c.misses.Add(1)
+			return nil, SourceMiss, false
+		}
+		c.hotHits.Add(1) // served from memory, whatever the leader read
+		return f.payload, SourceHot, true
+	}
+	f := &flight{done: make(chan struct{})}
+	c.flights[key] = f
+	c.flightMu.Unlock()
+
+	payload, src, ok := c.fill(key)
+	f.payload, f.ok = payload, ok
+	c.flightMu.Lock()
+	delete(c.flights, key)
+	c.flightMu.Unlock()
+	close(f.done)
+	return payload, src, ok
+}
+
+// fill reads one key from the remote tier or disk (the flight leader's
+// path) and populates the hot tier on success.
+func (c *Cache) fill(key string) ([]byte, Source, bool) {
+	if payload, ok := c.fetchRemote(key); ok {
+		c.remoteHits.Add(1)
+		c.hot.Put(key, payload)
+		return payload, SourceRemote, true
 	}
 	data, err := os.ReadFile(c.path(key))
 	if err != nil {
 		c.misses.Add(1)
-		return nil, false
+		return nil, SourceMiss, false
 	}
 	payload, ok := c.verify(key, data)
 	if !ok {
+		// The corrupt bytes never reach the hot tier — only the verified
+		// path above admits payloads upward — so a bad disk entry degrades
+		// to a miss without poisoning memory.
 		c.corruptDropped.Add(1)
 		c.misses.Add(1)
 		c.lastErr.Store("corrupt entry quarantined: " + key)
 		c.quarantine(key)
+		return nil, SourceMiss, false
+	}
+	c.diskHits.Add(1)
+	sum := sha256.Sum256(payload)
+	c.recordDigest(key, hex.EncodeToString(sum[:]))
+	c.hot.Put(key, payload)
+	return payload, SourceDisk, true
+}
+
+// fetchRemote tries the fleet tier: only keys whose payload digest this
+// process has locally recorded are eligible (bit-identity is never
+// delegated), and the returned bytes must hash to that digest.
+func (c *Cache) fetchRemote(key string) ([]byte, bool) {
+	fetch, _ := c.remote.Load().(RemoteFetch)
+	if fetch == nil {
 		return nil, false
 	}
-	c.hits.Add(1)
+	want, ok := c.Digest(key)
+	if !ok {
+		return nil, false
+	}
+	payload, ok := fetch(key, want)
+	if !ok {
+		return nil, false
+	}
+	sum := sha256.Sum256(payload)
+	if hex.EncodeToString(sum[:]) != want {
+		c.remoteRejected.Add(1)
+		c.lastErr.Store("remote replica payload rejected: " + key)
+		return nil, false
+	}
 	return payload, true
 }
 
@@ -239,12 +468,27 @@ func (c *Cache) verify(key string, data []byte) ([]byte, bool) {
 }
 
 // Stats is a point-in-time snapshot of the cache's traffic and contents.
+// Hits is kept as the sum of the per-tier hit counters so pre-tiering
+// consumers keep working; the split fields say where each hit was served.
 type Stats struct {
-	Hits           uint64 `json:"hits"`
+	Hits uint64 `json:"hits"` // hot + remote + disk (compatibility sum)
+	// HotHits counts reads served from the in-memory tier, including
+	// singleflight followers handed the leader's bytes.
+	HotHits uint64 `json:"hot_hits"`
+	// RemoteHits counts reads served by a fleet replica; RemoteRejected
+	// counts replica payloads that failed local digest verification.
+	RemoteHits     uint64 `json:"remote_hits"`
+	DiskHits       uint64 `json:"disk_hits"`
 	Misses         uint64 `json:"misses"`
 	Puts           uint64 `json:"puts"`
+	RemoteRejected uint64 `json:"remote_rejected"`
 	CorruptDropped uint64 `json:"corrupt_dropped"`
 	Errors         uint64 `json:"errors"`
+	// HotEntries/HotBytes/HotMaxBytes describe the hot tier (zero when
+	// disabled).
+	HotEntries  int   `json:"hot_entries"`
+	HotBytes    int64 `json:"hot_bytes"`
+	HotMaxBytes int64 `json:"hot_max_bytes"`
 	// Entries, Bytes and QuarantinedFiles are counted by walking the store
 	// at snapshot time; quarantined files are corrupt entries set aside as
 	// <entry>.corrupt by Get.
@@ -256,12 +500,19 @@ type Stats struct {
 // Stats snapshots the counters and walks the store for entry counts.
 func (c *Cache) Stats() Stats {
 	s := Stats{
-		Hits:           c.hits.Load(),
+		HotHits:        c.hotHits.Load(),
+		RemoteHits:     c.remoteHits.Load(),
+		DiskHits:       c.diskHits.Load(),
 		Misses:         c.misses.Load(),
 		Puts:           c.puts.Load(),
+		RemoteRejected: c.remoteRejected.Load(),
 		CorruptDropped: c.corruptDropped.Load(),
 		Errors:         c.errors.Load(),
+		HotEntries:     c.hot.Len(),
+		HotBytes:       c.hot.Bytes(),
+		HotMaxBytes:    c.hot.MaxBytes(),
 	}
+	s.Hits = s.HotHits + s.RemoteHits + s.DiskHits
 	filepath.WalkDir(c.dir, func(path string, d fs.DirEntry, err error) error {
 		if err != nil || d.IsDir() {
 			return nil

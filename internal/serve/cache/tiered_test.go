@@ -1,0 +1,343 @@
+package cache
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func digestOf(payload []byte) string {
+	sum := sha256.Sum256(payload)
+	return hex.EncodeToString(sum[:])
+}
+
+// TestSingleflightCollapsesStampede holds the flight leader inside its fill
+// (via a blocking remote hook) while a stampede of readers piles onto the
+// same uncached key, then releases it and checks exactly one below-hot read
+// happened: one remote probe, one disk read, everyone else served from
+// memory with byte-identical payloads.
+func TestSingleflightCollapsesStampede(t *testing.T) {
+	dir := t.TempDir()
+	writer, err := Open(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("stampede")
+	payload := bytes.Repeat([]byte("stampede-payload "), 64)
+	if err := writer.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := Open(dir, WithHotBytes(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Make the key remote-eligible so the hook below can gate the leader.
+	c.recordDigest(key, digestOf(payload))
+	entered := make(chan struct{})
+	release := make(chan struct{})
+	var remoteCalls atomic.Int32
+	c.SetRemote(func(k, want string) ([]byte, bool) {
+		if remoteCalls.Add(1) == 1 {
+			close(entered)
+		}
+		<-release
+		return nil, false // fall through to the disk tier
+	})
+
+	const stampede = 16
+	results := make([][]byte, stampede)
+	var wg sync.WaitGroup
+	fetch := func(i int) {
+		defer wg.Done()
+		got, _, ok := c.Fetch(key)
+		if !ok {
+			t.Errorf("reader %d: miss", i)
+			return
+		}
+		results[i] = got
+	}
+
+	wg.Add(1)
+	go fetch(0)
+	<-entered // the leader is inside its fill; the flight is registered
+	for i := 1; i < stampede; i++ {
+		wg.Add(1)
+		go fetch(i)
+	}
+	time.Sleep(50 * time.Millisecond) // let the stampede join the flight
+	close(release)
+	wg.Wait()
+
+	for i, got := range results {
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("reader %d: payload differs", i)
+		}
+	}
+	s := c.Stats()
+	if remoteCalls.Load() != 1 {
+		t.Errorf("remote probed %d times, want 1", remoteCalls.Load())
+	}
+	if s.DiskHits != 1 {
+		t.Errorf("DiskHits = %d, want exactly 1", s.DiskHits)
+	}
+	if s.HotHits != stampede-1 {
+		t.Errorf("HotHits = %d, want %d (flight followers)", s.HotHits, stampede-1)
+	}
+	if s.Misses != 0 {
+		t.Errorf("Misses = %d, want 0", s.Misses)
+	}
+	// The fill populated the hot tier: one more read stays in memory.
+	if _, src, ok := c.Fetch(key); !ok || src != SourceHot {
+		t.Errorf("post-fill Fetch source = %q, %v; want hot hit", src, ok)
+	}
+}
+
+func TestHotTierEvictionUnderByteCap(t *testing.T) {
+	h := NewHotTier(100)
+	pay := func(c byte) []byte { return bytes.Repeat([]byte{c}, 40) }
+	h.Put(testKey("a"), pay('a'))
+	h.Put(testKey("b"), pay('b'))
+	if h.Len() != 2 || h.Bytes() != 80 {
+		t.Fatalf("len=%d bytes=%d, want 2/80", h.Len(), h.Bytes())
+	}
+	// Touch "a" so "b" is the LRU victim when "c" arrives.
+	if _, ok := h.Get(testKey("a")); !ok {
+		t.Fatal("a missing")
+	}
+	h.Put(testKey("c"), pay('c'))
+	if h.Bytes() > h.MaxBytes() {
+		t.Fatalf("bytes=%d over cap %d", h.Bytes(), h.MaxBytes())
+	}
+	if _, ok := h.Get(testKey("b")); ok {
+		t.Fatal("LRU victim b still resident")
+	}
+	for _, k := range []string{"a", "c"} {
+		if _, ok := h.Get(testKey(k)); !ok {
+			t.Fatalf("%s evicted, want resident", k)
+		}
+	}
+	// A payload larger than the whole cap is not admitted and evicts nothing.
+	h.Put(testKey("huge"), bytes.Repeat([]byte{'h'}, 101))
+	if _, ok := h.Get(testKey("huge")); ok {
+		t.Fatal("oversized payload admitted")
+	}
+	if h.Len() != 2 {
+		t.Fatalf("oversized put disturbed residents: len=%d", h.Len())
+	}
+	// Re-putting a key refreshes recency instead of double-counting bytes.
+	h.Put(testKey("a"), pay('a'))
+	if h.Bytes() != 80 {
+		t.Fatalf("re-put double-counted: bytes=%d", h.Bytes())
+	}
+}
+
+func TestCacheEvictsThroughWriteThrough(t *testing.T) {
+	c, err := Open(t.TempDir(), WithHotBytes(1024))
+	if err != nil {
+		t.Fatal(err)
+	}
+	payload := bytes.Repeat([]byte("x"), 400)
+	keys := []string{testKey("1"), testKey("2"), testKey("3")}
+	for _, k := range keys {
+		if err := c.Put(k, payload); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := c.Stats()
+	if s.HotBytes > s.HotMaxBytes {
+		t.Fatalf("hot tier over cap: %d > %d", s.HotBytes, s.HotMaxBytes)
+	}
+	if s.HotEntries != 2 {
+		t.Fatalf("HotEntries = %d, want 2 (one evicted)", s.HotEntries)
+	}
+	// The evicted key is still a hit — from disk — and refills the tier.
+	if _, src, ok := c.Fetch(keys[0]); !ok || src != SourceDisk {
+		t.Fatalf("evicted key Fetch = %q, %v; want disk hit", src, ok)
+	}
+	if _, src, ok := c.Fetch(keys[0]); !ok || src != SourceHot {
+		t.Fatalf("refilled key Fetch = %q, %v; want hot hit", src, ok)
+	}
+}
+
+// TestCorruptEntryDoesNotPoisonHotTier corrupts the disk entry behind the
+// hot tier's back and checks the degradation contract: the read is a miss,
+// the entry is quarantined, and no stale or corrupt bytes remain in memory.
+func TestCorruptEntryDoesNotPoisonHotTier(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, WithHotBytes(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("poison")
+	payload := []byte("good bytes")
+	if err := c.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	// Simulate an eviction so the next read must go to disk.
+	c.Hot().Remove(key)
+
+	path := filepath.Join(dir, key[:2], key+".res")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)-1] ^= 0xff
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	if _, src, ok := c.Fetch(key); ok || src != SourceMiss {
+		t.Fatalf("corrupt entry served (source %q)", src)
+	}
+	if c.Hot().Len() != 0 {
+		t.Fatal("corrupt read left bytes in the hot tier")
+	}
+	// Degraded to a miss, not an outage: Fetch again is still a clean miss
+	// (the entry was quarantined), and a fresh put serves hot again.
+	if _, _, ok := c.Fetch(key); ok {
+		t.Fatal("quarantined entry served")
+	}
+	if err := c.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	got, src, ok := c.Fetch(key)
+	if !ok || src != SourceHot || !bytes.Equal(got, payload) {
+		t.Fatalf("re-put Fetch = %q, %q, %v", got, src, ok)
+	}
+	if s := c.Stats(); s.CorruptDropped != 1 {
+		t.Errorf("CorruptDropped = %d, want 1", s.CorruptDropped)
+	}
+}
+
+// TestRemoteTierServesVerifiedBytes deletes the local disk entry and checks
+// a digest-matching replica payload is served as SourceRemote — and that it
+// is byte-identical to what the disk held.
+func TestRemoteTierServesVerifiedBytes(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, WithHotBytes(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("replica")
+	payload := []byte(`{"replicated":true}`)
+	if err := c.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	c.Hot().Remove(key)
+	if err := os.Remove(filepath.Join(dir, key[:2], key+".res")); err != nil {
+		t.Fatal(err)
+	}
+	c.SetRemote(func(k, want string) ([]byte, bool) {
+		if k != key || want != digestOf(payload) {
+			t.Errorf("remote asked for %q digest %q", k, want)
+		}
+		return payload, true
+	})
+	got, src, ok := c.Fetch(key)
+	if !ok || src != SourceRemote || !bytes.Equal(got, payload) {
+		t.Fatalf("Fetch = %q, %q, %v; want remote hit", got, src, ok)
+	}
+	if s := c.Stats(); s.RemoteHits != 1 || s.DiskHits != 0 {
+		t.Errorf("stats = %+v, want one remote hit, zero disk", s)
+	}
+	// The replica fill populated the hot tier.
+	if _, src, ok := c.Fetch(key); !ok || src != SourceHot {
+		t.Errorf("second Fetch source = %q, %v; want hot", src, ok)
+	}
+}
+
+// TestRemoteTierRejectsWrongBytes feeds the remote hook a payload that does
+// not hash to the recorded digest: it must be rejected, never served, and
+// the read must fall through to the (correct) disk entry.
+func TestRemoteTierRejectsWrongBytes(t *testing.T) {
+	dir := t.TempDir()
+	c, err := Open(dir, WithHotBytes(1<<20))
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := testKey("liar")
+	payload := []byte("the truth")
+	if err := c.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	c.Hot().Remove(key)
+	c.SetRemote(func(k, want string) ([]byte, bool) {
+		return []byte("a convincing lie"), true
+	})
+	got, src, ok := c.Fetch(key)
+	if !ok || !bytes.Equal(got, payload) {
+		t.Fatalf("Fetch = %q, %v; want the disk payload", got, ok)
+	}
+	if src != SourceDisk {
+		t.Fatalf("source = %q, want disk fallthrough", src)
+	}
+	s := c.Stats()
+	if s.RemoteRejected != 1 {
+		t.Errorf("RemoteRejected = %d, want 1", s.RemoteRejected)
+	}
+	if s.RemoteHits != 0 {
+		t.Errorf("RemoteHits = %d, want 0", s.RemoteHits)
+	}
+}
+
+// TestRemoteTierSkippedWithoutDigest: a key this process has never stored
+// or verified-read is not remote-eligible at all.
+func TestRemoteTierSkippedWithoutDigest(t *testing.T) {
+	dir := t.TempDir()
+	writer, _ := Open(dir)
+	key := testKey("unknown-digest")
+	payload := []byte("written by another process")
+	if err := writer.Put(key, payload); err != nil {
+		t.Fatal(err)
+	}
+	c, _ := Open(dir, WithHotBytes(1<<20))
+	c.SetRemote(func(k, want string) ([]byte, bool) {
+		t.Error("remote consulted for a digest-unknown key")
+		return nil, false
+	})
+	got, src, ok := c.Fetch(key)
+	if !ok || src != SourceDisk || !bytes.Equal(got, payload) {
+		t.Fatalf("Fetch = %q, %q, %v; want disk hit", got, src, ok)
+	}
+	// The verified disk read recorded the digest: the key is now eligible.
+	if _, ok := c.Digest(key); !ok {
+		t.Error("disk read did not record the payload digest")
+	}
+}
+
+func TestFetchSourcesConcurrently(t *testing.T) {
+	// A broad race exerciser: concurrent Put/Fetch across overlapping keys
+	// with a small hot tier forcing constant eviction and refill.
+	c, err := Open(t.TempDir(), WithHotBytes(2048))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			key := testKey(fmt.Sprintf("k%d", i%3))
+			payload := bytes.Repeat([]byte{byte('a' + i%3)}, 700)
+			for j := 0; j < 40; j++ {
+				if err := c.Put(key, payload); err != nil {
+					t.Error(err)
+					return
+				}
+				if got, _, ok := c.Fetch(key); ok && !bytes.Equal(got, payload) {
+					t.Errorf("torn read on %s", key[:8])
+					return
+				}
+			}
+		}(i)
+	}
+	wg.Wait()
+}

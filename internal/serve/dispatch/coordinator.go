@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strings"
 	"sync"
 	"time"
 
@@ -47,9 +48,14 @@ func containsString(ss []string, want string) bool {
 // Wire types shared between the coordinator and cmd/precision-worker.
 // Durations travel as time.ParseDuration strings.
 type (
-	// RegisterRequest announces a worker.
+	// RegisterRequest announces a worker. ReadAddr, when non-empty, is the
+	// base URL of the worker's replica read listener — the worker will
+	// serve GET <ReadAddr>/replica/{hash} for spec hashes it reports
+	// holding on heartbeats, and the coordinator may route hot reads there
+	// (DESIGN.md §11).
 	RegisterRequest struct {
 		Name         string       `json:"name"`
+		ReadAddr     string       `json:"read_addr,omitempty"`
 		Capabilities Capabilities `json:"capabilities"`
 	}
 	// RegisterResponse assigns the worker its identity and cadences.
@@ -74,10 +80,14 @@ type (
 		Deadline time.Time             `json:"deadline"`
 		LeaseTTL string                `json:"lease_ttl"`
 	}
-	// HeartbeatRequest extends the worker's active leases and relays
-	// per-lease solver progress.
+	// HeartbeatRequest extends the worker's active leases, relays per-lease
+	// solver progress, and refreshes the replica read index: Held is the
+	// full set of spec hashes the worker's replica store currently holds
+	// (a replacement, not a delta — an eviction on the worker must fall
+	// out of the index on the next beat).
 	HeartbeatRequest struct {
 		Leases []LeaseProgress `json:"leases"`
+		Held   []string        `json:"held,omitempty"`
 	}
 	// LeaseProgress is one lease's progress report.
 	LeaseProgress struct {
@@ -102,18 +112,24 @@ type (
 	WorkerView struct {
 		ID           string       `json:"id"`
 		Name         string       `json:"name"`
+		ReadAddr     string       `json:"read_addr,omitempty"`
 		Capabilities Capabilities `json:"capabilities"`
 		RegisteredAt time.Time    `json:"registered_at"`
 		LastSeenAgo  string       `json:"last_seen_ago"`
 		ActiveLeases int          `json:"active_leases"`
+		ReplicaHeld  int          `json:"replica_held"`
 		Leased       uint64       `json:"leased"`
 		Completed    uint64       `json:"completed"`
 		Expired      uint64       `json:"expired"`
 	}
-	// FleetView is the GET /v1/workers payload.
+	// FleetView is the GET /v1/workers payload. ReplicaHashes counts the
+	// distinct spec hashes held by at least one worker replica.
+	// ActiveLeases stays the final field: smoke scripts anchor on it being
+	// last in the encoded JSON.
 	FleetView struct {
-		Workers      []WorkerView `json:"workers"`
-		ActiveLeases int          `json:"active_leases"`
+		Workers       []WorkerView `json:"workers"`
+		ReplicaHashes int          `json:"replica_hashes"`
+		ActiveLeases  int          `json:"active_leases"`
 	}
 )
 
@@ -161,6 +177,7 @@ type Coordinator struct {
 	leaseEvents  obs.CounterVec // label: event
 	heartbeats   obs.Counter
 	verifyCtr    obs.CounterVec // label: outcome
+	replicaGauge obs.Gauge
 
 	runCtx context.Context
 
@@ -170,15 +187,23 @@ type Coordinator struct {
 	nextWorker uint64
 	nextLease  uint64
 	takeSeq    uint64
+	// replicas is the fleet read index: spec hash → workers whose replica
+	// store holds that payload. Maintained from heartbeat Held reports;
+	// rrSeq round-robins reads across holders so one hot hash spreads over
+	// every replica instead of hammering the first.
+	replicas map[string]map[string]*workerState
+	rrSeq    uint64
 }
 
 type workerState struct {
 	id           string
 	name         string
+	readAddr     string
 	caps         Capabilities
 	registeredAt time.Time
 	lastSeen     time.Time
 	active       map[string]*lease
+	held         map[string]struct{}
 
 	leased, completed, expired uint64
 }
@@ -210,11 +235,12 @@ func NewCoordinator(d *Dispatcher, cfg CoordinatorConfig) *Coordinator {
 		cfg.WorkerTTL = 4 * cfg.LeaseTTL
 	}
 	co := &Coordinator{
-		cfg:     cfg,
-		log:     cfg.Log,
-		d:       d,
-		workers: make(map[string]*workerState),
-		leases:  make(map[string]*lease),
+		cfg:      cfg,
+		log:      cfg.Log,
+		d:        d,
+		workers:  make(map[string]*workerState),
+		leases:   make(map[string]*lease),
+		replicas: make(map[string]map[string]*workerState),
 	}
 	if cfg.Obs != nil {
 		co.workersGauge = cfg.Obs.Gauge("dispatch_workers_registered",
@@ -227,6 +253,8 @@ func NewCoordinator(d *Dispatcher, cfg CoordinatorConfig) *Coordinator {
 			"Heartbeats received from remote workers.")
 		co.verifyCtr = cfg.Obs.CounterVec("dispatch_verify_total",
 			"Cross-node verification attempts by outcome (match, mismatch, skipped).", "outcome")
+		co.replicaGauge = cfg.Obs.Gauge("dispatch_replica_hashes",
+			"Distinct spec hashes held by at least one worker replica store.")
 	}
 	d.Register(co)
 	return co
@@ -273,11 +301,16 @@ func (co *Coordinator) reap(now time.Time) {
 	for id, w := range co.workers {
 		if len(w.active) == 0 && now.Sub(w.lastSeen) > co.cfg.WorkerTTL {
 			delete(co.workers, id)
+			co.setHeldLocked(w, nil) // its replicas are unreachable now
 			pruned = append(pruned, w)
 		}
 	}
 	n := len(co.workers)
+	replicaCount := len(co.replicas)
 	co.mu.Unlock()
+	if len(pruned) > 0 {
+		co.replicaGauge.Set(int64(replicaCount))
+	}
 	for _, l := range overdue {
 		co.expireLease(l.id, fmt.Errorf("worker %s missed heartbeats for lease %s (job %s): %w",
 			l.worker.id, l.id, l.a.JobID, ErrLeaseExpired))
@@ -313,6 +346,65 @@ func (co *Coordinator) expireLease(id string, cause error) {
 	l.a.finish(Outcome{Err: cause, Backend: co.Name(), Worker: l.worker.id})
 }
 
+// setHeldLocked replaces a worker's replica-held set and reindexes;
+// caller holds co.mu. Returns the new distinct-hash count.
+func (co *Coordinator) setHeldLocked(ws *workerState, held []string) int {
+	for h := range ws.held {
+		if holders, ok := co.replicas[h]; ok {
+			delete(holders, ws.id)
+			if len(holders) == 0 {
+				delete(co.replicas, h)
+			}
+		}
+	}
+	ws.held = make(map[string]struct{}, len(held))
+	for _, h := range held {
+		ws.held[h] = struct{}{}
+		holders, ok := co.replicas[h]
+		if !ok {
+			holders = make(map[string]*workerState, 1)
+			co.replicas[h] = holders
+		}
+		holders[ws.id] = ws
+	}
+	return len(co.replicas)
+}
+
+// ReplicaSource returns the replica read URL for hash on some worker that
+// reported holding it — round-robin across holders so a hot hash spreads
+// over the fleet — or false when no reachable replica exists. The URL
+// serves the raw payload bytes; the caller (the cache's remote tier)
+// verifies them against its recorded digest.
+func (co *Coordinator) ReplicaSource(hash string) (string, bool) {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	holders := co.replicas[hash]
+	if len(holders) == 0 {
+		return "", false
+	}
+	ids := make([]string, 0, len(holders))
+	for id, ws := range holders {
+		if ws.readAddr != "" {
+			ids = append(ids, id)
+		}
+	}
+	if len(ids) == 0 {
+		return "", false
+	}
+	sortStrings(ids)
+	co.rrSeq++
+	ws := holders[ids[co.rrSeq%uint64(len(ids))]]
+	return ws.readAddr + "/replica/" + hash, true
+}
+
+func sortStrings(ss []string) {
+	for i := 1; i < len(ss); i++ {
+		for j := i; j > 0 && ss[j] < ss[j-1]; j-- {
+			ss[j], ss[j-1] = ss[j-1], ss[j]
+		}
+	}
+}
+
 // HandleRegister implements POST /v1/workers/register.
 func (co *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
 	var req RegisterRequest
@@ -329,10 +421,12 @@ func (co *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
 	ws := &workerState{
 		id:           fmt.Sprintf("worker-%03d", co.nextWorker),
 		name:         req.Name,
+		readAddr:     strings.TrimRight(req.ReadAddr, "/"),
 		caps:         req.Capabilities,
 		registeredAt: now,
 		lastSeen:     now,
 		active:       make(map[string]*lease),
+		held:         make(map[string]struct{}),
 	}
 	if ws.name == "" {
 		ws.name = ws.id
@@ -459,6 +553,7 @@ func (co *Coordinator) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	ws.lastSeen = now
+	replicaCount := co.setHeldLocked(ws, req.Held)
 	for _, hb := range req.Leases {
 		l, ok := co.leases[hb.LeaseID]
 		if !ok || l.worker != ws {
@@ -477,6 +572,7 @@ func (co *Coordinator) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	co.mu.Unlock()
 	co.heartbeats.Inc()
+	co.replicaGauge.Set(int64(replicaCount))
 	for _, id := range injected {
 		co.expireLease(id, fmt.Errorf("fault dispatch.lease.expire tripped: %w", ErrLeaseExpired))
 	}
@@ -658,12 +754,14 @@ func (co *Coordinator) HandleDeregister(w http.ResponseWriter, r *http.Request) 
 	for id := range ws.active {
 		held = append(held, id)
 	}
+	replicaCount := co.setHeldLocked(ws, nil)
 	n := len(co.workers)
 	co.mu.Unlock()
 	for _, id := range held {
 		co.expireLease(id, fmt.Errorf("worker %s deregistered: %w", wid, ErrLeaseExpired))
 	}
 	co.workersGauge.Set(int64(n))
+	co.replicaGauge.Set(int64(replicaCount))
 	co.log.Info("worker deregistered", obs.Str("worker", wid), obs.Str("name", ws.name))
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -677,16 +775,19 @@ func (co *Coordinator) HandleList(w http.ResponseWriter, r *http.Request) {
 		view.Workers = append(view.Workers, WorkerView{
 			ID:           ws.id,
 			Name:         ws.name,
+			ReadAddr:     ws.readAddr,
 			Capabilities: ws.caps,
 			RegisteredAt: ws.registeredAt,
 			LastSeenAgo:  now.Sub(ws.lastSeen).Round(time.Millisecond).String(),
 			ActiveLeases: len(ws.active),
+			ReplicaHeld:  len(ws.held),
 			Leased:       ws.leased,
 			Completed:    ws.completed,
 			Expired:      ws.expired,
 		})
 		view.ActiveLeases += len(ws.active)
 	}
+	view.ReplicaHashes = len(co.replicas)
 	co.mu.Unlock()
 	sortWorkerViews(view.Workers)
 	writeJSON(w, http.StatusOK, view)

@@ -833,7 +833,7 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 	// race to enqueue first; the re-check under the lock below collapses
 	// the race back onto one execution.
 	if s.cfg.Cache != nil {
-		if payload, ok := s.cfg.Cache.Get(hash); ok {
+		if payload, src, ok := s.cfg.Cache.Fetch(hash); ok {
 			s.mu.Lock()
 			s.cacheHits++
 			s.obs.cacheHits.Inc()
@@ -841,7 +841,7 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 			job.cached = true
 			job.status = StatusDone
 			s.mu.Unlock()
-			job.trace.Root().Event("cache_hit")
+			job.trace.Root().Event("cache_hit", obs.Str("source", string(src)))
 			job.trace.Root().Annotate(obs.Str("status", "done"))
 			job.trace.Root().End()
 			s.log.Debug("cache hit", obs.Str("job", job.ID), obs.Str("spec_hash", hash))

@@ -1,0 +1,111 @@
+#!/usr/bin/env bash
+# Read-path benchmark trajectory (ISSUE 6 satellite).
+#
+# Default mode: run the tiered read-path benchmarks and write BENCH_6.json
+# — one record per bench with ns/op, ops/sec, B/op and allocs/op. The file
+# is committed so the trajectory is versioned alongside the code.
+#
+# --check mode (the CI regression gate): re-run the benches on this
+# machine and compare against the committed BENCH_6.json. Two kinds of
+# assertion:
+#   * machine-independent ratios, checked against the FRESH numbers — a
+#     hot-tier hit must be >=10x faster than a cold disk hit at >=10x
+#     fewer allocs/op, and a 304 must do no worse than the cold disk read
+#     (these encode the PR's acceptance criteria and hold on any host);
+#   * alloc regression vs the committed baseline — allocs/op is
+#     machine-independent, so any tracked bench allocating >20% more than
+#     the committed number fails the gate. Raw ns/op is NOT compared
+#     across machines (a faster or slower CI host would make the gate
+#     meaningless); the ratio checks carry the wall-clock contract.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+OUT=BENCH_6.json
+MODE=${1:-generate}
+
+raw=$(mktemp)
+trap 'rm -f "$raw"' EXIT
+
+echo "== running read-path benchmarks (this takes ~10s)"
+$GO test -run '^$' -bench 'ReadPath' -benchmem -benchtime=1s \
+    ./internal/serve/cache/ ./internal/serve/api/ | tee "$raw" | grep -E '^Benchmark' || {
+    echo "FAIL: benchmarks did not run"; exit 1; }
+
+# Parse `BenchmarkName-N  iters  ns/op  B/op  allocs/op` lines into JSON.
+json=$(awk '
+/^Benchmark/ {
+    name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
+    ns = $3; bytes = $5; allocs = $7
+    ops = (ns > 0) ? 1e9 / ns : 0
+    printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"ops_per_sec\":%.0f,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, ns, ops, bytes, allocs
+    sep = ",\n    "
+}' "$raw")
+
+if [ -z "$json" ]; then
+    echo "FAIL: no benchmark lines parsed"; exit 1
+fi
+
+get() { # get <file> <bench-name> <field>
+    awk -v n="$2" -v f="$3" 'BEGIN{RS=","} $0 ~ "\""n"\"" || found {found=1}
+        found && $0 ~ "\""f"\"" {gsub(/[^0-9.]/,"",$0); print; exit}' "$1"
+}
+
+check_ratios() { # check_ratios <json-file>
+    local f=$1
+    local cold_ns hot_ns cold_allocs hot_allocs etag_ns
+    cold_ns=$(get "$f" ReadPathColdDisk ns_per_op)
+    hot_ns=$(get "$f" ReadPathHotTier ns_per_op)
+    cold_allocs=$(get "$f" ReadPathColdDisk allocs_per_op)
+    hot_allocs=$(get "$f" ReadPathHotTier allocs_per_op)
+    etag_ns=$(get "$f" ReadPath304 ns_per_op)
+    [ -n "$cold_ns" ] && [ -n "$hot_ns" ] || { echo "FAIL: benches missing from $f"; return 1; }
+    echo "   cold disk: ${cold_ns} ns/op, ${cold_allocs} allocs/op"
+    echo "   hot tier:  ${hot_ns} ns/op, ${hot_allocs} allocs/op"
+    echo "   etag 304:  ${etag_ns} ns/op"
+    awk -v c="$cold_ns" -v h="$hot_ns" 'BEGIN{ exit !(h*10 <= c) }' || {
+        echo "FAIL: hot-tier hit is not >=10x faster than a cold disk hit"; return 1; }
+    awk -v c="$cold_allocs" -v h="$hot_allocs" 'BEGIN{ hh = (h<1)?1:h; exit !(hh*10 <= c) }' || {
+        echo "FAIL: hot-tier hit does not allocate >=10x less than a cold disk hit"; return 1; }
+    awk -v c="$cold_ns" -v e="$etag_ns" 'BEGIN{ exit !(e <= c) }' || {
+        echo "FAIL: a 304 revalidation costs more than the cold disk read it replaces"; return 1; }
+    echo "   ratio gates OK (hot >=10x faster, >=10x fewer allocs, 304 <= cold disk)"
+}
+
+if [ "$MODE" = "--check" ]; then
+    [ -f "$OUT" ] || { echo "FAIL: no committed $OUT to gate against"; exit 1; }
+    fresh=$(mktemp); trap 'rm -f "$raw" "$fresh"' EXIT
+    printf '%s\n' "$json" > "$fresh"
+    echo "== fresh-run ratio gates"
+    check_ratios "$fresh"
+    echo "== alloc regression gate vs committed $OUT (>20% fails)"
+    fail=0
+    for bench in ReadPathColdDisk ReadPathHotTier ReadPath304; do
+        base=$(get "$OUT" "$bench" allocs_per_op)
+        now=$(get "$fresh" "$bench" allocs_per_op)
+        [ -n "$base" ] && [ -n "$now" ] || { echo "FAIL: $bench missing"; fail=1; continue; }
+        if awk -v b="$base" -v n="$now" 'BEGIN{ exit !(n > b*1.2 && n > b+1) }'; then
+            echo "FAIL: $bench allocs/op regressed: $base -> $now (>20%)"
+            fail=1
+        else
+            echo "   $bench allocs/op: $base -> $now OK"
+        fi
+    done
+    [ "$fail" = 0 ] || exit 1
+    echo "PASS: bench regression gate"
+    exit 0
+fi
+
+cat > "$OUT" <<EOF
+{
+  "schema": "bench-trajectory/v1",
+  "issue": 6,
+  "description": "Tiered read path: cold disk hit vs hot-tier hit vs ETag 304 revalidation.",
+  "command": "make bench-json",
+  "benchmarks": [
+    $json
+  ]
+}
+EOF
+echo "== wrote $OUT"
+check_ratios "$OUT"

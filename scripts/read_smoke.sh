@@ -1,0 +1,138 @@
+#!/usr/bin/env bash
+# Tiered read-path smoke test (DESIGN.md §11).
+#
+# Run the quick paper sweep twice against a fleet-only coordinator with two
+# replica-serving workers, and assert the second pass never touches the
+# coordinator's disk:
+#   * the daemon runs with a deliberately tiny -hot-bytes so its hot tier
+#     admits nothing — the second pass's cache probes must be served by the
+#     fleet replica tier (hash -> worker read index, digest-verified),
+#   * the client replays with -replay-cache, so every second-pass result
+#     body is an If-None-Match revalidation: 100% 304s, zero bytes moved,
+#   * disk_hits and puts must not grow during the second pass (nothing was
+#     re-read from disk, nothing was recomputed), and
+#   * the second pass's payload bytes are bit-identical to the first's.
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+GO=${GO:-go}
+
+work=$(mktemp -d)
+daemon_pid=""
+worker1_pid=""
+worker2_pid=""
+cleanup() {
+    [ -n "$worker1_pid" ] && kill -9 "$worker1_pid" 2>/dev/null || true
+    [ -n "$worker2_pid" ] && kill -9 "$worker2_pid" 2>/dev/null || true
+    [ -n "$daemon_pid" ] && kill -9 "$daemon_pid" 2>/dev/null || true
+    wait 2>/dev/null || true
+    rm -rf "$work"
+}
+trap cleanup EXIT
+
+fail() { echo "FAIL: $*" >&2; exit 1; }
+
+fetch() { curl -sf "$1" 2>/dev/null || wget -qO- "$1"; }
+
+$GO build -o "$work/precisiond" ./cmd/precisiond
+$GO build -o "$work/precision-worker" ./cmd/precision-worker
+$GO build -o "$work/precision-client" ./cmd/precision-client
+
+start_daemon() {
+    local logf=$1; shift
+    "$work/precisiond" -addr 127.0.0.1:0 "$@" >"$logf" 2>&1 &
+    daemon_pid=$!
+    addr=""
+    for _ in $(seq 1 100); do
+        addr=$(sed -n 's/^listening on //p' "$logf")
+        [ -n "$addr" ] && break
+        kill -0 "$daemon_pid" 2>/dev/null || { cat "$logf"; fail "daemon died on startup"; }
+        sleep 0.1
+    done
+    [ -n "$addr" ] || { cat "$logf"; fail "daemon never announced its address"; }
+}
+
+start_worker() {
+    local logf=$1; shift
+    "$work/precision-worker" -coordinator "http://$addr" "$@" >"$logf" 2>&1 &
+    local pid=$!
+    for _ in $(seq 1 100); do
+        grep -q '^registered as ' "$logf" && break
+        kill -0 "$pid" 2>/dev/null || { cat "$logf"; fail "worker died on startup"; }
+        sleep 0.1
+    done
+    grep -q '^registered as ' "$logf" || { cat "$logf"; fail "worker never registered"; }
+    echo "$pid"
+}
+
+# cstat <key>: integer field from the current /v1/cache/stats snapshot.
+cstat() {
+    fetch "http://$addr/v1/cache/stats" | grep -o "\"$1\":[0-9]*" | head -n1 | cut -d: -f2
+}
+
+# metric <name>: current value from /metrics (empty when absent).
+metric() {
+    fetch "http://$addr/metrics" | sed -n "s/^$1 //p" | head -n1
+}
+
+echo "== fleet-only coordinator (tiny hot tier) + 2 replica-serving workers"
+start_daemon "$work/daemon.log" -workers 0 -cache "$work/cache" \
+    -hot-bytes 512 -lease-ttl 3s
+worker1_pid=$(start_worker "$work/worker1.log" -slots 2 -read-addr 127.0.0.1:0)
+worker2_pid=$(start_worker "$work/worker2.log" -slots 2 -read-addr 127.0.0.1:0)
+
+echo "== pass 1: cold sweep (computes everything, workers pull replicas)"
+"$work/precision-client" -addr "http://$addr" -sweep quick -retry 10 -json \
+    -replay-cache "$work/replay" >"$work/pass1.json" 2>"$work/pass1.err" \
+    || { cat "$work/pass1.err"; fail "cold sweep failed"; }
+total=$(grep -c . "$work/pass1.json")
+[ "$total" -ge 2 ] || fail "cold sweep produced only $total results"
+
+# Before pass 2, wait for the fleet read index to cover the whole sweep:
+# workers report held hashes on heartbeats, so coverage lags completion by
+# a beat or two.
+covered=""
+for _ in $(seq 1 200); do
+    replicas=$(fetch "http://$addr/v1/workers" | grep -o '"replica_hashes":[0-9]*' | cut -d: -f2)
+    if [ -n "$replicas" ] && [ "$replicas" -ge "$total" ]; then covered=yes; break; fi
+    sleep 0.1
+done
+[ -n "$covered" ] || fail "replica index never covered the sweep (${replicas:-0}/$total hashes)"
+echo "   replica index covers $replicas/$total spec hashes"
+
+disk1=$(cstat disk_hits); puts1=$(cstat puts)
+hot1=$(cstat hot_hits); remote1=$(cstat remote_hits)
+
+echo "== pass 2: warm replay (must not touch the coordinator's disk)"
+"$work/precision-client" -addr "http://$addr" -sweep quick -retry 10 -json \
+    -replay-cache "$work/replay" >"$work/pass2.json" 2>"$work/pass2.err" \
+    || { cat "$work/pass2.err"; fail "warm sweep failed"; }
+
+disk2=$(cstat disk_hits); puts2=$(cstat puts)
+hot2=$(cstat hot_hits); remote2=$(cstat remote_hits)
+
+# Bit-identity: the warm pass returned exactly the cold pass's bytes.
+cmp -s "$work/pass1.json" "$work/pass2.json" \
+    || fail "warm-pass payloads differ from the cold pass"
+
+# Zero disk growth, zero recompute: the second pass lived entirely in the
+# hot/replica/304 tiers.
+[ "$disk2" -eq "$disk1" ] || fail "disk_hits grew on the warm pass: $disk1 -> $disk2"
+[ "$puts2" -eq "$puts1" ] || fail "results were recomputed on the warm pass: puts $puts1 -> $puts2"
+
+# Every warm-pass probe was served above the disk tier...
+served=$(( (hot2 - hot1) + (remote2 - remote1) ))
+[ "$served" -ge "$total" ] \
+    || fail "only $served/$total warm probes served from hot/replica tiers"
+# ...with the replica tier doing real work (the tiny hot tier admits nothing).
+[ "$((remote2 - remote1))" -ge 1 ] || fail "no replica reads on the warm pass"
+
+# And every result body was a revalidation: N/N 304s, zero bytes moved.
+grep -q "replay-cache: $total/$total results revalidated (304)" "$work/pass2.err" \
+    || { cat "$work/pass2.err"; fail "warm pass did not revalidate every result"; }
+etag304=$(metric 'precisiond_result_reads_total{source="etag_304"}')
+[ -n "$etag304" ] && [ "$etag304" -ge "$total" ] \
+    || fail "etag_304 reads = ${etag304:-absent}, want >= $total"
+remote_metric=$(metric 'precisiond_cache_events_total{event="remote_hit"}')
+
+echo "read-smoke OK ($total results; warm pass: $((remote2 - remote1)) replica reads, $((hot2 - hot1)) hot hits, $etag304 etag-304s, disk_hits delta 0, remote_hit metric ${remote_metric:-0})"

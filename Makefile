@@ -13,14 +13,19 @@
 # `make read-smoke` runs the paper sweep twice against a 2-worker fleet and
 # asserts the second pass is served entirely above the disk tier — replica
 # reads plus ETag 304s, zero disk_hits growth (DESIGN.md §11).
+# `make campaign-smoke` submits a server-side grid campaign to a 2-worker
+# fleet, SIGKILLs a worker and then the coordinator mid-expansion, and
+# asserts the resumed campaign's aggregates bit-match a client-side sweep
+# and a warm resubmit is all dedup (DESIGN.md §12).
 # `make bench-par` regenerates the committed pool-vs-spawn dispatch
 # numbers in results/. `make bench-json` regenerates the committed
-# read-path benchmark trajectory in BENCH_6.json; `make bench-gate` is the
-# CI regression gate against it.
+# benchmark trajectories in BENCH_6.json (read path) and BENCH_7.json
+# (campaign expansion); `make bench-gate` is the CI regression gate
+# against them.
 
 GO ?= go
 
-.PHONY: build test vet verify race serve-smoke chaos-smoke obs-smoke dispatch-smoke read-smoke bench-par bench-step bench-json bench-gate
+.PHONY: build test vet verify race serve-smoke chaos-smoke obs-smoke dispatch-smoke read-smoke campaign-smoke bench-par bench-step bench-json bench-gate
 
 build:
 	$(GO) build ./...
@@ -50,6 +55,9 @@ dispatch-smoke:
 
 read-smoke:
 	GO="$(GO)" ./scripts/read_smoke.sh
+
+campaign-smoke:
+	GO="$(GO)" ./scripts/campaign_smoke.sh
 
 bench-json:
 	GO="$(GO)" ./scripts/bench_json.sh

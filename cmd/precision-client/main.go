@@ -9,6 +9,8 @@
 //	precision-client -sweep quick -json         # raw result payloads
 //	precision-client -sweep quick -retry 10     # ride out daemon restarts
 //	precision-client -spec spec.json -trace     # print the job's span timeline
+//	precision-client -campaign grid.json        # server-side campaign + live aggregates
+//	precision-client -grid grid.json            # same file, client-side expansion
 //
 // Each completed job prints one summary line; cached=true marks results the
 // daemon served from its content-addressed cache without recomputing.
@@ -54,8 +56,22 @@ func main() {
 		retries   = flag.Int("retry", 0, "retry connection failures and 5xx responses this many times")
 		trace     = flag.Bool("trace", false, "print each job's span timeline after its result")
 		replayDir = flag.String("replay-cache", "", "cache result payloads + ETags in this directory and revalidate with If-None-Match on replay")
+		campPath  = flag.String("campaign", "", "submit a campaign spec JSON file server-side (POST /v1/campaigns) and render the streamed aggregates")
+		gridPath  = flag.String("grid", "", "expand a campaign spec file client-side, one POST /v1/jobs per index — the sweep loop campaigns replace")
 	)
 	flag.Parse()
+
+	if *campPath != "" || *gridPath != "" {
+		if *specPath != "" || *sweep != "" || (*campPath != "" && *gridPath != "") {
+			log.Fatal("-campaign/-grid are mutually exclusive with each other and with -spec/-sweep")
+		}
+		if *campPath != "" {
+			runCampaign(*addr, *campPath, *retries, *raw)
+		} else {
+			runGrid(*addr, *gridPath, *retries, *raw)
+		}
+		return
+	}
 
 	var rc *replayCache
 	if *replayDir != "" {

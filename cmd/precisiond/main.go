@@ -15,6 +15,7 @@
 //	precisiond -lease-ttl 15s -verify-n 8     # tune the worker fleet
 //	precisiond -workers 0                     # fleet-only: all work leased
 //	precisiond -hot-bytes 134217728           # size the in-memory read tier
+//	precisiond -campaign-budget 1000000 -campaign-slots 16
 //
 // The daemon is also the coordinator of a distributed worker fleet
 // (DESIGN.md §9): cmd/precision-worker nodes register under /v1/workers,
@@ -25,6 +26,16 @@
 // Nth remotely-leased attempt on a second executor and admits the result
 // only if both final-state hashes are bit-identical. -workers 0 turns off
 // local execution entirely: the daemon only coordinates.
+//
+// Campaigns (DESIGN.md §12) make parameter sweeps a server-side workload:
+// POST /v1/campaigns takes a generator spec (grid, Monte Carlo ensemble or
+// precision ladder) that the daemon expands lazily — weighted-fair across
+// tenants, deduped against the cache before admission, journaled so a
+// half-expanded campaign resumes after a crash under its original ID.
+// -campaign-budget bounds the total estimated expansion (429 over it),
+// -campaign-slots the in-flight fan-out, and -campaign-reserve holds queue
+// slots campaigns may not occupy so interactive POST /v1/jobs stays
+// responsive while a million-job campaign drains.
 //
 // Result reads go through the tiered read path (DESIGN.md §11): an
 // in-memory hot tier of pre-serialized payloads (-hot-bytes, 0 disables),
@@ -77,6 +88,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/serve/api"
 	"repro/internal/serve/cache"
+	"repro/internal/serve/campaign"
 	"repro/internal/serve/dispatch"
 	"repro/internal/serve/queue"
 )
@@ -97,6 +109,9 @@ func main() {
 		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "how long a remote worker's lease survives without a heartbeat")
 		heartbeat   = flag.Duration("heartbeat", 0, "heartbeat cadence advertised to workers (0 = lease-ttl/3)")
 		verifyN     = flag.Int("verify-n", 0, "re-run every Nth remotely-leased attempt on a second executor and require bit-identical state hashes (0 = off)")
+		campBudget  = flag.Int64("campaign-budget", 1<<20, "cap on total estimated campaign expansion (new campaign + live remainders); over-budget submissions get 429")
+		campSlots   = flag.Int("campaign-slots", 16, "campaign jobs concurrently in flight across all campaigns")
+		campReserve = flag.Int("campaign-reserve", -1, "queue slots held for interactive POST /v1/jobs that campaign expansion may not occupy (-1 = queue-depth/4)")
 		faults      = flag.String("faults", "", "arm fault-injection points, e.g. 'cache.put=p:0.1,journal.sync=n:3'")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
@@ -165,6 +180,10 @@ func main() {
 	// to a disk read, never to wrong bytes.
 	c.SetRemote(replicaFetcher(fleet, logger))
 
+	reserve := *campReserve
+	if reserve < 0 {
+		reserve = *queueDepth / 4
+	}
 	cfg := queue.Config{
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
@@ -177,6 +196,8 @@ func main() {
 		DisableLocal: *workers == 0,
 		Obs:          reg,
 		Log:          logger,
+
+		ReserveInteractive: reserve,
 	}
 	if *ckptDir != "" {
 		cfg.CheckpointDir = *ckptDir
@@ -196,6 +217,29 @@ func main() {
 		}
 	}
 	sched.Start(ctx)
+
+	// Campaign manager: server-side sweeps expanded lazily over the same
+	// scheduler, journal and metrics registry (DESIGN.md §12).
+	camps := campaign.New(campaign.Config{
+		Sched:   sched,
+		Journal: journal,
+		Budget:  *campBudget,
+		Slots:   *campSlots,
+		Obs:     reg,
+		Log:     logger,
+	})
+	if journal != nil {
+		resumed, err := camps.Recover()
+		if err != nil {
+			fatal(err)
+		}
+		if resumed > 0 {
+			logger.Info("recovered campaigns from journal",
+				obs.Str("journal", *journalPath),
+				obs.Str("resumed", fmt.Sprint(resumed)))
+		}
+	}
+	camps.Start(ctx)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -220,7 +264,8 @@ func main() {
 		logger.Info("debug server up (pprof + metrics)", obs.Str("addr", debugLn.Addr().String()))
 	}
 
-	srv := &http.Server{Handler: api.New(sched, c, api.WithMetrics(reg), api.WithDispatch(fleet))}
+	srv := &http.Server{Handler: api.New(sched, c,
+		api.WithMetrics(reg), api.WithDispatch(fleet), api.WithCampaigns(camps))}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
@@ -242,6 +287,7 @@ func main() {
 		logger.Warn("serve", obs.Str("error", err.Error()))
 	}
 	sched.Wait()
+	camps.Wait()
 	if fault.Enabled() {
 		for _, fc := range fault.Counts() {
 			logger.Info("fault point summary",

@@ -20,6 +20,14 @@
 // replica, local disk — and fleet workers use it to pull the canonical
 // payload bytes they replicate.
 //
+// With WithCampaigns, server-side parameter sweeps are mounted too:
+//
+//	POST   /v1/campaigns              submit a campaign spec (generator)
+//	GET    /v1/campaigns              list campaigns
+//	GET    /v1/campaigns/{id}         campaign view (?jobs=1 adds job refs)
+//	GET    /v1/campaigns/{id}/stream  NDJSON running aggregates
+//	DELETE /v1/campaigns/{id}         cancel expansion
+//
 // With WithDispatch, the remote-fleet coordinator is mounted too:
 //
 //	POST /v1/workers/register        announce a precision-worker node
@@ -51,6 +59,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/serve/cache"
+	"repro/internal/serve/campaign"
 	"repro/internal/serve/dispatch"
 	"repro/internal/serve/queue"
 )
@@ -67,6 +76,8 @@ type Server struct {
 	metrics *obs.Registry
 	// fleet, when non-nil, mounts the worker-facing lease protocol.
 	fleet *dispatch.Coordinator
+	// campaigns, when non-nil, mounts the campaign API under /v1/campaigns.
+	campaigns *campaign.Manager
 	// reads counts result reads by serving tier (no-op Vec without metrics).
 	reads obs.CounterVec
 	// started anchors the /healthz uptime report.
@@ -118,6 +129,13 @@ func New(sched *queue.Scheduler, c *cache.Cache, opts ...Option) *Server {
 	mux.HandleFunc("GET /healthz", s.healthz)
 	if s.metrics != nil {
 		mux.Handle("GET /metrics", s.metrics.Handler())
+	}
+	if s.campaigns != nil {
+		mux.HandleFunc("POST /v1/campaigns", s.submitCampaign)
+		mux.HandleFunc("GET /v1/campaigns", s.listCampaigns)
+		mux.HandleFunc("GET /v1/campaigns/{id}", s.campaignView)
+		mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.campaignStream)
+		mux.HandleFunc("DELETE /v1/campaigns/{id}", s.campaignCancel)
 	}
 	if s.fleet != nil {
 		mux.HandleFunc("POST /v1/workers/register", s.fleet.HandleRegister)

@@ -1,0 +1,147 @@
+package api
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"reflect"
+	"strings"
+	"time"
+
+	"repro/internal/serve/campaign"
+)
+
+// WithCampaigns mounts the campaign API:
+//
+//	POST   /v1/campaigns              submit a campaign spec; 202 + view
+//	GET    /v1/campaigns              list campaigns
+//	GET    /v1/campaigns/{id}         campaign view (?jobs=1 adds per-job refs)
+//	GET    /v1/campaigns/{id}/stream  NDJSON running aggregates, then terminal
+//	DELETE /v1/campaigns/{id}         cancel expansion (admitted jobs finish)
+//
+// A campaign whose estimated expansion exceeds the manager's budget is
+// answered 429 + Retry-After (the same backpressure shape as a full queue
+// on POST /v1/jobs): nothing is wrong, resubmit when live campaigns have
+// drained.
+func WithCampaigns(m *campaign.Manager) Option {
+	return func(s *Server) { s.campaigns = m }
+}
+
+// submitCampaign validates and registers a campaign. 202 for a live
+// campaign, 400 for a spec or generator that does not validate, 429 with
+// Retry-After when the expansion estimate is over budget, 503 when the
+// journal cannot accept the admission.
+func (s *Server) submitCampaign(w http.ResponseWriter, r *http.Request) {
+	var spec campaign.Spec
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeError(w, http.StatusBadRequest, "decode campaign spec: %v", err)
+		return
+	}
+	c, err := s.campaigns.Submit(spec)
+	switch {
+	case errors.Is(err, campaign.ErrBudget):
+		w.Header().Set("Retry-After", fmt.Sprint(retryAfterSeconds))
+		writeJSON(w, http.StatusTooManyRequests, queueFullReply{
+			Error:             err.Error(),
+			RetryAfterSeconds: retryAfterSeconds,
+		})
+		return
+	case err != nil && strings.Contains(err.Error(), "journal"):
+		// As on POST /v1/jobs: an un-journalable admission is a capacity
+		// problem, not a client one.
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeError(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, c.View(false))
+}
+
+func (s *Server) listCampaigns(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.campaigns.List())
+}
+
+func (s *Server) campaign(w http.ResponseWriter, r *http.Request) (*campaign.Campaign, bool) {
+	id := r.PathValue("id")
+	c, ok := s.campaigns.Get(id)
+	if !ok {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", id)
+	}
+	return c, ok
+}
+
+// campaignView returns the campaign snapshot; ?jobs=1 includes one entry
+// per expanded index in expansion order.
+func (s *Server) campaignView(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	includeJobs := r.URL.Query().Get("jobs") != ""
+	writeJSON(w, http.StatusOK, c.View(includeJobs))
+}
+
+// campaignCancel stops expansion. Idempotent: cancelling a terminal
+// campaign returns its current view.
+func (s *Server) campaignCancel(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	v, err := s.campaigns.Cancel(id)
+	if errors.Is(err, campaign.ErrNotFound) {
+		writeError(w, http.StatusNotFound, "unknown campaign %q", id)
+		return
+	}
+	writeJSON(w, http.StatusOK, v)
+}
+
+// campaignStream emits the campaign's running aggregates as NDJSON: one
+// line per observed change as results land, then the terminal aggregates
+// (carrying result_digest), then EOF — the online version of watching the
+// paper's sweep table fill in.
+func (s *Server) campaignStream(w http.ResponseWriter, r *http.Request) {
+	c, ok := s.campaign(w, r)
+	if !ok {
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+	enc.SetEscapeHTML(false)
+
+	var last campaign.Aggregates
+	emit := func(a campaign.Aggregates) {
+		enc.Encode(a)
+		if flusher != nil {
+			flusher.Flush()
+		}
+		last = a
+	}
+	emit(c.Aggregates())
+
+	ticker := time.NewTicker(s.pollInterval)
+	defer ticker.Stop()
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case <-c.Done():
+			if a := c.Aggregates(); aggregatesChanged(a, last) {
+				emit(a)
+			}
+			return
+		case <-ticker.C:
+			if a := c.Aggregates(); aggregatesChanged(a, last) {
+				emit(a)
+			}
+		}
+	}
+}
+
+// aggregatesChanged reports whether a snapshot differs from the last
+// emitted one (Aggregates holds maps and pointers, so deep equality).
+func aggregatesChanged(a, last campaign.Aggregates) bool {
+	return !reflect.DeepEqual(a, last)
+}

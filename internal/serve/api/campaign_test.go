@@ -1,0 +1,267 @@
+package api
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/serve/cache"
+	"repro/internal/serve/campaign"
+	"repro/internal/serve/queue"
+)
+
+// newCampaignServer wires a real scheduler + cache + campaign manager
+// behind an httptest server, mirroring newTestServer.
+func newCampaignServer(t *testing.T, qcfg queue.Config, ccfg campaign.Config) *httptest.Server {
+	t.Helper()
+	c, err := cache.Open(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	qcfg.Cache = c
+	sched := queue.New(qcfg)
+	ctx, cancel := context.WithCancel(context.Background())
+	sched.Start(ctx)
+	ccfg.Sched = sched
+	camps := campaign.New(ccfg)
+	camps.Start(ctx)
+	srv := httptest.NewServer(New(sched, c,
+		WithPollInterval(5*time.Millisecond), WithCampaigns(camps)))
+	t.Cleanup(func() {
+		srv.Close()
+		cancel()
+		sched.Wait()
+		camps.Wait()
+	})
+	return srv
+}
+
+// gridCampaign is a 4-spec grid (mode × steps) over real clamr runs.
+func gridCampaign() campaign.Spec {
+	return campaign.Spec{
+		Tenant: "acme",
+		Generator: campaign.GeneratorSpec{
+			Kind: campaign.KindGrid,
+			Base: clamrSpec(2, "full"),
+			Axes: []campaign.Axis{
+				{Field: "mode", Values: []any{"min", "full"}},
+				{Field: "steps", Values: []any{2, 3}},
+			},
+		},
+	}
+}
+
+func postCampaign(t *testing.T, srv *httptest.Server, spec campaign.Spec) (*http.Response, []byte) {
+	t.Helper()
+	body, err := json.Marshal(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json", bytes.NewReader(body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	data := new(bytes.Buffer)
+	if _, err := data.ReadFrom(resp.Body); err != nil {
+		t.Fatal(err)
+	}
+	return resp, data.Bytes()
+}
+
+// TestCampaignSubmitStreamAndView drives the full happy path: 202 on
+// submit, NDJSON aggregates to EOF, terminal view with per-job refs.
+func TestCampaignSubmitStreamAndView(t *testing.T) {
+	srv := newCampaignServer(t, queue.Config{Workers: 2, QueueDepth: 16},
+		campaign.Config{})
+
+	resp, body := postCampaign(t, srv, gridCampaign())
+	if resp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", resp.StatusCode, body)
+	}
+	var v campaign.View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	if v.ID == "" || v.Tenant != "acme" || v.Aggregates.Total != 4 {
+		t.Fatalf("submit view = %+v", v)
+	}
+
+	// The stream ends with the terminal aggregates.
+	sresp, err := http.Get(srv.URL + "/v1/campaigns/" + v.ID + "/stream")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sresp.Body.Close()
+	if ct := sresp.Header.Get("Content-Type"); ct != "application/x-ndjson" {
+		t.Errorf("stream content-type = %q", ct)
+	}
+	var last campaign.Aggregates
+	lines := 0
+	sc := bufio.NewScanner(sresp.Body)
+	for sc.Scan() {
+		if err := json.Unmarshal(sc.Bytes(), &last); err != nil {
+			t.Fatalf("stream line %d: %v: %s", lines, err, sc.Bytes())
+		}
+		lines++
+	}
+	if err := sc.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if lines == 0 {
+		t.Fatal("stream emitted no aggregate lines")
+	}
+	if last.Completed+last.Deduped != 4 || last.Failed != 0 {
+		t.Fatalf("terminal aggregates = %+v", last)
+	}
+	if last.ResultDigest == "" {
+		t.Error("terminal aggregates missing result_digest")
+	}
+
+	// View with per-job refs, in expansion order, all done.
+	vresp, err := http.Get(srv.URL + "/v1/campaigns/" + v.ID + "?jobs=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer vresp.Body.Close()
+	var final campaign.View
+	if err := json.NewDecoder(vresp.Body).Decode(&final); err != nil {
+		t.Fatal(err)
+	}
+	if final.Status != campaign.StatusCompleted {
+		t.Fatalf("final status = %s", final.Status)
+	}
+	if len(final.Jobs) != 4 {
+		t.Fatalf("got %d job refs, want 4", len(final.Jobs))
+	}
+	hashes := map[string]bool{}
+	for i, j := range final.Jobs {
+		if j.Index != int64(i) || j.Status != string(queue.StatusDone) || j.SpecHash == "" {
+			t.Errorf("job ref %d = %+v", i, j)
+		}
+		hashes[j.SpecHash] = true
+	}
+	if len(hashes) != 4 {
+		t.Errorf("got %d unique spec hashes, want 4", len(hashes))
+	}
+
+	// The campaign shows up in the listing.
+	lresp, err := http.Get(srv.URL + "/v1/campaigns")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer lresp.Body.Close()
+	var list []campaign.View
+	if err := json.NewDecoder(lresp.Body).Decode(&list); err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 1 || list[0].ID != v.ID {
+		t.Fatalf("list = %+v", list)
+	}
+}
+
+// TestCampaignOverBudget429 asserts the campaign backpressure contract:
+// over-budget submissions get 429 + Retry-After in the same reply shape a
+// full queue sends on POST /v1/jobs.
+func TestCampaignOverBudget429(t *testing.T) {
+	srv := newCampaignServer(t, queue.Config{Workers: 1, QueueDepth: 8},
+		campaign.Config{Budget: 2})
+
+	resp, body := postCampaign(t, srv, gridCampaign()) // 4 specs > budget 2
+	if resp.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("over-budget submit status %d: %s", resp.StatusCode, body)
+	}
+	if got := resp.Header.Get("Retry-After"); got != "1" {
+		t.Errorf("Retry-After = %q, want \"1\"", got)
+	}
+	var reply struct {
+		Error             string `json:"error"`
+		RetryAfterSeconds int    `json:"retry_after_seconds"`
+	}
+	if err := json.Unmarshal(body, &reply); err != nil {
+		t.Fatalf("decode 429 body: %v: %s", err, body)
+	}
+	if reply.Error == "" || reply.RetryAfterSeconds != 1 {
+		t.Errorf("429 reply = %+v", reply)
+	}
+}
+
+func TestCampaignBadSpec400(t *testing.T) {
+	srv := newCampaignServer(t, queue.Config{Workers: 1}, campaign.Config{})
+	bad := gridCampaign()
+	bad.Generator.Kind = "zigzag"
+	if resp, body := postCampaign(t, srv, bad); resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("bad generator status %d: %s", resp.StatusCode, body)
+	}
+	resp, err := http.Post(srv.URL+"/v1/campaigns", "application/json",
+		bytes.NewReader([]byte(`{"generator":{"kind":"grid"},"warp":9}`)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown field status %d", resp.StatusCode)
+	}
+}
+
+// TestCampaignCancelAndNotFound: DELETE is idempotent; unknown IDs are 404
+// on every campaign route.
+func TestCampaignCancelAndNotFound(t *testing.T) {
+	srv := newCampaignServer(t, queue.Config{Workers: 1, QueueDepth: 8},
+		campaign.Config{})
+
+	for _, url := range []string{
+		srv.URL + "/v1/campaigns/camp-999999",
+		srv.URL + "/v1/campaigns/camp-999999/stream",
+	} {
+		resp, err := http.Get(url)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusNotFound {
+			t.Errorf("GET %s status %d, want 404", url, resp.StatusCode)
+		}
+	}
+	req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/campaigns/camp-999999", nil)
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("DELETE unknown status %d, want 404", resp.StatusCode)
+	}
+
+	sresp, body := postCampaign(t, srv, gridCampaign())
+	if sresp.StatusCode != http.StatusAccepted {
+		t.Fatalf("submit status %d: %s", sresp.StatusCode, body)
+	}
+	var v campaign.View
+	if err := json.Unmarshal(body, &v); err != nil {
+		t.Fatal(err)
+	}
+	// Cancel twice: both return the view, the second against a terminal
+	// campaign.
+	for i := 0; i < 2; i++ {
+		req, _ := http.NewRequest(http.MethodDelete, srv.URL+"/v1/campaigns/"+v.ID, nil)
+		resp, err := http.DefaultClient.Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cv campaign.View
+		err = json.NewDecoder(resp.Body).Decode(&cv)
+		resp.Body.Close()
+		if err != nil || resp.StatusCode != http.StatusOK {
+			t.Fatalf("cancel %d: status %d err %v", i, resp.StatusCode, err)
+		}
+		if cv.Status == campaign.StatusRunning {
+			t.Errorf("cancel %d: campaign still running", i)
+		}
+	}
+}

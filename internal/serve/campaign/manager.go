@@ -1,0 +1,745 @@
+package campaign
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"strconv"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runner"
+	"repro/internal/serve/queue"
+)
+
+// ErrBudget rejects a campaign whose estimated expansion, together with
+// the unexpanded remainder of every live campaign, exceeds the configured
+// budget. The API layer maps it to 429 + Retry-After.
+var ErrBudget = errors.New("campaign: expansion budget exhausted")
+
+// ErrNotFound reports an unknown campaign ID.
+var ErrNotFound = errors.New("campaign: not found")
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Sched admits expanded specs; required.
+	Sched *queue.Scheduler
+	// Journal persists campaign records (nil = no durability). Pass the
+	// same journal the scheduler uses so one fsync stream orders campaign
+	// state against job admissions.
+	Journal *queue.Journal
+	// Budget caps the total estimated expansion (new campaign + live
+	// remainders); 0 defaults to 1<<20 — a million jobs.
+	Budget int64
+	// Slots caps campaign jobs concurrently in flight across all
+	// campaigns (0 = 16). Deduped cache answers are born done and never
+	// hold a slot.
+	Slots int
+	// TenantSlots caps per-tenant in-flight jobs (0 = Slots).
+	TenantSlots int
+	// CursorEvery journals the expansion cursor every N admissions
+	// (0 = 32). The cursor trails admissions, never leads them: a crash
+	// re-admits at most CursorEvery indices, each of which dedups onto
+	// the cache or the journal-recovered job.
+	CursorEvery int
+	// Obs registers campaign metrics when non-nil.
+	Obs *obs.Registry
+	// Log is the manager's logger (nil discards).
+	Log *obs.Logger
+}
+
+// Manager expands campaigns lazily and fairly. One pump goroutine owns
+// admission: it picks the next (campaign, index) by weighted fair
+// queueing, materializes exactly that spec, and submits it through the
+// scheduler; per-job watcher goroutines fold terminal results into the
+// campaign's aggregates and release admission slots.
+type Manager struct {
+	cfg   Config
+	sched *queue.Scheduler
+	log   *obs.Logger
+	o     *mgrObs
+
+	mu             sync.Mutex
+	camps          map[string]*Campaign
+	order          []string
+	nextID         uint64
+	fair           *wfq
+	inflight       int
+	tenantInflight map[string]int
+
+	kick   chan struct{}
+	runCtx context.Context
+	wg     sync.WaitGroup
+}
+
+// Campaign is one live or terminal campaign.
+type Campaign struct {
+	id  string
+	gen *Generator
+
+	mu     sync.Mutex
+	spec   Spec // normalized
+	status Status
+	errMsg string
+
+	// next is the first unexpanded generator index; recoveredBelow marks
+	// indices admitted by a pre-crash incarnation (re-admissions of those
+	// count as "recovered", not fresh work); cursorHW is the journaled
+	// cursor high-water.
+	next           int64
+	recoveredBelow int64
+	cursorHW       int64
+
+	expanded, admitted, running int64
+	completed, deduped, failed  int64
+	recovered                   int64
+	entries                     []entry
+	agg                         *agg
+	digest                      string
+
+	done     chan struct{}
+	doneOnce sync.Once
+}
+
+// entry is the per-expanded-index record backing JobRef.
+type entry struct {
+	index              int64
+	jobID, specHash    string
+	mode               string
+	status             string
+	stateHash          string
+	deduped, recovered bool
+	errMsg             string
+}
+
+// New builds a Manager. Call Recover (optionally) then Start.
+func New(cfg Config) *Manager {
+	if cfg.Budget <= 0 {
+		cfg.Budget = 1 << 20
+	}
+	if cfg.Slots <= 0 {
+		cfg.Slots = 16
+	}
+	if cfg.TenantSlots <= 0 {
+		cfg.TenantSlots = cfg.Slots
+	}
+	if cfg.CursorEvery <= 0 {
+		cfg.CursorEvery = 32
+	}
+	m := &Manager{
+		cfg:            cfg,
+		sched:          cfg.Sched,
+		log:            cfg.Log.With(obs.Str("sub", "campaign")),
+		camps:          make(map[string]*Campaign),
+		fair:           newWFQ(),
+		tenantInflight: make(map[string]int),
+		kick:           make(chan struct{}, 1),
+		nextID:         1,
+	}
+	if cfg.Journal != nil {
+		m.nextID = cfg.Journal.NextCampaignNum()
+	}
+	if cfg.Obs != nil {
+		m.o = newMgrObs(cfg.Obs)
+	}
+	return m
+}
+
+// Recover re-registers the journal's live campaigns under their original
+// IDs. Call after the scheduler's own Recover and before Start: the pump
+// then re-admits indices below each journaled cursor (they dedup onto the
+// cache or the recovered jobs, counted as outcome "recovered") and
+// resumes fresh expansion from the cursor. Returns the number of
+// campaigns resumed.
+func (m *Manager) Recover() (int, error) {
+	if m.cfg.Journal == nil {
+		return 0, nil
+	}
+	resumed := 0
+	for _, pc := range m.cfg.Journal.PendingCampaigns() {
+		var spec Spec
+		err := json.Unmarshal(pc.Spec, &spec)
+		if err == nil {
+			spec, err = spec.Normalized()
+		}
+		var gen *Generator
+		if err == nil {
+			gen, err = NewGenerator(spec.Generator)
+		}
+		if err != nil {
+			// A journaled campaign that no longer validates (e.g. written
+			// by a newer build) is failed rather than wedged forever.
+			m.log.Warn("recovered campaign invalid", obs.Str("campaign", pc.ID), obs.Str("err", err.Error()))
+			if jerr := m.cfg.Journal.CampaignFailed(pc.ID, "recovery: "+err.Error()); jerr != nil {
+				return resumed, jerr
+			}
+			continue
+		}
+		c := &Campaign{
+			id:             pc.ID,
+			gen:            gen,
+			spec:           spec,
+			status:         StatusRunning,
+			recoveredBelow: pc.Cursor,
+			cursorHW:       pc.Cursor,
+			agg:            newAgg(),
+			done:           make(chan struct{}),
+		}
+		m.mu.Lock()
+		m.camps[c.id] = c
+		m.order = append(m.order, c.id)
+		m.mu.Unlock()
+		m.o.campaignEvent("recovered")
+		m.log.Info("campaign recovered",
+			obs.Str("campaign", c.id), obs.Str("tenant", spec.Tenant),
+			obs.Str("cursor", strconv.FormatInt(pc.Cursor, 10)),
+			obs.Str("total", strconv.FormatInt(gen.Total(), 10)))
+		resumed++
+	}
+	m.o.setActive(m.activeCount())
+	return resumed, nil
+}
+
+// Start launches the admission pump. ctx cancellation stops expansion;
+// live campaigns stay journaled for the next incarnation's Recover.
+func (m *Manager) Start(ctx context.Context) {
+	m.runCtx = ctx
+	m.wg.Add(1)
+	go m.pump(ctx)
+	m.kickPump()
+}
+
+// Wait blocks until the pump and every watcher have exited. Call after
+// the scheduler's own shutdown has resolved outstanding jobs.
+func (m *Manager) Wait() { m.wg.Wait() }
+
+// Submit validates, journals and registers a new campaign. The campaign
+// is expanded asynchronously; the returned Campaign is live immediately.
+func (m *Manager) Submit(spec Spec) (*Campaign, error) {
+	spec, err := spec.Normalized()
+	if err != nil {
+		m.o.campaignEvent("rejected")
+		return nil, err
+	}
+	gen, err := NewGenerator(spec.Generator)
+	if err != nil {
+		m.o.campaignEvent("rejected")
+		return nil, err
+	}
+
+	m.mu.Lock()
+	if gen.Total()+m.liveRemainderLocked() > m.cfg.Budget {
+		m.mu.Unlock()
+		m.o.campaignEvent("rejected")
+		return nil, fmt.Errorf("%w: estimated %d jobs over budget %d", ErrBudget, gen.Total(), m.cfg.Budget)
+	}
+	id := fmt.Sprintf("camp-%06d", m.nextID)
+	next := m.nextID + 1
+	m.mu.Unlock()
+
+	if m.cfg.Journal != nil {
+		// Journal-then-ack, mirroring job admission: the campaign record
+		// must be durable before the ID is visible.
+		raw, err := json.Marshal(spec)
+		if err != nil {
+			return nil, err
+		}
+		if err := m.cfg.Journal.CampaignSubmitted(id, raw, next); err != nil {
+			return nil, fmt.Errorf("campaign: journal admission: %w", err)
+		}
+	}
+
+	c := &Campaign{
+		id:     id,
+		gen:    gen,
+		spec:   spec,
+		status: StatusRunning,
+		agg:    newAgg(),
+		done:   make(chan struct{}),
+	}
+	m.mu.Lock()
+	m.nextID = next
+	m.camps[id] = c
+	m.order = append(m.order, id)
+	m.mu.Unlock()
+	m.o.campaignEvent("submitted")
+	m.o.setActive(m.activeCount())
+	m.log.Info("campaign submitted",
+		obs.Str("campaign", id), obs.Str("tenant", spec.Tenant),
+		obs.Str("kind", gen.Kind()),
+		obs.Str("total", strconv.FormatInt(gen.Total(), 10)))
+	m.kickPump()
+	return c, nil
+}
+
+// liveRemainderLocked sums the unfinished estimate of every live
+// campaign; caller holds m.mu.
+func (m *Manager) liveRemainderLocked() int64 {
+	var sum int64
+	for _, c := range m.camps {
+		c.mu.Lock()
+		if c.status == StatusRunning {
+			if rem := c.gen.Total() - (c.completed + c.failed); rem > 0 {
+				sum += rem
+			}
+		}
+		c.mu.Unlock()
+	}
+	return sum
+}
+
+// Get returns a campaign by ID.
+func (m *Manager) Get(id string) (*Campaign, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	c, ok := m.camps[id]
+	return c, ok
+}
+
+// List snapshots every campaign in submission order.
+func (m *Manager) List() []View {
+	m.mu.Lock()
+	ids := append([]string(nil), m.order...)
+	m.mu.Unlock()
+	out := make([]View, 0, len(ids))
+	for _, id := range ids {
+		if c, ok := m.Get(id); ok {
+			out = append(out, c.View(false))
+		}
+	}
+	return out
+}
+
+// Cancel stops a campaign's expansion. Jobs already admitted run to
+// completion under the scheduler; the campaign's journal record is
+// closed so it will not be resumed.
+func (m *Manager) Cancel(id string) (View, error) {
+	c, ok := m.Get(id)
+	if !ok {
+		return View{}, ErrNotFound
+	}
+	c.mu.Lock()
+	if c.status != StatusRunning {
+		c.mu.Unlock()
+		return c.View(false), nil
+	}
+	c.status = StatusCancelled
+	c.errMsg = "cancelled"
+	c.mu.Unlock()
+	if m.cfg.Journal != nil {
+		if err := m.cfg.Journal.CampaignFailed(id, "cancelled"); err != nil {
+			m.log.Warn("journal cancel", obs.Str("campaign", id), obs.Str("err", err.Error()))
+		}
+	}
+	m.mu.Lock()
+	m.fair.forget(id)
+	m.mu.Unlock()
+	m.o.campaignEvent("cancelled")
+	m.o.setActive(m.activeCount())
+	c.signalDone()
+	m.kickPump()
+	m.log.Info("campaign cancelled", obs.Str("campaign", id))
+	return c.View(false), nil
+}
+
+func (m *Manager) kickPump() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+func (m *Manager) activeCount() int64 {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	var n int64
+	for _, c := range m.camps {
+		c.mu.Lock()
+		if c.status == StatusRunning {
+			n++
+		}
+		c.mu.Unlock()
+	}
+	return n
+}
+
+// pump is the single admission loop: WFQ pick, lazy expansion of exactly
+// one index, submission, repeat. Queue-full is throttling, never loss —
+// the pump backs off and retries the same index.
+func (m *Manager) pump(ctx context.Context) {
+	defer m.wg.Done()
+	for {
+		if ctx.Err() != nil {
+			return
+		}
+		c := m.pickCampaign()
+		if c == nil {
+			select {
+			case <-ctx.Done():
+				return
+			case <-m.kick:
+			}
+			continue
+		}
+		m.admitNext(ctx, c)
+	}
+}
+
+// pickCampaign returns the WFQ choice among campaigns that are running,
+// not fully expanded, and within the global and per-tenant slot quotas.
+func (m *Manager) pickCampaign() *Campaign {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.inflight >= m.cfg.Slots {
+		return nil
+	}
+	var ids []string
+	weights := make(map[string]float64)
+	var backlog int64
+	for _, id := range m.order {
+		c := m.camps[id]
+		c.mu.Lock()
+		eligible := c.status == StatusRunning && c.next < c.gen.Total()
+		if eligible {
+			backlog += c.gen.Total() - c.next
+		}
+		tenant, w := c.spec.Tenant, float64(c.spec.Weight)
+		c.mu.Unlock()
+		if !eligible || m.tenantInflight[tenant] >= m.cfg.TenantSlots {
+			continue
+		}
+		ids = append(ids, id)
+		weights[id] = w
+	}
+	m.o.setBacklog(backlog)
+	pick := m.fair.pick(ids, func(id string) float64 { return weights[id] })
+	if pick == "" {
+		return nil
+	}
+	return m.camps[pick]
+}
+
+// admitNext expands campaign index c.next and submits it.
+func (m *Manager) admitNext(ctx context.Context, c *Campaign) {
+	c.mu.Lock()
+	if c.status != StatusRunning || c.next >= c.gen.Total() {
+		c.mu.Unlock()
+		return
+	}
+	idx := c.next
+	c.next++
+	c.expanded++
+	recovered := idx < c.recoveredBelow
+	tenant := c.spec.Tenant
+	c.mu.Unlock()
+
+	spec, err := c.gen.At(idx)
+	if err != nil {
+		// An index whose decoded values don't fit the spec fields is a
+		// terminal per-index failure, not a campaign failure.
+		c.mu.Lock()
+		c.entries = append(c.entries, entry{index: idx, status: "invalid", errMsg: err.Error()})
+		c.failed++
+		c.mu.Unlock()
+		m.o.jobOutcome("invalid")
+		m.journalCursor(c)
+		m.maybeFinalize(c)
+		return
+	}
+
+	var job *queue.Job
+	for {
+		job, err = m.sched.SubmitOpts(spec, queue.SubmitOptions{Flow: "campaign/" + c.id})
+		if err == nil {
+			break
+		}
+		if errors.Is(err, queue.ErrQueueFull) {
+			// Throttled, never dropped: hold this index until the queue
+			// drains below the bulk-admission limit.
+			if !sleepCtx(ctx, 50*time.Millisecond) {
+				// Shutdown mid-backoff: rewind so the index is not lost to
+				// this incarnation's counters (the journal cursor already
+				// trails it, so the next incarnation re-expands it anyway).
+				c.mu.Lock()
+				if c.next == idx+1 {
+					c.next--
+					c.expanded--
+				}
+				c.mu.Unlock()
+				return
+			}
+			continue
+		}
+		c.mu.Lock()
+		c.entries = append(c.entries, entry{index: idx, status: "invalid", errMsg: err.Error()})
+		c.failed++
+		c.mu.Unlock()
+		m.o.jobOutcome("invalid")
+		m.journalCursor(c)
+		m.maybeFinalize(c)
+		return
+	}
+
+	snap := job.Snapshot()
+	e := entry{
+		index:     idx,
+		jobID:     job.ID,
+		specHash:  job.SpecHash,
+		mode:      snap.Spec.Mode,
+		status:    string(snap.Status),
+		deduped:   snap.Cached,
+		recovered: recovered,
+	}
+
+	terminal := false
+	select {
+	case <-job.Done():
+		terminal = true
+	default:
+	}
+
+	c.mu.Lock()
+	c.admitted++
+	c.agg.admit(e.mode)
+	eIdx := len(c.entries)
+	c.entries = append(c.entries, e)
+	if !terminal {
+		c.running++
+	}
+	c.mu.Unlock()
+
+	switch {
+	case recovered:
+		m.o.jobOutcome("recovered")
+	case snap.Cached:
+		m.o.jobOutcome("deduped")
+	default:
+		m.o.jobOutcome("admitted")
+	}
+
+	if terminal {
+		// Cache answers are born done: fold the cached result into the
+		// aggregates right away — a deduped job still reports.
+		m.finishEntry(c, eIdx, job, false)
+	} else {
+		m.mu.Lock()
+		m.inflight++
+		m.tenantInflight[tenant]++
+		m.o.setInflight(int64(m.inflight))
+		m.mu.Unlock()
+		m.wg.Add(1)
+		go m.watch(c, eIdx, job, tenant)
+	}
+	m.journalCursor(c)
+}
+
+// journalCursor persists the expansion cursor when it has advanced by
+// CursorEvery since the last write (or the campaign is fully expanded).
+// Written after the admissions it covers, so a crash can only re-admit —
+// and re-admissions dedup.
+func (m *Manager) journalCursor(c *Campaign) {
+	if m.cfg.Journal == nil {
+		return
+	}
+	c.mu.Lock()
+	cur := c.next
+	write := c.status == StatusRunning &&
+		cur > c.cursorHW &&
+		(cur-c.cursorHW >= int64(m.cfg.CursorEvery) || cur == c.gen.Total())
+	if write {
+		c.cursorHW = cur
+	}
+	c.mu.Unlock()
+	if !write {
+		return
+	}
+	if err := m.cfg.Journal.CampaignCursor(c.id, cur); err != nil {
+		m.log.Warn("journal cursor", obs.Str("campaign", c.id), obs.Str("err", err.Error()))
+	}
+}
+
+// watch waits for one admitted job's terminal state.
+func (m *Manager) watch(c *Campaign, eIdx int, job *queue.Job, tenant string) {
+	defer m.wg.Done()
+	<-job.Done()
+	m.finishEntry(c, eIdx, job, true)
+	m.mu.Lock()
+	m.inflight--
+	m.tenantInflight[tenant]--
+	if m.tenantInflight[tenant] <= 0 {
+		delete(m.tenantInflight, tenant)
+	}
+	m.o.setInflight(int64(m.inflight))
+	m.mu.Unlock()
+	m.kickPump()
+}
+
+// finishEntry folds one terminal job into the campaign.
+func (m *Manager) finishEntry(c *Campaign, eIdx int, job *queue.Job, fromWatch bool) {
+	payload, ok := job.Result()
+	var res runner.Result
+	if ok {
+		if err := json.Unmarshal(payload, &res); err != nil {
+			ok = false
+		}
+	}
+	snap := job.Snapshot()
+
+	shuttingDown := m.runCtx != nil && m.runCtx.Err() != nil
+
+	c.mu.Lock()
+	e := &c.entries[eIdx]
+	if fromWatch {
+		c.running--
+	}
+	if ok {
+		e.status = string(queue.StatusDone)
+		e.stateHash = res.StateHash
+		c.completed++
+		if e.deduped {
+			c.deduped++
+		}
+		if e.recovered {
+			c.recovered++
+		}
+		c.agg.complete(e.mode, &res)
+	} else if shuttingDown {
+		// Scheduler shutdown fails queued jobs; don't count those against
+		// the campaign — the next incarnation re-runs them.
+		e.status = string(queue.StatusQueued)
+	} else {
+		e.status = string(queue.StatusFailed)
+		e.errMsg = snap.Error
+		c.failed++
+		c.agg.fail(e.mode)
+	}
+	c.mu.Unlock()
+
+	if ok {
+		m.o.jobOutcome("completed")
+	} else if !shuttingDown {
+		m.o.jobOutcome("failed")
+	}
+	m.maybeFinalize(c)
+}
+
+// maybeFinalize completes the campaign once fully expanded and drained.
+// During shutdown it leaves the campaign live so the journal's pending
+// record carries it into the next incarnation.
+func (m *Manager) maybeFinalize(c *Campaign) {
+	if m.runCtx != nil && m.runCtx.Err() != nil {
+		return
+	}
+	c.mu.Lock()
+	if c.status != StatusRunning || c.next < c.gen.Total() || c.running > 0 ||
+		c.completed+c.failed < c.gen.Total() {
+		c.mu.Unlock()
+		return
+	}
+	pairs := make([]string, 0, len(c.entries))
+	for i := range c.entries {
+		e := &c.entries[i]
+		if e.status == string(queue.StatusDone) && e.stateHash != "" {
+			pairs = append(pairs, e.specHash+" "+e.stateHash)
+		}
+	}
+	c.digest = ResultDigest(pairs)
+	c.status = StatusCompleted
+	completed, failed := c.completed, c.failed
+	c.mu.Unlock()
+
+	if m.cfg.Journal != nil {
+		if err := m.cfg.Journal.CampaignDone(c.id); err != nil {
+			m.log.Warn("journal done", obs.Str("campaign", c.id), obs.Str("err", err.Error()))
+		}
+	}
+	m.mu.Lock()
+	m.fair.forget(c.id)
+	m.mu.Unlock()
+	m.o.campaignEvent("completed")
+	m.o.setActive(m.activeCount())
+	c.signalDone()
+	m.log.Info("campaign completed",
+		obs.Str("campaign", c.id),
+		obs.Str("completed", strconv.FormatInt(completed, 10)),
+		obs.Str("failed", strconv.FormatInt(failed, 10)))
+}
+
+// sleepCtx sleeps for d, returning false if ctx ends first.
+func sleepCtx(ctx context.Context, d time.Duration) bool {
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-ctx.Done():
+		return false
+	case <-t.C:
+		return true
+	}
+}
+
+// ID returns the campaign's stable identity ("camp-000001").
+func (c *Campaign) ID() string { return c.id }
+
+// Done is closed when the campaign reaches a terminal state.
+func (c *Campaign) Done() <-chan struct{} { return c.done }
+
+func (c *Campaign) signalDone() { c.doneOnce.Do(func() { close(c.done) }) }
+
+// Aggregates snapshots the campaign's running aggregates.
+func (c *Campaign) Aggregates() Aggregates {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.aggregatesLocked()
+}
+
+func (c *Campaign) aggregatesLocked() Aggregates {
+	out := Aggregates{
+		Total:     c.gen.Total(),
+		Expanded:  c.expanded,
+		Admitted:  c.admitted,
+		Running:   c.running,
+		Completed: c.completed,
+		Deduped:   c.deduped,
+		Recovered: c.recovered,
+		Failed:    c.failed,
+	}
+	c.agg.stats(&out)
+	out.ResultDigest = c.digest
+	return out
+}
+
+// View snapshots the campaign; includeJobs adds one JobRef per expanded
+// index, in expansion order.
+func (c *Campaign) View(includeJobs bool) View {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v := View{
+		ID:         c.id,
+		Tenant:     c.spec.Tenant,
+		Weight:     c.spec.Weight,
+		Status:     c.status,
+		Error:      c.errMsg,
+		Spec:       c.spec,
+		Aggregates: c.aggregatesLocked(),
+	}
+	if includeJobs {
+		v.Jobs = make([]JobRef, len(c.entries))
+		for i := range c.entries {
+			e := &c.entries[i]
+			v.Jobs[i] = JobRef{
+				Index:     e.index,
+				JobID:     e.jobID,
+				SpecHash:  e.specHash,
+				Mode:      e.mode,
+				Status:    e.status,
+				StateHash: e.stateHash,
+				Deduped:   e.deduped,
+				Recovered: e.recovered,
+				Error:     e.errMsg,
+			}
+		}
+	}
+	return v
+}

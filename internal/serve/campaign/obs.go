@@ -1,0 +1,67 @@
+package campaign
+
+import "repro/internal/obs"
+
+// mgrObs is the manager's pre-resolved instrument set. A nil *mgrObs (no
+// registry configured) disables everything through the nil-receiver
+// guards, mirroring the scheduler's schedObs.
+type mgrObs struct {
+	campaigns obs.CounterVec // label: event
+	jobs      obs.CounterVec // label: outcome
+
+	active, inflight, backlog obs.Gauge
+}
+
+func newMgrObs(r *obs.Registry) *mgrObs {
+	return &mgrObs{
+		campaigns: r.CounterVec("precisiond_campaigns_total",
+			"Campaign lifecycle traffic by event.", "event"),
+		jobs: r.CounterVec("precisiond_campaign_jobs_total",
+			"Campaign job expansion traffic by outcome (deduped = answered from cache before admission).", "outcome"),
+		active: r.Gauge("precisiond_campaigns_active",
+			"Campaigns currently expanding or draining."),
+		inflight: r.Gauge("precisiond_campaign_inflight",
+			"Campaign jobs admitted and not yet terminal (slot usage)."),
+		backlog: r.Gauge("precisiond_campaign_backlog",
+			"Unexpanded indices across live campaigns."),
+	}
+}
+
+// campaignEvent counts one campaign lifecycle event:
+// submitted | completed | cancelled | rejected | recovered.
+func (o *mgrObs) campaignEvent(event string) {
+	if o == nil {
+		return
+	}
+	o.campaigns.With(event).Inc()
+}
+
+// jobOutcome counts one expanded index's outcome:
+// admitted | deduped | recovered | completed | failed | invalid.
+func (o *mgrObs) jobOutcome(outcome string) {
+	if o == nil {
+		return
+	}
+	o.jobs.With(outcome).Inc()
+}
+
+func (o *mgrObs) setActive(n int64) {
+	if o == nil {
+		return
+	}
+	o.active.Set(n)
+}
+
+func (o *mgrObs) setInflight(n int64) {
+	if o == nil {
+		return
+	}
+	o.inflight.Set(n)
+}
+
+func (o *mgrObs) setBacklog(n int64) {
+	if o == nil {
+		return
+	}
+	o.backlog.Set(n)
+}

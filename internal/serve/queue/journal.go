@@ -35,6 +35,15 @@ const (
 	recEscalated = "escalated" // numerical failure climbed the ladder
 	recDone      = "done"      // completed (result in the cache)
 	recFailed    = "failed"    // terminal failure
+
+	// Campaign records share the same journal file so one fsync stream
+	// orders campaign state against the job admissions it produced. The
+	// campaign spec is opaque bytes here (internal/serve/campaign owns the
+	// shape); per-job status rides on the ordinary job records above.
+	recCampaign       = "campaign"        // campaign admitted (pre-ack)
+	recCampaignCursor = "campaign_cursor" // expansion progress high-water
+	recCampaignDone   = "campaign_done"   // every expanded job terminal
+	recCampaignFailed = "campaign_failed" // terminal failure / cancellation
 )
 
 // journalRecord is one NDJSON line.
@@ -48,6 +57,11 @@ type journalRecord struct {
 	Error       string                 `json:"error,omitempty"`
 	Escalations []runner.Escalation    `json:"escalations,omitempty"`
 	NextJob     uint64                 `json:"next_job,omitempty"`
+
+	CampaignID   string          `json:"campaign_id,omitempty"`
+	Campaign     json.RawMessage `json:"campaign,omitempty"`
+	Cursor       int64           `json:"cursor,omitempty"`
+	NextCampaign uint64          `json:"next_campaign,omitempty"`
 }
 
 // PendingJob is one journal job owed an execution: admitted (and possibly
@@ -62,16 +76,28 @@ type PendingJob struct {
 	Started bool
 }
 
+// PendingCampaign is one journal campaign owed a resumption: admitted but
+// never terminal. Spec is the opaque campaign spec bytes recorded at
+// admission; Cursor is the expansion high-water mark (specs with a lower
+// generator index were already admitted as jobs before the crash).
+type PendingCampaign struct {
+	ID     string
+	Spec   json.RawMessage
+	Cursor int64
+}
+
 // Journal is the scheduler's write-ahead log. All appends are serialized
 // and fsynced; the last sync failure is retained for health reporting.
 type Journal struct {
-	mu      sync.Mutex
-	f       *os.File
-	path    string
-	seq     uint64
-	nextJob uint64
-	pending []PendingJob
-	syncErr error
+	mu           sync.Mutex
+	f            *os.File
+	path         string
+	seq          uint64
+	nextJob      uint64
+	nextCampaign uint64
+	pending      []PendingJob
+	pendingCamps []PendingCampaign
+	syncErr      error
 	// lastErr is the most recent append failure ever seen — unlike syncErr
 	// it is not cleared by a later success, so /healthz can report the last
 	// durability incident even after recovery.
@@ -90,7 +116,7 @@ func (j *Journal) setFsyncHist(h *obs.Histogram) {
 // returning it ready for appends. Pending lists the jobs owed an
 // execution, in admission order.
 func OpenJournal(path string) (*Journal, error) {
-	j := &Journal{path: path, nextJob: 1}
+	j := &Journal{path: path, nextJob: 1, nextCampaign: 1}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
@@ -120,7 +146,12 @@ func (j *Journal) replayAndCompact() error {
 		PendingJob
 		order int
 	}
+	type liveCampaign struct {
+		PendingCampaign
+		order int
+	}
 	live := map[string]*liveJob{}
+	liveCamps := map[string]*liveCampaign{}
 	order := 0
 	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 1<<16), 1<<22)
@@ -140,6 +171,9 @@ func (j *Journal) replayAndCompact() error {
 		}
 		if rec.NextJob > j.nextJob {
 			j.nextJob = rec.NextJob
+		}
+		if rec.NextCampaign > j.nextCampaign {
+			j.nextCampaign = rec.NextCampaign
 		}
 		switch rec.Type {
 		case recSubmitted:
@@ -164,6 +198,22 @@ func (j *Journal) replayAndCompact() error {
 			}
 		case recDone, recFailed:
 			delete(live, rec.JobID)
+		case recCampaign:
+			if rec.CampaignID == "" || len(rec.Campaign) == 0 {
+				continue
+			}
+			lc := &liveCampaign{order: order}
+			order++
+			lc.ID = rec.CampaignID
+			lc.Spec = append(json.RawMessage(nil), rec.Campaign...)
+			lc.Cursor = rec.Cursor // compacted records carry the high-water
+			liveCamps[rec.CampaignID] = lc
+		case recCampaignCursor:
+			if lc, ok := liveCamps[rec.CampaignID]; ok && rec.Cursor > lc.Cursor {
+				lc.Cursor = rec.Cursor
+			}
+		case recCampaignDone, recCampaignFailed:
+			delete(liveCamps, rec.CampaignID)
 		}
 	}
 
@@ -180,6 +230,20 @@ func (j *Journal) replayAndCompact() error {
 	for i, lj := range ordered {
 		j.pending[i] = lj.PendingJob
 	}
+
+	orderedCamps := make([]*liveCampaign, 0, len(liveCamps))
+	for _, lc := range liveCamps {
+		orderedCamps = append(orderedCamps, lc)
+	}
+	for i := 1; i < len(orderedCamps); i++ { // insertion sort by admission order
+		for k := i; k > 0 && orderedCamps[k-1].order > orderedCamps[k].order; k-- {
+			orderedCamps[k-1], orderedCamps[k] = orderedCamps[k], orderedCamps[k-1]
+		}
+	}
+	j.pendingCamps = make([]PendingCampaign, len(orderedCamps))
+	for i, lc := range orderedCamps {
+		j.pendingCamps[i] = lc.PendingCampaign
+	}
 	return j.writeCompacted()
 }
 
@@ -194,9 +258,20 @@ func (j *Journal) writeCompacted() error {
 	w := bufio.NewWriter(tmp)
 	enc := json.NewEncoder(w)
 	j.seq++
-	if err := enc.Encode(journalRecord{Seq: j.seq, Type: recMeta, NextJob: j.nextJob}); err != nil {
+	if err := enc.Encode(journalRecord{Seq: j.seq, Type: recMeta, NextJob: j.nextJob, NextCampaign: j.nextCampaign}); err != nil {
 		tmp.Close()
 		return fmt.Errorf("journal: compact: %w", err)
+	}
+	for _, c := range j.pendingCamps {
+		j.seq++
+		rec := journalRecord{
+			Seq: j.seq, Type: recCampaign,
+			CampaignID: c.ID, Campaign: c.Spec, Cursor: c.Cursor,
+		}
+		if err := enc.Encode(rec); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
 	}
 	for _, p := range j.pending {
 		j.seq++
@@ -311,6 +386,57 @@ func (j *Journal) Done(jobID string) error {
 // Failed journals a terminal failure.
 func (j *Journal) Failed(jobID, errMsg string) error {
 	return j.append(journalRecord{Type: recFailed, JobID: jobID, Error: errMsg})
+}
+
+// PendingCampaigns returns the campaigns owed a resumption, in admission
+// order.
+func (j *Journal) PendingCampaigns() []PendingCampaign {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]PendingCampaign(nil), j.pendingCamps...)
+}
+
+// NextCampaignNum returns the first campaign number not yet used by any
+// journaled campaign, so recovered and fresh campaign IDs never collide.
+func (j *Journal) NextCampaignNum() uint64 {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.nextCampaign
+}
+
+// CampaignSubmitted journals a campaign admission (the opaque spec bytes
+// belong to internal/serve/campaign), recording the next campaign number
+// alongside so ID allocation survives compaction. Must succeed before the
+// campaign is acknowledged.
+func (j *Journal) CampaignSubmitted(id string, spec []byte, nextNum uint64) error {
+	j.mu.Lock()
+	if nextNum > j.nextCampaign {
+		j.nextCampaign = nextNum
+	}
+	j.mu.Unlock()
+	return j.append(journalRecord{
+		Type: recCampaign, CampaignID: id, Campaign: json.RawMessage(spec),
+		NextCampaign: nextNum,
+	})
+}
+
+// CampaignCursor journals the campaign's expansion high-water mark: every
+// generator index below cursor has been admitted as a job (and is therefore
+// owned by the job records), so a resumed campaign re-attaches those and
+// expands fresh from cursor.
+func (j *Journal) CampaignCursor(id string, cursor int64) error {
+	return j.append(journalRecord{Type: recCampaignCursor, CampaignID: id, Cursor: cursor})
+}
+
+// CampaignDone journals campaign completion (every expanded job terminal).
+func (j *Journal) CampaignDone(id string) error {
+	return j.append(journalRecord{Type: recCampaignDone, CampaignID: id})
+}
+
+// CampaignFailed journals a terminal campaign failure or cancellation so it
+// is not replayed on the next boot.
+func (j *Journal) CampaignFailed(id, errMsg string) error {
+	return j.append(journalRecord{Type: recCampaignFailed, CampaignID: id, Error: errMsg})
 }
 
 // SyncErr returns the most recent append/fsync failure, or nil when the

@@ -89,6 +89,7 @@ type Job struct {
 	tryResume   bool
 	everPlaced  bool
 	backend     string
+	flow        string
 	timeout     time.Duration
 	escalations []runner.Escalation
 	result      []byte
@@ -123,7 +124,10 @@ type View struct {
 	// Backend reports where the latest attempt was placed: "local", or
 	// "fleet/worker-NNN" for a remote lease.
 	Backend string `json:"backend,omitempty"`
-	Error   string `json:"error,omitempty"`
+	// Flow labels bulk-admission traffic ("" for interactive submissions;
+	// "campaign/<id>" for server-side campaign expansion).
+	Flow  string `json:"flow,omitempty"`
+	Error string `json:"error,omitempty"`
 }
 
 // Snapshot captures the job's current state.
@@ -142,6 +146,7 @@ func (j *Job) Snapshot() View {
 		Attempts:    j.attempts.Load(),
 		Escalations: append([]runner.Escalation(nil), j.escalations...),
 		Backend:     j.backend,
+		Flow:        j.flow,
 		Error:       j.errMsg,
 	}
 }
@@ -246,6 +251,13 @@ type Config struct {
 	// AbandonGrace is how long a cancelled attempt may keep running before
 	// the local backend abandons it and moves on (default 2s).
 	AbandonGrace time.Duration
+	// ReserveInteractive holds this many queue slots exclusively for
+	// interactive submissions (Flow == ""): flow-labelled bulk traffic — a
+	// campaign expanding thousands of specs — is bounced with ErrQueueFull
+	// once the queue is within the reserve, so a single POST /v1/jobs
+	// always finds room no matter how large the campaign behind it is
+	// (0 = no reserve; the pre-campaign behavior).
+	ReserveInteractive int
 	// Retry bounds transient-failure retries (see RetryPolicy defaults).
 	Retry RetryPolicy
 	// Dispatch, when non-nil, is a shared dispatcher the scheduler places
@@ -270,6 +282,10 @@ type Config struct {
 type SubmitOptions struct {
 	// Timeout overrides Config.JobTimeout for this job (0 = inherit).
 	Timeout time.Duration
+	// Flow labels the admission's traffic class ("" = interactive). A
+	// non-empty flow is subject to Config.ReserveInteractive: bulk traffic
+	// never occupies the queue slots reserved for interactive submissions.
+	Flow string
 }
 
 // Stats counts scheduler traffic for /v1/cache/stats.
@@ -858,7 +874,14 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 		j.trace.Root().Event("dedup_hit")
 		return j, nil
 	}
-	if s.waiting >= s.cfg.QueueDepth {
+	limit := s.cfg.QueueDepth
+	if opts.Flow != "" && s.cfg.ReserveInteractive > 0 {
+		// Bulk flows stop short of the interactive reserve.
+		if limit -= s.cfg.ReserveInteractive; limit < 1 {
+			limit = 1
+		}
+	}
+	if s.waiting >= limit {
 		// Bounded admission, checked before the journal append so a
 		// rejected submission leaves no record to compensate.
 		s.rejected++
@@ -868,6 +891,7 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 	job := s.newJobLocked(n, hash)
 	job.status = StatusQueued
 	job.timeout = opts.Timeout
+	job.flow = opts.Flow
 	if s.cfg.Journal != nil {
 		// Journal-then-ack: the admission record must be durable before the
 		// job is visible or acknowledged (the fsync under s.mu serializes

@@ -258,3 +258,50 @@ func TestProgressVisibleWhileRunning(t *testing.T) {
 	close(fake.release)
 	waitDone(t, j)
 }
+
+// TestReserveInteractive: bulk flows (campaigns) stop short of the
+// interactive reserve, so a saturating campaign can never fill the last
+// queue slots — plain POST /v1/jobs traffic still gets in.
+func TestReserveInteractive(t *testing.T) {
+	fake := newFakeRun() // never released: worker stays busy
+	s := New(Config{Workers: 1, QueueDepth: 4, ReserveInteractive: 2, Run: fake.fn})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	// Occupy the worker so queue occupancy is deterministic.
+	if _, err := s.Submit(testSpec(10)); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for fake.executions.Load() == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("worker never started")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// Bulk traffic is capped at QueueDepth - ReserveInteractive = 2 slots.
+	bulk := SubmitOptions{Flow: "campaign/camp-000001"}
+	for i := 0; i < 2; i++ {
+		if _, err := s.SubmitOpts(testSpec(20+i), bulk); err != nil {
+			t.Fatalf("bulk submit %d within quota: %v", i, err)
+		}
+	}
+	if _, err := s.SubmitOpts(testSpec(30), bulk); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("bulk submit into reserve returned %v, want ErrQueueFull", err)
+	}
+
+	// Interactive submissions still land in the reserved slots.
+	for i := 0; i < 2; i++ {
+		if _, err := s.Submit(testSpec(40 + i)); err != nil {
+			t.Fatalf("interactive submit %d into reserve: %v", i, err)
+		}
+	}
+	// ... until the queue is truly full, reserve included.
+	if _, err := s.Submit(testSpec(50)); !errors.Is(err, ErrQueueFull) {
+		t.Fatalf("over-full interactive submit returned %v, want ErrQueueFull", err)
+	}
+
+	close(fake.release)
+}

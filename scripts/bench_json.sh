@@ -1,13 +1,15 @@
 #!/usr/bin/env bash
-# Read-path benchmark trajectory (ISSUE 6 satellite).
+# Benchmark trajectories (ISSUE 6 + ISSUE 7 satellites).
 #
-# Default mode: run the tiered read-path benchmarks and write BENCH_6.json
-# — one record per bench with ns/op, ops/sec, B/op and allocs/op. The file
-# is committed so the trajectory is versioned alongside the code.
+# Default mode: run the tiered read-path benchmarks and write BENCH_6.json,
+# then the campaign-expansion benchmark and write BENCH_7.json — one record
+# per bench with ns/op, ops/sec, B/op and allocs/op (for the campaign
+# bench, ops/sec is specs expanded+hashed per second). The files are
+# committed so the trajectory is versioned alongside the code.
 #
 # --check mode (the CI regression gate): re-run the benches on this
-# machine and compare against the committed BENCH_6.json. Two kinds of
-# assertion:
+# machine and compare against the committed BENCH_6.json/BENCH_7.json. Two
+# kinds of assertion:
 #   * machine-independent ratios, checked against the FRESH numbers — a
 #     hot-tier hit must be >=10x faster than a cold disk hit at >=10x
 #     fewer allocs/op, and a 304 must do no worse than the cold disk read
@@ -22,27 +24,38 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 GO=${GO:-go}
 OUT=BENCH_6.json
+OUT7=BENCH_7.json
 MODE=${1:-generate}
 
 raw=$(mktemp)
-trap 'rm -f "$raw"' EXIT
+raw7=$(mktemp)
+trap 'rm -f "$raw" "$raw7"' EXIT
 
 echo "== running read-path benchmarks (this takes ~10s)"
 $GO test -run '^$' -bench 'ReadPath' -benchmem -benchtime=1s \
     ./internal/serve/cache/ ./internal/serve/api/ | tee "$raw" | grep -E '^Benchmark' || {
     echo "FAIL: benchmarks did not run"; exit 1; }
 
+echo "== running campaign-expansion benchmark"
+$GO test -run '^$' -bench 'CampaignExpand' -benchmem -benchtime=1s \
+    ./internal/serve/campaign/ | tee "$raw7" | grep -E '^Benchmark' || {
+    echo "FAIL: campaign benchmark did not run"; exit 1; }
+
 # Parse `BenchmarkName-N  iters  ns/op  B/op  allocs/op` lines into JSON.
-json=$(awk '
+parse_json() { # parse_json <raw-file>
+    awk '
 /^Benchmark/ {
     name = $1; sub(/-[0-9]+$/, "", name); sub(/^Benchmark/, "", name)
     ns = $3; bytes = $5; allocs = $7
     ops = (ns > 0) ? 1e9 / ns : 0
     printf "%s{\"name\":\"%s\",\"ns_per_op\":%s,\"ops_per_sec\":%.0f,\"bytes_per_op\":%s,\"allocs_per_op\":%s}", sep, name, ns, ops, bytes, allocs
     sep = ",\n    "
-}' "$raw")
+}' "$1"
+}
+json=$(parse_json "$raw")
+json7=$(parse_json "$raw7")
 
-if [ -z "$json" ]; then
+if [ -z "$json" ] || [ -z "$json7" ]; then
     echo "FAIL: no benchmark lines parsed"; exit 1
 fi
 
@@ -72,16 +85,13 @@ check_ratios() { # check_ratios <json-file>
     echo "   ratio gates OK (hot >=10x faster, >=10x fewer allocs, 304 <= cold disk)"
 }
 
-if [ "$MODE" = "--check" ]; then
-    [ -f "$OUT" ] || { echo "FAIL: no committed $OUT to gate against"; exit 1; }
-    fresh=$(mktemp); trap 'rm -f "$raw" "$fresh"' EXIT
-    printf '%s\n' "$json" > "$fresh"
-    echo "== fresh-run ratio gates"
-    check_ratios "$fresh"
-    echo "== alloc regression gate vs committed $OUT (>20% fails)"
-    fail=0
-    for bench in ReadPathColdDisk ReadPathHotTier ReadPath304; do
-        base=$(get "$OUT" "$bench" allocs_per_op)
+# alloc_gate <committed-json> <fresh-json> <bench...>: allocs/op is
+# machine-independent, so any tracked bench allocating >20% more than the
+# committed number fails. Returns nonzero on any regression.
+alloc_gate() {
+    local committed=$1 fresh=$2 bench base now fail=0; shift 2
+    for bench in "$@"; do
+        base=$(get "$committed" "$bench" allocs_per_op)
         now=$(get "$fresh" "$bench" allocs_per_op)
         [ -n "$base" ] && [ -n "$now" ] || { echo "FAIL: $bench missing"; fail=1; continue; }
         if awk -v b="$base" -v n="$now" 'BEGIN{ exit !(n > b*1.2 && n > b+1) }'; then
@@ -91,6 +101,25 @@ if [ "$MODE" = "--check" ]; then
             echo "   $bench allocs/op: $base -> $now OK"
         fi
     done
+    return "$fail"
+}
+
+if [ "$MODE" = "--check" ]; then
+    [ -f "$OUT" ] || { echo "FAIL: no committed $OUT to gate against"; exit 1; }
+    [ -f "$OUT7" ] || { echo "FAIL: no committed $OUT7 to gate against"; exit 1; }
+    fresh=$(mktemp); fresh7=$(mktemp)
+    trap 'rm -f "$raw" "$raw7" "$fresh" "$fresh7"' EXIT
+    printf '%s\n' "$json" > "$fresh"
+    printf '%s\n' "$json7" > "$fresh7"
+    echo "== fresh-run ratio gates"
+    check_ratios "$fresh"
+    fail=0
+    echo "== alloc regression gate vs committed $OUT (>20% fails)"
+    alloc_gate "$OUT" "$fresh" ReadPathColdDisk ReadPathHotTier ReadPath304 || fail=1
+    echo "== alloc regression gate vs committed $OUT7 (>20% fails)"
+    alloc_gate "$OUT7" "$fresh7" CampaignExpand || fail=1
+    specs_sec=$(get "$fresh7" CampaignExpand ops_per_sec)
+    echo "   campaign expansion: ${specs_sec:-?} specs/sec"
     [ "$fail" = 0 ] || exit 1
     echo "PASS: bench regression gate"
     exit 0
@@ -107,5 +136,17 @@ cat > "$OUT" <<EOF
   ]
 }
 EOF
-echo "== wrote $OUT"
+cat > "$OUT7" <<EOF
+{
+  "schema": "bench-trajectory/v1",
+  "issue": 7,
+  "description": "Campaign lazy expansion: cursor walk + spec normalization + content-address hash per expanded spec (the dedup key derivation every admission pays).",
+  "command": "make bench-json",
+  "benchmarks": [
+    $json7
+  ]
+}
+EOF
+echo "== wrote $OUT and $OUT7"
 check_ratios "$OUT"
+echo "   campaign expansion: $(get "$OUT7" CampaignExpand ops_per_sec) specs/sec at $(get "$OUT7" CampaignExpand allocs_per_op) allocs/spec"

@@ -17,6 +17,10 @@
 # fleet, SIGKILLs a worker and then the coordinator mid-expansion, and
 # asserts the resumed campaign's aggregates bit-match a client-side sweep
 # and a warm resubmit is all dedup (DESIGN.md §12).
+# `make straggler-smoke` runs a campaign against a 3-worker fleet with one
+# fault-armed slow worker and asserts hedged re-dispatch absorbs it with a
+# bit-identical digest, hash-verified hedge pairs, the straggler ending
+# quarantined and a clean SIGTERM drain (DESIGN.md §13).
 # `make bench-par` regenerates the committed pool-vs-spawn dispatch
 # numbers in results/. `make bench-json` regenerates the committed
 # benchmark trajectories in BENCH_6.json (read path) and BENCH_7.json
@@ -25,7 +29,7 @@
 
 GO ?= go
 
-.PHONY: build test vet verify race serve-smoke chaos-smoke obs-smoke dispatch-smoke read-smoke campaign-smoke bench-par bench-step bench-json bench-gate
+.PHONY: build test vet verify race serve-smoke chaos-smoke obs-smoke dispatch-smoke read-smoke campaign-smoke straggler-smoke bench-par bench-step bench-json bench-gate
 
 build:
 	$(GO) build ./...
@@ -58,6 +62,9 @@ read-smoke:
 
 campaign-smoke:
 	GO="$(GO)" ./scripts/campaign_smoke.sh
+
+straggler-smoke:
+	GO="$(GO)" ./scripts/straggler_smoke.sh
 
 bench-json:
 	GO="$(GO)" ./scripts/bench_json.sh

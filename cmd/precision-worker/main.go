@@ -12,6 +12,8 @@
 //	precision-worker -slots 2 -lanes 2          # two concurrent leases
 //	precision-worker -apps clamr -modes min,mixed
 //	precision-worker -read-addr 127.0.0.1:0     # serve replica reads
+//	precision-worker -drain-grace 60s           # SIGTERM drain deadline
+//	precision-worker -faults 'worker.slow=x:4'  # act as a 4x straggler
 //
 // With -read-addr, the worker also participates in the coordinator's
 // tiered read path (DESIGN.md §11): it keeps a byte-capped replica store
@@ -25,13 +27,24 @@
 // The worker holds no durable state. Kill it — even SIGKILL — and its
 // leases expire at the coordinator after the lease TTL; the scheduler
 // re-queues the jobs under their original IDs and another node picks them
-// up. On SIGINT/SIGTERM it cancels running leases and deregisters so the
-// re-queue is immediate rather than TTL-delayed.
+// up.
 //
-// Fault injection: "worker.heartbeat.drop" (armed via -faults or the
-// shared PRECISIOND_FAULTS environment variable) suppresses outgoing
-// heartbeats, simulating a network partition that expires leases while the
-// run continues.
+// The first SIGINT/SIGTERM starts a graceful drain: lease polling stops,
+// running leases finish (heartbeats continue so they are not expired),
+// results upload, and the worker deregisters reporting how long the drain
+// took — no work is lost and nothing is re-run. A second signal, or the
+// -drain-grace deadline, hard-cancels the runs and deregisters
+// immediately (the coordinator re-queues the leases on deregistration).
+//
+// Fault injection (armed via -faults or the shared PRECISIOND_FAULTS
+// environment variable):
+//
+//	worker.heartbeat.drop  suppress outgoing heartbeats (partition sim)
+//	worker.flap            same, for periodic e:<k> arming — the worker
+//	                       looks intermittently unreachable
+//	worker.slow            x:<factor>: inflate every run's wall time by
+//	                       the factor — a straggler simulator that keeps
+//	                       results bit-identical
 package main
 
 import (
@@ -73,6 +86,7 @@ func main() {
 		readAddr    = flag.String("read-addr", "", "serve completed result payloads for fleet-replicated reads on this address (empty = off; use :0 for any free port)")
 		replicaMax  = flag.Int64("replica-bytes", 64<<20, "replica store byte cap (with -read-addr)")
 		faults      = flag.String("faults", "", "arm fault-injection points, e.g. 'worker.heartbeat.drop=n:3'")
+		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "max time a graceful drain (first SIGINT/SIGTERM) waits for running leases before hard-cancelling")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 	)
 	flag.Parse()
@@ -113,8 +127,34 @@ func main() {
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
-	defer stop()
+	// Two-stage shutdown: the first signal cancels pollCtx (no new leases;
+	// running ones finish and upload under continued heartbeats), the second
+	// signal — or the drain grace expiring — cancels runCtx (hard-cancel).
+	runCtx, hardStop := context.WithCancel(context.Background())
+	defer hardStop()
+	pollCtx, stopPolling := context.WithCancel(runCtx)
+	defer stopPolling()
+	ctx := pollCtx // registration and replica pulls stop at first signal
+
+	var drainedAt atomic.Int64 // unix nanos of the first signal (0 = none)
+	sigCh := make(chan os.Signal, 2)
+	signal.Notify(sigCh, syscall.SIGINT, syscall.SIGTERM)
+	go func() {
+		sig := <-sigCh
+		drainedAt.Store(time.Now().UnixNano())
+		logger.Info("drain started; finishing running leases",
+			obs.Str("signal", sig.String()), obs.Str("grace", drainGrace.String()))
+		stopPolling()
+		select {
+		case sig = <-sigCh:
+			logger.Warn("second signal; hard-cancelling runs", obs.Str("signal", sig.String()))
+		case <-time.After(*drainGrace):
+			logger.Warn("drain grace expired; hard-cancelling runs")
+		case <-runCtx.Done():
+			return // all loops already exited
+		}
+		hardStop()
+	}()
 
 	w := &worker{
 		base:  strings.TrimRight(*coordinator, "/"),
@@ -154,26 +194,39 @@ func main() {
 	// Printed unconditionally so scripts can pair PIDs with worker IDs.
 	fmt.Printf("registered as %s with %s\n", w.workerID(), w.base)
 
+	// Heartbeats outlive the poll context: a draining worker must keep
+	// beating or the coordinator expires the leases it is trying to finish.
+	hbCtx, stopHB := context.WithCancel(runCtx)
+	var hbWG sync.WaitGroup
+	hbWG.Add(1)
+	go func() { defer hbWG.Done(); w.heartbeatLoop(hbCtx) }()
+
 	var wg sync.WaitGroup
-	wg.Add(1)
-	go func() { defer wg.Done(); w.heartbeatLoop(ctx) }()
 	for i := 0; i < *slots; i++ {
 		wg.Add(1)
-		go func(slot int) { defer wg.Done(); w.leaseLoop(ctx, slot) }(i)
+		go func(slot int) { defer wg.Done(); w.leaseLoop(pollCtx, runCtx, slot) }(i)
 	}
 	wg.Wait()
+	stopHB()
+	hbWG.Wait()
 
-	// Graceful goodbye: deregistering expires any leases the coordinator
-	// still attributes to us, so their jobs re-queue immediately.
+	// Graceful goodbye: deregistering requeues any leases the coordinator
+	// still attributes to us, so their jobs go back on the board immediately.
+	// A drained exit reports how long finishing the leases took.
+	var drainSeconds float64
+	if t := drainedAt.Load(); t != 0 {
+		drainSeconds = time.Since(time.Unix(0, t)).Seconds()
+	}
 	dctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
 	defer cancel()
 	if replicaSrv != nil {
 		_ = replicaSrv.Shutdown(dctx)
 	}
-	if err := w.deregister(dctx); err != nil {
+	if err := w.deregister(dctx, drainSeconds); err != nil {
 		logger.Warn("deregister", obs.Str("error", err.Error()))
 	} else {
-		logger.Info("deregistered", obs.Str("worker", w.workerID()))
+		logger.Info("deregistered", obs.Str("worker", w.workerID()),
+			obs.Str("drain", time.Duration(drainSeconds*float64(time.Second)).Round(time.Millisecond).String()))
 	}
 }
 
@@ -275,12 +328,13 @@ func (w *worker) registerOnce(ctx context.Context) error {
 	return nil
 }
 
-func (w *worker) deregister(ctx context.Context) error {
+func (w *worker) deregister(ctx context.Context, drainSeconds float64) error {
 	id := w.workerID()
 	if id == "" {
 		return nil
 	}
-	status, err := w.postJSON(ctx, "/v1/workers/"+id+"/deregister", struct{}{}, nil, 2*time.Second)
+	status, err := w.postJSON(ctx, "/v1/workers/"+id+"/deregister",
+		dispatch.DeregisterRequest{DrainSeconds: drainSeconds}, nil, 2*time.Second)
 	if err != nil {
 		return err
 	}
@@ -291,17 +345,19 @@ func (w *worker) deregister(ctx context.Context) error {
 }
 
 // leaseLoop is one slot: long-poll for a grant, execute it, upload, repeat.
-func (w *worker) leaseLoop(ctx context.Context, slot int) {
+// Polling stops at pollCtx (graceful drain); a grant already held runs on
+// runCtx so a drain lets it finish while a hard stop cancels it.
+func (w *worker) leaseLoop(pollCtx, runCtx context.Context, slot int) {
 	sl := w.log.With(obs.Str("slot", fmt.Sprint(slot)))
-	for ctx.Err() == nil {
-		grant, err := w.lease(ctx)
+	for pollCtx.Err() == nil {
+		grant, err := w.lease(pollCtx)
 		if err != nil {
-			if ctx.Err() != nil {
+			if pollCtx.Err() != nil {
 				return
 			}
 			sl.Warn("lease poll failed", obs.Str("error", err.Error()))
 			select {
-			case <-ctx.Done():
+			case <-pollCtx.Done():
 				return
 			case <-time.After(500 * time.Millisecond):
 			}
@@ -310,7 +366,7 @@ func (w *worker) leaseLoop(ctx context.Context, slot int) {
 		if grant == nil {
 			continue // poll expired empty; re-poll
 		}
-		w.runLease(ctx, sl, grant)
+		w.runLease(runCtx, sl, grant)
 	}
 }
 
@@ -368,6 +424,20 @@ func (w *worker) runLease(ctx context.Context, sl *obs.Logger, g *dispatch.Lease
 			al.total.Store(int64(total))
 		},
 	})
+	if err == nil && fault.Hit("worker.slow") {
+		// Straggler simulator: inflate the wall time after the run so the
+		// result stays bit-identical — only the lease looks slow. x:<f>
+		// stretches total time to f × the real duration.
+		if factor, ok := fault.Param("worker.slow"); ok && factor > 1 {
+			pad := time.Duration(float64(time.Since(started)) * (factor - 1))
+			ll.Warn("run inflated (fault injection)",
+				obs.Str("factor", fmt.Sprint(factor)), obs.Str("pad", pad.Round(time.Millisecond).String()))
+			select {
+			case <-runCtx.Done():
+			case <-time.After(pad):
+			}
+		}
+	}
 
 	req := dispatch.CompleteRequest{LeaseID: g.LeaseID}
 	if err != nil {
@@ -539,6 +609,12 @@ func (w *worker) heartbeatLoop(ctx context.Context) {
 		w.mu.Unlock()
 		if fault.Hit("worker.heartbeat.drop") {
 			w.log.Warn("heartbeat dropped (fault injection)", obs.Str("worker", id))
+			continue
+		}
+		if fault.Hit("worker.flap") {
+			// Intermittent unreachability: armed e:<k>, every k-th beat is
+			// swallowed, which the coordinator scores as a flap.
+			w.log.Warn("heartbeat flapped (fault injection)", obs.Str("worker", id))
 			continue
 		}
 		var resp dispatch.HeartbeatResponse

@@ -14,6 +14,7 @@
 //	precisiond -log-level debug -debug-addr 127.0.0.1:7719
 //	precisiond -lease-ttl 15s -verify-n 8     # tune the worker fleet
 //	precisiond -workers 0                     # fleet-only: all work leased
+//	precisiond -hedge-budget 0.15 -hedge-after 2s  # straggler hedging
 //	precisiond -hot-bytes 134217728           # size the in-memory read tier
 //	precisiond -campaign-budget 1000000 -campaign-slots 16
 //
@@ -26,6 +27,17 @@
 // Nth remotely-leased attempt on a second executor and admits the result
 // only if both final-state hashes are bit-identical. -workers 0 turns off
 // local execution entirely: the daemon only coordinates.
+//
+// Fleet health (DESIGN.md §13): every lease outcome feeds a per-worker
+// EWMA circuit breaker (healthy → probation → quarantined, half-open
+// probes to readmit); quarantined workers stop winning leases but keep
+// heartbeating. GET /v1/workers reports each worker's breaker state and
+// score. With -hedge-budget > 0 the coordinator re-dispatches a lease
+// that outlives max(per-shape p99, -hedge-after) to a second worker —
+// first result wins, a both-landed pair is hash-checked and journaled as
+// a hedge_verified audit record. A job whose run fails with the same
+// error kind on two distinct executors is parked as poisoned (released
+// via DELETE /v1/jobs/{id}) instead of bouncing across the fleet.
 //
 // Campaigns (DESIGN.md §12) make parameter sweeps a server-side workload:
 // POST /v1/campaigns takes a generator spec (grid, Monte Carlo ensemble or
@@ -109,6 +121,8 @@ func main() {
 		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "how long a remote worker's lease survives without a heartbeat")
 		heartbeat   = flag.Duration("heartbeat", 0, "heartbeat cadence advertised to workers (0 = lease-ttl/3)")
 		verifyN     = flag.Int("verify-n", 0, "re-run every Nth remotely-leased attempt on a second executor and require bit-identical state hashes (0 = off)")
+		hedgeBudget = flag.Float64("hedge-budget", 0, "straggler hedging: max concurrent hedged duplicates as a fraction of total fleet slots (0 = off)")
+		hedgeAfter  = flag.Duration("hedge-after", 0, "floor on how long a lease runs before a hedge may fire; the per-shape p99 raises it (0 = lease-ttl/2)")
 		campBudget  = flag.Int64("campaign-budget", 1<<20, "cap on total estimated campaign expansion (new campaign + live remainders); over-budget submissions get 429")
 		campSlots   = flag.Int("campaign-slots", 16, "campaign jobs concurrently in flight across all campaigns")
 		campReserve = flag.Int("campaign-reserve", -1, "queue slots held for interactive POST /v1/jobs that campaign expansion may not occupy (-1 = queue-depth/4)")
@@ -167,13 +181,23 @@ func main() {
 	// One dispatch board carries both backends: the local solver lanes and
 	// the remote worker fleet. -workers 0 drops the local backend entirely.
 	disp := dispatch.New(dispatch.Options{Obs: reg, Log: logger})
-	fleet := dispatch.NewCoordinator(disp, dispatch.CoordinatorConfig{
-		LeaseTTL:  *leaseTTL,
-		Heartbeat: *heartbeat,
-		VerifyN:   *verifyN,
-		Obs:       reg,
-		Log:       logger,
-	})
+	coordCfg := dispatch.CoordinatorConfig{
+		LeaseTTL:    *leaseTTL,
+		Heartbeat:   *heartbeat,
+		VerifyN:     *verifyN,
+		HedgeBudget: *hedgeBudget,
+		HedgeAfter:  *hedgeAfter,
+		Obs:         reg,
+		Log:         logger,
+	}
+	if journal != nil {
+		// Hedge verifications are journaled as audit records: every hedged
+		// pair that produced two completions leaves a hedge_verified line.
+		coordCfg.HedgeRecord = func(jobID, specHash, stateHash, winner, loser string, match bool) {
+			_ = journal.HedgeVerified(jobID, specHash, stateHash, winner, loser, match)
+		}
+	}
+	fleet := dispatch.NewCoordinator(disp, coordCfg)
 	// Remote read tier: a probe that misses the hot tier may be served from
 	// a worker replica store before touching this node's disk. The cache
 	// re-verifies the payload digest, so a wrong or stale replica degrades
@@ -220,13 +244,17 @@ func main() {
 
 	// Campaign manager: server-side sweeps expanded lazily over the same
 	// scheduler, journal and metrics registry (DESIGN.md §12).
+	localSlots := *workers
 	camps := campaign.New(campaign.Config{
 		Sched:   sched,
 		Journal: journal,
 		Budget:  *campBudget,
 		Slots:   *campSlots,
-		Obs:     reg,
-		Log:     logger,
+		// Shed bulk admission when quarantine eats the fleet: campaign
+		// expansion tracks local lanes plus non-quarantined remote slots.
+		HealthyCapacity: func() int { return localSlots + fleet.HealthyCapacity() },
+		Obs:             reg,
+		Log:             logger,
 	})
 	if journal != nil {
 		resumed, err := camps.Recover()

@@ -15,8 +15,14 @@
 //
 //	p:<prob>  trip independently with this probability per hit
 //	n:<k>     trip exactly once, on the k-th hit
+//	e:<k>     trip on every k-th hit (periodic)
+//	x:<v>     trip on every hit, carrying numeric parameter v (see Param)
 //	always    trip on every hit
 //	off       never trip (registers the point for Counts visibility)
+//
+// x:<v> exists for degradation points that need a magnitude, not just a
+// boolean — worker.slow=x:30 means "inflate run time 30×". Param returns
+// the armed value without counting a hit.
 //
 // Probabilistic points draw from a seeded deterministic PRNG (per-point
 // stream derived from the seed and the point name), so a chaos run can be
@@ -54,14 +60,17 @@ const (
 	kindOff triggerKind = iota
 	kindProb
 	kindNth
+	kindEvery
+	kindParam
 	kindAlways
 )
 
 type point struct {
 	kind triggerKind
 	p    float64
-	n    uint64 // kindNth: trip on exactly this hit count
-	rng  *rand.Rand
+	n    uint64 // kindNth: trip on exactly this hit count; kindEvery: period
+
+	rng *rand.Rand
 
 	hits  uint64
 	trips uint64
@@ -158,8 +167,20 @@ func parseTrigger(s string) (*point, error) {
 			return nil, fmt.Errorf("bad hit count %q", s)
 		}
 		return &point{kind: kindNth, n: n}, nil
+	case strings.HasPrefix(s, "e:"):
+		n, err := strconv.ParseUint(s[2:], 10, 64)
+		if err != nil || n == 0 {
+			return nil, fmt.Errorf("bad period %q", s)
+		}
+		return &point{kind: kindEvery, n: n}, nil
+	case strings.HasPrefix(s, "x:"):
+		v, err := strconv.ParseFloat(s[2:], 64)
+		if err != nil || v < 0 {
+			return nil, fmt.Errorf("bad parameter %q", s)
+		}
+		return &point{kind: kindParam, p: v}, nil
 	default:
-		return nil, fmt.Errorf("unknown trigger %q (want p:<prob>, n:<k>, always or off)", s)
+		return nil, fmt.Errorf("unknown trigger %q (want p:<prob>, n:<k>, e:<k>, x:<v>, always or off)", s)
 	}
 }
 
@@ -184,17 +205,35 @@ func Hit(name string) bool {
 	pt.hits++
 	trip := false
 	switch pt.kind {
-	case kindAlways:
+	case kindAlways, kindParam:
 		trip = true
 	case kindProb:
 		trip = pt.rng.Float64() < pt.p
 	case kindNth:
 		trip = pt.hits == pt.n
+	case kindEvery:
+		trip = pt.hits%pt.n == 0
 	}
 	if trip {
 		pt.trips++
 	}
 	return trip
+}
+
+// Param returns the numeric parameter of an x:<v>-armed point and whether
+// the point is armed with one. It does not count a hit — call Hit to trip
+// the point and Param to read its magnitude.
+func Param(name string) (float64, bool) {
+	if !armed.Load() {
+		return 0, false
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	pt, ok := reg[name]
+	if !ok || pt.kind != kindParam {
+		return 0, false
+	}
+	return pt.p, true
 }
 
 // Error returns an ErrInjected-wrapping error when the named point trips,

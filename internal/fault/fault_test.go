@@ -99,3 +99,60 @@ func TestArmRejectsBadSpecs(t *testing.T) {
 		t.Error("valid re-arm after rejected spec did not take")
 	}
 }
+
+func TestEveryTripsPeriodically(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("x=e:3"); err != nil {
+		t.Fatal(err)
+	}
+	var got []bool
+	for i := 0; i < 9; i++ {
+		got = append(got, Hit("x"))
+	}
+	want := []bool{false, false, true, false, false, true, false, false, true}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("e:3 hit pattern = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestParamTripsAlwaysAndCarriesMagnitude(t *testing.T) {
+	t.Cleanup(Disarm)
+	if err := Arm("worker.slow=x:30,other=always"); err != nil {
+		t.Fatal(err)
+	}
+	if !Hit("worker.slow") || !Hit("worker.slow") {
+		t.Fatal("x:<v> point did not trip on every hit")
+	}
+	v, ok := Param("worker.slow")
+	if !ok || v != 30 {
+		t.Fatalf("Param(worker.slow) = (%v, %v), want (30, true)", v, ok)
+	}
+	// Param reads the magnitude without counting a hit.
+	var hits uint64
+	for _, c := range Counts() {
+		if c.Name == "worker.slow" {
+			hits = c.Hits
+		}
+	}
+	if hits != 2 {
+		t.Fatalf("Param counted a hit: hits = %d, want 2", hits)
+	}
+	// Non-param points have no magnitude; unknown points neither.
+	if _, ok := Param("other"); ok {
+		t.Error("Param on an always point reported a magnitude")
+	}
+	if _, ok := Param("missing"); ok {
+		t.Error("Param on an unknown point reported a magnitude")
+	}
+}
+
+func TestEveryAndParamRejectBadValues(t *testing.T) {
+	t.Cleanup(Disarm)
+	for _, spec := range []string{"x=e:0", "x=e:nope", "x=x:-1", "x=x:nope"} {
+		if err := Arm(spec); err == nil {
+			t.Errorf("Arm(%q) accepted", spec)
+		}
+	}
+}

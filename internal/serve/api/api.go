@@ -7,6 +7,7 @@
 //	GET  /v1/jobs/{id}/result  block until terminal; raw result payload
 //	GET  /v1/jobs/{id}/stream  NDJSON progress: one view per change, then done
 //	GET  /v1/jobs/{id}/trace   span timeline (queue wait, attempts, retries)
+//	DELETE /v1/jobs/{id}       release a poisoned job back onto the queue
 //	GET  /v1/results/{hash}    raw result payload by spec hash (tiered read)
 //	GET  /v1/cache/stats       scheduler + cache counters
 //	GET  /metrics              Prometheus text exposition (WithMetrics)
@@ -124,6 +125,7 @@ func New(sched *queue.Scheduler, c *cache.Cache, opts ...Option) *Server {
 	mux.HandleFunc("GET /v1/jobs/{id}/result", s.jobResult)
 	mux.HandleFunc("GET /v1/jobs/{id}/stream", s.jobStream)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.jobTrace)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.jobRelease)
 	mux.HandleFunc("GET /v1/results/{hash}", s.resultByHash)
 	mux.HandleFunc("GET /v1/cache/stats", s.stats)
 	mux.HandleFunc("GET /healthz", s.healthz)
@@ -328,6 +330,25 @@ func (s *Server) jobView(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Snapshot())
+}
+
+// jobRelease (DELETE /v1/jobs/{id}) releases a poisoned job back onto the
+// queue — the operator's escape hatch after fixing whatever convicted the
+// spec. 404 for an unknown job, 409 for a job not parked as poisoned, 503
+// when the journal refuses to record the release (the job stays parked).
+func (s *Server) jobRelease(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	switch err := s.sched.RetryPoisoned(id); {
+	case err == nil:
+		job, _ := s.sched.Job(id)
+		writeJSON(w, http.StatusAccepted, job.Snapshot())
+	case errors.Is(err, queue.ErrUnknownJob):
+		writeError(w, http.StatusNotFound, "unknown job %q", id)
+	case errors.Is(err, queue.ErrNotPoisoned):
+		writeError(w, http.StatusConflict, "job %q is not poisoned", id)
+	default:
+		writeError(w, http.StatusServiceUnavailable, "%v", err)
+	}
 }
 
 // resultETag is the strong validator for one spec hash's result payload:

@@ -39,6 +39,14 @@ type Config struct {
 	Slots int
 	// TenantSlots caps per-tenant in-flight jobs (0 = Slots).
 	TenantSlots int
+	// HealthyCapacity, when non-nil, reports the execution slots currently
+	// backed by non-quarantined capacity (local lanes + healthy fleet).
+	// Campaign admission sheds to min(Slots, max(1, HealthyCapacity())):
+	// bulk expansion stops piling onto a degraded fleet, while interactive
+	// submissions (which bypass this manager) keep their full queue. The
+	// floor of 1 keeps the pump from wedging when everything is
+	// quarantined — one probe-sized trickle continues.
+	HealthyCapacity func() int
 	// CursorEvery journals the expansion cursor every N admissions
 	// (0 = 32). The cursor trails admissions, never leads them: a crash
 	// re-admits at most CursorEvery indices, each of which dedups onto
@@ -392,7 +400,16 @@ func (m *Manager) pump(ctx context.Context) {
 func (m *Manager) pickCampaign() *Campaign {
 	m.mu.Lock()
 	defer m.mu.Unlock()
-	if m.inflight >= m.cfg.Slots {
+	slots := m.cfg.Slots
+	if m.cfg.HealthyCapacity != nil {
+		if hc := m.cfg.HealthyCapacity(); hc < slots {
+			if hc < 1 {
+				hc = 1
+			}
+			slots = hc
+		}
+	}
+	if m.inflight >= slots {
 		return nil
 	}
 	var ids []string

@@ -108,7 +108,15 @@ type (
 		Error     string          `json:"error,omitempty"`
 		ErrorKind string          `json:"error_kind,omitempty"`
 	}
-	// WorkerView is one worker's row in the fleet listing.
+	// DeregisterRequest is the optional body of a deregister: a draining
+	// worker reports how long its graceful wind-down took. Legacy workers
+	// send no body.
+	DeregisterRequest struct {
+		DrainSeconds float64 `json:"drain_seconds,omitempty"`
+	}
+	// WorkerView is one worker's row in the fleet listing. Health is the
+	// circuit-breaker state (healthy, probation, quarantined) and
+	// HealthScore the EWMA badness behind it (0 = clean).
 	WorkerView struct {
 		ID           string       `json:"id"`
 		Name         string       `json:"name"`
@@ -121,6 +129,8 @@ type (
 		Leased       uint64       `json:"leased"`
 		Completed    uint64       `json:"completed"`
 		Expired      uint64       `json:"expired"`
+		Health       string       `json:"health"`
+		HealthScore  float64      `json:"health_score"`
 	}
 	// FleetView is the GET /v1/workers payload. ReplicaHashes counts the
 	// distinct spec hashes held by at least one worker replica.
@@ -152,6 +162,21 @@ type CoordinatorConfig struct {
 	// WorkerTTL prunes workers unseen this long with no active leases
 	// (default 4×LeaseTTL).
 	WorkerTTL time.Duration
+	// HedgeBudget > 0 enables hedged re-dispatch: the fraction of total
+	// fleet slots that may run duplicate attempts concurrently (always at
+	// least one when enabled). 0 disables hedging.
+	HedgeBudget float64
+	// HedgeAfter floors the hedge deadline: a lease never hedges before
+	// running this long, even when the shape's p99 is lower (default
+	// LeaseTTL/2).
+	HedgeAfter time.Duration
+	// ProbeAfter is how long a quarantined worker waits before its
+	// half-open probe lease (default 2×LeaseTTL).
+	ProbeAfter time.Duration
+	// HedgeRecord, when non-nil, is invoked once per hedged pair whose
+	// both completions landed: match reports whether the state hashes were
+	// bit-identical. The daemon wires it to the job journal.
+	HedgeRecord func(jobID, specHash, stateHash, winner, loser string, match bool)
 	// Obs, when non-nil, registers the fleet instruments.
 	Obs *obs.Registry
 	// Log, when non-nil, receives fleet log records.
@@ -178,15 +203,22 @@ type Coordinator struct {
 	heartbeats   obs.Counter
 	verifyCtr    obs.CounterVec // label: outcome
 	replicaGauge obs.Gauge
+	healthGauge  obs.GaugeVec // label: state
+	hedgeCtr     obs.CounterVec
+	drainHist    *obs.Histogram
 
 	runCtx context.Context
 
-	mu         sync.Mutex
-	workers    map[string]*workerState
-	leases     map[string]*lease
-	nextWorker uint64
-	nextLease  uint64
-	takeSeq    uint64
+	hp healthParams
+
+	mu            sync.Mutex
+	workers       map[string]*workerState
+	leases        map[string]*lease
+	lat           *latTracker
+	hedgeInflight int
+	nextWorker    uint64
+	nextLease     uint64
+	takeSeq       uint64
 	// replicas is the fleet read index: spec hash → workers whose replica
 	// store holds that payload. Maintained from heartbeat Held reports;
 	// rrSeq round-robins reads across holders so one hot hash spreads over
@@ -204,6 +236,7 @@ type workerState struct {
 	lastSeen     time.Time
 	active       map[string]*lease
 	held         map[string]struct{}
+	health       *workerHealth
 
 	leased, completed, expired uint64
 }
@@ -215,6 +248,12 @@ type lease struct {
 	granted  time.Time
 	deadline time.Time
 	verify   bool
+	// probe marks a half-open lease granted to a quarantined worker; its
+	// outcome settles the readmission decision.
+	probe bool
+	// hedge, once set, is the scoreboard shared with the duplicate
+	// attempt the straggler defense fired for this lease.
+	hedge *hedgeState
 }
 
 // NewCoordinator builds the fleet backend and registers it with d.
@@ -234,12 +273,21 @@ func NewCoordinator(d *Dispatcher, cfg CoordinatorConfig) *Coordinator {
 	if cfg.WorkerTTL <= 0 {
 		cfg.WorkerTTL = 4 * cfg.LeaseTTL
 	}
+	if cfg.HedgeAfter <= 0 {
+		cfg.HedgeAfter = cfg.LeaseTTL / 2
+	}
+	hp := defaultHealthParams(cfg.LeaseTTL)
+	if cfg.ProbeAfter > 0 {
+		hp.probeAfter = cfg.ProbeAfter
+	}
 	co := &Coordinator{
 		cfg:      cfg,
 		log:      cfg.Log,
 		d:        d,
+		hp:       hp,
 		workers:  make(map[string]*workerState),
 		leases:   make(map[string]*lease),
+		lat:      newLatTracker(),
 		replicas: make(map[string]map[string]*workerState),
 	}
 	if cfg.Obs != nil {
@@ -255,6 +303,12 @@ func NewCoordinator(d *Dispatcher, cfg CoordinatorConfig) *Coordinator {
 			"Cross-node verification attempts by outcome (match, mismatch, skipped).", "outcome")
 		co.replicaGauge = cfg.Obs.Gauge("dispatch_replica_hashes",
 			"Distinct spec hashes held by at least one worker replica store.")
+		co.healthGauge = cfg.Obs.GaugeVec("precisiond_worker_health",
+			"Registered workers by circuit-breaker state.", "state")
+		co.hedgeCtr = cfg.Obs.CounterVec("precisiond_hedges_total",
+			"Hedged re-dispatch events: fired, won, lost, skipped, verified, mismatch.", "outcome")
+		co.drainHist = cfg.Obs.Histogram("precisiond_worker_drain_seconds",
+			"Graceful drain duration reported by deregistering workers.", obs.DurationBuckets)
 	}
 	d.Register(co)
 	return co
@@ -321,12 +375,56 @@ func (co *Coordinator) reap(now time.Time) {
 			obs.Str("worker", w.id), obs.Str("name", w.name),
 			obs.Str("unseen", now.Sub(w.lastSeen).Round(time.Millisecond).String()))
 	}
+	if len(pruned) > 0 {
+		co.updateHealthGauge()
+	}
+	co.maybeHedge(now)
+}
+
+// updateHealthGauge recomputes the per-state worker counts.
+func (co *Coordinator) updateHealthGauge() {
+	counts := map[HealthState]int64{HealthHealthy: 0, HealthProbation: 0, HealthQuarantined: 0}
+	co.mu.Lock()
+	for _, ws := range co.workers {
+		counts[ws.health.state]++
+	}
+	co.mu.Unlock()
+	for state, n := range counts {
+		co.healthGauge.With(string(state)).Set(n)
+	}
+}
+
+// HealthyCapacity is the slot count of workers currently eligible for
+// leases (healthy or probation). Campaign admission sheds load against it
+// so a quarantine-shrunk fleet is not buried under bulk work.
+func (co *Coordinator) HealthyCapacity() int {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	n := 0
+	for _, ws := range co.workers {
+		if ws.health.state != HealthQuarantined {
+			n += ws.caps.Slots
+		}
+	}
+	return n
 }
 
 // expireLease revokes a lease and finishes its attempt with cause. The late
 // upload that may still arrive gets 409 — the attempt has already been
-// re-queued, so admitting it would complete the job twice.
+// re-queued, so admitting it would complete the job twice. An expiry is a
+// health event: the worker went dark mid-run.
 func (co *Coordinator) expireLease(id string, cause error) {
+	co.revokeLease(id, cause, "expired", true)
+}
+
+// requeueLease revokes a lease without blaming the worker — the drain path:
+// a deregistering worker hands its remaining leases back deliberately.
+func (co *Coordinator) requeueLease(id string, cause error) {
+	co.revokeLease(id, cause, "requeued_drain", false)
+}
+
+func (co *Coordinator) revokeLease(id string, cause error, event string, penalize bool) {
+	now := time.Now()
 	co.mu.Lock()
 	l, ok := co.leases[id]
 	if !ok {
@@ -335,15 +433,25 @@ func (co *Coordinator) expireLease(id string, cause error) {
 	}
 	delete(co.leases, id)
 	delete(l.worker.active, id)
-	l.worker.expired++
+	if penalize {
+		l.worker.expired++
+		l.worker.health.observe(penExpiry, now)
+		if l.probe {
+			l.worker.health.probeResult(false, now)
+		}
+	}
 	name, active := l.worker.name, len(l.worker.active)
 	co.mu.Unlock()
 	co.workerLeases.With(name).Set(int64(active))
-	co.leaseEvents.With("expired").Inc()
-	co.log.Warn("lease expired",
-		obs.Str("lease", id), obs.Str("worker", l.worker.id),
+	co.leaseEvents.With(event).Inc()
+	co.updateHealthGauge()
+	co.log.Warn("lease revoked",
+		obs.Str("lease", id), obs.Str("worker", l.worker.id), obs.Str("event", event),
 		obs.Str("job", l.a.JobID), obs.Str("cause", cause.Error()))
 	l.a.finish(Outcome{Err: cause, Backend: co.Name(), Worker: l.worker.id})
+	if l.hedge != nil {
+		co.hedgeLanded(l, l.hedge, nil, l.worker.id)
+	}
 }
 
 // setHeldLocked replaces a worker's replica-held set and reindexes;
@@ -427,6 +535,7 @@ func (co *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
 		lastSeen:     now,
 		active:       make(map[string]*lease),
 		held:         make(map[string]struct{}),
+		health:       newWorkerHealth(co.hp, now),
 	}
 	if ws.name == "" {
 		ws.name = ws.id
@@ -435,6 +544,7 @@ func (co *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
 	n := len(co.workers)
 	co.mu.Unlock()
 	co.workersGauge.Set(int64(n))
+	co.updateHealthGauge()
 	co.log.Info("worker registered",
 		obs.Str("worker", ws.id), obs.Str("name", ws.name),
 		obs.Str("slots", fmt.Sprint(ws.caps.Slots)),
@@ -457,10 +567,16 @@ func (co *Coordinator) HandleLease(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusBadRequest, "decode lease request: %v", err)
 		return
 	}
+	pollStart := time.Now()
 	co.mu.Lock()
 	ws, ok := co.workers[req.WorkerID]
+	var probe, admit bool
 	if ok {
-		ws.lastSeen = time.Now()
+		ws.lastSeen = pollStart
+		probe, admit = ws.health.admissible(pollStart)
+		if probe {
+			ws.health.beginProbe()
+		}
 	}
 	co.mu.Unlock()
 	if !ok {
@@ -473,12 +589,27 @@ func (co *Coordinator) HandleLease(w http.ResponseWriter, r *http.Request) {
 			wait = d
 		}
 	}
+	if !admit {
+		// Quarantined with no probe window open: hold the long-poll so the
+		// worker doesn't hot-loop, then send it away empty.
+		select {
+		case <-r.Context().Done():
+		case <-time.After(wait):
+		}
+		w.WriteHeader(http.StatusNoContent)
+		return
+	}
 	ctx, cancel := context.WithTimeout(r.Context(), wait)
 	defer cancel()
 	a := co.d.Take(ctx, co.Name(), ws.id, func(a *Attempt) bool {
 		return !a.LocalOnly && a.ExcludeWorker != ws.id && ws.caps.matches(a.Spec)
 	})
 	if a == nil {
+		if probe {
+			co.mu.Lock()
+			ws.health.probeAborted(time.Now())
+			co.mu.Unlock()
+		}
 		w.WriteHeader(http.StatusNoContent)
 		return
 	}
@@ -500,6 +631,7 @@ func (co *Coordinator) HandleLease(w http.ResponseWriter, r *http.Request) {
 		a:        a,
 		granted:  now,
 		deadline: now.Add(co.cfg.LeaseTTL),
+		probe:    probe,
 	}
 	co.takeSeq++
 	if co.cfg.VerifyN > 0 && !a.shadow && co.takeSeq%uint64(co.cfg.VerifyN) == 0 {
@@ -551,6 +683,12 @@ func (co *Coordinator) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		co.mu.Unlock()
 		httpError(w, http.StatusNotFound, "unknown worker %q", wid)
 		return
+	}
+	// A beat arriving well past the advertised cadence means earlier beats
+	// were dropped or delayed — a flap, scored but far below an expiry.
+	flapped := now.Sub(ws.lastSeen) > co.cfg.Heartbeat*3/2
+	if flapped {
+		ws.health.observe(penFlap, now)
 	}
 	ws.lastSeen = now
 	replicaCount := co.setHeldLocked(ws, req.Held)
@@ -626,7 +764,18 @@ func (co *Coordinator) HandleComplete(w http.ResponseWriter, r *http.Request) {
 		co.log.Debug("remote attempt failed",
 			obs.Str("lease", l.id), obs.Str("job", a.JobID),
 			obs.Str("kind", req.ErrorKind), obs.Str("error", req.Error))
+		if l.probe {
+			// A classified run error is the spec's fault, not the box's:
+			// the worker proved responsive, which is what the probe asks.
+			co.mu.Lock()
+			ws.health.probeResult(true, now)
+			co.mu.Unlock()
+			co.updateHealthGauge()
+		}
 		a.finish(Outcome{Err: err, Backend: co.Name(), Worker: ws.id})
+		if l.hedge != nil {
+			co.hedgeLanded(l, l.hedge, nil, ws.id)
+		}
 		writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 		return
 	}
@@ -641,18 +790,50 @@ func (co *Coordinator) HandleComplete(w http.ResponseWriter, r *http.Request) {
 		co.log.Warn("upload rejected",
 			obs.Str("lease", l.id), obs.Str("worker", ws.id),
 			obs.Str("job", a.JobID), obs.Str("error", err.Error()))
+		co.mu.Lock()
+		ws.health.observe(penReject, now)
+		if l.probe {
+			ws.health.probeResult(false, now)
+		}
+		co.mu.Unlock()
+		co.updateHealthGauge()
 		a.finish(Outcome{
 			Err:     &runner.Error{Kind: runner.KindTransient, Op: "verify upload from " + ws.id, Err: err},
 			Backend: co.Name(), Worker: ws.id,
 		})
+		if l.hedge != nil {
+			co.hedgeLanded(l, l.hedge, nil, ws.id)
+		}
 		httpError(w, http.StatusUnprocessableEntity, "result rejected: %v", err)
 		return
 	}
 	co.leaseEvents.With("completed").Inc()
+
+	// Score the completion: latency against the fleet median for this
+	// shape (judged before this sample joins the ring), then fold it in.
+	dur := now.Sub(l.granted)
+	shape := shapeOf(a.Spec)
+	co.mu.Lock()
+	pen := penGood
+	if med, samples := co.lat.quantile(shape, 0.5); samples >= co.hp.minSlowSamples &&
+		dur.Seconds() > med*co.hp.slowFactor {
+		pen = penSlow
+	}
+	co.lat.observe(shape, dur)
+	ws.health.observe(pen, now)
+	if l.probe {
+		ws.health.probeResult(pen == penGood, now)
+	}
+	co.mu.Unlock()
+	co.updateHealthGauge()
+
 	if l.verify {
 		co.crossCheck(l, res)
 	} else {
 		a.finish(Outcome{Res: res, Backend: co.Name(), Worker: ws.id})
+	}
+	if l.hedge != nil {
+		co.hedgeLanded(l, l.hedge, res, ws.id)
 	}
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
@@ -738,10 +919,16 @@ func (co *Coordinator) crossCheck(l *lease, first *runner.Result) {
 }
 
 // HandleDeregister implements POST /v1/workers/{id}/deregister: a graceful
-// goodbye. Any leases the worker still holds are expired so their jobs
-// re-queue immediately.
+// goodbye. Any leases the worker still holds are requeued synchronously —
+// their attempts finish with ErrLeaseExpired before the response goes out,
+// so the scheduler re-posts the jobs under their original IDs immediately
+// instead of waiting for the TTL reaper. A draining worker reports its
+// wind-down time in the optional body; deliberate handback is not a health
+// event, so no expiry penalty is scored.
 func (co *Coordinator) HandleDeregister(w http.ResponseWriter, r *http.Request) {
 	wid := r.PathValue("id")
+	var req DeregisterRequest
+	_ = json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20)).Decode(&req) // body optional
 	co.mu.Lock()
 	ws, ok := co.workers[wid]
 	if !ok {
@@ -758,11 +945,18 @@ func (co *Coordinator) HandleDeregister(w http.ResponseWriter, r *http.Request) 
 	n := len(co.workers)
 	co.mu.Unlock()
 	for _, id := range held {
-		co.expireLease(id, fmt.Errorf("worker %s deregistered: %w", wid, ErrLeaseExpired))
+		co.requeueLease(id, fmt.Errorf("worker %s deregistered: %w", wid, ErrLeaseExpired))
 	}
 	co.workersGauge.Set(int64(n))
 	co.replicaGauge.Set(int64(replicaCount))
-	co.log.Info("worker deregistered", obs.Str("worker", wid), obs.Str("name", ws.name))
+	co.updateHealthGauge()
+	if req.DrainSeconds > 0 {
+		co.drainHist.Observe(req.DrainSeconds)
+	}
+	co.log.Info("worker deregistered",
+		obs.Str("worker", wid), obs.Str("name", ws.name),
+		obs.Str("requeued", fmt.Sprint(len(held))),
+		obs.Str("drain_seconds", fmt.Sprintf("%.3f", req.DrainSeconds)))
 	writeJSON(w, http.StatusOK, map[string]string{"status": "ok"})
 }
 
@@ -784,6 +978,8 @@ func (co *Coordinator) HandleList(w http.ResponseWriter, r *http.Request) {
 			Leased:       ws.leased,
 			Completed:    ws.completed,
 			Expired:      ws.expired,
+			Health:       string(ws.health.state),
+			HealthScore:  roundScore(ws.health.score),
 		})
 		view.ActiveLeases += len(ws.active)
 	}

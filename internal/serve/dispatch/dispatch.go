@@ -69,6 +69,14 @@ type Attempt struct {
 	// OnPlaced, when non-nil, is invoked once when a backend takes the
 	// attempt, with the time it spent waiting on the board.
 	OnPlaced func(backend, worker string, wait time.Duration)
+	// OnHedge, when non-nil, receives straggler-defense lifecycle events
+	// for this attempt: "fired" (worker = the straggling primary), then
+	// "won"/"lost"/"skipped" (worker = the duplicate's executor), then
+	// "verified"/"mismatch" when both completions landed. Called from
+	// coordinator goroutines — implementations must be safe for
+	// concurrent use. The scheduler renders these as hedge spans in the
+	// job trace.
+	OnHedge func(event, worker string)
 
 	// shadow marks a coordinator-spawned verification attempt, so it is
 	// never itself picked for verification.

@@ -1,0 +1,160 @@
+package dispatch
+
+import (
+	"testing"
+	"time"
+)
+
+func testHealthParams() healthParams {
+	return defaultHealthParams(time.Second)
+}
+
+// TestHealthExpiryWalksToQuarantine: with the default geometry two
+// consecutive lease expiries from a clean score cross probation, then
+// quarantine — the "worker went dark twice" breaker trip.
+func TestHealthExpiryWalksToQuarantine(t *testing.T) {
+	now := time.Now()
+	h := newWorkerHealth(testHealthParams(), now)
+	if h.state != HealthHealthy || h.score != 0 {
+		t.Fatalf("fresh worker = %s score %.3f, want healthy 0", h.state, h.score)
+	}
+
+	h.observe(penExpiry, now)
+	if h.state != HealthProbation {
+		t.Fatalf("after 1 expiry: %s score %.3f, want probation", h.state, h.score)
+	}
+	h.observe(penExpiry, now)
+	if h.state != HealthQuarantined {
+		t.Fatalf("after 2 expiries: %s score %.3f, want quarantined", h.state, h.score)
+	}
+	if h.probeAt.IsZero() || h.probeAt.Before(now.Add(h.p.probeAfter)) {
+		t.Fatalf("quarantine did not arm the probe timer: probeAt %v", h.probeAt)
+	}
+}
+
+// TestHealthGoodCompletionsDecayProbation: a slow completion trips
+// probation; clean completions decay the score geometrically back below the
+// readmit threshold (hysteresis: readmitBelow < probationAt).
+func TestHealthGoodCompletionsDecayProbation(t *testing.T) {
+	now := time.Now()
+	h := newWorkerHealth(testHealthParams(), now)
+
+	h.observe(penSlow, now) // 0.32 ≥ probationAt 0.3
+	if h.state != HealthProbation {
+		t.Fatalf("after 1 slow completion: %s score %.3f, want probation", h.state, h.score)
+	}
+	h.observe(penGood, now) // 0.192: still ≥ readmitBelow 0.15
+	if h.state != HealthProbation {
+		t.Fatalf("one good completion readmitted too early: %s score %.3f", h.state, h.score)
+	}
+	h.observe(penGood, now) // 0.1152 < 0.15
+	if h.state != HealthHealthy {
+		t.Fatalf("decayed score did not readmit: %s score %.3f", h.state, h.score)
+	}
+}
+
+// TestHealthQuarantineExitsOnlyViaProbe: good observations while
+// quarantined decay the score but never change the state — only a settled
+// half-open probe readmits.
+func TestHealthQuarantineExitsOnlyViaProbe(t *testing.T) {
+	now := time.Now()
+	h := newWorkerHealth(testHealthParams(), now)
+	h.observe(penExpiry, now)
+	h.observe(penExpiry, now)
+	if h.state != HealthQuarantined {
+		t.Fatalf("setup: %s, want quarantined", h.state)
+	}
+
+	for i := 0; i < 20; i++ {
+		h.observe(penGood, now)
+	}
+	if h.state != HealthQuarantined {
+		t.Fatalf("good observations alone readmitted a quarantined worker: %s score %.3f", h.state, h.score)
+	}
+	if h.score >= h.p.readmitBelow {
+		t.Fatalf("score did not decay while quarantined: %.3f", h.score)
+	}
+
+	// Before the probe window: inadmissible. After: exactly one probe.
+	if probe, ok := h.admissible(now); probe || ok {
+		t.Fatalf("admissible before probeAt = (%v, %v), want (false, false)", probe, ok)
+	}
+	later := now.Add(h.p.probeAfter + time.Millisecond)
+	probe, ok := h.admissible(later)
+	if !probe || !ok {
+		t.Fatalf("admissible after probeAt = (%v, %v), want (true, true)", probe, ok)
+	}
+	h.beginProbe()
+	if probe, ok := h.admissible(later); probe || ok {
+		t.Fatalf("second concurrent probe admitted: (%v, %v)", probe, ok)
+	}
+
+	// A timed-out poll releases the slot without judging the probe.
+	h.probeAborted(later)
+	if probe, ok := h.admissible(later); !probe || !ok {
+		t.Fatalf("aborted probe did not release the slot: (%v, %v)", probe, ok)
+	}
+
+	// A failed probe re-arms the timer and keeps the quarantine.
+	h.beginProbe()
+	h.probeResult(false, later)
+	if h.state != HealthQuarantined {
+		t.Fatalf("failed probe readmitted: %s", h.state)
+	}
+	if probe, ok := h.admissible(later); probe || ok {
+		t.Fatalf("failed probe did not re-arm the timer: (%v, %v)", probe, ok)
+	}
+	again := later.Add(h.p.probeAfter + time.Millisecond)
+	if probe, ok := h.admissible(again); !probe || !ok {
+		t.Fatalf("re-armed probe window never opened: (%v, %v)", probe, ok)
+	}
+
+	// A successful probe discounts the score and readmits.
+	h.beginProbe()
+	h.probeResult(true, again)
+	if h.state == HealthQuarantined {
+		t.Fatalf("successful probe left the worker quarantined (score %.3f)", h.score)
+	}
+}
+
+// TestHealthProbeSuccessLandsOnProbation: a probe that succeeds with a
+// still-elevated score readmits to probation, not straight to healthy.
+func TestHealthProbeSuccessLandsOnProbation(t *testing.T) {
+	now := time.Now()
+	h := newWorkerHealth(testHealthParams(), now)
+	h.observe(penExpiry, now)
+	h.observe(penExpiry, now) // score 0.64, quarantined
+
+	later := now.Add(h.p.probeAfter + time.Millisecond)
+	h.beginProbe()
+	h.probeResult(true, later) // 0.64 × 0.3 = 0.192 ≥ readmitBelow
+	if h.state != HealthProbation {
+		t.Fatalf("probe success from score 0.64 = %s score %.3f, want probation", h.state, h.score)
+	}
+}
+
+func TestLatRingQuantile(t *testing.T) {
+	var r latRing
+	if v, n := r.quantile(0.5); v != 0 || n != 0 {
+		t.Fatalf("empty ring quantile = (%v, %d), want (0, 0)", v, n)
+	}
+	for i := 1; i <= 10; i++ {
+		r.add(float64(i))
+	}
+	if v, n := r.quantile(0.5); v != 5 || n != 10 {
+		t.Fatalf("median of 1..10 = (%v, %d), want (5, 10)", v, n)
+	}
+	if v, _ := r.quantile(0.99); v != 9 {
+		t.Fatalf("p99 of 1..10 = %v, want 9", v)
+	}
+	if v, _ := r.quantile(0); v != 1 {
+		t.Fatalf("p0 of 1..10 = %v, want 1", v)
+	}
+	// Overflow wraps: the ring keeps the newest latRingSize samples.
+	for i := 0; i < 3*latRingSize; i++ {
+		r.add(42)
+	}
+	if v, n := r.quantile(0.5); v != 42 || n != latRingSize {
+		t.Fatalf("wrapped ring = (%v, %d), want (42, %d)", v, n, latRingSize)
+	}
+}

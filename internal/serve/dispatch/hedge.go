@@ -1,0 +1,297 @@
+package dispatch
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/runner"
+)
+
+// Hedged re-dispatch: when a leased attempt outlives a percentile deadline
+// for its shape (p99 of completed same-shape leases, floored at
+// CoordinatorConfig.HedgeAfter), the coordinator posts a duplicate attempt
+// excluded from the primary's worker. The board's once-guarded finish takes
+// whichever completion lands first; the loser's lease is deliberately left
+// alive so its upload still arrives — a duplicate completion of a
+// deterministic run is a free cross-node verify, and both state hashes are
+// demanded bit-identical. A mismatch quarantines the slower worker and is
+// journaled loud; a match journals a hedge_verified record. Hedges are
+// budgeted (HedgeBudget × fleet slots concurrently), per Godoy et al.
+// (arXiv:2505.05623): wasted re-execution is wasted joules.
+
+// shapeOf buckets specs for latency statistics: same app, mode and step
+// count runs the same arithmetic, so its completion times are comparable.
+func shapeOf(spec runner.ExperimentSpec) string {
+	return string(spec.App) + "|" + spec.Mode + "|" + fmt.Sprint(spec.Steps)
+}
+
+// latRing is a bounded sample ring per shape; quantiles copy-sort at most
+// latRingSize float64s, cheap at reaper cadence.
+const latRingSize = 64
+
+type latRing struct {
+	buf  [latRingSize]float64
+	n    int // samples stored (≤ latRingSize)
+	next int
+}
+
+func (r *latRing) add(sec float64) {
+	r.buf[r.next] = sec
+	r.next = (r.next + 1) % latRingSize
+	if r.n < latRingSize {
+		r.n++
+	}
+}
+
+// quantile returns the q-quantile (0 ≤ q ≤ 1) of the stored samples and
+// how many samples back it; 0, 0 when empty.
+func (r *latRing) quantile(q float64) (float64, int) {
+	if r.n == 0 {
+		return 0, 0
+	}
+	s := make([]float64, r.n)
+	copy(s, r.buf[:r.n])
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+	idx := int(q * float64(len(s)-1))
+	return s[idx], r.n
+}
+
+// latTracker holds per-shape completion latencies. Guarded by the
+// coordinator mutex.
+type latTracker struct {
+	shapes map[string]*latRing
+}
+
+func newLatTracker() *latTracker { return &latTracker{shapes: make(map[string]*latRing)} }
+
+func (t *latTracker) observe(shape string, d time.Duration) {
+	r := t.shapes[shape]
+	if r == nil {
+		r = &latRing{}
+		t.shapes[shape] = r
+	}
+	r.add(d.Seconds())
+}
+
+func (t *latTracker) quantile(shape string, q float64) (float64, int) {
+	r := t.shapes[shape]
+	if r == nil {
+		return 0, 0
+	}
+	return r.quantile(q)
+}
+
+// hedgeState is the shared scoreboard of one hedged lease: the primary
+// upload and the duplicate attempt each land exactly once, and whichever
+// lands second runs the bit-identity comparison.
+type hedgeState struct {
+	mu            sync.Mutex
+	primaryWorker string
+	hedgeWorker   string
+	primary       *runner.Result
+	hedge         *runner.Result
+	primaryDead   bool // primary landed without a usable result (error/expiry/422)
+	hedgeDead     bool // hedge landed without a usable result
+	settled       bool
+}
+
+// hedgeDeadline is how long a lease of this shape may run before a hedge
+// fires: p99 of completed same-shape leases when enough samples exist,
+// never below the configured floor. Caller holds co.mu.
+func (co *Coordinator) hedgeDeadlineLocked(shape string) time.Duration {
+	dl := co.cfg.HedgeAfter
+	if p99, n := co.lat.quantile(shape, 0.99); n >= co.hp.minSlowSamples {
+		if d := time.Duration(p99 * float64(time.Second)); d > dl {
+			dl = d
+		}
+	}
+	return dl
+}
+
+// maybeHedge scans active leases on the reaper tick and fires duplicates
+// for stragglers, within the global budget.
+func (co *Coordinator) maybeHedge(now time.Time) {
+	if co.cfg.HedgeBudget <= 0 {
+		return
+	}
+	co.mu.Lock()
+	totalSlots := 0
+	for _, ws := range co.workers {
+		totalSlots += ws.caps.Slots
+	}
+	maxHedges := int(co.cfg.HedgeBudget * float64(totalSlots))
+	if maxHedges < 1 {
+		maxHedges = 1
+	}
+	var fire []*lease
+	for _, l := range co.leases {
+		if co.hedgeInflight+len(fire) >= maxHedges {
+			break
+		}
+		// Shadows (verify runs and other hedges) and half-open probes are
+		// never hedged; a verify-sampled lease already gets a second run.
+		if l.hedge != nil || l.verify || l.probe || l.a.shadow {
+			continue
+		}
+		if now.Sub(l.granted) < co.hedgeDeadlineLocked(shapeOf(l.a.Spec)) {
+			continue
+		}
+		if !co.secondExecutorLocked(l, now) {
+			continue
+		}
+		l.hedge = &hedgeState{primaryWorker: l.worker.id}
+		fire = append(fire, l)
+	}
+	co.hedgeInflight += len(fire)
+	co.mu.Unlock()
+	for _, l := range fire {
+		co.fireHedge(l)
+	}
+}
+
+// secondExecutorLocked reports whether some other admissible worker could
+// take the duplicate — firing a hedge nobody can serve only burns budget.
+func (co *Coordinator) secondExecutorLocked(l *lease, now time.Time) bool {
+	for _, ws := range co.workers {
+		if ws.id == l.worker.id || !ws.caps.matches(l.a.Spec) {
+			continue
+		}
+		if _, ok := ws.health.admissible(now); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// fireHedge posts the duplicate attempt and resolves its outcome against
+// the primary through the shared hedgeState.
+func (co *Coordinator) fireHedge(l *lease) {
+	a, hs := l.a, l.hedge
+	co.hedgeCtr.With("fired").Inc()
+	co.log.Info("hedge fired",
+		obs.Str("job", a.JobID), obs.Str("lease", l.id),
+		obs.Str("primary", hs.primaryWorker),
+		obs.Str("running", time.Since(l.granted).Round(time.Millisecond).String()))
+	if a.OnHedge != nil {
+		a.OnHedge("fired", hs.primaryWorker)
+	}
+	co.d.Go(func() {
+		defer func() {
+			co.mu.Lock()
+			co.hedgeInflight--
+			co.mu.Unlock()
+		}()
+		base := co.runCtx
+		if base == nil {
+			base = context.Background()
+		}
+		ctx, cancel := context.WithTimeout(base, co.cfg.VerifyWait)
+		defer cancel()
+		dup := &Attempt{
+			JobID:         a.JobID,
+			Spec:          a.Spec,
+			N:             a.N,
+			ExcludeWorker: hs.primaryWorker,
+			shadow:        true,
+		}
+		out := co.d.Do(ctx, dup)
+		if out.Err != nil || out.Res == nil {
+			co.hedgeCtr.With("skipped").Inc()
+			if a.OnHedge != nil {
+				a.OnHedge("skipped", out.Worker)
+			}
+			co.hedgeLanded(l, hs, nil, out.Worker)
+			return
+		}
+		won := a.finish(Outcome{Res: out.Res, Backend: co.Name(), Worker: out.Worker})
+		if won {
+			co.hedgeCtr.With("won").Inc()
+		} else {
+			co.hedgeCtr.With("lost").Inc()
+		}
+		if a.OnHedge != nil {
+			if won {
+				a.OnHedge("won", out.Worker)
+			} else {
+				a.OnHedge("lost", out.Worker)
+			}
+		}
+		co.hedgeLanded(l, hs, out.Res, out.Worker)
+	})
+}
+
+// hedgeLanded records one side of a hedged pair (res nil = landed without
+// a usable result). When the caller is the hedge goroutine, worker is the
+// duplicate's executor; when it is HandleComplete, worker is the primary.
+// The second arrival settles: both results present ⇒ demand bit-identical
+// state hashes.
+func (co *Coordinator) hedgeLanded(l *lease, hs *hedgeState, res *runner.Result, worker string) {
+	hs.mu.Lock()
+	fromPrimary := worker == hs.primaryWorker
+	if fromPrimary {
+		hs.primary = res
+		hs.primaryDead = res == nil
+	} else {
+		hs.hedgeWorker = worker
+		hs.hedge = res
+		hs.hedgeDead = res == nil
+	}
+	bothLanded := (hs.primary != nil || hs.primaryDead) && (hs.hedge != nil || hs.hedgeDead)
+	if !bothLanded || hs.settled {
+		hs.mu.Unlock()
+		return
+	}
+	hs.settled = true
+	primary, hedge, hedgeWorker := hs.primary, hs.hedge, hs.hedgeWorker
+	hs.mu.Unlock()
+
+	a := l.a
+	if primary == nil || hedge == nil {
+		// One side never produced a result — nothing to verify. The side
+		// that did (if any) already finished the attempt.
+		return
+	}
+	// The second lander is the slower executor: this callback runs on its
+	// arrival, so `worker` names it.
+	slower := worker
+	if primary.StateHash == hedge.StateHash {
+		co.hedgeCtr.With("verified").Inc()
+		if a.OnHedge != nil {
+			a.OnHedge("verified", slower)
+		}
+		co.log.Info("hedge verified bit-identical",
+			obs.Str("job", a.JobID), obs.Str("primary", hs.primaryWorker),
+			obs.Str("hedge", hedgeWorker), obs.Str("state", primary.StateHash))
+		if co.cfg.HedgeRecord != nil {
+			co.cfg.HedgeRecord(a.JobID, a.Hash(), primary.StateHash, hs.primaryWorker, hedgeWorker, true)
+		}
+		return
+	}
+	co.hedgeCtr.With("mismatch").Inc()
+	if a.OnHedge != nil {
+		a.OnHedge("mismatch", slower)
+	}
+	co.log.Error("hedge state hash divergence",
+		obs.Str("job", a.JobID),
+		obs.Str("primary", hs.primaryWorker), obs.Str("primary_state", primary.StateHash),
+		obs.Str("hedge", hedgeWorker), obs.Str("hedge_state", hedge.StateHash),
+		obs.Str("quarantining", slower))
+	if co.cfg.HedgeRecord != nil {
+		co.cfg.HedgeRecord(a.JobID, a.Hash(), primary.StateHash, hs.primaryWorker, hedgeWorker, false)
+	}
+	now := time.Now()
+	co.mu.Lock()
+	if ws, ok := co.workers[slower]; ok {
+		ws.health.score = co.hp.quarantineAt
+		ws.health.enter(HealthQuarantined, now)
+	}
+	co.mu.Unlock()
+	co.updateHealthGauge()
+}

@@ -1,0 +1,460 @@
+package queue
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/runner"
+	"repro/internal/serve/dispatch"
+)
+
+// completeError uploads a classified failure for a lease, the way a worker
+// node reports a run that errored rather than crashed.
+func (w *testWorker) completeError(leaseID, msg, kind string) int {
+	w.t.Helper()
+	return w.post("/v1/workers/"+w.id+"/complete",
+		dispatch.CompleteRequest{LeaseID: leaseID, Error: msg, ErrorKind: kind}, nil)
+}
+
+// deregister says goodbye like a draining worker, reporting wind-down time.
+func (w *testWorker) deregister(drainSeconds float64) int {
+	w.t.Helper()
+	return w.post("/v1/workers/"+w.id+"/deregister",
+		dispatch.DeregisterRequest{DrainSeconds: drainSeconds}, nil)
+}
+
+func (h *fleetHarness) listWorkers(t *testing.T) dispatch.FleetView {
+	t.Helper()
+	resp, err := http.Get(h.srv.URL + "/v1/workers")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var view dispatch.FleetView
+	if err := json.NewDecoder(resp.Body).Decode(&view); err != nil {
+		t.Fatal(err)
+	}
+	return view
+}
+
+// workerHealth polls GET /v1/workers until the named worker reports the
+// wanted health state or the deadline passes; returns the last seen state.
+func (h *fleetHarness) waitWorkerHealth(t *testing.T, id, want string, deadline time.Duration) string {
+	t.Helper()
+	end := time.Now().Add(deadline)
+	last := ""
+	for time.Now().Before(end) {
+		for _, wv := range h.listWorkers(t).Workers {
+			if wv.ID == id {
+				last = wv.Health
+			}
+		}
+		if last == want {
+			return last
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	return last
+}
+
+// TestFleetDeregisterRequeuesLeaseImmediately: a deregistering worker's
+// leases are handed back synchronously — the next worker gets the job well
+// before the lease TTL, and the deliberate handback consumes no retry
+// budget.
+func TestFleetDeregisterRequeuesLeaseImmediately(t *testing.T) {
+	h := newFleetHarness(t,
+		Config{DisableLocal: true, Retry: fastRetry},
+		dispatch.CoordinatorConfig{LeaseTTL: 10 * time.Second, PollWait: 150 * time.Millisecond})
+
+	job, err := h.sched.Submit(testSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := h.registerWorker(t, "leaving")
+	w2 := h.registerWorker(t, "staying")
+
+	g1 := w1.leaseUntilGrant(2 * time.Second)
+	if g1.JobID != job.ID {
+		t.Fatalf("grant is job %s, want %s", g1.JobID, job.ID)
+	}
+	start := time.Now()
+	if status := w1.deregister(1.25); status != http.StatusOK {
+		t.Fatalf("deregister = %d, want 200", status)
+	}
+	// With a 10s TTL the reaper cannot be the requeue path: the grant to
+	// the second worker must come from the deregister itself.
+	g2 := w2.leaseUntilGrant(2 * time.Second)
+	if took := time.Since(start); took > 5*time.Second {
+		t.Fatalf("requeue after deregister took %v — waited for the TTL reaper", took)
+	}
+	if g2.JobID != job.ID {
+		t.Fatalf("requeued grant is job %s, want %s", g2.JobID, job.ID)
+	}
+	if status := w2.complete(g2.LeaseID, runPayload(t, g2.Spec)); status != http.StatusOK {
+		t.Fatalf("complete = %d", status)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusDone {
+		t.Fatalf("job = %+v, want done", v)
+	}
+	st := h.sched.Stats()
+	if st.Requeued == 0 || st.Retried != 0 {
+		t.Fatalf("stats = %+v, want requeued>0 retried=0 (drain handback is not a retry)", st)
+	}
+	if view := h.listWorkers(t); len(view.Workers) != 1 {
+		t.Fatalf("fleet still lists %d workers after deregister, want 1", len(view.Workers))
+	}
+}
+
+// TestFleetPoisonedJobParksAndRetryReleases: the same failure kind on two
+// distinct workers parks the job as poisoned instead of burning the rest of
+// its retry budget; RetryPoisoned releases it for one more try.
+func TestFleetPoisonedJobParksAndRetryReleases(t *testing.T) {
+	dir := t.TempDir()
+	j, err := OpenJournal(filepath.Join(dir, "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	h := newFleetHarness(t,
+		Config{DisableLocal: true, Journal: j, Retry: fastRetry},
+		dispatch.CoordinatorConfig{LeaseTTL: 2 * time.Second, PollWait: 100 * time.Millisecond})
+
+	job, err := h.sched.Submit(testSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := h.registerWorker(t, "victim-a")
+	w2 := h.registerWorker(t, "victim-b")
+
+	g1 := w1.leaseUntilGrant(2 * time.Second)
+	if status := w1.completeError(g1.LeaseID, "solver exploded: boom", "transient"); status != http.StatusOK {
+		t.Fatalf("error complete = %d", status)
+	}
+	// The retry goes to a different worker and fails the same way: two
+	// distinct executors agree the spec is at fault — poison, don't retry.
+	g2 := w2.leaseUntilGrant(3 * time.Second)
+	if g2.JobID != job.ID {
+		t.Fatalf("retry grant is job %s, want %s", g2.JobID, job.ID)
+	}
+	if status := w2.completeError(g2.LeaseID, "solver exploded: boom", "transient"); status != http.StatusOK {
+		t.Fatalf("error complete = %d", status)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusPoisoned {
+		t.Fatalf("job = %+v, want poisoned", v)
+	} else if !strings.Contains(v.Error, "boom") {
+		t.Fatalf("poisoned job error %q does not carry the failure", v.Error)
+	}
+	if st := h.sched.Stats(); st.Poisoned != 1 {
+		t.Fatalf("stats = %+v, want poisoned=1", st)
+	}
+	raw, err := os.ReadFile(filepath.Join(dir, "journal"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(raw), `"type":"poisoned"`) {
+		t.Fatal("journal does not record the poison verdict")
+	}
+
+	// Release semantics: unknown and non-poisoned jobs are rejected.
+	if err := h.sched.RetryPoisoned("job-999999"); !errors.Is(err, ErrUnknownJob) {
+		t.Fatalf("RetryPoisoned(unknown) = %v, want ErrUnknownJob", err)
+	}
+	if err := h.sched.RetryPoisoned(job.ID); err != nil {
+		t.Fatalf("RetryPoisoned = %v", err)
+	}
+	if err := h.sched.RetryPoisoned(job.ID); !errors.Is(err, ErrNotPoisoned) {
+		t.Fatalf("second RetryPoisoned = %v, want ErrNotPoisoned", err)
+	}
+
+	// The released job re-runs with fresh poison bookkeeping and can finish.
+	g3 := w1.leaseUntilGrant(3 * time.Second)
+	if g3.JobID != job.ID {
+		t.Fatalf("released grant is job %s, want %s", g3.JobID, job.ID)
+	}
+	if status := w1.complete(g3.LeaseID, runPayload(t, g3.Spec)); status != http.StatusOK {
+		t.Fatalf("complete = %d", status)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusDone {
+		t.Fatalf("released job = %+v, want done", v)
+	}
+	if p := j.Pending(); len(p) != 0 {
+		t.Fatalf("journal still owes %d jobs after completion", len(p))
+	}
+}
+
+// TestFleetPoisonedSurvivesJournalReplay: a poison verdict is durable — a
+// restart re-parks the job without re-running it, and it stays parked until
+// an operator releases it.
+func TestFleetPoisonedSurvivesJournalReplay(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "journal")
+	j, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h := newFleetHarness(t,
+		Config{DisableLocal: true, Journal: j, Retry: fastRetry},
+		dispatch.CoordinatorConfig{LeaseTTL: 2 * time.Second, PollWait: 100 * time.Millisecond})
+
+	job, err := h.sched.Submit(testSpec(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := h.registerWorker(t, "replay-a")
+	w2 := h.registerWorker(t, "replay-b")
+	g1 := w1.leaseUntilGrant(2 * time.Second)
+	w1.completeError(g1.LeaseID, "numerics diverged", "transient")
+	g2 := w2.leaseUntilGrant(3 * time.Second)
+	w2.completeError(g2.LeaseID, "numerics diverged", "transient")
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusPoisoned {
+		t.Fatalf("setup: job = %+v, want poisoned", v)
+	}
+
+	// Crash and restart.
+	h.cancel()
+	h.sched.Wait()
+	j.Close()
+	j2, err := OpenJournal(jpath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	var execs int
+	run2 := func(ctx context.Context, req RunRequest) (*runner.Result, error) {
+		execs++
+		return okResult(req.Spec), nil
+	}
+	s2 := New(Config{Workers: 1, Journal: j2, Run: run2, Retry: fastRetry})
+	if _, _, err := s2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	ctx2, cancel2 := context.WithCancel(context.Background())
+	s2.Start(ctx2)
+	t.Cleanup(func() {
+		cancel2()
+		s2.Wait()
+	})
+
+	rj, ok := s2.Job(job.ID)
+	if !ok {
+		t.Fatalf("poisoned job %s lost across restart", job.ID)
+	}
+	v := rj.Snapshot()
+	if v.Status != StatusPoisoned || !v.Recovered {
+		t.Fatalf("recovered job = %+v, want recovered + poisoned", v)
+	}
+	if !strings.Contains(v.Error, "numerics diverged") {
+		t.Fatalf("recovered poison lost its cause: %q", v.Error)
+	}
+	time.Sleep(50 * time.Millisecond)
+	if execs != 0 {
+		t.Fatalf("replay re-ran a poisoned job %d times, want 0", execs)
+	}
+	if st := s2.Stats(); st.Poisoned != 1 {
+		t.Fatalf("stats after replay = %+v, want poisoned=1", st)
+	}
+
+	// Operator release works after the restart too.
+	if err := s2.RetryPoisoned(job.ID); err != nil {
+		t.Fatalf("RetryPoisoned after replay = %v", err)
+	}
+	waitDone(t, rj)
+	if v := rj.Snapshot(); v.Status != StatusDone {
+		t.Fatalf("released job = %+v, want done", v)
+	}
+	if execs != 1 {
+		t.Fatalf("released job ran %d times, want 1", execs)
+	}
+}
+
+type hedgeRecord struct {
+	jobID, stateHash, winner, loser string
+	match                           bool
+}
+
+func hedgeCoordinatorConfig(rec chan hedgeRecord) dispatch.CoordinatorConfig {
+	return dispatch.CoordinatorConfig{
+		LeaseTTL: 2 * time.Second, PollWait: 150 * time.Millisecond,
+		HedgeBudget: 1, HedgeAfter: 100 * time.Millisecond,
+		VerifyWait: 5 * time.Second,
+		HedgeRecord: func(jobID, specHash, stateHash, winner, loser string, match bool) {
+			rec <- hedgeRecord{jobID: jobID, stateHash: stateHash, winner: winner, loser: loser, match: match}
+		},
+	}
+}
+
+// TestFleetHedgeFirstWinsAndVerifies: a straggling lease gets a duplicate
+// on a second worker; the first completion wins, the straggler's late
+// upload still lands, and the pair verifies bit-identical — journaled once.
+func TestFleetHedgeFirstWinsAndVerifies(t *testing.T) {
+	rec := make(chan hedgeRecord, 2)
+	h := newFleetHarness(t,
+		Config{DisableLocal: true, Retry: fastRetry},
+		hedgeCoordinatorConfig(rec))
+
+	job, err := h.sched.Submit(testSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := h.registerWorker(t, "straggler")
+	w2 := h.registerWorker(t, "rescuer")
+
+	g1 := w1.leaseUntilGrant(2 * time.Second)
+	if g1.JobID != job.ID {
+		t.Fatalf("grant is job %s, want %s", g1.JobID, job.ID)
+	}
+	// w1 sits on the lease past HedgeAfter; the reaper fires a duplicate
+	// attempt that only w2 can take (the primary's worker is excluded).
+	g2 := w2.leaseUntilGrant(3 * time.Second)
+	if g2.JobID != job.ID || g2.SpecHash != g1.SpecHash {
+		t.Fatalf("hedge grant = %+v, want duplicate of job %s", g2, job.ID)
+	}
+
+	payload := runPayload(t, g2.Spec)
+	if status := w2.complete(g2.LeaseID, payload); status != http.StatusOK {
+		t.Fatalf("hedge complete = %d", status)
+	}
+	// First-wins: the hedge's completion finishes the job while the
+	// straggler is still holding its lease.
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusDone {
+		t.Fatalf("job = %+v, want done before the straggler uploads", v)
+	}
+
+	// The straggler's upload is still accepted — and becomes the free
+	// cross-node verification of the hedged pair.
+	if status := w1.complete(g1.LeaseID, payload); status != http.StatusOK {
+		t.Fatalf("straggler complete = %d, want 200", status)
+	}
+	select {
+	case r := <-rec:
+		if !r.match || r.jobID != job.ID || r.winner != w1.id || r.loser != w2.id {
+			t.Fatalf("hedge record = %+v, want verified pair primary=%s hedge=%s", r, w1.id, w2.id)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no hedge_verified record after both completions landed")
+	}
+	if st := h.sched.Stats(); st.Executed != 1 {
+		t.Fatalf("stats = %+v, want executed=1 (the job completed exactly once)", st)
+	}
+}
+
+// TestFleetHedgeMismatchQuarantinesSlower: when a hedged pair diverges, the
+// slower (second-landing) worker is force-quarantined and the divergence
+// journaled with match=false.
+func TestFleetHedgeMismatchQuarantinesSlower(t *testing.T) {
+	rec := make(chan hedgeRecord, 2)
+	h := newFleetHarness(t,
+		Config{DisableLocal: true, Retry: fastRetry},
+		hedgeCoordinatorConfig(rec))
+
+	job, err := h.sched.Submit(testSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w1 := h.registerWorker(t, "honest")
+	w2 := h.registerWorker(t, "liar")
+
+	g1 := w1.leaseUntilGrant(2 * time.Second)
+	g2 := w2.leaseUntilGrant(3 * time.Second)
+
+	good := runPayload(t, g1.Spec)
+	if status := w1.complete(g1.LeaseID, good); status != http.StatusOK {
+		t.Fatalf("primary complete = %d", status)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusDone {
+		t.Fatalf("job = %+v, want done (primary won)", v)
+	}
+
+	// The hedge lands second with a diverged state hash.
+	var res runner.Result
+	if err := json.Unmarshal(good, &res); err != nil {
+		t.Fatal(err)
+	}
+	res.StateHash = "deadbeef" + res.StateHash[8:]
+	diverged, _ := json.Marshal(res)
+	if status := w2.complete(g2.LeaseID, diverged); status != http.StatusOK {
+		t.Fatalf("hedge complete = %d", status)
+	}
+	select {
+	case r := <-rec:
+		if r.match || r.loser != w2.id {
+			t.Fatalf("hedge record = %+v, want mismatch with hedge=%s", r, w2.id)
+		}
+	case <-time.After(3 * time.Second):
+		t.Fatal("no hedge record after divergent completions")
+	}
+	if got := h.waitWorkerHealth(t, w2.id, string(dispatch.HealthQuarantined), 2*time.Second); got != "quarantined" {
+		t.Fatalf("diverging worker health = %q, want quarantined", got)
+	}
+	if got := h.waitWorkerHealth(t, w1.id, string(dispatch.HealthHealthy), time.Second); got != "healthy" {
+		t.Fatalf("honest worker health = %q, want healthy", got)
+	}
+}
+
+// TestFleetQuarantineProbeReadmission: two lease expiries quarantine a
+// worker — its polls come back empty while work is queued — and after
+// ProbeAfter a single half-open probe lease whose clean completion readmits
+// it.
+func TestFleetQuarantineProbeReadmission(t *testing.T) {
+	h := newFleetHarness(t,
+		Config{DisableLocal: true, Retry: fastRetry},
+		dispatch.CoordinatorConfig{
+			LeaseTTL: 100 * time.Millisecond, PollWait: 100 * time.Millisecond,
+			ProbeAfter: 400 * time.Millisecond,
+		})
+
+	job, err := h.sched.Submit(testSpec(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w := h.registerWorker(t, "flaky")
+
+	// Two grants die by TTL: probation, then quarantine.
+	w.leaseUntilGrant(2 * time.Second)
+	w.leaseUntilGrant(3 * time.Second)
+	if got := h.waitWorkerHealth(t, w.id, string(dispatch.HealthQuarantined), 2*time.Second); got != "quarantined" {
+		t.Fatalf("after two expiries health = %q, want quarantined", got)
+	}
+
+	// Quarantined: lease matching skips the worker even though the job is
+	// queued and it is the only worker.
+	if g := w.lease(50 * time.Millisecond); g != nil {
+		t.Fatalf("quarantined worker got a grant: %+v", g)
+	}
+	if v := job.Snapshot(); v.Status == StatusDone || v.Status == StatusFailed {
+		t.Fatalf("job settled while the fleet was quarantined: %+v", v)
+	}
+
+	// After ProbeAfter the half-open probe grants; a clean completion
+	// readmits the worker and finishes the job.
+	g := w.leaseUntilGrant(3 * time.Second)
+	if g.JobID != job.ID {
+		t.Fatalf("probe grant is job %s, want %s", g.JobID, job.ID)
+	}
+	if status := w.complete(g.LeaseID, runPayload(t, g.Spec)); status != http.StatusOK {
+		t.Fatalf("probe complete = %d", status)
+	}
+	waitDone(t, job)
+	if v := job.Snapshot(); v.Status != StatusDone {
+		t.Fatalf("job = %+v, want done", v)
+	}
+	if got := h.waitWorkerHealth(t, w.id, string(dispatch.HealthHealthy), 2*time.Second); got != "healthy" {
+		t.Fatalf("readmitted worker health = %q, want healthy", got)
+	}
+	if st := h.sched.Stats(); st.Executed != 1 || st.Retried != 0 {
+		t.Fatalf("stats = %+v, want executed=1 retried=0", st)
+	}
+}

@@ -36,6 +36,18 @@ const (
 	recDone      = "done"      // completed (result in the cache)
 	recFailed    = "failed"    // terminal failure
 
+	// Poison records park and release jobs without ending their journal
+	// ownership: a poisoned job is still live (it replays parked, never
+	// re-run) until an operator releases it or it reaches a terminal state.
+	recPoisoned   = "poisoned"   // same failure kind on two distinct executors
+	recUnpoisoned = "unpoisoned" // operator released the job for retry
+
+	// recHedge is an audit record, not state: a hedged re-dispatch produced
+	// two completions of the same attempt and their state hashes were
+	// compared. Outcome "verified" (bit-identical) or "mismatch" (the slower
+	// worker was quarantined). Replay ignores it; compaction drops it.
+	recHedge = "hedge_verified"
+
 	// Campaign records share the same journal file so one fsync stream
 	// orders campaign state against the job admissions it produced. The
 	// campaign spec is opaque bytes here (internal/serve/campaign owns the
@@ -62,6 +74,13 @@ type journalRecord struct {
 	Campaign     json.RawMessage `json:"campaign,omitempty"`
 	Cursor       int64           `json:"cursor,omitempty"`
 	NextCampaign uint64          `json:"next_campaign,omitempty"`
+
+	// Poison / hedge fields.
+	Poisoned  bool   `json:"poisoned,omitempty"` // folded into compacted submitted records
+	StateHash string `json:"state_hash,omitempty"`
+	Winner    string `json:"winner,omitempty"`
+	Loser     string `json:"loser,omitempty"`
+	Outcome   string `json:"outcome,omitempty"`
 }
 
 // PendingJob is one journal job owed an execution: admitted (and possibly
@@ -74,6 +93,10 @@ type PendingJob struct {
 	// Started reports the job was picked up before the crash — its
 	// checkpoint, if one exists, is worth resuming from.
 	Started bool
+	// Poisoned marks a job parked by the poison detector; ErrMsg carries
+	// the convicting error. Recovery re-parks it instead of re-running.
+	Poisoned bool
+	ErrMsg   string
 }
 
 // PendingCampaign is one journal campaign owed a resumption: admitted but
@@ -187,6 +210,10 @@ func (j *Journal) replayAndCompact() error {
 			lj.Spec = *rec.Spec
 			lj.Escalations = rec.Escalations // compacted records carry these
 			lj.Started = rec.Mode != ""      // compacted records carry this
+			lj.Poisoned = rec.Poisoned       // compacted records carry this
+			if rec.Poisoned {
+				lj.ErrMsg = rec.Error
+			}
 			live[rec.JobID] = lj
 		case recStarted:
 			if lj, ok := live[rec.JobID]; ok {
@@ -196,6 +223,18 @@ func (j *Journal) replayAndCompact() error {
 			if lj, ok := live[rec.JobID]; ok && len(rec.Escalations) == 1 {
 				lj.Escalations = append(lj.Escalations, rec.Escalations[0])
 			}
+		case recPoisoned:
+			if lj, ok := live[rec.JobID]; ok {
+				lj.Poisoned = true
+				lj.ErrMsg = rec.Error
+			}
+		case recUnpoisoned:
+			if lj, ok := live[rec.JobID]; ok {
+				lj.Poisoned = false
+				lj.ErrMsg = ""
+			}
+		case recHedge:
+			// Audit only; carries no live state.
 		case recDone, recFailed:
 			delete(live, rec.JobID)
 		case recCampaign:
@@ -282,6 +321,10 @@ func (j *Journal) writeCompacted() error {
 		}
 		if p.Started {
 			rec.Mode = p.Spec.Mode // non-empty Mode marks "was started"
+		}
+		if p.Poisoned {
+			rec.Poisoned = true
+			rec.Error = p.ErrMsg
 		}
 		if err := enc.Encode(rec); err != nil {
 			tmp.Close()
@@ -386,6 +429,32 @@ func (j *Journal) Done(jobID string) error {
 // Failed journals a terminal failure.
 func (j *Journal) Failed(jobID, errMsg string) error {
 	return j.append(journalRecord{Type: recFailed, JobID: jobID, Error: errMsg})
+}
+
+// Poisoned journals a job parked by the poison detector. The job stays
+// live in the journal: replay re-parks it rather than re-running it.
+func (j *Journal) Poisoned(jobID, errMsg string) error {
+	return j.append(journalRecord{Type: recPoisoned, JobID: jobID, Error: errMsg})
+}
+
+// Unpoisoned journals an operator release of a poisoned job; replay runs
+// it again like any other pending job.
+func (j *Journal) Unpoisoned(jobID string) error {
+	return j.append(journalRecord{Type: recUnpoisoned, JobID: jobID})
+}
+
+// HedgeVerified journals the audit trail of a hedged re-dispatch whose two
+// completions were compared: match=true records bit-identical state hashes,
+// match=false records the divergence that quarantined the loser.
+func (j *Journal) HedgeVerified(jobID, specHash, stateHash, winner, loser string, match bool) error {
+	outcome := "verified"
+	if !match {
+		outcome = "mismatch"
+	}
+	return j.append(journalRecord{
+		Type: recHedge, JobID: jobID, SpecHash: specHash, StateHash: stateHash,
+		Winner: winner, Loser: loser, Outcome: outcome,
+	})
 }
 
 // PendingCampaigns returns the campaigns owed a resumption, in admission

@@ -18,6 +18,8 @@ type schedObs struct {
 	retried, escalated, timedOut    Counter
 	abandoned, recovered            Counter
 	requeuedCtr                     Counter
+	poisonedEvt, unpoisonedEvt      Counter
+	poisonedTotal                   Counter
 
 	queueDepth obs.Gauge
 
@@ -44,18 +46,23 @@ func newSchedObs(r *obs.Registry, s *Scheduler) *schedObs {
 	jobs := r.CounterVec("precisiond_jobs_total",
 		"Scheduler job traffic by event (mirrors /v1/cache/stats).", "event")
 	o := &schedObs{
-		submitted:   jobs.With("submitted"),
-		dedupHits:   jobs.With("dedup_hit"),
-		cacheHits:   jobs.With("cache_hit"),
-		executed:    jobs.With("executed"),
-		failed:      jobs.With("failed"),
-		rejected:    jobs.With("queue_rejected"),
-		retried:     jobs.With("retried"),
-		escalated:   jobs.With("escalated"),
-		timedOut:    jobs.With("timed_out"),
-		abandoned:   jobs.With("abandoned"),
-		recovered:   jobs.With("recovered"),
-		requeuedCtr: jobs.With("requeued"),
+		submitted:     jobs.With("submitted"),
+		dedupHits:     jobs.With("dedup_hit"),
+		cacheHits:     jobs.With("cache_hit"),
+		executed:      jobs.With("executed"),
+		failed:        jobs.With("failed"),
+		rejected:      jobs.With("queue_rejected"),
+		retried:       jobs.With("retried"),
+		escalated:     jobs.With("escalated"),
+		timedOut:      jobs.With("timed_out"),
+		abandoned:     jobs.With("abandoned"),
+		recovered:     jobs.With("recovered"),
+		requeuedCtr:   jobs.With("requeued"),
+		poisonedEvt:   jobs.With("poisoned"),
+		unpoisonedEvt: jobs.With("unpoisoned"),
+
+		poisonedTotal: r.Counter("precisiond_jobs_poisoned_total",
+			"Jobs parked as poisoned: the same failure kind on two distinct executors."),
 
 		queueDepth: r.Gauge("precisiond_queue_depth",
 			"Jobs admitted but not yet placed on a backend."),

@@ -57,17 +57,27 @@ import (
 // Status is a job's lifecycle state.
 type Status string
 
-// Job lifecycle: queued → running → done | failed. Cache answers are born
-// done.
+// Job lifecycle: queued → running → done | failed | poisoned. Cache
+// answers are born done. Poisoned jobs — specs that failed identically on
+// two distinct executors — are parked, not retried, until an operator
+// releases them (DELETE /v1/jobs/{id} → RetryPoisoned).
 const (
-	StatusQueued  Status = "queued"
-	StatusRunning Status = "running"
-	StatusDone    Status = "done"
-	StatusFailed  Status = "failed"
+	StatusQueued   Status = "queued"
+	StatusRunning  Status = "running"
+	StatusDone     Status = "done"
+	StatusFailed   Status = "failed"
+	StatusPoisoned Status = "poisoned"
 )
 
 // ErrQueueFull rejects submissions beyond the queue bound.
 var ErrQueueFull = errors.New("queue: job queue is full")
+
+// ErrUnknownJob reports a job ID the scheduler has never seen.
+var ErrUnknownJob = errors.New("queue: unknown job")
+
+// ErrNotPoisoned rejects a RetryPoisoned release of a job that is not
+// parked as poisoned.
+var ErrNotPoisoned = errors.New("queue: job is not poisoned")
 
 // Job tracks one admitted experiment. Progress fields are atomics so the
 // NDJSON streamer can poll without locking the scheduler.
@@ -94,8 +104,15 @@ type Job struct {
 	escalations []runner.Escalation
 	result      []byte
 	errMsg      string
-	done        chan struct{}
-	doneOne     sync.Once
+	// done closes at each terminal state; doneClosed guards the close so
+	// finish stays idempotent. RetryPoisoned swaps in a fresh channel when
+	// it revives a parked job, so Done() reads under the lock.
+	done       chan struct{}
+	doneClosed bool
+	// poisonSeen tracks, per failure kind, the distinct executors
+	// (worker ID or backend) that failed this spec with it. Two distinct
+	// executors failing the same way convict the spec, not the box.
+	poisonSeen map[string]map[string]struct{}
 
 	// trace is the job's span timeline, recorded from admission to the
 	// terminal state (obs.Trace is internally synchronized). queueSpan and
@@ -151,8 +168,14 @@ func (j *Job) Snapshot() View {
 	}
 }
 
-// Done is closed when the job reaches a terminal state.
-func (j *Job) Done() <-chan struct{} { return j.done }
+// Done is closed when the job reaches a terminal state. A poisoned job
+// revived by RetryPoisoned gets a fresh channel; callers that need the
+// next terminal state re-call Done.
+func (j *Job) Done() <-chan struct{} {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.done
+}
 
 // Result returns the serialized result payload once the job is done.
 // The bytes are the exact cache payload: byte-identical for every
@@ -188,8 +211,29 @@ func (j *Job) finish(st Status, result []byte, errMsg string) {
 	j.status = st
 	j.result = result
 	j.errMsg = errMsg
+	ch, closed := j.done, j.doneClosed
+	j.doneClosed = true
 	j.mu.Unlock()
-	j.doneOne.Do(func() { close(j.done) })
+	if !closed {
+		close(ch)
+	}
+}
+
+// notePoisonExecutor records one failed (kind, executor) pair and returns
+// how many distinct executors have failed this job with that kind.
+func (j *Job) notePoisonExecutor(kind, executor string) int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.poisonSeen == nil {
+		j.poisonSeen = make(map[string]map[string]struct{})
+	}
+	set := j.poisonSeen[kind]
+	if set == nil {
+		set = make(map[string]struct{})
+		j.poisonSeen[kind] = set
+	}
+	set[executor] = struct{}{}
+	return len(set)
 }
 
 // RunRequest carries one execution attempt's inputs to a RunFunc.
@@ -303,7 +347,10 @@ type Stats struct {
 	Recovered     uint64 `json:"recovered"`
 	// Requeued counts attempts whose remote lease expired and were put
 	// back on the board under the job's original ID.
-	Requeued   uint64 `json:"requeued"`
+	Requeued uint64 `json:"requeued"`
+	// Poisoned counts jobs parked after failing identically on two
+	// distinct executors.
+	Poisoned   uint64 `json:"poisoned"`
 	QueueDepth int    `json:"queue_depth"`
 	Workers    int    `json:"workers"`
 }
@@ -331,6 +378,7 @@ type Scheduler struct {
 	executed, failed, rejected      uint64
 	retried, escalated, timedOut    uint64
 	abandoned, recovered, requeued  uint64
+	poisoned, unpoisoned            uint64
 
 	// obs mirrors the counters above into the metrics registry (a zero-value
 	// schedObs when none is configured — every handle no-ops). log is the
@@ -585,6 +633,7 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 			OnPlaced: func(backend, worker string, wait time.Duration) {
 				s.jobPlaced(job, att, backend, worker, wait)
 			},
+			OnHedge: hedgeSpanRecorder(job),
 		}
 		out := s.runAttempt(ctx, a, timeout)
 		s.obs.runDur.With(string(spec.App), spec.Mode).ObserveSince(started)
@@ -688,6 +737,21 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 			s.removeCheckpoint(job.ID)
 			continue
 		case runner.KindTransient:
+			// A "transient" failure that reproduces with the same kind on two
+			// distinct executors is not the environment's fault — it is the
+			// job. Park it as poisoned instead of burning the rest of the
+			// retry budget (and any future fleet capacity) on it.
+			exec := out.Worker
+			if exec == "" {
+				exec = out.Backend
+			}
+			if exec == "" {
+				exec = "local"
+			}
+			if job.notePoisonExecutor(kind.String(), exec) >= 2 {
+				s.poison(job, err)
+				return
+			}
 			attempt++
 			if attempt >= s.cfg.Retry.MaxAttempts {
 				s.fail(job, fmt.Errorf("gave up after %d attempts: %w", attempt, err))
@@ -719,6 +783,35 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 		default: // KindPermanent
 			s.fail(job, err)
 			return
+		}
+	}
+}
+
+// hedgeSpanRecorder renders straggler-defense events into the job trace:
+// the duplicate attempt becomes a "hedge_attempt" span, a sibling of the
+// primary "attempt" span, annotated with its outcome; verification
+// results land as events on the root. Events arrive from coordinator
+// goroutines, possibly after the job completed (the loser's upload lands
+// late), so the recorder carries its own lock.
+func hedgeSpanRecorder(job *Job) func(event, worker string) {
+	var mu sync.Mutex
+	var span obs.Span
+	var open bool
+	return func(event, worker string) {
+		mu.Lock()
+		defer mu.Unlock()
+		switch event {
+		case "fired":
+			span = job.trace.Root().Child("hedge_attempt", obs.Str("primary", worker))
+			open = true
+		case "won", "lost", "skipped":
+			if open {
+				span.Annotate(obs.Str("outcome", event), obs.Str("worker", worker))
+				span.End()
+				open = false
+			}
+		case "verified", "mismatch":
+			job.trace.Root().Event("hedge_"+event, obs.Str("worker", worker))
 		}
 	}
 }
@@ -795,6 +888,90 @@ func (s *Scheduler) fail(job *Job, err error) {
 	job.trace.Root().End()
 	s.log.Error("job failed", obs.Str("job", job.ID), obs.Str("error", err.Error()))
 	job.finish(StatusFailed, nil, err.Error())
+}
+
+// poison parks a job whose transient failure reproduced with the same
+// runner.Error kind on two distinct executors: different machines failing
+// identically convict the spec, not the environment. The job is journaled
+// poisoned (replay-safe: a restart re-parks it without re-running), keeps
+// its inflight-map entry so duplicate submissions dedup onto the parked
+// record instead of re-running a known-bad spec, and waits for an operator
+// release (DELETE /v1/jobs/{id} → RetryPoisoned). Unlike fail, the trace
+// root stays open: a revived job continues the same timeline.
+func (s *Scheduler) poison(job *Job, err error) {
+	if s.cfg.Journal != nil {
+		_ = s.cfg.Journal.Poisoned(job.ID, err.Error())
+	}
+	s.removeCheckpoint(job.ID)
+	s.releaseNeverPlaced(job)
+	s.mu.Lock()
+	s.poisoned++
+	s.mu.Unlock()
+	s.obs.poisonedEvt.Inc()
+	s.obs.poisonedTotal.Inc()
+	job.trace.Root().Event("poisoned", obs.Str("error", err.Error()))
+	job.trace.Root().Annotate(obs.Str("status", "poisoned"))
+	s.log.Error("job poisoned; parked pending operator release",
+		obs.Str("job", job.ID), obs.Str("error", err.Error()))
+	job.finish(StatusPoisoned, nil, err.Error())
+}
+
+// RetryPoisoned releases a poisoned job back onto the queue with a fresh
+// retry budget and a clean executor-failure ledger. The release is
+// journaled before the job becomes runnable so a crash between the two
+// re-parks rather than silently re-runs. ErrUnknownJob / ErrNotPoisoned
+// report a bad target; a journal append failure leaves the job parked.
+func (s *Scheduler) RetryPoisoned(id string) error {
+	s.mu.Lock()
+	job, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return ErrUnknownJob
+	}
+
+	// Claim the job under its lock so two concurrent releases cannot both
+	// revive it; revert the claim if the journal refuses the release.
+	job.mu.Lock()
+	if job.status != StatusPoisoned {
+		job.mu.Unlock()
+		return ErrNotPoisoned
+	}
+	job.status = StatusQueued
+	job.mu.Unlock()
+	if s.cfg.Journal != nil {
+		if jerr := s.cfg.Journal.Unpoisoned(id); jerr != nil {
+			job.mu.Lock()
+			job.status = StatusPoisoned
+			job.mu.Unlock()
+			return fmt.Errorf("queue: journal release: %w", jerr)
+		}
+	}
+
+	job.mu.Lock()
+	job.done = make(chan struct{})
+	job.doneClosed = false
+	job.errMsg = ""
+	job.result = nil
+	job.poisonSeen = nil
+	job.everPlaced = false
+	job.tryResume = false
+	job.mu.Unlock()
+
+	job.trace.Root().Event("unpoisoned")
+	job.queueSpan = job.trace.Root().Child("queue_wait")
+	job.enqueuedAt = time.Now()
+
+	s.mu.Lock()
+	s.unpoisoned++
+	s.inflight[job.SpecHash] = job
+	s.waiting++
+	s.obs.queueDepth.Set(int64(s.waiting))
+	s.wg.Add(1)
+	s.mu.Unlock()
+	s.obs.unpoisonedEvt.Inc()
+	go s.runJob(job)
+	s.log.Info("poisoned job released for retry", obs.Str("job", id))
+	return nil
 }
 
 // shutdownFinish fails a job locally on scheduler shutdown WITHOUT a
@@ -963,6 +1140,25 @@ func (s *Scheduler) Recover() (requeued, healed int, err error) {
 	s.mu.Unlock()
 
 	for _, p := range pending {
+		if p.Poisoned {
+			// Re-park without re-running: the poison verdict (same failure
+			// on two distinct executors) survives restarts until an operator
+			// releases the job.
+			s.mu.Lock()
+			job := s.registerJobLocked(p.ID, p.Spec, p.SpecHash)
+			job.recovered = true
+			s.inflight[p.SpecHash] = job
+			s.recovered++
+			s.poisoned++
+			s.mu.Unlock()
+			s.obs.recovered.Inc()
+			job.trace.Root().Event("recovered", obs.Str("parked", "poisoned"))
+			job.trace.Root().Annotate(obs.Str("status", "poisoned"))
+			s.log.Warn("recovery re-parked poisoned job",
+				obs.Str("job", p.ID), obs.Str("error", p.ErrMsg))
+			job.finish(StatusPoisoned, nil, p.ErrMsg)
+			continue
+		}
 		if s.cfg.Cache != nil {
 			if payload, ok := s.cfg.Cache.Get(p.SpecHash); ok {
 				s.mu.Lock()
@@ -1113,6 +1309,7 @@ func (s *Scheduler) Stats() Stats {
 		Abandoned:     s.abandoned,
 		Recovered:     s.recovered,
 		Requeued:      s.requeued,
+		Poisoned:      s.poisoned,
 		QueueDepth:    s.waiting,
 		Workers:       s.cfg.Workers,
 	}

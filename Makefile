@@ -21,15 +21,21 @@
 # fault-armed slow worker and asserts hedged re-dispatch absorbs it with a
 # bit-identical digest, hash-verified hedge pairs, the straggler ending
 # quarantined and a clean SIGTERM drain (DESIGN.md §13).
+# `make fleetobs-smoke` runs the same campaign against an uninstrumented
+# single node and a fully-instrumented 2-worker fleet (stitched traces,
+# /metrics federation, energy/cost accounting) and asserts bit-identical
+# digests, a node=worker solve span in every job trace, /metrics/fleet
+# summing to the per-worker scrapes, and a cache-stable energy line
+# (DESIGN.md §14).
 # `make bench-par` regenerates the committed pool-vs-spawn dispatch
 # numbers in results/. `make bench-json` regenerates the committed
-# benchmark trajectories in BENCH_6.json (read path) and BENCH_7.json
-# (campaign expansion); `make bench-gate` is the CI regression gate
-# against them.
+# benchmark trajectories in BENCH_6.json (read path), BENCH_7.json
+# (campaign expansion) and BENCH_9.json (observability hot paths);
+# `make bench-gate` is the CI regression gate against them.
 
 GO ?= go
 
-.PHONY: build test vet verify race serve-smoke chaos-smoke obs-smoke dispatch-smoke read-smoke campaign-smoke straggler-smoke bench-par bench-step bench-json bench-gate
+.PHONY: build test vet verify race serve-smoke chaos-smoke obs-smoke dispatch-smoke read-smoke campaign-smoke straggler-smoke fleetobs-smoke bench-par bench-step bench-json bench-gate
 
 build:
 	$(GO) build ./...
@@ -65,6 +71,9 @@ campaign-smoke:
 
 straggler-smoke:
 	GO="$(GO)" ./scripts/straggler_smoke.sh
+
+fleetobs-smoke:
+	GO="$(GO)" ./scripts/fleetobs_smoke.sh
 
 bench-json:
 	GO="$(GO)" ./scripts/bench_json.sh

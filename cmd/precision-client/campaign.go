@@ -89,8 +89,22 @@ func runCampaign(addr, path string, retries int, raw bool) {
 		if !ok {
 			continue
 		}
-		fmt.Printf("mode %-5s jobs=%d completed=%d failed=%d escalation_rate=%.3f\n",
+		line := fmt.Sprintf("mode %-5s jobs=%d completed=%d failed=%d escalation_rate=%.3f",
 			mode, ms.Jobs, ms.Completed, ms.Failed, ms.EscalationRate)
+		if ms.Energy != nil {
+			line += fmt.Sprintf(" joules=%.3g cost=$%.3g", ms.Energy.Joules, ms.Energy.CostDollars)
+		}
+		fmt.Println(line)
+	}
+	if e := a.Energy; e != nil {
+		// The fleet's modeled $/experiment: arch profile × deterministic
+		// counters, summed over every accounted job in the campaign.
+		perJob := 0.0
+		if e.Jobs > 0 {
+			perJob = e.CostDollars / float64(e.Jobs)
+		}
+		fmt.Printf("energy: jobs=%d joules=%.4g cost=$%.4g ($%.3g/experiment)\n",
+			e.Jobs, e.Joules, e.CostDollars, perJob)
 	}
 	if a.ResultDigest != "" {
 		fmt.Printf("result_digest=%s\n", a.ResultDigest)

@@ -11,7 +11,8 @@
 //	precision-worker -coordinator http://127.0.0.1:7717
 //	precision-worker -slots 2 -lanes 2          # two concurrent leases
 //	precision-worker -apps clamr -modes min,mixed
-//	precision-worker -read-addr 127.0.0.1:0     # serve replica reads
+//	precision-worker -read-addr 127.0.0.1:0     # serve replica reads + /metrics
+//	precision-worker -arch 'Tesla P100'         # energy/cost platform profile
 //	precision-worker -drain-grace 60s           # SIGTERM drain deadline
 //	precision-worker -faults 'worker.slow=x:4'  # act as a 4x straggler
 //
@@ -23,6 +24,18 @@
 // and serves them at GET <read-addr>/replica/{hash}. The coordinator
 // digest-verifies every replica payload, so this store can only ever
 // offload reads, never corrupt them.
+//
+// Observability (DESIGN.md §14): the same address serves the worker's own
+// Prometheus exposition at GET <read-addr>/metrics, which the coordinator
+// scrapes on the heartbeat cadence and folds into GET /metrics/fleet.
+// Each lease grant carries trace context (the job's trace ID plus the
+// coordinator-side attempt span); the worker records its solver, per-phase
+// and checkpoint spans under it, streams partial snapshots on heartbeats,
+// and ships the final timeline beside the result upload — never inside the
+// result payload, which stays the byte-identical deterministic document.
+// The -arch profile (see internal/arch; default Haswell) is advertised at
+// registration so the coordinator can price each completed job in joules
+// and dollars from its deterministic counters.
 //
 // The worker holds no durable state. Kill it — even SIGKILL — and its
 // leases expire at the coordinator after the lease TTL; the scheduler
@@ -68,6 +81,7 @@ import (
 	"syscall"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -83,8 +97,9 @@ func main() {
 		lanes       = flag.Int("lanes", 0, "solver lanes per lease (default: GOMAXPROCS/slots)")
 		apps        = flag.String("apps", "", "comma-separated app allowlist advertised to the coordinator (empty = all)")
 		modes       = flag.String("modes", "", "comma-separated precision-mode allowlist (empty = all)")
-		readAddr    = flag.String("read-addr", "", "serve completed result payloads for fleet-replicated reads on this address (empty = off; use :0 for any free port)")
+		readAddr    = flag.String("read-addr", "", "serve completed result payloads for fleet-replicated reads, plus /metrics, on this address (empty = off; use :0 for any free port)")
 		replicaMax  = flag.Int64("replica-bytes", 64<<20, "replica store byte cap (with -read-addr)")
+		archName    = flag.String("arch", "Haswell", "platform profile advertised for energy/cost accounting (see internal/arch; empty = none)")
 		faults      = flag.String("faults", "", "arm fault-injection points, e.g. 'worker.heartbeat.drop=n:3'")
 		drainGrace  = flag.Duration("drain-grace", 30*time.Second, "max time a graceful drain (first SIGINT/SIGTERM) waits for running leases before hard-cancelling")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
@@ -126,6 +141,14 @@ func main() {
 		host, _ := os.Hostname()
 		*name = fmt.Sprintf("%s-%d", host, os.Getpid())
 	}
+	var archSpec *arch.Spec
+	if *archName != "" {
+		spec, err := arch.FindSpec(*archName)
+		if err != nil {
+			fatal(err)
+		}
+		archSpec = &spec
+	}
 
 	// Two-stage shutdown: the first signal cancels pollCtx (no new leases;
 	// running ones finish and upload under continued heartbeats), the second
@@ -160,6 +183,7 @@ func main() {
 		base:  strings.TrimRight(*coordinator, "/"),
 		name:  *name,
 		lanes: *lanes,
+		arch:  archSpec,
 		caps: dispatch.Capabilities{
 			Apps:       splitList(*apps),
 			Modes:      splitList(*modes),
@@ -170,6 +194,13 @@ func main() {
 		hc:     &http.Client{Timeout: 0}, // long-polls; per-request bounds below
 		log:    logger,
 		leases: make(map[string]*activeLease),
+
+		mLeases: obs.Default.CounterVec("precision_worker_leases_total",
+			"Leases executed on this node, by outcome.", "outcome"),
+		mRunDur: obs.Default.HistogramVec("precision_worker_run_seconds",
+			"Lease execution wall time on this node.", obs.DurationBuckets, "app", "mode"),
+		mHeartbeats: obs.Default.Counter("precision_worker_heartbeats_total",
+			"Heartbeats sent to the coordinator."),
 	}
 
 	// Replica read serving (DESIGN.md §11, tier 2): hold canonical result
@@ -248,11 +279,16 @@ type worker struct {
 	base     string
 	name     string
 	lanes    int
+	arch     *arch.Spec // platform profile advertised for energy accounting
 	caps     dispatch.Capabilities
 	hc       *http.Client
 	log      *obs.Logger
 	store    *cache.HotTier // replica payload store (nil = replica reads off)
 	readAddr string         // advertised base URL of the replica server
+
+	mLeases     obs.CounterVec
+	mRunDur     obs.HistogramVec
+	mHeartbeats obs.Counter
 
 	mu        sync.Mutex
 	id        string
@@ -263,11 +299,37 @@ type worker struct {
 }
 
 // activeLease is one running grant: its cancel hook (fired when the
-// coordinator reports the lease expired) and the solver's progress, relayed
-// on heartbeats.
+// coordinator reports the lease expired), the solver's progress, relayed
+// on heartbeats, and the worker-side span timeline, streamed back as
+// partial snapshots on heartbeats so long runs stitch incrementally.
 type activeLease struct {
 	cancel      context.CancelFunc
 	step, total atomic.Int64
+	trace       *obs.Trace
+}
+
+// ckptMeter observes the final-state checkpoint as the runner streams it
+// through: total bytes and the first-to-last-write wall span (the
+// serialization window, not the negligible time inside Write). It tees into
+// the runner's own hasher path without perturbing the bytes, and is only
+// read after the run returns — single writer, no locking.
+type ckptMeter struct {
+	bytes       int64
+	first, last time.Time
+}
+
+func (c *ckptMeter) Write(p []byte) (int, error) {
+	now := time.Now()
+	if c.first.IsZero() {
+		c.first = now
+	}
+	c.last = now
+	c.bytes += int64(len(p))
+	return len(p), nil
+}
+
+func (c *ckptMeter) totals() (int64, time.Duration) {
+	return c.bytes, c.last.Sub(c.first)
 }
 
 func (w *worker) workerID() string {
@@ -304,8 +366,11 @@ func (w *worker) register(ctx context.Context) error {
 
 func (w *worker) registerOnce(ctx context.Context) error {
 	var resp dispatch.RegisterResponse
+	// The full profile ships on every register — including the implicit
+	// re-registers after a coordinator restart — so the fleet's view of
+	// this node's capabilities and arch never goes stale.
 	status, err := w.postJSON(ctx, "/v1/workers/register",
-		dispatch.RegisterRequest{Name: w.name, Capabilities: w.caps, ReadAddr: w.readAddr}, &resp, 5*time.Second)
+		dispatch.RegisterRequest{Name: w.name, Capabilities: w.caps, ReadAddr: w.readAddr, Arch: w.arch}, &resp, 5*time.Second)
 	if err != nil {
 		return err
 	}
@@ -403,7 +468,14 @@ func (w *worker) runLease(ctx context.Context, sl *obs.Logger, g *dispatch.Lease
 	ll := sl.With(obs.Str("lease", g.LeaseID), obs.Str("job", g.JobID))
 	runCtx, cancel := context.WithCancel(ctx)
 	defer cancel()
-	al := &activeLease{cancel: cancel}
+	// The worker-side timeline for this lease: rooted in the trace context
+	// the grant carried, so the coordinator can stitch it under the job's
+	// attempt span. Registered on the lease before the run starts so
+	// heartbeats stream partial snapshots from the first beat.
+	tr := obs.NewTrace(g.TraceID, "worker",
+		obs.Str("worker", w.name), obs.Str("lease", g.LeaseID),
+		obs.Str("parent_span", g.ParentSpan))
+	al := &activeLease{cancel: cancel, trace: tr}
 	w.mu.Lock()
 	w.leases[g.LeaseID] = al
 	w.mu.Unlock()
@@ -417,13 +489,31 @@ func (w *worker) runLease(ctx context.Context, sl *obs.Logger, g *dispatch.Lease
 		obs.Str("app", string(g.Spec.App)), obs.Str("mode", g.Spec.Mode),
 		obs.Str("spec_hash", g.SpecHash), obs.Str("attempt", fmt.Sprint(g.Attempt)))
 	started := time.Now()
+	solve := tr.Root().Child("solve",
+		obs.Str("app", string(g.Spec.App)), obs.Str("mode", g.Spec.Mode))
+	var ckpt ckptMeter
 	res, err := runner.Run(runCtx, g.Spec, runner.RunOpts{
-		Workers: w.lanes,
+		Workers:    w.lanes,
+		Checkpoint: &ckpt,
 		Progress: func(step, total int) {
 			al.step.Store(int64(step))
 			al.total.Store(int64(total))
 		},
 	})
+	if err == nil {
+		for _, p := range res.Phases {
+			solve.AggregateChild("phase:"+p.Name, time.Duration(p.Seconds*float64(time.Second)))
+		}
+		solve.Annotate(obs.Str("outcome", "ok"))
+	} else {
+		solve.Annotate(obs.Str("outcome", "error"), obs.Str("error", err.Error()))
+	}
+	solve.End()
+	if cb, cd := ckpt.totals(); cb > 0 {
+		tr.Root().AggregateChild("checkpoint", cd,
+			obs.Str("bytes", fmt.Sprint(cb)))
+	}
+	w.mRunDur.With(string(g.Spec.App), g.Spec.Mode).ObserveSince(started)
 	if err == nil && fault.Hit("worker.slow") {
 		// Straggler simulator: inflate the wall time after the run so the
 		// result stays bit-identical — only the lease looks slow. x:<f>
@@ -456,6 +546,17 @@ func (w *worker) runLease(ctx context.Context, sl *obs.Logger, g *dispatch.Lease
 				obs.Str("wall", time.Since(started).Round(time.Millisecond).String()))
 		}
 	}
+	outcome := "ok"
+	if req.Error != "" {
+		outcome = "error"
+	}
+	w.mLeases.With(outcome).Inc()
+	// The final timeline travels beside the result, never inside it — the
+	// uploaded payload stays the byte-identical deterministic document.
+	tr.Root().Annotate(obs.Str("outcome", outcome))
+	tr.Root().End()
+	td := tr.Snapshot()
+	req.Trace = &td
 	if cerr := w.complete(ctx, req); cerr != nil {
 		ll.Warn("completion not accepted", obs.Str("error", cerr.Error()))
 	} else if req.Result != nil && w.store != nil {
@@ -522,7 +623,9 @@ func (w *worker) fetchResult(ctx context.Context, hash string) (payload []byte, 
 
 // replicaMux serves GET /replica/{hash}: the stored canonical payload, or
 // 404. The coordinator re-verifies the digest on its side, so this handler
-// stays trivially dumb.
+// stays trivially dumb. The same mux exposes the worker's own Prometheus
+// exposition at GET /metrics — the scrape target the coordinator federates
+// into GET /metrics/fleet.
 func (w *worker) replicaMux() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("GET /replica/{hash}", func(rw http.ResponseWriter, r *http.Request) {
@@ -534,6 +637,7 @@ func (w *worker) replicaMux() *http.ServeMux {
 		rw.Header().Set("Content-Type", "application/json")
 		rw.Write(payload)
 	})
+	mux.Handle("GET /metrics", obs.Default.Handler())
 	return mux
 }
 
@@ -602,9 +706,16 @@ func (w *worker) heartbeatLoop(ctx context.Context) {
 		held := make(map[string]*activeLease, len(w.leases))
 		for lid, al := range w.leases {
 			held[lid] = al
-			hb.Leases = append(hb.Leases, dispatch.LeaseProgress{
+			lp := dispatch.LeaseProgress{
 				LeaseID: lid, Step: al.step.Load(), Total: al.total.Load(),
-			})
+			}
+			if al.trace != nil {
+				// Partial snapshot: long runs stream their spans so the
+				// coordinator's stitched view grows while they execute.
+				td := al.trace.Snapshot()
+				lp.Trace = &td
+			}
+			hb.Leases = append(hb.Leases, lp)
 		}
 		w.mu.Unlock()
 		if fault.Hit("worker.heartbeat.drop") {
@@ -617,6 +728,7 @@ func (w *worker) heartbeatLoop(ctx context.Context) {
 			w.log.Warn("heartbeat flapped (fault injection)", obs.Str("worker", id))
 			continue
 		}
+		w.mHeartbeats.Inc()
 		var resp dispatch.HeartbeatResponse
 		status, err := w.postJSON(ctx, "/v1/workers/"+id+"/heartbeat", hb, &resp, 5*time.Second)
 		if err != nil {

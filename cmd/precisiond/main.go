@@ -17,6 +17,8 @@
 //	precisiond -hedge-budget 0.15 -hedge-after 2s  # straggler hedging
 //	precisiond -hot-bytes 134217728           # size the in-memory read tier
 //	precisiond -campaign-budget 1000000 -campaign-slots 16
+//	precisiond -arch 'Tesla P100'             # local energy/cost profile
+//	precisiond -trace-export /tmp/traces      # Chrome trace_event dumps
 //
 // The daemon is also the coordinator of a distributed worker fleet
 // (DESIGN.md §9): cmd/precision-worker nodes register under /v1/workers,
@@ -62,12 +64,23 @@
 // attempt; jobs whose precision rung trips a numerical guard are retried
 // one rung up automatically (DESIGN.md §7).
 //
-// Observability (DESIGN.md §8): the daemon logs structured key=value lines
-// to stderr at -log-level and serves Prometheus metrics at GET /metrics on
-// the API address. Every job records a span timeline readable at
-// GET /v1/jobs/{id}/trace (and embedded in the result payload). -debug-addr
-// opens a second, loopback-only listener serving net/http/pprof — profiling
-// stays off the API surface and off by default.
+// Observability (DESIGN.md §8, §14): the daemon logs structured key=value
+// lines to stderr at -log-level and serves Prometheus metrics at
+// GET /metrics on the API address. Every job records a span timeline
+// readable at GET /v1/jobs/{id}/trace (and embedded in the result
+// payload); remotely-executed attempts stitch the worker's own solver,
+// phase and checkpoint spans under the job's attempt span, so the timeline
+// is one coherent cross-node view (?format=chrome renders it as Chrome
+// trace_event JSON, and -trace-export dumps the same per completed job).
+// The coordinator scrapes each worker's /metrics on the heartbeat cadence
+// and serves the summed fleet exposition at GET /metrics/fleet. Completed
+// jobs are priced in modeled joules and dollars — the executing worker's
+// registered arch profile (or this node's -arch for local runs) applied to
+// the run's deterministic counters — surfacing as span attributes, the
+// precisiond_job_joules_total / precisiond_job_cost_dollars_total metrics,
+// and per-campaign $/experiment aggregates. -debug-addr opens a second,
+// loopback-only listener serving net/http/pprof — profiling stays off the
+// API surface and off by default.
 //
 // Fault injection for chaos testing is armed via -faults or the
 // PRECISIOND_FAULTS environment variable, e.g.
@@ -92,12 +105,15 @@ import (
 	"net/http/pprof"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"syscall"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/fault"
 	"repro/internal/obs"
+	"repro/internal/runner"
 	"repro/internal/serve/api"
 	"repro/internal/serve/cache"
 	"repro/internal/serve/campaign"
@@ -126,6 +142,8 @@ func main() {
 		campBudget  = flag.Int64("campaign-budget", 1<<20, "cap on total estimated campaign expansion (new campaign + live remainders); over-budget submissions get 429")
 		campSlots   = flag.Int("campaign-slots", 16, "campaign jobs concurrently in flight across all campaigns")
 		campReserve = flag.Int("campaign-reserve", -1, "queue slots held for interactive POST /v1/jobs that campaign expansion may not occupy (-1 = queue-depth/4)")
+		archName    = flag.String("arch", "Haswell", "platform profile pricing locally-executed jobs in joules/dollars (see internal/arch; empty = no local energy accounting)")
+		traceExport = flag.String("trace-export", "", "dump every completed job's stitched span timeline as Chrome trace_event JSON into this directory (empty = off)")
 		faults      = flag.String("faults", "", "arm fault-injection points, e.g. 'cache.put=p:0.1,journal.sync=n:3'")
 		logLevel    = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
 		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
@@ -226,6 +244,35 @@ func main() {
 	if *ckptDir != "" {
 		cfg.CheckpointDir = *ckptDir
 		cfg.CheckpointEvery = *ckptEvery
+	}
+	if *archName != "" {
+		// Local energy accounting: jobs the fleet coordinator did not
+		// already price (remote uploads carry the executing worker's
+		// profile) are modeled on this node's profile.
+		spec, err := arch.FindSpec(*archName)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Energy = func(backend, worker string, res *runner.Result) *runner.Energy {
+			return dispatch.ComputeEnergy(spec, res)
+		}
+	}
+	if *traceExport != "" {
+		if err := os.MkdirAll(*traceExport, 0o755); err != nil {
+			fatal(err)
+		}
+		dir := *traceExport
+		cfg.OnComplete = func(job *queue.Job, res *runner.Result) {
+			if res.Trace == nil {
+				return
+			}
+			path := filepath.Join(dir, job.ID+".trace.json")
+			if err := os.WriteFile(path, obs.ChromeTrace(*res.Trace), 0o644); err != nil {
+				logger.Warn("trace export failed",
+					obs.Str("job", job.ID), obs.Str("error", err.Error()))
+			}
+		}
+		logger.Info("trace export on", obs.Str("dir", dir))
 	}
 	sched := queue.New(cfg)
 	if journal != nil {

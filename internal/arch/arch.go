@@ -40,26 +40,29 @@ func (c Class) String() string {
 	return "CPU"
 }
 
-// Spec is the published specification sheet of one platform.
+// Spec is the published specification sheet of one platform. It carries
+// json tags so a worker can ship its profile to the coordinator at
+// registration (the energy/cost accounting input).
 type Spec struct {
-	Name  string
-	Class Class
+	Name  string `json:"name"`
+	Class Class  `json:"class"`
 	// Peak single/double precision throughput, GFLOP/s.
-	SPPeakGF, DPPeakGF float64
+	SPPeakGF float64 `json:"sp_peak_gf"`
+	DPPeakGF float64 `json:"dp_peak_gf"`
 	// Peak memory bandwidth, GB/s.
-	MemBWGBs float64
+	MemBWGBs float64 `json:"mem_bw_gbs"`
 	// Nominal board/package power, W.
-	TDPWatts float64
+	TDPWatts float64 `json:"tdp_watts"`
 	// Device memory, GB (capacity checks).
-	MemGB float64
+	MemGB float64 `json:"mem_gb"`
 	// VectorWidth64 is the number of float64 SIMD lanes (CPU only); the
 	// scalar (unvectorized) profile divides the peak by this.
-	VectorWidth64 int
+	VectorWidth64 int `json:"vector_width_64,omitempty"`
 	// LaunchOverhead per kernel launch (GPUs).
-	LaunchOverhead time.Duration
+	LaunchOverhead time.Duration `json:"launch_overhead_ns,omitempty"`
 	// Efficiency is the achievable fraction of peak for these irregular
 	// mini-app kernels (default 0.10 CPU, 0.25 GPU applied by Predict).
-	Efficiency float64
+	Efficiency float64 `json:"efficiency,omitempty"`
 }
 
 // The paper's test matrix (§IV.E), with published specifications.

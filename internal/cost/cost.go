@@ -89,6 +89,20 @@ func (r Rates) Cost(s Scenario) (Breakdown, error) {
 	}, nil
 }
 
+// JobDollars prices one job directly — no weekly-usage scaling — for the
+// fleet's per-job cost accounting: modeled compute seconds billed at the
+// hourly instance rate (with the calculator overhead the paper's estimates
+// carry), plus one month of standard-tier storage for the job's checkpoint
+// bytes. Small by construction; campaigns sum it into $/experiment.
+func (r Rates) JobDollars(computeSeconds float64, checkpointBytes uint64) float64 {
+	if computeSeconds < 0 {
+		computeSeconds = 0
+	}
+	compute := computeSeconds / 3600 * r.EC2PerHour * r.CalculatorOverhead
+	storage := float64(checkpointBytes) / 1e9 * r.S3StandardPerGBMonth
+	return compute + storage
+}
+
 // Savings returns the fractional saving of b relative to baseline
 // (e.g. 0.23 = 23% cheaper).
 func Savings(b, baseline Breakdown) float64 {

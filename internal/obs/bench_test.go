@@ -1,0 +1,102 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// workerSideTrace builds the remote snapshot a typical lease ships back:
+// root, solve with three phase aggregates, checkpoint.
+func workerSideTrace() TraceData {
+	tr := NewTrace("job-bench", "worker", Str("worker", "worker-001"))
+	solve := tr.Root().Child("solve", Str("mode", "mixed"))
+	for _, p := range []string{"hydro", "amr", "reduce"} {
+		solve.AggregateChild("phase:"+p, time.Millisecond)
+	}
+	solve.End()
+	tr.Root().AggregateChild("checkpoint", time.Millisecond, Str("bytes", "4096"))
+	tr.Root().End()
+	return tr.Snapshot()
+}
+
+// BenchmarkObsJobTrace is the per-job trace overhead on the scheduler's hot
+// path: the full span lifecycle a remotely-executed job pays — root, queue
+// wait, attempt with annotations, the worker subtree graft, and the final
+// snapshot that lands in the result payload. The bench-gate fails if this
+// regresses >20% in allocs/op: always-on tracing must stay cheap.
+func BenchmarkObsJobTrace(b *testing.B) {
+	remote := workerSideTrace()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr := NewTrace("job-000001", "job", Str("app", "clamr"), Str("mode", "mixed"))
+		qw := tr.Root().Child("queue_wait")
+		qw.End()
+		att := tr.Root().Child("attempt", Str("mode", "mixed"), Str("n", "1"))
+		att.Event("upload", Str("worker", "worker-001"), Str("bytes", "8192"))
+		att.SetRemote(remote)
+		att.Annotate(Str("outcome", "ok"), Str("joules", "12.5"), Str("cost_dollars", "0.001"))
+		att.End()
+		tr.Root().End()
+		if td := tr.Snapshot(); len(td.Spans) == 0 {
+			b.Fatal("empty snapshot")
+		}
+	}
+}
+
+// BenchmarkObsStitchSnapshot isolates the graft: snapshotting a trace whose
+// attempt carries a worker subtree (re-anchor, clamp, parent remap).
+func BenchmarkObsStitchSnapshot(b *testing.B) {
+	remote := workerSideTrace()
+	tr := NewTrace("job-000001", "job")
+	att := tr.Root().Child("attempt")
+	att.SetRemote(remote)
+	att.End()
+	tr.Root().End()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if td := tr.Snapshot(); len(td.Spans) < len(remote.Spans) {
+			b.Fatal("graft missing")
+		}
+	}
+}
+
+// BenchmarkObsFederate is one GET /metrics/fleet render: merge four
+// worker scrapes of a realistic exposition (counters, a histogram, float
+// counters) and write the summed text form.
+func BenchmarkObsFederate(b *testing.B) {
+	mk := func() *ParsedMetrics {
+		r := NewRegistry()
+		lv := r.CounterVec("precision_worker_leases_total", "Leases.", "outcome")
+		lv.With("ok").Add(120)
+		lv.With("error").Add(3)
+		h := r.HistogramVec("precision_worker_run_seconds", "Runs.", DurationBuckets, "app", "mode")
+		for _, v := range []float64{0.01, 0.3, 1.2, 8, 40} {
+			h.With("clamr", "mixed").Observe(v)
+		}
+		r.Counter("precision_worker_heartbeats_total", "Beats.").Add(500)
+		r.FloatCounter("precision_worker_joules_total", "Joules.").Add(123.5)
+		var sb strings.Builder
+		if err := r.WritePrometheus(&sb); err != nil {
+			b.Fatal(err)
+		}
+		pm, err := ParsePrometheus(strings.NewReader(sb.String()))
+		if err != nil {
+			b.Fatal(err)
+		}
+		return pm
+	}
+	scrapes := []*ParsedMetrics{mk(), mk(), mk(), mk()}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var sb strings.Builder
+		if err := Federate(&sb, scrapes); err != nil {
+			b.Fatal(err)
+		}
+		if sb.Len() == 0 {
+			b.Fatal("empty merge")
+		}
+	}
+}

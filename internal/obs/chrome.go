@@ -1,0 +1,68 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+)
+
+// chromeEvent is one Chrome trace_event record: a "complete" event ("X")
+// with microsecond timestamp and duration, the format about:tracing and
+// Perfetto load directly.
+type chromeEvent struct {
+	Name string            `json:"name"`
+	Ph   string            `json:"ph"`
+	Ts   float64           `json:"ts"`  // µs since trace epoch
+	Dur  float64           `json:"dur"` // µs
+	Pid  int               `json:"pid"`
+	Tid  int               `json:"tid"`
+	Args map[string]string `json:"args,omitempty"`
+}
+
+// ChromeTrace renders a trace snapshot as Chrome trace_event JSON.
+// Complete events on one thread track must nest, but hedged attempts (and
+// their grafted worker subtrees) overlap in time as siblings — so each
+// direct child of the root gets its own track (tid = that span's index),
+// with the root on track 0. Timestamps are offsets from the trace start,
+// which keeps the viewer's time axis starting at zero.
+func ChromeTrace(td TraceData) []byte {
+	events := make([]chromeEvent, 0, len(td.Spans))
+	lane := make([]int, len(td.Spans))
+	for i, sp := range td.Spans {
+		switch {
+		case sp.Parent < 0:
+			lane[i] = 0
+		case sp.Parent == 0:
+			lane[i] = i
+		default:
+			lane[i] = lane[sp.Parent]
+		}
+		var args map[string]string
+		if len(sp.Attrs) > 0 || sp.Open {
+			args = make(map[string]string, len(sp.Attrs)+1)
+			for _, a := range sp.Attrs {
+				args[a.Key] = a.Value
+			}
+			if sp.Open {
+				args["open"] = "true"
+			}
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			Ts:   float64(sp.StartNs) / 1e3,
+			Dur:  float64(sp.EndNs-sp.StartNs) / 1e3,
+			Pid:  1,
+			Tid:  lane[i],
+			Args: args,
+		})
+	}
+	var buf bytes.Buffer
+	buf.WriteString(`{"displayTimeUnit":"ms","traceEvents":`)
+	b, err := json.Marshal(events)
+	if err != nil {
+		b = []byte("[]")
+	}
+	buf.Write(b)
+	buf.WriteString("}")
+	return buf.Bytes()
+}

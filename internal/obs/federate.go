@@ -1,0 +1,166 @@
+package obs
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// ParsedMetrics is one parsed Prometheus text scrape: every series with its
+// rendered label block, plus the HELP/TYPE declarations keyed by family
+// name. The coordinator keeps one per worker and merges fresh ones into the
+// fleet view.
+type ParsedMetrics struct {
+	// Types and Helps key on the family name from # TYPE / # HELP lines.
+	Types map[string]string
+	Helps map[string]string
+	// Series holds every sample line in input order.
+	Series []SeriesPoint
+}
+
+// SeriesPoint is one sample line. Labels is the raw rendered label block
+// including braces ("" when unlabelled); all workers run the same binary,
+// so identical series render identically and the raw block is a stable
+// aggregation key.
+type SeriesPoint struct {
+	Name   string
+	Labels string
+	Value  float64
+}
+
+// ParsePrometheus parses text exposition format (version 0.0.4) as written
+// by WritePrometheus. Unparseable sample lines are an error — a worker
+// serving garbage should read as a failed scrape, not a silent zero.
+func ParsePrometheus(r io.Reader) (*ParsedMetrics, error) {
+	out := &ParsedMetrics{Types: map[string]string{}, Helps: map[string]string{}}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			fields := strings.SplitN(line, " ", 4)
+			if len(fields) >= 4 && fields[1] == "TYPE" {
+				out.Types[fields[2]] = fields[3]
+			} else if len(fields) >= 4 && fields[1] == "HELP" {
+				out.Helps[fields[2]] = fields[3]
+			}
+			continue
+		}
+		sp, err := parseSeriesLine(line)
+		if err != nil {
+			return nil, err
+		}
+		out.Series = append(out.Series, sp)
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// parseSeriesLine splits `name{labels} value` / `name value`. The label
+// block may itself contain spaces inside quoted values, so the value is
+// taken after the closing brace (or the first space when unlabelled).
+func parseSeriesLine(line string) (SeriesPoint, error) {
+	var name, labels, val string
+	if i := strings.IndexByte(line, '{'); i >= 0 {
+		j := strings.LastIndexByte(line, '}')
+		if j < i {
+			return SeriesPoint{}, fmt.Errorf("obs: malformed series line %q", line)
+		}
+		name, labels, val = line[:i], line[i:j+1], strings.TrimSpace(line[j+1:])
+	} else {
+		i = strings.IndexByte(line, ' ')
+		if i < 0 {
+			return SeriesPoint{}, fmt.Errorf("obs: malformed series line %q", line)
+		}
+		name, val = line[:i], strings.TrimSpace(line[i+1:])
+	}
+	v, err := strconv.ParseFloat(val, 64)
+	if err != nil {
+		return SeriesPoint{}, fmt.Errorf("obs: series %s: bad value %q", name, val)
+	}
+	return SeriesPoint{Name: name, Labels: labels, Value: v}, nil
+}
+
+// familyOf maps a series name back to its declaring family: histogram
+// component series (_bucket/_sum/_count) roll up to the base name their
+// TYPE line declares.
+func familyOf(name string, types map[string]string) string {
+	if _, ok := types[name]; ok {
+		return name
+	}
+	for _, suf := range []string{"_bucket", "_sum", "_count"} {
+		if base, ok := strings.CutSuffix(name, suf); ok {
+			if types[base] == "histogram" {
+				return base
+			}
+		}
+	}
+	return name
+}
+
+// Federate merges scrapes into one exposition: every series summed across
+// scrapes by (name, labels) — counters and gauges add, and histogram
+// cumulative buckets/sums/counts add per-le, so the merged histogram is
+// exactly the union of observations. Stale workers are the caller's
+// problem: pass only the scrapes fresh enough to trust.
+func Federate(w io.Writer, scrapes []*ParsedMetrics) error {
+	type key struct{ name, labels string }
+	sums := map[key]float64{}
+	types := map[string]string{}
+	helps := map[string]string{}
+	var order []key
+	for _, s := range scrapes {
+		if s == nil {
+			continue
+		}
+		for name, typ := range s.Types {
+			types[name] = typ
+		}
+		for name, help := range s.Helps {
+			helps[name] = help
+		}
+		for _, sp := range s.Series {
+			k := key{sp.Name, sp.Labels}
+			if _, ok := sums[k]; !ok {
+				order = append(order, k)
+			}
+			sums[k] += sp.Value
+		}
+	}
+	sort.Slice(order, func(i, j int) bool {
+		fi, fj := familyOf(order[i].name, types), familyOf(order[j].name, types)
+		if fi != fj {
+			return fi < fj
+		}
+		if order[i].name != order[j].name {
+			return order[i].name < order[j].name
+		}
+		return order[i].labels < order[j].labels
+	})
+	var b strings.Builder
+	lastFamily := ""
+	for _, k := range order {
+		fam := familyOf(k.name, types)
+		if fam != lastFamily {
+			if typ := types[fam]; typ != "" {
+				writeHeader(&b, fam, helps[fam], typ)
+			}
+			lastFamily = fam
+		}
+		b.WriteString(k.name)
+		b.WriteString(k.labels)
+		b.WriteByte(' ')
+		b.WriteString(formatFloat(sums[key{k.name, k.labels}]))
+		b.WriteByte('\n')
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}

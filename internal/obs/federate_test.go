@@ -1,0 +1,150 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+)
+
+// scrapeOf renders a registry and parses it back — the round-trip every
+// worker scrape takes through the coordinator.
+func scrapeOf(t *testing.T, r *Registry) *ParsedMetrics {
+	t.Helper()
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	pm, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("own exposition failed to parse: %v", err)
+	}
+	return pm
+}
+
+func seriesValue(pm *ParsedMetrics, name, labels string) (float64, bool) {
+	for _, sp := range pm.Series {
+		if sp.Name == name && sp.Labels == labels {
+			return sp.Value, true
+		}
+	}
+	return 0, false
+}
+
+func workerRegistry(t *testing.T, leases float64, lat []float64) *Registry {
+	t.Helper()
+	r := NewRegistry()
+	r.CounterVec("w_leases_total", "Leases by outcome.", "outcome").With("ok").Add(uint64(leases))
+	h := r.Histogram("w_run_seconds", "Run time.", []float64{1, 5})
+	for _, v := range lat {
+		h.Observe(v)
+	}
+	r.FloatCounter("w_joules_total", "Modeled joules.").Add(leases * 1.5)
+	return r
+}
+
+func TestFederateSumsAcrossWorkers(t *testing.T) {
+	s1 := scrapeOf(t, workerRegistry(t, 3, []float64{0.5, 2}))
+	s2 := scrapeOf(t, workerRegistry(t, 4, []float64{0.7, 7}))
+
+	var b strings.Builder
+	if err := Federate(&b, []*ParsedMetrics{s1, s2, nil}); err != nil {
+		t.Fatal(err)
+	}
+	merged, err := ParsePrometheus(strings.NewReader(b.String()))
+	if err != nil {
+		t.Fatalf("federated output failed to re-parse: %v\n%s", err, b.String())
+	}
+
+	if v, ok := seriesValue(merged, "w_leases_total", `{outcome="ok"}`); !ok || v != 7 {
+		t.Fatalf("merged leases = %v (found=%v), want 7", v, ok)
+	}
+	if v, ok := seriesValue(merged, "w_joules_total", ""); !ok || v != 10.5 {
+		t.Fatalf("merged joules = %v (found=%v), want 10.5", v, ok)
+	}
+	// Histogram components sum per-le: cumulative buckets stay cumulative.
+	if v, _ := seriesValue(merged, "w_run_seconds_bucket", `{le="1"}`); v != 2 {
+		t.Fatalf("merged le=1 bucket = %v, want 2", v)
+	}
+	if v, _ := seriesValue(merged, "w_run_seconds_bucket", `{le="+Inf"}`); v != 4 {
+		t.Fatalf("merged +Inf bucket = %v, want 4", v)
+	}
+	if v, _ := seriesValue(merged, "w_run_seconds_count", ""); v != 4 {
+		t.Fatalf("merged count = %v, want 4", v)
+	}
+	if v, _ := seriesValue(merged, "w_run_seconds_sum", ""); v != 10.2 {
+		t.Fatalf("merged sum = %v, want 10.2", v)
+	}
+	if typ := merged.Types["w_run_seconds"]; typ != "histogram" {
+		t.Fatalf("TYPE of w_run_seconds = %q, want histogram (declared once per family)", typ)
+	}
+	// The float counter must expose as a plain counter so standard
+	// Prometheus tooling scrapes the fleet endpoint unmodified.
+	if typ := merged.Types["w_joules_total"]; typ != "counter" {
+		t.Fatalf("TYPE of w_joules_total = %q, want counter", typ)
+	}
+}
+
+func TestParsePrometheusRejectsGarbage(t *testing.T) {
+	for _, in := range []string{
+		"w_total notanumber\n",
+		"orphan_brace{le=\"1\" 3\n",
+		"loneword\n",
+	} {
+		if _, err := ParsePrometheus(strings.NewReader(in)); err == nil {
+			t.Errorf("ParsePrometheus(%q) accepted garbage; a corrupt worker must read as a failed scrape", in)
+		}
+	}
+}
+
+func TestParsePrometheusLabelValueWithSpaces(t *testing.T) {
+	pm, err := ParsePrometheus(strings.NewReader(
+		"esc_total{msg=\"say hi back\"} 2\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := seriesValue(pm, "esc_total", `{msg="say hi back"}`); !ok || v != 2 {
+		t.Fatalf("series = %+v, want quoted-space label preserved", pm.Series)
+	}
+}
+
+func TestFloatCounterExposition(t *testing.T) {
+	r := NewRegistry()
+	r.FloatCounter("f_joules_total", "Joules.").Add(1.25)
+	fv := r.FloatCounterVec("f_cost_total", "Dollars.", "app")
+	fv.With("clamr").Add(0.5)
+	fv.With("clamr").Add(0.25)
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# TYPE f_joules_total counter",
+		"f_joules_total 1.25",
+		"# TYPE f_cost_total counter",
+		`f_cost_total{app="clamr"} 0.75`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestFloatCounterConcurrentAdds(t *testing.T) {
+	c := NewRegistry().FloatCounter("c_total", "h")
+	done := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		go func() {
+			defer func() { done <- struct{}{} }()
+			for j := 0; j < 1000; j++ {
+				c.Add(0.5)
+			}
+		}()
+	}
+	for i := 0; i < 4; i++ {
+		<-done
+	}
+	if v := c.Value(); v != 2000 {
+		t.Fatalf("concurrent float adds lost updates: %v, want 2000", v)
+	}
+}

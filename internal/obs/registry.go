@@ -32,11 +32,14 @@ import (
 // instruments from.
 var Default = NewRegistry()
 
-// Metric types, as the Prometheus text format names them.
+// Metric types, as the Prometheus text format names them. typeFloatCounter
+// is internal — it exposes as "counter" but stores float64 bits, for
+// quantities that accumulate fractionally (joules, dollars).
 const (
-	typeCounter   = "counter"
-	typeGauge     = "gauge"
-	typeHistogram = "histogram"
+	typeCounter      = "counter"
+	typeGauge        = "gauge"
+	typeHistogram    = "histogram"
+	typeFloatCounter = "floatcounter"
 )
 
 // Registry holds metric families and scrape-time collectors.
@@ -120,6 +123,34 @@ func (g Gauge) Value() int64 {
 	return g.c.gauge.Load()
 }
 
+// FloatCounter is a monotonically increasing float64 total — the counter
+// form for quantities that accumulate in fractions, like modeled joules or
+// dollars. Add is a CAS loop on float64 bits (the Histogram.sum technique):
+// lock-free and allocation-free.
+type FloatCounter struct{ c *child }
+
+// Add accumulates v (must be >= 0 to keep the counter monotonic).
+func (c FloatCounter) Add(v float64) {
+	if c.c == nil {
+		return
+	}
+	for {
+		old := c.c.counter.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if c.c.counter.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Value returns the current total.
+func (c FloatCounter) Value() float64 {
+	if c.c == nil {
+		return 0
+	}
+	return math.Float64frombits(c.c.counter.Load())
+}
+
 // Histogram is a fixed-bucket distribution. Buckets are cumulative at
 // exposition; Observe is a linear scan over the (small, fixed) bounds plus
 // three atomic updates — no locks, no allocation.
@@ -200,6 +231,18 @@ func (v GaugeVec) With(labelValues ...string) Gauge {
 		return Gauge{}
 	}
 	return Gauge{c: v.f.child(labelValues)}
+}
+
+// FloatCounterVec is the float-counter form of CounterVec.
+type FloatCounterVec struct{ f *family }
+
+// With resolves the child float counter for the given label values; no-op
+// handle on a zero FloatCounterVec.
+func (v FloatCounterVec) With(labelValues ...string) FloatCounter {
+	if v.f == nil {
+		return FloatCounter{}
+	}
+	return FloatCounter{c: v.f.child(labelValues)}
 }
 
 // HistogramVec is the histogram form of CounterVec.
@@ -292,6 +335,16 @@ func (r *Registry) HistogramVec(name, help string, bounds []float64, labels ...s
 	return HistogramVec{f: r.register(name, help, typeHistogram, labels, bounds)}
 }
 
+// FloatCounter registers (or finds) an unlabelled float counter.
+func (r *Registry) FloatCounter(name, help string) FloatCounter {
+	return FloatCounter{c: r.register(name, help, typeFloatCounter, nil, nil).child(nil)}
+}
+
+// FloatCounterVec registers (or finds) a labelled float counter family.
+func (r *Registry) FloatCounterVec(name, help string, labels ...string) FloatCounterVec {
+	return FloatCounterVec{f: r.register(name, help, typeFloatCounter, labels, nil)}
+}
+
 // Sample is one scrape-time data point contributed by a collector.
 type Sample struct {
 	Name  string
@@ -369,11 +422,17 @@ func (f *family) write(b *strings.Builder) {
 		return
 	}
 
-	writeHeader(b, f.name, f.help, f.typ)
+	exposTyp := f.typ
+	if exposTyp == typeFloatCounter { // exposes as a plain counter
+		exposTyp = typeCounter
+	}
+	writeHeader(b, f.name, f.help, exposTyp)
 	for _, c := range children {
 		switch f.typ {
 		case typeCounter:
 			writeSample(b, f.name, f.labels, c.labelValues, "", "", formatUint(c.counter.Load()))
+		case typeFloatCounter:
+			writeSample(b, f.name, f.labels, c.labelValues, "", "", formatFloat(math.Float64frombits(c.counter.Load())))
 		case typeGauge:
 			writeSample(b, f.name, f.labels, c.labelValues, "", "", strconv.FormatInt(c.gauge.Load(), 10))
 		case typeHistogram:

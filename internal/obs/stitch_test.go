@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// remoteTrace builds a worker-side TraceData by hand: a root "worker" span
+// [0, rootNs] with one "solve" child [childStart, childEnd], anchored at
+// startedAt. Hand-built so tests control the clock skew exactly.
+func remoteTrace(startedAt time.Time, rootNs, childStart, childEnd int64) TraceData {
+	return TraceData{
+		JobID:     "job-1",
+		StartedAt: startedAt,
+		Spans: []SpanData{
+			{Name: "worker", Parent: -1, StartNs: 0, EndNs: rootNs, DurationNs: rootNs},
+			{Name: "solve", Parent: 0, StartNs: childStart, EndNs: childEnd,
+				DurationNs: childEnd - childStart, Attrs: []Attr{Str("mode", "min")}},
+		},
+	}
+}
+
+func findSpan(td TraceData, name string) (SpanData, int, bool) {
+	for i, sp := range td.Spans {
+		if sp.Name == name {
+			return sp, i, true
+		}
+	}
+	return SpanData{}, -1, false
+}
+
+func attrValue(sp SpanData, key string) string {
+	for _, a := range sp.Attrs {
+		if a.Key == key {
+			return a.Value
+		}
+	}
+	return ""
+}
+
+func TestSetRemoteGraftsUnderHostSpan(t *testing.T) {
+	tr := NewTrace("job-1", "job")
+	att := tr.Root().Child("attempt")
+	time.Sleep(5 * time.Millisecond)
+	att.End()
+	snap := tr.Snapshot()
+	attData := snap.Spans[1]
+
+	// Remote anchored 1ms after the local trace started: offsets shift by
+	// the wall delta so both clocks land on one timeline.
+	delta := int64(time.Millisecond)
+	att.SetRemote(remoteTrace(snap.StartedAt.Add(time.Duration(delta)), 2e6, 5e5, 1e6))
+
+	out := tr.Snapshot()
+	if len(out.Spans) != 4 {
+		t.Fatalf("stitched trace has %d spans, want 4 (root, attempt, worker, solve)", len(out.Spans))
+	}
+	workerSpan, wi, ok := findSpan(out, "worker")
+	if !ok {
+		t.Fatal("no grafted worker span")
+	}
+	if workerSpan.Parent != 1 {
+		t.Fatalf("worker span parent = %d, want the attempt span (1)", workerSpan.Parent)
+	}
+	if attrValue(workerSpan, "node") != "worker" {
+		t.Fatalf("grafted span missing node=worker attr: %+v", workerSpan.Attrs)
+	}
+	solve, _, ok := findSpan(out, "solve")
+	if !ok {
+		t.Fatal("no grafted solve span")
+	}
+	if solve.Parent != wi {
+		t.Fatalf("solve parent = %d, want remapped worker index %d", solve.Parent, wi)
+	}
+	if attrValue(solve, "mode") != "min" {
+		t.Fatal("remote attrs not preserved")
+	}
+	// Re-anchored: solve started 0.5ms into the remote trace, which itself
+	// started delta after ours — its local offset must be 0.5ms + delta
+	// (unless clamped, and here the attempt span is ~5ms wide so it isn't).
+	if want := int64(5e5) + delta; solve.StartNs != want {
+		t.Fatalf("solve StartNs = %d, want re-anchored %d", solve.StartNs, want)
+	}
+	if solve.StartNs < attData.StartNs || solve.EndNs > attData.EndNs {
+		t.Fatalf("grafted span [%d,%d] outside host attempt [%d,%d]",
+			solve.StartNs, solve.EndNs, attData.StartNs, attData.EndNs)
+	}
+}
+
+func TestSetRemoteClampsSkewedClocks(t *testing.T) {
+	tr := NewTrace("job-1", "job")
+	att := tr.Root().Child("attempt")
+	time.Sleep(2 * time.Millisecond)
+	att.End()
+	snap := tr.Snapshot()
+	host := snap.Spans[1]
+
+	// A worker clock an hour ahead would graft far outside the attempt;
+	// clamping pins it inside so skew cannot corrupt the timeline.
+	att.SetRemote(remoteTrace(snap.StartedAt.Add(time.Hour), 2e6, 5e5, 1e6))
+	out := tr.Snapshot()
+	for _, sp := range out.Spans[2:] {
+		if sp.StartNs < host.StartNs || sp.EndNs > host.EndNs || sp.EndNs < sp.StartNs {
+			t.Fatalf("span %q [%d,%d] not clamped into host [%d,%d]",
+				sp.Name, sp.StartNs, sp.EndNs, host.StartNs, host.EndNs)
+		}
+	}
+}
+
+func TestSetRemoteReplacesPreviousSnapshot(t *testing.T) {
+	tr := NewTrace("job-1", "job")
+	att := tr.Root().Child("attempt")
+	att.End()
+	base := tr.Snapshot().StartedAt
+
+	// Heartbeat partials stream in one after another; only the latest
+	// snapshot may survive or spans would duplicate every beat.
+	att.SetRemote(remoteTrace(base, 1e6, 1e5, 2e5))
+	att.SetRemote(remoteTrace(base, 2e6, 1e5, 9e5))
+	out := tr.Snapshot()
+	if len(out.Spans) != 4 {
+		t.Fatalf("after two SetRemote calls: %d spans, want 4 (replacement, not accumulation)", len(out.Spans))
+	}
+}
+
+func TestSetRemoteNilSafe(t *testing.T) {
+	var s Span
+	s.SetRemote(TraceData{}) // must not panic
+}
+
+func TestChromeTraceLanesAndUnits(t *testing.T) {
+	td := TraceData{
+		JobID: "job-1",
+		Spans: []SpanData{
+			{Name: "job", Parent: -1, StartNs: 0, EndNs: 10e6, DurationNs: 10e6},
+			{Name: "attempt", Parent: 0, StartNs: 1e6, EndNs: 5e6, DurationNs: 4e6},
+			{Name: "hedge_attempt", Parent: 0, StartNs: 2e6, EndNs: 6e6, DurationNs: 4e6},
+			{Name: "solve", Parent: 1, StartNs: 1e6, EndNs: 4e6, DurationNs: 3e6,
+				Attrs: []Attr{Str("mode", "min")}, Open: true},
+		},
+	}
+	var doc struct {
+		DisplayTimeUnit string `json:"displayTimeUnit"`
+		TraceEvents     []struct {
+			Name string            `json:"name"`
+			Ph   string            `json:"ph"`
+			Ts   float64           `json:"ts"`
+			Dur  float64           `json:"dur"`
+			Pid  int               `json:"pid"`
+			Tid  int               `json:"tid"`
+			Args map[string]string `json:"args"`
+		} `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(ChromeTrace(td), &doc); err != nil {
+		t.Fatalf("ChromeTrace emitted invalid JSON: %v", err)
+	}
+	if len(doc.TraceEvents) != 4 {
+		t.Fatalf("%d events, want 4", len(doc.TraceEvents))
+	}
+	lanes := map[string]int{}
+	for _, ev := range doc.TraceEvents {
+		if ev.Ph != "X" {
+			t.Fatalf("event %q ph = %q, want complete event X", ev.Name, ev.Ph)
+		}
+		lanes[ev.Name] = ev.Tid
+	}
+	// Overlapping sibling subtrees (attempt [1,5]ms vs hedge [2,6]ms) would
+	// violate X-event nesting on one track; each direct child of the root
+	// gets its own lane, descendants inherit.
+	if lanes["attempt"] == lanes["hedge_attempt"] {
+		t.Fatalf("overlapping siblings share lane %d", lanes["attempt"])
+	}
+	if lanes["solve"] != lanes["attempt"] {
+		t.Fatalf("solve lane %d, want its subtree root's lane %d", lanes["solve"], lanes["attempt"])
+	}
+	for _, ev := range doc.TraceEvents {
+		if ev.Name == "solve" {
+			if ev.Ts != 1e3 || ev.Dur != 3e3 {
+				t.Fatalf("solve ts/dur = %v/%v µs, want 1000/3000", ev.Ts, ev.Dur)
+			}
+			if ev.Args["mode"] != "min" || ev.Args["open"] != "true" {
+				t.Fatalf("solve args = %v, want mode + open flag", ev.Args)
+			}
+		}
+	}
+}

@@ -28,6 +28,7 @@ type spanRec struct {
 	startNs int64
 	endNs   int64 // 0 while open
 	attrs   []Attr
+	remote  *TraceData // grafted remote subtree (worker-side spans), nil for most spans
 }
 
 // Attr is one span annotation.
@@ -144,6 +145,25 @@ func (s Span) Annotate(attrs ...Attr) {
 	s.t.mu.Unlock()
 }
 
+// SetRemote grafts a remote subtree (a worker's own trace of the leased
+// run) under the span. Replacement semantics: a later snapshot — a
+// heartbeat's partial trace superseded by the final one on complete —
+// overwrites the previous graft, so incremental shipping is idempotent.
+// The remote timeline is re-anchored at Snapshot time using the wall-clock
+// delta between the two trace anchors; worker spans live outside the
+// deterministic result hash, so modest cross-node clock skew only shifts
+// display offsets.
+func (s Span) SetRemote(td TraceData) {
+	if s.t == nil {
+		return
+	}
+	cp := td
+	cp.Spans = append([]SpanData(nil), td.Spans...)
+	s.t.mu.Lock()
+	s.t.spans[s.i].remote = &cp
+	s.t.mu.Unlock()
+}
+
 // End closes the span now. Ending an already-ended span is a no-op, so a
 // terminal path can close the root unconditionally.
 func (s Span) End() {
@@ -181,7 +201,11 @@ type SpanData struct {
 }
 
 // Snapshot freezes the trace for serialization. Safe to call on a live
-// trace; open spans are reported up to the snapshot instant.
+// trace; open spans are reported up to the snapshot instant. Remote
+// subtrees grafted with SetRemote are stitched in after the local spans,
+// re-anchored by the wall-clock delta between the two traces and clamped
+// inside their host span so skewed worker clocks cannot push spans outside
+// the attempt that ran them.
 func (t *Trace) Snapshot() TraceData {
 	if t == nil {
 		return TraceData{}
@@ -205,8 +229,52 @@ func (t *Trace) Snapshot() TraceData {
 			Attrs:      append([]Attr(nil), sp.attrs...),
 		}
 	}
+	for i, sp := range t.spans {
+		if sp.remote != nil {
+			graftRemote(&out, i, sp.remote)
+		}
+	}
 	if len(out.Spans) > 0 {
 		out.DurationNs = out.Spans[0].DurationNs
 	}
 	return out
+}
+
+func clampNs(v, lo, hi int64) int64 {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// graftRemote appends one remote subtree under host span hostIdx:
+// offsets shift by the wall-clock anchor delta and clamp inside the host
+// span; parent indices remap so the remote root hangs off the host.
+func graftRemote(out *TraceData, hostIdx int, rem *TraceData) {
+	delta := rem.StartedAt.Sub(out.StartedAt).Nanoseconds()
+	host := out.Spans[hostIdx]
+	base := len(out.Spans)
+	for _, rs := range rem.Spans {
+		start := clampNs(rs.StartNs+delta, host.StartNs, host.EndNs)
+		end := clampNs(rs.EndNs+delta, host.StartNs, host.EndNs)
+		if end < start {
+			end = start
+		}
+		parent := hostIdx
+		if rs.Parent >= 0 {
+			parent = base + rs.Parent
+		}
+		out.Spans = append(out.Spans, SpanData{
+			Name:       rs.Name,
+			Parent:     parent,
+			StartNs:    start,
+			EndNs:      end,
+			DurationNs: end - start,
+			Open:       rs.Open,
+			Attrs:      append(append([]Attr(nil), rs.Attrs...), Attr{Key: "node", Value: "worker"}),
+		})
+	}
 }

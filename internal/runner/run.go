@@ -70,6 +70,28 @@ type Result struct {
 	// wait, attempts, retries, escalations, phase aggregates). Measured and
 	// service-specific; excluded from Deterministic / ResultHash.
 	Trace *obs.TraceData `json:"trace,omitempty"`
+	// Energy, set by the serving layer, is the modeled energy/cost
+	// accounting for the run: the executing node's arch profile applied to
+	// the measured counters. Platform-specific, so excluded from
+	// Deterministic / ResultHash like the timings.
+	Energy *Energy `json:"energy,omitempty"`
+}
+
+// Energy is the modeled per-job energy/cost accounting: roofline-predicted
+// runtime on the executing platform, joules at its nominal power, and
+// cloud dollars for the compute plus checkpoint storage.
+type Energy struct {
+	// Arch names the platform profile used (e.g. "Haswell").
+	Arch string `json:"arch"`
+	// Watts is the platform's nominal power.
+	Watts float64 `json:"watts"`
+	// ModelSeconds is the roofline-predicted runtime over the measured
+	// counters (not the measured wall time — comparable across hosts).
+	ModelSeconds float64 `json:"model_seconds"`
+	// Joules = Watts × ModelSeconds, the paper's energy estimate.
+	Joules float64 `json:"joules"`
+	// CostDollars prices the job's compute and checkpoint storage.
+	CostDollars float64 `json:"cost_dollars"`
 }
 
 // Deterministic returns a copy with the execution-dependent fields zeroed
@@ -81,6 +103,7 @@ func (r Result) Deterministic() Result {
 	r.StateBytes = 0
 	r.Phases = nil
 	r.Trace = nil
+	r.Energy = nil
 	return r
 }
 

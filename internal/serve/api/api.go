@@ -6,7 +6,7 @@
 //	GET  /v1/jobs/{id}         job view (status, progress, cached flag)
 //	GET  /v1/jobs/{id}/result  block until terminal; raw result payload
 //	GET  /v1/jobs/{id}/stream  NDJSON progress: one view per change, then done
-//	GET  /v1/jobs/{id}/trace   span timeline (queue wait, attempts, retries)
+//	GET  /v1/jobs/{id}/trace   span timeline (?format=chrome for trace_event)
 //	DELETE /v1/jobs/{id}       release a poisoned job back onto the queue
 //	GET  /v1/results/{hash}    raw result payload by spec hash (tiered read)
 //	GET  /v1/cache/stats       scheduler + cache counters
@@ -37,6 +37,7 @@
 //	POST /v1/workers/{id}/complete   upload an attempt's terminal state
 //	POST /v1/workers/{id}/deregister graceful goodbye (leases re-queue)
 //	GET  /v1/workers                 fleet view (workers, active leases)
+//	GET  /metrics/fleet              federated exposition across the fleet
 //
 // A full queue answers POST /v1/jobs with 429 and a Retry-After header —
 // backpressure the client honors under -retry rather than a hard failure.
@@ -146,6 +147,7 @@ func New(sched *queue.Scheduler, c *cache.Cache, opts ...Option) *Server {
 		mux.HandleFunc("POST /v1/workers/{id}/complete", s.fleet.HandleComplete)
 		mux.HandleFunc("POST /v1/workers/{id}/deregister", s.fleet.HandleDeregister)
 		mux.HandleFunc("GET /v1/workers", s.fleet.HandleList)
+		mux.HandleFunc("GET /metrics/fleet", s.fleet.HandleFleetMetrics)
 	}
 	s.mux = mux
 	return s
@@ -456,10 +458,16 @@ func (s *Server) resultByHash(w http.ResponseWriter, r *http.Request) {
 
 // jobTrace returns the job's span timeline as JSON. Available at any point
 // in the lifecycle: a running job reports its spans so far, with the open
-// ones frozen at the snapshot instant.
+// ones frozen at the snapshot instant. ?format=chrome renders the same
+// timeline as Chrome trace_event JSON for chrome://tracing / Perfetto.
 func (s *Server) jobTrace(w http.ResponseWriter, r *http.Request) {
 	job, ok := s.job(w, r)
 	if !ok {
+		return
+	}
+	if r.URL.Query().Get("format") == "chrome" {
+		w.Header().Set("Content-Type", "application/json")
+		w.Write(obs.ChromeTrace(job.Trace()))
 		return
 	}
 	writeJSON(w, http.StatusOK, job.Trace())

@@ -33,6 +33,10 @@ type Aggregates struct {
 	// from the full-precision run of the same scenario, when the campaign
 	// contains both.
 	LineCutDelta *DeltaStats `json:"line_cut_delta,omitempty"`
+	// Energy, when any completed result carried energy accounting, sums
+	// the fleet's modeled joules and dollars over the campaign — the
+	// $/experiment figure the client prints.
+	Energy *EnergyStats `json:"energy,omitempty"`
 	// PerMode keys on the submitted precision mode.
 	PerMode map[string]*ModeStats `json:"per_mode,omitempty"`
 	// ResultDigest is the SHA-256 over the sorted "spec_hash state_hash"
@@ -57,6 +61,16 @@ type DeltaStats struct {
 	Max   float64 `json:"max"`
 }
 
+// EnergyStats is the campaign's modeled energy/cost roll-up: sums over
+// every completed result that carried per-job accounting. Jobs counts the
+// contributors, so a partially accounted campaign (some workers registered
+// without an arch profile) is visible as Jobs < Completed.
+type EnergyStats struct {
+	Jobs        int64   `json:"jobs"`
+	Joules      float64 `json:"joules"`
+	CostDollars float64 `json:"cost_dollars"`
+}
+
 // ModeStats is the per-precision slice of the aggregates.
 type ModeStats struct {
 	Jobs      int64 `json:"jobs"`
@@ -65,8 +79,9 @@ type ModeStats struct {
 	Escalated int64 `json:"escalated"`
 	// EscalationRate is Escalated / Completed — the online per-precision
 	// escalation-rate trend.
-	EscalationRate float64     `json:"escalation_rate"`
-	LineCutDelta   *DeltaStats `json:"line_cut_delta,omitempty"`
+	EscalationRate float64      `json:"escalation_rate"`
+	LineCutDelta   *DeltaStats  `json:"line_cut_delta,omitempty"`
+	Energy         *EnergyStats `json:"energy,omitempty"`
 }
 
 // agg accumulates the statistical half of Aggregates. Counts live on the
@@ -82,12 +97,17 @@ type agg struct {
 	deltaN   int64
 	deltaSum float64
 	deltaMax float64
+
+	energyJobs   int64
+	joules, cost float64
 }
 
 type modeAcc struct {
 	jobs, completed, failed, escalated int64
 	deltaN                             int64
 	deltaSum, deltaMax                 float64
+	energyJobs                         int64
+	joules, cost                       float64
 }
 
 // scenario tracks one problem (spec with mode erased) so non-full line
@@ -128,6 +148,14 @@ func (a *agg) complete(mode string, res *runner.Result) {
 	acc.completed++
 	if len(res.Escalations) > 0 {
 		acc.escalated++
+	}
+	if e := res.Energy; e != nil {
+		a.energyJobs++
+		a.joules += e.Joules
+		a.cost += e.CostDollars
+		acc.energyJobs++
+		acc.joules += e.Joules
+		acc.cost += e.CostDollars
 	}
 	if res.MassError != nil {
 		a.massErrs = append(a.massErrs, math.Abs(*res.MassError))
@@ -193,6 +221,9 @@ func (a *agg) stats(out *Aggregates) {
 	if a.deltaN > 0 {
 		out.LineCutDelta = &DeltaStats{Count: a.deltaN, Mean: a.deltaSum / float64(a.deltaN), Max: a.deltaMax}
 	}
+	if a.energyJobs > 0 {
+		out.Energy = &EnergyStats{Jobs: a.energyJobs, Joules: a.joules, CostDollars: a.cost}
+	}
 	if len(a.modes) > 0 {
 		out.PerMode = make(map[string]*ModeStats, len(a.modes))
 		for m, acc := range a.modes {
@@ -207,6 +238,9 @@ func (a *agg) stats(out *Aggregates) {
 			}
 			if acc.deltaN > 0 {
 				ms.LineCutDelta = &DeltaStats{Count: acc.deltaN, Mean: acc.deltaSum / float64(acc.deltaN), Max: acc.deltaMax}
+			}
+			if acc.energyJobs > 0 {
+				ms.Energy = &EnergyStats{Jobs: acc.energyJobs, Joules: acc.joules, CostDollars: acc.cost}
 			}
 			out.PerMode[m] = ms
 		}

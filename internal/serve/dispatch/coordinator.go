@@ -10,6 +10,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/arch"
 	"repro/internal/fault"
 	"repro/internal/obs"
 	"repro/internal/runner"
@@ -57,6 +58,11 @@ type (
 		Name         string       `json:"name"`
 		ReadAddr     string       `json:"read_addr,omitempty"`
 		Capabilities Capabilities `json:"capabilities"`
+		// Arch is the worker's platform profile (roofline peaks, TDP) —
+		// the energy/cost accounting input. Workers re-send the full
+		// profile on every register, so a coordinator restart cannot
+		// leave a stale or empty profile behind.
+		Arch *arch.Spec `json:"arch,omitempty"`
 	}
 	// RegisterResponse assigns the worker its identity and cadences.
 	RegisterResponse struct {
@@ -70,15 +76,20 @@ type (
 		WorkerID string `json:"worker_id"`
 		Wait     string `json:"wait,omitempty"`
 	}
-	// LeaseGrant hands one attempt to a worker under a deadline.
+	// LeaseGrant hands one attempt to a worker under a deadline. TraceID
+	// and ParentSpan are the trace context: the worker records its own
+	// spans under them and ships snapshots back, so the coordinator can
+	// stitch the worker timeline under the job's attempt span.
 	LeaseGrant struct {
-		LeaseID  string                `json:"lease_id"`
-		JobID    string                `json:"job_id"`
-		Attempt  int64                 `json:"attempt"`
-		Spec     runner.ExperimentSpec `json:"spec"`
-		SpecHash string                `json:"spec_hash"`
-		Deadline time.Time             `json:"deadline"`
-		LeaseTTL string                `json:"lease_ttl"`
+		LeaseID    string                `json:"lease_id"`
+		JobID      string                `json:"job_id"`
+		Attempt    int64                 `json:"attempt"`
+		Spec       runner.ExperimentSpec `json:"spec"`
+		SpecHash   string                `json:"spec_hash"`
+		Deadline   time.Time             `json:"deadline"`
+		LeaseTTL   string                `json:"lease_ttl"`
+		TraceID    string                `json:"trace_id,omitempty"`
+		ParentSpan string                `json:"parent_span,omitempty"`
 	}
 	// HeartbeatRequest extends the worker's active leases, relays per-lease
 	// solver progress, and refreshes the replica read index: Held is the
@@ -89,11 +100,15 @@ type (
 		Leases []LeaseProgress `json:"leases"`
 		Held   []string        `json:"held,omitempty"`
 	}
-	// LeaseProgress is one lease's progress report.
+	// LeaseProgress is one lease's progress report. Trace, when non-nil,
+	// is a snapshot of the worker's span timeline for this lease so far —
+	// long runs stream their solver spans incrementally; each snapshot
+	// replaces the previous one.
 	LeaseProgress struct {
-		LeaseID string `json:"lease_id"`
-		Step    int64  `json:"step"`
-		Total   int64  `json:"total"`
+		LeaseID string         `json:"lease_id"`
+		Step    int64          `json:"step"`
+		Total   int64          `json:"total"`
+		Trace   *obs.TraceData `json:"trace,omitempty"`
 	}
 	// HeartbeatResponse lists leases the coordinator no longer honors; the
 	// worker must cancel those runs.
@@ -102,11 +117,15 @@ type (
 	}
 	// CompleteRequest uploads an attempt's terminal state: either the raw
 	// runner.Result payload or an error with its classification.
+	// Trace travels beside the Result, never inside it: the result
+	// payload stays the byte-identical deterministic document, while the
+	// worker's final span timeline rides the same upload.
 	CompleteRequest struct {
 		LeaseID   string          `json:"lease_id"`
 		Result    json.RawMessage `json:"result,omitempty"`
 		Error     string          `json:"error,omitempty"`
 		ErrorKind string          `json:"error_kind,omitempty"`
+		Trace     *obs.TraceData  `json:"trace,omitempty"`
 	}
 	// DeregisterRequest is the optional body of a deregister: a draining
 	// worker reports how long its graceful wind-down took. Legacy workers
@@ -122,15 +141,27 @@ type (
 		Name         string       `json:"name"`
 		ReadAddr     string       `json:"read_addr,omitempty"`
 		Capabilities Capabilities `json:"capabilities"`
-		RegisteredAt time.Time    `json:"registered_at"`
-		LastSeenAgo  string       `json:"last_seen_ago"`
-		ActiveLeases int          `json:"active_leases"`
-		ReplicaHeld  int          `json:"replica_held"`
-		Leased       uint64       `json:"leased"`
-		Completed    uint64       `json:"completed"`
-		Expired      uint64       `json:"expired"`
-		Health       string       `json:"health"`
-		HealthScore  float64      `json:"health_score"`
+		// Arch names the worker's reported platform profile ("" when the
+		// worker registered without one).
+		Arch         string    `json:"arch,omitempty"`
+		RegisteredAt time.Time `json:"registered_at"`
+		LastSeenAgo  string    `json:"last_seen_ago"`
+		ActiveLeases int       `json:"active_leases"`
+		ReplicaHeld  int       `json:"replica_held"`
+		Leased       uint64    `json:"leased"`
+		Completed    uint64    `json:"completed"`
+		Expired      uint64    `json:"expired"`
+		Health       string    `json:"health"`
+		HealthScore  float64   `json:"health_score"`
+		// MetricsAge is the age of the coordinator's last successful
+		// /metrics scrape from this worker ("" when never scraped); a
+		// scrape older than the staleness window is excluded from
+		// GET /metrics/fleet.
+		MetricsAge string `json:"metrics_age,omitempty"`
+		// JoulesTotal / CostDollarsTotal accumulate the modeled energy and
+		// cloud cost of every result this worker uploaded.
+		JoulesTotal      float64 `json:"joules_total"`
+		CostDollarsTotal float64 `json:"cost_dollars_total"`
 	}
 	// FleetView is the GET /v1/workers payload. ReplicaHashes counts the
 	// distinct spec hashes held by at least one worker replica.
@@ -225,6 +256,11 @@ type Coordinator struct {
 	// every replica instead of hammering the first.
 	replicas map[string]map[string]*workerState
 	rrSeq    uint64
+	// profiles remembers each worker name's last reported arch/capability
+	// fingerprint across registrations (it survives worker pruning —
+	// worker IDs are fresh per register, names are the stable identity),
+	// so a profile that silently changes between registrations is logged.
+	profiles map[string]string
 }
 
 type workerState struct {
@@ -232,6 +268,7 @@ type workerState struct {
 	name         string
 	readAddr     string
 	caps         Capabilities
+	arch         *arch.Spec
 	registeredAt time.Time
 	lastSeen     time.Time
 	active       map[string]*lease
@@ -239,6 +276,16 @@ type workerState struct {
 	health       *workerHealth
 
 	leased, completed, expired uint64
+
+	// scrape is the last successfully parsed /metrics scrape and when it
+	// landed; a stale scrape ages out of the fleet merge but is kept for
+	// the per-worker view.
+	scrape    *obs.ParsedMetrics
+	scrapedAt time.Time
+	// joules / costDollars accumulate modeled energy and cost over every
+	// result this worker uploaded.
+	joules      float64
+	costDollars float64
 }
 
 type lease struct {
@@ -289,6 +336,7 @@ func NewCoordinator(d *Dispatcher, cfg CoordinatorConfig) *Coordinator {
 		leases:   make(map[string]*lease),
 		lat:      newLatTracker(),
 		replicas: make(map[string]map[string]*workerState),
+		profiles: make(map[string]string),
 	}
 	if cfg.Obs != nil {
 		co.workersGauge = cfg.Obs.Gauge("dispatch_workers_registered",
@@ -340,6 +388,102 @@ func (co *Coordinator) Start(ctx context.Context, d *Dispatcher) {
 			}
 		}
 	})
+	d.Go(func() {
+		t := time.NewTicker(co.cfg.Heartbeat)
+		defer t.Stop()
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-t.C:
+				co.scrapeWorkers(ctx)
+			}
+		}
+	})
+}
+
+// scrapeTimeout bounds one worker /metrics fetch: a wedged worker costs
+// one short stall on its own scrape slot, never the whole sweep.
+const scrapeTimeout = 2 * time.Second
+
+// scrapeWorkers pulls /metrics from every worker that advertises a read
+// listener, on the heartbeat cadence. Scrapes run outside co.mu (a slow
+// worker must not wedge lease traffic); a failed or unparseable scrape
+// keeps the previous sample, which then ages out of the fleet merge after
+// the staleness window.
+func (co *Coordinator) scrapeWorkers(ctx context.Context) {
+	type target struct {
+		id   string
+		addr string
+	}
+	co.mu.Lock()
+	targets := make([]target, 0, len(co.workers))
+	for id, ws := range co.workers {
+		if ws.readAddr != "" {
+			targets = append(targets, target{id, ws.readAddr + "/metrics"})
+		}
+	}
+	co.mu.Unlock()
+	for _, t := range targets {
+		pm, err := co.scrapeOne(ctx, t.addr)
+		if err != nil {
+			co.log.Debug("worker metrics scrape failed",
+				obs.Str("worker", t.id), obs.Str("url", t.addr), obs.Str("err", err.Error()))
+			continue
+		}
+		now := time.Now()
+		co.mu.Lock()
+		if ws, ok := co.workers[t.id]; ok {
+			ws.scrape = pm
+			ws.scrapedAt = now
+		}
+		co.mu.Unlock()
+	}
+}
+
+func (co *Coordinator) scrapeOne(ctx context.Context, url string) (*obs.ParsedMetrics, error) {
+	ctx, cancel := context.WithTimeout(ctx, scrapeTimeout)
+	defer cancel()
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := http.DefaultClient.Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("status %d", resp.StatusCode)
+	}
+	return obs.ParsePrometheus(resp.Body)
+}
+
+// staleness is the window beyond which a worker's last scrape no longer
+// contributes to the fleet merge: a flapping worker's numbers fade instead
+// of freezing into the aggregate forever.
+func (co *Coordinator) staleness() time.Duration { return co.cfg.WorkerTTL }
+
+// fleetScrapes snapshots the scrapes fresh enough to merge, as of now.
+func (co *Coordinator) fleetScrapes(now time.Time) []*obs.ParsedMetrics {
+	co.mu.Lock()
+	defer co.mu.Unlock()
+	out := make([]*obs.ParsedMetrics, 0, len(co.workers))
+	for _, ws := range co.workers {
+		if ws.scrape != nil && now.Sub(ws.scrapedAt) <= co.staleness() {
+			out = append(out, ws.scrape)
+		}
+	}
+	return out
+}
+
+// HandleFleetMetrics implements GET /metrics/fleet: the merged view of
+// every fresh worker scrape, series summed by (name, labels).
+func (co *Coordinator) HandleFleetMetrics(w http.ResponseWriter, r *http.Request) {
+	scrapes := co.fleetScrapes(time.Now())
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	w.Header().Set("X-Fleet-Workers", fmt.Sprint(len(scrapes)))
+	_ = obs.Federate(w, scrapes)
 }
 
 // reap expires overdue leases and prunes long-unseen idle workers.
@@ -531,6 +675,7 @@ func (co *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
 		name:         req.Name,
 		readAddr:     strings.TrimRight(req.ReadAddr, "/"),
 		caps:         req.Capabilities,
+		arch:         req.Arch,
 		registeredAt: now,
 		lastSeen:     now,
 		active:       make(map[string]*lease),
@@ -540,22 +685,50 @@ func (co *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
 	if ws.name == "" {
 		ws.name = ws.id
 	}
+	// Worker IDs are fresh per registration; the name is the stable
+	// identity. Compare the full reported profile against the last one
+	// this name registered with — a change means the box under the name
+	// is not what it was (different hardware, edited flags), which the
+	// energy model and capability matcher both care about.
+	fp := profileFingerprint(req.Capabilities, req.Arch)
+	prev, seen := co.profiles[ws.name]
+	co.profiles[ws.name] = fp
 	co.workers[ws.id] = ws
 	n := len(co.workers)
 	co.mu.Unlock()
+	if seen && prev != fp {
+		co.log.Warn("worker profile changed between registrations",
+			obs.Str("worker", ws.id), obs.Str("name", ws.name),
+			obs.Str("previous", prev), obs.Str("current", fp))
+	}
 	co.workersGauge.Set(int64(n))
 	co.updateHealthGauge()
+	archName := ""
+	if req.Arch != nil {
+		archName = req.Arch.Name
+	}
 	co.log.Info("worker registered",
 		obs.Str("worker", ws.id), obs.Str("name", ws.name),
 		obs.Str("slots", fmt.Sprint(ws.caps.Slots)),
 		obs.Str("apps", fmt.Sprint(ws.caps.Apps)),
-		obs.Str("modes", fmt.Sprint(ws.caps.Modes)))
+		obs.Str("modes", fmt.Sprint(ws.caps.Modes)),
+		obs.Str("arch", archName))
 	writeJSON(w, http.StatusOK, RegisterResponse{
 		WorkerID:  ws.id,
 		LeaseTTL:  co.cfg.LeaseTTL.String(),
 		Heartbeat: co.cfg.Heartbeat.String(),
 		PollWait:  co.cfg.PollWait.String(),
 	})
+}
+
+// profileFingerprint canonicalizes a worker's reported capabilities + arch
+// profile for change detection across registrations.
+func profileFingerprint(caps Capabilities, spec *arch.Spec) string {
+	b, _ := json.Marshal(struct {
+		Caps Capabilities `json:"caps"`
+		Arch *arch.Spec   `json:"arch,omitempty"`
+	}{caps, spec})
+	return string(b)
 }
 
 // HandleLease implements POST /v1/workers/lease: long-poll for one attempt
@@ -649,13 +822,15 @@ func (co *Coordinator) HandleLease(w http.ResponseWriter, r *http.Request) {
 		obs.Str("lease", l.id), obs.Str("worker", ws.id), obs.Str("job", a.JobID),
 		obs.Str("mode", a.Spec.Mode), obs.Str("verify", fmt.Sprint(l.verify)))
 	writeJSON(w, http.StatusOK, LeaseGrant{
-		LeaseID:  l.id,
-		JobID:    a.JobID,
-		Attempt:  a.N,
-		Spec:     a.Spec,
-		SpecHash: a.Hash(),
-		Deadline: l.deadline,
-		LeaseTTL: co.cfg.LeaseTTL.String(),
+		LeaseID:    l.id,
+		JobID:      a.JobID,
+		Attempt:    a.N,
+		Spec:       a.Spec,
+		SpecHash:   a.Hash(),
+		Deadline:   l.deadline,
+		LeaseTTL:   co.cfg.LeaseTTL.String(),
+		TraceID:    a.JobID,
+		ParentSpan: fmt.Sprintf("attempt-%d", a.N),
 	})
 }
 
@@ -674,8 +849,13 @@ func (co *Coordinator) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		fn          func(step, total int)
 		step, total int64
 	}
+	type traceDelivery struct {
+		fn func(worker string, td obs.TraceData, uploadBytes int)
+		td *obs.TraceData
+	}
 	var resp HeartbeatResponse
 	var progress []delivery
+	var traces []traceDelivery
 	var injected []string
 	co.mu.Lock()
 	ws, ok := co.workers[wid]
@@ -707,6 +887,9 @@ func (co *Coordinator) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
 		if l.a.Progress != nil {
 			progress = append(progress, delivery{l.a.Progress, hb.Step, hb.Total})
 		}
+		if l.a.OnWorkerTrace != nil && hb.Trace != nil {
+			traces = append(traces, traceDelivery{l.a.OnWorkerTrace, hb.Trace})
+		}
 	}
 	co.mu.Unlock()
 	co.heartbeats.Inc()
@@ -716,6 +899,9 @@ func (co *Coordinator) HandleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	for _, p := range progress {
 		p.fn(int(p.step), int(p.total))
+	}
+	for _, t := range traces {
+		t.fn(wid, *t.td, 0)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -758,6 +944,12 @@ func (co *Coordinator) HandleComplete(w http.ResponseWriter, r *http.Request) {
 	co.workerLeases.With(ws.name).Set(int64(active))
 
 	a := l.a
+	// Graft the worker's final span timeline under the attempt before any
+	// finish path runs: once the attempt finishes, the scheduler may
+	// snapshot the job trace at any moment.
+	if a.OnWorkerTrace != nil && req.Trace != nil {
+		a.OnWorkerTrace(ws.id, *req.Trace, len(req.Result))
+	}
 	if req.Error != "" {
 		co.leaseEvents.With("completed").Inc()
 		err := &runner.Error{Kind: kindFromString(req.ErrorKind), Op: "remote run on " + ws.id, Err: errors.New(req.Error)}
@@ -808,6 +1000,17 @@ func (co *Coordinator) HandleComplete(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	co.leaseEvents.With("completed").Inc()
+
+	// Energy/cost accounting: the worker's registered arch profile applied
+	// to the measured counters. Rides outside Deterministic()/ResultHash,
+	// so annotating the result cannot perturb the determinism contract.
+	if ws.arch != nil {
+		res.Energy = ComputeEnergy(*ws.arch, res)
+		co.mu.Lock()
+		ws.joules += res.Energy.Joules
+		ws.costDollars += res.Energy.CostDollars
+		co.mu.Unlock()
+	}
 
 	// Score the completion: latency against the fleet median for this
 	// shape (judged before this sample joins the ring), then fold it in.
@@ -966,21 +1169,30 @@ func (co *Coordinator) HandleList(w http.ResponseWriter, r *http.Request) {
 	co.mu.Lock()
 	view := FleetView{Workers: make([]WorkerView, 0, len(co.workers))}
 	for _, ws := range co.workers {
-		view.Workers = append(view.Workers, WorkerView{
-			ID:           ws.id,
-			Name:         ws.name,
-			ReadAddr:     ws.readAddr,
-			Capabilities: ws.caps,
-			RegisteredAt: ws.registeredAt,
-			LastSeenAgo:  now.Sub(ws.lastSeen).Round(time.Millisecond).String(),
-			ActiveLeases: len(ws.active),
-			ReplicaHeld:  len(ws.held),
-			Leased:       ws.leased,
-			Completed:    ws.completed,
-			Expired:      ws.expired,
-			Health:       string(ws.health.state),
-			HealthScore:  roundScore(ws.health.score),
-		})
+		wv := WorkerView{
+			ID:               ws.id,
+			Name:             ws.name,
+			ReadAddr:         ws.readAddr,
+			Capabilities:     ws.caps,
+			RegisteredAt:     ws.registeredAt,
+			LastSeenAgo:      now.Sub(ws.lastSeen).Round(time.Millisecond).String(),
+			ActiveLeases:     len(ws.active),
+			ReplicaHeld:      len(ws.held),
+			Leased:           ws.leased,
+			Completed:        ws.completed,
+			Expired:          ws.expired,
+			Health:           string(ws.health.state),
+			HealthScore:      roundScore(ws.health.score),
+			JoulesTotal:      ws.joules,
+			CostDollarsTotal: ws.costDollars,
+		}
+		if ws.arch != nil {
+			wv.Arch = ws.arch.Name
+		}
+		if ws.scrape != nil {
+			wv.MetricsAge = now.Sub(ws.scrapedAt).Round(time.Millisecond).String()
+		}
+		view.Workers = append(view.Workers, wv)
 		view.ActiveLeases += len(ws.active)
 	}
 	view.ReplicaHashes = len(co.replicas)

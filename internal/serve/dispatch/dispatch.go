@@ -77,6 +77,21 @@ type Attempt struct {
 	// concurrent use. The scheduler renders these as hedge spans in the
 	// job trace.
 	OnHedge func(event, worker string)
+	// OnWorkerTrace, when non-nil, receives the executing worker's own span
+	// timeline for this attempt: partial snapshots on heartbeats (long runs
+	// stream their solver spans incrementally) and the final snapshot on
+	// complete, where uploadBytes is the uploaded payload size (0 for
+	// partials). Each snapshot replaces the previous one. Called from
+	// coordinator HTTP handler goroutines — implementations must be safe
+	// for concurrent use. The scheduler grafts these under the attempt span
+	// so the job trace renders one cross-node timeline.
+	OnWorkerTrace func(worker string, td obs.TraceData, uploadBytes int)
+	// OnHedgeWorkerTrace is OnWorkerTrace for the straggler-defense
+	// duplicate of this attempt: fireHedge copies it onto the duplicate it
+	// posts, so the duplicate executor's spans graft under the scheduler's
+	// hedge_attempt span — a sibling subtree — instead of replacing the
+	// primary's snapshots on the attempt span.
+	OnHedgeWorkerTrace func(worker string, td obs.TraceData, uploadBytes int)
 
 	// shadow marks a coordinator-spawned verification attempt, so it is
 	// never itself picked for verification.

@@ -1,0 +1,36 @@
+package dispatch
+
+import (
+	"repro/internal/arch"
+	"repro/internal/cost"
+	"repro/internal/runner"
+)
+
+// ComputeEnergy models one completed run's energy and cloud cost on the
+// given platform: the roofline model predicts runtime from the result's
+// measured flop/byte counters by precision width, joules follow as nominal
+// power × predicted seconds (the paper's estimate), and dollars price the
+// predicted compute plus the checkpoint bytes at the paper's AWS rates.
+// Everything derives from the platform profile and the deterministic
+// counters — never from the measured wall time — so the same result costed
+// on the same profile always prices identically, which is what lets the
+// fleetobs smoke assert joules are stable across a re-run from cache.
+func ComputeEnergy(spec arch.Spec, res *runner.Result) *runner.Energy {
+	w := arch.Workload{
+		Counters:   res.Counters,
+		Vectorized: true,
+		StateBytes: res.StateBytes,
+	}
+	t := spec.Predict(w)
+	var ckpt uint64
+	if res.CheckpointBytes > 0 {
+		ckpt = uint64(res.CheckpointBytes)
+	}
+	return &runner.Energy{
+		Arch:         spec.Name,
+		Watts:        spec.TDPWatts,
+		ModelSeconds: t.Seconds(),
+		Joules:       spec.Energy(t),
+		CostDollars:  cost.AWS2017.JobDollars(t.Seconds(), ckpt),
+	}
+}

@@ -200,6 +200,10 @@ func (co *Coordinator) fireHedge(l *lease) {
 			N:             a.N,
 			ExcludeWorker: hs.primaryWorker,
 			shadow:        true,
+			// The duplicate's executor ships its own span timeline; route
+			// it to the hedge-specific recorder so it grafts as a sibling
+			// subtree rather than replacing the primary's snapshots.
+			OnWorkerTrace: a.OnHedgeWorkerTrace,
 		}
 		out := co.d.Do(ctx, dup)
 		if out.Err != nil || out.Res == nil {

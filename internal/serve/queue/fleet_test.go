@@ -21,6 +21,7 @@ import (
 type fleetHarness struct {
 	sched   *Scheduler
 	journal *Journal
+	co      *dispatch.Coordinator
 	srv     *httptest.Server
 	cancel  context.CancelFunc
 }
@@ -44,9 +45,10 @@ func newFleetHarness(t *testing.T, cfg Config, ccfg dispatch.CoordinatorConfig) 
 	mux.HandleFunc("POST /v1/workers/{id}/complete", co.HandleComplete)
 	mux.HandleFunc("POST /v1/workers/{id}/deregister", co.HandleDeregister)
 	mux.HandleFunc("GET /v1/workers", co.HandleList)
+	mux.HandleFunc("GET /metrics/fleet", co.HandleFleetMetrics)
 	srv := httptest.NewServer(mux)
 
-	h := &fleetHarness{sched: s, journal: cfg.Journal, srv: srv, cancel: cancel}
+	h := &fleetHarness{sched: s, journal: cfg.Journal, co: co, srv: srv, cancel: cancel}
 	t.Cleanup(func() {
 		cancel()
 		s.Wait()

@@ -36,6 +36,9 @@ type schedObs struct {
 	runLaunches    obs.Counter
 	runAllocBytes  obs.Counter
 	runAllocCount  obs.Counter
+
+	jobJoules obs.FloatCounterVec // labels: app, mode
+	jobCost   obs.FloatCounterVec // labels: app, mode
 }
 
 // Counter aliases obs.Counter so schedObs reads cleanly.
@@ -93,6 +96,11 @@ func newSchedObs(r *obs.Registry, s *Scheduler) *schedObs {
 			"Heap bytes allocated around instrumented phases of completed runs."),
 		runAllocCount: r.Counter("precisiond_run_alloc_objects_total",
 			"Heap objects allocated around instrumented phases of completed runs."),
+
+		jobJoules: r.FloatCounterVec("precisiond_job_joules_total",
+			"Modeled energy of completed jobs (arch profile × deterministic counters).", "app", "mode"),
+		jobCost: r.FloatCounterVec("precisiond_job_cost_dollars_total",
+			"Modeled cloud cost of completed jobs (compute + checkpoint storage).", "app", "mode"),
 	}
 	r.Gauge("precisiond_workers", "Configured concurrent job executors.").Set(int64(s.cfg.Workers))
 	r.Gauge("precisiond_lanes_per_worker", "Solver lanes handed to each running job.").Set(int64(s.lanes))
@@ -116,6 +124,16 @@ func (o *schedObs) observeResultCounters(c metrics.Counters) {
 	o.runLaunches.Add(c.KernelLaunches)
 	o.runAllocBytes.Add(c.AllocBytes)
 	o.runAllocCount.Add(c.AllocCount)
+}
+
+// observeEnergy accumulates a completed job's modeled energy/cost into the
+// fleet-facing exposition counters.
+func (o *schedObs) observeEnergy(app, mode string, e *runner.Energy) {
+	if o == nil || e == nil {
+		return
+	}
+	o.jobJoules.With(app, mode).Add(e.Joules)
+	o.jobCost.With(app, mode).Add(e.CostDollars)
 }
 
 // attrsForSpec renders the trace attributes identifying a spec.

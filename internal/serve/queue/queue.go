@@ -44,6 +44,7 @@ import (
 	"os"
 	"path/filepath"
 	"runtime"
+	"strconv"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -320,6 +321,17 @@ type Config struct {
 	Obs *obs.Registry
 	// Log, when non-nil, receives job-correlated structured log records.
 	Log *obs.Logger
+	// Energy, when non-nil, models a completed run's energy/cost when the
+	// backend did not already account for it (res.Energy == nil — i.e.
+	// local-backend runs; the fleet coordinator prices remote uploads with
+	// the executing worker's registered profile before the result reaches
+	// the scheduler). Receives the placement so it can pick a profile.
+	Energy func(backend, worker string, res *runner.Result) *runner.Energy
+	// OnComplete, when non-nil, observes every successfully finished job
+	// after its trace is frozen into the result — precisiond's
+	// -trace-export hook. Called synchronously on the job's goroutine;
+	// keep it cheap or hand off.
+	OnComplete func(job *Job, res *runner.Result)
 }
 
 // SubmitOptions carries per-submission execution knobs.
@@ -623,6 +635,7 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 		att := job.trace.Root().Child("attempt", attAttrs...)
 		jl.Debug("attempt start", obs.Str("mode", spec.Mode), intAttr("n", n))
 		started := time.Now()
+		hedgeEvents, hedgeTrace := hedgeRecorders(job)
 		a := &dispatch.Attempt{
 			JobID:     job.ID,
 			Spec:      spec,
@@ -633,7 +646,9 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 			OnPlaced: func(backend, worker string, wait time.Duration) {
 				s.jobPlaced(job, att, backend, worker, wait)
 			},
-			OnHedge: hedgeSpanRecorder(job),
+			OnHedge:            hedgeEvents,
+			OnWorkerTrace:      workerTraceRecorder(att),
+			OnHedgeWorkerTrace: hedgeTrace,
 		}
 		out := s.runAttempt(ctx, a, timeout)
 		s.obs.runDur.With(string(spec.App), spec.Mode).ObserveSince(started)
@@ -647,6 +662,21 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 		if err == nil {
 			for _, p := range res.Phases {
 				att.AggregateChild("phase:"+p.Name, time.Duration(p.Seconds*float64(time.Second)))
+			}
+			// Energy accounting: remote uploads arrive already priced (the
+			// coordinator applies the executing worker's registered profile);
+			// the configured fallback covers local-backend runs. Either way
+			// the figures derive from the deterministic counters, so they
+			// ride as span attributes and metrics without perturbing the
+			// result hash.
+			if res.Energy == nil && s.cfg.Energy != nil {
+				res.Energy = s.cfg.Energy(out.Backend, out.Worker, res)
+			}
+			if e := res.Energy; e != nil {
+				att.Annotate(obs.Str("arch", e.Arch),
+					obs.Str("joules", formatEnergy(e.Joules)),
+					obs.Str("cost_dollars", formatEnergy(e.CostDollars)))
+				s.obs.observeEnergy(string(spec.App), spec.Mode, e)
 			}
 			att.Annotate(obs.Str("outcome", "ok"))
 			att.End()
@@ -662,6 +692,9 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 					obs.Str("backend", out.Backend+backendWorkerSuffix(out.Worker)),
 					obs.Str("wall", time.Since(job.enqueuedAt).Round(time.Millisecond).String()))
 				s.complete(job, payload)
+				if s.cfg.OnComplete != nil {
+					s.cfg.OnComplete(job, res)
+				}
 				return
 			}
 		}
@@ -787,23 +820,42 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 	}
 }
 
-// hedgeSpanRecorder renders straggler-defense events into the job trace:
+// workerTraceRecorder grafts a remote executor's shipped span timeline
+// under the given attempt span. Snapshots arrive from coordinator HTTP
+// handler goroutines — partials on heartbeats, the final one on complete —
+// and each replaces the previous (SetRemote takes the trace lock, so no
+// extra synchronisation is needed). The final snapshot carries the upload
+// payload size, recorded as an event so the cross-node timeline shows when
+// the result landed back on the coordinator and how big it was.
+func workerTraceRecorder(att obs.Span) func(worker string, td obs.TraceData, uploadBytes int) {
+	return func(worker string, td obs.TraceData, uploadBytes int) {
+		att.SetRemote(td)
+		if uploadBytes > 0 {
+			att.Event("upload",
+				obs.Str("worker", worker), intAttr("bytes", int64(uploadBytes)))
+		}
+	}
+}
+
+// hedgeRecorders renders straggler-defense activity into the job trace:
 // the duplicate attempt becomes a "hedge_attempt" span, a sibling of the
 // primary "attempt" span, annotated with its outcome; verification
-// results land as events on the root. Events arrive from coordinator
-// goroutines, possibly after the job completed (the loser's upload lands
-// late), so the recorder carries its own lock.
-func hedgeSpanRecorder(job *Job) func(event, worker string) {
+// results land as events on the root; the duplicate executor's own span
+// timeline (routed here via Attempt.OnHedgeWorkerTrace) grafts under the
+// hedge span so hedged attempts render as full sibling subtrees. Events
+// arrive from coordinator goroutines, possibly after the job completed
+// (the loser's upload lands late), so the recorders share a lock.
+func hedgeRecorders(job *Job) (func(event, worker string), func(worker string, td obs.TraceData, uploadBytes int)) {
 	var mu sync.Mutex
 	var span obs.Span
-	var open bool
-	return func(event, worker string) {
+	var created, open bool
+	events := func(event, worker string) {
 		mu.Lock()
 		defer mu.Unlock()
 		switch event {
 		case "fired":
 			span = job.trace.Root().Child("hedge_attempt", obs.Str("primary", worker))
-			open = true
+			created, open = true, true
 		case "won", "lost", "skipped":
 			if open {
 				span.Annotate(obs.Str("outcome", event), obs.Str("worker", worker))
@@ -814,6 +866,24 @@ func hedgeSpanRecorder(job *Job) func(event, worker string) {
 			job.trace.Root().Event("hedge_"+event, obs.Str("worker", worker))
 		}
 	}
+	trace := func(worker string, td obs.TraceData, uploadBytes int) {
+		mu.Lock()
+		defer mu.Unlock()
+		if !created {
+			return // no hedge span to graft under (never fired)
+		}
+		span.SetRemote(td)
+		if uploadBytes > 0 {
+			span.Event("upload",
+				obs.Str("worker", worker), intAttr("bytes", int64(uploadBytes)))
+		}
+	}
+	return events, trace
+}
+
+// formatEnergy renders joules/dollars compactly for span attributes.
+func formatEnergy(v float64) string {
+	return strconv.FormatFloat(v, 'g', 6, 64)
 }
 
 func backendWorkerSuffix(worker string) string {

@@ -1,14 +1,16 @@
 #!/usr/bin/env bash
-# Benchmark trajectories (ISSUE 6 + ISSUE 7 satellites).
+# Benchmark trajectories (ISSUE 6 + ISSUE 7 + ISSUE 9 satellites).
 #
 # Default mode: run the tiered read-path benchmarks and write BENCH_6.json,
-# then the campaign-expansion benchmark and write BENCH_7.json — one record
-# per bench with ns/op, ops/sec, B/op and allocs/op (for the campaign
-# bench, ops/sec is specs expanded+hashed per second). The files are
-# committed so the trajectory is versioned alongside the code.
+# the campaign-expansion benchmark into BENCH_7.json, and the observability
+# hot-path benchmarks (per-job trace lifecycle with worker-subtree stitch,
+# fleet-metrics federation) into BENCH_9.json — one record per bench with
+# ns/op, ops/sec, B/op and allocs/op (for the campaign bench, ops/sec is
+# specs expanded+hashed per second). The files are committed so the
+# trajectory is versioned alongside the code.
 #
 # --check mode (the CI regression gate): re-run the benches on this
-# machine and compare against the committed BENCH_6.json/BENCH_7.json. Two
+# machine and compare against the committed BENCH_*.json files. Two
 # kinds of assertion:
 #   * machine-independent ratios, checked against the FRESH numbers — a
 #     hot-tier hit must be >=10x faster than a cold disk hit at >=10x
@@ -25,11 +27,13 @@ cd "$(dirname "$0")/.."
 GO=${GO:-go}
 OUT=BENCH_6.json
 OUT7=BENCH_7.json
+OUT9=BENCH_9.json
 MODE=${1:-generate}
 
 raw=$(mktemp)
 raw7=$(mktemp)
-trap 'rm -f "$raw" "$raw7"' EXIT
+raw9=$(mktemp)
+trap 'rm -f "$raw" "$raw7" "$raw9"' EXIT
 
 echo "== running read-path benchmarks (this takes ~10s)"
 $GO test -run '^$' -bench 'ReadPath' -benchmem -benchtime=1s \
@@ -40,6 +44,11 @@ echo "== running campaign-expansion benchmark"
 $GO test -run '^$' -bench 'CampaignExpand' -benchmem -benchtime=1s \
     ./internal/serve/campaign/ | tee "$raw7" | grep -E '^Benchmark' || {
     echo "FAIL: campaign benchmark did not run"; exit 1; }
+
+echo "== running observability hot-path benchmarks"
+$GO test -run '^$' -bench 'Obs(JobTrace|StitchSnapshot|Federate)' -benchmem -benchtime=1s \
+    ./internal/obs/ | tee "$raw9" | grep -E '^Benchmark' || {
+    echo "FAIL: observability benchmarks did not run"; exit 1; }
 
 # Parse `BenchmarkName-N  iters  ns/op  B/op  allocs/op` lines into JSON.
 parse_json() { # parse_json <raw-file>
@@ -54,8 +63,9 @@ parse_json() { # parse_json <raw-file>
 }
 json=$(parse_json "$raw")
 json7=$(parse_json "$raw7")
+json9=$(parse_json "$raw9")
 
-if [ -z "$json" ] || [ -z "$json7" ]; then
+if [ -z "$json" ] || [ -z "$json7" ] || [ -z "$json9" ]; then
     echo "FAIL: no benchmark lines parsed"; exit 1
 fi
 
@@ -107,10 +117,12 @@ alloc_gate() {
 if [ "$MODE" = "--check" ]; then
     [ -f "$OUT" ] || { echo "FAIL: no committed $OUT to gate against"; exit 1; }
     [ -f "$OUT7" ] || { echo "FAIL: no committed $OUT7 to gate against"; exit 1; }
-    fresh=$(mktemp); fresh7=$(mktemp)
-    trap 'rm -f "$raw" "$raw7" "$fresh" "$fresh7"' EXIT
+    [ -f "$OUT9" ] || { echo "FAIL: no committed $OUT9 to gate against"; exit 1; }
+    fresh=$(mktemp); fresh7=$(mktemp); fresh9=$(mktemp)
+    trap 'rm -f "$raw" "$raw7" "$raw9" "$fresh" "$fresh7" "$fresh9"' EXIT
     printf '%s\n' "$json" > "$fresh"
     printf '%s\n' "$json7" > "$fresh7"
+    printf '%s\n' "$json9" > "$fresh9"
     echo "== fresh-run ratio gates"
     check_ratios "$fresh"
     fail=0
@@ -120,6 +132,8 @@ if [ "$MODE" = "--check" ]; then
     alloc_gate "$OUT7" "$fresh7" CampaignExpand || fail=1
     specs_sec=$(get "$fresh7" CampaignExpand ops_per_sec)
     echo "   campaign expansion: ${specs_sec:-?} specs/sec"
+    echo "== alloc regression gate vs committed $OUT9 (>20% fails: instrumentation must stay off the hot path)"
+    alloc_gate "$OUT9" "$fresh9" ObsJobTrace ObsStitchSnapshot ObsFederate || fail=1
     [ "$fail" = 0 ] || exit 1
     echo "PASS: bench regression gate"
     exit 0
@@ -147,6 +161,17 @@ cat > "$OUT7" <<EOF
   ]
 }
 EOF
-echo "== wrote $OUT and $OUT7"
+cat > "$OUT9" <<EOF
+{
+  "schema": "bench-trajectory/v1",
+  "issue": 9,
+  "description": "Fleet observability hot path: per-job trace lifecycle (spans + worker-subtree stitch + snapshot), the stitch snapshot alone, and one GET /metrics/fleet federation of four worker scrapes.",
+  "command": "make bench-json",
+  "benchmarks": [
+    $json9
+  ]
+}
+EOF
+echo "== wrote $OUT, $OUT7 and $OUT9"
 check_ratios "$OUT"
 echo "   campaign expansion: $(get "$OUT7" CampaignExpand ops_per_sec) specs/sec at $(get "$OUT7" CampaignExpand allocs_per_op) allocs/spec"

@@ -27,6 +27,11 @@
 # digests, a node=worker solve span in every job trace, /metrics/fleet
 # summing to the per-worker scrapes, and a cache-stable energy line
 # (DESIGN.md §14).
+# `make autotune-smoke` warms a 2-worker fleet with full-mode references,
+# asserts auto-mode submissions demote one shadow-verified rung at a time,
+# SIGKILLs the coordinator and requires the learned table back from the
+# journal, injects runner.nan to force a revert, and checks tight budgets
+# resolve to full bit-matching the reference (DESIGN.md §15).
 # `make bench-par` regenerates the committed pool-vs-spawn dispatch
 # numbers in results/. `make bench-json` regenerates the committed
 # benchmark trajectories in BENCH_6.json (read path), BENCH_7.json
@@ -35,7 +40,7 @@
 
 GO ?= go
 
-.PHONY: build test vet verify race serve-smoke chaos-smoke obs-smoke dispatch-smoke read-smoke campaign-smoke straggler-smoke fleetobs-smoke bench-par bench-step bench-json bench-gate
+.PHONY: build test vet verify race serve-smoke chaos-smoke obs-smoke dispatch-smoke read-smoke campaign-smoke straggler-smoke fleetobs-smoke autotune-smoke bench-par bench-step bench-json bench-gate
 
 build:
 	$(GO) build ./...
@@ -74,6 +79,9 @@ straggler-smoke:
 
 fleetobs-smoke:
 	GO="$(GO)" ./scripts/fleetobs_smoke.sh
+
+autotune-smoke:
+	GO="$(GO)" ./scripts/autotune_smoke.sh
 
 bench-json:
 	GO="$(GO)" ./scripts/bench_json.sh

@@ -11,6 +11,15 @@
 //	precision-client -spec spec.json -trace     # print the job's span timeline
 //	precision-client -campaign grid.json        # server-side campaign + live aggregates
 //	precision-client -grid grid.json            # same file, client-side expansion
+//	precision-client -spec spec.json -max-mass-error 1e-7   # accuracy-budgeted auto mode
+//
+// -max-mass-error / -max-linecut-linf rewrite each -spec/-sweep submission
+// to mode "auto" with that accuracy budget: the daemon resolves the
+// cheapest precision mode its fleet-learned evidence shows meets the
+// budget (falling back to full until evidence exists). Summary lines for
+// auto submissions render the resolution ("auto→half") and a final line
+// totals the modeled joules/dollars the tuned modes saved against the
+// full-precision baseline.
 //
 // Each completed job prints one summary line; cached=true marks results the
 // daemon served from its content-addressed cache without recomputing.
@@ -58,6 +67,8 @@ func main() {
 		replayDir = flag.String("replay-cache", "", "cache result payloads + ETags in this directory and revalidate with If-None-Match on replay")
 		campPath  = flag.String("campaign", "", "submit a campaign spec JSON file server-side (POST /v1/campaigns) and render the streamed aggregates")
 		gridPath  = flag.String("grid", "", "expand a campaign spec file client-side, one POST /v1/jobs per index — the sweep loop campaigns replace")
+		maxMass   = flag.Float64("max-mass-error", 0, "submit -spec/-sweep as mode \"auto\" with this relative mass-error budget (0 = off)")
+		maxLinf   = flag.Float64("max-linecut-linf", 0, "submit -spec/-sweep as mode \"auto\" with this line-cut L∞ budget vs the full-precision reference (0 = off)")
 	)
 	flag.Parse()
 
@@ -101,6 +112,16 @@ func main() {
 		log.Fatal("nothing to submit: pass -spec or -sweep")
 	}
 
+	// An accuracy budget turns the submission over to the daemon's
+	// autotuner: mode "auto", budgets attached, resolution server-side.
+	if *maxMass > 0 || *maxLinf > 0 {
+		for i := range specs {
+			specs[i].Mode = runner.ModeAuto
+			specs[i].MaxMassError = *maxMass
+			specs[i].MaxLinecutLinf = *maxLinf
+		}
+	}
+
 	// Submit everything up front — identical specs collapse onto one job
 	// server-side — then collect results in submission order.
 	views := make([]queue.View, len(specs))
@@ -111,7 +132,8 @@ func main() {
 		}
 		views[i] = v
 	}
-	failed, revalidated := 0, 0
+	failed, revalidated, tuned := 0, 0, 0
+	savedJoules, savedDollars := 0.0, 0.0
 	for _, v := range views {
 		payload, notModified, err := fetchResult(*addr, v.ID, *retries, rc, v.SpecHash)
 		if notModified {
@@ -138,8 +160,20 @@ func main() {
 		if err := json.Unmarshal(payload, &res); err != nil {
 			log.Fatalf("%s: decode result: %v", v.ID, err)
 		}
+		mode := res.Spec.Mode
+		if v.TunedMode != "" {
+			// The view reports savings only once the job completed, so
+			// re-snapshot now that the result is in hand.
+			if fv, err := fetchView(*addr, v.ID, *retries); err == nil {
+				v = fv
+			}
+			mode = "auto→" + v.TunedMode
+			tuned++
+			savedJoules += v.SavedJoules
+			savedDollars += v.SavedDollars
+		}
 		fmt.Printf("%s  %-5s/%-5s  steps=%-4d cached=%-5v state=%s  %.3fs\n",
-			v.ID, res.Spec.App, res.Spec.Mode, res.Steps, v.Cached, res.StateHash[:12], res.WallSeconds)
+			v.ID, res.Spec.App, mode, res.Steps, v.Cached, res.StateHash[:12], res.WallSeconds)
 		if *trace {
 			td, err := fetchTrace(*addr, v.ID, *retries)
 			if err != nil {
@@ -151,6 +185,12 @@ func main() {
 	if rc != nil {
 		// stderr so -json stdout stays parseable; smoke tests grep this.
 		fmt.Fprintf(os.Stderr, "replay-cache: %d/%d results revalidated (304)\n", revalidated, len(views))
+	}
+	if tuned > 0 {
+		// Modeled savings vs running every tuned job at full precision.
+		perJob := savedDollars / float64(tuned)
+		fmt.Printf("autotune: jobs=%d saved_joules=%.4g saved=$%.4g ($%.3g/experiment saved)\n",
+			tuned, savedJoules, savedDollars, perJob)
 	}
 	if failed > 0 {
 		log.Fatalf("%d of %d jobs failed", failed, len(views))
@@ -233,6 +273,28 @@ func submit(addr string, spec runner.ExperimentSpec, retries int) (queue.View, e
 			return true, err
 		}
 		if resp.StatusCode != http.StatusAccepted && resp.StatusCode != http.StatusOK {
+			return resp.StatusCode >= 500, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
+		}
+		return false, json.Unmarshal(data, &v)
+	})
+	return v, err
+}
+
+// fetchView re-reads one job's view — the post-completion snapshot carries
+// the autotuner's savings figures, which the submit-time view cannot.
+func fetchView(addr, id string, retries int) (queue.View, error) {
+	var v queue.View
+	err := withRetry(retries, func() (bool, error) {
+		resp, err := http.Get(addr + "/v1/jobs/" + id)
+		if err != nil {
+			return true, err
+		}
+		defer resp.Body.Close()
+		data, err := io.ReadAll(resp.Body)
+		if err != nil {
+			return true, err
+		}
+		if resp.StatusCode != http.StatusOK {
 			return resp.StatusCode >= 500, fmt.Errorf("status %d: %s", resp.StatusCode, bytes.TrimSpace(data))
 		}
 		return false, json.Unmarshal(data, &v)

@@ -19,6 +19,7 @@
 //	precisiond -campaign-budget 1000000 -campaign-slots 16
 //	precisiond -arch 'Tesla P100'             # local energy/cost profile
 //	precisiond -trace-export /tmp/traces      # Chrome trace_event dumps
+//	precisiond -autotune-warm 5               # slower precision demotion
 //
 // The daemon is also the coordinator of a distributed worker fleet
 // (DESIGN.md §9): cmd/precision-worker nodes register under /v1/workers,
@@ -50,6 +51,19 @@
 // -campaign-slots the in-flight fan-out, and -campaign-reserve holds queue
 // slots campaigns may not occupy so interactive POST /v1/jobs stays
 // responsive while a million-job campaign drains.
+//
+// Precision autotuning (DESIGN.md §15) closes the loop the escalation
+// policy opened: a spec submitted with mode "auto" plus accuracy budgets
+// (max_mass_error, max_linecut_linf) is resolved at admission to the
+// cheapest concrete precision mode the fleet's accumulated evidence shows
+// meets the budgets. Every shape starts at full; after -autotune-warm
+// clean results the daemon probes one rung down, commits the demotion only
+// if a shadow run on a second executor reproduces it bit-identically and
+// its measured fidelity fits the requesting budgets, and reverts (with
+// hysteresis) on any later numerical escalation. The learned table is
+// journaled with the WAL, recovered on restart, and readable at
+// GET /v1/autotune; job views report the resolved tuned_mode and the
+// modeled joules/dollars saved against the full-precision baseline.
 //
 // Result reads go through the tiered read path (DESIGN.md §11): an
 // in-memory hot tier of pre-serialized payloads (-hot-bytes, 0 disables),
@@ -115,6 +129,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/runner"
 	"repro/internal/serve/api"
+	"repro/internal/serve/autotune"
 	"repro/internal/serve/cache"
 	"repro/internal/serve/campaign"
 	"repro/internal/serve/dispatch"
@@ -123,30 +138,31 @@ import (
 
 func main() {
 	var (
-		addr        = flag.String("addr", "127.0.0.1:7717", "listen address (use :0 for any free port)")
-		cacheDir    = flag.String("cache", "precision-cache", "result cache directory (created if needed)")
-		hotBytes    = flag.Int64("hot-bytes", 64<<20, "in-memory hot tier byte cap for cached result payloads (0 = disabled)")
-		workers     = flag.Int("workers", 2, "jobs executing concurrently on this node (0 = fleet-only; all work leased to remote workers)")
-		queueDepth  = flag.Int("queue-depth", 64, "pending-job queue bound")
-		lanes       = flag.Int("lanes", runtime.GOMAXPROCS(0), "total solver lanes divided among workers")
-		journalPath = flag.String("journal", "", "write-ahead job journal file (empty = no crash durability)")
-		ckptDir     = flag.String("ckpt-dir", "", "periodic mid-run checkpoint directory (empty = resume from scratch)")
-		ckptEvery   = flag.Int("ckpt-every", 25, "solver steps between periodic checkpoints (with -ckpt-dir)")
-		jobTimeout  = flag.Duration("job-timeout", 0, "per-attempt deadline for every job (0 = none; clients may set ?timeout=)")
-		grace       = flag.Duration("grace", 2*time.Second, "how long a cancelled run may linger before its lane is reclaimed")
-		leaseTTL    = flag.Duration("lease-ttl", 15*time.Second, "how long a remote worker's lease survives without a heartbeat")
-		heartbeat   = flag.Duration("heartbeat", 0, "heartbeat cadence advertised to workers (0 = lease-ttl/3)")
-		verifyN     = flag.Int("verify-n", 0, "re-run every Nth remotely-leased attempt on a second executor and require bit-identical state hashes (0 = off)")
-		hedgeBudget = flag.Float64("hedge-budget", 0, "straggler hedging: max concurrent hedged duplicates as a fraction of total fleet slots (0 = off)")
-		hedgeAfter  = flag.Duration("hedge-after", 0, "floor on how long a lease runs before a hedge may fire; the per-shape p99 raises it (0 = lease-ttl/2)")
-		campBudget  = flag.Int64("campaign-budget", 1<<20, "cap on total estimated campaign expansion (new campaign + live remainders); over-budget submissions get 429")
-		campSlots   = flag.Int("campaign-slots", 16, "campaign jobs concurrently in flight across all campaigns")
-		campReserve = flag.Int("campaign-reserve", -1, "queue slots held for interactive POST /v1/jobs that campaign expansion may not occupy (-1 = queue-depth/4)")
-		archName    = flag.String("arch", "Haswell", "platform profile pricing locally-executed jobs in joules/dollars (see internal/arch; empty = no local energy accounting)")
-		traceExport = flag.String("trace-export", "", "dump every completed job's stitched span timeline as Chrome trace_event JSON into this directory (empty = off)")
-		faults      = flag.String("faults", "", "arm fault-injection points, e.g. 'cache.put=p:0.1,journal.sync=n:3'")
-		logLevel    = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
-		debugAddr   = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
+		addr         = flag.String("addr", "127.0.0.1:7717", "listen address (use :0 for any free port)")
+		cacheDir     = flag.String("cache", "precision-cache", "result cache directory (created if needed)")
+		hotBytes     = flag.Int64("hot-bytes", 64<<20, "in-memory hot tier byte cap for cached result payloads (0 = disabled)")
+		workers      = flag.Int("workers", 2, "jobs executing concurrently on this node (0 = fleet-only; all work leased to remote workers)")
+		queueDepth   = flag.Int("queue-depth", 64, "pending-job queue bound")
+		lanes        = flag.Int("lanes", runtime.GOMAXPROCS(0), "total solver lanes divided among workers")
+		journalPath  = flag.String("journal", "", "write-ahead job journal file (empty = no crash durability)")
+		ckptDir      = flag.String("ckpt-dir", "", "periodic mid-run checkpoint directory (empty = resume from scratch)")
+		ckptEvery    = flag.Int("ckpt-every", 25, "solver steps between periodic checkpoints (with -ckpt-dir)")
+		jobTimeout   = flag.Duration("job-timeout", 0, "per-attempt deadline for every job (0 = none; clients may set ?timeout=)")
+		grace        = flag.Duration("grace", 2*time.Second, "how long a cancelled run may linger before its lane is reclaimed")
+		leaseTTL     = flag.Duration("lease-ttl", 15*time.Second, "how long a remote worker's lease survives without a heartbeat")
+		heartbeat    = flag.Duration("heartbeat", 0, "heartbeat cadence advertised to workers (0 = lease-ttl/3)")
+		verifyN      = flag.Int("verify-n", 0, "re-run every Nth remotely-leased attempt on a second executor and require bit-identical state hashes (0 = off)")
+		hedgeBudget  = flag.Float64("hedge-budget", 0, "straggler hedging: max concurrent hedged duplicates as a fraction of total fleet slots (0 = off)")
+		hedgeAfter   = flag.Duration("hedge-after", 0, "floor on how long a lease runs before a hedge may fire; the per-shape p99 raises it (0 = lease-ttl/2)")
+		campBudget   = flag.Int64("campaign-budget", 1<<20, "cap on total estimated campaign expansion (new campaign + live remainders); over-budget submissions get 429")
+		campSlots    = flag.Int("campaign-slots", 16, "campaign jobs concurrently in flight across all campaigns")
+		campReserve  = flag.Int("campaign-reserve", -1, "queue slots held for interactive POST /v1/jobs that campaign expansion may not occupy (-1 = queue-depth/4)")
+		archName     = flag.String("arch", "Haswell", "platform profile pricing locally-executed jobs in joules/dollars (see internal/arch; empty = no local energy accounting)")
+		autotuneWarm = flag.Int("autotune-warm", 3, "clean results per scenario shape before the autotuner probes one precision rung down (shadow-verified)")
+		traceExport  = flag.String("trace-export", "", "dump every completed job's stitched span timeline as Chrome trace_event JSON into this directory (empty = off)")
+		faults       = flag.String("faults", "", "arm fault-injection points, e.g. 'cache.put=p:0.1,journal.sync=n:3'")
+		logLevel     = flag.String("log-level", "info", "log verbosity: debug|info|warn|error")
+		debugAddr    = flag.String("debug-addr", "", "serve net/http/pprof on this address (empty = off)")
 	)
 	flag.Parse()
 
@@ -222,11 +238,29 @@ func main() {
 	// to a disk read, never to wrong bytes.
 	c.SetRemote(replicaFetcher(fleet, logger))
 
+	// Closed-loop precision autotuning (DESIGN.md §15): mode:"auto" specs
+	// resolve to the cheapest mode the fleet's evidence supports; demotions
+	// only commit after a shadow run on a second executor reproduces the
+	// result bit-identically (the same machinery -verify-n uses).
+	tuner := autotune.New(autotune.Config{
+		Journal:  journal,
+		Verify:   fleet.VerifyDemotion,
+		WarmRuns: *autotuneWarm,
+		Obs:      reg,
+		Log:      logger,
+	})
+	if journal != nil {
+		if err := tuner.Recover(journal); err != nil {
+			fatal(err)
+		}
+	}
+
 	reserve := *campReserve
 	if reserve < 0 {
 		reserve = *queueDepth / 4
 	}
 	cfg := queue.Config{
+		Tuner:        tuner,
 		Workers:      *workers,
 		QueueDepth:   *queueDepth,
 		Lanes:        *lanes,
@@ -340,7 +374,8 @@ func main() {
 	}
 
 	srv := &http.Server{Handler: api.New(sched, c,
-		api.WithMetrics(reg), api.WithDispatch(fleet), api.WithCampaigns(camps))}
+		api.WithMetrics(reg), api.WithDispatch(fleet), api.WithCampaigns(camps),
+		api.WithAutotune(tuner))}
 	done := make(chan error, 1)
 	go func() { done <- srv.Serve(ln) }()
 
@@ -363,6 +398,7 @@ func main() {
 	}
 	sched.Wait()
 	camps.Wait()
+	tuner.Quiesce()
 	if fault.Enabled() {
 		for _, fc := range fault.Counts() {
 			logger.Info("fault point summary",

@@ -33,6 +33,18 @@ import (
 // canonical encoding invalidates old cache entries instead of aliasing them.
 const specHashVersion = "precision-spec-v1"
 
+// specHashVersionAuto addresses specs that carry autotune inputs — mode
+// "auto" or an accuracy budget. Concrete specs without budgets keep hashing
+// under specHashVersion (their canonical JSON is byte-identical to v1 thanks
+// to omitempty), so the deterministic cache/dedup contract is untouched.
+const specHashVersionAuto = "precision-spec-v2"
+
+// ModeAuto asks the service to resolve the cheapest concrete precision mode
+// that the fleet's accumulated fidelity evidence shows meets the spec's
+// accuracy budget (internal/serve/autotune). Auto specs are resolved to a
+// concrete mode at admission; only concrete specs execute or hit the cache.
+const ModeAuto = "auto"
+
 // App names.
 const (
 	AppCLAMR = "clamr"
@@ -67,6 +79,15 @@ type ExperimentSpec struct {
 	Elements int    `json:"elements,omitempty"`
 	Order    int    `json:"order,omitempty"`
 	MathMode string `json:"math_mode,omitempty"` // "intel-native" | "gnu-promoted"
+
+	// Accuracy budgets for mode "auto" (zero = unconstrained on that
+	// axis). MaxMassError bounds the final relative mass error;
+	// MaxLinecutLinf bounds the L∞ distance of the line cut from the
+	// full-precision reference. Specs carrying either (or mode "auto")
+	// hash under specHashVersionAuto; resolution strips them, so the
+	// concrete spec that executes keeps its v1 hash.
+	MaxMassError   float64 `json:"max_mass_error,omitempty"`
+	MaxLinecutLinf float64 `json:"max_linecut_linf,omitempty"`
 }
 
 // ParseKernel normalizes a kernel name. Accepted: "", "face", "vectorized"
@@ -100,15 +121,27 @@ func ParseMathMode(s string) (self.MathMode, error) {
 // form is what CanonicalJSON serializes and Hash addresses.
 func (s ExperimentSpec) Normalized() (ExperimentSpec, error) {
 	out := ExperimentSpec{
-		App:      strings.ToLower(strings.TrimSpace(s.App)),
-		Steps:    s.Steps,
-		LineCutN: s.LineCutN,
+		App:            strings.ToLower(strings.TrimSpace(s.App)),
+		Steps:          s.Steps,
+		LineCutN:       s.LineCutN,
+		MaxMassError:   s.MaxMassError,
+		MaxLinecutLinf: s.MaxLinecutLinf,
 	}
-	mode, err := precision.Parse(s.Mode)
-	if err != nil {
-		return out, fmt.Errorf("runner: spec: %w", err)
+	if s.MaxMassError < 0 {
+		return out, fmt.Errorf("runner: spec: max_mass_error must be non-negative, got %g", s.MaxMassError)
 	}
-	out.Mode = strings.ToLower(mode.String())
+	if s.MaxLinecutLinf < 0 {
+		return out, fmt.Errorf("runner: spec: max_linecut_linf must be non-negative, got %g", s.MaxLinecutLinf)
+	}
+	if s.IsAuto() {
+		out.Mode = ModeAuto
+	} else {
+		mode, err := precision.Parse(s.Mode)
+		if err != nil {
+			return out, fmt.Errorf("runner: spec: %w", err)
+		}
+		out.Mode = strings.ToLower(mode.String())
+	}
 	if s.Steps <= 0 {
 		return out, fmt.Errorf("runner: spec: steps must be positive, got %d", s.Steps)
 	}
@@ -163,15 +196,40 @@ func (s ExperimentSpec) CanonicalJSON() ([]byte, error) {
 // versioned canonical JSON. Equivalent specs (alias spellings, junk foreign
 // fields) hash identically; any result-affecting difference hashes apart.
 func (s ExperimentSpec) Hash() (string, error) {
-	cj, err := s.CanonicalJSON()
+	n, err := s.Normalized()
 	if err != nil {
 		return "", err
 	}
+	cj, err := json.Marshal(n)
+	if err != nil {
+		return "", err
+	}
+	version := specHashVersion
+	if n.Mode == ModeAuto || n.MaxMassError != 0 || n.MaxLinecutLinf != 0 {
+		version = specHashVersionAuto
+	}
 	h := sha256.New()
-	h.Write([]byte(specHashVersion))
+	h.Write([]byte(version))
 	h.Write([]byte{'\n'})
 	h.Write(cj)
 	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// IsAuto reports whether the spec requests service-side mode resolution.
+func (s ExperimentSpec) IsAuto() bool {
+	return strings.ToLower(strings.TrimSpace(s.Mode)) == ModeAuto
+}
+
+// Concrete returns the spec resolved to the given precision mode, with the
+// accuracy budgets stripped: the executable form whose canonical JSON — and
+// therefore hash — is byte-identical to a plain v1 submission of the same
+// shape at that mode.
+func (s ExperimentSpec) Concrete(mode string) ExperimentSpec {
+	out := s
+	out.Mode = mode
+	out.MaxMassError = 0
+	out.MaxLinecutLinf = 0
+	return out
 }
 
 // PrecisionMode returns the spec's parsed precision mode.

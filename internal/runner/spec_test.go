@@ -114,6 +114,99 @@ func TestSpecValidation(t *testing.T) {
 	}
 }
 
+func TestSpecAutoModeHashing(t *testing.T) {
+	// Concrete specs keep the v1 hash: a budget-free spec must hash
+	// identically whether or not the auto-mode fields exist in the binary.
+	// Guarded by construction — a concrete spec's canonical JSON carries no
+	// budget keys, so its digest input is byte-for-byte the v1 form.
+	concrete := clamrTestSpec()
+	cj, err := concrete.CanonicalJSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(cj), "max_mass_error") || strings.Contains(string(cj), "auto") {
+		t.Fatalf("concrete spec canonical JSON leaks auto fields: %s", cj)
+	}
+
+	auto := clamrTestSpec()
+	auto.Mode = "auto"
+	auto.MaxMassError = 1e-7
+	n, err := auto.Normalized()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !n.IsAuto() || n.Mode != ModeAuto {
+		t.Fatalf("normalized auto spec = %+v", n)
+	}
+
+	// Auto specs and budget-carrying specs hash apart from each other and
+	// from the concrete base.
+	hashes := map[string]string{}
+	for name, s := range map[string]ExperimentSpec{
+		"concrete": concrete,
+		"auto":     auto,
+		"budget": func() ExperimentSpec {
+			v := clamrTestSpec()
+			v.MaxMassError = 1e-7
+			return v
+		}(),
+		"auto-linf": func() ExperimentSpec {
+			v := auto
+			v.MaxMassError = 0
+			v.MaxLinecutLinf = 1e-5
+			return v
+		}(),
+	} {
+		h, err := s.Hash()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		for prev, ph := range hashes {
+			if ph == h {
+				t.Errorf("%s and %s collide on %s", name, prev, h)
+			}
+		}
+		hashes[name] = h
+	}
+
+	// Concrete(mode) strips budgets: the result hashes exactly like a plain
+	// submission at that mode — the dedup/cache contract resolution relies on.
+	resolved := auto.Concrete("min")
+	plain := clamrTestSpec()
+	plain.Mode = "min"
+	rh, err := resolved.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	ph, err := plain.Hash()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rh != ph {
+		t.Errorf("Concrete(min) hash %s != plain min submission %s", rh, ph)
+	}
+}
+
+func TestSpecAutoModeValidation(t *testing.T) {
+	neg := clamrTestSpec()
+	neg.MaxMassError = -1e-9
+	if _, err := neg.Normalized(); err == nil {
+		t.Error("negative mass-error budget validated")
+	}
+	neg = clamrTestSpec()
+	neg.MaxLinecutLinf = -1
+	if _, err := neg.Normalized(); err == nil {
+		t.Error("negative line-cut budget validated")
+	}
+	// "auto" with no budget is still valid: the autotuner treats a
+	// budget-free auto spec as unconstrained.
+	open := clamrTestSpec()
+	open.Mode = " Auto "
+	if _, err := open.Normalized(); err != nil {
+		t.Errorf("bare auto spec rejected: %v", err)
+	}
+}
+
 func TestSweepSpecsCoverThePaperSweep(t *testing.T) {
 	specs := SweepSpecs(repro.QuickScale)
 	if len(specs) != 11 {

@@ -29,6 +29,11 @@
 //	GET    /v1/campaigns/{id}/stream  NDJSON running aggregates
 //	DELETE /v1/campaigns/{id}         cancel expansion
 //
+// With WithAutotune, the closed-loop precision policy's decision table is
+// readable too:
+//
+//	GET /v1/autotune                  learned per-shape mode table
+//
 // With WithDispatch, the remote-fleet coordinator is mounted too:
 //
 //	POST /v1/workers/register        announce a precision-worker node
@@ -60,6 +65,7 @@ import (
 
 	"repro/internal/obs"
 	"repro/internal/runner"
+	"repro/internal/serve/autotune"
 	"repro/internal/serve/cache"
 	"repro/internal/serve/campaign"
 	"repro/internal/serve/dispatch"
@@ -80,6 +86,8 @@ type Server struct {
 	fleet *dispatch.Coordinator
 	// campaigns, when non-nil, mounts the campaign API under /v1/campaigns.
 	campaigns *campaign.Manager
+	// tuner, when non-nil, serves its decision table at GET /v1/autotune.
+	tuner *autotune.Tuner
 	// reads counts result reads by serving tier (no-op Vec without metrics).
 	reads obs.CounterVec
 	// started anchors the /healthz uptime report.
@@ -104,6 +112,12 @@ func WithMetrics(r *obs.Registry) Option {
 // /v1/workers.
 func WithDispatch(co *dispatch.Coordinator) Option {
 	return func(s *Server) { s.fleet = co }
+}
+
+// WithAutotune serves the closed-loop precision policy's learned decision
+// table at GET /v1/autotune.
+func WithAutotune(t *autotune.Tuner) Option {
+	return func(s *Server) { s.tuner = t }
 }
 
 // New builds the API over a scheduler and its cache (cache may be nil when
@@ -139,6 +153,9 @@ func New(sched *queue.Scheduler, c *cache.Cache, opts ...Option) *Server {
 		mux.HandleFunc("GET /v1/campaigns/{id}", s.campaignView)
 		mux.HandleFunc("GET /v1/campaigns/{id}/stream", s.campaignStream)
 		mux.HandleFunc("DELETE /v1/campaigns/{id}", s.campaignCancel)
+	}
+	if s.tuner != nil {
+		mux.HandleFunc("GET /v1/autotune", s.autotuneTable)
 	}
 	if s.fleet != nil {
 		mux.HandleFunc("POST /v1/workers/register", s.fleet.HandleRegister)
@@ -524,6 +541,19 @@ func viewChanged(v, last queue.View) bool {
 		v.Attempts != last.Attempts ||
 		len(v.Escalations) != len(last.Escalations) ||
 		v.Error != last.Error
+}
+
+// AutotuneReply is the GET /v1/autotune payload: the learned decision
+// table, one entry per (app, scenario-shape), sorted by key.
+type AutotuneReply struct {
+	Entries []autotune.EntryView `json:"entries"`
+}
+
+// autotuneTable serves the autotuner's decision table: per-shape committed
+// mode, floor, warm-up progress, per-mode fidelity evidence and the
+// cumulative modeled savings against the full-precision baseline.
+func (s *Server) autotuneTable(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, AutotuneReply{Entries: s.tuner.Snapshot()})
 }
 
 // StatsReply is the /v1/cache/stats payload.

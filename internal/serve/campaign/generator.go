@@ -59,6 +59,13 @@ func NewGenerator(gs GeneratorSpec) (*Generator, error) {
 			rungs = []string{"min", "mixed", "full"}
 		}
 		for _, r := range rungs {
+			// "auto" is a valid rung: the scheduler's autotuner resolves it
+			// per-point at admission, so an auto rung in a ladder compares
+			// the learned mode against the explicit ones.
+			if strings.ToLower(strings.TrimSpace(r)) == runner.ModeAuto {
+				g.rungs = append(g.rungs, runner.ModeAuto)
+				continue
+			}
 			m, err := precision.Parse(r)
 			if err != nil {
 				return nil, fmt.Errorf("campaign: ladder rung: %w", err)
@@ -139,7 +146,8 @@ func knownField(f string) bool {
 	switch strings.ToLower(strings.TrimSpace(f)) {
 	case "app", "mode", "steps", "line_cut_n",
 		"nx", "ny", "max_level", "kernel", "amr_interval", "dry_tol",
-		"elements", "order", "math_mode":
+		"elements", "order", "math_mode",
+		"max_mass_error", "max_linecut_linf":
 		return true
 	}
 	return false
@@ -166,12 +174,19 @@ func applyField(s *runner.ExperimentSpec, field string, v any) error {
 		case "math_mode":
 			s.MathMode = sv
 		}
-	case "dry_tol":
+	case "dry_tol", "max_mass_error", "max_linecut_linf":
 		fv, err := asFloat(v)
 		if err != nil {
 			return fmt.Errorf("campaign: axis %q: %w", field, err)
 		}
-		s.DryTol = fv
+		switch f {
+		case "dry_tol":
+			s.DryTol = fv
+		case "max_mass_error":
+			s.MaxMassError = fv
+		case "max_linecut_linf":
+			s.MaxLinecutLinf = fv
+		}
 	default:
 		iv, err := asInt(v)
 		if err != nil {

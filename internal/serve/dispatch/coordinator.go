@@ -514,6 +514,7 @@ func (co *Coordinator) reap(now time.Time) {
 			l.worker.id, l.id, l.a.JobID, ErrLeaseExpired))
 	}
 	for _, w := range pruned {
+		co.d.ClearWorkerScore(w.id)
 		co.workersGauge.Set(int64(n))
 		co.log.Info("pruned unresponsive worker",
 			obs.Str("worker", w.id), obs.Str("name", w.name),
@@ -696,6 +697,13 @@ func (co *Coordinator) HandleRegister(w http.ResponseWriter, r *http.Request) {
 	co.workers[ws.id] = ws
 	n := len(co.workers)
 	co.mu.Unlock()
+	// Energy tie-break input: modeled joules per slot from the arch profile
+	// (TDP spread across the advertised slots). Among capability-equal idle
+	// workers the board then leases to the cheapest one first; a worker
+	// registering without a profile simply stays unscored.
+	if req.Arch != nil && req.Arch.TDPWatts > 0 {
+		co.d.SetWorkerScore(ws.id, req.Arch.TDPWatts/float64(ws.caps.Slots))
+	}
 	if seen && prev != fp {
 		co.log.Warn("worker profile changed between registrations",
 			obs.Str("worker", ws.id), obs.Str("name", ws.name),
@@ -1121,6 +1129,50 @@ func (co *Coordinator) crossCheck(l *lease, first *runner.Result) {
 	})
 }
 
+// VerifyDemotion executes spec once and shadow-runs it on a second
+// executor that excludes the first, reporting the primary result and
+// whether the two final-state hashes were bit-identical — the gate
+// internal/serve/autotune requires before committing a precision
+// demotion. It reuses the -verify-n cross-check machinery, so on a
+// multi-node fleet the confirmation is cross-node. ctx bounds the whole
+// probe; a probe that finds no second executor in time returns the
+// primary result unverified (verified=false, err=nil), never an error —
+// the demotion is simply not committed.
+func (co *Coordinator) VerifyDemotion(ctx context.Context, spec runner.ExperimentSpec) (*runner.Result, bool, error) {
+	first := co.d.Do(ctx, &Attempt{JobID: "autotune-probe", Spec: spec, N: 1, shadow: true})
+	if first.Err != nil {
+		return nil, false, first.Err
+	}
+	if first.Res == nil || first.Res.StateHash == "" {
+		return nil, false, errors.New("dispatch: demotion probe returned no final-state hash")
+	}
+	shadow := co.d.Do(ctx, &Attempt{
+		JobID: "autotune-probe", Spec: spec, N: 2,
+		ExcludeWorker: first.Worker, shadow: true,
+	})
+	if shadow.Err != nil || shadow.Res == nil {
+		co.verifyCtr.With("skipped").Inc()
+		co.log.Warn("demotion shadow verification skipped",
+			obs.Str("mode", spec.Mode), obs.Str("cause", fmt.Sprint(shadow.Err)))
+		return first.Res, false, nil
+	}
+	if shadow.Res.StateHash != first.Res.StateHash {
+		co.verifyCtr.With("mismatch").Inc()
+		co.log.Error("demotion shadow diverged",
+			obs.Str("mode", spec.Mode),
+			obs.Str("first", first.Backend+"/"+first.Worker), obs.Str("first_state", first.Res.StateHash),
+			obs.Str("second", shadow.Backend+"/"+shadow.Worker), obs.Str("second_state", shadow.Res.StateHash))
+		return first.Res, false, nil
+	}
+	co.verifyCtr.With("match").Inc()
+	co.log.Debug("demotion shadow verified",
+		obs.Str("mode", spec.Mode),
+		obs.Str("first", first.Backend+"/"+first.Worker),
+		obs.Str("second", shadow.Backend+"/"+shadow.Worker),
+		obs.Str("state", first.Res.StateHash))
+	return first.Res, true, nil
+}
+
 // HandleDeregister implements POST /v1/workers/{id}/deregister: a graceful
 // goodbye. Any leases the worker still holds are requeued synchronously —
 // their attempts finish with ErrLeaseExpired before the response goes out,
@@ -1150,6 +1202,7 @@ func (co *Coordinator) HandleDeregister(w http.ResponseWriter, r *http.Request) 
 	for _, id := range held {
 		co.requeueLease(id, fmt.Errorf("worker %s deregistered: %w", wid, ErrLeaseExpired))
 	}
+	co.d.ClearWorkerScore(wid)
 	co.workersGauge.Set(int64(n))
 	co.replicaGauge.Set(int64(replicaCount))
 	co.updateHealthGauge()

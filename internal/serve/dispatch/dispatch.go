@@ -179,13 +179,15 @@ type Options struct {
 type Dispatcher struct {
 	log *obs.Logger
 
-	inflight  obs.GaugeVec     // label: backend
-	placeWait obs.HistogramVec // label: backend
-	outcomes  obs.CounterVec   // labels: backend, outcome
+	inflight        obs.GaugeVec     // label: backend
+	placeWait       obs.HistogramVec // label: backend
+	outcomes        obs.CounterVec   // labels: backend, outcome
+	energyPreferred obs.Counter
 
 	mu       sync.Mutex
 	items    []*Attempt
 	waiters  []*waiter
+	scores   map[string]float64 // modeled joules/slot per worker
 	backends []Backend
 	started  bool
 	runCtx   context.Context
@@ -194,14 +196,15 @@ type Dispatcher struct {
 }
 
 type waiter struct {
-	match func(*Attempt) bool
-	ch    chan *Attempt
+	worker string
+	match  func(*Attempt) bool
+	ch     chan *Attempt
 }
 
 // New builds a Dispatcher. A nil-field Options is fine: instruments and
 // logging degrade to no-ops.
 func New(opts Options) *Dispatcher {
-	d := &Dispatcher{log: opts.Log}
+	d := &Dispatcher{log: opts.Log, scores: map[string]float64{}}
 	if opts.Obs != nil {
 		d.inflight = opts.Obs.GaugeVec("dispatch_inflight",
 			"Attempts currently executing, by backend.", "backend")
@@ -210,8 +213,28 @@ func New(opts Options) *Dispatcher {
 			obs.DurationBuckets, "backend")
 		d.outcomes = opts.Obs.CounterVec("dispatch_attempts_total",
 			"Dispatched attempts by backend and outcome.", "backend", "outcome")
+		d.energyPreferred = opts.Obs.Counter("precisiond_lease_energy_preferred_total",
+			"Lease deliveries where the energy tie-break picked a cheaper "+
+				"worker than strict board order would have.")
 	}
 	return d
+}
+
+// SetWorkerScore registers a worker's energy score — modeled joules per
+// slot from its arch profile. Among capability-equal idle workers, lease
+// delivery prefers the lowest score. A worker without a score competes in
+// strict board order only.
+func (d *Dispatcher) SetWorkerScore(worker string, joulesPerSlot float64) {
+	d.mu.Lock()
+	d.scores[worker] = joulesPerSlot
+	d.mu.Unlock()
+}
+
+// ClearWorkerScore drops a departed worker's energy score.
+func (d *Dispatcher) ClearWorkerScore(worker string) {
+	d.mu.Lock()
+	delete(d.scores, worker)
+	d.mu.Unlock()
 }
 
 // Register adds a backend. Backends registered after Start are started
@@ -284,13 +307,11 @@ func (d *Dispatcher) Do(ctx context.Context, a *Attempt) Outcome {
 
 	d.mu.Lock()
 	delivered := false
-	for i, w := range d.waiters {
-		if w.match(a) {
-			d.waiters = append(d.waiters[:i], d.waiters[i+1:]...)
-			w.ch <- a
-			delivered = true
-			break
-		}
+	if i := d.pickWaiterLocked(a); i >= 0 {
+		w := d.waiters[i]
+		d.waiters = append(d.waiters[:i], d.waiters[i+1:]...)
+		w.ch <- a
+		delivered = true
 	}
 	if !delivered {
 		d.items = append(d.items, a)
@@ -304,6 +325,40 @@ func (d *Dispatcher) Do(ctx context.Context, a *Attempt) Outcome {
 		d.cancel(a, ctx.Err())
 		return <-a.out
 	}
+}
+
+// pickWaiterLocked chooses which matching waiter (index, -1 for none)
+// receives a. Delivery is first-match — board order — unless the first
+// match carries a registered energy score (modeled joules/slot from the
+// worker's arch profile): then the lowest-scored matching scored waiter
+// wins, so among capability-equal idle workers the fleet leases to the
+// most energy-efficient one first. Unscored waiters (local lanes,
+// unprofiled workers) keep strict board order. Caller holds d.mu.
+func (d *Dispatcher) pickWaiterLocked(a *Attempt) int {
+	first := -1
+	best, bestScore := -1, 0.0
+	for i, w := range d.waiters {
+		if !w.match(a) {
+			continue
+		}
+		score, scored := d.scores[w.worker]
+		if first < 0 {
+			if !scored {
+				return i
+			}
+			first = i
+		}
+		if scored && (best < 0 || score < bestScore) {
+			best, bestScore = i, score
+		}
+	}
+	if best >= 0 {
+		if best != first {
+			d.energyPreferred.Inc()
+		}
+		return best
+	}
+	return first
 }
 
 // cancel resolves a cancelled attempt: withdraw it if still pending, revoke
@@ -334,7 +389,7 @@ func (d *Dispatcher) cancel(a *Attempt, cause error) {
 // nil). The caller must drive the attempt to an Outcome.
 func (d *Dispatcher) Take(ctx context.Context, backend, worker string, match func(*Attempt) bool) *Attempt {
 	for {
-		a := d.takeOne(ctx, match)
+		a := d.takeOne(ctx, worker, match)
 		if a == nil {
 			return nil
 		}
@@ -348,7 +403,7 @@ func (d *Dispatcher) Take(ctx context.Context, backend, worker string, match fun
 	}
 }
 
-func (d *Dispatcher) takeOne(ctx context.Context, match func(*Attempt) bool) *Attempt {
+func (d *Dispatcher) takeOne(ctx context.Context, worker string, match func(*Attempt) bool) *Attempt {
 	d.mu.Lock()
 	for i, a := range d.items {
 		if match(a) {
@@ -357,7 +412,7 @@ func (d *Dispatcher) takeOne(ctx context.Context, match func(*Attempt) bool) *At
 			return a
 		}
 	}
-	w := &waiter{match: match, ch: make(chan *Attempt, 1)}
+	w := &waiter{worker: worker, match: match, ch: make(chan *Attempt, 1)}
 	d.waiters = append(d.waiters, w)
 	d.mu.Unlock()
 

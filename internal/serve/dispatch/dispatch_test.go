@@ -152,6 +152,47 @@ func TestFinishIsExactlyOnce(t *testing.T) {
 	}
 }
 
+// TestEnergyTieBreakPrefersCoolestWorker: among parked capability-equal
+// takers, a posted attempt leases to the worker with the lowest modeled
+// joules per slot.
+func TestEnergyTieBreakPrefersCoolestWorker(t *testing.T) {
+	t.Parallel()
+	d := New(Options{})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	d.SetWorkerScore("w-hot", 40)
+	d.SetWorkerScore("w-cool", 8)
+
+	leased := make(chan string, 2)
+	var wg sync.WaitGroup
+	for _, w := range []string{"w-hot", "w-cool"} {
+		wg.Add(1)
+		go func(w string) {
+			defer wg.Done()
+			if a := d.Take(ctx, "fleet", w, func(*Attempt) bool { return true }); a != nil {
+				leased <- w
+				a.finish(Outcome{Res: okResult(t, a.Spec), Backend: "fleet", Worker: w})
+			}
+		}(w)
+	}
+	time.Sleep(50 * time.Millisecond) // let both takers park
+
+	out := d.Do(ctx, &Attempt{JobID: "job-1", Spec: testSpec()})
+	if out.Err != nil {
+		t.Fatalf("outcome err = %v", out.Err)
+	}
+	select {
+	case w := <-leased:
+		if w != "w-cool" {
+			t.Fatalf("attempt leased to %s, want w-cool (8 J/slot vs 40)", w)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("no taker received the attempt")
+	}
+	cancel()
+	wg.Wait()
+}
+
 // TestWaiterWakesOnPost: a parked taker is handed a freshly posted attempt
 // without polling.
 func TestWaiterWakesOnPost(t *testing.T) {

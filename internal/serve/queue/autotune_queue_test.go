@@ -1,0 +1,102 @@
+package queue
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+// fakeTuner resolves every auto spec to "half" and prices each demoted run
+// at fixed savings, recording what the scheduler feeds back.
+type fakeTuner struct {
+	mu      sync.Mutex
+	results []runner.ExperimentSpec
+	escs    []runner.Escalation
+}
+
+func (f *fakeTuner) Resolve(spec runner.ExperimentSpec) (runner.ExperimentSpec, error) {
+	return spec.Concrete("half").Normalized()
+}
+
+func (f *fakeTuner) ObserveResult(spec runner.ExperimentSpec, _ *runner.Result) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.results = append(f.results, spec)
+}
+
+func (f *fakeTuner) ObserveEscalation(_ runner.ExperimentSpec, esc runner.Escalation) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	f.escs = append(f.escs, esc)
+}
+
+func (f *fakeTuner) Savings(runner.ExperimentSpec, *runner.Result) (float64, float64, bool) {
+	return 7, 0.25, true
+}
+
+func TestAutoModeRequiresTuner(t *testing.T) {
+	s := New(Config{Workers: 1, Run: newFakeRun().fn})
+	spec := testSpec(10)
+	spec.Mode = "auto"
+	if _, err := s.Submit(spec); !errors.Is(err, ErrNoTuner) {
+		t.Fatalf("auto submission without a tuner = %v, want ErrNoTuner", err)
+	}
+}
+
+// TestAutoModeResolvesAtAdmission: an auto submission is resolved to a
+// concrete mode before dedup, collapses onto its concrete twin, and its
+// view reports the tuned mode, the requested budget and the savings the
+// tuner priced.
+func TestAutoModeResolvesAtAdmission(t *testing.T) {
+	fake := newFakeRun()
+	ft := &fakeTuner{}
+	s := New(Config{Workers: 1, Run: fake.fn, Tuner: ft})
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s.Start(ctx)
+
+	auto := testSpec(10)
+	auto.Mode = "auto"
+	auto.MaxMassError = 1e-6
+	j, err := s.Submit(auto)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A plain submission at the resolved mode is the same job.
+	twin := testSpec(10)
+	twin.Mode = "half"
+	tj, err := s.Submit(twin)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tj != j {
+		t.Fatalf("concrete twin got job %s, want dedup onto %s", tj.ID, j.ID)
+	}
+
+	close(fake.release)
+	waitDone(t, j)
+
+	v := j.Snapshot()
+	if v.TunedMode != "half" {
+		t.Errorf("tuned mode = %q, want half", v.TunedMode)
+	}
+	if v.Spec.Mode != "half" || v.Spec.MaxMassError != 0 {
+		t.Errorf("executed spec = %+v, want concrete half with budgets stripped", v.Spec)
+	}
+	if v.MaxMassError != 1e-6 {
+		t.Errorf("budget echo = %g, want 1e-6", v.MaxMassError)
+	}
+	if v.SavedJoules != 7 || v.SavedDollars != 0.25 {
+		t.Errorf("savings = (%g, %g), want (7, 0.25)", v.SavedJoules, v.SavedDollars)
+	}
+
+	ft.mu.Lock()
+	defer ft.mu.Unlock()
+	if len(ft.results) != 1 || ft.results[0].Mode != "half" {
+		t.Errorf("tuner observed %+v, want one half-mode result", ft.results)
+	}
+}

@@ -48,6 +48,15 @@ const (
 	// worker was quarantined). Replay ignores it; compaction drops it.
 	recHedge = "hedge_verified"
 
+	// recTuned is one autotune decision-table entry: the learned state for
+	// one (app, scenario-shape) key, written by internal/serve/autotune
+	// whenever a demotion commits, reverts, or a full-precision reference
+	// is captured. The payload is opaque bytes here (autotune owns the
+	// shape). Replay keeps the latest record per key; compaction rewrites
+	// exactly those — so the learned table survives restart like the live
+	// job set does.
+	recTuned = "tuned"
+
 	// Campaign records share the same journal file so one fsync stream
 	// orders campaign state against the job admissions it produced. The
 	// campaign spec is opaque bytes here (internal/serve/campaign owns the
@@ -75,6 +84,10 @@ type journalRecord struct {
 	Cursor       int64           `json:"cursor,omitempty"`
 	NextCampaign uint64          `json:"next_campaign,omitempty"`
 
+	// Autotune fields (recTuned).
+	TunedKey string          `json:"tuned_key,omitempty"`
+	Tuned    json.RawMessage `json:"tuned,omitempty"`
+
 	// Poison / hedge fields.
 	Poisoned  bool   `json:"poisoned,omitempty"` // folded into compacted submitted records
 	StateHash string `json:"state_hash,omitempty"`
@@ -99,6 +112,18 @@ type PendingJob struct {
 	ErrMsg   string
 }
 
+// DoneEscalation is the escalation history of a job that reached a terminal
+// state before a restart. Replay used to rebuild escalations only for
+// unfinished jobs and silently dropped these at the done/failed record;
+// they are now surfaced so the autotune table re-learns its precision
+// floors on Recover() without having to re-observe the failures.
+type DoneEscalation struct {
+	JobID       string
+	SpecHash    string
+	Spec        runner.ExperimentSpec
+	Escalations []runner.Escalation
+}
+
 // PendingCampaign is one journal campaign owed a resumption: admitted but
 // never terminal. Spec is the opaque campaign spec bytes recorded at
 // admission; Cursor is the expansion high-water mark (specs with a lower
@@ -120,6 +145,9 @@ type Journal struct {
 	nextCampaign uint64
 	pending      []PendingJob
 	pendingCamps []PendingCampaign
+	tuned        map[string]json.RawMessage // latest autotune state per key
+	tunedOrder   []string                   // first-seen key order (stable compaction)
+	doneEsc      []DoneEscalation
 	syncErr      error
 	// lastErr is the most recent append failure ever seen — unlike syncErr
 	// it is not cleared by a later success, so /healthz can report the last
@@ -139,7 +167,7 @@ func (j *Journal) setFsyncHist(h *obs.Histogram) {
 // returning it ready for appends. Pending lists the jobs owed an
 // execution, in admission order.
 func OpenJournal(path string) (*Journal, error) {
-	j := &Journal{path: path, nextJob: 1, nextCampaign: 1}
+	j := &Journal{path: path, nextJob: 1, nextCampaign: 1, tuned: map[string]json.RawMessage{}}
 	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
 		return nil, fmt.Errorf("journal: %w", err)
 	}
@@ -235,7 +263,26 @@ func (j *Journal) replayAndCompact() error {
 			}
 		case recHedge:
 			// Audit only; carries no live state.
+		case recTuned:
+			if rec.TunedKey == "" {
+				continue
+			}
+			if _, seen := j.tuned[rec.TunedKey]; !seen {
+				j.tunedOrder = append(j.tunedOrder, rec.TunedKey)
+			}
+			j.tuned[rec.TunedKey] = append(json.RawMessage(nil), rec.Tuned...)
 		case recDone, recFailed:
+			// Terminal jobs leave the live set, but their escalation
+			// history is fleet evidence the autotune table wants back
+			// after a restart — surface it before dropping the record.
+			if lj, ok := live[rec.JobID]; ok && len(lj.Escalations) > 0 {
+				j.doneEsc = append(j.doneEsc, DoneEscalation{
+					JobID:       lj.ID,
+					SpecHash:    lj.SpecHash,
+					Spec:        lj.Spec,
+					Escalations: append([]runner.Escalation(nil), lj.Escalations...),
+				})
+			}
 			delete(live, rec.JobID)
 		case recCampaign:
 			if rec.CampaignID == "" || len(rec.Campaign) == 0 {
@@ -300,6 +347,14 @@ func (j *Journal) writeCompacted() error {
 	if err := enc.Encode(journalRecord{Seq: j.seq, Type: recMeta, NextJob: j.nextJob, NextCampaign: j.nextCampaign}); err != nil {
 		tmp.Close()
 		return fmt.Errorf("journal: compact: %w", err)
+	}
+	for _, key := range j.tunedOrder {
+		j.seq++
+		rec := journalRecord{Seq: j.seq, Type: recTuned, TunedKey: key, Tuned: j.tuned[key]}
+		if err := enc.Encode(rec); err != nil {
+			tmp.Close()
+			return fmt.Errorf("journal: compact: %w", err)
+		}
 	}
 	for _, c := range j.pendingCamps {
 		j.seq++
@@ -455,6 +510,39 @@ func (j *Journal) HedgeVerified(jobID, specHash, stateHash, winner, loser string
 		Type: recHedge, JobID: jobID, SpecHash: specHash, StateHash: stateHash,
 		Winner: winner, Loser: loser, Outcome: outcome,
 	})
+}
+
+// Tuned journals one autotune decision-table entry for key. The latest
+// record per key survives replay and compaction; earlier ones are folded
+// away. The state bytes are owned by internal/serve/autotune.
+func (j *Journal) Tuned(key string, state []byte) error {
+	j.mu.Lock()
+	if _, seen := j.tuned[key]; !seen {
+		j.tunedOrder = append(j.tunedOrder, key)
+	}
+	j.tuned[key] = append(json.RawMessage(nil), state...)
+	j.mu.Unlock()
+	return j.append(journalRecord{Type: recTuned, TunedKey: key, Tuned: json.RawMessage(state)})
+}
+
+// TunedRecords returns the latest journaled autotune state per key, as
+// replayed at open plus any appended since.
+func (j *Journal) TunedRecords() map[string][]byte {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make(map[string][]byte, len(j.tuned))
+	for k, v := range j.tuned {
+		out[k] = append([]byte(nil), v...)
+	}
+	return out
+}
+
+// DoneEscalations returns the escalation histories of jobs that reached a
+// terminal state before this open — evidence replay previously discarded.
+func (j *Journal) DoneEscalations() []DoneEscalation {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return append([]DoneEscalation(nil), j.doneEsc...)
 }
 
 // PendingCampaigns returns the campaigns owed a resumption, in admission

@@ -132,6 +132,105 @@ func TestJournalEscalationsSurviveRestart(t *testing.T) {
 	}
 }
 
+func TestJournalTunedRecordsSurviveCompaction(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	j := openTestJournal(t, path)
+	if err := j.Tuned("shape-a", []byte(`{"committed":"full"}`)); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Tuned("shape-b", []byte(`{"committed":"min"}`)); err != nil {
+		t.Fatal(err)
+	}
+	// Superseding write: only the latest state per key may survive.
+	if err := j.Tuned("shape-a", []byte(`{"committed":"half"}`)); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	// Two reopens: the first compacts, the second proves the compacted
+	// form still replays the same table.
+	for reopen := 0; reopen < 2; reopen++ {
+		j2 := openTestJournal(t, path)
+		tuned := j2.TunedRecords()
+		if len(tuned) != 2 {
+			t.Fatalf("reopen %d: tuned records = %d, want 2", reopen, len(tuned))
+		}
+		if got := string(tuned["shape-a"]); got != `{"committed":"half"}` {
+			t.Errorf("reopen %d: shape-a = %s, want latest write", reopen, got)
+		}
+		if got := string(tuned["shape-b"]); got != `{"committed":"min"}` {
+			t.Errorf("reopen %d: shape-b = %s", reopen, got)
+		}
+		j2.Close()
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// meta + two tuned records: the superseded shape-a write is gone.
+	if lines := strings.Count(string(data), "\n"); lines != 3 {
+		t.Errorf("compacted journal has %d lines, want 3:\n%s", lines, data)
+	}
+}
+
+func TestJournalDoneEscalationsReplayed(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "journal.ndjson")
+	j := openTestJournal(t, path)
+	spec := testSpec(10)
+	spec.Mode = "half"
+	hash := submitTestJob(t, j, "job-000001", spec, 2)
+	esc := runner.Escalation{FromMode: "half", ToMode: "min", FromSpecHash: hash, Reason: "guard"}
+	if err := j.Escalated("job-000001", esc); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Done("job-000001"); err != nil {
+		t.Fatal(err)
+	}
+	// A done job without escalations must not surface.
+	submitTestJob(t, j, "job-000002", testSpec(11), 3)
+	if err := j.Done("job-000002"); err != nil {
+		t.Fatal(err)
+	}
+	// A failed job's escalations count too.
+	spec3 := testSpec(12)
+	spec3.Mode = "min"
+	submitTestJob(t, j, "job-000003", spec3, 4)
+	esc3 := runner.Escalation{FromMode: "min", ToMode: "mixed", Reason: "nan"}
+	if err := j.Escalated("job-000003", esc3); err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Failed("job-000003", "boom"); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2 := openTestJournal(t, path)
+	defer j2.Close()
+	if pending := j2.Pending(); len(pending) != 0 {
+		t.Fatalf("pending = %+v, want none", pending)
+	}
+	done := j2.DoneEscalations()
+	if len(done) != 2 {
+		t.Fatalf("DoneEscalations = %d records, want 2: %+v", len(done), done)
+	}
+	byID := map[string]DoneEscalation{}
+	for _, d := range done {
+		byID[d.JobID] = d
+	}
+	d1, ok := byID["job-000001"]
+	if !ok || len(d1.Escalations) != 1 || d1.Escalations[0] != esc {
+		t.Errorf("job-000001 done escalations = %+v, want %+v", d1, esc)
+	}
+	if d1.Spec.Mode != "half" {
+		t.Errorf("job-000001 replayed spec mode = %q, want half", d1.Spec.Mode)
+	}
+	d3, ok := byID["job-000003"]
+	if !ok || len(d3.Escalations) != 1 || d3.Escalations[0] != esc3 {
+		t.Errorf("job-000003 done escalations = %+v, want %+v", d3, esc3)
+	}
+}
+
 func TestJournalSyncFaultDegradesThenHeals(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "journal.ndjson")
 	j := openTestJournal(t, path)

@@ -80,6 +80,25 @@ var ErrUnknownJob = errors.New("queue: unknown job")
 // parked as poisoned.
 var ErrNotPoisoned = errors.New("queue: job is not poisoned")
 
+// ErrNoTuner rejects a mode:"auto" submission on a scheduler with no
+// autotune policy configured: there is nothing to resolve the mode, and
+// silently running at full would hide the misconfiguration.
+var ErrNoTuner = errors.New(`queue: spec mode "auto" requires the autotune service (Config.Tuner)`)
+
+// AutoTuner is the closed-loop precision policy's hook surface
+// (internal/serve/autotune.Tuner is the implementation; the scheduler sees
+// only this interface so the packages stay acyclic). Resolve maps an
+// accuracy-budgeted spec onto a concrete precision mode at admission;
+// ObserveResult / ObserveEscalation feed execution evidence back;
+// Savings prices a completed run against the shape's full-precision
+// baseline for the job view.
+type AutoTuner interface {
+	Resolve(spec runner.ExperimentSpec) (runner.ExperimentSpec, error)
+	ObserveResult(spec runner.ExperimentSpec, res *runner.Result)
+	ObserveEscalation(spec runner.ExperimentSpec, esc runner.Escalation)
+	Savings(spec runner.ExperimentSpec, res *runner.Result) (joules, dollars float64, ok bool)
+}
+
 // Job tracks one admitted experiment. Progress fields are atomics so the
 // NDJSON streamer can poll without locking the scheduler.
 type Job struct {
@@ -105,6 +124,15 @@ type Job struct {
 	escalations []runner.Escalation
 	result      []byte
 	errMsg      string
+	// Autotune provenance: tunedMode is the concrete mode Resolve picked
+	// for a mode:"auto" submission (with the requested budgets echoed);
+	// savedJoules/savedDollars price the completed run against the shape's
+	// full-precision baseline.
+	tunedMode      string
+	maxMassError   float64
+	maxLinecutLinf float64
+	savedJoules    float64
+	savedDollars   float64
 	// done closes at each terminal state; doneClosed guards the close so
 	// finish stays idempotent. RetryPoisoned swaps in a fresh channel when
 	// it revives a parked job, so Done() reads under the lock.
@@ -146,6 +174,18 @@ type View struct {
 	// "campaign/<id>" for server-side campaign expansion).
 	Flow  string `json:"flow,omitempty"`
 	Error string `json:"error,omitempty"`
+	// TunedMode is the concrete precision mode the autotuner resolved a
+	// mode:"auto" submission to; MaxMassError/MaxLinecutLinf echo the
+	// requested accuracy budgets (the resolved Spec has them stripped so
+	// its hash matches a plain submission). All empty for plain jobs.
+	TunedMode      string  `json:"tuned_mode,omitempty"`
+	MaxMassError   float64 `json:"max_mass_error,omitempty"`
+	MaxLinecutLinf float64 `json:"max_linecut_linf,omitempty"`
+	// SavedJoules/SavedDollars are the modeled energy and cost this run
+	// saved against the shape's full-precision baseline (0 until the job
+	// completes below full with a baseline on record).
+	SavedJoules  float64 `json:"saved_joules,omitempty"`
+	SavedDollars float64 `json:"saved_dollars,omitempty"`
 }
 
 // Snapshot captures the job's current state.
@@ -153,19 +193,24 @@ func (j *Job) Snapshot() View {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	return View{
-		ID:          j.ID,
-		SpecHash:    j.SpecHash,
-		Spec:        j.Spec,
-		Status:      j.status,
-		Cached:      j.cached,
-		Recovered:   j.recovered,
-		Step:        j.step.Load(),
-		Total:       j.total.Load(),
-		Attempts:    j.attempts.Load(),
-		Escalations: append([]runner.Escalation(nil), j.escalations...),
-		Backend:     j.backend,
-		Flow:        j.flow,
-		Error:       j.errMsg,
+		ID:             j.ID,
+		SpecHash:       j.SpecHash,
+		Spec:           j.Spec,
+		Status:         j.status,
+		Cached:         j.cached,
+		Recovered:      j.recovered,
+		Step:           j.step.Load(),
+		Total:          j.total.Load(),
+		Attempts:       j.attempts.Load(),
+		Escalations:    append([]runner.Escalation(nil), j.escalations...),
+		Backend:        j.backend,
+		Flow:           j.flow,
+		Error:          j.errMsg,
+		TunedMode:      j.tunedMode,
+		MaxMassError:   j.maxMassError,
+		MaxLinecutLinf: j.maxLinecutLinf,
+		SavedJoules:    j.savedJoules,
+		SavedDollars:   j.savedDollars,
 	}
 }
 
@@ -332,6 +377,11 @@ type Config struct {
 	// -trace-export hook. Called synchronously on the job's goroutine;
 	// keep it cheap or hand off.
 	OnComplete func(job *Job, res *runner.Result)
+	// Tuner, when non-nil, is the closed-loop precision policy: mode
+	// "auto" submissions resolve through it at admission, and every
+	// executed result / escalation feeds its decision table. Nil rejects
+	// auto submissions with ErrNoTuner.
+	Tuner AutoTuner
 }
 
 // SubmitOptions carries per-submission execution knobs.
@@ -691,6 +741,18 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 					obs.Str("mode", spec.Mode), intAttr("attempts", n),
 					obs.Str("backend", out.Backend+backendWorkerSuffix(out.Worker)),
 					obs.Str("wall", time.Since(job.enqueuedAt).Round(time.Millisecond).String()))
+				if s.cfg.Tuner != nil {
+					// Every executed result is fleet evidence: full runs
+					// refresh the shape's fidelity reference and savings
+					// baseline, demoted runs fold their measured fidelity in
+					// and may warm the next demotion probe.
+					s.cfg.Tuner.ObserveResult(spec, res)
+					if sj, sd, ok := s.cfg.Tuner.Savings(spec, res); ok {
+						job.mu.Lock()
+						job.savedJoules, job.savedDollars = sj, sd
+						job.mu.Unlock()
+					}
+				}
 				s.complete(job, payload)
 				if s.cfg.OnComplete != nil {
 					s.cfg.OnComplete(job, res)
@@ -764,6 +826,12 @@ func (s *Scheduler) execute(ctx context.Context, job *Job) {
 				obs.Str("reason", esc.Reason))
 			if s.cfg.Journal != nil {
 				_ = s.cfg.Journal.Escalated(job.ID, esc)
+			}
+			if s.cfg.Tuner != nil {
+				// Feed the failure into the autotune table while spec still
+				// names the failing mode: the floor rises above it and any
+				// committed demotion at or below it reverts.
+				s.cfg.Tuner.ObserveEscalation(spec, esc)
 			}
 			spec.Mode = next
 			attempt = 0 // fresh retry budget at the new rung
@@ -1070,10 +1138,27 @@ func (s *Scheduler) Submit(spec runner.ExperimentSpec) (*Job, error) {
 // cache, or (c) a new admitted job, journaled before this call returns.
 // ErrQueueFull reports an over-full queue; a journal append failure
 // rejects the submission (never acked ⇒ never owed).
+//
+// Mode "auto" resolves through Config.Tuner to a concrete mode before
+// anything else: the dedup map, the cache and the journal only ever see
+// the resolved concrete spec, whose hash is identical to a plain
+// submission at that mode — so an auto submission collapses onto (and
+// warms the cache for) its concrete twin and vice versa.
 func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (*Job, error) {
 	n, err := spec.Normalized()
 	if err != nil {
 		return nil, err
+	}
+	var tunedMode string
+	reqMass, reqLinf := n.MaxMassError, n.MaxLinecutLinf
+	if n.IsAuto() {
+		if s.cfg.Tuner == nil {
+			return nil, ErrNoTuner
+		}
+		if n, err = s.cfg.Tuner.Resolve(n); err != nil {
+			return nil, err
+		}
+		tunedMode = n.Mode
 	}
 	hash, err := n.Hash()
 	if err != nil {
@@ -1103,6 +1188,10 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 			job := s.newJobLocked(n, hash)
 			job.cached = true
 			job.status = StatusDone
+			if tunedMode != "" {
+				job.tunedMode = tunedMode
+				job.maxMassError, job.maxLinecutLinf = reqMass, reqLinf
+			}
 			s.mu.Unlock()
 			job.trace.Root().Event("cache_hit", obs.Str("source", string(src)))
 			job.trace.Root().Annotate(obs.Str("status", "done"))
@@ -1139,6 +1228,10 @@ func (s *Scheduler) SubmitOpts(spec runner.ExperimentSpec, opts SubmitOptions) (
 	job.status = StatusQueued
 	job.timeout = opts.Timeout
 	job.flow = opts.Flow
+	if tunedMode != "" {
+		job.tunedMode = tunedMode
+		job.maxMassError, job.maxLinecutLinf = reqMass, reqLinf
+	}
 	if s.cfg.Journal != nil {
 		// Journal-then-ack: the admission record must be durable before the
 		// job is visible or acknowledged (the fsync under s.mu serializes
